@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation for Sec. III-B/C: sensitivity of AFC to the local
+ * contention thresholds and EWMA smoothing. Sweeps a scaling factor
+ * over the paper's thresholds and the EWMA weight, reporting mode
+ * residency, switch churn, latency and energy under a mid-load
+ * open-loop workload. Shows (1) the hysteresis gap suppressing
+ * flapping and (2) EWMA smoothing suppressing transient switches.
+ *
+ * Options: rate=<f> measure=<n>
+ */
+
+#include <cstdio>
+
+#include "benchutil.hh"
+#include "traffic/injector.hh"
+#include "traffic/openloop.hh"
+
+using namespace afcsim;
+using namespace afcsim::bench;
+
+namespace
+{
+
+struct AblationRow
+{
+    double latency;
+    double energyPerFlit;
+    double bpFraction;
+    std::uint64_t switches;
+};
+
+AblationRow
+runCase(NetworkConfig cfg, double rate, Cycle measure)
+{
+    OpenLoopConfig ol;
+    ol.injectionRate = rate;
+    ol.warmupCycles = 3000;
+    ol.measureCycles = measure;
+    Network net(cfg, FlowControl::Afc);
+    UniformPattern pattern(net.mesh());
+    OpenLoopInjector inj(net, pattern, rate, ol.dataPacketFraction);
+    for (Cycle c = 0; c < ol.warmupCycles + ol.measureCycles; ++c) {
+        inj.tick(net.now());
+        net.step();
+    }
+    RouterStats rs = net.aggregateRouterStats();
+    NetStats s = net.aggregateStats();
+    AblationRow row;
+    row.latency = s.packetLatency.mean();
+    row.energyPerFlit = s.flitsDelivered
+        ? net.aggregateEnergy().total() / s.flitsDelivered : 0.0;
+    row.bpFraction = rs.backpressuredFraction();
+    row.switches = rs.forwardSwitches + rs.reverseSwitches;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt(argc, argv);
+    double rate = opt.getDouble("rate", 0.45);
+    Cycle measure = opt.getInt("measure", 15000);
+
+    printHeader("Ablation: threshold scaling (paper thresholds x k)",
+                "k<1 switches earlier (more BP residency); k>1 "
+                "later; hysteresis keeps switch counts low");
+    std::printf("%-8s%12s%14s%12s%12s\n", "k", "latency",
+                "energy/flit", "bp-frac", "switches");
+    for (double k : {0.5, 0.75, 1.0, 1.5, 2.0}) {
+        NetworkConfig cfg;
+        cfg.afc.cornerHigh *= k;
+        cfg.afc.cornerLow *= k;
+        cfg.afc.edgeHigh *= k;
+        cfg.afc.edgeLow *= k;
+        cfg.afc.centerHigh *= k;
+        cfg.afc.centerLow *= k;
+        AblationRow r = runCase(cfg, rate, measure);
+        std::printf("%-8.2f%12.1f%14.2f%12.3f%12llu\n", k, r.latency,
+                    r.energyPerFlit, r.bpFraction,
+                    static_cast<unsigned long long>(r.switches));
+    }
+
+    printHeader("Ablation: hysteresis (low = high x h)",
+                "h -> 1 collapses the hysteresis band; switch churn "
+                "rises");
+    std::printf("%-8s%12s%14s%12s%12s\n", "h", "latency",
+                "energy/flit", "bp-frac", "switches");
+    for (double h : {0.5, 0.7, 0.9, 0.99}) {
+        NetworkConfig cfg;
+        cfg.afc.cornerLow = cfg.afc.cornerHigh * h;
+        cfg.afc.edgeLow = cfg.afc.edgeHigh * h;
+        cfg.afc.centerLow = cfg.afc.centerHigh * h;
+        AblationRow r = runCase(cfg, rate, measure);
+        std::printf("%-8.2f%12.1f%14.2f%12.3f%12llu\n", h, r.latency,
+                    r.energyPerFlit, r.bpFraction,
+                    static_cast<unsigned long long>(r.switches));
+    }
+
+    printHeader("Ablation: EWMA weight (paper: 0.99)",
+                "lower weights react to bursts and flap more");
+    std::printf("%-8s%12s%14s%12s%12s\n", "w", "latency",
+                "energy/flit", "bp-frac", "switches");
+    for (double w : {0.0, 0.5, 0.9, 0.99, 0.999}) {
+        NetworkConfig cfg;
+        cfg.afc.ewmaWeight = w;
+        AblationRow r = runCase(cfg, rate, measure);
+        std::printf("%-8.3f%12.1f%14.2f%12.3f%12llu\n", w, r.latency,
+                    r.energyPerFlit, r.bpFraction,
+                    static_cast<unsigned long long>(r.switches));
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Extension bench for the Sec. II design choice: deflection vs.
+ * dropping. Sweeps open-loop uniform-random load over the two
+ * backpressureless variants (plus the backpressured reference) and
+ * reports latency, accepted throughput, and the drop/retransmission
+ * rate — demonstrating the paper's reason for picking deflection:
+ * the drop variant saturates at lower offered loads.
+ *
+ * Options: mesh=<n> step=<f> max=<f> warmup=<n> measure=<n>
+ */
+
+#include <cstdio>
+
+#include "benchutil.hh"
+#include "traffic/openloop.hh"
+
+using namespace afcsim;
+using namespace afcsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt(argc, argv);
+    NetworkConfig cfg;
+    cfg.width = static_cast<int>(opt.getInt("mesh", 3));
+    cfg.height = cfg.width;
+    OpenLoopConfig ol;
+    ol.warmupCycles = opt.getInt("warmup", 3000);
+    ol.measureCycles = opt.getInt("measure", 10000);
+    double step = opt.getDouble("step", 0.1);
+    double max = opt.getDouble("max", 0.7);
+
+    printHeader("Sec. II design choice: deflection vs. drop "
+                "(uniform random, open loop)",
+                "the drop variant saturates at lower offered loads "
+                "than deflection (which itself saturates below "
+                "backpressured)");
+    std::printf("%-8s%12s%10s%14s%12s%14s%10s\n", "rate", "BPL-lat",
+                "BPL-acc", "BPLdrop-lat", "BPLdrop-acc", "BP-lat",
+                "BP-acc");
+    for (double rate = step; rate <= max + 1e-9; rate += step) {
+        ol.injectionRate = rate;
+        OpenLoopResult defl =
+            runOpenLoop(cfg, FlowControl::Backpressureless, ol);
+        OpenLoopResult drop =
+            runOpenLoop(cfg, FlowControl::BackpressurelessDrop, ol);
+        OpenLoopResult bp =
+            runOpenLoop(cfg, FlowControl::Backpressured, ol);
+        std::printf("%-8.2f%12.1f%10.3f%14.1f%12.3f%14.1f%10.3f\n",
+                    rate, defl.avgPacketLatency, defl.acceptedRate,
+                    drop.avgPacketLatency, drop.acceptedRate,
+                    bp.avgPacketLatency, bp.acceptedRate);
+    }
+    std::printf("\nThe drop variant's latency knee comes at a lower "
+                "offered load than deflection's (its accepted cap "
+                "converges only because the NACK fabric here is "
+                "idealized as contention-free); both saturate far "
+                "below backpressured — matching Sec. II.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: raw simulation speed of each
+ * router model (cycles/second of a loaded 3x3 network) and of the
+ * deflection assignment engine. These are simulator-engineering
+ * numbers, not paper results; they document the cost of each model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "network/network.hh"
+#include "router/deflection.hh"
+#include "traffic/injector.hh"
+#include "traffic/patterns.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+void
+runNetworkCycles(benchmark::State &state, FlowControl fc, double rate)
+{
+    NetworkConfig cfg;
+    Network net(cfg, fc);
+    UniformPattern pattern(net.mesh());
+    OpenLoopInjector inj(net, pattern, rate, 0.35);
+    for (auto _ : state) {
+        inj.tick(net.now());
+        net.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+    benchmark::DoNotOptimize(net.aggregateStats().flitsDelivered);
+}
+
+void
+BM_BackpressuredCycle(benchmark::State &state)
+{
+    runNetworkCycles(state, FlowControl::Backpressured, 0.3);
+}
+BENCHMARK(BM_BackpressuredCycle);
+
+void
+BM_DeflectionCycle(benchmark::State &state)
+{
+    runNetworkCycles(state, FlowControl::Backpressureless, 0.3);
+}
+BENCHMARK(BM_DeflectionCycle);
+
+void
+BM_AfcCycle(benchmark::State &state)
+{
+    runNetworkCycles(state, FlowControl::Afc, 0.3);
+}
+BENCHMARK(BM_AfcCycle);
+
+void
+BM_AfcCycleHighLoad(benchmark::State &state)
+{
+    runNetworkCycles(state, FlowControl::Afc, 0.7);
+}
+BENCHMARK(BM_AfcCycleHighLoad);
+
+void
+BM_DeflectionEngineAssign(benchmark::State &state)
+{
+    Mesh mesh(3, 3);
+    DeflectionEngine eng(mesh, 4, DeflectionPolicy::Random, 1);
+    Rng rng(1);
+    std::vector<Flit> flits(4);
+    for (int i = 0; i < 4; ++i) {
+        flits[i].packet = i;
+        flits[i].src = 0;
+        flits[i].dest = static_cast<NodeId>((i * 2 + 1) % 9);
+    }
+    for (auto _ : state) {
+        Direction free_port;
+        auto out = eng.assign(flits, rng, 8, &free_port);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_DeflectionEngineAssign);
+
+void
+BM_IdleNetworkCycle(benchmark::State &state)
+{
+    NetworkConfig cfg;
+    Network net(cfg, FlowControl::Afc);
+    for (auto _ : state)
+        net.step();
+}
+BENCHMARK(BM_IdleNetworkCycle);
+
+} // namespace
+} // namespace afcsim
+
+BENCHMARK_MAIN();

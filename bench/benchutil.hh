@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: the
+ * comparison config lists and fixed-width table printing.
+ */
+
+#ifndef AFCSIM_BENCH_BENCHUTIL_HH
+#define AFCSIM_BENCH_BENCHUTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+
+namespace afcsim::bench
+{
+
+/** The four bars of Fig. 2(a)/(c)/(d). */
+inline std::vector<FlowControl>
+mainConfigs()
+{
+    return {FlowControl::Backpressured, FlowControl::Backpressureless,
+            FlowControl::AfcAlwaysBackpressured, FlowControl::Afc};
+}
+
+/** Fig. 2(b) adds the ideal-bypass energy lower bound. */
+inline std::vector<FlowControl>
+energyLowLoadConfigs()
+{
+    return {FlowControl::Backpressured, FlowControl::Backpressureless,
+            FlowControl::AfcAlwaysBackpressured, FlowControl::Afc,
+            FlowControl::BackpressuredIdealBypass};
+}
+
+inline void
+printHeader(const std::string &title, const std::string &paper_note)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!paper_note.empty())
+        std::printf("paper: %s\n", paper_note.c_str());
+}
+
+inline void
+printRow(const std::string &label, const std::vector<double> &cells,
+         int width = 12, int precision = 3)
+{
+    std::printf("%-14s", label.c_str());
+    for (double c : cells)
+        std::printf("%*.*f", width, precision, c);
+    std::printf("\n");
+}
+
+inline void
+printColumns(const std::vector<std::string> &names, int width = 12)
+{
+    std::printf("%-14s", "");
+    for (const auto &n : names)
+        std::printf("%*s", width, n.c_str());
+    std::printf("\n");
+}
+
+/**
+ * Run one workload across a list of flow controls, `repeats` times
+ * with distinct seeds (the paper repeats all simulations and shows
+ * variance bars), and collect relative performance and energy
+ * against the backpressured baseline of the same seed.
+ */
+struct RelativeResults
+{
+    std::vector<RunningStat> perf;   ///< one per config
+    std::vector<RunningStat> energy; ///< one per config
+};
+
+template <typename RunFn>
+RelativeResults
+runRelative(const std::vector<FlowControl> &configs, int repeats,
+            std::uint64_t base_seed, RunFn &&run)
+{
+    RelativeResults out;
+    out.perf.resize(configs.size());
+    out.energy.resize(configs.size());
+    for (int rep = 0; rep < repeats; ++rep) {
+        std::uint64_t seed = base_seed + 1000ull * rep;
+        auto [base_runtime, base_energy] =
+            run(FlowControl::Backpressured, seed);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            auto [runtime, energy] =
+                configs[i] == FlowControl::Backpressured
+                    ? std::pair<double, double>{base_runtime,
+                                                base_energy}
+                    : run(configs[i], seed);
+            out.perf[i].add(base_runtime / runtime);
+            out.energy[i].add(energy / base_energy);
+        }
+    }
+    return out;
+}
+
+/** Print "mean (+/- std)" rows for a RelativeResults table. */
+inline void
+printStatRow(const std::string &label,
+             const std::vector<RunningStat> &stats)
+{
+    std::printf("%-14s", label.c_str());
+    for (const auto &s : stats) {
+        if (s.count() > 1)
+            std::printf("%8.3f+-%.3f", s.mean(), s.stddev());
+        else
+            std::printf("%12.3f", s.mean());
+    }
+    std::printf("\n");
+}
+
+/** Short column label for a flow-control mechanism. */
+inline std::string
+shortName(FlowControl fc)
+{
+    switch (fc) {
+      case FlowControl::Backpressured: return "BP";
+      case FlowControl::Backpressureless: return "BPL";
+      case FlowControl::Afc: return "AFC";
+      case FlowControl::AfcAlwaysBackpressured: return "AFC-aBP";
+      case FlowControl::BackpressuredIdealBypass: return "BP-ideal";
+      case FlowControl::BackpressurelessDrop: return "BPL-drop";
+    }
+    return "?";
+}
+
+} // namespace afcsim::bench
+
+#endif // AFCSIM_BENCH_BENCHUTIL_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: build the paper's 3x3 mesh, run uniform-random
+ * traffic through each flow-control mechanism, and print latency,
+ * deflections and energy — a five-minute tour of the public API.
+ *
+ * Usage: quickstart [rate=0.3] [cycles=20000] [mesh=3]
+ *                    [config=<file>]   (see example.cfg)
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/configfile.hh"
+#include "network/network.hh"
+#include "traffic/injector.hh"
+#include "traffic/patterns.hh"
+
+using namespace afcsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opt(argc, argv);
+    double rate = opt.getDouble("rate", 0.3);
+    int cycles = static_cast<int>(opt.getInt("cycles", 20000));
+    int mesh = static_cast<int>(opt.getInt("mesh", 3));
+
+    // 1. Describe the network (defaults = the paper's Table II;
+    //    or load a key=value file, see example.cfg).
+    NetworkConfig cfg;
+    if (opt.has("config")) {
+        cfg = loadNetworkConfig(opt.get("config", ""));
+        mesh = cfg.width;
+    } else {
+        cfg.width = mesh;
+        cfg.height = mesh;
+    }
+
+    std::printf("afcsim quickstart: %dx%d mesh, uniform random at "
+                "%.2f flits/node/cycle, %d cycles\n\n",
+                mesh, mesh, rate, cycles);
+    std::printf("%-12s%12s%12s%12s%14s%10s\n", "config", "pkt-lat",
+                "hops", "defl/flit", "energy/flit", "bp-mode%");
+
+    for (FlowControl fc :
+         {FlowControl::Backpressured, FlowControl::Backpressureless,
+          FlowControl::Afc}) {
+        // 2. Build a network with the chosen flow control.
+        Network net(cfg, fc);
+
+        // 3. Attach a synthetic traffic source and run.
+        UniformPattern pattern(net.mesh());
+        OpenLoopInjector inj(net, pattern, rate, 0.35);
+        for (int c = 0; c < cycles; ++c) {
+            inj.tick(net.now());
+            net.step();
+        }
+        net.drain(1000000);
+
+        // 4. Read the results.
+        NetStats s = net.aggregateStats();
+        EnergyReport e = net.aggregateEnergy();
+        std::printf("%-12s%12.1f%12.2f%12.3f%14.2f%9.1f%%\n",
+                    toString(fc).c_str(), s.packetLatency.mean(),
+                    s.hops.mean(), s.deflections.mean(),
+                    e.total() / s.flitsDelivered,
+                    100.0 * net.backpressuredFraction());
+    }
+
+    std::printf("\nTry rate=0.1 (backpressureless wins energy) and "
+                "rate=0.7 (backpressured wins; AFC adapts).\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+std::string
+toString(FlowControl fc)
+{
+    switch (fc) {
+      case FlowControl::Backpressured:
+        return "backpressured";
+      case FlowControl::Backpressureless:
+        return "backpressureless";
+      case FlowControl::Afc:
+        return "afc";
+      case FlowControl::AfcAlwaysBackpressured:
+        return "afc-always-bp";
+      case FlowControl::BackpressuredIdealBypass:
+        return "bp-ideal-bypass";
+      case FlowControl::BackpressurelessDrop:
+        return "bpl-drop";
+    }
+    return "?";
+}
+
+FlowControl
+flowControlFromString(const std::string &name)
+{
+    std::string n = name;
+    std::transform(n.begin(), n.end(), n.begin(), ::tolower);
+    if (n == "backpressured" || n == "bp" || n == "buffered")
+        return FlowControl::Backpressured;
+    if (n == "backpressureless" || n == "bpl" || n == "bless" ||
+        n == "deflection")
+        return FlowControl::Backpressureless;
+    if (n == "afc")
+        return FlowControl::Afc;
+    if (n == "afc-always-bp" || n == "afc_always_bp" || n == "afcbp")
+        return FlowControl::AfcAlwaysBackpressured;
+    if (n == "bp-ideal-bypass" || n == "ideal-bypass" || n == "bypass")
+        return FlowControl::BackpressuredIdealBypass;
+    if (n == "bpl-drop" || n == "drop" || n == "scarab")
+        return FlowControl::BackpressurelessDrop;
+    AFCSIM_FATAL("unknown flow control '", name, "'");
+}
+
+int
+FlitWidths::forFlowControl(FlowControl fc)
+{
+    switch (fc) {
+      case FlowControl::Backpressured:
+      case FlowControl::BackpressuredIdealBypass:
+        return kBackpressured;
+      case FlowControl::Backpressureless:
+      case FlowControl::BackpressurelessDrop:
+        return kBackpressureless;
+      case FlowControl::Afc:
+      case FlowControl::AfcAlwaysBackpressured:
+        return kAfc;
+    }
+    return kBackpressured;
+}
+
+void
+NetworkConfig::validate() const
+{
+    if (width < 2 || height < 2)
+        AFCSIM_FATAL("mesh must be at least 2x2, got ", width, "x", height);
+    if (linkLatency < 1)
+        AFCSIM_FATAL("link latency must be >= 1");
+    if (vnets.empty())
+        AFCSIM_FATAL("need at least one virtual network");
+    if (afcVnets.size() != vnets.size())
+        AFCSIM_FATAL("afcVnets must mirror vnets per virtual network");
+    for (const auto &v : vnets) {
+        if (v.numVcs < 1 || v.bufferDepth < 1)
+            AFCSIM_FATAL("vnet shape must be positive");
+    }
+    for (const auto &v : afcVnets) {
+        if (v.numVcs < 1 || v.bufferDepth < 1)
+            AFCSIM_FATAL("afc vnet shape must be positive");
+    }
+    if (dataPacketFlits < 1 || controlPacketFlits < 1)
+        AFCSIM_FATAL("packet lengths must be positive");
+    if (injectionQueueDepth < dataPacketFlits)
+        AFCSIM_FATAL("injection queue must hold at least one data packet");
+}
+
+Options::Options(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            kv_.emplace_back(arg, "true");
+        } else {
+            kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+        }
+    }
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    for (const auto &[k, v] : kv_) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Options::get(const std::string &key, const std::string &fallback) const
+{
+    for (const auto &[k, v] : kv_) {
+        if (k == key)
+            return v;
+    }
+    return fallback;
+}
+
+long
+Options::getInt(const std::string &key, long fallback) const
+{
+    if (!has(key))
+        return fallback;
+    return std::strtol(get(key, "").c_str(), nullptr, 10);
+}
+
+double
+Options::getDouble(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    return std::strtod(get(key, "").c_str(), nullptr);
+}
+
+} // namespace afcsim

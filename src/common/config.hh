@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Simulator configuration structures. Defaults encode the paper's
+ * Table II (system configuration) and Section IV (AFC parameters,
+ * flit widths, energy-model technology point).
+ */
+
+#ifndef AFCSIM_COMMON_CONFIG_HH
+#define AFCSIM_COMMON_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace afcsim
+{
+
+/**
+ * The flow-control mechanisms compared in the paper (Fig. 2 bars).
+ *
+ * BackpressuredIdealBypass is the baseline backpressured router with
+ * all buffer *dynamic* energy elided — the paper's lower bound for
+ * buffer-bypass techniques (Sec. V-A); it is timing-identical to
+ * Backpressured. AfcAlwaysBackpressured is the AFC router pinned to
+ * backpressured mode (isolates the lazy-VCA benefit from the
+ * adaptivity benefit).
+ */
+enum class FlowControl
+{
+    Backpressured,
+    Backpressureless,
+    Afc,
+    AfcAlwaysBackpressured,
+    BackpressuredIdealBypass,
+    /**
+     * Extension: the drop-on-contention backpressureless variant
+     * (SCARAB-style) the paper rejects in Sec. II because it
+     * saturates earlier than deflection.
+     */
+    BackpressurelessDrop,
+};
+
+/** Human-readable name for a flow-control configuration. */
+std::string toString(FlowControl fc);
+
+/** Parse a flow-control name ("backpressured", "bless", "afc", ...). */
+FlowControl flowControlFromString(const std::string &name);
+
+/** Per-virtual-network channel configuration. */
+struct VnetConfig
+{
+    int numVcs;       ///< virtual channels per physical port
+    int bufferDepth;  ///< flits per VC buffer
+};
+
+/**
+ * AFC policy parameters (Sec. III-B/C/D and Sec. IV).
+ *
+ * Thresholds are on the EWMA-smoothed local traffic intensity in
+ * flits/cycle; a router switches forward (to backpressured) above
+ * the high threshold and back (to backpressureless) below the low
+ * threshold once its buffers are empty.
+ */
+struct AfcConfig
+{
+    double ewmaWeight = 0.99;      ///< m = w*m + (1-w)*l
+    double cornerHigh = 1.8;       ///< 2-port routers (mesh corners)
+    double cornerLow = 1.2;
+    double edgeHigh = 2.1;         ///< 3-port routers (mesh edges)
+    double edgeLow = 1.3;
+    double centerHigh = 2.2;       ///< 4-port routers (interior)
+    double centerLow = 1.7;
+    /**
+     * Gossip threshold X: a backpressureless-mode router force-
+     * switches when a backpressured neighbor's free slots (per vnet)
+     * drop to X. Must be >= 2L; 0 means "use 2 * linkLatency".
+     */
+    int gossipReserve = 0;
+    /** Pin the router to backpressured mode (always-backpressured). */
+    bool alwaysBackpressured = false;
+    /**
+     * ABLATION ONLY — disables the gossip-induced mode switch. This
+     * removes the Sec. III-D correctness mechanism: a deflecting
+     * router can then overrun a buffered neighbor, which the router
+     * detects and reports as a protocol panic. Exists so tests can
+     * demonstrate the mechanism is load-bearing.
+     */
+    bool disableGossipUnsafe = false;
+};
+
+/**
+ * Energy-model coefficients, normalized pJ at the paper's 70 nm /
+ * 1.0 V / 3 GHz / 2.5 mm-link technology point. Dynamic terms are
+ * per-bit per-event; leakage is per buffer bit-cell per cycle.
+ * Defaults are calibrated (see DESIGN.md Sec. 5 and the calibration
+ * test) so the backpressured baseline spends 30-40 % of network
+ * energy in buffers at the paper's operating points.
+ */
+struct EnergyConfig
+{
+    double bufferWritePerBit = 0.0077;  ///< pJ/bit per flit write
+    double bufferReadPerBit = 0.0060;   ///< pJ/bit per flit read
+    double crossbarPerBit = 0.0280;     ///< pJ/bit per switch traversal
+    double linkPerBitPerMm = 0.0155;    ///< pJ/bit/mm per link traversal
+    double linkLengthMm = 2.5;          ///< physical link length
+    double arbiterPerAlloc = 0.30;      ///< pJ per allocation decision
+    double latchPerBit = 0.0040;        ///< pJ/bit pipeline-latch write
+    double bufferLeakPerBitCycle = 7.2e-5; ///< pJ per bit-cell per cycle
+    /**
+     * Per-access energy grows with buffer depth (longer bit/word
+     * lines): access cost is scaled by 1 + slope * (depth - 1).
+     * This is the Orion effect behind Sec. III-E's claim that AFC's
+     * shallow (1-flit) VCs recapture the wider-flit overhead.
+     */
+    double bufferDepthEnergySlope = 0.09;
+    double routerIdlePerCycle = 1.10;   ///< pJ/cycle non-buffer leakage
+    double creditPerHop = 0.045;        ///< pJ per credit backflow signal
+    /** Fraction of buffer leakage removed by power gating (Sec. IV). */
+    double powerGatingEfficiency = 0.90;
+};
+
+/**
+ * Network configuration (Table II defaults: 3x3 mesh, 2-cycle links,
+ * 2 control vnets (2 VCs x 8 flits each) + 1 data vnet (4 VCs x 8
+ * flits) for the backpressured baseline).
+ */
+struct NetworkConfig
+{
+    int width = 3;                 ///< mesh columns
+    int height = 3;                ///< mesh rows
+    int linkLatency = 2;           ///< cycles per link traversal
+    int routerStages = 2;          ///< router pipeline depth
+    std::vector<VnetConfig> vnets = {{2, 8}, {2, 8}, {4, 8}};
+    /**
+     * AFC backpressured-mode (lazy VCA) shape: VCs per vnet with
+     * 1-flit buffers — 8 + 8 + 16 = 32 flits/port (Sec. IV).
+     */
+    std::vector<VnetConfig> afcVnets = {{8, 1}, {8, 1}, {16, 1}};
+    /** Flits per data packet (64 B block / 32-bit flits + header). */
+    int dataPacketFlits = 9;
+    /** Flits per control packet. */
+    int controlPacketFlits = 1;
+    /** Injection-queue capacity per vnet at each NIC (flits). */
+    int injectionQueueDepth = 64;
+    /**
+     * NIC ejection bandwidth (flits/cycle) for deflection-based
+     * routers, which cannot buffer at-destination flits; losers are
+     * deflected back into the network. Buffered routers eject
+     * through the crossbar (1 flit/cycle/output) regardless.
+     */
+    int ejectPerCycle = 1;
+    /**
+     * Source retransmission-buffer capacity (flits) for the
+     * drop-based backpressureless variant.
+     */
+    int dropRetransmitBuffer = 32;
+    AfcConfig afc;
+    EnergyConfig energy;
+    std::uint64_t seed = 1;
+    /**
+     * Use deterministic oldest-first deflection priorities instead
+     * of the paper's randomized (Chaos-style) priorities (ablation).
+     */
+    bool oldestFirstDeflection = false;
+
+    int numNodes() const { return width * height; }
+    int numVnets() const { return static_cast<int>(vnets.size()); }
+
+    /** Total VCs per physical port for a given VC shape. */
+    static int
+    totalVcs(const std::vector<VnetConfig> &shape)
+    {
+        int n = 0;
+        for (const auto &v : shape)
+            n += v.numVcs;
+        return n;
+    }
+
+    /** Total buffer flits per physical port for a given VC shape. */
+    static int
+    totalBufferFlits(const std::vector<VnetConfig> &shape)
+    {
+        int n = 0;
+        for (const auto &v : shape)
+            n += v.numVcs * v.bufferDepth;
+        return n;
+    }
+
+    /** Validate invariants; calls AFCSIM_FATAL on bad configs. */
+    void validate() const;
+};
+
+/**
+ * Flit widths in bits (Sec. IV): 32 data bits plus control bits —
+ * 9 (backpressured), 13 (backpressureless), 17 (AFC) — for totals of
+ * 41 / 45 / 49 bits. These feed the energy model only.
+ */
+struct FlitWidths
+{
+    static constexpr int kData = 32;
+    static constexpr int kBackpressured = 41;
+    static constexpr int kBackpressureless = 45;
+    static constexpr int kAfc = 49;
+
+    /** Width used by a given flow-control mechanism. */
+    static int forFlowControl(FlowControl fc);
+};
+
+
+/**
+ * Scenario description for open-loop synthetic-traffic experiments.
+ */
+struct OpenLoopConfig
+{
+    double injectionRate = 0.1;   ///< flits/node/cycle offered
+    std::string pattern = "uniform";
+    Cycle warmupCycles = 10000;
+    Cycle measureCycles = 30000;
+    Cycle drainCycles = 100000;   ///< max extra cycles to drain
+    double dataPacketFraction = 0.35; ///< remainder are 1-flit control
+};
+
+/**
+ * Tiny "key=value" command-line option parser used by examples and
+ * benches so runs are reproducible from the shell.
+ */
+class Options
+{
+  public:
+    Options(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key,
+                    const std::string &fallback) const;
+    long getInt(const std::string &key, long fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_CONFIG_HH

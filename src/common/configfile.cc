@@ -1,0 +1,202 @@
+#include "common/configfile.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+double
+toDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        AFCSIM_FATAL("config key '", key, "': bad number '", value,
+                     "'");
+    return v;
+}
+
+long
+toInt(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        AFCSIM_FATAL("config key '", key, "': bad integer '", value,
+                     "'");
+    return v;
+}
+
+bool
+toBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    AFCSIM_FATAL("config key '", key, "': bad boolean '", value, "'");
+}
+
+} // namespace
+
+std::vector<VnetConfig>
+parseVnetShape(const std::string &value)
+{
+    std::vector<VnetConfig> shape;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        item = trim(item);
+        auto x = item.find('x');
+        if (x == std::string::npos)
+            AFCSIM_FATAL("VC shape entry '", item,
+                         "' is not of the form NxD");
+        VnetConfig v;
+        v.numVcs = static_cast<int>(
+            toInt("vnets", trim(item.substr(0, x))));
+        v.bufferDepth = static_cast<int>(
+            toInt("vnets", trim(item.substr(x + 1))));
+        shape.push_back(v);
+    }
+    if (shape.empty())
+        AFCSIM_FATAL("empty VC shape");
+    return shape;
+}
+
+NetworkConfig &
+applyConfigKey(NetworkConfig &cfg, const std::string &key,
+               const std::string &value)
+{
+    // Top-level network parameters.
+    if (key == "width") {
+        cfg.width = static_cast<int>(toInt(key, value));
+    } else if (key == "height") {
+        cfg.height = static_cast<int>(toInt(key, value));
+    } else if (key == "link_latency") {
+        cfg.linkLatency = static_cast<int>(toInt(key, value));
+    } else if (key == "vnets") {
+        cfg.vnets = parseVnetShape(value);
+    } else if (key == "afc_vnets") {
+        cfg.afcVnets = parseVnetShape(value);
+    } else if (key == "data_packet_flits") {
+        cfg.dataPacketFlits = static_cast<int>(toInt(key, value));
+    } else if (key == "control_packet_flits") {
+        cfg.controlPacketFlits = static_cast<int>(toInt(key, value));
+    } else if (key == "injection_queue_depth") {
+        cfg.injectionQueueDepth = static_cast<int>(toInt(key, value));
+    } else if (key == "eject_per_cycle") {
+        cfg.ejectPerCycle = static_cast<int>(toInt(key, value));
+    } else if (key == "drop_retransmit_buffer") {
+        cfg.dropRetransmitBuffer = static_cast<int>(toInt(key, value));
+    } else if (key == "seed") {
+        cfg.seed = static_cast<std::uint64_t>(toInt(key, value));
+    } else if (key == "oldest_first_deflection") {
+        cfg.oldestFirstDeflection = toBool(key, value);
+    // AFC policy parameters.
+    } else if (key == "afc.ewma_weight") {
+        cfg.afc.ewmaWeight = toDouble(key, value);
+    } else if (key == "afc.corner_high") {
+        cfg.afc.cornerHigh = toDouble(key, value);
+    } else if (key == "afc.corner_low") {
+        cfg.afc.cornerLow = toDouble(key, value);
+    } else if (key == "afc.edge_high") {
+        cfg.afc.edgeHigh = toDouble(key, value);
+    } else if (key == "afc.edge_low") {
+        cfg.afc.edgeLow = toDouble(key, value);
+    } else if (key == "afc.center_high") {
+        cfg.afc.centerHigh = toDouble(key, value);
+    } else if (key == "afc.center_low") {
+        cfg.afc.centerLow = toDouble(key, value);
+    } else if (key == "afc.gossip_reserve") {
+        cfg.afc.gossipReserve = static_cast<int>(toInt(key, value));
+    } else if (key == "afc.always_backpressured") {
+        cfg.afc.alwaysBackpressured = toBool(key, value);
+    // Energy-model coefficients.
+    } else if (key == "energy.buffer_write_per_bit") {
+        cfg.energy.bufferWritePerBit = toDouble(key, value);
+    } else if (key == "energy.buffer_read_per_bit") {
+        cfg.energy.bufferReadPerBit = toDouble(key, value);
+    } else if (key == "energy.crossbar_per_bit") {
+        cfg.energy.crossbarPerBit = toDouble(key, value);
+    } else if (key == "energy.link_per_bit_per_mm") {
+        cfg.energy.linkPerBitPerMm = toDouble(key, value);
+    } else if (key == "energy.link_length_mm") {
+        cfg.energy.linkLengthMm = toDouble(key, value);
+    } else if (key == "energy.arbiter_per_alloc") {
+        cfg.energy.arbiterPerAlloc = toDouble(key, value);
+    } else if (key == "energy.latch_per_bit") {
+        cfg.energy.latchPerBit = toDouble(key, value);
+    } else if (key == "energy.buffer_leak_per_bit_cycle") {
+        cfg.energy.bufferLeakPerBitCycle = toDouble(key, value);
+    } else if (key == "energy.buffer_depth_energy_slope") {
+        cfg.energy.bufferDepthEnergySlope = toDouble(key, value);
+    } else if (key == "energy.router_idle_per_cycle") {
+        cfg.energy.routerIdlePerCycle = toDouble(key, value);
+    } else if (key == "energy.credit_per_hop") {
+        cfg.energy.creditPerHop = toDouble(key, value);
+    } else if (key == "energy.power_gating_efficiency") {
+        cfg.energy.powerGatingEfficiency = toDouble(key, value);
+    } else {
+        AFCSIM_FATAL("unknown config key '", key, "'");
+    }
+    return cfg;
+}
+
+NetworkConfig
+parseNetworkConfig(const std::string &text)
+{
+    NetworkConfig cfg;
+    std::stringstream ss(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(ss, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            AFCSIM_FATAL("config line ", lineno,
+                         ": expected 'key = value', got '", line, "'");
+        applyConfigKey(cfg, trim(line.substr(0, eq)),
+                       trim(line.substr(eq + 1)));
+    }
+    cfg.validate();
+    return cfg;
+}
+
+NetworkConfig
+loadNetworkConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        AFCSIM_FATAL("cannot open config file '", path, "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return parseNetworkConfig(ss.str());
+}
+
+} // namespace afcsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text configuration loader: lets examples and downstream
+ * users describe a NetworkConfig in a small `key = value` file
+ * instead of recompiling.
+ *
+ * Format: one `key = value` pair per line; `#` starts a comment;
+ * blank lines ignored. VC shapes use `NxD` lists, e.g.
+ * `vnets = 2x8, 2x8, 4x8`. Dotted keys reach the AFC and energy
+ * sub-configs (`afc.center_high`, `energy.buffer_leak_per_bit_cycle`).
+ * Unknown keys are fatal (typos should not silently disappear).
+ */
+
+#ifndef AFCSIM_COMMON_CONFIGFILE_HH
+#define AFCSIM_COMMON_CONFIGFILE_HH
+
+#include <string>
+
+#include "common/config.hh"
+
+namespace afcsim
+{
+
+/**
+ * Apply one `key = value` assignment to a NetworkConfig. Fatal on
+ * unknown keys or malformed values. Returns the config for chaining.
+ */
+NetworkConfig &applyConfigKey(NetworkConfig &cfg,
+                              const std::string &key,
+                              const std::string &value);
+
+/** Parse a config from file contents (newline-separated pairs). */
+NetworkConfig parseNetworkConfig(const std::string &text);
+
+/** Load and parse a config file; fatal if unreadable. */
+NetworkConfig loadNetworkConfig(const std::string &path);
+
+/** Parse a "NxD, NxD, ..." VC-shape list. */
+std::vector<VnetConfig> parseVnetShape(const std::string &value);
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_CONFIGFILE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Exponentially weighted moving average, plus the windowed-average
+ * front end AFC uses for its traffic-intensity metric (Sec. III-B):
+ * the raw signal is the flit count averaged over the previous 4
+ * cycles, then smoothed as m_new = w * m_old + (1 - w) * l with
+ * w = 0.99.
+ */
+
+#ifndef AFCSIM_COMMON_EWMA_HH
+#define AFCSIM_COMMON_EWMA_HH
+
+#include <array>
+#include <cstddef>
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+/** Plain EWMA: value_new = weight * value_old + (1 - weight) * sample. */
+class Ewma
+{
+  public:
+    explicit Ewma(double weight = 0.99, double initial = 0.0)
+        : weight_(weight), value_(initial)
+    {
+        AFCSIM_ASSERT(weight >= 0.0 && weight < 1.0,
+                      "EWMA weight must be in [0, 1)");
+    }
+
+    /** Fold one sample into the average and return the new value. */
+    double
+    update(double sample)
+    {
+        value_ = weight_ * value_ + (1.0 - weight_) * sample;
+        return value_;
+    }
+
+    double value() const { return value_; }
+    double weight() const { return weight_; }
+
+    /** Reset the average to a known value (used on mode switches). */
+    void reset(double value = 0.0) { value_ = value; }
+
+  private:
+    double weight_;
+    double value_;
+};
+
+/**
+ * AFC's traffic-intensity estimator: a 4-cycle boxcar average of the
+ * per-cycle flit count, smoothed by an EWMA. One instance per router.
+ */
+class TrafficIntensity
+{
+  public:
+    static constexpr std::size_t kWindow = 4;
+
+    explicit TrafficIntensity(double ewma_weight = 0.99)
+        : ewma_(ewma_weight)
+    {
+        window_.fill(0);
+    }
+
+    /**
+     * Record the number of network flits that traversed the router
+     * this cycle and update the smoothed estimate.
+     */
+    double
+    recordCycle(unsigned flits_this_cycle)
+    {
+        sum_ -= window_[pos_];
+        window_[pos_] = flits_this_cycle;
+        sum_ += flits_this_cycle;
+        pos_ = (pos_ + 1) % kWindow;
+        double boxcar = static_cast<double>(sum_) / kWindow;
+        return ewma_.update(boxcar);
+    }
+
+    /** Current smoothed traffic intensity (flits/cycle). */
+    double value() const { return ewma_.value(); }
+
+    /** Reset both the window and the EWMA. */
+    void
+    reset()
+    {
+        window_.fill(0);
+        sum_ = 0;
+        pos_ = 0;
+        ewma_.reset(0.0);
+    }
+
+  private:
+    std::array<unsigned, kWindow> window_{};
+    unsigned sum_ = 0;
+    std::size_t pos_ = 0;
+    Ewma ewma_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_EWMA_HH

@@ -1,0 +1,61 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace afcsim
+{
+
+namespace
+{
+
+std::atomic<bool> debug_enabled{false};
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setDebugLogging(bool enabled)
+{
+    debug_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+debugLoggingEnabled()
+{
+    return debug_enabled.load(std::memory_order_relaxed);
+}
+
+void
+logImpl(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", prefix(level), msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[panic] %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[fatal] %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace afcsim

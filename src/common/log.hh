@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic() for internal
+ * invariant violations, fatal() for user/configuration errors,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef AFCSIM_COMMON_LOG_HH
+#define AFCSIM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace afcsim
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a log line to stderr. Fatal exits with status 1; Panic aborts.
+ * Kept out-of-line so the formatting code is not duplicated at every
+ * call site.
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void logImpl(LogLevel level, const std::string &msg);
+
+/** Global verbosity switch; Debug messages print only when enabled. */
+void setDebugLogging(bool enabled);
+bool debugLoggingEnabled();
+
+namespace detail
+{
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal bug (assert-like) and abort. */
+#define AFCSIM_PANIC(...) \
+    ::afcsim::panicImpl(__FILE__, __LINE__, \
+                        ::afcsim::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user/config error and exit(1). */
+#define AFCSIM_FATAL(...) \
+    ::afcsim::fatalImpl(__FILE__, __LINE__, \
+                        ::afcsim::detail::concat(__VA_ARGS__))
+
+/** Panic unless a simulator invariant holds. */
+#define AFCSIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::afcsim::panicImpl(__FILE__, __LINE__, \
+                ::afcsim::detail::concat("assertion failed: ", #cond, \
+                                         " ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning to the user. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logImpl(LogLevel::Warn, detail::concat(args...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logImpl(LogLevel::Inform, detail::concat(args...));
+}
+
+/** Debug trace, gated by setDebugLogging(). */
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    if (debugLoggingEnabled())
+        logImpl(LogLevel::Debug, detail::concat(args...));
+}
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_LOG_HH

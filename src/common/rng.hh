@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation.
+ *
+ * We implement PCG32 (O'Neill) rather than using std::mt19937 so that
+ * streams are cheap to fork per-router/per-node and results are
+ * bit-reproducible across standard libraries.
+ */
+
+#ifndef AFCSIM_COMMON_RNG_HH
+#define AFCSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+/**
+ * PCG32 generator: 64-bit state, 32-bit output, user-selectable
+ * stream. Satisfies enough of UniformRandomBitGenerator for our use.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint32_t;
+
+    /** Construct from a seed and a stream id (fork discriminator). */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0u;
+        inc_ = (stream << 1u) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return 0xffffffffu; }
+
+    /** Next raw 32-bit value. */
+    result_type
+    operator()()
+    {
+        return next();
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        AFCSIM_ASSERT(bound > 0, "Rng::below bound must be positive");
+        // Lemire-style rejection to remove modulo bias.
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        AFCSIM_ASSERT(lo <= hi, "Rng::range empty interval");
+        std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        if (span == 0) {
+            // Full 64-bit span: combine two 32-bit draws.
+            std::uint64_t v =
+                (static_cast<std::uint64_t>(next()) << 32) | next();
+            return static_cast<std::int64_t>(v);
+        }
+        if (span <= 0xffffffffull)
+            return lo + below(static_cast<std::uint32_t>(span));
+        std::uint64_t v = (static_cast<std::uint64_t>(next()) << 32) | next();
+        return lo + static_cast<std::int64_t>(v % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric "think time": number of whole cycles until the next
+     * Bernoulli(p) success, minimum 1. Mean is 1/p for small p.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        AFCSIM_ASSERT(p > 0.0 && p <= 1.0, "geometric needs 0 < p <= 1");
+        std::uint64_t n = 1;
+        while (!chance(p))
+            ++n;
+        return n;
+    }
+
+    /** Fork a statistically independent child stream. */
+    Rng
+    fork(std::uint64_t stream_tag)
+    {
+        std::uint64_t child_seed =
+            (static_cast<std::uint64_t>(next()) << 32) | next();
+        return Rng(child_seed, stream_tag * 2654435761ULL + 1);
+    }
+
+  private:
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+    }
+
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_RNG_HH

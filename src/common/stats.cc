@@ -1,0 +1,25 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace afcsim
+{
+
+std::string
+fmtCell(double value, int width, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, value);
+    return std::string(buf);
+}
+
+std::string
+fmtLabel(const std::string &text, int width)
+{
+    std::string out = text;
+    if (static_cast<int>(out.size()) < width)
+        out.append(width - out.size(), ' ');
+    return out;
+}
+
+} // namespace afcsim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Lightweight statistics primitives used across the simulator:
+ * scalar counters, running mean/stddev, histograms, and a latency
+ * accumulator with percentile queries.
+ */
+
+#ifndef AFCSIM_COMMON_STATS_HH
+#define AFCSIM_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace afcsim
+{
+
+/**
+ * Running sample statistics (Welford's algorithm): count, mean,
+ * variance, min, max — without storing the samples.
+ */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        double delta = x - mean_;
+        mean_ += delta / count_;
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / (count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return mean_ * count_; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        mean_ = 0.0;
+        m2_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    /** Merge another RunningStat into this one (parallel merge rule). */
+    void
+    merge(const RunningStat &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        double delta = other.mean_ - mean_;
+        std::uint64_t total = count_ + other.count_;
+        m2_ += other.m2_ +
+               delta * delta * (static_cast<double>(count_) * other.count_) /
+               total;
+        mean_ += delta * other.count_ / total;
+        count_ = total;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bucket histogram over [0, bucket_width * num_buckets), with
+ * an overflow bucket. Used for latency and hop-count distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 4.0,
+              std::size_t num_buckets = 2000)
+        : width_(bucket_width), buckets_(num_buckets + 1, 0)
+    {
+        AFCSIM_ASSERT(bucket_width > 0 && num_buckets > 0,
+                      "histogram shape must be positive");
+    }
+
+    void
+    add(double x)
+    {
+        stat_.add(x);
+        std::size_t idx = x < 0 ? 0
+            : static_cast<std::size_t>(x / width_);
+        if (idx >= buckets_.size() - 1)
+            idx = buckets_.size() - 1; // overflow bucket
+        ++buckets_[idx];
+    }
+
+    std::uint64_t count() const { return stat_.count(); }
+    double mean() const { return stat_.mean(); }
+    double max() const { return stat_.max(); }
+    const RunningStat &summary() const { return stat_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return width_; }
+
+    /**
+     * Approximate p-quantile (0..1) from bucket midpoints. The
+     * overflow bucket reports the observed max.
+     */
+    double
+    quantile(double p) const
+    {
+        if (stat_.count() == 0)
+            return 0.0;
+        AFCSIM_ASSERT(p >= 0.0 && p <= 1.0, "quantile p out of range");
+        std::uint64_t target = static_cast<std::uint64_t>(
+            std::ceil(p * stat_.count()));
+        target = std::max<std::uint64_t>(target, 1);
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            seen += buckets_[i];
+            if (seen >= target) {
+                if (i == buckets_.size() - 1)
+                    return stat_.max();
+                return (i + 0.5) * width_;
+            }
+        }
+        return stat_.max();
+    }
+
+    void
+    reset()
+    {
+        stat_.reset();
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+    }
+
+    /** Merge a histogram with identical shape. */
+    void
+    merge(const Histogram &other)
+    {
+        AFCSIM_ASSERT(other.width_ == width_ &&
+                      other.buckets_.size() == buckets_.size(),
+                      "histogram shape mismatch in merge");
+        for (std::size_t i = 0; i < buckets_.size(); ++i)
+            buckets_[i] += other.buckets_[i];
+        stat_.merge(other.stat_);
+    }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    RunningStat stat_;
+};
+
+/**
+ * End-to-end network statistics accumulated by a NIC / harness:
+ * packet and flit latency, hops, deflections, counts.
+ */
+struct NetStats
+{
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t flitsDelivered = 0;
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t packetsDelivered = 0;
+    RunningStat packetLatency;   ///< injection-queue entry to last flit
+    Histogram packetLatencyHist; ///< same signal, for percentiles
+    RunningStat flitLatency;     ///< network entry to delivery, per flit
+    RunningStat hops;            ///< per delivered flit
+    RunningStat deflections;     ///< per delivered flit
+    std::uint64_t totalDeflections = 0;
+
+    void
+    reset()
+    {
+        *this = NetStats{};
+    }
+
+    void
+    merge(const NetStats &o)
+    {
+        flitsInjected += o.flitsInjected;
+        flitsDelivered += o.flitsDelivered;
+        packetsInjected += o.packetsInjected;
+        packetsDelivered += o.packetsDelivered;
+        packetLatency.merge(o.packetLatency);
+        packetLatencyHist.merge(o.packetLatencyHist);
+        flitLatency.merge(o.flitLatency);
+        hops.merge(o.hops);
+        deflections.merge(o.deflections);
+        totalDeflections += o.totalDeflections;
+    }
+};
+
+/** Format helper: fixed-width right-aligned number cell for tables. */
+std::string fmtCell(double value, int width = 10, int precision = 3);
+
+/** Format helper: fixed-width left-aligned text cell. */
+std::string fmtLabel(const std::string &text, int width = 18);
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_STATS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every afcsim module.
+ */
+
+#ifndef AFCSIM_COMMON_TYPES_HH
+#define AFCSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace afcsim
+{
+
+/** Simulation time, measured in router clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a network node (router + NIC + core + L2 bank). */
+using NodeId = std::int32_t;
+
+/** Identifier of a packet, unique network-wide for a run. */
+using PacketId = std::uint64_t;
+
+/** Virtual-network index (0, 1 = control; 2 = data by convention). */
+using VnetId = std::int8_t;
+
+/** Virtual-channel index within a physical port. */
+using VcId = std::int16_t;
+
+/** Physical port index on a router. */
+using PortId = std::int8_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel for "no port". */
+inline constexpr PortId kInvalidPort = -1;
+
+/** Sentinel for "no virtual channel allocated yet" (lazy VCA). */
+inline constexpr VcId kInvalidVc = -1;
+
+/** Sentinel cycle value meaning "never". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_TYPES_HH

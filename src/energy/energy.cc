@@ -1,0 +1,144 @@
+#include "energy/energy.hh"
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+std::string
+componentName(EnergyComponent c)
+{
+    switch (c) {
+      case EnergyComponent::BufferWrite: return "buffer-write";
+      case EnergyComponent::BufferRead: return "buffer-read";
+      case EnergyComponent::BufferLeak: return "buffer-leak";
+      case EnergyComponent::LatchWrite: return "latch-write";
+      case EnergyComponent::Crossbar: return "crossbar";
+      case EnergyComponent::Arbiter: return "arbiter";
+      case EnergyComponent::Link: return "link";
+      case EnergyComponent::Credit: return "credit";
+      case EnergyComponent::RouterIdle: return "router-idle";
+      case EnergyComponent::NumComponents: break;
+    }
+    return "?";
+}
+
+double
+EnergyReport::total() const
+{
+    double t = 0.0;
+    for (double v : byComponent)
+        t += v;
+    return t;
+}
+
+double
+EnergyReport::bufferEnergy() const
+{
+    return component(EnergyComponent::BufferWrite) +
+           component(EnergyComponent::BufferRead) +
+           component(EnergyComponent::BufferLeak);
+}
+
+double
+EnergyReport::linkEnergy() const
+{
+    return component(EnergyComponent::Link);
+}
+
+double
+EnergyReport::restEnergy() const
+{
+    return total() - bufferEnergy() - linkEnergy();
+}
+
+void
+EnergyReport::merge(const EnergyReport &other)
+{
+    for (std::size_t i = 0; i < byComponent.size(); ++i)
+        byComponent[i] += other.byComponent[i];
+}
+
+EnergyReport
+EnergyReport::diff(const EnergyReport &baseline) const
+{
+    EnergyReport out = *this;
+    for (std::size_t i = 0; i < out.byComponent.size(); ++i)
+        out.byComponent[i] -= baseline.byComponent[i];
+    return out;
+}
+
+EnergyLedger::EnergyLedger(const EnergyConfig &cfg, int flit_width_bits,
+                           bool ideal_buffer_bypass,
+                           double buffer_access_factor)
+    : cfg_(cfg), width_(flit_width_bits),
+      idealBypass_(ideal_buffer_bypass),
+      accessFactor_(buffer_access_factor)
+{
+    AFCSIM_ASSERT(flit_width_bits > 0, "flit width must be positive");
+    AFCSIM_ASSERT(buffer_access_factor >= 1.0,
+                  "depth factor cannot be below the 1-flit cost");
+}
+
+void
+EnergyLedger::bufferWrite()
+{
+    if (!idealBypass_) {
+        add(EnergyComponent::BufferWrite,
+            cfg_.bufferWritePerBit * width_ * accessFactor_);
+    }
+}
+
+void
+EnergyLedger::bufferRead()
+{
+    if (!idealBypass_) {
+        add(EnergyComponent::BufferRead,
+            cfg_.bufferReadPerBit * width_ * accessFactor_);
+    }
+}
+
+void
+EnergyLedger::latchWrite()
+{
+    add(EnergyComponent::LatchWrite, cfg_.latchPerBit * width_);
+}
+
+void
+EnergyLedger::crossbar()
+{
+    add(EnergyComponent::Crossbar, cfg_.crossbarPerBit * width_);
+}
+
+void
+EnergyLedger::arbitrate()
+{
+    add(EnergyComponent::Arbiter, cfg_.arbiterPerAlloc);
+}
+
+void
+EnergyLedger::linkTraversal()
+{
+    add(EnergyComponent::Link,
+        cfg_.linkPerBitPerMm * cfg_.linkLengthMm * width_);
+}
+
+void
+EnergyLedger::creditSignal()
+{
+    add(EnergyComponent::Credit, cfg_.creditPerHop);
+}
+
+void
+EnergyLedger::leakCycle(std::int64_t powered_buffer_bits,
+                        std::int64_t gated_buffer_bits)
+{
+    double leak = cfg_.bufferLeakPerBitCycle *
+        (static_cast<double>(powered_buffer_bits) +
+         (1.0 - cfg_.powerGatingEfficiency) *
+         static_cast<double>(gated_buffer_bits));
+    add(EnergyComponent::BufferLeak, leak);
+    add(EnergyComponent::RouterIdle, cfg_.routerIdlePerCycle);
+}
+
+} // namespace afcsim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Orion-style analytical network energy accounting (Sec. IV "Energy
+ * Modeling"). Each router owns an EnergyLedger; microarchitectural
+ * events (buffer read/write, latch write, crossbar and link
+ * traversal, arbitration, credit signaling) deposit energy scaled by
+ * the mechanism's flit width (41/45/49 bits). Leakage accrues per
+ * cycle against the powered buffer capacity; AFC's backpressureless
+ * mode power-gates buffers at 90 % effectiveness.
+ *
+ * Receive-side (MSHR) reassembly buffers are excluded, as in the
+ * paper, because they are identical across mechanisms.
+ */
+
+#ifndef AFCSIM_ENERGY_ENERGY_HH
+#define AFCSIM_ENERGY_ENERGY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace afcsim
+{
+
+/** Energy components tracked separately (Fig. 3 breakdown + detail). */
+enum class EnergyComponent : int
+{
+    BufferWrite = 0,
+    BufferRead,
+    BufferLeak,
+    LatchWrite,
+    Crossbar,
+    Arbiter,
+    Link,
+    Credit,
+    RouterIdle,
+    NumComponents,
+};
+
+/** Name of an energy component for reports. */
+std::string componentName(EnergyComponent c);
+
+/**
+ * Aggregated energy totals in pJ, with the paper's three-way
+ * breakdown: buffer energy, link energy, rest-of-router energy.
+ */
+struct EnergyReport
+{
+    std::array<double, static_cast<int>(EnergyComponent::NumComponents)>
+        byComponent{};
+
+    double total() const;
+    /** Buffer energy: write + read + leakage (Fig. 3 category). */
+    double bufferEnergy() const;
+    /** Link energy (Fig. 3 category). */
+    double linkEnergy() const;
+    /** Rest of router: crossbar, arbiters, latches, credits, idle. */
+    double restEnergy() const;
+
+    void merge(const EnergyReport &other);
+
+    /** Component-wise difference (for measurement windows). */
+    EnergyReport diff(const EnergyReport &baseline) const;
+
+    double
+    component(EnergyComponent c) const
+    {
+        return byComponent[static_cast<int>(c)];
+    }
+};
+
+/**
+ * Per-router energy meter. All event costs are computed from an
+ * EnergyConfig and the flit width of the flow-control mechanism in
+ * use. `idealBufferBypass` zeroes dynamic buffer energy (the
+ * Backpressured-ideal-bypass lower bound of Sec. V-A).
+ */
+class EnergyLedger
+{
+  public:
+    /**
+     * @param buffer_access_factor depth-dependent multiplier on
+     *        buffer read/write energy (1.0 for 1-flit-deep VCs).
+     */
+    EnergyLedger(const EnergyConfig &cfg, int flit_width_bits,
+                 bool ideal_buffer_bypass = false,
+                 double buffer_access_factor = 1.0);
+
+    /** A flit written into an input buffer. */
+    void bufferWrite();
+    /** A flit read out of an input buffer. */
+    void bufferRead();
+    /** A flit latched in a backpressureless pipeline register. */
+    void latchWrite();
+    /** A flit traversing the crossbar switch. */
+    void crossbar();
+    /** One switch/VC arbitration decision. */
+    void arbitrate();
+    /** A flit traversing an inter-router link. */
+    void linkTraversal();
+    /** A credit (or 1-bit control) signal sent upstream. */
+    void creditSignal();
+
+    /**
+     * Per-cycle static accounting: `powered_buffer_bits` is the
+     * buffer capacity currently drawing full leakage; gated bits
+     * leak at (1 - powerGatingEfficiency) of the full rate.
+     */
+    void leakCycle(std::int64_t powered_buffer_bits,
+                   std::int64_t gated_buffer_bits);
+
+    const EnergyReport &report() const { return report_; }
+    int flitWidth() const { return width_; }
+
+    void reset() { report_ = EnergyReport{}; }
+
+  private:
+    void
+    add(EnergyComponent c, double pj)
+    {
+        report_.byComponent[static_cast<int>(c)] += pj;
+    }
+
+    const EnergyConfig cfg_;
+    int width_;
+    bool idealBypass_;
+    double accessFactor_;
+    EnergyReport report_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_ENERGY_ENERGY_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-latency pipelined channels. A Channel<T> models an L-cycle
+ * wire pipeline: a message sent at cycle t is deliverable at cycle
+ * t + L. Flit links, credit backflows, and the 1-bit control lines
+ * are all instances.
+ */
+
+#ifndef AFCSIM_NETWORK_CHANNEL_HH
+#define AFCSIM_NETWORK_CHANNEL_HH
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace afcsim
+{
+
+/**
+ * FIFO pipeline with a fixed delivery latency. Multiple messages may
+ * be in flight; messages sent in the same cycle arrive in send order.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(int latency = 1)
+        : latency_(latency)
+    {
+        AFCSIM_ASSERT(latency >= 1, "channel latency must be >= 1");
+    }
+
+    int latency() const { return latency_; }
+
+    /** Send a message at cycle `now`; it arrives at now + latency. */
+    void
+    send(const T &msg, Cycle now)
+    {
+        AFCSIM_ASSERT(inflight_.empty() ||
+                      inflight_.back().first <= now + latency_,
+                      "channel send out of time order");
+        inflight_.emplace_back(now + latency_, msg);
+    }
+
+    /**
+     * Pop every message whose arrival time is <= now, in order.
+     * Called once per cycle by the network kernel.
+     */
+    std::vector<T>
+    receive(Cycle now)
+    {
+        std::vector<T> out;
+        while (!inflight_.empty() && inflight_.front().first <= now) {
+            out.push_back(std::move(inflight_.front().second));
+            inflight_.pop_front();
+        }
+        return out;
+    }
+
+    /** Messages still in the pipe (used by drain checks and tests). */
+    std::size_t inflight() const { return inflight_.size(); }
+
+    bool empty() const { return inflight_.empty(); }
+
+  private:
+    int latency_;
+    std::deque<std::pair<Cycle, T>> inflight_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_NETWORK_CHANNEL_HH

@@ -1,0 +1,19 @@
+#include "network/flit.hh"
+
+#include <sstream>
+
+namespace afcsim
+{
+
+std::string
+Flit::describe() const
+{
+    std::ostringstream os;
+    os << "flit(pkt=" << packet << " seq=" << seq << "/" << packetLen
+       << " " << src << "->" << dest << " vnet=" << int(vnet)
+       << " vc=" << vc << " hops=" << hops
+       << " defl=" << deflections << ")";
+    return os.str();
+}
+
+} // namespace afcsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The flit: the unit of flow control. AFC flits are "wide": they
+ * carry destination, packet id and sequence number (so any router
+ * can route them independently and the receiver can reassemble),
+ * plus VC/vnet identifiers for backpressured operation (Sec. III-A).
+ * The width cost is charged by the energy model (41/45/49 bits);
+ * here the struct simply carries all fields for all mechanisms.
+ */
+
+#ifndef AFCSIM_NETWORK_FLIT_HH
+#define AFCSIM_NETWORK_FLIT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "topology/mesh.hh"
+
+namespace afcsim
+{
+
+/** Position of a flit within its packet. */
+enum class FlitType : std::uint8_t { Head, Body, Tail, Single };
+
+/** One flit in flight. */
+struct Flit
+{
+    PacketId packet = 0;       ///< network-unique packet id
+    std::uint16_t seq = 0;     ///< flit index within the packet
+    std::uint16_t packetLen = 1; ///< total flits in the packet
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    VnetId vnet = 0;           ///< virtual network (message class)
+    VcId vc = kInvalidVc;      ///< allocated VC (backpressured mode)
+    FlitType type = FlitType::Single;
+    Cycle createTime = 0;      ///< packet creation (source queue entry)
+    Cycle injectTime = 0;      ///< network entry (left the NIC queue)
+    std::uint16_t hops = 0;    ///< links traversed so far
+    std::uint16_t deflections = 0; ///< non-productive hops taken
+    /** Lookahead route: output port precomputed at the previous hop. */
+    Direction lookahead = kLocal;
+    /** Opaque user metadata (e.g. a memory-transaction id). */
+    std::uint64_t tag = 0;
+
+    bool isHead() const
+    {
+        return type == FlitType::Head || type == FlitType::Single;
+    }
+
+    bool isTail() const
+    {
+        return type == FlitType::Tail || type == FlitType::Single;
+    }
+
+    /** Compact description for traces and test failure messages. */
+    std::string describe() const;
+};
+
+/**
+ * Credit backflow message. The baseline backpressured router tracks
+ * credits per VC; AFC's lazy VCA tracks them per virtual network
+ * (Sec. III-E), in which case `vc` is kInvalidVc.
+ */
+struct Credit
+{
+    VnetId vnet = 0;
+    VcId vc = kInvalidVc;
+};
+
+/**
+ * One-bit-style control-line message between adjacent AFC routers
+ * (Sec. III-A): start/stop credit tracking when the sender switches
+ * to backpressured/backpressureless mode.
+ */
+struct CtlMsg
+{
+    enum class Kind : std::uint8_t { StartTracking, StopTracking };
+    Kind kind = Kind::StartTracking;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_NETWORK_FLIT_HH

@@ -1,0 +1,273 @@
+#include "network/network.hh"
+
+#include "common/rng.hh"
+#include "router/afc.hh"
+#include "router/backpressured.hh"
+#include "router/deflection.hh"
+#include "router/drop.hh"
+
+namespace afcsim
+{
+
+Network::Network(const NetworkConfig &cfg, FlowControl fc)
+    : cfg_(cfg), fc_(fc), mesh_(cfg.width, cfg.height)
+{
+    cfg_.validate();
+    int n = mesh_.numNodes();
+    int width_bits = FlitWidths::forFlowControl(fc);
+    bool ideal_bypass = fc == FlowControl::BackpressuredIdealBypass;
+    DeflectionPolicy policy = cfg_.oldestFirstDeflection
+        ? DeflectionPolicy::OldestFirst
+        : DeflectionPolicy::Random;
+
+    if (fc == FlowControl::AfcAlwaysBackpressured)
+        cfg_.afc.alwaysBackpressured = true;
+    if (fc == FlowControl::BackpressurelessDrop)
+        nackFabric_ = std::make_unique<NackFabric>(n);
+
+    Rng root(cfg_.seed, 0x5eed);
+
+    // Buffer-access energy scales with per-VC depth (Orion effect):
+    // the baseline's 8-flit VCs pay more per read/write than AFC's
+    // 1-flit lazy VCs.
+    auto depth_factor = [this](const std::vector<VnetConfig> &shape) {
+        double avg_depth =
+            static_cast<double>(NetworkConfig::totalBufferFlits(shape)) /
+            NetworkConfig::totalVcs(shape);
+        return 1.0 + cfg_.energy.bufferDepthEnergySlope * (avg_depth - 1.0);
+    };
+    double access_factor = 1.0;
+    switch (fc) {
+      case FlowControl::Backpressured:
+      case FlowControl::BackpressuredIdealBypass:
+        access_factor = depth_factor(cfg_.vnets);
+        break;
+      case FlowControl::Afc:
+      case FlowControl::AfcAlwaysBackpressured:
+        access_factor = depth_factor(cfg_.afcVnets);
+        break;
+      case FlowControl::Backpressureless:
+      case FlowControl::BackpressurelessDrop:
+        break;
+    }
+
+    routers_.reserve(n);
+    nics_.reserve(n);
+    ledgers_.reserve(n);
+    flitCh_.resize(n);
+    ejectCh_.resize(n);
+    creditCh_.resize(n);
+    ctlCh_.resize(n);
+
+    for (NodeId node = 0; node < n; ++node) {
+        nics_.push_back(
+            std::make_unique<Nic>(node, cfg_, &packetCounter_));
+        ledgers_.push_back(std::make_unique<EnergyLedger>(
+            cfg_.energy, width_bits, ideal_bypass, access_factor));
+
+        switch (fc) {
+          case FlowControl::Backpressured:
+          case FlowControl::BackpressuredIdealBypass:
+            routers_.push_back(std::make_unique<BackpressuredRouter>(
+                mesh_, node, cfg_));
+            break;
+          case FlowControl::Backpressureless:
+            routers_.push_back(std::make_unique<DeflectionRouter>(
+                mesh_, node, cfg_, root.fork(node), policy));
+            break;
+          case FlowControl::Afc:
+          case FlowControl::AfcAlwaysBackpressured:
+            routers_.push_back(std::make_unique<AfcRouter>(
+                mesh_, node, cfg_, root.fork(node), policy));
+            break;
+          case FlowControl::BackpressurelessDrop:
+            routers_.push_back(std::make_unique<DropRouter>(
+                mesh_, node, cfg_, root.fork(node),
+                nackFabric_.get()));
+            break;
+        }
+
+        Router &r = *routers_.back();
+        r.attachNic(nics_.back().get());
+        r.attachLedger(ledgers_.back().get());
+
+        ejectCh_[node] = std::make_unique<Channel<Flit>>(1);
+        r.connectFlitOut(kLocal, ejectCh_[node].get());
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (!mesh_.hasNeighbor(node, static_cast<Direction>(d)))
+                continue;
+            flitCh_[node][d] =
+                std::make_unique<Channel<Flit>>(cfg_.linkLatency);
+            creditCh_[node][d] =
+                std::make_unique<Channel<Credit>>(cfg_.linkLatency);
+            ctlCh_[node][d] =
+                std::make_unique<Channel<CtlMsg>>(cfg_.linkLatency);
+            r.connectFlitOut(static_cast<Direction>(d),
+                             flitCh_[node][d].get());
+            r.connectCreditOut(static_cast<Direction>(d),
+                               creditCh_[node][d].get());
+            r.connectCtlOut(static_cast<Direction>(d),
+                            ctlCh_[node][d].get());
+        }
+    }
+}
+
+Network::~Network() = default;
+
+void
+Network::deliver()
+{
+    int n = mesh_.numNodes();
+    for (NodeId node = 0; node < n; ++node) {
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            Direction dir = static_cast<Direction>(d);
+            NodeId nbr = mesh_.neighbor(node, dir);
+            if (nbr == kInvalidNode)
+                continue;
+            if (flitCh_[node][d]) {
+                for (auto &flit : flitCh_[node][d]->receive(now_))
+                    routers_[nbr]->acceptFlit(opposite(dir), flit, now_);
+            }
+            if (creditCh_[node][d]) {
+                // A credit sent from node's *input* port d goes to
+                // the upstream router's *output* port opposite(d).
+                for (auto &credit : creditCh_[node][d]->receive(now_))
+                    routers_[nbr]->acceptCredit(opposite(dir), credit,
+                                                now_);
+            }
+            if (ctlCh_[node][d]) {
+                for (auto &msg : ctlCh_[node][d]->receive(now_))
+                    routers_[nbr]->acceptCtl(opposite(dir), msg, now_);
+            }
+        }
+        for (auto &flit : ejectCh_[node]->receive(now_))
+            nics_[node]->eject(flit, now_);
+    }
+}
+
+void
+Network::step()
+{
+    deliver();
+    for (auto &r : routers_)
+        r->evaluate(now_);
+    for (auto &r : routers_)
+        r->advance(now_);
+    ++now_;
+}
+
+void
+Network::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        step();
+}
+
+bool
+Network::drain(Cycle max_cycles)
+{
+    for (Cycle i = 0; i < max_cycles; ++i) {
+        if (quiescent())
+            return true;
+        step();
+    }
+    return quiescent();
+}
+
+bool
+Network::quiescent() const
+{
+    for (const auto &nic : nics_) {
+        if (!nic->quiescent())
+            return false;
+    }
+    return flitsInFlight() == 0;
+}
+
+std::uint64_t
+Network::flitsInFlight() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : routers_)
+        n += r->occupancy();
+    for (NodeId node = 0; node < mesh_.numNodes(); ++node) {
+        n += ejectCh_[node]->inflight();
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (flitCh_[node][d])
+                n += flitCh_[node][d]->inflight();
+        }
+    }
+    if (nackFabric_)
+        n += nackFabric_->inflight();
+    return n;
+}
+
+NetStats
+Network::aggregateStats() const
+{
+    NetStats total;
+    for (const auto &nic : nics_)
+        total.merge(nic->stats());
+    return total;
+}
+
+EnergyReport
+Network::aggregateEnergy() const
+{
+    EnergyReport total;
+    for (const auto &l : ledgers_)
+        total.merge(l->report());
+    return total;
+}
+
+RouterStats
+Network::aggregateRouterStats() const
+{
+    RouterStats total;
+    for (const auto &r : routers_) {
+        const RouterStats &s = r->stats();
+        total.flitsRouted += s.flitsRouted;
+        total.flitsDeflected += s.flitsDeflected;
+        total.cyclesBackpressured += s.cyclesBackpressured;
+        total.cyclesBackpressureless += s.cyclesBackpressureless;
+        total.forwardSwitches += s.forwardSwitches;
+        total.reverseSwitches += s.reverseSwitches;
+        total.gossipSwitches += s.gossipSwitches;
+    }
+    return total;
+}
+
+double
+Network::linkUtilization(NodeId n, Direction d) const
+{
+    if (now_ == 0)
+        return 0.0;
+    return static_cast<double>(routers_.at(n)->portDispatches(d)) /
+        static_cast<double>(now_);
+}
+
+double
+Network::nodeUtilization(NodeId n) const
+{
+    double total = 0.0;
+    for (int d = 0; d < kNumNetPorts; ++d)
+        total += linkUtilization(n, static_cast<Direction>(d));
+    return total;
+}
+
+void
+Network::setTracer(FlitTracer *tracer)
+{
+    for (auto &r : routers_)
+        r->attachTracer(tracer);
+    for (auto &nic : nics_)
+        nic->attachTracer(tracer);
+}
+
+double
+Network::backpressuredFraction() const
+{
+    return aggregateRouterStats().backpressuredFraction();
+}
+
+} // namespace afcsim

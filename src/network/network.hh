@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The network: routers, NICs, links, credit backflows and control
+ * lines for a full mesh, plus the two-phase cycle kernel.
+ *
+ * Per cycle: (1) all channel arrivals whose latency elapsed are
+ * delivered into routers/NICs; (2) every router evaluates (switch
+ * allocation / deflection assignment / injection pulls / sends);
+ * (3) every router advances (EWMA, mode switches, leakage). Traffic
+ * sources (open-loop injectors, the closed-loop multicore) enqueue
+ * packets into NICs between cycles.
+ */
+
+#ifndef AFCSIM_NETWORK_NETWORK_HH
+#define AFCSIM_NETWORK_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "energy/energy.hh"
+#include "network/channel.hh"
+#include "network/nic.hh"
+#include "router/drop.hh"
+#include "router/router.hh"
+#include "topology/mesh.hh"
+
+namespace afcsim
+{
+
+/** A complete mesh network under one flow-control mechanism. */
+class Network
+{
+  public:
+    Network(const NetworkConfig &cfg, FlowControl fc);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Simulate one cycle. */
+    void step();
+
+    /** Simulate n cycles. */
+    void run(Cycle n);
+
+    /**
+     * Step until every queue, buffer and channel is empty, or until
+     * `max_cycles` more cycles elapse. Returns true if drained.
+     */
+    bool drain(Cycle max_cycles);
+
+    Cycle now() const { return now_; }
+    const Mesh &mesh() const { return mesh_; }
+    const NetworkConfig &config() const { return cfg_; }
+    FlowControl flowControl() const { return fc_; }
+
+    Nic &nic(NodeId n) { return *nics_.at(n); }
+    const Nic &nic(NodeId n) const { return *nics_.at(n); }
+    Router &router(NodeId n) { return *routers_.at(n); }
+    const Router &router(NodeId n) const { return *routers_.at(n); }
+
+    /** True when no flit exists anywhere in the system. */
+    bool quiescent() const;
+
+    /** Sum of all NICs' end-to-end statistics. */
+    NetStats aggregateStats() const;
+
+    /** Sum of all routers' energy ledgers. */
+    EnergyReport aggregateEnergy() const;
+
+    /** Sum of all routers' activity statistics. */
+    RouterStats aggregateRouterStats() const;
+
+    /** Fraction of router-cycles spent in backpressured mode. */
+    double backpressuredFraction() const;
+
+    /**
+     * Outgoing-link utilization at a node (flits/cycle on port d
+     * since construction); kLocal gives ejection utilization.
+     */
+    double linkUtilization(NodeId n, Direction d) const;
+
+    /** Total network-port utilization of a node (flits/cycle). */
+    double nodeUtilization(NodeId n) const;
+
+    /** Flits currently inside routers or on links. */
+    std::uint64_t flitsInFlight() const;
+
+    /**
+     * Attach an event tracer to every router and NIC (nullptr
+     * detaches). The tracer must outlive the network.
+     */
+    void setTracer(FlitTracer *tracer);
+
+  private:
+    void deliver();
+
+    NetworkConfig cfg_;
+    FlowControl fc_;
+    Mesh mesh_;
+    Cycle now_ = 0;
+    PacketId packetCounter_ = 0;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    /** Dedicated NACK network (drop-based flow control only). */
+    std::unique_ptr<NackFabric> nackFabric_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<std::unique_ptr<EnergyLedger>> ledgers_;
+
+    /** flitCh_[n][d]: link from node n out of port d. */
+    std::vector<std::array<std::unique_ptr<Channel<Flit>>, kNumNetPorts>>
+        flitCh_;
+    /** ejectCh_[n]: router-to-NIC ejection pipe (1 cycle). */
+    std::vector<std::unique_ptr<Channel<Flit>>> ejectCh_;
+    /** creditCh_[n][d]: credits from node n's input port d upstream. */
+    std::vector<std::array<std::unique_ptr<Channel<Credit>>, kNumNetPorts>>
+        creditCh_;
+    /** ctlCh_[n][d]: control line from node n to its neighbor on d. */
+    std::vector<std::array<std::unique_ptr<Channel<CtlMsg>>, kNumNetPorts>>
+        ctlCh_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_NETWORK_NETWORK_HH

@@ -1,0 +1,147 @@
+#include "network/nic.hh"
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+Nic::Nic(NodeId node, const NetworkConfig &cfg, PacketId *packet_counter)
+    : node_(node), numVnets_(cfg.numVnets()), packetCounter_(packet_counter),
+      queues_(cfg.numVnets())
+{
+    AFCSIM_ASSERT(packet_counter != nullptr, "NIC needs a packet counter");
+}
+
+PacketId
+Nic::sendPacket(NodeId dest, VnetId vnet, int length, Cycle now,
+                std::uint64_t tag)
+{
+    AFCSIM_ASSERT(vnet >= 0 && vnet < numVnets_, "bad vnet ", int(vnet));
+    AFCSIM_ASSERT(length >= 1, "packet length must be >= 1");
+    AFCSIM_ASSERT(dest != node_, "self-addressed packet at node ", node_);
+
+    PacketId id = (*packetCounter_)++;
+    for (int i = 0; i < length; ++i) {
+        Flit f;
+        f.packet = id;
+        f.seq = static_cast<std::uint16_t>(i);
+        f.packetLen = static_cast<std::uint16_t>(length);
+        f.src = node_;
+        f.dest = dest;
+        f.vnet = vnet;
+        f.createTime = now;
+        if (length == 1) {
+            f.type = FlitType::Single;
+        } else if (i == 0) {
+            f.type = FlitType::Head;
+        } else if (i == length - 1) {
+            f.type = FlitType::Tail;
+        } else {
+            f.type = FlitType::Body;
+        }
+        f.tag = tag;
+        queues_[vnet].push_back(f);
+    }
+    ++stats_.packetsInjected;
+    stats_.flitsInjected += length;
+    return id;
+}
+
+void
+Nic::setDeliveryHandler(DeliveryHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+bool
+Nic::hasInjectable(VnetId vnet) const
+{
+    return !queues_[vnet].empty();
+}
+
+const Flit &
+Nic::peekInjection(VnetId vnet) const
+{
+    AFCSIM_ASSERT(hasInjectable(vnet), "peek on empty vnet queue");
+    return queues_[vnet].front();
+}
+
+Flit
+Nic::popInjection(VnetId vnet, Cycle now)
+{
+    AFCSIM_ASSERT(hasInjectable(vnet), "pop on empty vnet queue");
+    Flit f = queues_[vnet].front();
+    queues_[vnet].pop_front();
+    f.injectTime = now;
+    if (tracer_)
+        tracer_->onInject(node_, f, now);
+    return f;
+}
+
+std::size_t
+Nic::queuedFlits() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.size();
+    return n;
+}
+
+std::size_t
+Nic::queuedFlits(VnetId vnet) const
+{
+    return queues_.at(vnet).size();
+}
+
+void
+Nic::eject(const Flit &flit, Cycle now)
+{
+    AFCSIM_ASSERT(flit.dest == node_,
+                  "misdelivered ", flit.describe(), " at node ", node_);
+
+    if (tracer_)
+        tracer_->onDeliver(node_, flit, now);
+
+    ++stats_.flitsDelivered;
+    stats_.flitLatency.add(static_cast<double>(now - flit.injectTime));
+    stats_.hops.add(flit.hops);
+    stats_.deflections.add(flit.deflections);
+    stats_.totalDeflections += flit.deflections;
+
+    auto [it, inserted] = reassembly_.try_emplace(flit.packet);
+    Reassembly &r = it->second;
+    if (inserted) {
+        r.seen.assign(flit.packetLen, false);
+        r.createTime = flit.createTime;
+        r.src = flit.src;
+        r.tag = flit.tag;
+        maxReassemblies_ = std::max(maxReassemblies_, reassembly_.size());
+    }
+    AFCSIM_ASSERT(flit.seq < r.seen.size(), "flit seq out of range");
+    AFCSIM_ASSERT(!r.seen[flit.seq],
+                  "duplicate flit delivery: ", flit.describe());
+    r.seen[flit.seq] = true;
+    ++r.received;
+
+    if (r.received == static_cast<int>(r.seen.size())) {
+        ++stats_.packetsDelivered;
+        stats_.packetLatency.add(static_cast<double>(now - r.createTime));
+        stats_.packetLatencyHist.add(
+            static_cast<double>(now - r.createTime));
+        if (handler_) {
+            PacketInfo info;
+            info.packet = flit.packet;
+            info.src = r.src;
+            info.dest = node_;
+            info.vnet = flit.vnet;
+            info.length = static_cast<int>(r.seen.size());
+            info.tag = r.tag;
+            info.createTime = r.createTime;
+            info.deliverTime = now;
+            handler_(info);
+        }
+        reassembly_.erase(it);
+    }
+}
+
+} // namespace afcsim

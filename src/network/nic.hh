@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Network interface controller: per-vnet source (injection) queues,
+ * receive-side reassembly (modeling MSHR-backed buffering, Sec. II),
+ * and end-to-end statistics. Routers pull flits from the NIC when
+ * their injection rules allow (backpressure exists only at the
+ * injection port for backpressureless routers — footnote 3).
+ */
+
+#ifndef AFCSIM_NETWORK_NIC_HH
+#define AFCSIM_NETWORK_NIC_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "network/flit.hh"
+#include "network/trace.hh"
+
+namespace afcsim
+{
+
+/** Summary of a fully reassembled packet, passed to delivery hooks. */
+struct PacketInfo
+{
+    PacketId packet;
+    NodeId src;
+    NodeId dest;
+    VnetId vnet;
+    int length;
+    std::uint64_t tag;
+    Cycle createTime;
+    Cycle deliverTime;
+};
+
+/**
+ * One NIC per node. Packets are enqueued whole (flit-ified
+ * immediately); routers pull flits one per cycle as flow control
+ * permits; arriving flits are reassembled by (packet id, seq) and a
+ * completion callback fires when the last flit lands.
+ */
+class Nic
+{
+  public:
+    using DeliveryHandler = std::function<void(const PacketInfo &)>;
+
+    Nic(NodeId node, const NetworkConfig &cfg, PacketId *packet_counter);
+
+    NodeId node() const { return node_; }
+
+    /**
+     * Create a packet of `length` flits to `dest` on `vnet` at cycle
+     * `now`; returns its packet id. `tag` is opaque user metadata
+     * delivered with the completion callback.
+     */
+    PacketId sendPacket(NodeId dest, VnetId vnet, int length, Cycle now,
+                        std::uint64_t tag = 0);
+
+    /** Register the reassembled-packet callback (closed-loop hook). */
+    void setDeliveryHandler(DeliveryHandler handler);
+
+    /** Attach an event tracer (nullptr disables tracing). */
+    void attachTracer(FlitTracer *tracer) { tracer_ = tracer; }
+
+    /// @name Injection-side interface used by routers.
+    /// @{
+    bool hasInjectable(VnetId vnet) const;
+    const Flit &peekInjection(VnetId vnet) const;
+    /** Dequeue the head flit of `vnet`, stamping its network entry. */
+    Flit popInjection(VnetId vnet, Cycle now);
+    /** Total flits waiting across all vnets (source-queue occupancy). */
+    std::size_t queuedFlits() const;
+    std::size_t queuedFlits(VnetId vnet) const;
+    /// @}
+
+    /** Deliver a flit that exited the network at this node. */
+    void eject(const Flit &flit, Cycle now);
+
+    const NetStats &stats() const { return stats_; }
+    NetStats &stats() { return stats_; }
+
+    /** Packets currently awaiting missing flits. */
+    std::size_t pendingReassemblies() const { return reassembly_.size(); }
+
+    /** High-water mark of concurrent reassembly entries (MSHR use). */
+    std::size_t maxReassemblies() const { return maxReassemblies_; }
+
+    /** True when no flits are queued and no packet is half-received. */
+    bool
+    quiescent() const
+    {
+        return queuedFlits() == 0 && reassembly_.empty();
+    }
+
+  private:
+    struct Reassembly
+    {
+        std::vector<bool> seen;
+        int received = 0;
+        Cycle createTime = 0;
+        NodeId src = kInvalidNode;
+        std::uint64_t tag = 0;
+    };
+
+    NodeId node_;
+    int numVnets_;
+    PacketId *packetCounter_;
+    std::vector<std::deque<Flit>> queues_;
+    std::unordered_map<PacketId, Reassembly> reassembly_;
+    std::size_t maxReassemblies_ = 0;
+    DeliveryHandler handler_;
+    FlitTracer *tracer_ = nullptr;
+    NetStats stats_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_NETWORK_NIC_HH

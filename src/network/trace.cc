@@ -1,0 +1,62 @@
+#include "network/trace.hh"
+
+namespace afcsim
+{
+
+CsvTracer::CsvTracer(std::ostream &out)
+    : out_(out)
+{
+    out_ << "cycle,event,node,port,packet,seq,src,dest,vnet,hops,"
+            "deflections\n";
+}
+
+void
+CsvTracer::row(const char *event, NodeId node, int port,
+               const Flit &flit, Cycle now)
+{
+    ++events_;
+    out_ << now << ',' << event << ',' << node << ','
+         << (port >= 0 ? dirName(port) : "-") << ',' << flit.packet
+         << ',' << flit.seq << ',' << flit.src << ',' << flit.dest
+         << ',' << int(flit.vnet) << ',' << flit.hops << ','
+         << flit.deflections << '\n';
+}
+
+void
+CsvTracer::onInject(NodeId node, const Flit &flit, Cycle now)
+{
+    row("inject", node, -1, flit, now);
+}
+
+void
+CsvTracer::onDispatch(NodeId node, Direction out, const Flit &flit,
+                      Cycle now, bool productive)
+{
+    row(productive ? "dispatch" : "deflect", node, out, flit, now);
+}
+
+void
+CsvTracer::onDeliver(NodeId node, const Flit &flit, Cycle now)
+{
+    row("deliver", node, -1, flit, now);
+}
+
+void
+CsvTracer::onDrop(NodeId node, const Flit &flit, Cycle now)
+{
+    row("drop", node, -1, flit, now);
+}
+
+void
+CsvTracer::onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
+                        Cycle now)
+{
+    ++events_;
+    out_ << now << ','
+         << (to_backpressured
+                 ? (gossip ? "switch-bp-gossip" : "switch-bp")
+                 : "switch-bpl")
+         << ',' << node << ",-,,,,,,,\n";
+}
+
+} // namespace afcsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Event tracing: an observer interface receiving per-flit lifecycle
+ * events (injection, per-hop dispatch, delivery, drops) and router
+ * mode switches, plus a CSV backend for offline analysis. Attach a
+ * tracer with Network::setTracer(); tracing is zero-cost when no
+ * tracer is attached.
+ */
+
+#ifndef AFCSIM_NETWORK_TRACE_HH
+#define AFCSIM_NETWORK_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+#include "network/flit.hh"
+#include "topology/mesh.hh"
+
+namespace afcsim
+{
+
+/** Observer for network events. Default implementations ignore. */
+class FlitTracer
+{
+  public:
+    virtual ~FlitTracer() = default;
+
+    /** A flit left a NIC source queue and entered the network. */
+    virtual void onInject(NodeId node, const Flit &flit, Cycle now)
+    {
+        (void)node; (void)flit; (void)now;
+    }
+
+    /** A router dispatched a flit on an output port. */
+    virtual void
+    onDispatch(NodeId node, Direction out, const Flit &flit, Cycle now,
+               bool productive)
+    {
+        (void)node; (void)out; (void)flit; (void)now; (void)productive;
+    }
+
+    /** A flit reached its destination NIC. */
+    virtual void onDeliver(NodeId node, const Flit &flit, Cycle now)
+    {
+        (void)node; (void)flit; (void)now;
+    }
+
+    /** A drop-variant router discarded a flit (NACK follows). */
+    virtual void onDrop(NodeId node, const Flit &flit, Cycle now)
+    {
+        (void)node; (void)flit; (void)now;
+    }
+
+    /** An AFC router changed mode. */
+    virtual void
+    onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
+                 Cycle now)
+    {
+        (void)node; (void)to_backpressured; (void)gossip; (void)now;
+    }
+};
+
+/**
+ * CSV backend: one line per event,
+ * `cycle,event,node,port,packet,seq,src,dest,vnet,hops,deflections`.
+ */
+class CsvTracer : public FlitTracer
+{
+  public:
+    explicit CsvTracer(std::ostream &out);
+
+    void onInject(NodeId node, const Flit &flit, Cycle now) override;
+    void onDispatch(NodeId node, Direction out, const Flit &flit,
+                    Cycle now, bool productive) override;
+    void onDeliver(NodeId node, const Flit &flit, Cycle now) override;
+    void onDrop(NodeId node, const Flit &flit, Cycle now) override;
+    void onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
+                      Cycle now) override;
+
+    std::uint64_t events() const { return events_; }
+
+  private:
+    void row(const char *event, NodeId node, int port,
+             const Flit &flit, Cycle now);
+
+    std::ostream &out_;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_NETWORK_TRACE_HH

@@ -1,0 +1,446 @@
+#include "router/afc.hh"
+
+namespace afcsim
+{
+
+AfcRouter::AfcRouter(const Mesh &mesh, NodeId node,
+                     const NetworkConfig &cfg, Rng rng,
+                     DeflectionPolicy policy)
+    : Router(mesh, node, cfg), shape_(cfg.afcVnets), rng_(rng),
+      policy_(policy), alwaysBp_(cfg.afc.alwaysBackpressured),
+      intensity_(cfg.afc.ewmaWeight), ejectPerCycle_(cfg.ejectPerCycle)
+{
+    switch (mesh.positionOf(node)) {
+      case RouterPosition::Corner:
+        high_ = cfg.afc.cornerHigh;
+        low_ = cfg.afc.cornerLow;
+        break;
+      case RouterPosition::Edge:
+        high_ = cfg.afc.edgeHigh;
+        low_ = cfg.afc.edgeLow;
+        break;
+      case RouterPosition::Center:
+        high_ = cfg.afc.centerHigh;
+        low_ = cfg.afc.centerLow;
+        break;
+    }
+    gossipX_ = cfg.afc.gossipReserve > 0 ? cfg.afc.gossipReserve
+                                         : 2 * cfg.linkLatency;
+    AFCSIM_ASSERT(gossipX_ >= 2 * cfg.linkLatency,
+                  "gossip reserve X must be >= 2L (Sec. III-D)");
+    for (int v = 0; v < shape_.numVnets(); ++v) {
+        AFCSIM_ASSERT(shape_.count(v) > gossipX_,
+                      "vnet ", v, " needs more than X=", gossipX_,
+                      " slots for the gossip reserve to function");
+        AFCSIM_ASSERT(shape_.depth(v) == 1,
+                      "lazy VCA uses 1-flit VCs (Sec. III-E)");
+    }
+
+    buffers_.assign(kNumPorts, {});
+    for (int p = 0; p < kNumPorts; ++p) {
+        buffers_[p].resize(shape_.numVnets());
+        for (int v = 0; v < shape_.numVnets(); ++v)
+            buffers_[p][v].resize(shape_.count(v));
+    }
+    freeSlots_.assign(kNumNetPorts, std::vector<int>(shape_.numVnets()));
+    for (int d = 0; d < kNumNetPorts; ++d) {
+        for (int v = 0; v < shape_.numVnets(); ++v)
+            freeSlots_[d][v] = shape_.count(v);
+    }
+    inputRr_.assign(kNumPorts, 0);
+    outputRr_.assign(kNumPorts, 0);
+
+    int ports_with_buffers = mesh.numNetPortsAt(node) + 1;
+    fullBufferBits_ = static_cast<std::int64_t>(ports_with_buffers) *
+        shape_.totalBufferFlits() * FlitWidths::kAfc;
+
+    if (alwaysBp_) {
+        // Pinned to backpressured mode from cycle 0; every neighbor
+        // is also pinned, so credit tracking is on from the start.
+        mode_ = RouterMode::Backpressured;
+        bufferFromCycle_ = 0;
+        tracking_.fill(true);
+    } else {
+        mode_ = RouterMode::Backpressureless;
+        tracking_.fill(false);
+    }
+}
+
+void
+AfcRouter::acceptFlit(Direction in_port, const Flit &flit, Cycle now)
+{
+    AFCSIM_ASSERT(in_port >= 0 && in_port < kNumNetPorts,
+                  "network flit on non-network port");
+    if (now >= bufferFromCycle_) {
+        // Backpressured operation: lazy VC allocation — the flit is
+        // dropped into any free slot of its virtual network, which
+        // *is* the VC allocation (Sec. III-E).
+        auto &group = buffers_[in_port][flit.vnet];
+        for (std::size_t s = 0; s < group.size(); ++s) {
+            if (!group[s].full) {
+                group[s].full = true;
+                group[s].flit = flit;
+                group[s].ready = now + 1;
+                group[s].route = flit.lookahead;
+                if (ledger_)
+                    ledger_->bufferWrite();
+                return;
+            }
+        }
+        AFCSIM_PANIC("lazy-VCA buffer overflow at node ", node_,
+                     " port ", dirName(in_port), " ", flit.describe(),
+                     " — credit/gossip protocol violated");
+    } else {
+        AFCSIM_ASSERT(static_cast<int>(incoming_.size()) < kNumNetPorts,
+                      "more arrivals than links at node ", node_);
+        incoming_.push_back(flit);
+        if (ledger_)
+            ledger_->latchWrite();
+    }
+}
+
+void
+AfcRouter::acceptCredit(Direction out_port, const Credit &credit, Cycle)
+{
+    int &c = freeSlots_[out_port][credit.vnet];
+    ++c;
+    AFCSIM_ASSERT(c <= shape_.count(credit.vnet),
+                  "per-vnet credit overflow at node ", node_);
+}
+
+void
+AfcRouter::acceptCtl(Direction out_port, const CtlMsg &msg, Cycle)
+{
+    if (msg.kind == CtlMsg::Kind::StartTracking) {
+        // Neighbor switched to backpressured mode; its buffers are
+        // empty at this point, so reset the credit view to full.
+        tracking_[out_port] = true;
+        for (int v = 0; v < shape_.numVnets(); ++v)
+            freeSlots_[out_port][v] = shape_.count(v);
+    } else {
+        // Neighbor resumed backpressureless mode: credits are
+        // meaningless; treat its buffers as empty (Sec. III-C).
+        tracking_[out_port] = false;
+        for (int v = 0; v < shape_.numVnets(); ++v)
+            freeSlots_[out_port][v] = shape_.count(v);
+    }
+}
+
+void
+AfcRouter::consumeDownstreamSlot(Direction d, VnetId vnet)
+{
+    if (d == kLocal || !tracking_[d])
+        return;
+    int &c = freeSlots_[d][vnet];
+    --c;
+    AFCSIM_ASSERT(c >= 0, "downstream slot underflow at node ", node_,
+                  " port ", dirName(d),
+                  " — gossip reserve X too small");
+}
+
+void
+AfcRouter::bplDispatch(Cycle now, std::array<bool, kNumPorts> &port_used)
+{
+    bool may_inject = mode_ == RouterMode::Backpressureless;
+    if (current_.empty() && (!may_inject || nic_ == nullptr ||
+                             nic_->queuedFlits() == 0)) {
+        return;
+    }
+
+    DeflectionEngine engine(mesh_, node_, policy_, ejectPerCycle_);
+
+    NodeId inject_dest = kInvalidNode;
+    VnetId inject_vnet = -1;
+    if (may_inject && nic_ != nullptr) {
+        Cycle best = kNeverCycle;
+        for (VnetId v = 0; v < cfg_.numVnets(); ++v) {
+            if (nic_->hasInjectable(v) &&
+                nic_->peekInjection(v).createTime < best) {
+                best = nic_->peekInjection(v).createTime;
+                inject_dest = nic_->peekInjection(v).dest;
+                inject_vnet = v;
+            }
+        }
+    }
+
+    Direction free_port = kNoDirection;
+    auto assignments = engine.assign(std::move(current_), rng_,
+                                     inject_dest, &free_port);
+    current_.clear();
+
+    for (auto &a : assignments) {
+        if (ledger_)
+            ledger_->arbitrate();
+        consumeDownstreamSlot(a.port, a.flit.vnet);
+        port_used[a.port] = true;
+        ++routedThisCycle_;
+        sendFlit(a.port, a.flit, now, a.productive);
+    }
+
+    if (free_port != kNoDirection && inject_vnet >= 0) {
+        Flit f = nic_->popInjection(inject_vnet, now);
+        bool productive =
+            productivePorts(mesh_, node_, f.dest).contains(free_port);
+        if (ledger_)
+            ledger_->arbitrate();
+        consumeDownstreamSlot(free_port, f.vnet);
+        port_used[free_port] = true;
+        ++routedThisCycle_;
+        sendFlit(free_port, f, now, productive);
+    }
+}
+
+AfcRouter::Candidate
+AfcRouter::pickCandidate(Direction p, Cycle now)
+{
+    Candidate cand;
+    // Flatten (vnet, slot) indices for round-robin scanning.
+    int total = 0;
+    for (int v = 0; v < shape_.numVnets(); ++v)
+        total += shape_.count(v);
+    int &rr = inputRr_[p];
+    for (int i = 0; i < total; ++i) {
+        int idx = (rr + i) % total;
+        // Locate (vnet, slot) for flat index idx.
+        int v = 0;
+        int rem = idx;
+        while (rem >= shape_.count(v)) {
+            rem -= shape_.count(v);
+            ++v;
+        }
+        Slot &slot = buffers_[p][v][rem];
+        if (!slot.full || slot.ready > now)
+            continue;
+        Direction route = slot.route;
+        if (route != kLocal && tracking_[route] &&
+            freeSlots_[route][v] <= 0) {
+            continue; // backpressure: downstream vnet full
+        }
+        cand.vnet = v;
+        cand.slot = rem;
+        cand.route = route;
+        rr = (idx + 1) % total;
+        return cand;
+    }
+    return cand;
+}
+
+void
+AfcRouter::bpAllocate(Cycle now, std::array<bool, kNumPorts> &port_used)
+{
+    std::array<Candidate, kNumPorts> cands;
+    for (int p = 0; p < kNumPorts; ++p)
+        cands[p] = pickCandidate(static_cast<Direction>(p), now);
+
+    for (int out = 0; out < kNumPorts; ++out) {
+        if (port_used[out])
+            continue; // a deflection-window dispatch already used it
+        int winner = -1;
+        int &rr = outputRr_[out];
+        for (int i = 0; i < kNumPorts; ++i) {
+            int p = (rr + i) % kNumPorts;
+            if (cands[p].slot >= 0 && cands[p].route == out) {
+                winner = p;
+                break;
+            }
+        }
+        if (winner < 0)
+            continue;
+        rr = (winner + 1) % kNumPorts;
+
+        Candidate &cand = cands[winner];
+        Slot &slot = buffers_[winner][cand.vnet][cand.slot];
+        Flit flit = slot.flit;
+        slot.full = false;
+
+        if (ledger_) {
+            ledger_->bufferRead();
+            ledger_->arbitrate();
+            ledger_->arbitrate();
+        }
+        // Per-vnet credit back to the upstream router (lazy VCA:
+        // no VC id — any free slot is equivalent).
+        if (winner != kLocal) {
+            sendCredit(static_cast<Direction>(winner),
+                       Credit{flit.vnet, kInvalidVc}, now);
+        }
+        consumeDownstreamSlot(cand.route, flit.vnet);
+        flit.vc = kInvalidVc;
+        ++routedThisCycle_;
+        sendFlit(cand.route, flit, now, true);
+        port_used[out] = true;
+        cands[winner].slot = -1;
+    }
+}
+
+void
+AfcRouter::bpInjection(Cycle now)
+{
+    if (nic_ == nullptr)
+        return;
+    int vnets = shape_.numVnets();
+    for (int i = 0; i < vnets; ++i) {
+        VnetId vnet = static_cast<VnetId>((injectVnetRr_ + i) % vnets);
+        if (!nic_->hasInjectable(vnet))
+            continue;
+        auto &group = buffers_[kLocal][vnet];
+        for (auto &slot : group) {
+            if (slot.full)
+                continue;
+            Flit f = nic_->popInjection(vnet, now);
+            slot.full = true;
+            slot.flit = f;
+            slot.ready = now + 1;
+            slot.route = dorRoute(mesh_, node_, f.dest);
+            if (ledger_)
+                ledger_->bufferWrite();
+            injectVnetRr_ = (vnet + 1) % vnets;
+            return; // one flit per cycle across the local port
+        }
+    }
+}
+
+void
+AfcRouter::evaluate(Cycle now)
+{
+    std::array<bool, kNumPorts> port_used{};
+    // Deflection-window dispatch first: any latched flits must leave
+    // this cycle, whatever the mode.
+    bplDispatch(now, port_used);
+    if (now >= bufferFromCycle_) {
+        bpAllocate(now, port_used);
+        bpInjection(now);
+    }
+}
+
+bool
+AfcRouter::buffersEmpty() const
+{
+    if (!current_.empty() || !incoming_.empty())
+        return false;
+    for (const auto &port : buffers_) {
+        for (const auto &group : port) {
+            for (const auto &slot : group) {
+                if (slot.full)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+AfcRouter::beginForwardSwitch(Cycle now, bool gossip)
+{
+    pendingForward_ = true;
+    pendingGossip_ = gossip;
+    bufferFromCycle_ = now + 2 * static_cast<Cycle>(cfg_.linkLatency);
+    // Neighbors see this L cycles later and start counting credits
+    // exactly when flits sent from then on will be buffered here.
+    broadcastCtl(CtlMsg{CtlMsg::Kind::StartTracking}, now);
+    ++stats_.forwardSwitches;
+    if (gossip)
+        ++stats_.gossipSwitches;
+    if (tracer_)
+        tracer_->onModeSwitch(node_, true, gossip, now);
+}
+
+void
+AfcRouter::advance(Cycle now)
+{
+    AFCSIM_ASSERT(current_.empty(),
+                  "deflection latches not drained at node ", node_);
+    current_.swap(incoming_);
+
+    double m = intensity_.recordCycle(routedThisCycle_);
+    routedThisCycle_ = 0;
+
+    if (mode_ == RouterMode::Backpressureless)
+        ++stats_.cyclesBackpressureless;
+    else
+        ++stats_.cyclesBackpressured;
+
+    // Mode state machine (Fig. 1).
+    if (pendingForward_) {
+        if (now + 1 >= bufferFromCycle_) {
+            mode_ = RouterMode::Backpressured;
+            pendingForward_ = false;
+            pendingGossip_ = false;
+        }
+    } else if (!alwaysBp_ && mode_ == RouterMode::Backpressureless) {
+        bool gossip = false;
+        if (!cfg_.afc.disableGossipUnsafe) {
+            for (int d = 0; d < kNumNetPorts && !gossip; ++d) {
+                if (!tracking_[d] || ctlOut_[d] == nullptr)
+                    continue;
+                for (int v = 0; v < shape_.numVnets(); ++v) {
+                    if (freeSlots_[d][v] <= gossipX_) {
+                        gossip = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (gossip || m > high_)
+            beginForwardSwitch(now, gossip && m <= high_);
+    } else if (!alwaysBp_ && mode_ == RouterMode::Backpressured &&
+               m < low_ && buffersEmpty()) {
+        // Engineering guard (documented in DESIGN.md): do not resume
+        // deflection while a tracked neighbor is near-full — gossip
+        // would immediately force us back, causing mode flap.
+        bool neighbor_pressure = false;
+        for (int d = 0; d < kNumNetPorts && !neighbor_pressure; ++d) {
+            if (!tracking_[d] || ctlOut_[d] == nullptr)
+                continue;
+            for (int v = 0; v < shape_.numVnets(); ++v) {
+                if (freeSlots_[d][v] <= gossipX_) {
+                    neighbor_pressure = true;
+                    break;
+                }
+            }
+        }
+        if (!neighbor_pressure) {
+            mode_ = RouterMode::Backpressureless;
+            bufferFromCycle_ = kNeverCycle;
+            broadcastCtl(CtlMsg{CtlMsg::Kind::StopTracking}, now);
+            ++stats_.reverseSwitches;
+            if (tracer_)
+                tracer_->onModeSwitch(node_, false, false, now);
+        }
+    }
+
+    if (ledger_) {
+        bool powered = pendingForward_ || bufferFromCycle_ != kNeverCycle;
+        ledger_->leakCycle(powered ? fullBufferBits_ : 0,
+                           powered ? 0 : fullBufferBits_);
+    }
+}
+
+std::size_t
+AfcRouter::occupancy() const
+{
+    return current_.size() + incoming_.size() + bufferedFlits();
+}
+
+std::size_t
+AfcRouter::bufferedFlits() const
+{
+    std::size_t n = 0;
+    for (const auto &port : buffers_) {
+        for (const auto &group : port) {
+            for (const auto &slot : group) {
+                if (slot.full)
+                    ++n;
+            }
+        }
+    }
+    return n;
+}
+
+int
+AfcRouter::downstreamFreeSlots(Direction d, VnetId v) const
+{
+    return freeSlots_.at(d).at(v);
+}
+
+} // namespace afcsim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Adaptive Flow Control router (Sec. III) — the paper's primary
+ * contribution. Each AFC router independently switches between
+ * backpressureless (deflection) and backpressured (buffered,
+ * credit-based) operation:
+ *
+ *  - Forward switch (BPL -> BP, Sec. III-B): triggered when the
+ *    EWMA-smoothed local traffic intensity exceeds a per-position
+ *    (corner/edge/center) high threshold. The switch spans 2L
+ *    cycles: neighbors are notified to start credit tracking (they
+ *    see it L cycles later); flits received before cycle T + 2L are
+ *    still handled by the deflection pipeline; flits received at or
+ *    after T + 2L go to the input buffers.
+ *  - Reverse switch (BP -> BPL, Sec. III-C): when intensity falls
+ *    below the low threshold (hysteresis) and all buffers are
+ *    empty, the router resumes deflection the next cycle and tells
+ *    neighbors to stop credit tracking.
+ *  - Gossip-induced switch (Sec. III-D): a BPL-mode router whose
+ *    credits show a backpressured neighbor's free buffers falling
+ *    to X (>= 2L) force-switches forward even without local
+ *    contention, guaranteeing the neighbor's buffers never
+ *    overflow.
+ *  - Lazy VC allocation (Sec. III-E): the backpressured mode views
+ *    the K-flit input buffer as K 1-flit VCs; an arriving flit is
+ *    dropped into any free slot of its virtual network (allocation
+ *    happens at the downstream router), credits are tracked per
+ *    virtual network, and the VCA pipeline stage disappears. This
+ *    is what lets AFC run 32 buffer flits/port against the
+ *    baseline's 64.
+ */
+
+#ifndef AFCSIM_ROUTER_AFC_HH
+#define AFCSIM_ROUTER_AFC_HH
+
+#include <vector>
+
+#include "common/ewma.hh"
+#include "common/rng.hh"
+#include "router/deflection.hh"
+#include "router/router.hh"
+#include "router/vcshape.hh"
+
+namespace afcsim
+{
+
+/** The adaptive flow control router. */
+class AfcRouter : public Router
+{
+  public:
+    AfcRouter(const Mesh &mesh, NodeId node, const NetworkConfig &cfg,
+              Rng rng,
+              DeflectionPolicy policy = DeflectionPolicy::Random);
+
+    void acceptFlit(Direction in_port, const Flit &flit,
+                    Cycle now) override;
+    void acceptCredit(Direction out_port, const Credit &credit,
+                      Cycle now) override;
+    void acceptCtl(Direction out_port, const CtlMsg &msg,
+                   Cycle now) override;
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    std::size_t occupancy() const override;
+    RouterMode mode() const override { return mode_; }
+
+    /// @name Test/diagnostic accessors.
+    /// @{
+    double trafficIntensity() const { return intensity_.value(); }
+    double highThreshold() const { return high_; }
+    double lowThreshold() const { return low_; }
+    int gossipReserve() const { return gossipX_; }
+    bool switchPending() const { return pendingForward_; }
+    Cycle bufferFromCycle() const { return bufferFromCycle_; }
+    bool trackingDownstream(Direction d) const { return tracking_.at(d); }
+    int downstreamFreeSlots(Direction d, VnetId v) const;
+    std::size_t bufferedFlits() const;
+    /// @}
+
+  private:
+    /** One 1-flit lazy VC slot. */
+    struct Slot
+    {
+        bool full = false;
+        Flit flit;
+        Cycle ready = 0;
+        Direction route = kLocal;
+    };
+
+    struct Candidate
+    {
+        int vnet = -1;
+        int slot = -1;
+        Direction route = kLocal;
+    };
+
+    bool buffersEmpty() const;
+    void beginForwardSwitch(Cycle now, bool gossip);
+    void bplDispatch(Cycle now, std::array<bool, kNumPorts> &port_used);
+    void bpAllocate(Cycle now, std::array<bool, kNumPorts> &port_used);
+    void bpInjection(Cycle now);
+    Candidate pickCandidate(Direction p, Cycle now);
+    /** Note a send toward a tracked downstream port. */
+    void consumeDownstreamSlot(Direction d, VnetId vnet);
+
+    VcShape shape_;
+    Rng rng_;
+    DeflectionPolicy policy_;
+    bool alwaysBp_;
+    double high_ = 0.0;
+    double low_ = 0.0;
+    int gossipX_ = 0;
+    TrafficIntensity intensity_;
+
+    RouterMode mode_;
+    bool pendingForward_ = false;
+    bool pendingGossip_ = false;
+    /** First cycle whose arrivals go to the input buffers. */
+    Cycle bufferFromCycle_ = kNeverCycle;
+
+    /// Backpressureless pipeline latches.
+    std::vector<Flit> current_;
+    std::vector<Flit> incoming_;
+    int ejectPerCycle_;
+
+    /// Backpressured-mode lazy-VCA buffers: [port][vnet][slot].
+    std::vector<std::vector<std::vector<Slot>>> buffers_;
+
+    /// Downstream credit view: [netPort] tracking + [vnet] free slots.
+    std::array<bool, kNumNetPorts> tracking_{};
+    std::vector<std::vector<int>> freeSlots_;
+
+    std::vector<int> inputRr_;
+    std::vector<int> outputRr_;
+    int injectVnetRr_ = 0;
+
+    unsigned routedThisCycle_ = 0;
+    std::int64_t fullBufferBits_ = 0;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_ROUTER_AFC_HH

@@ -1,0 +1,289 @@
+#include "router/backpressured.hh"
+
+namespace afcsim
+{
+
+BackpressuredRouter::BackpressuredRouter(const Mesh &mesh, NodeId node,
+                                         const NetworkConfig &cfg)
+    : Router(mesh, node, cfg), shape_(cfg.vnets)
+{
+    inputs_.assign(kNumPorts, std::vector<InVc>(shape_.totalVcs()));
+    outVcBusy_.assign(kNumNetPorts,
+                      std::vector<bool>(shape_.totalVcs(), false));
+    credits_.assign(kNumNetPorts, std::vector<int>(shape_.totalVcs(), 0));
+    for (int p = 0; p < kNumNetPorts; ++p) {
+        for (VcId vc = 0; vc < shape_.totalVcs(); ++vc)
+            credits_[p][vc] = shape_.depth(shape_.vnetOf(vc));
+    }
+    inputRr_.assign(kNumPorts, 0);
+    outputRr_.assign(kNumPorts, 0);
+    vcaRr_.assign(kNumNetPorts, std::vector<int>(shape_.numVnets(), 0));
+    injectVc_.assign(shape_.numVnets(), kInvalidVc);
+
+    // Buffers exist at the local port and every connected net port.
+    int ports_with_buffers = mesh.numNetPortsAt(node) + 1;
+    poweredBufferBits_ = static_cast<std::int64_t>(ports_with_buffers) *
+        shape_.totalBufferFlits() * FlitWidths::kBackpressured;
+}
+
+void
+BackpressuredRouter::acceptFlit(Direction in_port, const Flit &flit,
+                                Cycle now)
+{
+    AFCSIM_ASSERT(in_port >= 0 && in_port < kNumNetPorts,
+                  "network flit on non-network port");
+    AFCSIM_ASSERT(flit.vc >= 0 && flit.vc < shape_.totalVcs(),
+                  "arriving flit without a VC: ", flit.describe());
+    InVc &vc = inputs_[in_port][flit.vc];
+    AFCSIM_ASSERT(static_cast<int>(vc.q.size()) <
+                  shape_.depth(flit.vnet),
+                  "buffer overflow at node ", node_, " port ",
+                  dirName(in_port), " ", flit.describe());
+    // Packets must be contiguous within a VC (upstream rule R1).
+    if (flit.isHead()) {
+        AFCSIM_ASSERT(!vc.writeOpen, "head interleaved into open VC");
+    } else {
+        AFCSIM_ASSERT(vc.writeOpen, "body flit into idle VC");
+    }
+    vc.writeOpen = !flit.isTail();
+    vc.q.push_back({flit, now + 1});
+    if (ledger_)
+        ledger_->bufferWrite();
+}
+
+void
+BackpressuredRouter::acceptCredit(Direction out_port, const Credit &credit,
+                                  Cycle)
+{
+    AFCSIM_ASSERT(out_port >= 0 && out_port < kNumNetPorts, "bad port");
+    AFCSIM_ASSERT(credit.vc >= 0 && credit.vc < shape_.totalVcs(),
+                  "credit without VC");
+    int &c = credits_[out_port][credit.vc];
+    ++c;
+    AFCSIM_ASSERT(c <= shape_.depth(shape_.vnetOf(credit.vc)),
+                  "credit overflow at node ", node_);
+}
+
+VcId
+BackpressuredRouter::findFreeOutVc(Direction port, VnetId vnet)
+{
+    if (port == kLocal)
+        return kInvalidVc; // ejection needs no VC
+    int base = shape_.base(vnet);
+    int count = shape_.count(vnet);
+    int &rr = vcaRr_[port][vnet];
+    for (int i = 0; i < count; ++i) {
+        int idx = base + (rr + i) % count;
+        if (!outVcBusy_[port][idx] && credits_[port][idx] > 0) {
+            rr = (idx - base + 1) % count;
+            return static_cast<VcId>(idx);
+        }
+    }
+    return kInvalidVc;
+}
+
+void
+BackpressuredRouter::pullInjection(Cycle now)
+{
+    if (nic_ == nullptr)
+        return;
+    int vnets = shape_.numVnets();
+    for (int i = 0; i < vnets; ++i) {
+        VnetId vnet = static_cast<VnetId>((injectVnetRr_ + i) % vnets);
+        if (!nic_->hasInjectable(vnet))
+            continue;
+        const Flit &head = nic_->peekInjection(vnet);
+        VcId target = kInvalidVc;
+        if (head.isHead()) {
+            // Start a new packet: find a local in-VC that is not in
+            // the middle of receiving another packet and has room.
+            int base = shape_.base(vnet);
+            for (int c = 0; c < shape_.count(vnet); ++c) {
+                InVc &vc = inputs_[kLocal][base + c];
+                if (!vc.writeOpen &&
+                    static_cast<int>(vc.q.size()) < shape_.depth(vnet)) {
+                    target = static_cast<VcId>(base + c);
+                    break;
+                }
+            }
+            if (target == kInvalidVc)
+                continue; // no room in this vnet; try next
+        } else {
+            target = injectVc_[vnet];
+            AFCSIM_ASSERT(target != kInvalidVc,
+                          "body flit with no open injection VC");
+            InVc &vc = inputs_[kLocal][target];
+            if (static_cast<int>(vc.q.size()) >= shape_.depth(vnet))
+                continue; // VC full; wait for drain
+        }
+        Flit f = nic_->popInjection(vnet, now);
+        f.lookahead = dorRoute(mesh_, node_, f.dest);
+        InVc &vc = inputs_[kLocal][target];
+        vc.writeOpen = !f.isTail();
+        f.vc = target; // record which local VC holds it
+        vc.q.push_back({f, now + 1});
+        injectVc_[vnet] = f.isTail() ? kInvalidVc : target;
+        if (ledger_)
+            ledger_->bufferWrite();
+        injectVnetRr_ = (vnet + 1) % vnets;
+        return; // one flit per cycle across the local port
+    }
+}
+
+BackpressuredRouter::Candidate
+BackpressuredRouter::pickCandidate(Direction p, Cycle now)
+{
+    Candidate cand;
+    int total = shape_.totalVcs();
+    int &rr = inputRr_[p];
+    for (int i = 0; i < total; ++i) {
+        int idx = (rr + i) % total;
+        InVc &vc = inputs_[p][idx];
+        if (vc.q.empty() || vc.q.front().ready > now)
+            continue;
+        const Flit &head = vc.q.front().flit;
+        Direction route = head.lookahead;
+        if (route == kLocal) {
+            cand.inVc = idx;
+            cand.route = route;
+            return cand;
+        }
+        if (vc.bound) {
+            if (credits_[route][vc.outVc] > 0) {
+                cand.inVc = idx;
+                cand.route = route;
+                return cand;
+            }
+            continue;
+        }
+        AFCSIM_ASSERT(head.isHead(), "unbound VC with non-head at front");
+        VcId out_vc = findFreeOutVc(route, head.vnet);
+        if (out_vc != kInvalidVc) {
+            cand.inVc = idx;
+            cand.route = route;
+            cand.needsVca = true;
+            cand.newOutVc = out_vc;
+            return cand;
+        }
+    }
+    return cand;
+}
+
+void
+BackpressuredRouter::dispatch(Direction p, const Candidate &cand, Cycle now)
+{
+    InVc &vc = inputs_[p][cand.inVc];
+    Flit flit = vc.q.front().flit;
+    vc.q.pop_front();
+
+    if (ledger_) {
+        ledger_->bufferRead();
+        ledger_->arbitrate(); // input stage
+        ledger_->arbitrate(); // output stage
+    }
+
+    if (cand.route != kLocal) {
+        if (cand.needsVca) {
+            vc.bound = true;
+            vc.outVc = cand.newOutVc;
+            outVcBusy_[cand.route][cand.newOutVc] = true;
+            if (ledger_)
+                ledger_->arbitrate(); // VC allocation decision
+        }
+        AFCSIM_ASSERT(vc.bound, "dispatching net flit without VCA");
+        --credits_[cand.route][vc.outVc];
+        AFCSIM_ASSERT(credits_[cand.route][vc.outVc] >= 0,
+                      "negative credits");
+        flit.vc = vc.outVc;
+        if (flit.isTail()) {
+            outVcBusy_[cand.route][vc.outVc] = false;
+            vc.bound = false;
+            vc.outVc = kInvalidVc;
+        }
+    } else if (flit.isTail() || flit.isHead()) {
+        // Ejecting: clear any stale binding bookkeeping.
+        if (flit.isTail() && vc.bound) {
+            vc.bound = false;
+            vc.outVc = kInvalidVc;
+        }
+    }
+
+    // Return the freed slot upstream (not needed for the local port:
+    // the NIC source queue is not credit-managed).
+    if (p != kLocal)
+        sendCredit(p, Credit{flit.vnet, static_cast<VcId>(cand.inVc)}, now);
+
+    sendFlit(cand.route, flit, now, true);
+    inputRr_[p] = (cand.inVc + 1) % shape_.totalVcs();
+}
+
+void
+BackpressuredRouter::evaluate(Cycle now)
+{
+    pullInjection(now);
+
+    // Separable switch allocation: input-first candidates, then
+    // round-robin output arbitration.
+    std::array<Candidate, kNumPorts> cands;
+    for (int p = 0; p < kNumPorts; ++p)
+        cands[p] = pickCandidate(static_cast<Direction>(p), now);
+
+    for (int out = 0; out < kNumPorts; ++out) {
+        int winner = -1;
+        int &rr = outputRr_[out];
+        for (int i = 0; i < kNumPorts; ++i) {
+            int p = (rr + i) % kNumPorts;
+            if (cands[p].inVc >= 0 && cands[p].route == out) {
+                winner = p;
+                break;
+            }
+        }
+        if (winner >= 0) {
+            dispatch(static_cast<Direction>(winner), cands[winner], now);
+            cands[winner].inVc = -1;
+            rr = (winner + 1) % kNumPorts;
+        }
+    }
+}
+
+void
+BackpressuredRouter::advance(Cycle)
+{
+    ++stats_.cyclesBackpressured;
+    if (ledger_)
+        ledger_->leakCycle(poweredBufferBits_, 0);
+}
+
+std::size_t
+BackpressuredRouter::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &port : inputs_) {
+        for (const auto &vc : port)
+            n += vc.q.size();
+    }
+    return n;
+}
+
+int
+BackpressuredRouter::creditsFor(Direction out_port, VcId vc) const
+{
+    return credits_.at(out_port).at(vc);
+}
+
+bool
+BackpressuredRouter::outVcBusy(Direction out_port, VcId vc) const
+{
+    return outVcBusy_.at(out_port).at(vc);
+}
+
+std::size_t
+BackpressuredRouter::bufferedAt(Direction in_port) const
+{
+    std::size_t n = 0;
+    for (const auto &vc : inputs_.at(in_port))
+        n += vc.q.size();
+    return n;
+}
+
+} // namespace afcsim

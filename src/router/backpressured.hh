@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Canonical backpressured virtual-channel router (Table I, row 1).
+ *
+ * Two-stage pipeline: stage 1 performs switch allocation (PV -> P)
+ * with lookahead routing in parallel and the paper's charitable
+ * 0-cycle VC allocation (a head flit may allocate its output VC and
+ * win the switch in the same cycle); stage 2 is switch traversal
+ * plus link traversal. Flow control is credit-based at per-VC
+ * granularity; VC allocation is packet-granular (rules R1/R2 of
+ * Sec. III-E): an output VC is bound to one packet from head until
+ * tail.
+ */
+
+#ifndef AFCSIM_ROUTER_BACKPRESSURED_HH
+#define AFCSIM_ROUTER_BACKPRESSURED_HH
+
+#include <deque>
+#include <vector>
+
+#include "router/router.hh"
+#include "router/vcshape.hh"
+
+namespace afcsim
+{
+
+/** Credit-based input-buffered VC router. */
+class BackpressuredRouter : public Router
+{
+  public:
+    BackpressuredRouter(const Mesh &mesh, NodeId node,
+                        const NetworkConfig &cfg);
+
+    void acceptFlit(Direction in_port, const Flit &flit,
+                    Cycle now) override;
+    void acceptCredit(Direction out_port, const Credit &credit,
+                      Cycle now) override;
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    std::size_t occupancy() const override;
+    RouterMode mode() const override { return RouterMode::Backpressured; }
+
+    /// @name Test/diagnostic accessors.
+    /// @{
+    int creditsFor(Direction out_port, VcId vc) const;
+    bool outVcBusy(Direction out_port, VcId vc) const;
+    std::size_t bufferedAt(Direction in_port) const;
+    /// @}
+
+  private:
+    struct BufferedFlit
+    {
+        Flit flit;
+        Cycle ready;
+    };
+
+    /** One input virtual channel: FIFO buffer + head-packet state. */
+    struct InVc
+    {
+        std::deque<BufferedFlit> q;
+        VcId outVc = kInvalidVc;  ///< output VC bound to head packet
+        bool bound = false;
+        bool writeOpen = false;   ///< a partial packet occupies the tail
+    };
+
+    /** Per-input-port switch-allocation candidate for this cycle. */
+    struct Candidate
+    {
+        int inVc = -1;
+        Direction route = kLocal;
+        bool needsVca = false;
+        VcId newOutVc = kInvalidVc;
+    };
+
+    void pullInjection(Cycle now);
+    Candidate pickCandidate(Direction p, Cycle now);
+    /** Find a free output VC with credits for (port, vnet); or -1. */
+    VcId findFreeOutVc(Direction port, VnetId vnet);
+    void dispatch(Direction p, const Candidate &cand, Cycle now);
+
+    VcShape shape_;
+    /** inputs_[port][globalVc]. Local port included. */
+    std::vector<std::vector<InVc>> inputs_;
+    /** outVcBusy_[netPort][globalVc]: bound to an in-flight packet. */
+    std::vector<std::vector<bool>> outVcBusy_;
+    /** credits_[netPort][globalVc]: free downstream buffer slots. */
+    std::vector<std::vector<int>> credits_;
+
+    std::vector<int> inputRr_;          ///< per input port VC pointer
+    std::vector<int> outputRr_;         ///< per output port input pointer
+    std::vector<std::vector<int>> vcaRr_; ///< per (port, vnet) VC pointer
+    int injectVnetRr_ = 0;
+    /** Local in-VC a partially injected packet is appending to. */
+    std::vector<VcId> injectVc_;
+
+    std::int64_t poweredBufferBits_ = 0;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_ROUTER_BACKPRESSURED_HH

@@ -1,0 +1,191 @@
+#include "router/deflection.hh"
+
+#include <algorithm>
+
+namespace afcsim
+{
+
+DeflectionEngine::DeflectionEngine(const Mesh &mesh, NodeId node,
+                                   DeflectionPolicy policy,
+                                   int eject_per_cycle)
+    : mesh_(mesh), node_(node), policy_(policy),
+      ejectPerCycle_(eject_per_cycle)
+{
+}
+
+std::vector<DeflectionEngine::Assignment>
+DeflectionEngine::assign(std::vector<Flit> flits, Rng &rng,
+                         NodeId inject_dest,
+                         Direction *free_port_out) const
+{
+    std::vector<Assignment> out;
+    out.reserve(flits.size());
+
+    // Priority order: random shuffle (Chaos-style) or oldest-first.
+    if (policy_ == DeflectionPolicy::OldestFirst) {
+        std::stable_sort(flits.begin(), flits.end(),
+            [](const Flit &a, const Flit &b) {
+                if (a.createTime != b.createTime)
+                    return a.createTime < b.createTime;
+                if (a.packet != b.packet)
+                    return a.packet < b.packet;
+                return a.seq < b.seq;
+            });
+    } else {
+        for (std::size_t i = flits.size(); i > 1; --i)
+            std::swap(flits[i - 1], flits[rng.below(
+                static_cast<std::uint32_t>(i))]);
+    }
+
+    bool port_free[kNumNetPorts];
+    for (int d = 0; d < kNumNetPorts; ++d)
+        port_free[d] = mesh_.hasNeighbor(node_,
+                                         static_cast<Direction>(d));
+    int ejects_left = ejectPerCycle_;
+
+    // Strict priority-order assignment (BLESS-style): each flit in
+    // turn takes a productive port if one is free, otherwise
+    // deflects onto any free port — possibly stealing a port that
+    // would have been productive for a lower-priority flit. This
+    // cascade is what drives deflection routing's early saturation.
+    for (Flit &f : flits) {
+        if (f.dest == node_ && ejects_left > 0) {
+            --ejects_left;
+            out.push_back({f, kLocal, true});
+            continue;
+        }
+        PortSet prod = productivePorts(mesh_, node_, f.dest);
+        bool placed = false;
+        for (int i = 0; i < prod.count && !placed; ++i) {
+            Direction d = prod.ports[i];
+            if (port_free[d]) {
+                port_free[d] = false;
+                out.push_back({f, d, true});
+                placed = true;
+            }
+        }
+        for (int d = 0; d < kNumNetPorts && !placed; ++d) {
+            if (port_free[d]) {
+                port_free[d] = false;
+                out.push_back({f, static_cast<Direction>(d), false});
+                placed = true;
+            }
+        }
+        AFCSIM_ASSERT(placed,
+                      "deflection router out of ports at node ", node_,
+                      " for ", f.describe());
+    }
+
+    // Injection opportunity: any port still free? Prefer a
+    // productive one for the head of the injection queue.
+    if (free_port_out != nullptr) {
+        *free_port_out = kNoDirection;
+        if (inject_dest != kInvalidNode) {
+            PortSet prod = productivePorts(mesh_, node_, inject_dest);
+            for (int i = 0; i < prod.count; ++i) {
+                if (port_free[prod.ports[i]]) {
+                    *free_port_out = prod.ports[i];
+                    break;
+                }
+            }
+        }
+        if (*free_port_out == kNoDirection) {
+            for (int d = 0; d < kNumNetPorts; ++d) {
+                if (port_free[d]) {
+                    *free_port_out = static_cast<Direction>(d);
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+DeflectionRouter::DeflectionRouter(const Mesh &mesh, NodeId node,
+                                   const NetworkConfig &cfg, Rng rng,
+                                   DeflectionPolicy policy)
+    : Router(mesh, node, cfg), rng_(rng), policy_(policy),
+      ejectPerCycle_(cfg.ejectPerCycle)
+{
+    AFCSIM_ASSERT(cfg.ejectPerCycle >= 1,
+                  "deflection needs ejection bandwidth >= 1");
+}
+
+void
+DeflectionRouter::acceptFlit(Direction in_port, const Flit &flit, Cycle)
+{
+    AFCSIM_ASSERT(in_port >= 0 && in_port < kNumNetPorts,
+                  "network flit on non-network port");
+    AFCSIM_ASSERT(static_cast<int>(incoming_.size()) < kNumNetPorts,
+                  "more arrivals than links at node ", node_);
+    incoming_.push_back(flit);
+    if (ledger_)
+        ledger_->latchWrite();
+}
+
+void
+DeflectionRouter::evaluate(Cycle now)
+{
+    if (current_.empty() &&
+        (nic_ == nullptr || nic_->queuedFlits() == 0)) {
+        return;
+    }
+
+    DeflectionEngine engine(mesh_, node_, policy_, ejectPerCycle_);
+
+    // Pick the injection candidate (round-robin across vnets is not
+    // needed: deflection ignores vnets; take the globally oldest
+    // head-of-queue flit).
+    NodeId inject_dest = kInvalidNode;
+    VnetId inject_vnet = -1;
+    if (nic_ != nullptr) {
+        Cycle best = kNeverCycle;
+        for (VnetId v = 0; v < cfg_.numVnets(); ++v) {
+            if (nic_->hasInjectable(v) &&
+                nic_->peekInjection(v).createTime < best) {
+                best = nic_->peekInjection(v).createTime;
+                inject_dest = nic_->peekInjection(v).dest;
+                inject_vnet = v;
+            }
+        }
+    }
+
+    Direction free_port = kNoDirection;
+    auto assignments = engine.assign(std::move(current_), rng_,
+                                     inject_dest, &free_port);
+    current_.clear();
+
+    for (auto &a : assignments) {
+        if (ledger_)
+            ledger_->arbitrate();
+        sendFlit(a.port, a.flit, now, a.productive);
+    }
+
+    // Inject at most one flit if a slot remains (footnote 3).
+    if (free_port != kNoDirection && inject_vnet >= 0) {
+        Flit f = nic_->popInjection(inject_vnet, now);
+        bool productive =
+            productivePorts(mesh_, node_, f.dest).contains(free_port);
+        if (ledger_)
+            ledger_->arbitrate();
+        sendFlit(free_port, f, now, productive);
+    }
+}
+
+void
+DeflectionRouter::advance(Cycle)
+{
+    current_.insert(current_.end(), incoming_.begin(), incoming_.end());
+    incoming_.clear();
+    ++stats_.cyclesBackpressureless;
+    if (ledger_)
+        ledger_->leakCycle(0, 0); // no buffers at all
+}
+
+std::size_t
+DeflectionRouter::occupancy() const
+{
+    return current_.size() + incoming_.size();
+}
+
+} // namespace afcsim

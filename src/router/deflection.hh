@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Backpressureless deflection (hot-potato) router (Table I, row 2).
+ *
+ * Single decision stage: every flit latched from the links is
+ * dispatched to *some* output port in the next cycle — a productive
+ * port when one is free, otherwise a deflection. Priorities are
+ * randomized (Chaos-style), giving probabilistic livelock freedom
+ * without age-priority hardware (Sec. II); an oldest-first policy is
+ * available for ablation. There is no backpressure on network ports;
+ * injection is admitted only when an output slot remains after all
+ * network flits are placed (footnote 3). One flit may eject per
+ * cycle; at-destination flits that lose ejection are deflected.
+ */
+
+#ifndef AFCSIM_ROUTER_DEFLECTION_HH
+#define AFCSIM_ROUTER_DEFLECTION_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "router/router.hh"
+
+namespace afcsim
+{
+
+/** Priority policy for deflection arbitration. */
+enum class DeflectionPolicy { Random, OldestFirst };
+
+/** Bufferless deflection router. */
+class DeflectionRouter : public Router
+{
+  public:
+    DeflectionRouter(const Mesh &mesh, NodeId node,
+                     const NetworkConfig &cfg, Rng rng,
+                     DeflectionPolicy policy = DeflectionPolicy::Random);
+
+    void acceptFlit(Direction in_port, const Flit &flit,
+                    Cycle now) override;
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    std::size_t occupancy() const override;
+    RouterMode
+    mode() const override
+    {
+        return RouterMode::Backpressureless;
+    }
+
+  private:
+    Rng rng_;
+    DeflectionPolicy policy_;
+    /** Flits latched last cycle; all must dispatch this cycle. */
+    std::vector<Flit> current_;
+    /** Flits arriving this cycle; become current_ at advance(). */
+    std::vector<Flit> incoming_;
+    int ejectPerCycle_;
+};
+
+/**
+ * Deflection port-assignment engine shared by DeflectionRouter and
+ * the AFC router's backpressureless mode. Given the flits that must
+ * leave a node this cycle, produces (flit, port, productive) tuples
+ * plus at most `eject_per_cycle` ejections, and decides whether one
+ * more flit could be injected (returns the free port).
+ */
+class DeflectionEngine
+{
+  public:
+    struct Assignment
+    {
+        Flit flit;
+        Direction port;   ///< kLocal means eject
+        bool productive;
+    };
+
+    DeflectionEngine(const Mesh &mesh, NodeId node,
+                     DeflectionPolicy policy, int eject_per_cycle);
+
+    /**
+     * Assign every flit in `flits` to an output. Returns the
+     * assignments; `free_port_out` receives a still-free network
+     * port (preferring a productive one for `inject_dest`, if that
+     * is a valid node), or kInvalidPort when the node is saturated.
+     */
+    std::vector<Assignment> assign(std::vector<Flit> flits, Rng &rng,
+                                   NodeId inject_dest,
+                                   Direction *free_port_out) const;
+
+  private:
+    const Mesh &mesh_;
+    NodeId node_;
+    DeflectionPolicy policy_;
+    int ejectPerCycle_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_ROUTER_DEFLECTION_HH

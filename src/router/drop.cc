@@ -1,0 +1,203 @@
+#include "router/drop.hh"
+
+#include <algorithm>
+
+namespace afcsim
+{
+
+DropRouter::DropRouter(const Mesh &mesh, NodeId node,
+                       const NetworkConfig &cfg, Rng rng,
+                       NackFabric *fabric)
+    : Router(mesh, node, cfg), rng_(rng), fabric_(fabric),
+      ejectPerCycle_(cfg.ejectPerCycle),
+      retransmitCapacity_(cfg.dropRetransmitBuffer)
+{
+    AFCSIM_ASSERT(fabric != nullptr, "drop router needs a NACK fabric");
+    // Flits route minimally, so flight time is bounded; the NACK
+    // fabric adds at most one cycle per hop. Past this window the
+    // absence of a NACK is an implicit ACK.
+    Cycle max_hops = static_cast<Cycle>(mesh.width() + mesh.height());
+    nackDelayBound_ =
+        max_hops * (cfg.linkLatency + 1) + max_hops + 8;
+}
+
+void
+DropRouter::acceptFlit(Direction in_port, const Flit &flit, Cycle)
+{
+    AFCSIM_ASSERT(in_port >= 0 && in_port < kNumNetPorts,
+                  "network flit on non-network port");
+    AFCSIM_ASSERT(static_cast<int>(incoming_.size()) < kNumNetPorts,
+                  "more arrivals than links at node ", node_);
+    incoming_.push_back(flit);
+    if (ledger_)
+        ledger_->latchWrite();
+}
+
+void
+DropRouter::dropFlit(const Flit &flit, Cycle now)
+{
+    ++dropped_;
+    if (tracer_)
+        tracer_->onDrop(node_, flit, now);
+    Cycle delay = std::max(1, mesh_.hopDistance(node_, flit.src));
+    fabric_->send(flit.src, {flit.packet, flit.seq}, now, delay);
+    if (ledger_) {
+        // The dedicated NACK wire burns roughly a control signal per
+        // hop back to the source.
+        for (Cycle h = 0; h < delay; ++h)
+            ledger_->creditSignal();
+    }
+}
+
+void
+DropRouter::retain(const Flit &flit, Cycle now)
+{
+    PendingFlit p;
+    p.flit = flit;
+    p.deadline = now + nackDelayBound_;
+    pending_[flitKey(flit.packet, flit.seq)] = p;
+}
+
+void
+DropRouter::expirePending(Cycle now)
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.deadline < now)
+            it = pending_.erase(it); // implicit ACK: delivered
+        else
+            ++it;
+    }
+}
+
+void
+DropRouter::evaluate(Cycle now)
+{
+    // NACKs from the dedicated fabric: re-queue the retained copy.
+    for (const NackFabric::Nack &nack :
+         fabric_->arrivalsFor(node_, now)) {
+        auto it = pending_.find(flitKey(nack.packet, nack.seq));
+        AFCSIM_ASSERT(it != pending_.end(),
+                      "NACK for unknown flit at node ", node_,
+                      " — NACK delay bound too small");
+        retransmitQ_.push_back(it->second.flit);
+        pending_.erase(it);
+    }
+    expirePending(now);
+
+    // Randomized priority over this cycle's transit flits.
+    std::vector<Flit> flits;
+    flits.swap(current_);
+    for (std::size_t i = flits.size(); i > 1; --i)
+        std::swap(flits[i - 1],
+                  flits[rng_.below(static_cast<std::uint32_t>(i))]);
+
+    bool port_free[kNumNetPorts];
+    for (int d = 0; d < kNumNetPorts; ++d)
+        port_free[d] =
+            mesh_.hasNeighbor(node_, static_cast<Direction>(d));
+    int ejects_left = ejectPerCycle_;
+
+    for (Flit &f : flits) {
+        if (f.dest == node_) {
+            if (ejects_left > 0) {
+                --ejects_left;
+                if (ledger_)
+                    ledger_->arbitrate();
+                sendFlit(kLocal, f, now, true);
+            } else {
+                dropFlit(f, now); // ejection contention
+            }
+            continue;
+        }
+        PortSet prod = productivePorts(mesh_, node_, f.dest);
+        bool placed = false;
+        for (int i = 0; i < prod.count && !placed; ++i) {
+            Direction d = prod.ports[i];
+            if (port_free[d]) {
+                port_free[d] = false;
+                placed = true;
+                if (ledger_)
+                    ledger_->arbitrate();
+                sendFlit(d, f, now, true);
+            }
+        }
+        if (!placed)
+            dropFlit(f, now); // all productive ports claimed
+    }
+
+    // Injection: retransmissions first, then new traffic; one flit
+    // per cycle, and only onto a free productive port.
+    Flit candidate;
+    bool have = false;
+    bool is_retransmit = false;
+    if (!retransmitQ_.empty()) {
+        candidate = retransmitQ_.front();
+        have = true;
+        is_retransmit = true;
+    } else if (nic_ != nullptr &&
+               pending_.size() + retransmitQ_.size() <
+                   retransmitCapacity_) {
+        Cycle best = kNeverCycle;
+        VnetId best_vnet = -1;
+        for (VnetId v = 0; v < cfg_.numVnets(); ++v) {
+            if (nic_->hasInjectable(v) &&
+                nic_->peekInjection(v).createTime < best) {
+                best = nic_->peekInjection(v).createTime;
+                best_vnet = v;
+            }
+        }
+        if (best_vnet >= 0) {
+            candidate = nic_->peekInjection(best_vnet);
+            candidate.vnet = best_vnet; // for the pop below
+            have = true;
+        }
+    }
+    if (have) {
+        PortSet prod = productivePorts(mesh_, node_, candidate.dest);
+        for (int i = 0; i < prod.count; ++i) {
+            Direction d = prod.ports[i];
+            if (!port_free[d])
+                continue;
+            Flit f = candidate;
+            if (is_retransmit) {
+                retransmitQ_.pop_front();
+                ++retransmissions_;
+            } else {
+                f = nic_->popInjection(candidate.vnet, now);
+            }
+            retain(f, now);
+            if (ledger_)
+                ledger_->arbitrate();
+            sendFlit(d, f, now, true);
+            break;
+        }
+    }
+}
+
+void
+DropRouter::advance(Cycle)
+{
+    AFCSIM_ASSERT(current_.empty(),
+                  "drop-router latches not drained at node ", node_);
+    current_.swap(incoming_);
+    ++stats_.cyclesBackpressureless;
+    if (ledger_)
+        ledger_->leakCycle(0, 0);
+}
+
+std::size_t
+DropRouter::occupancy() const
+{
+    // Retransmit copies are live traffic (the network has dropped
+    // the original); pending_ copies are not (the original is in
+    // flight or already delivered).
+    return current_.size() + incoming_.size() + retransmitQ_.size();
+}
+
+std::size_t
+DropRouter::retransmitBufferUse() const
+{
+    return pending_.size() + retransmitQ_.size();
+}
+
+} // namespace afcsim

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Drop-based backpressureless router (extension).
+ *
+ * Sec. II of the paper discusses the second backpressureless
+ * variant — dropping all but one of the contending flits instead of
+ * misrouting them (SCARAB [Hayenga et al., MICRO'09]) — and rejects
+ * it because "the variant that drops packets saturates at lower
+ * loads, even according to the original paper". This router
+ * implements that variant so the claim can be measured
+ * (bench_drop_variant):
+ *
+ *  - flits travel only productive (minimal) ports; a flit whose
+ *    productive ports are all claimed by higher-priority flits is
+ *    dropped;
+ *  - every drop sends a NACK to the flit's source over a dedicated
+ *    contention-free NACK fabric (SCARAB builds a circuit-switched
+ *    one; modeling it as contention-free is an idealization *in the
+ *    drop variant's favor* — it still loses);
+ *  - the source retains a copy of every in-flight flit in a bounded
+ *    retransmission buffer; a NACK re-queues the copy for
+ *    re-injection (ahead of new traffic); absence of a NACK within
+ *    the bounded NACK-delay window frees the slot (implicit ACK);
+ *  - a full retransmission buffer backpressures injection, the only
+ *    backpressure point (as in deflection routing, footnote 3).
+ */
+
+#ifndef AFCSIM_ROUTER_DROP_HH
+#define AFCSIM_ROUTER_DROP_HH
+
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "router/router.hh"
+
+namespace afcsim
+{
+
+/**
+ * The dedicated NACK network: contention-free, fixed per-hop delay.
+ * One instance is shared by all DropRouters of a network.
+ */
+class NackFabric
+{
+  public:
+    struct Nack
+    {
+        PacketId packet;
+        std::uint16_t seq;
+    };
+
+    explicit NackFabric(int num_nodes) : queues_(num_nodes) {}
+
+    /** Send a NACK toward `src`, arriving after `delay` cycles. */
+    void
+    send(NodeId src, const Nack &nack, Cycle now, Cycle delay)
+    {
+        queues_.at(src).push_back({now + delay, nack});
+    }
+
+    /** Pop all NACKs for `node` that have arrived by `now`. */
+    std::vector<Nack>
+    arrivalsFor(NodeId node, Cycle now)
+    {
+        std::vector<Nack> out;
+        auto &q = queues_.at(node);
+        while (!q.empty() && q.front().first <= now) {
+            out.push_back(q.front().second);
+            q.pop_front();
+        }
+        return out;
+    }
+
+    std::size_t
+    inflight() const
+    {
+        std::size_t n = 0;
+        for (const auto &q : queues_)
+            n += q.size();
+        return n;
+    }
+
+  private:
+    std::vector<std::deque<std::pair<Cycle, Nack>>> queues_;
+};
+
+/** Bufferless minimal-routing router that drops on contention. */
+class DropRouter : public Router
+{
+  public:
+    DropRouter(const Mesh &mesh, NodeId node, const NetworkConfig &cfg,
+               Rng rng, NackFabric *fabric);
+
+    void acceptFlit(Direction in_port, const Flit &flit,
+                    Cycle now) override;
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    std::size_t occupancy() const override;
+    RouterMode
+    mode() const override
+    {
+        return RouterMode::Backpressureless;
+    }
+
+    /// @name Diagnostics.
+    /// @{
+    std::uint64_t flitsDropped() const { return dropped_; }
+    std::size_t retransmitBufferUse() const;
+    std::uint64_t retransmissions() const { return retransmissions_; }
+    /// @}
+
+  private:
+    struct PendingFlit
+    {
+        Flit flit;
+        Cycle deadline; ///< implicit-ACK time (no NACK can still come)
+    };
+
+    static std::uint64_t
+    flitKey(PacketId packet, std::uint16_t seq)
+    {
+        return (packet << 16) | seq;
+    }
+
+    void dropFlit(const Flit &flit, Cycle now);
+    /** Track an injected flit for possible retransmission. */
+    void retain(const Flit &flit, Cycle now);
+    void expirePending(Cycle now);
+
+    Rng rng_;
+    NackFabric *fabric_;
+    std::vector<Flit> current_;
+    std::vector<Flit> incoming_;
+    int ejectPerCycle_;
+    Cycle nackDelayBound_;
+
+    /** Source copies of in-flight flits, keyed by (packet, seq). */
+    std::unordered_map<std::uint64_t, PendingFlit> pending_;
+    /** NACKed flits awaiting re-injection (ahead of new traffic). */
+    std::deque<Flit> retransmitQ_;
+    std::size_t retransmitCapacity_;
+
+    std::uint64_t dropped_ = 0;
+    std::uint64_t retransmissions_ = 0;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_ROUTER_DROP_HH

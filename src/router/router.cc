@@ -1,0 +1,112 @@
+#include "router/router.hh"
+
+namespace afcsim
+{
+
+Router::Router(const Mesh &mesh, NodeId node, const NetworkConfig &cfg)
+    : mesh_(mesh), node_(node), cfg_(cfg)
+{
+    AFCSIM_ASSERT(mesh.valid(node), "router on invalid node ", node);
+}
+
+void
+Router::connectFlitOut(Direction d, Channel<Flit> *ch)
+{
+    AFCSIM_ASSERT(d >= 0 && d < kNumPorts, "bad port");
+    flitOut_[d] = ch;
+}
+
+void
+Router::connectCreditOut(Direction d, Channel<Credit> *ch)
+{
+    AFCSIM_ASSERT(d >= 0 && d < kNumNetPorts, "bad net port");
+    creditOut_[d] = ch;
+}
+
+void
+Router::connectCtlOut(Direction d, Channel<CtlMsg> *ch)
+{
+    AFCSIM_ASSERT(d >= 0 && d < kNumNetPorts, "bad net port");
+    ctlOut_[d] = ch;
+}
+
+void
+Router::attachNic(Nic *nic)
+{
+    nic_ = nic;
+}
+
+void
+Router::attachLedger(EnergyLedger *ledger)
+{
+    ledger_ = ledger;
+}
+
+void
+Router::attachTracer(FlitTracer *tracer)
+{
+    tracer_ = tracer;
+}
+
+void
+Router::acceptCredit(Direction, const Credit &, Cycle)
+{
+    // Routers without credit tracking (pure deflection) ignore these.
+}
+
+void
+Router::acceptCtl(Direction, const CtlMsg &, Cycle)
+{
+    // Non-AFC routers never receive control-line messages.
+}
+
+void
+Router::sendFlit(Direction d, Flit flit, Cycle now, bool productive)
+{
+    AFCSIM_ASSERT(flitOut_[d] != nullptr,
+                  "send on unconnected port ", dirName(d), " at node ",
+                  node_);
+    ++stats_.flitsRouted;
+    ++portDispatches_[d];
+    if (tracer_)
+        tracer_->onDispatch(node_, d, flit, now, productive);
+    if (ledger_)
+        ledger_->crossbar();
+    if (d != kLocal) {
+        ++flit.hops;
+        if (!productive) {
+            ++flit.deflections;
+            ++stats_.flitsDeflected;
+        }
+        flit.lookahead = lookaheadRoute(mesh_, node_, d, flit.dest);
+        if (ledger_)
+            ledger_->linkTraversal();
+    }
+    flitOut_[d]->send(flit, now);
+}
+
+void
+Router::sendCredit(Direction in_port, const Credit &credit, Cycle now)
+{
+    AFCSIM_ASSERT(in_port >= 0 && in_port < kNumNetPorts,
+                  "credit for non-network port");
+    AFCSIM_ASSERT(creditOut_[in_port] != nullptr,
+                  "credit on unconnected port at node ", node_);
+    creditOut_[in_port]->send(credit, now);
+    if (ledger_)
+        ledger_->creditSignal();
+}
+
+void
+Router::broadcastCtl(const CtlMsg &msg, Cycle now)
+{
+    for (int d = 0; d < kNumNetPorts; ++d) {
+        if (ctlOut_[d] != nullptr) {
+            ctlOut_[d]->send(msg, now);
+            if (ledger_)
+                ledger_->creditSignal();
+        }
+    }
+}
+
+} // namespace afcsim

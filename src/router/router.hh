@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Abstract router interface shared by the three flow-control
+ * mechanisms (backpressured, backpressureless/deflection, AFC).
+ *
+ * The network kernel runs a two-phase cycle: deliveries (flits,
+ * credits, control messages whose channel latency elapsed) are
+ * pushed into the router via the accept* methods, then evaluate()
+ * makes this cycle's decisions (switch allocation, deflection
+ * assignment, injection pulls, sends onto output channels), and
+ * advance() commits per-cycle state (traffic-intensity EWMA, mode
+ * transitions, leakage accounting).
+ */
+
+#ifndef AFCSIM_ROUTER_ROUTER_HH
+#define AFCSIM_ROUTER_ROUTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "energy/energy.hh"
+#include "network/channel.hh"
+#include "network/flit.hh"
+#include "network/nic.hh"
+#include "network/trace.hh"
+#include "topology/mesh.hh"
+#include "topology/routing.hh"
+
+namespace afcsim
+{
+
+/** Flow-control mode a router is operating in (Fig. 1 states). */
+enum class RouterMode { Backpressured, Backpressureless };
+
+/** Aggregate per-router activity statistics. */
+struct RouterStats
+{
+    std::uint64_t flitsRouted = 0;      ///< flits dispatched on any port
+    std::uint64_t flitsDeflected = 0;   ///< non-productive dispatches
+    std::uint64_t cyclesBackpressured = 0;
+    std::uint64_t cyclesBackpressureless = 0;
+    std::uint64_t forwardSwitches = 0;  ///< BPL -> BP transitions
+    std::uint64_t reverseSwitches = 0;  ///< BP -> BPL transitions
+    std::uint64_t gossipSwitches = 0;   ///< forward switches forced by gossip
+
+    double
+    backpressuredFraction() const
+    {
+        std::uint64_t total = cyclesBackpressured + cyclesBackpressureless;
+        return total ? static_cast<double>(cyclesBackpressured) / total : 0.0;
+    }
+};
+
+/**
+ * Base router: wiring to channels, NIC and energy ledger, plus the
+ * per-cycle interface driven by the Network kernel.
+ */
+class Router
+{
+  public:
+    Router(const Mesh &mesh, NodeId node, const NetworkConfig &cfg);
+    virtual ~Router() = default;
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /// @name Wiring (done once by the Network during construction).
+    /// @{
+    /** Output flit channel on port d (kLocal = ejection to NIC). */
+    void connectFlitOut(Direction d, Channel<Flit> *ch);
+    /** Credit channel from my input port d back to the upstream. */
+    void connectCreditOut(Direction d, Channel<Credit> *ch);
+    /** Control line to the neighbor on port d (mode notifications). */
+    void connectCtlOut(Direction d, Channel<CtlMsg> *ch);
+    void attachNic(Nic *nic);
+    void attachLedger(EnergyLedger *ledger);
+    /** Attach an event tracer (nullptr disables tracing). */
+    void attachTracer(FlitTracer *tracer);
+    /// @}
+
+    /// @name Per-cycle interface, called by the Network kernel.
+    /// @{
+    /** A flit arrives on input port `in_port` at cycle `now`. */
+    virtual void acceptFlit(Direction in_port, const Flit &flit,
+                            Cycle now) = 0;
+    /** A credit for my output port `out_port` arrives. */
+    virtual void acceptCredit(Direction out_port, const Credit &credit,
+                              Cycle now);
+    /** A control-line message about my output port `out_port`. */
+    virtual void acceptCtl(Direction out_port, const CtlMsg &msg,
+                           Cycle now);
+    /** Make this cycle's routing/allocation decisions and send. */
+    virtual void evaluate(Cycle now) = 0;
+    /** Commit per-cycle state (EWMA, mode switches, leakage). */
+    virtual void advance(Cycle now) = 0;
+    /// @}
+
+    /// @name Introspection for tests, drain checks and reports.
+    /// @{
+    /** Flits currently held (buffers + pipeline latches). */
+    virtual std::size_t occupancy() const = 0;
+    virtual RouterMode mode() const = 0;
+    /// @}
+
+    NodeId node() const { return node_; }
+    const RouterStats &stats() const { return stats_; }
+    const Mesh &mesh() const { return mesh_; }
+
+    /** Flits dispatched on port d since construction. */
+    std::uint64_t
+    portDispatches(Direction d) const
+    {
+        return portDispatches_.at(d);
+    }
+
+  protected:
+    /**
+     * Dispatch a flit on output port d at cycle `now`: charges
+     * crossbar (and link) energy, bumps hop/deflection counters, and
+     * recomputes the lookahead route. `productive` marks whether d
+     * reduces distance to the destination (ejection is productive).
+     */
+    void sendFlit(Direction d, Flit flit, Cycle now, bool productive);
+
+    /** Send a credit upstream for a slot freed at input port d. */
+    void sendCredit(Direction in_port, const Credit &credit, Cycle now);
+
+    /** Broadcast a control message to every connected neighbor. */
+    void broadcastCtl(const CtlMsg &msg, Cycle now);
+
+    const Mesh &mesh_;
+    NodeId node_;
+    const NetworkConfig &cfg_;
+    Nic *nic_ = nullptr;
+    EnergyLedger *ledger_ = nullptr;
+    FlitTracer *tracer_ = nullptr;
+    RouterStats stats_;
+    std::array<std::uint64_t, kNumPorts> portDispatches_{};
+
+    std::array<Channel<Flit> *, kNumPorts> flitOut_{};
+    std::array<Channel<Credit> *, kNumNetPorts> creditOut_{};
+    std::array<Channel<CtlMsg> *, kNumNetPorts> ctlOut_{};
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_ROUTER_ROUTER_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * VC indexing helper: maps (vnet, vc-within-vnet) to a flat global
+ * VC index for a port, given a per-vnet shape (count x depth).
+ */
+
+#ifndef AFCSIM_ROUTER_VCSHAPE_HH
+#define AFCSIM_ROUTER_VCSHAPE_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace afcsim
+{
+
+/** Flat layout of a port's VCs grouped by virtual network. */
+class VcShape
+{
+  public:
+    explicit VcShape(const std::vector<VnetConfig> &shape)
+        : shape_(shape)
+    {
+        int base = 0;
+        for (const auto &v : shape_) {
+            bases_.push_back(base);
+            base += v.numVcs;
+        }
+        total_ = base;
+    }
+
+    int numVnets() const { return static_cast<int>(shape_.size()); }
+    int totalVcs() const { return total_; }
+
+    int base(VnetId vnet) const { return bases_.at(vnet); }
+    int count(VnetId vnet) const { return shape_.at(vnet).numVcs; }
+    int depth(VnetId vnet) const { return shape_.at(vnet).bufferDepth; }
+
+    /** Total buffer flits across all VCs of the port. */
+    int
+    totalBufferFlits() const
+    {
+        int n = 0;
+        for (const auto &v : shape_)
+            n += v.numVcs * v.bufferDepth;
+        return n;
+    }
+
+    /** Virtual network that global VC index `vc` belongs to. */
+    VnetId
+    vnetOf(VcId vc) const
+    {
+        AFCSIM_ASSERT(vc >= 0 && vc < total_, "vc out of range: ", vc);
+        for (int v = numVnets() - 1; v >= 0; --v) {
+            if (vc >= bases_[v])
+                return static_cast<VnetId>(v);
+        }
+        AFCSIM_PANIC("unreachable");
+    }
+
+  private:
+    std::vector<VnetConfig> shape_;
+    std::vector<int> bases_;
+    int total_ = 0;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_ROUTER_VCSHAPE_HH

@@ -1,0 +1,126 @@
+#include "sim/closedloop.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace afcsim
+{
+
+ClosedLoopSystem::ClosedLoopSystem(const NetworkConfig &cfg,
+                                   FlowControl fc,
+                                   const WorkloadProfile &profile)
+    : cfg_(cfg), profile_(profile), net_(cfg, fc)
+{
+    Rng root(cfg.seed, 0xc10c);
+    int n = net_.mesh().numNodes();
+    for (NodeId node = 0; node < n; ++node) {
+        cores_.push_back(std::make_unique<Core>(
+            node, cfg_, profile_, &net_.nic(node),
+            root.fork(node * 2), &txCounter_));
+        banks_.push_back(std::make_unique<L2Bank>(
+            node, cfg_, profile_, &net_.nic(node),
+            root.fork(node * 2 + 1)));
+        Core *core = cores_.back().get();
+        L2Bank *bank = banks_.back().get();
+        net_.nic(node).setDeliveryHandler(
+            [core, bank](const PacketInfo &info) {
+                MsgType t = tagMsgType(info.tag);
+                if (t == MsgType::DataResp || t == MsgType::Ack)
+                    core->onResponse(info, info.deliverTime);
+                else
+                    bank->onRequest(info, info.deliverTime);
+            });
+    }
+}
+
+void
+ClosedLoopSystem::tickAll(Cycle now)
+{
+    for (auto &core : cores_)
+        core->tick(now);
+    for (auto &bank : banks_)
+        bank->tick(now);
+}
+
+std::uint64_t
+ClosedLoopSystem::totalCompleted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->completed();
+    return total;
+}
+
+ClosedLoopResult
+ClosedLoopSystem::run(Cycle max_cycles)
+{
+    if (max_cycles == 0)
+        max_cycles = 100'000'000;
+
+    // Warmup: run until the warmup transaction count completes.
+    while (totalCompleted() < profile_.warmupTransactions &&
+           net_.now() < max_cycles) {
+        tickAll(net_.now());
+        net_.step();
+    }
+
+    // Measurement window: reset end-to-end statistics and snapshot
+    // cumulative counters.
+    int n = net_.mesh().numNodes();
+    for (NodeId node = 0; node < n; ++node)
+        net_.nic(node).stats().reset();
+    for (auto &core : cores_)
+        core->resetStats();
+    EnergyReport e0 = net_.aggregateEnergy();
+    RouterStats r0 = net_.aggregateRouterStats();
+    Cycle t0 = net_.now();
+
+    while (totalCompleted() < profile_.measureTransactions &&
+           net_.now() < max_cycles) {
+        tickAll(net_.now());
+        net_.step();
+    }
+
+    AFCSIM_ASSERT(net_.now() < max_cycles,
+                  "closed-loop run did not complete: workload ",
+                  profile_.name, " fc ", toString(net_.flowControl()));
+
+    ClosedLoopResult res;
+    res.fc = net_.flowControl();
+    res.workload = profile_.name;
+    res.runtime = net_.now() - t0;
+    res.transactions = totalCompleted();
+    res.net = net_.aggregateStats();
+    res.energy = net_.aggregateEnergy().diff(e0);
+
+    double node_cycles = static_cast<double>(n) * res.runtime;
+    res.injectionRate = node_cycles > 0
+        ? res.net.flitsInjected / node_cycles : 0.0;
+    RunningStat tx;
+    for (const auto &core : cores_)
+        tx.merge(core->txLatency());
+    res.avgTxLatency = tx.mean();
+    res.avgPacketLatency = res.net.packetLatency.mean();
+    res.avgDeflections = res.net.deflections.mean();
+
+    RouterStats r1 = net_.aggregateRouterStats();
+    std::uint64_t bp = r1.cyclesBackpressured - r0.cyclesBackpressured;
+    std::uint64_t bpl =
+        r1.cyclesBackpressureless - r0.cyclesBackpressureless;
+    res.bpFraction = (bp + bpl) ? static_cast<double>(bp) / (bp + bpl)
+                                : 0.0;
+    res.forwardSwitches = r1.forwardSwitches - r0.forwardSwitches;
+    res.reverseSwitches = r1.reverseSwitches - r0.reverseSwitches;
+    res.gossipSwitches = r1.gossipSwitches - r0.gossipSwitches;
+    return res;
+}
+
+ClosedLoopResult
+runClosedLoop(const NetworkConfig &cfg, FlowControl fc,
+              const WorkloadProfile &profile, Cycle max_cycles)
+{
+    ClosedLoopSystem sys(cfg, fc, profile);
+    return sys.run(max_cycles);
+}
+
+} // namespace afcsim

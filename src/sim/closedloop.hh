@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Closed-loop execution harness: wires cores and L2 banks to every
+ * node of a network, runs a workload to a fixed transaction count,
+ * and reports runtime / energy / network statistics — the
+ * methodology behind Fig. 2, Fig. 3 and the mode-duty-cycle results.
+ */
+
+#ifndef AFCSIM_SIM_CLOSEDLOOP_HH
+#define AFCSIM_SIM_CLOSEDLOOP_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "energy/energy.hh"
+#include "network/network.hh"
+#include "sim/core.hh"
+#include "sim/l2bank.hh"
+#include "sim/workload.hh"
+
+namespace afcsim
+{
+
+/** Outcome of one closed-loop run. */
+struct ClosedLoopResult
+{
+    FlowControl fc;
+    std::string workload;
+    Cycle runtime = 0;             ///< measurement-window cycles
+    std::uint64_t transactions = 0;
+    double injectionRate = 0.0;    ///< flits/node/cycle, measured
+    double avgTxLatency = 0.0;     ///< miss-to-response, cycles
+    double avgPacketLatency = 0.0;
+    double avgDeflections = 0.0;
+    double bpFraction = 0.0;       ///< router-cycles backpressured
+    std::uint64_t forwardSwitches = 0;
+    std::uint64_t reverseSwitches = 0;
+    std::uint64_t gossipSwitches = 0;
+    EnergyReport energy;           ///< measurement window only
+    NetStats net;
+
+    /** Performance = transactions per cycle (higher is better). */
+    double
+    throughput() const
+    {
+        return runtime ? static_cast<double>(transactions) / runtime : 0.0;
+    }
+};
+
+/** A multicore CMP: one core + one L2 bank per mesh node. */
+class ClosedLoopSystem
+{
+  public:
+    ClosedLoopSystem(const NetworkConfig &cfg, FlowControl fc,
+                     const WorkloadProfile &profile);
+
+    /**
+     * Run warmup transactions, then measure until the profile's
+     * transaction count completes. `max_cycles` bounds runaway
+     * configurations (0 = a large default).
+     */
+    ClosedLoopResult run(Cycle max_cycles = 0);
+
+    Network &network() { return net_; }
+    Core &core(NodeId n) { return *cores_.at(n); }
+    L2Bank &bank(NodeId n) { return *banks_.at(n); }
+
+  private:
+    void tickAll(Cycle now);
+    std::uint64_t totalCompleted() const;
+
+    NetworkConfig cfg_;
+    WorkloadProfile profile_;
+    Network net_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<L2Bank>> banks_;
+    std::uint64_t txCounter_ = 0;
+};
+
+/** Convenience: build and run in one call. */
+ClosedLoopResult runClosedLoop(const NetworkConfig &cfg, FlowControl fc,
+                               const WorkloadProfile &profile,
+                               Cycle max_cycles = 0);
+
+} // namespace afcsim
+
+#endif // AFCSIM_SIM_CLOSEDLOOP_HH

@@ -1,0 +1,75 @@
+#include "sim/core.hh"
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+Core::Core(NodeId node, const NetworkConfig &cfg,
+           const WorkloadProfile &profile, Nic *nic, Rng rng,
+           std::uint64_t *tx_counter)
+    : node_(node), cfg_(cfg), profile_(profile), nic_(nic), rng_(rng),
+      txCounter_(tx_counter)
+{
+    AFCSIM_ASSERT(nic != nullptr && tx_counter != nullptr,
+                  "core needs a NIC and a transaction counter");
+}
+
+void
+Core::tick(Cycle now)
+{
+    double issue_prob = profile_.issueProb;
+    const PhaseModulation &ph = profile_.phases;
+    if (ph.period > 0 && now % ph.period < ph.altLength)
+        issue_prob = ph.altIssueProb;
+    if (!rng_.chance(issue_prob))
+        return;
+    if (outstanding_ >= profile_.mshrsPerCore) {
+        ++mshrStalls_;
+        return;
+    }
+
+    // Home L2 bank: address-interleaved, uniform over remote banks
+    // (local-bank hits never reach the network).
+    int n = cfg_.numNodes();
+    NodeId dest = static_cast<NodeId>(rng_.below(n - 1));
+    if (dest >= node_)
+        ++dest;
+
+    double r = rng_.uniform();
+    MsgType type;
+    int len;
+    if (r < profile_.readFraction) {
+        type = MsgType::ReadReq;
+        len = cfg_.controlPacketFlits;
+    } else if (r < profile_.readFraction + profile_.writeFraction) {
+        type = MsgType::WriteReq;
+        len = cfg_.controlPacketFlits;
+    } else {
+        type = MsgType::WbData;
+        len = cfg_.dataPacketFlits;
+    }
+
+    std::uint64_t tx = (*txCounter_)++;
+    nic_->sendPacket(dest, vnetFor(type), len, now, packTag(tx, type));
+    issueTime_[tx] = now;
+    ++outstanding_;
+    ++issued_;
+}
+
+void
+Core::onResponse(const PacketInfo &info, Cycle now)
+{
+    std::uint64_t tx = tagTxId(info.tag);
+    auto it = issueTime_.find(tx);
+    AFCSIM_ASSERT(it != issueTime_.end(),
+                  "response for unknown transaction ", tx, " at core ",
+                  node_);
+    txLatency_.add(static_cast<double>(now - it->second));
+    issueTime_.erase(it);
+    --outstanding_;
+    AFCSIM_ASSERT(outstanding_ >= 0, "MSHR underflow at core ", node_);
+    ++completed_;
+}
+
+} // namespace afcsim

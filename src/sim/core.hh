@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Core model for the closed-loop substrate: a 4-way SMT out-of-order
+ * core abstracted to its network-visible behaviour — a stream of L1
+ * misses (transactions) bounded by 16 MSHRs (Table II). Issue
+ * pressure is a per-cycle Bernoulli process whose probability is the
+ * workload knob; when the network backs up, responses are delayed,
+ * MSHRs fill, and injection self-throttles — the closed-loop
+ * feedback the paper's methodology section insists on.
+ */
+
+#ifndef AFCSIM_SIM_CORE_HH
+#define AFCSIM_SIM_CORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "network/nic.hh"
+#include "sim/memsys.hh"
+#include "sim/workload.hh"
+
+namespace afcsim
+{
+
+/** One core: issues transactions, retires them on response. */
+class Core
+{
+  public:
+    Core(NodeId node, const NetworkConfig &cfg,
+         const WorkloadProfile &profile, Nic *nic, Rng rng,
+         std::uint64_t *tx_counter);
+
+    /** Maybe issue one transaction this cycle. */
+    void tick(Cycle now);
+
+    /** A response (DataResp or Ack) arrived for this core. */
+    void onResponse(const PacketInfo &info, Cycle now);
+
+    /// @name Statistics.
+    /// @{
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t completed() const { return completed_; }
+    int outstanding() const { return outstanding_; }
+    std::uint64_t mshrStallCycles() const { return mshrStalls_; }
+    /** Mean transaction (miss-to-response) latency in cycles. */
+    const RunningStat &txLatency() const { return txLatency_; }
+    void
+    resetStats()
+    {
+        issued_ = 0;
+        completed_ = 0;
+        mshrStalls_ = 0;
+        txLatency_.reset();
+    }
+    /// @}
+
+  private:
+    NodeId node_;
+    const NetworkConfig &cfg_;
+    WorkloadProfile profile_;
+    Nic *nic_;
+    Rng rng_;
+    std::uint64_t *txCounter_;
+
+    int outstanding_ = 0;
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t mshrStalls_ = 0;
+    std::unordered_map<std::uint64_t, Cycle> issueTime_;
+    RunningStat txLatency_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_SIM_CORE_HH

@@ -1,0 +1,56 @@
+#include "sim/l2bank.hh"
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+L2Bank::L2Bank(NodeId node, const NetworkConfig &cfg,
+               const WorkloadProfile &profile, Nic *nic, Rng rng)
+    : node_(node), cfg_(cfg), profile_(profile), nic_(nic), rng_(rng)
+{
+    AFCSIM_ASSERT(nic != nullptr, "bank needs a NIC");
+}
+
+void
+L2Bank::onRequest(const PacketInfo &info, Cycle now)
+{
+    MsgType req = tagMsgType(info.tag);
+    Cycle latency = profile_.l2LatencyCycles;
+    // Reads may miss in L2 and pay the off-chip access time.
+    if (req == MsgType::ReadReq && rng_.chance(profile_.l2MissRate))
+        latency += profile_.memLatencyCycles;
+
+    Response resp;
+    resp.ready = now + latency;
+    resp.dest = info.src;
+    resp.txId = tagTxId(info.tag);
+    switch (req) {
+      case MsgType::ReadReq:
+        resp.type = MsgType::DataResp;
+        break;
+      case MsgType::WriteReq:
+      case MsgType::WbData:
+        resp.type = MsgType::Ack;
+        break;
+      default:
+        AFCSIM_PANIC("bank received a response-type message");
+    }
+    pending_.push(resp);
+}
+
+void
+L2Bank::tick(Cycle now)
+{
+    while (!pending_.empty() && pending_.top().ready <= now) {
+        const Response &r = pending_.top();
+        int len = r.type == MsgType::DataResp ? cfg_.dataPacketFlits
+                                              : cfg_.controlPacketFlits;
+        nic_->sendPacket(r.dest, vnetFor(r.type), len, now,
+                         packTag(r.txId, r.type));
+        ++served_;
+        pending_.pop();
+    }
+}
+
+} // namespace afcsim

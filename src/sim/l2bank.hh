@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared-L2 bank model: one bank per node (Table II: unified L2,
+ * one bank per tile, 12-cycle latency; off-chip memory at 250
+ * cycles for L2 misses). Requests arriving over the network are
+ * serviced after the bank (plus possibly memory) latency and the
+ * response is injected back toward the requesting core.
+ */
+
+#ifndef AFCSIM_SIM_L2BANK_HH
+#define AFCSIM_SIM_L2BANK_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "network/nic.hh"
+#include "sim/memsys.hh"
+#include "sim/workload.hh"
+
+namespace afcsim
+{
+
+/** One L2 bank: fixed-latency service of coherence requests. */
+class L2Bank
+{
+  public:
+    L2Bank(NodeId node, const NetworkConfig &cfg,
+           const WorkloadProfile &profile, Nic *nic, Rng rng);
+
+    /** A request (ReadReq / WriteReq / WbData) arrived at this bank. */
+    void onRequest(const PacketInfo &info, Cycle now);
+
+    /** Inject any responses whose service latency has elapsed. */
+    void tick(Cycle now);
+
+    std::uint64_t requestsServed() const { return served_; }
+    std::size_t pendingResponses() const { return pending_.size(); }
+    bool idle() const { return pending_.empty(); }
+
+  private:
+    struct Response
+    {
+        Cycle ready;
+        NodeId dest;
+        MsgType type;
+        std::uint64_t txId;
+        // Min-heap on ready time.
+        bool
+        operator>(const Response &o) const
+        {
+            return ready > o.ready;
+        }
+    };
+
+    NodeId node_;
+    const NetworkConfig &cfg_;
+    WorkloadProfile profile_;
+    Nic *nic_;
+    Rng rng_;
+    std::priority_queue<Response, std::vector<Response>,
+                        std::greater<Response>> pending_;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_SIM_L2BANK_HH

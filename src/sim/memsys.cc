@@ -1,0 +1,24 @@
+#include "sim/memsys.hh"
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+VnetId
+vnetFor(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq:
+        return kVnetRequest;
+      case MsgType::Ack:
+        return kVnetResponse;
+      case MsgType::WbData:
+      case MsgType::DataResp:
+        return kVnetData;
+    }
+    AFCSIM_PANIC("unknown message type");
+}
+
+} // namespace afcsim

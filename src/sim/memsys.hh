@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Memory-system message vocabulary for the closed-loop multicore
+ * substrate. The paper evaluates AFC under full-system GEMS
+ * coherence traffic; we reproduce the network-visible behaviour:
+ * request/response/data messages over 2 control virtual networks +
+ * 1 data network (Table II), closed-loop limited by per-core MSHRs.
+ *
+ * Message classes and their virtual networks:
+ *   - ReadReq / WriteReq (1 control flit, vnet 0): core -> L2 bank
+ *   - Ack                (1 control flit, vnet 1): L2 bank -> core
+ *   - WbData             (data packet,    vnet 2): core -> L2 bank
+ *   - DataResp           (data packet,    vnet 2): L2 bank -> core
+ *
+ * Request/response separation across vnets provides protocol
+ * deadlock freedom, exactly as in the paper's configuration.
+ */
+
+#ifndef AFCSIM_SIM_MEMSYS_HH
+#define AFCSIM_SIM_MEMSYS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace afcsim
+{
+
+/** Network message types of the coherence-style protocol. */
+enum class MsgType : std::uint8_t
+{
+    ReadReq = 0,   ///< request a cache block
+    WriteReq = 1,  ///< upgrade/ownership request (control only)
+    WbData = 2,    ///< dirty writeback data
+    DataResp = 3,  ///< data response to a ReadReq
+    Ack = 4,       ///< control acknowledgment (WriteReq, WbData)
+};
+
+/** Virtual network assignments (Table II: 2 control + 1 data). */
+inline constexpr VnetId kVnetRequest = 0;
+inline constexpr VnetId kVnetResponse = 1;
+inline constexpr VnetId kVnetData = 2;
+
+/** Vnet a message type travels on. */
+VnetId vnetFor(MsgType t);
+
+/** Pack a (transaction id, message type) pair into a flit tag. */
+inline std::uint64_t
+packTag(std::uint64_t tx_id, MsgType t)
+{
+    return (tx_id << 4) | static_cast<std::uint64_t>(t);
+}
+
+inline std::uint64_t
+tagTxId(std::uint64_t tag)
+{
+    return tag >> 4;
+}
+
+inline MsgType
+tagMsgType(std::uint64_t tag)
+{
+    return static_cast<MsgType>(tag & 0xF);
+}
+
+} // namespace afcsim
+
+#endif // AFCSIM_SIM_MEMSYS_HH

@@ -1,0 +1,140 @@
+#include "sim/workload.hh"
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+// Issue probabilities are calibrated (see tests/workload_test.cc and
+// bench_table3_workloads) so that the measured injection rate on the
+// backpressured baseline approximates Table III.
+
+WorkloadProfile
+apacheWorkload()
+{
+    WorkloadProfile w;
+    w.name = "apache";
+    w.issueProb = 0.155;
+    w.readFraction = 0.68;
+    w.writeFraction = 0.14;
+    w.l2MissRate = 0.15;
+    w.measureTransactions = 40000;
+    w.warmupTransactions = 6000;
+    w.paperInjRate = 0.78;
+    w.highLoad = true;
+    return w;
+}
+
+WorkloadProfile
+oltpWorkload()
+{
+    WorkloadProfile w;
+    w.name = "oltp";
+    w.issueProb = 0.090;
+    // Brief quiet phases: the paper reports routers spending ~5 % of
+    // oltp's execution in backpressureless mode.
+    w.phases = {25000, 1500, 0.004};
+    w.readFraction = 0.64;
+    w.writeFraction = 0.18;
+    w.l2MissRate = 0.20;
+    w.measureTransactions = 40000;
+    w.warmupTransactions = 6000;
+    w.paperInjRate = 0.68;
+    w.highLoad = true;
+    return w;
+}
+
+WorkloadProfile
+specjbbWorkload()
+{
+    WorkloadProfile w;
+    w.name = "specjbb";
+    w.issueProb = 0.142;
+    w.readFraction = 0.72;
+    w.writeFraction = 0.12;
+    w.l2MissRate = 0.10;
+    w.measureTransactions = 40000;
+    w.warmupTransactions = 6000;
+    w.paperInjRate = 0.77;
+    w.highLoad = true;
+    return w;
+}
+
+WorkloadProfile
+barnesWorkload()
+{
+    WorkloadProfile w;
+    w.name = "barnes";
+    w.issueProb = 0.0111;
+    w.readFraction = 0.74;
+    w.writeFraction = 0.12;
+    w.l2MissRate = 0.05;
+    w.measureTransactions = 16000;
+    w.warmupTransactions = 2500;
+    w.paperInjRate = 0.10;
+    return w;
+}
+
+WorkloadProfile
+oceanWorkload()
+{
+    WorkloadProfile w;
+    w.name = "ocean";
+    w.issueProb = 0.0175;
+    // Bursty phases: the paper reports routers spending ~7 % of
+    // ocean's execution in backpressured mode.
+    w.phases = {25000, 1800, 0.14};
+    w.readFraction = 0.66;
+    w.writeFraction = 0.14;
+    w.l2MissRate = 0.10;
+    w.measureTransactions = 16000;
+    w.warmupTransactions = 2500;
+    w.paperInjRate = 0.19;
+    return w;
+}
+
+WorkloadProfile
+waterWorkload()
+{
+    WorkloadProfile w;
+    w.name = "water";
+    w.issueProb = 0.0101;
+    w.readFraction = 0.72;
+    w.writeFraction = 0.14;
+    w.l2MissRate = 0.03;
+    w.measureTransactions = 16000;
+    w.warmupTransactions = 2500;
+    w.paperInjRate = 0.09;
+    return w;
+}
+
+WorkloadProfile
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    AFCSIM_FATAL("unknown workload '", name, "'");
+}
+
+std::vector<WorkloadProfile>
+allWorkloads()
+{
+    return {apacheWorkload(), oltpWorkload(), specjbbWorkload(),
+            barnesWorkload(), oceanWorkload(), waterWorkload()};
+}
+
+std::vector<WorkloadProfile>
+lowLoadWorkloads()
+{
+    return {barnesWorkload(), oceanWorkload(), waterWorkload()};
+}
+
+std::vector<WorkloadProfile>
+highLoadWorkloads()
+{
+    return {apacheWorkload(), oltpWorkload(), specjbbWorkload()};
+}
+
+} // namespace afcsim

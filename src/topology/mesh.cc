@@ -1,0 +1,103 @@
+#include "topology/mesh.hh"
+
+#include <cstdlib>
+
+namespace afcsim
+{
+
+Direction
+opposite(Direction d)
+{
+    switch (d) {
+      case kEast: return kWest;
+      case kWest: return kEast;
+      case kNorth: return kSouth;
+      case kSouth: return kNorth;
+      default:
+        AFCSIM_PANIC("opposite() of non-mesh direction ", d);
+    }
+}
+
+std::string
+dirName(int d)
+{
+    switch (d) {
+      case kEast: return "E";
+      case kWest: return "W";
+      case kNorth: return "N";
+      case kSouth: return "S";
+      case kLocal: return "L";
+      default: return "?";
+    }
+}
+
+Mesh::Mesh(int width, int height)
+    : width_(width), height_(height)
+{
+    AFCSIM_ASSERT(width >= 2 && height >= 2,
+                  "mesh must be at least 2x2");
+}
+
+NodeId
+Mesh::neighbor(NodeId n, Direction d) const
+{
+    Coord c = coordOf(n);
+    switch (d) {
+      case kEast:
+        return c.x + 1 < width_ ? nodeAt({c.x + 1, c.y}) : kInvalidNode;
+      case kWest:
+        return c.x - 1 >= 0 ? nodeAt({c.x - 1, c.y}) : kInvalidNode;
+      case kSouth:
+        return c.y + 1 < height_ ? nodeAt({c.x, c.y + 1}) : kInvalidNode;
+      case kNorth:
+        return c.y - 1 >= 0 ? nodeAt({c.x, c.y - 1}) : kInvalidNode;
+      default:
+        return kInvalidNode;
+    }
+}
+
+int
+Mesh::numNetPortsAt(NodeId n) const
+{
+    int count = 0;
+    for (int d = 0; d < kNumNetPorts; ++d) {
+        if (hasNeighbor(n, static_cast<Direction>(d)))
+            ++count;
+    }
+    return count;
+}
+
+RouterPosition
+Mesh::positionOf(NodeId n) const
+{
+    switch (numNetPortsAt(n)) {
+      case 2:
+        return RouterPosition::Corner;
+      case 3:
+        return RouterPosition::Edge;
+      case 4:
+        return RouterPosition::Center;
+      default:
+        AFCSIM_PANIC("node ", n, " has unexpected port count");
+    }
+}
+
+int
+Mesh::hopDistance(NodeId a, NodeId b) const
+{
+    Coord ca = coordOf(a);
+    Coord cb = coordOf(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+std::vector<NodeId>
+Mesh::allNodes() const
+{
+    std::vector<NodeId> nodes;
+    nodes.reserve(numNodes());
+    for (NodeId n = 0; n < numNodes(); ++n)
+        nodes.push_back(n);
+    return nodes;
+}
+
+} // namespace afcsim

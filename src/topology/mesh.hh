@@ -1,0 +1,124 @@
+/**
+ * @file
+ * k-ary 2-mesh topology: node/coordinate algebra, port directions,
+ * neighbor lookup, and router position classification (corner / edge
+ * / center), which AFC's contention thresholds depend on (Sec. III-B:
+ * "Because routers at edges and corners in a mesh have fewer ports,
+ * their thresholds are scaled accordingly").
+ */
+
+#ifndef AFCSIM_TOPOLOGY_MESH_HH
+#define AFCSIM_TOPOLOGY_MESH_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace afcsim
+{
+
+/**
+ * Router port directions. The four mesh directions are network
+ * ports; Local is the NIC injection/ejection port.
+ */
+enum Direction : int
+{
+    kEast = 0,
+    kWest = 1,
+    kNorth = 2,
+    kSouth = 3,
+    kLocal = 4,
+    kNumPorts = 5,
+    kNumNetPorts = 4,
+};
+
+/** Sentinel Direction for "no port available / not applicable". */
+inline constexpr Direction kNoDirection = static_cast<Direction>(-1);
+
+/** Opposite mesh direction (East <-> West, North <-> South). */
+Direction opposite(Direction d);
+
+/** Short name ("E", "W", "N", "S", "L") for traces and tests. */
+std::string dirName(int d);
+
+/** Position of a router within the mesh (per-class AFC thresholds). */
+enum class RouterPosition { Corner, Edge, Center };
+
+/** (x, y) coordinate in the mesh; x grows east, y grows south. */
+struct Coord
+{
+    int x;
+    int y;
+
+    bool operator==(const Coord &o) const = default;
+};
+
+/**
+ * A width x height 2D mesh. Node ids are row-major: id = y*W + x.
+ */
+class Mesh
+{
+  public:
+    Mesh(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int numNodes() const { return width_ * height_; }
+
+    Coord
+    coordOf(NodeId n) const
+    {
+        AFCSIM_ASSERT(valid(n), "node ", n, " out of range");
+        return {static_cast<int>(n) % width_, static_cast<int>(n) / width_};
+    }
+
+    NodeId
+    nodeAt(Coord c) const
+    {
+        AFCSIM_ASSERT(c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_,
+                      "coord out of range");
+        return static_cast<NodeId>(c.y * width_ + c.x);
+    }
+
+    bool
+    valid(NodeId n) const
+    {
+        return n >= 0 && n < numNodes();
+    }
+
+    /**
+     * Neighbor of node n in direction d, or kInvalidNode if d points
+     * off the mesh edge.
+     */
+    NodeId neighbor(NodeId n, Direction d) const;
+
+    /** True if node n has a link in direction d. */
+    bool
+    hasNeighbor(NodeId n, Direction d) const
+    {
+        return neighbor(n, d) != kInvalidNode;
+    }
+
+    /** Number of network (non-local) ports at node n (2, 3 or 4). */
+    int numNetPortsAt(NodeId n) const;
+
+    /** Corner / edge / center classification for AFC thresholds. */
+    RouterPosition positionOf(NodeId n) const;
+
+    /** Manhattan (minimal-route) hop distance between two nodes. */
+    int hopDistance(NodeId a, NodeId b) const;
+
+    /** All node ids, in row-major order (convenience for loops). */
+    std::vector<NodeId> allNodes() const;
+
+  private:
+    int width_;
+    int height_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_TOPOLOGY_MESH_HH

@@ -1,0 +1,53 @@
+#include "topology/routing.hh"
+
+namespace afcsim
+{
+
+Direction
+dorRoute(const Mesh &mesh, NodeId here, NodeId dest)
+{
+    AFCSIM_ASSERT(mesh.valid(here) && mesh.valid(dest),
+                  "dorRoute: bad nodes ", here, " ", dest);
+    Coord h = mesh.coordOf(here);
+    Coord d = mesh.coordOf(dest);
+    if (h.x < d.x)
+        return kEast;
+    if (h.x > d.x)
+        return kWest;
+    if (h.y < d.y)
+        return kSouth;
+    if (h.y > d.y)
+        return kNorth;
+    return kLocal;
+}
+
+PortSet
+productivePorts(const Mesh &mesh, NodeId here, NodeId dest)
+{
+    PortSet set;
+    Coord h = mesh.coordOf(here);
+    Coord d = mesh.coordOf(dest);
+    if (h.x < d.x)
+        set.add(kEast);
+    else if (h.x > d.x)
+        set.add(kWest);
+    if (h.y < d.y)
+        set.add(kSouth);
+    else if (h.y > d.y)
+        set.add(kNorth);
+    return set;
+}
+
+Direction
+lookaheadRoute(const Mesh &mesh, NodeId here, Direction out_port,
+               NodeId dest)
+{
+    if (out_port == kLocal)
+        return kLocal;
+    NodeId next = mesh.neighbor(here, out_port);
+    AFCSIM_ASSERT(next != kInvalidNode,
+                  "lookahead through missing link at node ", here);
+    return dorRoute(mesh, next, dest);
+}
+
+} // namespace afcsim

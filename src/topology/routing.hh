@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Routing functions over the mesh.
+ *
+ * The paper uses provably deadlock-free dimension-ordered routing
+ * (DOR / XY) in backpressured mode (Sec. III-F), and minimal
+ * ("productive") port preference with deflection in backpressureless
+ * mode. Lookahead routing (LAR) computes the next-hop output port
+ * one hop early (Table I).
+ */
+
+#ifndef AFCSIM_TOPOLOGY_ROUTING_HH
+#define AFCSIM_TOPOLOGY_ROUTING_HH
+
+#include <array>
+#include <vector>
+
+#include "topology/mesh.hh"
+
+namespace afcsim
+{
+
+/** Small fixed-capacity list of candidate output ports. */
+struct PortSet
+{
+    std::array<Direction, kNumNetPorts> ports{};
+    int count = 0;
+
+    void
+    add(Direction d)
+    {
+        AFCSIM_ASSERT(count < kNumNetPorts, "PortSet overflow");
+        ports[count++] = d;
+    }
+
+    bool
+    contains(Direction d) const
+    {
+        for (int i = 0; i < count; ++i) {
+            if (ports[i] == d)
+                return true;
+        }
+        return false;
+    }
+
+    bool empty() const { return count == 0; }
+};
+
+/**
+ * Dimension-ordered (XY) route: the unique next output port from
+ * `here` toward `dest`. Returns kLocal when here == dest.
+ */
+Direction dorRoute(const Mesh &mesh, NodeId here, NodeId dest);
+
+/**
+ * Productive ports: every mesh direction that reduces the Manhattan
+ * distance to `dest`. Empty set means here == dest (eject).
+ * Deflection routers prefer these; DOR picks ports[0] after X-first
+ * ordering.
+ */
+PortSet productivePorts(const Mesh &mesh, NodeId here, NodeId dest);
+
+/**
+ * Lookahead route: the DOR output port the flit will need at the
+ * router on the far side of `out_port` from `here`.
+ */
+Direction lookaheadRoute(const Mesh &mesh, NodeId here, Direction out_port,
+                         NodeId dest);
+
+} // namespace afcsim
+
+#endif // AFCSIM_TOPOLOGY_ROUTING_HH

@@ -1,0 +1,70 @@
+#include "traffic/injector.hh"
+
+namespace afcsim
+{
+
+OpenLoopInjector::OpenLoopInjector(Network &net,
+                                   const TrafficPattern &pattern,
+                                   std::vector<double> rates,
+                                   double data_fraction)
+    : net_(net), pattern_(pattern), dataFraction_(data_fraction)
+{
+    init(std::move(rates), data_fraction);
+}
+
+OpenLoopInjector::OpenLoopInjector(Network &net,
+                                   const TrafficPattern &pattern,
+                                   double rate, double data_fraction)
+    : net_(net), pattern_(pattern), dataFraction_(data_fraction)
+{
+    init(std::vector<double>(net.mesh().numNodes(), rate),
+         data_fraction);
+}
+
+void
+OpenLoopInjector::init(std::vector<double> rates, double data_fraction)
+{
+    const NetworkConfig &cfg = net_.config();
+    AFCSIM_ASSERT(rates.size() ==
+                  static_cast<std::size_t>(net_.mesh().numNodes()),
+                  "one rate per node required");
+    AFCSIM_ASSERT(data_fraction >= 0.0 && data_fraction <= 1.0,
+                  "data fraction out of range");
+    double mean_len = data_fraction * cfg.dataPacketFlits +
+        (1.0 - data_fraction) * cfg.controlPacketFlits;
+    Rng root(cfg.seed, 0x1f1ec7);
+    for (NodeId n = 0; n < net_.mesh().numNodes(); ++n) {
+        double p = rates[n] / mean_len;
+        AFCSIM_ASSERT(p <= 1.0, "offered rate too high for Bernoulli "
+                      "injection at node ", n);
+        packetProb_.push_back(p);
+        rngs_.push_back(root.fork(n));
+    }
+}
+
+void
+OpenLoopInjector::tick(Cycle now)
+{
+    const NetworkConfig &cfg = net_.config();
+    for (NodeId n = 0; n < net_.mesh().numNodes(); ++n) {
+        Rng &rng = rngs_[n];
+        if (!rng.chance(packetProb_[n]))
+            continue;
+        NodeId dest = pattern_.pick(n, rng);
+        bool data = rng.chance(dataFraction_);
+        int len = data ? cfg.dataPacketFlits : cfg.controlPacketFlits;
+        // Control packets split across the two control vnets; data
+        // goes on the data vnet (Table II: 2 control + 1 data).
+        VnetId vnet;
+        if (data) {
+            vnet = static_cast<VnetId>(cfg.numVnets() - 1);
+        } else {
+            vnet = static_cast<VnetId>(
+                cfg.numVnets() > 2 ? rng.below(cfg.numVnets() - 1) : 0);
+        }
+        net_.nic(n).sendPacket(dest, vnet, len, now);
+        offeredFlits_ += len;
+    }
+}
+
+} // namespace afcsim

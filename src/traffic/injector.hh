@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Open-loop Bernoulli packet injector: offers a fixed flit rate per
+ * node (possibly different per node, as in the Sec. V-B quadrant
+ * experiment) with a configurable control/data packet mix.
+ */
+
+#ifndef AFCSIM_TRAFFIC_INJECTOR_HH
+#define AFCSIM_TRAFFIC_INJECTOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "network/network.hh"
+#include "traffic/patterns.hh"
+
+namespace afcsim
+{
+
+/**
+ * Per-cycle packet source driving every NIC of a network. Rates are
+ * in flits/node/cycle; the injector converts them to packet
+ * probabilities using the expected packet length of the configured
+ * control/data mix.
+ */
+class OpenLoopInjector
+{
+  public:
+    /**
+     * @param net the network to drive
+     * @param pattern destination selector (shared across nodes)
+     * @param rates offered load per node, flits/node/cycle
+     * @param data_fraction fraction of packets that are data packets
+     */
+    OpenLoopInjector(Network &net, const TrafficPattern &pattern,
+                     std::vector<double> rates, double data_fraction);
+
+    /** Convenience: uniform rate across all nodes. */
+    OpenLoopInjector(Network &net, const TrafficPattern &pattern,
+                     double rate, double data_fraction);
+
+    /** Generate this cycle's packets (call before Network::step). */
+    void tick(Cycle now);
+
+    /** Flits offered so far (counts generated, queued or not). */
+    std::uint64_t offeredFlits() const { return offeredFlits_; }
+
+    /** Reset the offered counter (at measurement-window start). */
+    void resetOffered() { offeredFlits_ = 0; }
+
+    double packetProbability(NodeId n) const { return packetProb_.at(n); }
+
+  private:
+    void init(std::vector<double> rates, double data_fraction);
+
+    Network &net_;
+    const TrafficPattern &pattern_;
+    double dataFraction_;
+    std::vector<double> packetProb_;
+    std::vector<Rng> rngs_;
+    std::uint64_t offeredFlits_ = 0;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_TRAFFIC_INJECTOR_HH

@@ -1,0 +1,138 @@
+#include "traffic/openloop.hh"
+
+#include "traffic/injector.hh"
+#include "traffic/patterns.hh"
+
+namespace afcsim
+{
+
+namespace
+{
+
+OpenLoopResult
+runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
+        const std::vector<double> &rates,
+        QuadrantResult *quadrant_out)
+{
+    Network net(cfg, fc);
+    auto pattern = makePattern(ol.pattern, net.mesh());
+    OpenLoopInjector inj(net, *pattern, rates, ol.dataPacketFraction);
+
+    for (Cycle c = 0; c < ol.warmupCycles; ++c) {
+        inj.tick(net.now());
+        net.step();
+    }
+
+    // Measurement window: reset end-to-end stats and snapshot
+    // cumulative counters (energy, router activity).
+    int n = net.mesh().numNodes();
+    for (NodeId node = 0; node < n; ++node)
+        net.nic(node).stats().reset();
+    inj.resetOffered();
+    EnergyReport e0 = net.aggregateEnergy();
+    RouterStats r0 = net.aggregateRouterStats();
+    std::uint64_t queued0 = 0;
+    for (NodeId node = 0; node < n; ++node)
+        queued0 += net.nic(node).queuedFlits();
+
+    for (Cycle c = 0; c < ol.measureCycles; ++c) {
+        inj.tick(net.now());
+        net.step();
+    }
+
+    OpenLoopResult res;
+    res.fc = fc;
+    res.measuredCycles = ol.measureCycles;
+    res.stats = net.aggregateStats();
+    res.energy = net.aggregateEnergy().diff(e0);
+
+    double node_cycles = static_cast<double>(n) * ol.measureCycles;
+    res.offeredRate = inj.offeredFlits() / node_cycles;
+    res.acceptedRate = res.stats.flitsDelivered / node_cycles;
+    res.avgPacketLatency = res.stats.packetLatency.mean();
+    res.p50PacketLatency = res.stats.packetLatencyHist.quantile(0.5);
+    res.p99PacketLatency = res.stats.packetLatencyHist.quantile(0.99);
+    res.avgFlitLatency = res.stats.flitLatency.mean();
+    res.avgHops = res.stats.hops.mean();
+    res.avgDeflections = res.stats.deflections.mean();
+    if (res.stats.flitsDelivered > 0) {
+        res.energyPerFlit =
+            res.energy.total() / res.stats.flitsDelivered;
+    }
+
+    RouterStats r1 = net.aggregateRouterStats();
+    std::uint64_t bp = r1.cyclesBackpressured - r0.cyclesBackpressured;
+    std::uint64_t bpl =
+        r1.cyclesBackpressureless - r0.cyclesBackpressureless;
+    res.bpFraction = (bp + bpl) ? static_cast<double>(bp) / (bp + bpl)
+                                : 0.0;
+
+    std::uint64_t queued1 = 0;
+    for (NodeId node = 0; node < n; ++node)
+        queued1 += net.nic(node).queuedFlits();
+    bool queue_growth = queued1 >
+        queued0 + static_cast<std::uint64_t>(n) * 16;
+    res.saturated = queue_growth ||
+        res.acceptedRate < 0.9 * res.offeredRate;
+
+    if (quadrant_out != nullptr) {
+        const auto *qp = dynamic_cast<const QuadrantPattern *>(
+            pattern.get());
+        AFCSIM_ASSERT(qp != nullptr, "quadrant stats need the "
+                      "quadrant pattern");
+        std::array<RunningStat, 4> lat;
+        for (NodeId node = 0; node < n; ++node) {
+            int q = qp->quadrantOf(node);
+            lat[q].merge(net.nic(node).stats().packetLatency);
+        }
+        for (int q = 0; q < 4; ++q) {
+            quadrant_out->quadrantPacketLatency[q] = lat[q].mean();
+            quadrant_out->quadrantPackets[q] = lat[q].count();
+        }
+        for (NodeId node = 0; node < n; ++node) {
+            quadrant_out->nodeUtilization.push_back(
+                net.nodeUtilization(node));
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+OpenLoopResult
+runOpenLoop(const NetworkConfig &cfg, FlowControl fc,
+            const OpenLoopConfig &ol)
+{
+    Mesh mesh(cfg.width, cfg.height);
+    std::vector<double> rates(mesh.numNodes(), ol.injectionRate);
+    return runImpl(cfg, fc, ol, rates, nullptr);
+}
+
+OpenLoopResult
+runOpenLoop(const NetworkConfig &cfg, FlowControl fc,
+            const OpenLoopConfig &ol,
+            const std::vector<double> &per_node_rates)
+{
+    return runImpl(cfg, fc, ol, per_node_rates, nullptr);
+}
+
+QuadrantResult
+runQuadrantExperiment(const NetworkConfig &cfg, FlowControl fc,
+                      const OpenLoopConfig &ol, double hot_rate,
+                      double cool_rate)
+{
+    Mesh mesh(cfg.width, cfg.height);
+    QuadrantPattern qp(mesh);
+    std::vector<double> rates(mesh.numNodes(), cool_rate);
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        if (qp.quadrantOf(n) == 0)
+            rates[n] = hot_rate; // NW quadrant runs hot (Sec. V-B)
+    }
+    OpenLoopConfig ol2 = ol;
+    ol2.pattern = "quadrant";
+    QuadrantResult out;
+    out.overall = runImpl(cfg, fc, ol2, rates, &out);
+    return out;
+}
+
+} // namespace afcsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Open-loop experiment harness: warmup, measurement and reporting
+ * for synthetic-traffic runs (the paper's "Other results" latency
+ * sweeps and the Sec. V-B spatial-variation experiment).
+ */
+
+#ifndef AFCSIM_TRAFFIC_OPENLOOP_HH
+#define AFCSIM_TRAFFIC_OPENLOOP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "energy/energy.hh"
+#include "network/network.hh"
+
+namespace afcsim
+{
+
+/** Outcome of one open-loop run at a fixed offered load. */
+struct OpenLoopResult
+{
+    FlowControl fc;
+    double offeredRate = 0.0;      ///< flits/node/cycle offered
+    double acceptedRate = 0.0;     ///< flits/node/cycle delivered
+    double avgPacketLatency = 0.0; ///< cycles, source-queue included
+    double p50PacketLatency = 0.0; ///< median packet latency
+    double p99PacketLatency = 0.0; ///< tail packet latency
+    double avgFlitLatency = 0.0;   ///< cycles, network only
+    double avgHops = 0.0;
+    double avgDeflections = 0.0;   ///< per delivered flit
+    double energyPerFlit = 0.0;    ///< pJ per delivered flit
+    double bpFraction = 0.0;       ///< router-cycles backpressured
+    bool saturated = false;
+    Cycle measuredCycles = 0;
+    NetStats stats;
+    EnergyReport energy;
+};
+
+/**
+ * Run one open-loop experiment: build a network, warm it up, then
+ * measure for the configured window. Per-node rates allow spatial
+ * variation; the uniform-rate overload fills them in.
+ */
+OpenLoopResult runOpenLoop(const NetworkConfig &cfg, FlowControl fc,
+                           const OpenLoopConfig &ol);
+
+OpenLoopResult runOpenLoop(const NetworkConfig &cfg, FlowControl fc,
+                           const OpenLoopConfig &ol,
+                           const std::vector<double> &per_node_rates);
+
+/**
+ * Per-quadrant view of an open-loop run (Sec. V-B): average packet
+ * latency of traffic originating in each quadrant.
+ */
+struct QuadrantResult
+{
+    OpenLoopResult overall;
+    std::array<double, 4> quadrantPacketLatency{};
+    std::array<std::uint64_t, 4> quadrantPackets{};
+    /** Per-node network-link utilization (flits/cycle), row-major —
+     * the congestion heatmap showing whether the hot quadrant's
+     * misrouting spreads into its neighbors (Sec. V-B). */
+    std::vector<double> nodeUtilization;
+};
+
+/** Run the Sec. V-B consolidation experiment (quadrant pattern). */
+QuadrantResult runQuadrantExperiment(const NetworkConfig &cfg,
+                                     FlowControl fc,
+                                     const OpenLoopConfig &ol,
+                                     double hot_rate, double cool_rate);
+
+} // namespace afcsim
+
+#endif // AFCSIM_TRAFFIC_OPENLOOP_HH

@@ -1,0 +1,133 @@
+#include "traffic/patterns.hh"
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+NodeId
+UniformPattern::pick(NodeId src, Rng &rng) const
+{
+    int n = mesh_.numNodes();
+    AFCSIM_ASSERT(n > 1, "uniform pattern needs > 1 node");
+    NodeId dest = static_cast<NodeId>(rng.below(n - 1));
+    if (dest >= src)
+        ++dest;
+    return dest;
+}
+
+TransposePattern::TransposePattern(const Mesh &mesh)
+    : mesh_(mesh), fallback_(mesh)
+{
+    if (mesh.width() != mesh.height())
+        AFCSIM_FATAL("transpose pattern requires a square mesh");
+}
+
+NodeId
+TransposePattern::pick(NodeId src, Rng &rng) const
+{
+    Coord c = mesh_.coordOf(src);
+    NodeId dest = mesh_.nodeAt({c.y, c.x});
+    if (dest == src)
+        return fallback_.pick(src, rng);
+    return dest;
+}
+
+NodeId
+BitComplementPattern::pick(NodeId src, Rng &rng) const
+{
+    Coord c = mesh_.coordOf(src);
+    NodeId dest = mesh_.nodeAt(
+        {mesh_.width() - 1 - c.x, mesh_.height() - 1 - c.y});
+    if (dest == src)
+        return fallback_.pick(src, rng);
+    return dest;
+}
+
+HotspotPattern::HotspotPattern(const Mesh &mesh, NodeId hot,
+                               double hot_fraction)
+    : mesh_(mesh), hot_(hot), hotFraction_(hot_fraction), fallback_(mesh)
+{
+    AFCSIM_ASSERT(mesh.valid(hot), "hotspot node out of range");
+    AFCSIM_ASSERT(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+                  "hot fraction out of range");
+}
+
+NodeId
+HotspotPattern::pick(NodeId src, Rng &rng) const
+{
+    if (src != hot_ && rng.chance(hotFraction_))
+        return hot_;
+    return fallback_.pick(src, rng);
+}
+
+NodeId
+NearNeighborPattern::pick(NodeId src, Rng &rng) const
+{
+    NodeId nbrs[kNumNetPorts];
+    int count = 0;
+    for (int d = 0; d < kNumNetPorts; ++d) {
+        NodeId n = mesh_.neighbor(src, static_cast<Direction>(d));
+        if (n != kInvalidNode)
+            nbrs[count++] = n;
+    }
+    AFCSIM_ASSERT(count > 0, "isolated node");
+    return nbrs[rng.below(count)];
+}
+
+QuadrantPattern::QuadrantPattern(const Mesh &mesh)
+    : mesh_(mesh)
+{
+    if (mesh.width() < 4 || mesh.height() < 4)
+        AFCSIM_FATAL("quadrant pattern needs at least a 4x4 mesh");
+}
+
+int
+QuadrantPattern::quadrantOf(NodeId n) const
+{
+    Coord c = mesh_.coordOf(n);
+    int east = c.x >= mesh_.width() / 2 ? 1 : 0;
+    int south = c.y >= mesh_.height() / 2 ? 1 : 0;
+    return south * 2 + east;
+}
+
+NodeId
+QuadrantPattern::pick(NodeId src, Rng &rng) const
+{
+    int q = quadrantOf(src);
+    int x0 = (q % 2) * (mesh_.width() / 2);
+    int y0 = (q / 2) * (mesh_.height() / 2);
+    int qw = (q % 2) ? mesh_.width() - mesh_.width() / 2
+                     : mesh_.width() / 2;
+    int qh = (q / 2) ? mesh_.height() - mesh_.height() / 2
+                     : mesh_.height() / 2;
+    for (;;) {
+        int x = x0 + static_cast<int>(rng.below(qw));
+        int y = y0 + static_cast<int>(rng.below(qh));
+        NodeId dest = mesh_.nodeAt({x, y});
+        if (dest != src)
+            return dest;
+    }
+}
+
+std::unique_ptr<TrafficPattern>
+makePattern(const std::string &name, const Mesh &mesh)
+{
+    if (name == "uniform")
+        return std::make_unique<UniformPattern>(mesh);
+    if (name == "transpose")
+        return std::make_unique<TransposePattern>(mesh);
+    if (name == "bitcomp")
+        return std::make_unique<BitComplementPattern>(mesh);
+    if (name == "hotspot") {
+        NodeId center = mesh.nodeAt({mesh.width() / 2, mesh.height() / 2});
+        return std::make_unique<HotspotPattern>(mesh, center, 0.2);
+    }
+    if (name == "neighbor")
+        return std::make_unique<NearNeighborPattern>(mesh);
+    if (name == "quadrant")
+        return std::make_unique<QuadrantPattern>(mesh);
+    AFCSIM_FATAL("unknown traffic pattern '", name, "'");
+}
+
+} // namespace afcsim

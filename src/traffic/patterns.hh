@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Synthetic traffic patterns for open-loop evaluation: uniform
+ * random, transpose, bit-complement, hotspot, near-neighbor (the
+ * "easy" pattern discussed in Sec. III-B), and the quadrant-
+ * partitioned consolidation pattern of Sec. V-B (traffic injected
+ * in a quadrant stays within the quadrant).
+ */
+
+#ifndef AFCSIM_TRAFFIC_PATTERNS_HH
+#define AFCSIM_TRAFFIC_PATTERNS_HH
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "topology/mesh.hh"
+
+namespace afcsim
+{
+
+/** Destination selector for synthetically generated packets. */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+
+    /**
+     * Pick a destination for a packet injected at `src`; never
+     * returns src itself.
+     */
+    virtual NodeId pick(NodeId src, Rng &rng) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Uniformly random destination over all other nodes. */
+class UniformPattern : public TrafficPattern
+{
+  public:
+    explicit UniformPattern(const Mesh &mesh) : mesh_(mesh) {}
+    NodeId pick(NodeId src, Rng &rng) const override;
+    std::string name() const override { return "uniform"; }
+
+  private:
+    const Mesh &mesh_;
+};
+
+/** (x, y) -> (y, x); self-addressed picks fall back to uniform. */
+class TransposePattern : public TrafficPattern
+{
+  public:
+    explicit TransposePattern(const Mesh &mesh);
+    NodeId pick(NodeId src, Rng &rng) const override;
+    std::string name() const override { return "transpose"; }
+
+  private:
+    const Mesh &mesh_;
+    UniformPattern fallback_;
+};
+
+/** (x, y) -> (W-1-x, H-1-y); center nodes fall back to uniform. */
+class BitComplementPattern : public TrafficPattern
+{
+  public:
+    explicit BitComplementPattern(const Mesh &mesh)
+        : mesh_(mesh), fallback_(mesh)
+    {
+    }
+    NodeId pick(NodeId src, Rng &rng) const override;
+    std::string name() const override { return "bitcomp"; }
+
+  private:
+    const Mesh &mesh_;
+    UniformPattern fallback_;
+};
+
+/** With probability `hotFraction` target the hotspot, else uniform. */
+class HotspotPattern : public TrafficPattern
+{
+  public:
+    HotspotPattern(const Mesh &mesh, NodeId hot, double hot_fraction);
+    NodeId pick(NodeId src, Rng &rng) const override;
+    std::string name() const override { return "hotspot"; }
+
+  private:
+    const Mesh &mesh_;
+    NodeId hot_;
+    double hotFraction_;
+    UniformPattern fallback_;
+};
+
+/** Uniform over the mesh neighbors of the source ("easy" traffic). */
+class NearNeighborPattern : public TrafficPattern
+{
+  public:
+    explicit NearNeighborPattern(const Mesh &mesh) : mesh_(mesh) {}
+    NodeId pick(NodeId src, Rng &rng) const override;
+    std::string name() const override { return "neighbor"; }
+
+  private:
+    const Mesh &mesh_;
+};
+
+/**
+ * Consolidation pattern (Sec. V-B): the mesh is split into four
+ * quadrants and destinations are uniform within the source's
+ * quadrant, so each quadrant behaves like an independent workload.
+ */
+class QuadrantPattern : public TrafficPattern
+{
+  public:
+    explicit QuadrantPattern(const Mesh &mesh);
+    NodeId pick(NodeId src, Rng &rng) const override;
+    std::string name() const override { return "quadrant"; }
+
+    /** Quadrant index (0..3) of a node: 0 = NW, 1 = NE, 2 = SW, 3 = SE. */
+    int quadrantOf(NodeId n) const;
+
+  private:
+    const Mesh &mesh_;
+};
+
+/** Factory by name; fatal on unknown names. */
+std::unique_ptr<TrafficPattern> makePattern(const std::string &name,
+                                            const Mesh &mesh);
+
+} // namespace afcsim
+
+#endif // AFCSIM_TRAFFIC_PATTERNS_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Cycle-precise tests of the AFC mode-switch protocol (Sec. III-B/C):
+ * notification timing over the 1-bit control lines, credit-view
+ * resets, the 2L-cycle forward window, and per-vnet credit flow in
+ * mixed-mode operation. Uses a 2x2 mesh (every router is a corner)
+ * with artificially tiny thresholds so a single flit triggers the
+ * forward switch at a known cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/network.hh"
+#include "router/afc.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+/** 2x2 AFC config whose routers switch on the first routed flit. */
+NetworkConfig
+hairTriggerConfig()
+{
+    NetworkConfig cfg = testConfig(2, 2);
+    cfg.afc.cornerHigh = 1e-4;
+    cfg.afc.cornerLow = 5e-5;
+    return cfg;
+}
+
+AfcRouter &
+afcAt(Network &net, NodeId n)
+{
+    return dynamic_cast<AfcRouter &>(net.router(n));
+}
+
+TEST(AfcProtocol, ForwardSwitchChoreography)
+{
+    NetworkConfig cfg = hairTriggerConfig();
+    const int L = cfg.linkLatency;
+    Network net(cfg, FlowControl::Afc);
+    AfcRouter &r0 = afcAt(net, 0);
+    AfcRouter &r1 = afcAt(net, 1);
+
+    ASSERT_EQ(r0.mode(), RouterMode::Backpressureless);
+    ASSERT_FALSE(r1.trackingDownstream(kWest));
+
+    // Inject a single-flit packet 0 -> 1. Router 0 dispatches it in
+    // the same evaluate() it pulls it (deflection pipeline), so the
+    // intensity sample lands at the advance() of the injection
+    // cycle, and the forward switch triggers there.
+    net.nic(0).sendPacket(1, 0, 1, net.now());
+    net.step(); // evaluate+advance of the injection cycle
+    Cycle trigger = net.now() - 1; // advance() ran at now-1
+
+    ASSERT_TRUE(r0.switchPending());
+    EXPECT_EQ(r0.mode(), RouterMode::Backpressureless);
+    EXPECT_EQ(r0.bufferFromCycle(), trigger + 2 * L);
+
+    // The StartTracking notification travels L cycles: router 1's
+    // credit tracking for its west output port (toward router 0)
+    // flips exactly when the ctl message is delivered.
+    for (Cycle c = net.now(); c < trigger + L; ++c) {
+        EXPECT_FALSE(r1.trackingDownstream(kWest))
+            << "tracking flipped early at cycle " << c;
+        net.step();
+    }
+    // The delivery happens at the start of cycle trigger + L.
+    net.step();
+    EXPECT_TRUE(r1.trackingDownstream(kWest));
+
+    // Credit view resets to full (the switching router's buffers
+    // are empty at this point).
+    VcShape shape(cfg.afcVnets);
+    for (int v = 0; v < shape.numVnets(); ++v)
+        EXPECT_EQ(r1.downstreamFreeSlots(kWest, v), shape.count(v));
+
+    // Mode flips to backpressured once arrivals are buffered
+    // (cycle trigger + 2L onwards).
+    while (net.now() < r0.bufferFromCycle())
+        net.step();
+    net.step();
+    EXPECT_EQ(r0.mode(), RouterMode::Backpressured);
+    EXPECT_FALSE(r0.switchPending());
+}
+
+TEST(AfcProtocol, ReverseSwitchNotifiesNeighbors)
+{
+    NetworkConfig cfg = hairTriggerConfig();
+    const int L = cfg.linkLatency;
+    Network net(cfg, FlowControl::Afc);
+    AfcRouter &r0 = afcAt(net, 0);
+    AfcRouter &r1 = afcAt(net, 1);
+
+    net.nic(0).sendPacket(1, 0, 1, net.now());
+    ASSERT_TRUE(net.drain(1000));
+    // Both routers 0 and 1 handled flits, so both are backpressured
+    // (or pending) now; let everything settle.
+    net.run(4 * L);
+    ASSERT_EQ(r0.mode(), RouterMode::Backpressured);
+    ASSERT_TRUE(r1.trackingDownstream(kWest));
+
+    // Idle decay: the EWMA (weight 0.99) falls below the (tiny) low
+    // threshold; buffers are empty, so the reverse switch fires.
+    Cycle reverse_cycle = 0;
+    for (int c = 0; c < 2000 && reverse_cycle == 0; ++c) {
+        net.step();
+        if (r0.mode() == RouterMode::Backpressureless)
+            reverse_cycle = net.now() - 1;
+    }
+    ASSERT_GT(reverse_cycle, 0u) << "no reverse switch";
+
+    // StopTracking reaches the neighbor L cycles later.
+    while (net.now() < reverse_cycle + L)
+        net.step();
+    net.step();
+    EXPECT_FALSE(r1.trackingDownstream(kWest));
+    EXPECT_GT(net.aggregateRouterStats().reverseSwitches, 0u);
+}
+
+TEST(AfcProtocol, CreditsFlowPerVnet)
+{
+    // In always-backpressured mode, send a packet on vnet 2 only:
+    // the upstream's per-vnet credit view must dip for vnet 2 and
+    // stay full for vnets 0 and 1 (lazy VCA tracks credits per
+    // virtual network, Sec. III-E).
+    NetworkConfig cfg = testConfig(2, 2);
+    Network net(cfg, FlowControl::AfcAlwaysBackpressured);
+    AfcRouter &r0 = afcAt(net, 0);
+    VcShape shape(cfg.afcVnets);
+
+    for (int k = 0; k < 6; ++k)
+        net.nic(0).sendPacket(1, 2, 5, net.now());
+    bool vnet2_dipped = false;
+    for (int c = 0; c < 40; ++c) {
+        net.step();
+        EXPECT_EQ(r0.downstreamFreeSlots(kEast, 0), shape.count(0));
+        EXPECT_EQ(r0.downstreamFreeSlots(kEast, 1), shape.count(1));
+        if (r0.downstreamFreeSlots(kEast, 2) < shape.count(2))
+            vnet2_dipped = true;
+    }
+    EXPECT_TRUE(vnet2_dipped);
+    ASSERT_TRUE(net.drain(10000));
+    expectConservation(net);
+}
+
+TEST(AfcProtocol, WindowArrivalsDeflectNotBuffer)
+{
+    // Flits that arrive during the 2L switch window must be handled
+    // by the deflection pipeline (Sec. III-B: "any incoming flits
+    // that are received on or after the (T+2L)th cycle are directed
+    // to the input buffers" — and, implicitly, earlier ones are
+    // not). We verify via bufferedFlits(): nothing may sit in the
+    // lazy-VCA buffers before bufferFromCycle.
+    NetworkConfig cfg = hairTriggerConfig();
+    Network net(cfg, FlowControl::Afc);
+    AfcRouter &r0 = afcAt(net, 0);
+
+    // Saturate node 0 with through-traffic from its neighbors so
+    // flits arrive during its switch window.
+    for (int k = 0; k < 10; ++k) {
+        net.nic(1).sendPacket(2, 0, 1, net.now()); // 1 -> 2 via 0 or 3
+        net.nic(2).sendPacket(1, 0, 1, net.now());
+        net.nic(0).sendPacket(3, 0, 1, net.now());
+    }
+    while (!r0.switchPending() && net.now() < 100)
+        net.step();
+    ASSERT_TRUE(r0.switchPending());
+    while (net.now() < r0.bufferFromCycle()) {
+        EXPECT_EQ(r0.bufferedFlits(), 0u)
+            << "buffered during the deflection window, cycle "
+            << net.now();
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+}
+
+TEST(AfcProtocol, GossipFiresAtReserveThreshold)
+{
+    // Shallow vnets (5 slots, X = 2L = 4): a sustained stream from a
+    // backpressureless upstream into a backpressured downstream must
+    // force the upstream forward exactly when its credit view hits
+    // X, and the view must never go negative (the router panics if
+    // the reserve is violated).
+    NetworkConfig cfg = testConfig(3, 3);
+    cfg.afcVnets = {{5, 1}, {5, 1}, {5, 1}};
+    cfg.afc.centerHigh = 1e-4; // center trips immediately
+    cfg.afc.centerLow = 5e-5;
+    cfg.afc.edgeHigh = 1e9;    // edges/corners only via gossip
+    cfg.afc.cornerHigh = 1e9;
+    Network net(cfg, FlowControl::Afc);
+    AfcRouter &r3 = afcAt(net, 3); // west edge, feeds center 4
+
+    bool saw_trigger_at_reserve = false;
+    for (int k = 0; k < 400; ++k) {
+        net.nic(3).sendPacket(5, 0, 1, net.now()); // through center
+        bool was_stable_bpl = r3.mode() ==
+            RouterMode::Backpressureless && !r3.switchPending();
+        net.step();
+        if (was_stable_bpl && r3.switchPending()) {
+            // The gossip check fired in the advance() just
+            // executed: the credit view must be at (or just under)
+            // the reserve, never deeper.
+            EXPECT_TRUE(r3.trackingDownstream(kEast));
+            int free = r3.downstreamFreeSlots(kEast, 0);
+            EXPECT_LE(free, r3.gossipReserve());
+            EXPECT_GE(free, r3.gossipReserve() - 1)
+                << "trigger happened later than the reserve";
+            saw_trigger_at_reserve = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_trigger_at_reserve);
+    EXPECT_GT(net.aggregateRouterStats().gossipSwitches, 0u);
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+}
+
+TEST(AfcProtocol, HairTriggerNetworkStillConserves)
+{
+    // Fast mode churn (tiny thresholds + tiny hysteresis) is the
+    // worst case for the switch protocol; the routers' internal
+    // overflow/underflow panics plus conservation close the proof.
+    NetworkConfig cfg = hairTriggerConfig();
+    Network net(cfg, FlowControl::Afc);
+    Rng rng(4);
+    for (int k = 0; k < 4000; ++k) {
+        for (NodeId s = 0; s < 4; ++s) {
+            if (rng.chance(0.12)) {
+                NodeId d = rng.below(4);
+                if (d != s)
+                    net.nic(s).sendPacket(d, 2, 5, net.now());
+            }
+        }
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(300000));
+    // Idle long enough for the EWMA to decay below the tiny low
+    // threshold: reverse switches fire, then a second traffic burst
+    // forces a second round of forward switches.
+    net.run(3000);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(net.router(n).mode(), RouterMode::Backpressureless);
+    for (int k = 0; k < 200; ++k) {
+        for (NodeId s = 0; s < 4; ++s)
+            net.nic(s).sendPacket((s + 1) % 4, 2, 5, net.now());
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(300000));
+    expectConservation(net);
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_GT(rs.forwardSwitches, 4u);
+    EXPECT_GT(rs.reverseSwitches, 0u);
+}
+
+} // namespace
+} // namespace afcsim

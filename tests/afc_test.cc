@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the AFC router: the Fig. 1 mode state machine (forward /
+ * reverse / gossip-induced switches), the 2L-cycle switch protocol,
+ * lazy VC allocation, per-vnet credits, hysteresis, and mixed-mode
+ * correctness (buffer-overflow panics inside the router act as the
+ * protocol checker).
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/network.hh"
+#include "router/afc.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+AfcRouter &
+afcAt(Network &net, NodeId n)
+{
+    return dynamic_cast<AfcRouter &>(net.router(n));
+}
+
+TEST(Afc, StartsBackpressureless)
+{
+    Network net(testConfig(), FlowControl::Afc);
+    for (NodeId n = 0; n < 9; ++n)
+        EXPECT_EQ(net.router(n).mode(), RouterMode::Backpressureless);
+}
+
+TEST(Afc, ThresholdsFollowPosition)
+{
+    Network net(testConfig(), FlowControl::Afc);
+    EXPECT_DOUBLE_EQ(afcAt(net, 0).highThreshold(), 1.8); // corner
+    EXPECT_DOUBLE_EQ(afcAt(net, 0).lowThreshold(), 1.2);
+    EXPECT_DOUBLE_EQ(afcAt(net, 1).highThreshold(), 2.1); // edge
+    EXPECT_DOUBLE_EQ(afcAt(net, 1).lowThreshold(), 1.3);
+    EXPECT_DOUBLE_EQ(afcAt(net, 4).highThreshold(), 2.2); // center
+    EXPECT_DOUBLE_EQ(afcAt(net, 4).lowThreshold(), 1.7);
+}
+
+TEST(Afc, GossipReserveDefaultsTo2L)
+{
+    NetworkConfig cfg = testConfig();
+    cfg.linkLatency = 2;
+    Network net(cfg, FlowControl::Afc);
+    EXPECT_EQ(afcAt(net, 4).gossipReserve(), 4);
+}
+
+TEST(Afc, LowLoadStaysBackpressureless)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Afc);
+    Rng rng(11);
+    for (int k = 0; k < 2000; ++k) {
+        if (rng.chance(0.05)) {
+            NodeId src = rng.below(9), dest = rng.below(9);
+            if (src != dest)
+                net.nic(src).sendPacket(dest, 0, 1, net.now());
+        }
+        net.step();
+    }
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_EQ(rs.forwardSwitches, 0u);
+    EXPECT_GT(rs.cyclesBackpressureless, 0u);
+    EXPECT_LT(net.backpressuredFraction(), 0.01);
+    ASSERT_TRUE(net.drain(10000));
+    expectConservation(net);
+}
+
+TEST(Afc, HighLoadSwitchesForward)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Afc);
+    Rng rng(12);
+    // Sustained heavy traffic: ~0.9 flits/node/cycle offered.
+    for (int k = 0; k < 3000; ++k) {
+        for (NodeId src = 0; src < 9; ++src) {
+            if (rng.chance(0.22)) {
+                NodeId dest = rng.below(9);
+                if (dest != src)
+                    net.nic(src).sendPacket(dest, 2, 5, net.now());
+            }
+        }
+        net.step();
+    }
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_GT(rs.forwardSwitches, 0u);
+    EXPECT_GT(net.backpressuredFraction(), 0.3);
+    ASSERT_TRUE(net.drain(200000));
+    expectConservation(net);
+}
+
+TEST(Afc, ReverseSwitchWhenLoadDrops)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Afc);
+    Rng rng(13);
+    for (int k = 0; k < 3000; ++k) {
+        for (NodeId src = 0; src < 9; ++src) {
+            if (rng.chance(0.22)) {
+                NodeId dest = rng.below(9);
+                if (dest != src)
+                    net.nic(src).sendPacket(dest, 2, 5, net.now());
+            }
+        }
+        net.step();
+    }
+    ASSERT_GT(net.aggregateRouterStats().forwardSwitches, 0u);
+    // Stop traffic; the EWMA (weight 0.99) decays past the low
+    // threshold within a few hundred idle cycles.
+    ASSERT_TRUE(net.drain(200000));
+    net.run(2000);
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_GT(rs.reverseSwitches, 0u);
+    for (NodeId n = 0; n < 9; ++n)
+        EXPECT_EQ(net.router(n).mode(), RouterMode::Backpressureless);
+    expectConservation(net);
+}
+
+TEST(Afc, ForwardSwitchTakes2LCycles)
+{
+    // Drive one router's intensity over threshold and observe the
+    // pending window: bufferFromCycle - trigger cycle == 2L.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Afc);
+    Rng rng(14);
+    Cycle trigger_cycle = 0;
+    for (int k = 0; k < 5000 && trigger_cycle == 0; ++k) {
+        for (NodeId src = 0; src < 9; ++src) {
+            if (rng.chance(0.25)) {
+                NodeId dest = rng.below(9);
+                if (dest != src)
+                    net.nic(src).sendPacket(dest, 2, 5, net.now());
+            }
+        }
+        net.step();
+        for (NodeId n = 0; n < 9 && trigger_cycle == 0; ++n) {
+            if (afcAt(net, n).switchPending()) {
+                trigger_cycle = net.now() - 1; // advance() ran at now-1
+                EXPECT_EQ(afcAt(net, n).bufferFromCycle(),
+                          trigger_cycle + 2 * cfg.linkLatency);
+            }
+        }
+    }
+    ASSERT_GT(trigger_cycle, 0u) << "no forward switch observed";
+    ASSERT_TRUE(net.drain(200000));
+    expectConservation(net);
+}
+
+TEST(Afc, HysteresisHoldsModeBetweenThresholds)
+{
+    // After a forward switch, moderate traffic that keeps the EWMA
+    // between low and high must keep the router backpressured.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Afc);
+    Rng rng(15);
+    for (int k = 0; k < 4000; ++k) {
+        for (NodeId src = 0; src < 9; ++src) {
+            if (rng.chance(0.25)) {
+                NodeId dest = rng.below(9);
+                if (dest != src)
+                    net.nic(src).sendPacket(dest, 2, 5, net.now());
+            }
+        }
+        net.step();
+    }
+    RouterStats before = net.aggregateRouterStats();
+    ASSERT_GT(before.forwardSwitches, 0u);
+    // Mode flapping would show as reverse+forward churn during the
+    // sustained-load phase; hysteresis keeps switch counts tiny
+    // relative to cycles.
+    EXPECT_LT(before.forwardSwitches + before.reverseSwitches, 100u);
+    ASSERT_TRUE(net.drain(200000));
+    expectConservation(net);
+}
+
+TEST(Afc, GossipInducedSwitch)
+{
+    // Force gossip: shallow per-vnet buffers (5 slots > X=4) and a
+    // center router that trips to backpressured at the slightest
+    // activity while corners/edges would never switch locally.
+    NetworkConfig cfg = testConfig();
+    cfg.afcVnets = {{5, 1}, {5, 1}, {5, 1}};
+    cfg.afc.centerHigh = 0.01;
+    cfg.afc.centerLow = 0.005;
+    cfg.afc.edgeHigh = 1e9;
+    cfg.afc.cornerHigh = 1e9;
+    Network net(cfg, FlowControl::Afc);
+    // Streams crossing the center keep its input ports busy; the
+    // upstream edge routers' credit view drops to X and forces them
+    // backpressured without local contention.
+    for (int k = 0; k < 600; ++k) {
+        net.nic(3).sendPacket(5, 0, 1, net.now()); // W -> E via center
+        net.nic(1).sendPacket(7, 1, 1, net.now()); // N -> S via center
+        net.step();
+    }
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_GT(rs.gossipSwitches, 0u);
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+}
+
+TEST(Afc, AlwaysBackpressuredNeverSwitches)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::AfcAlwaysBackpressured);
+    Rng rng(16);
+    for (int k = 0; k < 1000; ++k) {
+        if (rng.chance(0.3)) {
+            NodeId src = rng.below(9), dest = rng.below(9);
+            if (src != dest)
+                net.nic(src).sendPacket(dest, 2, 5, net.now());
+        }
+        net.step();
+    }
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_EQ(rs.forwardSwitches, 0u);
+    EXPECT_EQ(rs.reverseSwitches, 0u);
+    EXPECT_DOUBLE_EQ(net.backpressuredFraction(), 1.0);
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+}
+
+TEST(Afc, AlwaysBpZeroLoadLatencyMatchesBackpressured)
+{
+    // Lazy VCA keeps the 2-stage pipeline: same zero-load latency
+    // as the (charitable 0-cycle VCA) backpressured baseline.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::AfcAlwaysBackpressured);
+    ASSERT_TRUE(deliverOne(net, 0, 1, 0, 1).has_value());
+    EXPECT_EQ(net.aggregateStats().packetLatency.mean(), 5.0);
+}
+
+TEST(Afc, BplModeZeroLoadLatencyMatchesDeflection)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Afc);
+    ASSERT_TRUE(deliverOne(net, 0, 1, 0, 1).has_value());
+    EXPECT_EQ(net.aggregateStats().packetLatency.mean(), 4.0);
+}
+
+TEST(Afc, LazyVcaBufferBudgetHalved)
+{
+    NetworkConfig cfg = testConfig();
+    EXPECT_EQ(NetworkConfig::totalBufferFlits(cfg.afcVnets) * 2,
+              NetworkConfig::totalBufferFlits(cfg.vnets));
+}
+
+TEST(Afc, PerVnetCreditViewTracksOccupancy)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::AfcAlwaysBackpressured);
+    AfcRouter &r3 = afcAt(net, 3);
+    VcShape shape(cfg.afcVnets);
+    // Initially full credit for the east neighbor (the center).
+    for (int v = 0; v < shape.numVnets(); ++v) {
+        EXPECT_TRUE(r3.trackingDownstream(kEast));
+        EXPECT_EQ(r3.downstreamFreeSlots(kEast, v), shape.count(v));
+    }
+    // Push a burst through 3 -> 4 -> 5 and watch credits dip and
+    // recover.
+    for (int k = 0; k < 10; ++k)
+        net.nic(3).sendPacket(5, 2, 5, net.now());
+    net.run(10);
+    bool dipped = false;
+    for (int v = 0; v < shape.numVnets(); ++v) {
+        if (r3.downstreamFreeSlots(kEast, v) < shape.count(v))
+            dipped = true;
+    }
+    EXPECT_TRUE(dipped);
+    ASSERT_TRUE(net.drain(50000));
+    net.run(20);
+    for (int v = 0; v < shape.numVnets(); ++v)
+        EXPECT_EQ(r3.downstreamFreeSlots(kEast, v), shape.count(v));
+    expectConservation(net);
+}
+
+TEST(Afc, MixedModeStressNoProtocolViolation)
+{
+    // Spatially skewed load holds some routers backpressured while
+    // others stay deflecting; the router's internal overflow panics
+    // verify the switch protocol across every boundary crossing.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Afc);
+    Rng rng(17);
+    for (int k = 0; k < 6000; ++k) {
+        // Hot column x=0, cool elsewhere.
+        for (NodeId src : {0, 3, 6}) {
+            if (rng.chance(0.3)) {
+                NodeId dest = rng.below(9);
+                if (dest != src)
+                    net.nic(src).sendPacket(dest, 2, 5, net.now());
+            }
+        }
+        if (rng.chance(0.05)) {
+            NodeId src = 1 + rng.below(2);
+            net.nic(src).sendPacket(8, 0, 1, net.now());
+        }
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(300000));
+    expectConservation(net);
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_GT(rs.forwardSwitches, 0u);
+}
+
+TEST(Afc, ModeDutyCycleAccountingSumsToCycles)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Afc);
+    net.run(500);
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_EQ(rs.cyclesBackpressured + rs.cyclesBackpressureless,
+              9u * 500u);
+}
+
+TEST(Afc, PowerGatedLeakageInBplMode)
+{
+    NetworkConfig cfg = testConfig();
+    Network idle_afc(cfg, FlowControl::Afc);
+    Network idle_bp(cfg, FlowControl::AfcAlwaysBackpressured);
+    idle_afc.run(1000);
+    idle_bp.run(1000);
+    double gated = idle_afc.aggregateEnergy().component(
+        EnergyComponent::BufferLeak);
+    double powered = idle_bp.aggregateEnergy().component(
+        EnergyComponent::BufferLeak);
+    // 90 % effective power gating (Sec. IV).
+    EXPECT_NEAR(gated / powered, 0.1, 0.02);
+}
+
+} // namespace
+} // namespace afcsim

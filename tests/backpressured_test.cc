@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the backpressured VC router: pipeline timing (Table I),
+ * credit flow control, packet-granularity VC allocation (rules
+ * R1/R2), wormhole ordering and head-of-line behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "network/network.hh"
+#include "router/backpressured.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+TEST(Backpressured, ZeroLoadLatencyOneHop)
+{
+    // Injection (1) + per-hop (SA + ST/LT = 1 + L) + ejection (1):
+    // one hop at L=2 is 5 cycles.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    auto t = deliverOne(net, 0, 1, 0, 1);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(net.aggregateStats().packetLatency.mean(), 5.0);
+}
+
+TEST(Backpressured, ZeroLoadLatencyScalesWithHops)
+{
+    NetworkConfig cfg = testConfig();
+    for (int hops = 1; hops <= 4; ++hops) {
+        Network net(cfg, FlowControl::Backpressured);
+        NodeId src = 0;
+        NodeId dest = hops <= 2 ? hops : (hops - 2) * 3 + 2;
+        ASSERT_EQ(net.mesh().hopDistance(src, dest), hops);
+        auto t = deliverOne(net, src, dest, 0, 1);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_EQ(net.aggregateStats().packetLatency.mean(),
+                  3.0 * hops + 2.0)
+            << "hops=" << hops;
+    }
+}
+
+TEST(Backpressured, MultiFlitPacketStreams)
+{
+    // Flits follow head at 1/cycle: a 4-flit packet finishes 3
+    // cycles after a single-flit one.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    auto t = deliverOne(net, 0, 1, 2, 4);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(net.aggregateStats().packetLatency.mean(), 8.0);
+}
+
+TEST(Backpressured, DorMinimalHops)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    ASSERT_TRUE(deliverOne(net, 0, 8, 2, 5).has_value());
+    NetStats s = net.aggregateStats();
+    // 0 -> 8 on a 3x3 is 4 hops; DOR never misroutes.
+    EXPECT_DOUBLE_EQ(s.hops.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.deflections.mean(), 0.0);
+}
+
+TEST(Backpressured, InitialCreditsMatchDepth)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    auto &r = dynamic_cast<BackpressuredRouter &>(net.router(4));
+    VcShape shape(cfg.vnets);
+    for (VcId vc = 0; vc < shape.totalVcs(); ++vc) {
+        EXPECT_EQ(r.creditsFor(kEast, vc),
+                  shape.depth(shape.vnetOf(vc)));
+    }
+}
+
+TEST(Backpressured, CreditsReturnAfterDelivery)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    ASSERT_TRUE(deliverOne(net, 3, 5, 2, 8).has_value());
+    net.run(20); // let credits flow home
+    auto &r = dynamic_cast<BackpressuredRouter &>(net.router(4));
+    VcShape shape(cfg.vnets);
+    for (VcId vc = 0; vc < shape.totalVcs(); ++vc) {
+        EXPECT_EQ(r.creditsFor(kEast, vc),
+                  shape.depth(shape.vnetOf(vc)));
+        EXPECT_FALSE(r.outVcBusy(kEast, vc));
+    }
+}
+
+TEST(Backpressured, FlitsOfPacketStayContiguousPerVc)
+{
+    // Wormhole rule R1: within one VC, packets may not interleave.
+    // The router asserts this on acceptFlit; a run with many
+    // multi-flit packets passing through shared links exercises it.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    for (int i = 0; i < 40; ++i) {
+        net.nic(0).sendPacket(8, 2, 5, net.now());
+        net.nic(2).sendPacket(6, 2, 5, net.now());
+        net.nic(1).sendPacket(7, 2, 5, net.now());
+        net.run(3);
+    }
+    ASSERT_TRUE(net.drain(20000));
+    expectConservation(net);
+}
+
+TEST(Backpressured, ManyPacketsSameDestination)
+{
+    // Output-port contention: everything funnels into node 4.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    for (NodeId src = 0; src < 9; ++src) {
+        if (src == 4)
+            continue;
+        for (int k = 0; k < 10; ++k)
+            net.nic(src).sendPacket(4, 2, 5, net.now());
+    }
+    ASSERT_TRUE(net.drain(50000));
+    expectConservation(net);
+    EXPECT_DOUBLE_EQ(net.aggregateStats().deflections.mean(), 0.0);
+}
+
+TEST(Backpressured, SmallBuffersStillDeliver)
+{
+    // Tight buffers stress the credit loop (including stalls).
+    NetworkConfig cfg = testConfig();
+    cfg.vnets = {{1, 2}, {1, 2}, {2, 2}};
+    Network net(cfg, FlowControl::Backpressured);
+    for (NodeId src = 0; src < 9; ++src) {
+        for (int k = 0; k < 5; ++k) {
+            NodeId dest = (src + 3 + k) % 9;
+            if (dest != src)
+                net.nic(src).sendPacket(dest, 2, 5, net.now());
+        }
+    }
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+}
+
+TEST(Backpressured, VnetsIsolateTraffic)
+{
+    // Packets on different vnets share links but never VCs; a mix
+    // must drain with per-VC contiguity asserts intact.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    for (int k = 0; k < 30; ++k) {
+        net.nic(0).sendPacket(8, 0, 1, net.now());
+        net.nic(0).sendPacket(8, 1, 1, net.now());
+        net.nic(0).sendPacket(8, 2, 5, net.now());
+        net.run(2);
+    }
+    ASSERT_TRUE(net.drain(20000));
+    expectConservation(net);
+}
+
+TEST(Backpressured, IdealBypassTimingIdentical)
+{
+    // The ideal-bypass configuration differs only in energy.
+    NetworkConfig cfg = testConfig();
+    Network a(cfg, FlowControl::Backpressured);
+    Network b(cfg, FlowControl::BackpressuredIdealBypass);
+    for (int k = 0; k < 20; ++k) {
+        a.nic(0).sendPacket(8, 2, 5, a.now());
+        b.nic(0).sendPacket(8, 2, 5, b.now());
+        a.run(5);
+        b.run(5);
+    }
+    ASSERT_TRUE(a.drain(10000));
+    ASSERT_TRUE(b.drain(10000));
+    EXPECT_DOUBLE_EQ(a.aggregateStats().packetLatency.mean(),
+                     b.aggregateStats().packetLatency.mean());
+    // Energy differs: bypass elides dynamic buffer energy.
+    EXPECT_LT(b.aggregateEnergy().component(
+                  EnergyComponent::BufferWrite),
+              a.aggregateEnergy().component(
+                  EnergyComponent::BufferWrite));
+}
+
+TEST(Backpressured, RouterStatsCountTraversals)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    ASSERT_TRUE(deliverOne(net, 0, 2, 0, 1).has_value());
+    RouterStats rs = net.aggregateRouterStats();
+    // src SA + middle hop + dest ejection = 3 dispatches.
+    EXPECT_EQ(rs.flitsRouted, 3u);
+    EXPECT_EQ(rs.flitsDeflected, 0u);
+    EXPECT_EQ(rs.cyclesBackpressureless, 0u);
+}
+
+TEST(Backpressured, BackpressurePropagatesToSource)
+{
+    // With tiny buffers and a hot destination, source queues must
+    // back up (flits held at the NIC, not dropped).
+    NetworkConfig cfg = testConfig();
+    cfg.vnets = {{1, 2}, {1, 2}, {1, 2}};
+    Network net(cfg, FlowControl::Backpressured);
+    for (int k = 0; k < 50; ++k)
+        net.nic(0).sendPacket(1, 2, 5, net.now());
+    net.run(30);
+    EXPECT_GT(net.nic(0).queuedFlits(), 0u);
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+}
+
+TEST(Backpressured, BaselineVcConfigAtPerformanceKnee)
+{
+    // Sec. IV: the baseline (2+2+4 VCs x 8 flits) is tuned — "adding
+    // more VCs (or increasing buffer-depths) resulted in no
+    // significant performance improvement". Halving VCs must hurt
+    // measurably; doubling must not help much.
+    auto latency = [](std::vector<VnetConfig> shape) {
+        NetworkConfig cfg = testConfig();
+        cfg.vnets = std::move(shape);
+        Network net(cfg, FlowControl::Backpressured);
+        Rng rng(55);
+        for (int k = 0; k < 4000; ++k) {
+            for (NodeId s = 0; s < 9; ++s) {
+                if (rng.chance(0.18)) {
+                    NodeId d = rng.below(9);
+                    if (d != s)
+                        net.nic(s).sendPacket(d, 2, 5, net.now());
+                }
+            }
+            net.step();
+        }
+        EXPECT_TRUE(net.drain(500000));
+        return net.aggregateStats().packetLatency.mean();
+    };
+    double halved = latency({{1, 8}, {1, 8}, {2, 8}});
+    double baseline = latency({{2, 8}, {2, 8}, {4, 8}});
+    double doubled = latency({{4, 8}, {4, 8}, {8, 8}});
+    EXPECT_GT(halved, baseline * 1.05);
+    EXPECT_NEAR(doubled / baseline, 1.0, 0.05);
+}
+
+TEST(Backpressured, EnergyKnobsShiftComponents)
+{
+    // Longer links must raise link energy proportionally and leave
+    // buffer energy untouched.
+    auto run = [](double link_mm) {
+        NetworkConfig cfg = testConfig();
+        cfg.energy.linkLengthMm = link_mm;
+        Network net(cfg, FlowControl::Backpressured);
+        net.nic(0).sendPacket(8, 2, 5, net.now());
+        EXPECT_TRUE(net.drain(10000));
+        return net.aggregateEnergy();
+    };
+    EnergyReport short_links = run(2.5);
+    EnergyReport long_links = run(5.0);
+    EXPECT_NEAR(long_links.linkEnergy(),
+                2.0 * short_links.linkEnergy(), 1e-6);
+    EXPECT_NEAR(long_links.bufferEnergy(), short_links.bufferEnergy(),
+                1e-6);
+}
+
+} // namespace
+} // namespace afcsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the fixed-latency channel pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/channel.hh"
+#include "network/flit.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+TEST(Channel, DeliversAfterLatency)
+{
+    Channel<int> ch(3);
+    ch.send(7, 10);
+    EXPECT_TRUE(ch.receive(12).empty());
+    auto got = ch.receive(13);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 7);
+}
+
+TEST(Channel, OrderPreserved)
+{
+    Channel<int> ch(2);
+    ch.send(1, 0);
+    ch.send(2, 1);
+    ch.send(3, 2);
+    auto a = ch.receive(2);
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0], 1);
+    auto b = ch.receive(4);
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_EQ(b[0], 2);
+    EXPECT_EQ(b[1], 3);
+}
+
+TEST(Channel, SameCycleMultipleMessages)
+{
+    Channel<int> ch(1);
+    ch.send(10, 5);
+    ch.send(11, 5);
+    auto got = ch.receive(6);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], 10);
+    EXPECT_EQ(got[1], 11);
+}
+
+TEST(Channel, InflightCount)
+{
+    Channel<int> ch(4);
+    EXPECT_TRUE(ch.empty());
+    ch.send(1, 0);
+    ch.send(2, 1);
+    EXPECT_EQ(ch.inflight(), 2u);
+    ch.receive(4); // only the first has arrived
+    EXPECT_EQ(ch.inflight(), 1u);
+    ch.receive(5);
+    EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, CarriesFlits)
+{
+    Channel<Flit> ch(2);
+    Flit f;
+    f.packet = 99;
+    f.src = 1;
+    f.dest = 5;
+    ch.send(f, 0);
+    auto got = ch.receive(2);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].packet, 99u);
+    EXPECT_EQ(got[0].dest, 5);
+}
+
+TEST(Channel, LatencyOneIsNextCycle)
+{
+    Channel<int> ch(1);
+    ch.send(42, 100);
+    EXPECT_TRUE(ch.receive(100).empty());
+    EXPECT_EQ(ch.receive(101).size(), 1u);
+}
+
+TEST(Flit, HeadTailClassification)
+{
+    Flit f;
+    f.type = FlitType::Single;
+    EXPECT_TRUE(f.isHead());
+    EXPECT_TRUE(f.isTail());
+    f.type = FlitType::Head;
+    EXPECT_TRUE(f.isHead());
+    EXPECT_FALSE(f.isTail());
+    f.type = FlitType::Body;
+    EXPECT_FALSE(f.isHead());
+    EXPECT_FALSE(f.isTail());
+    f.type = FlitType::Tail;
+    EXPECT_FALSE(f.isHead());
+    EXPECT_TRUE(f.isTail());
+}
+
+TEST(Flit, DescribeMentionsIdentity)
+{
+    Flit f;
+    f.packet = 12;
+    f.seq = 3;
+    f.src = 1;
+    f.dest = 7;
+    std::string d = f.describe();
+    EXPECT_NE(d.find("pkt=12"), std::string::npos);
+    EXPECT_NE(d.find("1->7"), std::string::npos);
+}
+
+} // namespace
+} // namespace afcsim

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the closed-loop multicore substrate: cores, L2 banks,
+ * transaction lifecycle, MSHR throttling, and workload presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/closedloop.hh"
+#include "sim/memsys.hh"
+#include "sim/workload.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+TEST(Memsys, VnetAssignments)
+{
+    EXPECT_EQ(vnetFor(MsgType::ReadReq), kVnetRequest);
+    EXPECT_EQ(vnetFor(MsgType::WriteReq), kVnetRequest);
+    EXPECT_EQ(vnetFor(MsgType::Ack), kVnetResponse);
+    EXPECT_EQ(vnetFor(MsgType::WbData), kVnetData);
+    EXPECT_EQ(vnetFor(MsgType::DataResp), kVnetData);
+}
+
+TEST(Memsys, TagRoundTrip)
+{
+    for (MsgType t : {MsgType::ReadReq, MsgType::WriteReq,
+                      MsgType::WbData, MsgType::DataResp, MsgType::Ack}) {
+        std::uint64_t tag = packTag(123456789, t);
+        EXPECT_EQ(tagTxId(tag), 123456789u);
+        EXPECT_EQ(tagMsgType(tag), t);
+    }
+}
+
+TEST(Workload, PresetsHaveTableIIIRates)
+{
+    EXPECT_DOUBLE_EQ(workloadByName("apache").paperInjRate, 0.78);
+    EXPECT_DOUBLE_EQ(workloadByName("oltp").paperInjRate, 0.68);
+    EXPECT_DOUBLE_EQ(workloadByName("specjbb").paperInjRate, 0.77);
+    EXPECT_DOUBLE_EQ(workloadByName("barnes").paperInjRate, 0.10);
+    EXPECT_DOUBLE_EQ(workloadByName("ocean").paperInjRate, 0.19);
+    EXPECT_DOUBLE_EQ(workloadByName("water").paperInjRate, 0.09);
+}
+
+TEST(Workload, GroupsPartitionAll)
+{
+    EXPECT_EQ(allWorkloads().size(), 6u);
+    EXPECT_EQ(highLoadWorkloads().size(), 3u);
+    EXPECT_EQ(lowLoadWorkloads().size(), 3u);
+    for (const auto &w : highLoadWorkloads())
+        EXPECT_TRUE(w.highLoad);
+    for (const auto &w : lowLoadWorkloads())
+        EXPECT_FALSE(w.highLoad);
+}
+
+TEST(ClosedLoop, SmallRunCompletes)
+{
+    NetworkConfig cfg = testConfig();
+    WorkloadProfile w = waterWorkload();
+    w.warmupTransactions = 200;
+    w.measureTransactions = 1000;
+    ClosedLoopResult r =
+        runClosedLoop(cfg, FlowControl::Backpressured, w);
+    EXPECT_GE(r.transactions, 1000u);
+    EXPECT_GT(r.runtime, 0u);
+    EXPECT_GT(r.avgTxLatency, 0.0);
+    EXPECT_GT(r.injectionRate, 0.0);
+    EXPECT_GT(r.energy.total(), 0.0);
+}
+
+TEST(ClosedLoop, AllFlowControlsComplete)
+{
+    NetworkConfig cfg = testConfig();
+    WorkloadProfile w = oceanWorkload();
+    w.warmupTransactions = 100;
+    w.measureTransactions = 600;
+    for (FlowControl fc :
+         {FlowControl::Backpressured, FlowControl::Backpressureless,
+          FlowControl::Afc, FlowControl::AfcAlwaysBackpressured,
+          FlowControl::BackpressuredIdealBypass}) {
+        ClosedLoopResult r = runClosedLoop(cfg, fc, w);
+        EXPECT_GE(r.transactions, 600u) << toString(fc);
+    }
+}
+
+TEST(ClosedLoop, MshrLimitRespected)
+{
+    NetworkConfig cfg = testConfig();
+    WorkloadProfile w = apacheWorkload();
+    w.warmupTransactions = 50;
+    w.measureTransactions = 400;
+    w.issueProb = 0.9; // saturate the MSHRs
+    ClosedLoopSystem sys(cfg, FlowControl::Backpressured, w);
+    for (int k = 0; k < 2000; ++k) {
+        for (NodeId n = 0; n < 9; ++n)
+            EXPECT_LE(sys.core(n).outstanding(), w.mshrsPerCore);
+        sys.core(0).tick(sys.network().now());
+        // Drive through the harness-level API instead: one manual
+        // step keeps the invariant observable mid-flight.
+        sys.network().step();
+    }
+}
+
+TEST(ClosedLoop, TransactionsBalance)
+{
+    NetworkConfig cfg = testConfig();
+    WorkloadProfile w = barnesWorkload();
+    w.warmupTransactions = 100;
+    w.measureTransactions = 800;
+    ClosedLoopSystem sys(cfg, FlowControl::Afc, w);
+    ClosedLoopResult r = sys.run();
+    std::uint64_t issued = 0, completed = 0, served = 0;
+    for (NodeId n = 0; n < 9; ++n) {
+        issued += sys.core(n).issued();
+        completed += sys.core(n).completed();
+        served += sys.bank(n).requestsServed();
+    }
+    // Every measured completion pairs with an issue (outstanding
+    // transactions from warmup can still drain in, so completed may
+    // slightly exceed issued-within-window; both stay close).
+    EXPECT_GE(issued + 200, completed);
+    EXPECT_GT(served, 0u);
+    EXPECT_GE(r.transactions, 800u);
+}
+
+TEST(ClosedLoop, HighLoadProducesHighInjectionRate)
+{
+    NetworkConfig cfg = testConfig();
+    WorkloadProfile w = apacheWorkload();
+    w.warmupTransactions = 500;
+    w.measureTransactions = 4000;
+    ClosedLoopResult r =
+        runClosedLoop(cfg, FlowControl::Backpressured, w);
+    EXPECT_GT(r.injectionRate, 0.45);
+}
+
+TEST(ClosedLoop, LowLoadProducesLowInjectionRate)
+{
+    NetworkConfig cfg = testConfig();
+    WorkloadProfile w = waterWorkload();
+    w.warmupTransactions = 200;
+    w.measureTransactions = 2000;
+    ClosedLoopResult r =
+        runClosedLoop(cfg, FlowControl::Backpressured, w);
+    EXPECT_LT(r.injectionRate, 0.2);
+}
+
+TEST(ClosedLoop, AfcStaysBplOnLowLoadAndBpOnHighLoad)
+{
+    // The mode duty-cycle result of Sec. V: water ~99 %
+    // backpressureless; apache >99 % backpressured.
+    NetworkConfig cfg = testConfig();
+    WorkloadProfile low = waterWorkload();
+    low.warmupTransactions = 200;
+    low.measureTransactions = 2000;
+    ClosedLoopResult rl = runClosedLoop(cfg, FlowControl::Afc, low);
+    EXPECT_LT(rl.bpFraction, 0.1);
+
+    WorkloadProfile high = apacheWorkload();
+    high.warmupTransactions = 500;
+    high.measureTransactions = 4000;
+    ClosedLoopResult rh = runClosedLoop(cfg, FlowControl::Afc, high);
+    EXPECT_GT(rh.bpFraction, 0.9);
+}
+
+TEST(ClosedLoop, ThroughputHelper)
+{
+    ClosedLoopResult r;
+    r.runtime = 1000;
+    r.transactions = 500;
+    EXPECT_DOUBLE_EQ(r.throughput(), 0.5);
+    r.runtime = 0;
+    EXPECT_DOUBLE_EQ(r.throughput(), 0.0);
+}
+
+} // namespace
+} // namespace afcsim

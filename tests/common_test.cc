@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG, EWMA / traffic intensity,
+ * statistics and configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/ewma.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "router/vcshape.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42, 7);
+    Rng b(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StreamsDiffer)
+{
+    Rng a(42, 1);
+    Rng b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(1);
+    for (std::uint32_t bound : {1u, 2u, 3u, 7u, 100u, 1u << 20}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng r(9);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BelowApproximatelyUniform)
+{
+    Rng r(123);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.below(kBuckets)];
+    double expected = double(kDraws) / kBuckets;
+    for (int b = 0; b < kBuckets; ++b)
+        EXPECT_NEAR(counts[b], expected, expected * 0.06);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(3);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(29);
+    double sum = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += static_cast<double>(r.geometric(0.25));
+    EXPECT_NEAR(sum / kDraws, 4.0, 0.2);
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng root(42);
+    Rng a = root.fork(1);
+    Rng b = root.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Ewma, ConvergesToConstantInput)
+{
+    Ewma e(0.9, 0.0);
+    for (int i = 0; i < 500; ++i)
+        e.update(10.0);
+    EXPECT_NEAR(e.value(), 10.0, 1e-6);
+}
+
+TEST(Ewma, WeightControlsMemory)
+{
+    Ewma fast(0.5), slow(0.99);
+    fast.update(1.0);
+    slow.update(1.0);
+    EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, PaperUpdateRule)
+{
+    // m_new = 0.99 * m_old + 0.01 * l (Sec. IV).
+    Ewma e(0.99, 2.0);
+    e.update(4.0);
+    EXPECT_DOUBLE_EQ(e.value(), 0.99 * 2.0 + 0.01 * 4.0);
+}
+
+TEST(TrafficIntensity, BoxcarOverFourCycles)
+{
+    // With weight 0 the EWMA tracks the boxcar exactly.
+    TrafficIntensity ti(0.0);
+    ti.recordCycle(4);
+    ti.recordCycle(4);
+    ti.recordCycle(4);
+    double v = ti.recordCycle(4);
+    EXPECT_DOUBLE_EQ(v, 4.0);
+    v = ti.recordCycle(0);
+    EXPECT_DOUBLE_EQ(v, 3.0); // window now 4,4,4,0
+}
+
+TEST(TrafficIntensity, SmoothingSuppressesBursts)
+{
+    TrafficIntensity ti(0.99);
+    for (int i = 0; i < 100; ++i)
+        ti.recordCycle(0);
+    // One 4-cycle burst of 5 flits/cycle must not reach the
+    // center-router forward threshold of 2.2 (Sec. III-B: EWMA
+    // avoids mode switches on transient bursts).
+    for (int i = 0; i < 4; ++i)
+        ti.recordCycle(5);
+    EXPECT_LT(ti.value(), 2.2);
+}
+
+TEST(TrafficIntensity, SustainedLoadCrossesThreshold)
+{
+    TrafficIntensity ti(0.99);
+    for (int i = 0; i < 600; ++i)
+        ti.recordCycle(3);
+    EXPECT_GT(ti.value(), 2.2);
+}
+
+TEST(RunningStat, Basics)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat a, b, all;
+    Rng r(77);
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.uniform() * 10;
+        ((i % 2) ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 5); // [0,50) + overflow
+    h.add(5.0);
+    h.add(15.0);
+    h.add(49.9);
+    h.add(500.0);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(5), 1u); // overflow
+}
+
+TEST(Histogram, QuantileApproximation)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(NetStats, MergeAddsCounts)
+{
+    NetStats a, b;
+    a.flitsInjected = 10;
+    a.flitsDelivered = 8;
+    b.flitsInjected = 5;
+    b.flitsDelivered = 5;
+    a.merge(b);
+    EXPECT_EQ(a.flitsInjected, 15u);
+    EXPECT_EQ(a.flitsDelivered, 13u);
+}
+
+TEST(Config, FlowControlNames)
+{
+    for (FlowControl fc :
+         {FlowControl::Backpressured, FlowControl::Backpressureless,
+          FlowControl::Afc, FlowControl::AfcAlwaysBackpressured,
+          FlowControl::BackpressuredIdealBypass}) {
+        EXPECT_EQ(flowControlFromString(toString(fc)), fc);
+    }
+    EXPECT_EQ(flowControlFromString("bless"),
+              FlowControl::Backpressureless);
+    EXPECT_EQ(flowControlFromString("BP"), FlowControl::Backpressured);
+}
+
+TEST(Config, FlitWidthsMatchPaper)
+{
+    // Sec. IV: 41 / 45 / 49 bits.
+    EXPECT_EQ(FlitWidths::forFlowControl(FlowControl::Backpressured), 41);
+    EXPECT_EQ(FlitWidths::forFlowControl(
+                  FlowControl::BackpressuredIdealBypass), 41);
+    EXPECT_EQ(FlitWidths::forFlowControl(FlowControl::Backpressureless),
+              45);
+    EXPECT_EQ(FlitWidths::forFlowControl(FlowControl::Afc), 49);
+    EXPECT_EQ(FlitWidths::forFlowControl(
+                  FlowControl::AfcAlwaysBackpressured), 49);
+}
+
+TEST(Config, Table2BufferBudgets)
+{
+    NetworkConfig cfg;
+    // Baseline: 4x8 + 2x2x8 = 64 flits/port (Sec. IV).
+    EXPECT_EQ(NetworkConfig::totalBufferFlits(cfg.vnets), 64);
+    EXPECT_EQ(NetworkConfig::totalVcs(cfg.vnets), 8);
+    // AFC lazy VCA: 8+8+16 VCs x 1 flit = 32 flits/port (factor 2).
+    EXPECT_EQ(NetworkConfig::totalBufferFlits(cfg.afcVnets), 32);
+    EXPECT_EQ(NetworkConfig::totalVcs(cfg.afcVnets), 32);
+}
+
+TEST(Config, DefaultsAreValid)
+{
+    NetworkConfig cfg;
+    cfg.validate(); // must not exit
+    SUCCEED();
+}
+
+TEST(Config, AfcThresholdDefaults)
+{
+    AfcConfig afc;
+    EXPECT_DOUBLE_EQ(afc.cornerHigh, 1.8);
+    EXPECT_DOUBLE_EQ(afc.cornerLow, 1.2);
+    EXPECT_DOUBLE_EQ(afc.edgeHigh, 2.1);
+    EXPECT_DOUBLE_EQ(afc.edgeLow, 1.3);
+    EXPECT_DOUBLE_EQ(afc.centerHigh, 2.2);
+    EXPECT_DOUBLE_EQ(afc.centerLow, 1.7);
+    EXPECT_DOUBLE_EQ(afc.ewmaWeight, 0.99);
+}
+
+TEST(VcShape, FlatIndexing)
+{
+    VcShape shape({{2, 8}, {2, 8}, {4, 8}});
+    EXPECT_EQ(shape.numVnets(), 3);
+    EXPECT_EQ(shape.totalVcs(), 8);
+    EXPECT_EQ(shape.base(0), 0);
+    EXPECT_EQ(shape.base(1), 2);
+    EXPECT_EQ(shape.base(2), 4);
+    EXPECT_EQ(shape.count(2), 4);
+    EXPECT_EQ(shape.depth(1), 8);
+    EXPECT_EQ(shape.totalBufferFlits(), 64);
+}
+
+TEST(VcShape, VnetOfInverse)
+{
+    VcShape shape({{8, 1}, {8, 1}, {16, 1}});
+    for (VcId vc = 0; vc < shape.totalVcs(); ++vc) {
+        VnetId v = shape.vnetOf(vc);
+        EXPECT_GE(vc, shape.base(v));
+        EXPECT_LT(vc, shape.base(v) + shape.count(v));
+    }
+    EXPECT_EQ(shape.vnetOf(0), 0);
+    EXPECT_EQ(shape.vnetOf(7), 0);
+    EXPECT_EQ(shape.vnetOf(8), 1);
+    EXPECT_EQ(shape.vnetOf(16), 2);
+    EXPECT_EQ(shape.vnetOf(31), 2);
+    EXPECT_EQ(shape.totalBufferFlits(), 32);
+}
+
+TEST(Options, ParsesKeyValues)
+{
+    const char *argv[] = {"prog", "rate=0.5", "mesh=8", "verbose"};
+    Options opt(4, const_cast<char **>(argv));
+    EXPECT_TRUE(opt.has("rate"));
+    EXPECT_DOUBLE_EQ(opt.getDouble("rate", 0.0), 0.5);
+    EXPECT_EQ(opt.getInt("mesh", 0), 8);
+    EXPECT_EQ(opt.get("verbose", ""), "true");
+    EXPECT_EQ(opt.getInt("missing", 42), 42);
+}
+
+} // namespace
+} // namespace afcsim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the text configuration loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/configfile.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+TEST(ConfigFile, ParsesBasicKeys)
+{
+    NetworkConfig cfg = parseNetworkConfig(
+        "width = 5\n"
+        "height = 4\n"
+        "link_latency = 3\n"
+        "seed = 99\n");
+    EXPECT_EQ(cfg.width, 5);
+    EXPECT_EQ(cfg.height, 4);
+    EXPECT_EQ(cfg.linkLatency, 3);
+    EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(ConfigFile, CommentsAndBlanksIgnored)
+{
+    NetworkConfig cfg = parseNetworkConfig(
+        "# a comment\n"
+        "\n"
+        "width = 4   # trailing comment\n"
+        "height = 4\n");
+    EXPECT_EQ(cfg.width, 4);
+}
+
+TEST(ConfigFile, VnetShapes)
+{
+    NetworkConfig cfg = parseNetworkConfig(
+        "vnets = 1x4, 1x4, 2x4\n"
+        "afc_vnets = 5x1, 5x1, 6x1\n");
+    ASSERT_EQ(cfg.vnets.size(), 3u);
+    EXPECT_EQ(cfg.vnets[0].numVcs, 1);
+    EXPECT_EQ(cfg.vnets[0].bufferDepth, 4);
+    EXPECT_EQ(cfg.vnets[2].numVcs, 2);
+    EXPECT_EQ(cfg.afcVnets[2].numVcs, 6);
+    EXPECT_EQ(cfg.afcVnets[2].bufferDepth, 1);
+}
+
+TEST(ConfigFile, DottedSubConfigs)
+{
+    NetworkConfig cfg = parseNetworkConfig(
+        "afc.center_high = 3.5\n"
+        "afc.ewma_weight = 0.9\n"
+        "afc.always_backpressured = true\n"
+        "energy.power_gating_efficiency = 0.8\n"
+        "energy.buffer_leak_per_bit_cycle = 1e-4\n");
+    EXPECT_DOUBLE_EQ(cfg.afc.centerHigh, 3.5);
+    EXPECT_DOUBLE_EQ(cfg.afc.ewmaWeight, 0.9);
+    EXPECT_TRUE(cfg.afc.alwaysBackpressured);
+    EXPECT_DOUBLE_EQ(cfg.energy.powerGatingEfficiency, 0.8);
+    EXPECT_DOUBLE_EQ(cfg.energy.bufferLeakPerBitCycle, 1e-4);
+}
+
+TEST(ConfigFile, DefaultsPreservedForUnsetKeys)
+{
+    NetworkConfig fresh;
+    NetworkConfig cfg = parseNetworkConfig("width = 8\nheight = 8\n");
+    EXPECT_EQ(cfg.linkLatency, fresh.linkLatency);
+    EXPECT_EQ(cfg.vnets.size(), fresh.vnets.size());
+    EXPECT_DOUBLE_EQ(cfg.afc.centerHigh, fresh.afc.centerHigh);
+}
+
+TEST(ConfigFile, LoadFromDisk)
+{
+    std::string path = ::testing::TempDir() + "/afcsim_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "width = 6\nheight = 3\neject_per_cycle = 2\n";
+    }
+    NetworkConfig cfg = loadNetworkConfig(path);
+    EXPECT_EQ(cfg.width, 6);
+    EXPECT_EQ(cfg.height, 3);
+    EXPECT_EQ(cfg.ejectPerCycle, 2);
+    std::remove(path.c_str());
+}
+
+TEST(ConfigFile, DeathOnUnknownKey)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    NetworkConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "wdith", "3"),
+                ::testing::ExitedWithCode(1), "unknown config key");
+}
+
+TEST(ConfigFile, DeathOnBadNumber)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    NetworkConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "width", "abc"),
+                ::testing::ExitedWithCode(1), "bad integer");
+}
+
+TEST(ConfigFile, DeathOnMalformedLine)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(parseNetworkConfig("width 3\n"),
+                ::testing::ExitedWithCode(1), "expected");
+}
+
+TEST(ConfigFile, DeathOnBadShape)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(parseNetworkConfig("vnets = 2-8\n"),
+                ::testing::ExitedWithCode(1), "NxD");
+}
+
+TEST(ConfigFile, ParsedConfigValidates)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // validate() runs at parse time: a 1-wide mesh must die.
+    EXPECT_EXIT(parseNetworkConfig("width = 1\n"),
+                ::testing::ExitedWithCode(1), "at least 2x2");
+}
+
+} // namespace
+} // namespace afcsim

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for backpressureless deflection routing: the assignment
+ * engine invariants (every flit leaves every cycle), injection
+ * backpressure (footnote 3), misrouting accounting and delivery
+ * under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/network.hh"
+#include "router/deflection.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+Flit
+mkFlit(NodeId src, NodeId dest, PacketId id, Cycle create = 0)
+{
+    Flit f;
+    f.packet = id;
+    f.src = src;
+    f.dest = dest;
+    f.packetLen = 1;
+    f.type = FlitType::Single;
+    f.createTime = create;
+    return f;
+}
+
+TEST(DeflectionEngine, AllFlitsAssignedDistinctPorts)
+{
+    Mesh mesh(3, 3);
+    DeflectionEngine eng(mesh, 4, DeflectionPolicy::Random, 1);
+    Rng rng(1);
+    // Four transit flits at the center: every one must get its own
+    // network port.
+    std::vector<Flit> flits = {mkFlit(0, 2, 1), mkFlit(0, 2, 2),
+                               mkFlit(8, 6, 3), mkFlit(8, 6, 4)};
+    Direction free_port = kNoDirection;
+    auto out = eng.assign(flits, rng, kInvalidNode, &free_port);
+    ASSERT_EQ(out.size(), 4u);
+    std::set<Direction> used;
+    for (const auto &a : out) {
+        EXPECT_NE(a.port, kLocal);
+        used.insert(a.port);
+    }
+    EXPECT_EQ(used.size(), 4u);
+    EXPECT_EQ(free_port, kNoDirection); // node saturated
+}
+
+TEST(DeflectionEngine, EjectsAtDestination)
+{
+    Mesh mesh(3, 3);
+    DeflectionEngine eng(mesh, 4, DeflectionPolicy::Random, 1);
+    Rng rng(2);
+    auto out = eng.assign({mkFlit(0, 4, 1)}, rng, kInvalidNode, nullptr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].port, kLocal);
+    EXPECT_TRUE(out[0].productive);
+}
+
+TEST(DeflectionEngine, SecondAtDestFlitDeflects)
+{
+    Mesh mesh(3, 3);
+    DeflectionEngine eng(mesh, 4, DeflectionPolicy::Random, 1);
+    Rng rng(3);
+    auto out = eng.assign({mkFlit(0, 4, 1), mkFlit(8, 4, 2)}, rng,
+                          kInvalidNode, nullptr);
+    ASSERT_EQ(out.size(), 2u);
+    int ejected = 0, deflected = 0;
+    for (const auto &a : out) {
+        if (a.port == kLocal)
+            ++ejected;
+        else if (!a.productive)
+            ++deflected;
+    }
+    EXPECT_EQ(ejected, 1);
+    EXPECT_EQ(deflected, 1);
+}
+
+TEST(DeflectionEngine, ProductivePreferred)
+{
+    Mesh mesh(3, 3);
+    DeflectionEngine eng(mesh, 0, DeflectionPolicy::Random, 1);
+    Rng rng(4);
+    // Single flit at corner 0 heading to 8: must take E or S.
+    auto out = eng.assign({mkFlit(0, 8, 1)}, rng, kInvalidNode, nullptr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].port == kEast || out[0].port == kSouth);
+    EXPECT_TRUE(out[0].productive);
+}
+
+TEST(DeflectionEngine, ContentionCausesDeflection)
+{
+    Mesh mesh(3, 3);
+    // Node 3 (west edge, ports E/N/S): two flits, both want East.
+    DeflectionEngine eng(mesh, 3, DeflectionPolicy::Random, 1);
+    Rng rng(5);
+    auto out = eng.assign({mkFlit(0, 5, 1), mkFlit(6, 5, 2)}, rng,
+                          kInvalidNode, nullptr);
+    ASSERT_EQ(out.size(), 2u);
+    int productive = 0;
+    for (const auto &a : out)
+        productive += a.productive;
+    EXPECT_EQ(productive, 1); // exactly one wins East
+}
+
+TEST(DeflectionEngine, OldestFirstWinsContention)
+{
+    Mesh mesh(3, 3);
+    DeflectionEngine eng(mesh, 3, DeflectionPolicy::OldestFirst, 1);
+    Rng rng(6);
+    Flit old_flit = mkFlit(0, 5, 1, /*create=*/10);
+    Flit young = mkFlit(6, 5, 2, /*create=*/50);
+    auto out = eng.assign({young, old_flit}, rng, kInvalidNode, nullptr);
+    for (const auto &a : out) {
+        if (a.flit.packet == 1)
+            EXPECT_TRUE(a.productive);
+        else
+            EXPECT_FALSE(a.productive);
+    }
+}
+
+TEST(DeflectionEngine, InjectionPortOnlyWhenFree)
+{
+    Mesh mesh(3, 3);
+    DeflectionEngine eng(mesh, 0, DeflectionPolicy::Random, 1);
+    Rng rng(7);
+    // Corner node 0 has 2 net ports; two transit flits saturate it.
+    Direction free_port = kNoDirection;
+    eng.assign({mkFlit(3, 2, 1), mkFlit(1, 6, 2)}, rng, 8, &free_port);
+    EXPECT_EQ(free_port, kNoDirection);
+    // One transit flit leaves one port free.
+    eng.assign({mkFlit(3, 2, 3)}, rng, 8, &free_port);
+    EXPECT_NE(free_port, kNoDirection);
+}
+
+TEST(Deflection, ZeroLoadLatencyOneHop)
+{
+    // R+SA at injection cycle, per hop L+1, +1 eject: 3h+1 at L=2.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    ASSERT_TRUE(deliverOne(net, 0, 1, 0, 1).has_value());
+    EXPECT_EQ(net.aggregateStats().packetLatency.mean(), 4.0);
+}
+
+TEST(Deflection, ZeroLoadNoMisrouting)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    ASSERT_TRUE(deliverOne(net, 0, 8, 2, 5).has_value());
+    NetStats s = net.aggregateStats();
+    EXPECT_DOUBLE_EQ(s.hops.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.deflections.mean(), 0.0);
+}
+
+TEST(Deflection, HighLoadDeflectsButDelivers)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    Rng rng(99);
+    for (int k = 0; k < 300; ++k) {
+        NodeId src = rng.below(9);
+        NodeId dest = rng.below(9);
+        if (src != dest)
+            net.nic(src).sendPacket(dest, 2, 5, net.now());
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+    EXPECT_GT(net.aggregateStats().totalDeflections, 0u);
+    // Misrouting inflates hop counts beyond minimal.
+    EXPECT_GT(net.aggregateStats().hops.mean(), 1.0);
+}
+
+TEST(Deflection, HotspotStress)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    for (int k = 0; k < 100; ++k) {
+        for (NodeId src = 0; src < 9; ++src) {
+            if (src != 4)
+                net.nic(src).sendPacket(4, 0, 1, net.now());
+        }
+        net.run(4);
+    }
+    ASSERT_TRUE(net.drain(200000));
+    expectConservation(net);
+}
+
+TEST(Deflection, OldestFirstAlsoDelivers)
+{
+    NetworkConfig cfg = testConfig();
+    cfg.oldestFirstDeflection = true;
+    Network net(cfg, FlowControl::Backpressureless);
+    Rng rng(7);
+    for (int k = 0; k < 200; ++k) {
+        NodeId src = rng.below(9);
+        NodeId dest = rng.below(9);
+        if (src != dest)
+            net.nic(src).sendPacket(dest, 2, 3, net.now());
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+}
+
+TEST(Deflection, NoBufferLeakageEnergy)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    net.run(100);
+    EnergyReport e = net.aggregateEnergy();
+    EXPECT_DOUBLE_EQ(e.component(EnergyComponent::BufferLeak), 0.0);
+    EXPECT_DOUBLE_EQ(e.component(EnergyComponent::BufferWrite), 0.0);
+    EXPECT_DOUBLE_EQ(e.component(EnergyComponent::BufferRead), 0.0);
+    // Idle routers still burn non-buffer static power.
+    EXPECT_GT(e.component(EnergyComponent::RouterIdle), 0.0);
+}
+
+TEST(Deflection, RoutersAlwaysBackpressureless)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    net.run(50);
+    EXPECT_DOUBLE_EQ(net.backpressuredFraction(), 0.0);
+    for (NodeId n = 0; n < 9; ++n) {
+        EXPECT_EQ(net.router(n).mode(),
+                  RouterMode::Backpressureless);
+    }
+}
+
+TEST(Deflection, MultiFlitPacketsReassembleOutOfOrder)
+{
+    // Under contention, flits of one packet take different paths;
+    // the NIC must still reassemble every packet exactly once.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    for (int k = 0; k < 50; ++k) {
+        net.nic(0).sendPacket(8, 2, 9, net.now());
+        net.nic(2).sendPacket(6, 2, 9, net.now());
+        net.run(2);
+    }
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+}
+
+TEST(Deflection, InjectionBackpressureAtSaturation)
+{
+    // Footnote 3: backpressureless routers exert backpressure only
+    // at the injection port. Past saturation, source queues grow
+    // while in-network occupancy stays bounded by the latch count.
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    for (int k = 0; k < 1500; ++k) {
+        for (NodeId s = 0; s < 9; ++s) {
+            NodeId d = (s + 1 + k % 8) % 9;
+            if (d != s)
+                net.nic(s).sendPacket(d, 2, 9, net.now());
+        }
+        net.step();
+    }
+    std::uint64_t queued = 0;
+    for (NodeId n = 0; n < 9; ++n) {
+        queued += net.nic(n).queuedFlits();
+        EXPECT_LE(net.router(n).occupancy(),
+                  static_cast<std::size_t>(
+                      2 * net.mesh().numNetPortsAt(n)));
+    }
+    EXPECT_GT(queued, 1000u); // sources visibly backed up
+    ASSERT_TRUE(net.drain(3000000));
+    expectConservation(net);
+}
+
+} // namespace
+} // namespace afcsim

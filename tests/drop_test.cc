@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the drop-based backpressureless variant (extension; the
+ * Sec. II comparison point): drop + NACK + retransmission lifecycle,
+ * bounded retransmission buffers, and the paper's claim that it
+ * saturates below the deflection variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "network/network.hh"
+#include "router/drop.hh"
+#include "traffic/injector.hh"
+#include "traffic/patterns.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+DropRouter &
+dropAt(Network &net, NodeId n)
+{
+    return dynamic_cast<DropRouter &>(net.router(n));
+}
+
+TEST(NackFabric, DeliversAfterDelay)
+{
+    NackFabric fabric(4);
+    fabric.send(2, {7, 1}, 10, 3);
+    EXPECT_TRUE(fabric.arrivalsFor(2, 12).empty());
+    auto got = fabric.arrivalsFor(2, 13);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].packet, 7u);
+    EXPECT_EQ(got[0].seq, 1);
+    EXPECT_EQ(fabric.inflight(), 0u);
+}
+
+TEST(NackFabric, PerNodeQueues)
+{
+    NackFabric fabric(4);
+    fabric.send(0, {1, 0}, 0, 1);
+    fabric.send(3, {2, 0}, 0, 1);
+    EXPECT_EQ(fabric.arrivalsFor(1, 10).size(), 0u);
+    EXPECT_EQ(fabric.arrivalsFor(0, 10).size(), 1u);
+    EXPECT_EQ(fabric.arrivalsFor(3, 10).size(), 1u);
+}
+
+TEST(Drop, ZeroLoadDelivery)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::BackpressurelessDrop);
+    auto t = deliverOne(net, 0, 8, 2, 5);
+    ASSERT_TRUE(t.has_value());
+    // Minimal routing, no contention: no drops, minimal hops.
+    EXPECT_DOUBLE_EQ(net.aggregateStats().hops.mean(), 4.0);
+    EXPECT_EQ(dropAt(net, 4).flitsDropped(), 0u);
+}
+
+TEST(Drop, AllPairsDeliver)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::BackpressurelessDrop);
+    for (NodeId src = 0; src < 9; ++src) {
+        for (NodeId dest = 0; dest < 9; ++dest) {
+            if (src != dest)
+                net.nic(src).sendPacket(dest, 2, 3, net.now());
+        }
+    }
+    ASSERT_TRUE(net.drain(200000));
+    expectConservation(net);
+}
+
+TEST(Drop, ContentionDropsAndRetransmits)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::BackpressurelessDrop);
+    // Everyone hammers node 4: port contention guarantees drops.
+    for (int k = 0; k < 80; ++k) {
+        for (NodeId src = 0; src < 9; ++src) {
+            if (src != 4)
+                net.nic(src).sendPacket(4, 2, 5, net.now());
+        }
+        net.run(3);
+    }
+    ASSERT_TRUE(net.drain(500000));
+    expectConservation(net);
+    std::uint64_t drops = 0, retx = 0;
+    for (NodeId n = 0; n < 9; ++n) {
+        drops += dropAt(net, n).flitsDropped();
+        retx += dropAt(net, n).retransmissions();
+    }
+    EXPECT_GT(drops, 0u);
+    // Every drop is eventually retransmitted by some source.
+    EXPECT_EQ(drops, retx);
+}
+
+TEST(Drop, RetransmitBufferBoundsInjection)
+{
+    NetworkConfig cfg = testConfig();
+    cfg.dropRetransmitBuffer = 4;
+    Network net(cfg, FlowControl::BackpressurelessDrop);
+    for (int k = 0; k < 50; ++k)
+        net.nic(0).sendPacket(8, 2, 5, net.now());
+    for (int k = 0; k < 200; ++k) {
+        net.step();
+        EXPECT_LE(dropAt(net, 0).retransmitBufferUse(), 8u)
+            << "buffer use should stay near the cap";
+    }
+    ASSERT_TRUE(net.drain(500000));
+    expectConservation(net);
+}
+
+TEST(Drop, HeavyRandomLoadConserves)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::BackpressurelessDrop);
+    Rng rng(21);
+    for (int k = 0; k < 2000; ++k) {
+        for (NodeId src = 0; src < 9; ++src) {
+            if (rng.chance(0.15)) {
+                NodeId dest = rng.below(9);
+                if (dest != src)
+                    net.nic(src).sendPacket(dest, 2, 5, net.now());
+            }
+        }
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(1000000));
+    expectConservation(net);
+}
+
+TEST(Drop, SaturatesBelowDeflection)
+{
+    // The paper's Sec. II reason for choosing deflection: "the
+    // variant that drops packets saturates at lower loads". With
+    // our idealized (contention-free) NACK fabric the accepted-rate
+    // caps converge deep in saturation, but the latency knee —
+    // where queueing diverges — comes earlier for dropping.
+    NetworkConfig cfg = testConfig();
+    auto latency_at = [&](FlowControl fc, double rate) {
+        Network net(cfg, fc);
+        UniformPattern pattern(net.mesh());
+        OpenLoopInjector inj(net, pattern, rate, 0.35);
+        for (int c = 0; c < 12000; ++c) {
+            inj.tick(net.now());
+            net.step();
+        }
+        return net.aggregateStats().packetLatency.mean();
+    };
+    double defl = latency_at(FlowControl::Backpressureless, 0.5);
+    double drop = latency_at(FlowControl::BackpressurelessDrop, 0.5);
+    EXPECT_GT(drop, 1.3 * defl);
+}
+
+TEST(Drop, NoLeakageEnergy)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::BackpressurelessDrop);
+    net.run(200);
+    EXPECT_DOUBLE_EQ(net.aggregateEnergy().component(
+                         EnergyComponent::BufferLeak), 0.0);
+}
+
+TEST(Drop, FlitWidthMatchesBackpressureless)
+{
+    EXPECT_EQ(FlitWidths::forFlowControl(
+                  FlowControl::BackpressurelessDrop), 45);
+}
+
+} // namespace
+} // namespace afcsim

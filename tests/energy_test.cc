@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the energy model: per-event accounting, width
+ * scaling (41/45/49 bits), ideal buffer bypass, power gating and the
+ * Fig. 3 breakdown categories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+TEST(Energy, EventCostsScaleWithWidth)
+{
+    EnergyConfig cfg;
+    EnergyLedger narrow(cfg, 41);
+    EnergyLedger wide(cfg, 49);
+    narrow.bufferWrite();
+    wide.bufferWrite();
+    EXPECT_DOUBLE_EQ(
+        narrow.report().component(EnergyComponent::BufferWrite),
+        cfg.bufferWritePerBit * 41);
+    EXPECT_DOUBLE_EQ(
+        wide.report().component(EnergyComponent::BufferWrite),
+        cfg.bufferWritePerBit * 49);
+    EXPECT_GT(wide.report().total(), narrow.report().total());
+}
+
+TEST(Energy, LinkEnergyUsesLength)
+{
+    EnergyConfig cfg;
+    EnergyLedger l(cfg, 41);
+    l.linkTraversal();
+    EXPECT_DOUBLE_EQ(l.report().linkEnergy(),
+                     cfg.linkPerBitPerMm * cfg.linkLengthMm * 41);
+}
+
+TEST(Energy, IdealBypassZeroesDynamicBufferEnergy)
+{
+    EnergyConfig cfg;
+    EnergyLedger l(cfg, 41, /*ideal_buffer_bypass=*/true);
+    l.bufferWrite();
+    l.bufferRead();
+    EXPECT_DOUBLE_EQ(
+        l.report().component(EnergyComponent::BufferWrite), 0.0);
+    EXPECT_DOUBLE_EQ(
+        l.report().component(EnergyComponent::BufferRead), 0.0);
+    // But leakage still accrues (only *dynamic* energy is elided).
+    l.leakCycle(1000, 0);
+    EXPECT_GT(l.report().component(EnergyComponent::BufferLeak), 0.0);
+}
+
+TEST(Energy, PowerGatingRemoves90Percent)
+{
+    EnergyConfig cfg;
+    cfg.routerIdlePerCycle = 0.0;
+    EnergyLedger powered(cfg, 49);
+    EnergyLedger gated(cfg, 49);
+    powered.leakCycle(10000, 0);
+    gated.leakCycle(0, 10000);
+    double full = powered.report().component(EnergyComponent::BufferLeak);
+    double g = gated.report().component(EnergyComponent::BufferLeak);
+    EXPECT_NEAR(g, full * (1.0 - cfg.powerGatingEfficiency), 1e-12);
+}
+
+TEST(Energy, BreakdownCategoriesPartitionTotal)
+{
+    EnergyConfig cfg;
+    EnergyLedger l(cfg, 45);
+    l.bufferWrite();
+    l.bufferRead();
+    l.latchWrite();
+    l.crossbar();
+    l.arbitrate();
+    l.linkTraversal();
+    l.creditSignal();
+    l.leakCycle(500, 500);
+    const EnergyReport &r = l.report();
+    EXPECT_NEAR(r.bufferEnergy() + r.linkEnergy() + r.restEnergy(),
+                r.total(), 1e-9);
+    EXPECT_GT(r.bufferEnergy(), 0.0);
+    EXPECT_GT(r.linkEnergy(), 0.0);
+    EXPECT_GT(r.restEnergy(), 0.0);
+}
+
+TEST(Energy, MergeAndDiff)
+{
+    EnergyConfig cfg;
+    EnergyLedger a(cfg, 41), b(cfg, 41);
+    a.crossbar();
+    b.linkTraversal();
+    EnergyReport sum = a.report();
+    sum.merge(b.report());
+    EXPECT_DOUBLE_EQ(sum.total(),
+                     a.report().total() + b.report().total());
+    EnergyReport d = sum.diff(a.report());
+    EXPECT_NEAR(d.total(), b.report().total(), 1e-12);
+}
+
+TEST(Energy, ComponentNamesDistinct)
+{
+    std::set<std::string> names;
+    for (int i = 0;
+         i < static_cast<int>(EnergyComponent::NumComponents); ++i) {
+        names.insert(componentName(static_cast<EnergyComponent>(i)));
+    }
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(EnergyComponent::NumComponents));
+}
+
+TEST(Energy, ResetClears)
+{
+    EnergyConfig cfg;
+    EnergyLedger l(cfg, 41);
+    l.crossbar();
+    EXPECT_GT(l.report().total(), 0.0);
+    l.reset();
+    EXPECT_DOUBLE_EQ(l.report().total(), 0.0);
+}
+
+TEST(Energy, PerfectPowerGatingZeroesGatedLeak)
+{
+    EnergyConfig cfg;
+    cfg.powerGatingEfficiency = 1.0;
+    cfg.routerIdlePerCycle = 0.0;
+    EnergyLedger l(cfg, 49);
+    l.leakCycle(0, 100000);
+    EXPECT_DOUBLE_EQ(l.report().component(EnergyComponent::BufferLeak),
+                     0.0);
+}
+
+TEST(Energy, DepthFactorScalesAccessCosts)
+{
+    EnergyConfig cfg;
+    EnergyLedger shallow(cfg, 41, false, 1.0);
+    EnergyLedger deep(cfg, 41, false, 1.63);
+    shallow.bufferWrite();
+    shallow.bufferRead();
+    deep.bufferWrite();
+    deep.bufferRead();
+    EXPECT_NEAR(deep.report().bufferEnergy(),
+                1.63 * shallow.report().bufferEnergy(), 1e-9);
+}
+
+} // namespace
+} // namespace afcsim

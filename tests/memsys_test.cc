@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the closed-loop memory-system substrate: cores
+ * (issue process, MSHR bookkeeping, phase modulation) and L2 banks
+ * (service latencies, response types), exercised standalone against
+ * a NIC without a network.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "network/nic.hh"
+#include "sim/core.hh"
+#include "sim/l2bank.hh"
+#include "sim/workload.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+class MemsysTest : public ::testing::Test
+{
+  protected:
+    MemsysTest() : nic_(0, cfg_, &packets_) {}
+
+    NetworkConfig cfg_;
+    PacketId packets_ = 0;
+    Nic nic_;
+    std::uint64_t txCounter_ = 0;
+};
+
+TEST_F(MemsysTest, CoreIssuesAtConfiguredRate)
+{
+    WorkloadProfile w = waterWorkload();
+    w.issueProb = 0.1;
+    w.mshrsPerCore = 1 << 20; // never throttle
+    Core core(0, cfg_, w, &nic_, Rng(1), &txCounter_);
+    for (Cycle c = 0; c < 20000; ++c)
+        core.tick(c);
+    EXPECT_NEAR(core.issued() / 20000.0, 0.1, 0.01);
+}
+
+TEST_F(MemsysTest, CoreRespectsMshrLimit)
+{
+    WorkloadProfile w = apacheWorkload();
+    w.issueProb = 1.0;
+    w.mshrsPerCore = 5;
+    Core core(0, cfg_, w, &nic_, Rng(2), &txCounter_);
+    for (Cycle c = 0; c < 100; ++c) {
+        core.tick(c);
+        EXPECT_LE(core.outstanding(), 5);
+    }
+    EXPECT_EQ(core.issued(), 5u);
+    EXPECT_GT(core.mshrStallCycles(), 0u);
+}
+
+TEST_F(MemsysTest, CoreRetiresOnResponse)
+{
+    WorkloadProfile w = waterWorkload();
+    w.issueProb = 1.0;
+    w.readFraction = 1.0; // reads only
+    w.writeFraction = 0.0;
+    Core core(0, cfg_, w, &nic_, Rng(3), &txCounter_);
+    core.tick(10);
+    ASSERT_EQ(core.outstanding(), 1);
+
+    // Fabricate the response the bank would send.
+    PacketInfo resp{};
+    resp.tag = packTag(0, MsgType::DataResp);
+    core.onResponse(resp, 60);
+    EXPECT_EQ(core.outstanding(), 0);
+    EXPECT_EQ(core.completed(), 1u);
+    EXPECT_DOUBLE_EQ(core.txLatency().mean(), 50.0);
+}
+
+TEST_F(MemsysTest, PhaseModulationSwitchesRate)
+{
+    WorkloadProfile w = waterWorkload();
+    w.issueProb = 0.02;
+    w.mshrsPerCore = 1 << 20;
+    w.phases = {1000, 500, 0.4}; // half the time at 0.4
+    Core core(0, cfg_, w, &nic_, Rng(4), &txCounter_);
+    std::uint64_t in_alt = 0, in_base = 0;
+    std::uint64_t prev = 0;
+    for (Cycle c = 0; c < 50000; ++c) {
+        core.tick(c);
+        std::uint64_t now_issued = core.issued();
+        if (c % 1000 < 500)
+            in_alt += now_issued - prev;
+        else
+            in_base += now_issued - prev;
+        prev = now_issued;
+    }
+    // 0.4 vs 0.02 over equal time: ~20x more issues in alt phases.
+    EXPECT_GT(in_alt, in_base * 10);
+}
+
+TEST_F(MemsysTest, CoreMessageTypesMatchMix)
+{
+    WorkloadProfile w = waterWorkload();
+    w.issueProb = 1.0;
+    w.mshrsPerCore = 1 << 20;
+    w.readFraction = 0.5;
+    w.writeFraction = 0.25;
+    Core core(0, cfg_, w, &nic_, Rng(5), &txCounter_);
+    int reads = 0, writes = 0, wbs = 0;
+    for (Cycle c = 0; c < 4000; ++c) {
+        std::size_t before0 = nic_.queuedFlits(kVnetRequest);
+        std::size_t before2 = nic_.queuedFlits(kVnetData);
+        core.tick(c);
+        if (nic_.queuedFlits(kVnetData) > before2) {
+            ++wbs;
+        } else if (nic_.queuedFlits(kVnetRequest) > before0) {
+            // Distinguish read/write by the queued tag.
+            const Flit &f = nic_.peekInjection(kVnetRequest);
+            (void)f;
+            ++reads; // counted together below
+        }
+        // Drain the queues so peeks stay cheap.
+        while (nic_.hasInjectable(kVnetRequest))
+            nic_.popInjection(kVnetRequest, c);
+        while (nic_.hasInjectable(kVnetData))
+            nic_.popInjection(kVnetData, c);
+        (void)writes;
+    }
+    double wb_frac = static_cast<double>(wbs) / (reads + wbs);
+    EXPECT_NEAR(wb_frac, 0.25, 0.03); // 1 - read - write = 0.25
+}
+
+TEST_F(MemsysTest, BankRespondsAfterL2Latency)
+{
+    WorkloadProfile w = waterWorkload();
+    w.l2LatencyCycles = 12;
+    w.l2MissRate = 0.0;
+    L2Bank bank(0, cfg_, w, &nic_, Rng(6));
+
+    PacketInfo req{};
+    req.src = 3;
+    req.tag = packTag(42, MsgType::ReadReq);
+    bank.onRequest(req, 100);
+    EXPECT_EQ(bank.pendingResponses(), 1u);
+    for (Cycle c = 100; c < 112; ++c) {
+        bank.tick(c);
+        EXPECT_EQ(nic_.queuedFlits(), 0u) << "responded early at " << c;
+    }
+    bank.tick(112);
+    // DataResp: a data packet on vnet 2 addressed to the requester.
+    EXPECT_EQ(nic_.queuedFlits(kVnetData),
+              static_cast<std::size_t>(cfg_.dataPacketFlits));
+    const Flit &f = nic_.peekInjection(kVnetData);
+    EXPECT_EQ(f.dest, 3);
+    EXPECT_EQ(tagMsgType(f.tag), MsgType::DataResp);
+    EXPECT_EQ(tagTxId(f.tag), 42u);
+    EXPECT_EQ(bank.requestsServed(), 1u);
+    EXPECT_TRUE(bank.idle());
+}
+
+TEST_F(MemsysTest, BankMissPaysMemoryLatency)
+{
+    WorkloadProfile w = waterWorkload();
+    w.l2LatencyCycles = 12;
+    w.memLatencyCycles = 250;
+    w.l2MissRate = 1.0; // always miss
+    L2Bank bank(0, cfg_, w, &nic_, Rng(7));
+    PacketInfo req{};
+    req.src = 1;
+    req.tag = packTag(1, MsgType::ReadReq);
+    bank.onRequest(req, 0);
+    bank.tick(261);
+    EXPECT_EQ(nic_.queuedFlits(), 0u);
+    bank.tick(262);
+    EXPECT_GT(nic_.queuedFlits(), 0u);
+}
+
+TEST_F(MemsysTest, BankAcksWritesAndWritebacks)
+{
+    WorkloadProfile w = waterWorkload();
+    w.l2MissRate = 0.0;
+    L2Bank bank(0, cfg_, w, &nic_, Rng(8));
+    PacketInfo wr{};
+    wr.src = 2;
+    wr.tag = packTag(5, MsgType::WriteReq);
+    bank.onRequest(wr, 0);
+    PacketInfo wb{};
+    wb.src = 4;
+    wb.tag = packTag(6, MsgType::WbData);
+    bank.onRequest(wb, 0);
+    bank.tick(w.l2LatencyCycles);
+    // Both produce 1-flit Acks on the response vnet.
+    EXPECT_EQ(nic_.queuedFlits(kVnetResponse), 2u);
+    const Flit &f = nic_.peekInjection(kVnetResponse);
+    EXPECT_EQ(tagMsgType(f.tag), MsgType::Ack);
+}
+
+TEST_F(MemsysTest, BankOrdersResponsesByReadyTime)
+{
+    WorkloadProfile w = waterWorkload();
+    w.l2MissRate = 0.0;
+    w.l2LatencyCycles = 12;
+    L2Bank bank(0, cfg_, w, &nic_, Rng(9));
+    PacketInfo late{};
+    late.src = 1;
+    late.tag = packTag(1, MsgType::WriteReq);
+    PacketInfo early{};
+    early.src = 2;
+    early.tag = packTag(2, MsgType::WriteReq);
+    bank.onRequest(late, 10);
+    bank.onRequest(early, 5);
+    bank.tick(17); // early's response is ready at 17, late's at 22
+    ASSERT_EQ(nic_.queuedFlits(kVnetResponse), 1u);
+    EXPECT_EQ(tagTxId(nic_.peekInjection(kVnetResponse).tag), 2u);
+}
+
+} // namespace
+} // namespace afcsim

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Integration tests across routers + links + NICs: delivery,
+ * conservation, drain, latency ordering and kernel behaviour for
+ * all five flow-control configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "network/network.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+class AllFlowControls
+    : public ::testing::TestWithParam<FlowControl>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Network, AllFlowControls,
+    ::testing::Values(FlowControl::Backpressured,
+                      FlowControl::Backpressureless, FlowControl::Afc,
+                      FlowControl::AfcAlwaysBackpressured,
+                      FlowControl::BackpressuredIdealBypass),
+    [](const ::testing::TestParamInfo<FlowControl> &info) {
+        std::string n = toString(info.param);
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST_P(AllFlowControls, SinglePacketAllPairs)
+{
+    NetworkConfig cfg = testConfig();
+    for (NodeId src = 0; src < 9; ++src) {
+        for (NodeId dest = 0; dest < 9; ++dest) {
+            if (src == dest)
+                continue;
+            Network net(cfg, GetParam());
+            auto t = deliverOne(net, src, dest, 0, 1);
+            ASSERT_TRUE(t.has_value())
+                << toString(GetParam()) << " " << src << "->" << dest;
+        }
+    }
+}
+
+TEST_P(AllFlowControls, MultiFlitAllPairs)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, GetParam());
+    for (NodeId src = 0; src < 9; ++src) {
+        for (NodeId dest = 0; dest < 9; ++dest) {
+            if (src != dest)
+                net.nic(src).sendPacket(dest, 2, 5, net.now());
+        }
+    }
+    ASSERT_TRUE(net.drain(100000));
+    expectConservation(net);
+    EXPECT_EQ(net.aggregateStats().packetsDelivered, 72u);
+}
+
+TEST_P(AllFlowControls, RandomBurstsConserveFlits)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, GetParam());
+    Rng rng(cfg.seed);
+    for (int k = 0; k < 1500; ++k) {
+        for (NodeId src = 0; src < 9; ++src) {
+            if (rng.chance(0.1)) {
+                NodeId dest = rng.below(9);
+                if (dest == src)
+                    continue;
+                bool data = rng.chance(0.4);
+                net.nic(src).sendPacket(
+                    dest, data ? 2 : rng.below(2), data ? 5 : 1,
+                    net.now());
+            }
+        }
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(300000));
+    expectConservation(net);
+}
+
+TEST_P(AllFlowControls, HopsAtLeastMinimal)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, GetParam());
+    net.nic(0).sendPacket(8, 2, 5, net.now());
+    ASSERT_TRUE(net.drain(50000));
+    EXPECT_GE(net.aggregateStats().hops.mean(), 4.0);
+}
+
+TEST_P(AllFlowControls, DrainFromIdleIsImmediate)
+{
+    Network net(testConfig(), GetParam());
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_TRUE(net.drain(1));
+}
+
+TEST_P(AllFlowControls, DeterministicAcrossRuns)
+{
+    NetworkConfig cfg = testConfig();
+    auto run_once = [&]() {
+        Network net(cfg, GetParam());
+        Rng rng(7);
+        for (int k = 0; k < 500; ++k) {
+            for (NodeId src = 0; src < 9; ++src) {
+                if (rng.chance(0.15)) {
+                    NodeId dest = rng.below(9);
+                    if (dest != src)
+                        net.nic(src).sendPacket(dest, 2, 3, net.now());
+                }
+            }
+            net.step();
+        }
+        EXPECT_TRUE(net.drain(200000));
+        NetStats s = net.aggregateStats();
+        return std::make_tuple(s.flitsDelivered,
+                               s.packetLatency.mean(), s.hops.mean(),
+                               net.aggregateEnergy().total());
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(AllFlowControls, LargerMeshWorks)
+{
+    NetworkConfig cfg = testConfig(5, 4);
+    Network net(cfg, GetParam());
+    Rng rng(3);
+    for (int k = 0; k < 400; ++k) {
+        NodeId src = rng.below(20), dest = rng.below(20);
+        if (src != dest)
+            net.nic(src).sendPacket(dest, 2, 3, net.now());
+        net.step();
+    }
+    ASSERT_TRUE(net.drain(300000));
+    expectConservation(net);
+}
+
+TEST(Network, EnergyAccruesOnlyWithConstruction)
+{
+    Network net(testConfig(), FlowControl::Backpressured);
+    EXPECT_DOUBLE_EQ(net.aggregateEnergy().total(), 0.0);
+    net.run(10);
+    EXPECT_GT(net.aggregateEnergy().total(), 0.0); // static power
+}
+
+TEST(Network, CycleCounterAdvances)
+{
+    Network net(testConfig(), FlowControl::Afc);
+    EXPECT_EQ(net.now(), 0u);
+    net.run(42);
+    EXPECT_EQ(net.now(), 42u);
+}
+
+TEST(Network, DifferentSeedsDifferentDeflections)
+{
+    NetworkConfig a_cfg = testConfig();
+    NetworkConfig b_cfg = testConfig();
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    auto run = [](const NetworkConfig &cfg) {
+        Network net(cfg, FlowControl::Backpressureless);
+        // Heavy traffic with mixed destinations (identical sequence
+        // for both runs): which flit wins arbitration changes hop
+        // trajectories, so the router-RNG seed must matter.
+        Rng traffic(99);
+        for (int k = 0; k < 400; ++k) {
+            for (NodeId s = 0; s < 9; ++s) {
+                if (traffic.chance(0.5)) {
+                    NodeId d = traffic.below(9);
+                    if (d != s)
+                        net.nic(s).sendPacket(d, 2, 5, net.now());
+                }
+            }
+            net.step();
+        }
+        EXPECT_TRUE(net.drain(300000));
+        std::uint64_t defl = net.aggregateStats().totalDeflections;
+        EXPECT_GT(defl, 0u);
+        return defl;
+    };
+    // Randomized priorities: different seeds give different
+    // deflection patterns (almost surely).
+    EXPECT_NE(run(a_cfg), run(b_cfg));
+}
+
+TEST(Network, BackpressuredLatencyLowerAtHighLoadThanDeflection)
+{
+    // The paper's core performance claim, in miniature: at a load
+    // past deflection saturation, the backpressured network delivers
+    // lower average packet latency.
+    NetworkConfig cfg = testConfig();
+    auto avg_latency = [&](FlowControl fc) {
+        Network net(cfg, fc);
+        Rng rng(5);
+        for (int k = 0; k < 3000; ++k) {
+            for (NodeId src = 0; src < 9; ++src) {
+                if (rng.chance(0.18)) {
+                    NodeId dest = rng.below(9);
+                    if (dest != src)
+                        net.nic(src).sendPacket(dest, 2, 5, net.now());
+                }
+            }
+            net.step();
+        }
+        EXPECT_TRUE(net.drain(500000));
+        return net.aggregateStats().packetLatency.mean();
+    };
+    EXPECT_LT(avg_latency(FlowControl::Backpressured),
+              avg_latency(FlowControl::Backpressureless));
+}
+
+TEST(Network, LinkUtilizationAccounting)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    // A single-flit packet 0 -> 2 crosses two east links.
+    net.nic(0).sendPacket(2, 0, 1, net.now());
+    ASSERT_TRUE(net.drain(1000));
+    Cycle t = net.now();
+    EXPECT_DOUBLE_EQ(net.linkUtilization(0, kEast), 1.0 / t);
+    EXPECT_DOUBLE_EQ(net.linkUtilization(1, kEast), 1.0 / t);
+    EXPECT_DOUBLE_EQ(net.linkUtilization(2, kLocal), 1.0 / t);
+    EXPECT_DOUBLE_EQ(net.linkUtilization(0, kSouth), 0.0);
+    EXPECT_DOUBLE_EQ(net.nodeUtilization(0), 1.0 / t);
+}
+
+TEST(Network, MisroutingRaisesOffPathUtilization)
+{
+    // Sec. V-B's pollution effect in miniature: under a hotspot,
+    // deflection routing lights up links DOR never touches.
+    NetworkConfig cfg = testConfig();
+    auto off_path_use = [&](FlowControl fc) {
+        Network net(cfg, fc);
+        for (int k = 0; k < 200; ++k) {
+            // All traffic flows along the top row (0 -> 2); under
+            // DOR the bottom row stays silent.
+            net.nic(0).sendPacket(2, 2, 5, net.now());
+            net.nic(1).sendPacket(2, 2, 5, net.now());
+            net.step();
+        }
+        net.drain(200000);
+        double middle_row = 0.0;
+        for (NodeId n : {3, 4, 5})
+            middle_row += net.nodeUtilization(n);
+        return middle_row;
+    };
+    // DOR keeps this traffic strictly in the top row; deflection
+    // spills into the row below.
+    EXPECT_DOUBLE_EQ(off_path_use(FlowControl::Backpressured), 0.0);
+    EXPECT_GT(off_path_use(FlowControl::Backpressureless), 0.05);
+}
+
+} // namespace
+} // namespace afcsim

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the NIC: packetization, injection queues,
+ * reassembly (including out-of-order and interleaved arrivals, the
+ * Sec. II receive-side buffering discussion) and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/config.hh"
+#include "network/nic.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+class NicTest : public ::testing::Test
+{
+  protected:
+    NicTest() : nic_(2, cfg_, &counter_) {}
+
+    NetworkConfig cfg_;
+    PacketId counter_ = 0;
+    Nic nic_;
+};
+
+TEST_F(NicTest, PacketizationShape)
+{
+    nic_.sendPacket(5, 2, 4, 100);
+    ASSERT_EQ(nic_.queuedFlits(2), 4u);
+    Flit f0 = nic_.popInjection(2, 101);
+    EXPECT_EQ(f0.type, FlitType::Head);
+    EXPECT_EQ(f0.seq, 0);
+    EXPECT_EQ(f0.packetLen, 4);
+    EXPECT_EQ(f0.src, 2);
+    EXPECT_EQ(f0.dest, 5);
+    EXPECT_EQ(f0.createTime, 100u);
+    EXPECT_EQ(f0.injectTime, 101u);
+    Flit f1 = nic_.popInjection(2, 102);
+    EXPECT_EQ(f1.type, FlitType::Body);
+    Flit f2 = nic_.popInjection(2, 103);
+    EXPECT_EQ(f2.type, FlitType::Body);
+    Flit f3 = nic_.popInjection(2, 104);
+    EXPECT_EQ(f3.type, FlitType::Tail);
+    EXPECT_EQ(f3.seq, 3);
+}
+
+TEST_F(NicTest, SingleFlitPacket)
+{
+    nic_.sendPacket(1, 0, 1, 0);
+    Flit f = nic_.popInjection(0, 1);
+    EXPECT_EQ(f.type, FlitType::Single);
+}
+
+TEST_F(NicTest, PacketIdsUnique)
+{
+    PacketId a = nic_.sendPacket(1, 0, 1, 0);
+    PacketId b = nic_.sendPacket(3, 1, 2, 0);
+    PacketId c = nic_.sendPacket(4, 2, 9, 0);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_EQ(counter_, 3u);
+}
+
+TEST_F(NicTest, QueuesPerVnet)
+{
+    nic_.sendPacket(1, 0, 1, 0);
+    nic_.sendPacket(1, 2, 9, 0);
+    EXPECT_EQ(nic_.queuedFlits(0), 1u);
+    EXPECT_EQ(nic_.queuedFlits(1), 0u);
+    EXPECT_EQ(nic_.queuedFlits(2), 9u);
+    EXPECT_EQ(nic_.queuedFlits(), 10u);
+    EXPECT_TRUE(nic_.hasInjectable(0));
+    EXPECT_FALSE(nic_.hasInjectable(1));
+}
+
+TEST_F(NicTest, InOrderReassembly)
+{
+    PacketInfo delivered{};
+    int calls = 0;
+    nic_.setDeliveryHandler([&](const PacketInfo &info) {
+        delivered = info;
+        ++calls;
+    });
+    // Build a 3-flit packet addressed to node 2 (this NIC).
+    std::vector<Flit> flits;
+    for (int i = 0; i < 3; ++i) {
+        Flit f;
+        f.packet = 42;
+        f.seq = i;
+        f.packetLen = 3;
+        f.src = 0;
+        f.dest = 2;
+        f.vnet = 2;
+        f.createTime = 10;
+        f.injectTime = 12;
+        f.type = i == 0 ? FlitType::Head
+               : i == 2 ? FlitType::Tail : FlitType::Body;
+        f.tag = 0xBEEF;
+        flits.push_back(f);
+    }
+    nic_.eject(flits[0], 20);
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(nic_.pendingReassemblies(), 1u);
+    nic_.eject(flits[1], 21);
+    nic_.eject(flits[2], 22);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(nic_.pendingReassemblies(), 0u);
+    EXPECT_EQ(delivered.packet, 42u);
+    EXPECT_EQ(delivered.length, 3);
+    EXPECT_EQ(delivered.tag, 0xBEEFu);
+    EXPECT_EQ(delivered.deliverTime, 22u);
+    EXPECT_EQ(delivered.src, 0);
+}
+
+TEST_F(NicTest, OutOfOrderReassembly)
+{
+    // Deflection routing delivers flits in arbitrary order (Sec. II).
+    int calls = 0;
+    nic_.setDeliveryHandler([&](const PacketInfo &) { ++calls; });
+    std::vector<int> order = {3, 0, 2, 1};
+    for (int seq : order) {
+        Flit f;
+        f.packet = 7;
+        f.seq = seq;
+        f.packetLen = 4;
+        f.src = 1;
+        f.dest = 2;
+        f.type = seq == 0 ? FlitType::Head
+               : seq == 3 ? FlitType::Tail : FlitType::Body;
+        nic_.eject(f, 30 + seq);
+    }
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(NicTest, InterleavedPacketsReassemble)
+{
+    int calls = 0;
+    nic_.setDeliveryHandler([&](const PacketInfo &) { ++calls; });
+    auto make = [](PacketId p, int seq, int len) {
+        Flit f;
+        f.packet = p;
+        f.seq = seq;
+        f.packetLen = len;
+        f.src = 0;
+        f.dest = 2;
+        f.type = FlitType::Body;
+        if (seq == 0)
+            f.type = len == 1 ? FlitType::Single : FlitType::Head;
+        else if (seq == len - 1)
+            f.type = FlitType::Tail;
+        return f;
+    };
+    nic_.eject(make(1, 0, 2), 1);
+    nic_.eject(make(2, 1, 2), 2);
+    nic_.eject(make(2, 0, 2), 3);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(nic_.pendingReassemblies(), 1u);
+    nic_.eject(make(1, 1, 2), 4);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(nic_.maxReassemblies(), 2u);
+}
+
+TEST_F(NicTest, StatsTrackLatencies)
+{
+    nic_.setDeliveryHandler([](const PacketInfo &) {});
+    Flit f;
+    f.packet = 1;
+    f.seq = 0;
+    f.packetLen = 1;
+    f.src = 0;
+    f.dest = 2;
+    f.type = FlitType::Single;
+    f.createTime = 10;
+    f.injectTime = 15;
+    f.hops = 4;
+    f.deflections = 2;
+    nic_.eject(f, 40);
+    const NetStats &s = nic_.stats();
+    EXPECT_EQ(s.flitsDelivered, 1u);
+    EXPECT_EQ(s.packetsDelivered, 1u);
+    EXPECT_DOUBLE_EQ(s.packetLatency.mean(), 30.0);
+    EXPECT_DOUBLE_EQ(s.flitLatency.mean(), 25.0);
+    EXPECT_DOUBLE_EQ(s.hops.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.deflections.mean(), 2.0);
+    EXPECT_EQ(s.totalDeflections, 2u);
+}
+
+TEST_F(NicTest, QuiescentTracksState)
+{
+    EXPECT_TRUE(nic_.quiescent());
+    nic_.sendPacket(1, 0, 1, 0);
+    EXPECT_FALSE(nic_.quiescent());
+    nic_.popInjection(0, 1);
+    EXPECT_TRUE(nic_.quiescent());
+}
+
+TEST_F(NicTest, DeathOnDuplicateFlit)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    nic_.setDeliveryHandler([](const PacketInfo &) {});
+    Flit f;
+    f.packet = 9;
+    f.seq = 0;
+    f.packetLen = 2;
+    f.src = 0;
+    f.dest = 2;
+    f.type = FlitType::Head;
+    nic_.eject(f, 1);
+    EXPECT_DEATH(nic_.eject(f, 2), "duplicate");
+}
+
+TEST_F(NicTest, DeathOnMisdelivery)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Flit f;
+    f.packet = 9;
+    f.seq = 0;
+    f.packetLen = 1;
+    f.src = 0;
+    f.dest = 6; // not this NIC's node
+    f.type = FlitType::Single;
+    EXPECT_DEATH(nic_.eject(f, 1), "misdelivered");
+}
+
+} // namespace
+} // namespace afcsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for afcsim tests: small network configs, one-shot
+ * packet delivery drivers, and conservation checks.
+ */
+
+#ifndef AFCSIM_TESTS_TESTUTIL_HH
+#define AFCSIM_TESTS_TESTUTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/config.hh"
+#include "network/network.hh"
+
+namespace afcsim
+{
+
+/** A small test configuration (defaults to the paper's 3x3). */
+inline NetworkConfig
+testConfig(int w = 3, int h = 3)
+{
+    NetworkConfig cfg;
+    cfg.width = w;
+    cfg.height = h;
+    cfg.seed = 12345;
+    return cfg;
+}
+
+/**
+ * Send one packet and step until it is fully delivered; returns the
+ * delivery cycle, or nullopt on timeout.
+ */
+inline std::optional<Cycle>
+deliverOne(Network &net, NodeId src, NodeId dest, VnetId vnet, int len,
+           Cycle timeout = 10000)
+{
+    std::uint64_t before = net.nic(dest).stats().packetsDelivered;
+    net.nic(src).sendPacket(dest, vnet, len, net.now());
+    for (Cycle i = 0; i < timeout; ++i) {
+        net.step();
+        if (net.nic(dest).stats().packetsDelivered > before)
+            return net.now() - 1; // delivery happened in the step
+    }
+    return std::nullopt;
+}
+
+/** Assert that every injected flit was delivered and nothing remains. */
+inline void
+expectConservation(Network &net)
+{
+    NetStats s = net.aggregateStats();
+    EXPECT_EQ(s.flitsInjected, s.flitsDelivered);
+    EXPECT_EQ(s.packetsInjected, s.packetsDelivered);
+    EXPECT_EQ(net.flitsInFlight(), 0u);
+    EXPECT_TRUE(net.quiescent());
+}
+
+} // namespace afcsim
+
+#endif // AFCSIM_TESTS_TESTUTIL_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the mesh topology and routing functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/mesh.hh"
+#include "topology/routing.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+TEST(Mesh, CoordRoundTrip)
+{
+    Mesh m(4, 3);
+    for (NodeId n = 0; n < m.numNodes(); ++n)
+        EXPECT_EQ(m.nodeAt(m.coordOf(n)), n);
+}
+
+TEST(Mesh, NeighborsInterior)
+{
+    Mesh m(3, 3);
+    NodeId center = m.nodeAt({1, 1});
+    EXPECT_EQ(m.neighbor(center, kEast), m.nodeAt({2, 1}));
+    EXPECT_EQ(m.neighbor(center, kWest), m.nodeAt({0, 1}));
+    EXPECT_EQ(m.neighbor(center, kNorth), m.nodeAt({1, 0}));
+    EXPECT_EQ(m.neighbor(center, kSouth), m.nodeAt({1, 2}));
+}
+
+TEST(Mesh, NeighborsAtEdges)
+{
+    Mesh m(3, 3);
+    NodeId nw = m.nodeAt({0, 0});
+    EXPECT_EQ(m.neighbor(nw, kWest), kInvalidNode);
+    EXPECT_EQ(m.neighbor(nw, kNorth), kInvalidNode);
+    EXPECT_NE(m.neighbor(nw, kEast), kInvalidNode);
+    EXPECT_NE(m.neighbor(nw, kSouth), kInvalidNode);
+}
+
+TEST(Mesh, NeighborSymmetry)
+{
+    Mesh m(5, 4);
+    for (NodeId n = 0; n < m.numNodes(); ++n) {
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            NodeId nbr = m.neighbor(n, static_cast<Direction>(d));
+            if (nbr != kInvalidNode) {
+                EXPECT_EQ(m.neighbor(nbr,
+                          opposite(static_cast<Direction>(d))), n);
+            }
+        }
+    }
+}
+
+TEST(Mesh, PositionClassification3x3)
+{
+    Mesh m(3, 3);
+    EXPECT_EQ(m.positionOf(m.nodeAt({0, 0})), RouterPosition::Corner);
+    EXPECT_EQ(m.positionOf(m.nodeAt({2, 0})), RouterPosition::Corner);
+    EXPECT_EQ(m.positionOf(m.nodeAt({0, 2})), RouterPosition::Corner);
+    EXPECT_EQ(m.positionOf(m.nodeAt({2, 2})), RouterPosition::Corner);
+    EXPECT_EQ(m.positionOf(m.nodeAt({1, 0})), RouterPosition::Edge);
+    EXPECT_EQ(m.positionOf(m.nodeAt({0, 1})), RouterPosition::Edge);
+    EXPECT_EQ(m.positionOf(m.nodeAt({1, 1})), RouterPosition::Center);
+}
+
+TEST(Mesh, PositionCounts8x8)
+{
+    Mesh m(8, 8);
+    int corners = 0, edges = 0, centers = 0;
+    for (NodeId n = 0; n < m.numNodes(); ++n) {
+        switch (m.positionOf(n)) {
+          case RouterPosition::Corner: ++corners; break;
+          case RouterPosition::Edge: ++edges; break;
+          case RouterPosition::Center: ++centers; break;
+        }
+    }
+    EXPECT_EQ(corners, 4);
+    EXPECT_EQ(edges, 24);
+    EXPECT_EQ(centers, 36);
+}
+
+TEST(Mesh, HopDistance)
+{
+    Mesh m(4, 4);
+    EXPECT_EQ(m.hopDistance(m.nodeAt({0, 0}), m.nodeAt({3, 3})), 6);
+    EXPECT_EQ(m.hopDistance(m.nodeAt({1, 2}), m.nodeAt({1, 2})), 0);
+    EXPECT_EQ(m.hopDistance(m.nodeAt({2, 1}), m.nodeAt({0, 1})), 2);
+}
+
+TEST(Mesh, OppositeDirections)
+{
+    EXPECT_EQ(opposite(kEast), kWest);
+    EXPECT_EQ(opposite(kWest), kEast);
+    EXPECT_EQ(opposite(kNorth), kSouth);
+    EXPECT_EQ(opposite(kSouth), kNorth);
+}
+
+TEST(Routing, DorXFirst)
+{
+    Mesh m(3, 3);
+    // From (0,0) to (2,2): X first -> East.
+    EXPECT_EQ(dorRoute(m, m.nodeAt({0, 0}), m.nodeAt({2, 2})), kEast);
+    // Same column -> Y movement.
+    EXPECT_EQ(dorRoute(m, m.nodeAt({1, 0}), m.nodeAt({1, 2})), kSouth);
+    EXPECT_EQ(dorRoute(m, m.nodeAt({1, 2}), m.nodeAt({1, 0})), kNorth);
+    // At destination -> Local.
+    EXPECT_EQ(dorRoute(m, 4, 4), kLocal);
+}
+
+TEST(Routing, DorReachesDestination)
+{
+    Mesh m(5, 5);
+    for (NodeId s = 0; s < m.numNodes(); ++s) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            NodeId at = s;
+            int steps = 0;
+            while (at != d) {
+                Direction dir = dorRoute(m, at, d);
+                ASSERT_NE(dir, kLocal);
+                at = m.neighbor(at, dir);
+                ASSERT_NE(at, kInvalidNode);
+                ASSERT_LE(++steps, m.hopDistance(s, d));
+            }
+            EXPECT_EQ(steps, m.hopDistance(s, d));
+        }
+    }
+}
+
+TEST(Routing, ProductivePortsReduceDistance)
+{
+    Mesh m(4, 4);
+    for (NodeId s = 0; s < m.numNodes(); ++s) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            PortSet ps = productivePorts(m, s, d);
+            if (s == d) {
+                EXPECT_TRUE(ps.empty());
+                continue;
+            }
+            EXPECT_GT(ps.count, 0);
+            for (int i = 0; i < ps.count; ++i) {
+                NodeId next = m.neighbor(s, ps.ports[i]);
+                ASSERT_NE(next, kInvalidNode);
+                EXPECT_EQ(m.hopDistance(next, d),
+                          m.hopDistance(s, d) - 1);
+            }
+        }
+    }
+}
+
+TEST(Routing, ProductiveContainsDorPort)
+{
+    Mesh m(4, 4);
+    for (NodeId s = 0; s < m.numNodes(); ++s) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_TRUE(productivePorts(m, s, d)
+                            .contains(dorRoute(m, s, d)));
+        }
+    }
+}
+
+TEST(Routing, LookaheadMatchesNextHopRoute)
+{
+    Mesh m(4, 4);
+    for (NodeId s = 0; s < m.numNodes(); ++s) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            Direction out = dorRoute(m, s, d);
+            NodeId next = m.neighbor(s, out);
+            EXPECT_EQ(lookaheadRoute(m, s, out, d),
+                      dorRoute(m, next, d));
+        }
+    }
+}
+
+TEST(Routing, DirNames)
+{
+    EXPECT_EQ(dirName(kEast), "E");
+    EXPECT_EQ(dirName(kWest), "W");
+    EXPECT_EQ(dirName(kNorth), "N");
+    EXPECT_EQ(dirName(kSouth), "S");
+    EXPECT_EQ(dirName(kLocal), "L");
+}
+
+} // namespace
+} // namespace afcsim

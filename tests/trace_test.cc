@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the event-tracing facility: lifecycle completeness
+ * (every injected flit produces inject/dispatch/deliver events),
+ * mode-switch events, drop events, and the CSV backend format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "network/network.hh"
+#include "network/trace.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+/** Counts events per kind for assertions. */
+class CountingTracer : public FlitTracer
+{
+  public:
+    void
+    onInject(NodeId, const Flit &, Cycle) override
+    {
+        ++injects;
+    }
+    void
+    onDispatch(NodeId, Direction, const Flit &, Cycle,
+               bool productive) override
+    {
+        ++dispatches;
+        if (!productive)
+            ++deflects;
+    }
+    void
+    onDeliver(NodeId, const Flit &, Cycle) override
+    {
+        ++delivers;
+    }
+    void
+    onDrop(NodeId, const Flit &, Cycle) override
+    {
+        ++drops;
+    }
+    void
+    onModeSwitch(NodeId, bool to_bp, bool gossip_flag, Cycle) override
+    {
+        ++(to_bp ? toBp : toBpl);
+        if (gossip_flag)
+            ++gossip;
+    }
+
+    std::uint64_t injects = 0, dispatches = 0, deflects = 0,
+                  delivers = 0, drops = 0, toBp = 0, toBpl = 0,
+                  gossip = 0;
+};
+
+TEST(Trace, LifecycleCountsConsistent)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    CountingTracer tracer;
+    net.setTracer(&tracer);
+    for (NodeId s = 0; s < 9; ++s) {
+        NodeId d = (s + 4) % 9;
+        if (d != s)
+            net.nic(s).sendPacket(d, 2, 5, net.now());
+    }
+    ASSERT_TRUE(net.drain(50000));
+    NetStats stats = net.aggregateStats();
+    EXPECT_EQ(tracer.injects, stats.flitsInjected);
+    EXPECT_EQ(tracer.delivers, stats.flitsDelivered);
+    // Every flit dispatches once per hop plus once for ejection.
+    EXPECT_EQ(tracer.dispatches,
+              net.aggregateRouterStats().flitsRouted);
+    EXPECT_EQ(tracer.deflects, 0u); // DOR never misroutes
+    EXPECT_EQ(tracer.drops, 0u);
+}
+
+TEST(Trace, DeflectionEventsMarked)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressureless);
+    CountingTracer tracer;
+    net.setTracer(&tracer);
+    for (int k = 0; k < 60; ++k) {
+        for (NodeId s = 0; s < 9; ++s) {
+            if (s != 4)
+                net.nic(s).sendPacket(4, 0, 1, net.now());
+        }
+        net.run(2);
+    }
+    ASSERT_TRUE(net.drain(100000));
+    EXPECT_GT(tracer.deflects, 0u);
+    EXPECT_EQ(tracer.deflects,
+              net.aggregateRouterStats().flitsDeflected);
+}
+
+TEST(Trace, ModeSwitchEvents)
+{
+    NetworkConfig cfg = testConfig(2, 2);
+    cfg.afc.cornerHigh = 1e-4;
+    cfg.afc.cornerLow = 5e-5;
+    Network net(cfg, FlowControl::Afc);
+    CountingTracer tracer;
+    net.setTracer(&tracer);
+    net.nic(0).sendPacket(3, 0, 1, net.now());
+    ASSERT_TRUE(net.drain(1000));
+    net.run(2000); // let the EWMA decay and reverse switches fire
+    EXPECT_GT(tracer.toBp, 0u);
+    EXPECT_GT(tracer.toBpl, 0u);
+    RouterStats rs = net.aggregateRouterStats();
+    EXPECT_EQ(tracer.toBp, rs.forwardSwitches);
+    EXPECT_EQ(tracer.toBpl, rs.reverseSwitches);
+}
+
+TEST(Trace, DropEvents)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::BackpressurelessDrop);
+    CountingTracer tracer;
+    net.setTracer(&tracer);
+    for (int k = 0; k < 60; ++k) {
+        for (NodeId s = 0; s < 9; ++s) {
+            if (s != 4)
+                net.nic(s).sendPacket(4, 0, 1, net.now());
+        }
+        net.run(2);
+    }
+    ASSERT_TRUE(net.drain(200000));
+    EXPECT_GT(tracer.drops, 0u);
+}
+
+TEST(Trace, CsvFormat)
+{
+    std::ostringstream out;
+    CsvTracer tracer(out);
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    net.setTracer(&tracer);
+    net.nic(0).sendPacket(1, 0, 1, net.now());
+    ASSERT_TRUE(net.drain(1000));
+
+    std::string text = out.str();
+    // Header plus at least inject, 2 dispatches, deliver.
+    EXPECT_NE(text.find("cycle,event,node"), std::string::npos);
+    EXPECT_NE(text.find(",inject,0,"), std::string::npos);
+    EXPECT_NE(text.find(",dispatch,"), std::string::npos);
+    EXPECT_NE(text.find(",deliver,1,"), std::string::npos);
+    EXPECT_GE(tracer.events(), 4u);
+
+    // Every line has the same number of commas as the header.
+    std::istringstream lines(text);
+    std::string line, header;
+    std::getline(lines, header);
+    auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    while (std::getline(lines, line))
+        EXPECT_EQ(commas(line), commas(header)) << line;
+}
+
+TEST(Trace, DetachStopsEvents)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    CountingTracer tracer;
+    net.setTracer(&tracer);
+    net.nic(0).sendPacket(1, 0, 1, net.now());
+    ASSERT_TRUE(net.drain(1000));
+    std::uint64_t before = tracer.dispatches;
+    net.setTracer(nullptr);
+    net.nic(0).sendPacket(1, 0, 1, net.now());
+    ASSERT_TRUE(net.drain(1000));
+    EXPECT_EQ(tracer.dispatches, before);
+}
+
+} // namespace
+} // namespace afcsim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for traffic patterns, the open-loop injector and the
+ * open-loop harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "traffic/injector.hh"
+#include "traffic/openloop.hh"
+#include "traffic/patterns.hh"
+#include "testutil.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+TEST(Patterns, NeverSelfAddressed)
+{
+    Mesh mesh(4, 4);
+    Rng rng(1);
+    for (const char *name :
+         {"uniform", "transpose", "bitcomp", "hotspot", "neighbor",
+          "quadrant"}) {
+        auto p = makePattern(name, mesh);
+        for (NodeId src = 0; src < mesh.numNodes(); ++src) {
+            for (int k = 0; k < 50; ++k) {
+                NodeId dest = p->pick(src, rng);
+                EXPECT_NE(dest, src) << name;
+                EXPECT_TRUE(mesh.valid(dest)) << name;
+            }
+        }
+    }
+}
+
+TEST(Patterns, UniformCoversAllDestinations)
+{
+    Mesh mesh(3, 3);
+    UniformPattern p(mesh);
+    Rng rng(2);
+    std::set<NodeId> seen;
+    for (int k = 0; k < 2000; ++k)
+        seen.insert(p.pick(4, rng));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Patterns, TransposeMapsCoordinates)
+{
+    Mesh mesh(4, 4);
+    TransposePattern p(mesh);
+    Rng rng(3);
+    EXPECT_EQ(p.pick(mesh.nodeAt({1, 3}), rng), mesh.nodeAt({3, 1}));
+    EXPECT_EQ(p.pick(mesh.nodeAt({0, 2}), rng), mesh.nodeAt({2, 0}));
+}
+
+TEST(Patterns, BitComplementMapsCoordinates)
+{
+    Mesh mesh(4, 4);
+    BitComplementPattern p(mesh);
+    Rng rng(4);
+    EXPECT_EQ(p.pick(mesh.nodeAt({0, 0}), rng), mesh.nodeAt({3, 3}));
+    EXPECT_EQ(p.pick(mesh.nodeAt({1, 3}), rng), mesh.nodeAt({2, 0}));
+}
+
+TEST(Patterns, HotspotSkewsTraffic)
+{
+    Mesh mesh(4, 4);
+    NodeId hot = mesh.nodeAt({2, 2});
+    HotspotPattern p(mesh, hot, 0.5);
+    Rng rng(5);
+    int hot_count = 0;
+    constexpr int kDraws = 4000;
+    for (int k = 0; k < kDraws; ++k)
+        hot_count += p.pick(0, rng) == hot;
+    // 0.5 direct + uniform residue also lands on hot sometimes.
+    EXPECT_NEAR(hot_count / double(kDraws), 0.5 + 0.5 / 15.0, 0.04);
+}
+
+TEST(Patterns, NeighborPicksAdjacent)
+{
+    Mesh mesh(3, 3);
+    NearNeighborPattern p(mesh);
+    Rng rng(6);
+    for (int k = 0; k < 200; ++k) {
+        NodeId dest = p.pick(4, rng);
+        EXPECT_EQ(mesh.hopDistance(4, dest), 1);
+    }
+}
+
+TEST(Patterns, QuadrantTrafficStaysHome)
+{
+    Mesh mesh(8, 8);
+    QuadrantPattern p(mesh);
+    Rng rng(7);
+    for (NodeId src = 0; src < mesh.numNodes(); ++src) {
+        for (int k = 0; k < 30; ++k) {
+            NodeId dest = p.pick(src, rng);
+            EXPECT_EQ(p.quadrantOf(dest), p.quadrantOf(src));
+        }
+    }
+}
+
+TEST(Patterns, QuadrantIndexing)
+{
+    Mesh mesh(8, 8);
+    QuadrantPattern p(mesh);
+    EXPECT_EQ(p.quadrantOf(mesh.nodeAt({0, 0})), 0);
+    EXPECT_EQ(p.quadrantOf(mesh.nodeAt({7, 0})), 1);
+    EXPECT_EQ(p.quadrantOf(mesh.nodeAt({0, 7})), 2);
+    EXPECT_EQ(p.quadrantOf(mesh.nodeAt({7, 7})), 3);
+    EXPECT_EQ(p.quadrantOf(mesh.nodeAt({3, 3})), 0);
+    EXPECT_EQ(p.quadrantOf(mesh.nodeAt({4, 4})), 3);
+}
+
+TEST(Injector, OfferedRateMatchesTarget)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    UniformPattern pattern(net.mesh());
+    OpenLoopInjector inj(net, pattern, 0.3, 0.35);
+    for (int k = 0; k < 20000; ++k) {
+        inj.tick(net.now());
+        net.step();
+    }
+    double offered =
+        inj.offeredFlits() / (9.0 * 20000.0);
+    EXPECT_NEAR(offered, 0.3, 0.02);
+}
+
+TEST(Injector, PerNodeRates)
+{
+    NetworkConfig cfg = testConfig();
+    Network net(cfg, FlowControl::Backpressured);
+    UniformPattern pattern(net.mesh());
+    std::vector<double> rates(9, 0.0);
+    rates[0] = 0.4;
+    OpenLoopInjector inj(net, pattern, rates, 0.0);
+    for (int k = 0; k < 5000; ++k) {
+        inj.tick(net.now());
+        net.step();
+    }
+    EXPECT_GT(net.nic(0).stats().packetsInjected, 0u);
+    for (NodeId n = 1; n < 9; ++n)
+        EXPECT_EQ(net.nic(n).stats().packetsInjected, 0u);
+}
+
+TEST(OpenLoop, LowLoadAcceptsOffered)
+{
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol;
+    ol.injectionRate = 0.1;
+    ol.warmupCycles = 2000;
+    ol.measureCycles = 8000;
+    for (FlowControl fc :
+         {FlowControl::Backpressured, FlowControl::Backpressureless,
+          FlowControl::Afc}) {
+        OpenLoopResult r = runOpenLoop(cfg, fc, ol);
+        EXPECT_FALSE(r.saturated) << toString(fc);
+        EXPECT_NEAR(r.acceptedRate, r.offeredRate, 0.02)
+            << toString(fc);
+        EXPECT_GT(r.avgPacketLatency, 0.0);
+        EXPECT_GT(r.energyPerFlit, 0.0);
+    }
+}
+
+TEST(OpenLoop, DeflectionSaturatesBeforeBackpressured)
+{
+    // "AFC and backpressured networks achieve near identical
+    // saturation throughput (whereas backpressureless saturates at
+    // lower offered loads)" — Sec. V.
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol;
+    ol.warmupCycles = 3000;
+    ol.measureCycles = 10000;
+    ol.injectionRate = 0.55;
+    OpenLoopResult bp =
+        runOpenLoop(cfg, FlowControl::Backpressured, ol);
+    OpenLoopResult bpl =
+        runOpenLoop(cfg, FlowControl::Backpressureless, ol);
+    EXPECT_GE(bpl.avgPacketLatency, bp.avgPacketLatency);
+    EXPECT_LE(bpl.acceptedRate, bp.acceptedRate + 0.02);
+}
+
+TEST(OpenLoop, LatencyRisesWithLoad)
+{
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol;
+    ol.warmupCycles = 2000;
+    ol.measureCycles = 6000;
+    double prev = 0.0;
+    for (double rate : {0.05, 0.2, 0.4}) {
+        ol.injectionRate = rate;
+        OpenLoopResult r =
+            runOpenLoop(cfg, FlowControl::Backpressured, ol);
+        EXPECT_GT(r.avgPacketLatency, prev);
+        prev = r.avgPacketLatency;
+    }
+}
+
+TEST(OpenLoop, QuadrantExperimentShape)
+{
+    // Miniature Sec. V-B: hot NW quadrant, cool elsewhere.
+    NetworkConfig cfg = testConfig(4, 4);
+    OpenLoopConfig ol;
+    ol.warmupCycles = 2000;
+    ol.measureCycles = 6000;
+    QuadrantResult qr = runQuadrantExperiment(
+        cfg, FlowControl::Backpressured, ol, 0.5, 0.05);
+    EXPECT_GT(qr.quadrantPackets[0], qr.quadrantPackets[3]);
+    // The hot quadrant's latency exceeds the cool quadrants'.
+    EXPECT_GT(qr.quadrantPacketLatency[0],
+              qr.quadrantPacketLatency[3]);
+}
+
+} // namespace
+} // namespace afcsim

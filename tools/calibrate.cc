@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Calibration probe (not installed): prints absolute energy
+ * components per configuration for the low- and high-load operating
+ * points, to tune EnergyConfig coefficients against the paper's
+ * relative results.
+ */
+
+#include <cstdio>
+
+#include "sim/closedloop.hh"
+#include "sim/workload.hh"
+
+using namespace afcsim;
+
+static void
+probe(const char *label, const WorkloadProfile &base)
+{
+    WorkloadProfile w = base;
+    w.warmupTransactions /= 4;
+    w.measureTransactions /= 4;
+    NetworkConfig cfg;
+    cfg.seed = 7;
+    std::printf("\n== %s (%s) ==\n", label, w.name.c_str());
+    ClosedLoopResult bp =
+        runClosedLoop(cfg, FlowControl::Backpressured, w);
+    std::printf("%-10s %10s %10s %10s %10s %8s %8s %8s\n", "cfg",
+                "total", "buffer", "link", "rest", "rel", "inj",
+                "runtime");
+    for (FlowControl fc :
+         {FlowControl::Backpressured, FlowControl::Backpressureless,
+          FlowControl::Afc, FlowControl::AfcAlwaysBackpressured,
+          FlowControl::BackpressuredIdealBypass}) {
+        ClosedLoopResult r = fc == FlowControl::Backpressured
+            ? bp : runClosedLoop(cfg, fc, w);
+        std::printf("%-10s %10.0f %10.0f %10.0f %10.0f %8.3f %8.3f "
+                    "%8llu\n",
+                    toString(fc).c_str(), r.energy.total(),
+                    r.energy.bufferEnergy(), r.energy.linkEnergy(),
+                    r.energy.restEnergy(),
+                    r.energy.total() / bp.energy.total(),
+                    r.injectionRate,
+                    (unsigned long long)r.runtime);
+    }
+}
+
+int
+main()
+{
+    probe("low load", barnesWorkload());
+    probe("low load", waterWorkload());
+    probe("mid load", oceanWorkload());
+    probe("high load", apacheWorkload());
+    probe("high load", oltpWorkload());
+    probe("high load", specjbbWorkload());
+    return 0;
+}
