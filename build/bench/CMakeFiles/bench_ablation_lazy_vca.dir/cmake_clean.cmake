@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lazy_vca.dir/bench_ablation_lazy_vca.cc.o"
+  "CMakeFiles/bench_ablation_lazy_vca.dir/bench_ablation_lazy_vca.cc.o.d"
+  "bench_ablation_lazy_vca"
+  "bench_ablation_lazy_vca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lazy_vca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

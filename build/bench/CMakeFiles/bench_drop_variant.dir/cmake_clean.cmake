@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drop_variant.dir/bench_drop_variant.cc.o"
+  "CMakeFiles/bench_drop_variant.dir/bench_drop_variant.cc.o.d"
+  "bench_drop_variant"
+  "bench_drop_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drop_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mode_duty_cycle.dir/bench_mode_duty_cycle.cc.o"
+  "CMakeFiles/bench_mode_duty_cycle.dir/bench_mode_duty_cycle.cc.o.d"
+  "bench_mode_duty_cycle"
+  "bench_mode_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mode_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_openloop_sweep.dir/bench_openloop_sweep.cc.o"
+  "CMakeFiles/bench_openloop_sweep.dir/bench_openloop_sweep.cc.o.d"
+  "bench_openloop_sweep"
+  "bench_openloop_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_openloop_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

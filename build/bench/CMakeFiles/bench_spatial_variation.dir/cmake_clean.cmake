@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_variation.dir/bench_spatial_variation.cc.o"
+  "CMakeFiles/bench_spatial_variation.dir/bench_spatial_variation.cc.o.d"
+  "bench_spatial_variation"
+  "bench_spatial_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

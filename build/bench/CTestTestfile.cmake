@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1 "/root/repo/build/bench/bench_table1_pipeline")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table3 "/root/repo/build/bench/bench_table3_workloads" "scale=0.05")
+set_tests_properties(bench_smoke_table3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2_low "/root/repo/build/bench/bench_fig2_low_load" "scale=0.05")
+set_tests_properties(bench_smoke_fig2_low PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2_high "/root/repo/build/bench/bench_fig2_high_load" "scale=0.05")
+set_tests_properties(bench_smoke_fig2_high PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3 "/root/repo/build/bench/bench_fig3_breakdown" "scale=0.05")
+set_tests_properties(bench_smoke_fig3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_duty "/root/repo/build/bench/bench_mode_duty_cycle" "scale=0.05")
+set_tests_properties(bench_smoke_duty PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_sweep "/root/repo/build/bench/bench_openloop_sweep" "step=0.3" "max=0.3" "warmup=500" "measure=1500")
+set_tests_properties(bench_smoke_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_spatial "/root/repo/build/bench/bench_spatial_variation" "warmup=500" "measure=1500")
+set_tests_properties(bench_smoke_spatial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_lazy_vca "/root/repo/build/bench/bench_ablation_lazy_vca" "warmup=500" "measure=1500")
+set_tests_properties(bench_smoke_lazy_vca PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_thresholds "/root/repo/build/bench/bench_ablation_thresholds" "measure=2000")
+set_tests_properties(bench_smoke_thresholds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_drop "/root/repo/build/bench/bench_drop_variant" "step=0.3" "max=0.3" "warmup=500" "measure=1500")
+set_tests_properties(bench_smoke_drop PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_scaling "/root/repo/build/bench/bench_scaling" "scale=0.05")
+set_tests_properties(bench_smoke_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")

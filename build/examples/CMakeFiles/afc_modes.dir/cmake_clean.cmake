@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afc_modes.dir/afc_modes.cpp.o"
+  "CMakeFiles/afc_modes.dir/afc_modes.cpp.o.d"
+  "afc_modes"
+  "afc_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afc_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

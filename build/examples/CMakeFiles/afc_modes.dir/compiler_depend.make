@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for afc_modes.
+# This may be replaced when dependencies are built.

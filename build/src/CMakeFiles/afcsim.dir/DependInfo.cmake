@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/afcsim.dir/common/config.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/common/config.cc.o.d"
+  "/root/repo/src/common/configfile.cc" "src/CMakeFiles/afcsim.dir/common/configfile.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/common/configfile.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/afcsim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/afcsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/energy/energy.cc" "src/CMakeFiles/afcsim.dir/energy/energy.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/energy/energy.cc.o.d"
+  "/root/repo/src/network/flit.cc" "src/CMakeFiles/afcsim.dir/network/flit.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/network/flit.cc.o.d"
+  "/root/repo/src/network/network.cc" "src/CMakeFiles/afcsim.dir/network/network.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/network/network.cc.o.d"
+  "/root/repo/src/network/nic.cc" "src/CMakeFiles/afcsim.dir/network/nic.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/network/nic.cc.o.d"
+  "/root/repo/src/network/trace.cc" "src/CMakeFiles/afcsim.dir/network/trace.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/network/trace.cc.o.d"
+  "/root/repo/src/router/afc.cc" "src/CMakeFiles/afcsim.dir/router/afc.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/router/afc.cc.o.d"
+  "/root/repo/src/router/backpressured.cc" "src/CMakeFiles/afcsim.dir/router/backpressured.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/router/backpressured.cc.o.d"
+  "/root/repo/src/router/deflection.cc" "src/CMakeFiles/afcsim.dir/router/deflection.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/router/deflection.cc.o.d"
+  "/root/repo/src/router/drop.cc" "src/CMakeFiles/afcsim.dir/router/drop.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/router/drop.cc.o.d"
+  "/root/repo/src/router/router.cc" "src/CMakeFiles/afcsim.dir/router/router.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/router/router.cc.o.d"
+  "/root/repo/src/sim/closedloop.cc" "src/CMakeFiles/afcsim.dir/sim/closedloop.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/sim/closedloop.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/CMakeFiles/afcsim.dir/sim/core.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/sim/core.cc.o.d"
+  "/root/repo/src/sim/l2bank.cc" "src/CMakeFiles/afcsim.dir/sim/l2bank.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/sim/l2bank.cc.o.d"
+  "/root/repo/src/sim/memsys.cc" "src/CMakeFiles/afcsim.dir/sim/memsys.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/sim/memsys.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/CMakeFiles/afcsim.dir/sim/workload.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/sim/workload.cc.o.d"
+  "/root/repo/src/topology/mesh.cc" "src/CMakeFiles/afcsim.dir/topology/mesh.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/topology/mesh.cc.o.d"
+  "/root/repo/src/topology/routing.cc" "src/CMakeFiles/afcsim.dir/topology/routing.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/topology/routing.cc.o.d"
+  "/root/repo/src/traffic/injector.cc" "src/CMakeFiles/afcsim.dir/traffic/injector.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/traffic/injector.cc.o.d"
+  "/root/repo/src/traffic/openloop.cc" "src/CMakeFiles/afcsim.dir/traffic/openloop.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/traffic/openloop.cc.o.d"
+  "/root/repo/src/traffic/patterns.cc" "src/CMakeFiles/afcsim.dir/traffic/patterns.cc.o" "gcc" "src/CMakeFiles/afcsim.dir/traffic/patterns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ablation_test.cc" "tests/CMakeFiles/afcsim_tests.dir/ablation_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/ablation_test.cc.o.d"
+  "/root/repo/tests/afc_protocol_test.cc" "tests/CMakeFiles/afcsim_tests.dir/afc_protocol_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/afc_protocol_test.cc.o.d"
+  "/root/repo/tests/afc_test.cc" "tests/CMakeFiles/afcsim_tests.dir/afc_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/afc_test.cc.o.d"
+  "/root/repo/tests/backpressured_test.cc" "tests/CMakeFiles/afcsim_tests.dir/backpressured_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/backpressured_test.cc.o.d"
+  "/root/repo/tests/calibration_test.cc" "tests/CMakeFiles/afcsim_tests.dir/calibration_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/calibration_test.cc.o.d"
+  "/root/repo/tests/channel_test.cc" "tests/CMakeFiles/afcsim_tests.dir/channel_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/channel_test.cc.o.d"
+  "/root/repo/tests/closedloop_test.cc" "tests/CMakeFiles/afcsim_tests.dir/closedloop_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/closedloop_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/afcsim_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/configfile_test.cc" "tests/CMakeFiles/afcsim_tests.dir/configfile_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/configfile_test.cc.o.d"
+  "/root/repo/tests/deflection_test.cc" "tests/CMakeFiles/afcsim_tests.dir/deflection_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/deflection_test.cc.o.d"
+  "/root/repo/tests/drop_test.cc" "tests/CMakeFiles/afcsim_tests.dir/drop_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/drop_test.cc.o.d"
+  "/root/repo/tests/energy_test.cc" "tests/CMakeFiles/afcsim_tests.dir/energy_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/energy_test.cc.o.d"
+  "/root/repo/tests/memsys_test.cc" "tests/CMakeFiles/afcsim_tests.dir/memsys_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/memsys_test.cc.o.d"
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/afcsim_tests.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/nic_test.cc" "tests/CMakeFiles/afcsim_tests.dir/nic_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/nic_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/afcsim_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/afcsim_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/topology_test.cc" "tests/CMakeFiles/afcsim_tests.dir/topology_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/topology_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/afcsim_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/traffic_test.cc" "tests/CMakeFiles/afcsim_tests.dir/traffic_test.cc.o" "gcc" "tests/CMakeFiles/afcsim_tests.dir/traffic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/afcsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
