@@ -6,15 +6,18 @@
  * repeats > 1, cells print mean +- stddev over seeds (the paper's
  * variance bars).
  *
- * Options: scale=<f> seed=<n> repeats=<n>
+ * The workload x config x seed grid is an ExperimentSpec executed
+ * through the parallel runner; tables and the JSON artifact render
+ * from the same aggregated results.
+ *
+ * Options: scale=<f> seed=<n> repeats=<n> threads=<n>
+ *          json=<path|none>
  */
 
-#include <cmath>
 #include <cstdio>
 
 #include "benchutil.hh"
-#include "sim/closedloop.hh"
-#include "sim/workload.hh"
+#include "exp/experiments.hh"
 
 using namespace afcsim;
 using namespace afcsim::bench;
@@ -23,9 +26,14 @@ int
 main(int argc, char **argv)
 {
     Options opt(argc, argv);
-    double scale = opt.getDouble("scale", 1.0);
-    std::uint64_t seed = opt.getInt("seed", 7);
-    int repeats = static_cast<int>(opt.getInt("repeats", 1));
+
+    exp::ExperimentSpec spec = exp::fig2HighLoadExperiment();
+    spec.scale = opt.getDouble("scale", 1.0);
+    spec.baseSeed = static_cast<std::uint64_t>(opt.getInt("seed", 7));
+    spec.repeats = static_cast<int>(opt.getInt("repeats", 1));
+
+    std::vector<exp::RunResult> results = runSpecForBench(spec, opt);
+    auto rows = exp::aggregate(results);
 
     printHeader("Fig. 2(c): Performance, high-load benchmarks "
                 "(normalized to Backpressured; higher is better)",
@@ -34,55 +42,7 @@ main(int argc, char **argv)
                 "(normalized to Backpressured; lower is better)",
                 "BPL ~1.35, AFC ~1.02 (3% worst case)");
 
-    auto configs = mainConfigs();
-    std::vector<std::string> names;
-    for (FlowControl fc : configs)
-        names.push_back(shortName(fc));
-
-    auto workloads = highLoadWorkloads();
-    std::vector<RelativeResults> results;
-    std::vector<RunningStat> geoPerf(configs.size());
-    std::vector<RunningStat> geoEnergy(configs.size());
-
-    for (const auto &base_w : workloads) {
-        WorkloadProfile w = base_w;
-        w.measureTransactions = static_cast<std::uint64_t>(
-            w.measureTransactions * scale);
-        w.warmupTransactions = static_cast<std::uint64_t>(
-            w.warmupTransactions * scale);
-        RelativeResults r = runRelative(
-            configs, repeats, seed,
-            [&](FlowControl fc, std::uint64_t s) {
-                NetworkConfig cfg;
-                cfg.seed = s;
-                ClosedLoopResult res = runClosedLoop(cfg, fc, w);
-                return std::pair<double, double>{
-                    static_cast<double>(res.runtime),
-                    res.energy.total()};
-            });
-        for (std::size_t i = 0; i < configs.size(); ++i) {
-            geoPerf[i].add(std::log(r.perf[i].mean()));
-            geoEnergy[i].add(std::log(r.energy[i].mean()));
-        }
-        results.push_back(std::move(r));
-    }
-
-    std::printf("\nPerformance (relative):\n");
-    printColumns(names);
-    for (std::size_t i = 0; i < workloads.size(); ++i)
-        printStatRow(workloads[i].name, results[i].perf);
-    std::vector<double> pm, em;
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-        pm.push_back(std::exp(geoPerf[i].mean()));
-        em.push_back(std::exp(geoEnergy[i].mean()));
-    }
-    printRow("geo-mean", pm);
-
-    std::printf("\nNetwork energy (relative):\n");
-    printColumns(names);
-    for (std::size_t i = 0; i < workloads.size(); ++i)
-        printStatRow(workloads[i].name, results[i].energy);
-    printRow("geo-mean", em);
+    printRelativeTables(rows, spec.workloads, spec.configs);
 
     std::printf("\npaper reference (geo-mean): perf BPL~0.81 AFC~0.98; "
                 "energy BPL~1.35 AFC~1.02\n");

@@ -6,14 +6,19 @@
  * saturates at a lower offered load; AFC matches backpressured's
  * saturation throughput.
  *
+ * The run grid is declared as an ExperimentSpec and executed through
+ * the parallel runner; the table below and the JSON artifact render
+ * from the same structured results.
+ *
  * Options: mesh=<n> step=<f> max=<f> warmup=<n> measure=<n>
+ *          threads=<n> (0 = all cores) json=<path|none> progress=1
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "benchutil.hh"
-#include "traffic/openloop.hh"
+#include "exp/experiments.hh"
 
 using namespace afcsim;
 using namespace afcsim::bench;
@@ -22,37 +27,37 @@ int
 main(int argc, char **argv)
 {
     Options opt(argc, argv);
-    int mesh = opt.getInt("mesh", 3);
-    double step = opt.getDouble("step", 0.05);
-    double max = opt.getDouble("max", 0.85);
 
-    NetworkConfig cfg;
-    cfg.width = mesh;
-    cfg.height = mesh;
-    OpenLoopConfig ol;
-    ol.warmupCycles = opt.getInt("warmup", 4000);
-    ol.measureCycles = opt.getInt("measure", 12000);
+    exp::ExperimentSpec spec = exp::openloopSweepExperiment();
+    int mesh = static_cast<int>(opt.getInt("mesh", 3));
+    spec.meshSizes = {mesh};
+    spec.rateSweep(opt.getDouble("step", 0.05),
+                   opt.getDouble("max", 0.85));
+    spec.warmupCycles = opt.getInt("warmup", 4000);
+    spec.measureCycles = opt.getInt("measure", 12000);
+
+    std::vector<exp::RunResult> results = runSpecForBench(spec, opt);
 
     printHeader("Open-loop uniform random: latency vs offered load",
                 "all similar at low load; BPL saturates first; AFC "
                 "tracks BP saturation");
-    std::vector<FlowControl> configs = {FlowControl::Backpressured,
-                                        FlowControl::Backpressureless,
-                                        FlowControl::Afc};
     std::printf("%-8s", "rate");
-    for (FlowControl fc : configs) {
+    for (FlowControl fc : spec.configs) {
         std::printf("%12s%10s%10s%8s",
                     (shortName(fc) + "-lat").c_str(), "p99",
                     "accepted", "sat");
     }
     std::printf("%10s\n", "AFC-bp%");
 
-    for (double rate = step; rate <= max + 1e-9; rate += step) {
-        ol.injectionRate = rate;
+    // Grid order is rate-major, then flow control (repeats = 1).
+    std::size_t i = 0;
+    for (double rate : spec.rates) {
         std::printf("%-8.2f", rate);
         double afc_bp = 0.0;
-        for (FlowControl fc : configs) {
-            OpenLoopResult r = runOpenLoop(cfg, fc, ol);
+        for (FlowControl fc : spec.configs) {
+            const exp::RunResult &r = results.at(i++);
+            AFCSIM_ASSERT(r.point.fc == fc && r.point.rate == rate,
+                          "grid order mismatch");
             std::printf("%12.1f%10.1f%10.3f%8s", r.avgPacketLatency,
                         r.p99PacketLatency, r.acceptedRate,
                         r.saturated ? "*" : "");

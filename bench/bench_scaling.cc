@@ -10,15 +10,18 @@
  * 4x4 and 5x5 CMPs and reports how far AFC sits from the better of
  * the two static mechanisms at each size.
  *
- * Options: scale=<f> seed=<n>
+ * The mesh x workload x config grid is an ExperimentSpec executed
+ * through the parallel runner; the table and the JSON artifact
+ * render from the same structured results.
+ *
+ * Options: scale=<f> seed=<n> threads=<n> json=<path|none>
  */
 
 #include <algorithm>
 #include <cstdio>
 
 #include "benchutil.hh"
-#include "sim/closedloop.hh"
-#include "sim/workload.hh"
+#include "exp/experiments.hh"
 
 using namespace afcsim;
 using namespace afcsim::bench;
@@ -27,8 +30,13 @@ int
 main(int argc, char **argv)
 {
     Options opt(argc, argv);
-    double scale = opt.getDouble("scale", 0.5);
-    std::uint64_t seed = opt.getInt("seed", 7);
+
+    exp::ExperimentSpec spec = exp::scalingExperiment();
+    spec.scale = opt.getDouble("scale", 0.5);
+    spec.baseSeed = static_cast<std::uint64_t>(opt.getInt("seed", 7));
+
+    std::vector<exp::RunResult> results = runSpecForBench(spec, opt);
+    auto rows = exp::aggregate(results);
 
     printHeader("Scaling study: 3x3 / 4x4 / 5x5 CMPs",
                 "deflection's disadvantage grows with network size "
@@ -38,47 +46,35 @@ main(int argc, char **argv)
                 "workload", "BPL-perf", "AFC-perf", "BPL-energy",
                 "AFC-energy", "AFC-vs-best", "BPL-defl/flit");
 
-    for (int mesh : {3, 4, 5}) {
-        for (const auto &base_w :
-             {waterWorkload(), apacheWorkload()}) {
-            WorkloadProfile w = base_w;
-            // Hold per-node transaction pressure constant across
-            // sizes so the per-node injection rate is comparable.
-            double node_scale =
-                scale * (mesh * mesh) / 9.0;
-            w.measureTransactions = static_cast<std::uint64_t>(
-                w.measureTransactions * node_scale);
-            w.warmupTransactions = static_cast<std::uint64_t>(
-                w.warmupTransactions * node_scale);
-            NetworkConfig cfg;
-            cfg.width = mesh;
-            cfg.height = mesh;
-            cfg.seed = seed;
+    for (int mesh : spec.meshSizes) {
+        for (const auto &w : spec.workloads) {
+            const auto &bpl =
+                aggRow(rows, w, FlowControl::Backpressureless, mesh);
+            const auto &afc = aggRow(rows, w, FlowControl::Afc, mesh);
 
-            ClosedLoopResult bp =
-                runClosedLoop(cfg, FlowControl::Backpressured, w);
-            ClosedLoopResult bpl =
-                runClosedLoop(cfg, FlowControl::Backpressureless, w);
-            ClosedLoopResult afc =
-                runClosedLoop(cfg, FlowControl::Afc, w);
-
-            double bpl_perf =
-                static_cast<double>(bp.runtime) / bpl.runtime;
-            double afc_perf =
-                static_cast<double>(bp.runtime) / afc.runtime;
-            double bpl_energy =
-                bpl.energy.total() / bp.energy.total();
-            double afc_energy =
-                afc.energy.total() / bp.energy.total();
+            double bpl_perf = bpl.perfRel.mean();
+            double afc_perf = afc.perfRel.mean();
+            double bpl_energy = bpl.energyRel.mean();
+            double afc_energy = afc.energyRel.mean();
             // "Best of both worlds" distance: AFC energy vs the
             // cheaper of BP (1.0) and BPL, at matched performance.
             double best_energy = std::min(1.0, bpl_energy);
             double afc_vs_best = afc_energy / best_energy;
+
+            // BPL deflections/flit come from the raw run of this
+            // (mesh, workload) cell.
+            double bpl_defl = 0.0;
+            for (const auto &r : results) {
+                if (r.point.mesh == mesh && r.point.group == w &&
+                    r.point.fc == FlowControl::Backpressureless)
+                    bpl_defl = r.avgDeflections;
+            }
+
             std::printf("%-6d%-9s%11.3f%11.3f%11.3f%13.3f%13.3f"
                         "%14.3f\n",
-                        mesh, w.name.c_str(), bpl_perf, afc_perf,
+                        mesh, w.c_str(), bpl_perf, afc_perf,
                         bpl_energy, afc_energy, afc_vs_best,
-                        bpl.avgDeflections);
+                        bpl_defl);
         }
     }
     std::printf("\nExpected trends: BPL-perf falls with mesh size on "

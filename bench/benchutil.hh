@@ -7,12 +7,16 @@
 #ifndef AFCSIM_BENCH_BENCHUTIL_HH
 #define AFCSIM_BENCH_BENCHUTIL_HH
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "common/table.hh"
+#include "exp/result.hh"
+#include "exp/runner.hh"
 
 namespace afcsim::bench
 {
@@ -42,23 +46,28 @@ printHeader(const std::string &title, const std::string &paper_note)
         std::printf("paper: %s\n", paper_note.c_str());
 }
 
+/*
+ * The streaming row printers below are thin shims over TextTable so
+ * every bench renders from structured cells (the same rows the
+ * experiment result sinks serialize) instead of ad-hoc printf loops.
+ */
+
 inline void
 printRow(const std::string &label, const std::vector<double> &cells,
          int width = 12, int precision = 3)
 {
-    std::printf("%-14s", label.c_str());
+    TextTable t(14, width);
+    std::vector<std::string> formatted;
     for (double c : cells)
-        std::printf("%*.*f", width, precision, c);
-    std::printf("\n");
+        formatted.push_back(TextTable::num(c, precision));
+    std::fputs(t.formatRow(label, formatted).c_str(), stdout);
 }
 
 inline void
 printColumns(const std::vector<std::string> &names, int width = 12)
 {
-    std::printf("%-14s", "");
-    for (const auto &n : names)
-        std::printf("%*s", width, n.c_str());
-    std::printf("\n");
+    TextTable t(14, width);
+    std::fputs(t.formatRow("", names).c_str(), stdout);
 }
 
 /**
@@ -101,16 +110,13 @@ runRelative(const std::vector<FlowControl> &configs, int repeats,
 /** Print "mean (+/- std)" rows for a RelativeResults table. */
 inline void
 printStatRow(const std::string &label,
-             const std::vector<RunningStat> &stats)
+             const std::vector<RunningStat> &stats, int width = 14)
 {
-    std::printf("%-14s", label.c_str());
-    for (const auto &s : stats) {
-        if (s.count() > 1)
-            std::printf("%8.3f+-%.3f", s.mean(), s.stddev());
-        else
-            std::printf("%12.3f", s.mean());
-    }
-    std::printf("\n");
+    TextTable t(14, width);
+    std::vector<std::string> cells;
+    for (const auto &s : stats)
+        cells.push_back(TextTable::meanStd(s));
+    std::fputs(t.formatRow(label, cells).c_str(), stdout);
 }
 
 /** Short column label for a flow-control mechanism. */
@@ -126,6 +132,93 @@ shortName(FlowControl fc)
       case FlowControl::BackpressurelessDrop: return "BPL-drop";
     }
     return "?";
+}
+
+/**
+ * Execute an experiment spec through the ParallelRunner with the
+ * bench-standard knobs: `threads=<n>` (0 = all cores, the default)
+ * and `progress=1` for per-run stderr telemetry. Also writes the
+ * structured JSON artifact (same rows the text tables render from)
+ * to `json=<path>` (default `<spec name>.json`; `json=none` skips).
+ */
+inline std::vector<exp::RunResult>
+runSpecForBench(const exp::ExperimentSpec &spec, const Options &opt)
+{
+    int threads = static_cast<int>(opt.getInt("threads", 0));
+    exp::ParallelRunner runner(threads);
+    auto progress = opt.getInt("progress", 0)
+        ? exp::stderrProgress()
+        : exp::ParallelRunner::ProgressFn{};
+    auto outcome = runner.runSpec(spec, progress);
+    std::fprintf(stderr,
+                 "[%s] %zu runs on %d thread(s): %.0f ms wall, "
+                 "%.2f Msim-cycles/s\n",
+                 spec.name.c_str(), outcome.results.size(),
+                 runner.threads(), outcome.wallMs,
+                 outcome.cyclesPerSec() / 1e6);
+    std::string json = opt.get("json", spec.name + ".json");
+    if (json != "none") {
+        exp::writeFile(json,
+                       exp::resultsToJson(spec, outcome.results).dump(2)
+                           + "\n");
+        std::fprintf(stderr, "[%s] wrote %s\n", spec.name.c_str(),
+                     json.c_str());
+    }
+    return std::move(outcome.results);
+}
+
+/**
+ * Find the aggregate row of a (mesh, group, flow-control) cell;
+ * fatal if the grid did not contain it.
+ */
+inline const exp::AggregateRow &
+aggRow(const std::vector<exp::AggregateRow> &rows,
+       const std::string &group, FlowControl fc, int mesh = 0)
+{
+    for (const auto &r : rows) {
+        if (r.group == group && r.fc == fc && (mesh == 0 || r.mesh == mesh))
+            return r;
+    }
+    AFCSIM_FATAL("no aggregate row for group '", group, "' / ",
+                 toString(fc));
+}
+
+/**
+ * Render the Fig. 2-style relative tables (performance and energy
+ * vs. the backpressured baseline, mean +- stddev over repeats, plus
+ * a geo-mean row) from aggregated structured results.
+ */
+inline void
+printRelativeTables(const std::vector<exp::AggregateRow> &rows,
+                    const std::vector<std::string> &groups,
+                    const std::vector<FlowControl> &configs)
+{
+    std::vector<std::string> names;
+    for (FlowControl fc : configs)
+        names.push_back(shortName(fc));
+
+    for (bool energy : {false, true}) {
+        std::printf(energy ? "\nNetwork energy (relative):\n"
+                           : "\nPerformance (relative):\n");
+        printColumns(names, 14);
+        std::vector<RunningStat> geo(configs.size());
+        for (const auto &g : groups) {
+            std::vector<RunningStat> cells;
+            for (std::size_t i = 0; i < configs.size(); ++i) {
+                const auto &row = aggRow(rows, g, configs[i]);
+                const RunningStat &s =
+                    energy ? row.energyRel : row.perfRel;
+                cells.push_back(s);
+                if (s.mean() > 0)
+                    geo[i].add(std::log(s.mean()));
+            }
+            printStatRow(g, cells);
+        }
+        std::vector<double> gm;
+        for (auto &s : geo)
+            gm.push_back(std::exp(s.mean()));
+        printRow("geo-mean", gm, 14);
+    }
 }
 
 } // namespace afcsim::bench

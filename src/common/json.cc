@@ -1,0 +1,481 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+std::size_t
+JsonValue::size() const
+{
+    if (type_ == Type::Array)
+        return elems_.size();
+    if (type_ == Type::Object)
+        return members_.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    AFCSIM_ASSERT(type_ == Type::Array, "JsonValue::at(index) on non-array");
+    return elems_.at(i);
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    AFCSIM_ASSERT(type_ == Type::Array, "JsonValue::push on non-array");
+    elems_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    AFCSIM_ASSERT(type_ == Type::Object, "JsonValue::set on non-object");
+    for (auto &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &m : members_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    AFCSIM_ASSERT(v != nullptr, "missing JSON key '", key, "'");
+    return *v;
+}
+
+std::string
+JsonValue::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Format a double with the shortest representation that round-trips
+ * (printf %.17g is exact but noisy; try increasing precision).
+ */
+std::string
+fmtDouble(double d)
+{
+    if (!std::isfinite(d))
+        return "null";
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+        if (std::strtod(buf, nullptr) == d)
+            break;
+    }
+    return buf;
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) * d, ' ');
+        }
+    };
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        if (isInt_) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(int_));
+            out += buf;
+        } else {
+            out += fmtDouble(num_);
+        }
+        break;
+      case Type::String:
+        out += '"';
+        out += escape(str_);
+        out += '"';
+        break;
+      case Type::Array:
+        if (elems_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            elems_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += escape(members_[i].first);
+            out += "\":";
+            if (indent > 0)
+                out += ' ';
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+bool
+JsonValue::operator==(const JsonValue &o) const
+{
+    if (type_ != o.type_)
+        return false;
+    switch (type_) {
+      case Type::Null: return true;
+      case Type::Bool: return bool_ == o.bool_;
+      case Type::Number:
+        if (isInt_ && o.isInt_)
+            return int_ == o.int_;
+        return num_ == o.num_;
+      case Type::String: return str_ == o.str_;
+      case Type::Array: return elems_ == o.elems_;
+      case Type::Object: return members_ == o.members_;
+    }
+    return false;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : s_(text) {}
+
+    JsonValue
+    run(std::string *error)
+    {
+        ok_ = true;
+        JsonValue v = value();
+        skipWs();
+        if (ok_ && pos_ != s_.size())
+            fail("trailing characters after document");
+        if (!ok_) {
+            if (error)
+                *error = err_;
+            return JsonValue();
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (ok_) {
+            ok_ = false;
+            err_ = why + " at offset " + std::to_string(pos_);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            fail("unexpected end of input");
+            return JsonValue();
+        }
+        char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return JsonValue(string());
+        if (literal("true"))
+            return JsonValue(true);
+        if (literal("false"))
+            return JsonValue(false);
+        if (literal("null"))
+            return JsonValue();
+        return number();
+    }
+
+    JsonValue
+    object()
+    {
+        consume('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (consume('}'))
+            return obj;
+        for (;;) {
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '"') {
+                fail("expected object key");
+                return obj;
+            }
+            std::string key = string();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return obj;
+            }
+            obj.set(key, value());
+            if (!ok_)
+                return obj;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return obj;
+            fail("expected ',' or '}' in object");
+            return obj;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        consume('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (consume(']'))
+            return arr;
+        for (;;) {
+            arr.push(value());
+            if (!ok_)
+                return arr;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return arr;
+            fail("expected ',' or ']' in array");
+            return arr;
+        }
+    }
+
+    std::string
+    string()
+    {
+        consume('"');
+        std::string out;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                break;
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad hex digit in \\u escape");
+                        return out;
+                    }
+                }
+                // UTF-8 encode the code point (BMP only; surrogate
+                // pairs are passed through as two 3-byte sequences,
+                // which round-trips our own escaped control chars).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        bool isInt = true;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isInt = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) {
+            fail("expected a value");
+            return JsonValue();
+        }
+        std::string tok = s_.substr(start, pos_ - start);
+        char *end = nullptr;
+        if (isInt) {
+            long long v = std::strtoll(tok.c_str(), &end, 10);
+            if (end == tok.c_str() + tok.size())
+                return JsonValue(static_cast<std::int64_t>(v));
+        }
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) {
+            fail("malformed number '" + tok + "'");
+            return JsonValue();
+        }
+        return JsonValue(d);
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string err_;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    return Parser(text).run(error);
+}
+
+} // namespace afcsim

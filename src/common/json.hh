@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal JSON document model used by the experiment subsystem's
+ * result export (src/exp). Supports building documents (object keys
+ * keep insertion order so emitted files are deterministic and
+ * diffable), serializing with full string escaping, and parsing —
+ * enough to round-trip our own output and validate emitted artifacts
+ * without an external dependency.
+ */
+
+#ifndef AFCSIM_COMMON_JSON_HH
+#define AFCSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace afcsim
+{
+
+/**
+ * A JSON value: null, bool, number, string, array or object.
+ *
+ * Numbers are stored as double plus an integer flag so that counters
+ * (flit counts, seeds) serialize without a decimal point and survive
+ * a round-trip exactly; non-finite doubles serialize as null (JSON
+ * has no NaN/Inf).
+ */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() : type_(Type::Null) {}
+    JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+    JsonValue(double d) : type_(Type::Number), num_(d) {}
+    JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+    JsonValue(std::int64_t i)
+        : type_(Type::Number), num_(static_cast<double>(i)),
+          isInt_(true), int_(i)
+    {
+    }
+    JsonValue(std::uint64_t u)
+        : JsonValue(static_cast<std::int64_t>(u))
+    {
+    }
+    JsonValue(const char *s) : type_(Type::String), str_(s) {}
+    JsonValue(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static JsonValue array() { JsonValue v; v.type_ = Type::Array; return v; }
+    static JsonValue object() { JsonValue v; v.type_ = Type::Object; return v; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isInteger() const { return type_ == Type::Number && isInt_; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asDouble() const { return num_; }
+    std::int64_t asInt() const { return isInt_ ? int_ : static_cast<std::int64_t>(num_); }
+    const std::string &asString() const { return str_; }
+
+    /** Array access. */
+    std::size_t size() const;
+    const JsonValue &at(std::size_t i) const;
+    void push(JsonValue v);
+
+    /** Object access: set() appends or overwrites; find() may be null. */
+    void set(const std::string &key, JsonValue v);
+    const JsonValue *find(const std::string &key) const;
+    /** Object lookup that must succeed (panics otherwise). */
+    const JsonValue &at(const std::string &key) const;
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /**
+     * Serialize. `indent` > 0 pretty-prints with that many spaces per
+     * level; 0 emits compact single-line JSON. Output is byte-stable
+     * for a given document (insertion-ordered keys, fixed number
+     * formatting), which the determinism tests rely on.
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Structural equality (numbers compared exactly). */
+    bool operator==(const JsonValue &o) const;
+    bool operator!=(const JsonValue &o) const { return !(*this == o); }
+
+    /**
+     * Parse a JSON document. On failure returns a Null value and, if
+     * `error` is non-null, stores a message with the byte offset.
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *error = nullptr);
+
+    /** Escape a string body per JSON rules (no surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    bool isInt_ = false;
+    std::int64_t int_ = 0;
+    std::string str_;
+    std::vector<JsonValue> elems_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_JSON_HH

@@ -1,0 +1,111 @@
+#include "common/statsio.hh"
+
+namespace afcsim
+{
+
+JsonValue
+toJson(const RunningStat &s)
+{
+    JsonValue o = JsonValue::object();
+    o.set("count", JsonValue(s.count()));
+    if (s.count() > 0) {
+        o.set("mean", JsonValue(s.mean()));
+        o.set("stddev", JsonValue(s.stddev()));
+        o.set("min", JsonValue(s.min()));
+        o.set("max", JsonValue(s.max()));
+        o.set("sum", JsonValue(s.sum()));
+    }
+    return o;
+}
+
+JsonValue
+toJson(const Histogram &h, bool include_buckets)
+{
+    JsonValue o = toJson(h.summary());
+    if (h.count() > 0) {
+        o.set("p50", JsonValue(h.quantile(0.50)));
+        o.set("p90", JsonValue(h.quantile(0.90)));
+        o.set("p99", JsonValue(h.quantile(0.99)));
+        o.set("p999", JsonValue(h.quantile(0.999)));
+    }
+    if (include_buckets) {
+        o.set("bucket_width", JsonValue(h.bucketWidth()));
+        JsonValue buckets = JsonValue::array();
+        for (std::size_t i = 0; i < h.numBuckets(); ++i)
+            buckets.push(JsonValue(h.bucket(i)));
+        o.set("buckets", std::move(buckets));
+    }
+    return o;
+}
+
+JsonValue
+toJson(const NetStats &n)
+{
+    JsonValue o = JsonValue::object();
+    o.set("flits_injected", JsonValue(n.flitsInjected));
+    o.set("flits_delivered", JsonValue(n.flitsDelivered));
+    o.set("packets_injected", JsonValue(n.packetsInjected));
+    o.set("packets_delivered", JsonValue(n.packetsDelivered));
+    o.set("packet_latency", toJson(n.packetLatencyHist));
+    o.set("flit_latency", toJson(n.flitLatency));
+    o.set("hops", toJson(n.hops));
+    o.set("deflections", toJson(n.deflections));
+    o.set("total_deflections", JsonValue(n.totalDeflections));
+    return o;
+}
+
+JsonValue
+toJson(const EnergyReport &e)
+{
+    JsonValue o = JsonValue::object();
+    o.set("total_pj", JsonValue(e.total()));
+    o.set("buffer_pj", JsonValue(e.bufferEnergy()));
+    o.set("link_pj", JsonValue(e.linkEnergy()));
+    o.set("rest_pj", JsonValue(e.restEnergy()));
+    JsonValue by = JsonValue::object();
+    int n = static_cast<int>(EnergyComponent::NumComponents);
+    for (int c = 0; c < n; ++c) {
+        by.set(componentName(static_cast<EnergyComponent>(c)),
+               JsonValue(e.byComponent[c]));
+    }
+    o.set("by_component", std::move(by));
+    return o;
+}
+
+std::string
+csvEscape(const std::string &field)
+{
+    bool needs_quotes = false;
+    for (char c : field) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs_quotes = true;
+            break;
+        }
+    }
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvRow(const std::vector<std::string> &fields)
+{
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out += ',';
+        out += csvEscape(fields[i]);
+    }
+    out += '\n';
+    return out;
+}
+
+} // namespace afcsim

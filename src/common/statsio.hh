@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Serialization of the statistics primitives (RunningStat, Histogram,
+ * NetStats, EnergyReport) to JSON documents and CSV fields, shared by
+ * the experiment result sinks (src/exp) and any tool that exports
+ * machine-readable stats.
+ */
+
+#ifndef AFCSIM_COMMON_STATSIO_HH
+#define AFCSIM_COMMON_STATSIO_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "energy/energy.hh"
+
+namespace afcsim
+{
+
+/** {count, mean, stddev, min, max, sum}. Empty stats omit moments. */
+JsonValue toJson(const RunningStat &s);
+
+/**
+ * Histogram summary: the RunningStat moments plus the standard
+ * latency quantiles (p50/p90/p99/p999). `include_buckets` adds the
+ * raw bucket array (width + counts, overflow last) for tools that
+ * re-plot distributions.
+ */
+JsonValue toJson(const Histogram &h, bool include_buckets = false);
+
+/** Full end-to-end network stats block. */
+JsonValue toJson(const NetStats &n);
+
+/**
+ * Energy report: total, the paper's buffer/link/rest breakdown, and
+ * the per-component detail map.
+ */
+JsonValue toJson(const EnergyReport &e);
+
+/** Escape one CSV field (RFC 4180: quote when needed, double quotes). */
+std::string csvEscape(const std::string &field);
+
+/** Join escaped fields with commas and terminate with newline. */
+std::string csvRow(const std::vector<std::string> &fields);
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_STATSIO_HH

@@ -1,0 +1,94 @@
+#include "common/table.hh"
+
+#include "common/stats.hh"
+
+namespace afcsim
+{
+
+int
+TextTable::width(std::size_t col) const
+{
+    if (col < widths_.size() && widths_[col] > 0)
+        return widths_[col];
+    return cellWidth_;
+}
+
+std::string
+TextTable::formatRow(const std::string &label,
+                     const std::vector<std::string> &cells) const
+{
+    std::string out = label;
+    if (static_cast<int>(out.size()) < labelWidth_)
+        out.append(labelWidth_ - out.size(), ' ');
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        int w = width(i);
+        if (static_cast<int>(cells[i].size()) < w)
+            out.append(w - cells[i].size(), ' ');
+        out += cells[i];
+    }
+    out += '\n';
+    return out;
+}
+
+std::string
+TextTable::renderHeader() const
+{
+    return formatRow("", columns_);
+}
+
+std::string
+TextTable::renderRow(std::size_t i) const
+{
+    const Row &r = rows_.at(i);
+    return formatRow(r.label, r.cells);
+}
+
+std::string
+TextTable::render() const
+{
+    std::string out;
+    if (!columns_.empty())
+        out += renderHeader();
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+        out += renderRow(i);
+    return out;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::integer(long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return buf;
+}
+
+std::string
+TextTable::meanStd(const RunningStat &s, int precision)
+{
+    if (s.count() > 1)
+        return num(s.mean(), precision) + "+-" + num(s.stddev(), precision);
+    return num(s.mean(), precision);
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    return num(100.0 * fraction, precision) + "%";
+}
+
+} // namespace afcsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Structured text-table rendering. Benches and the experiment result
+ * layer build tables as rows of cells (strings or formatted numbers)
+ * and render them in one place, instead of scattering printf format
+ * strings through every binary. A table can be rendered as a whole
+ * or streamed row-by-row (the bench binaries print progressively).
+ */
+
+#ifndef AFCSIM_COMMON_TABLE_HH
+#define AFCSIM_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace afcsim
+{
+
+class RunningStat;
+
+/**
+ * A fixed-layout table: one left-aligned label column plus N
+ * right-aligned value columns of a default (or per-column) width.
+ * Cells wider than their column push the row out rather than
+ * truncate, matching printf("%*s") behaviour.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(int label_width = 14, int cell_width = 12)
+        : labelWidth_(label_width), cellWidth_(cell_width)
+    {
+    }
+
+    /** Set the value-column headers (rendered above the rows). */
+    void
+    setColumns(std::vector<std::string> names)
+    {
+        columns_ = std::move(names);
+    }
+
+    /** Per-column width override; unset columns use the default. */
+    void
+    setColumnWidths(std::vector<int> widths)
+    {
+        widths_ = std::move(widths);
+    }
+
+    /** Append a data row. */
+    void
+    addRow(std::string label, std::vector<std::string> cells)
+    {
+        rows_.push_back({std::move(label), std::move(cells)});
+    }
+
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render the header line (labels column blank). */
+    std::string renderHeader() const;
+    /** Render one stored row. */
+    std::string renderRow(std::size_t i) const;
+    /** Render header + all rows, newline-terminated. */
+    std::string render() const;
+    /** Convenience: render() to a stdio stream. */
+    void print(std::FILE *out = stdout) const;
+
+    /** Format a row without storing it (streaming printers). */
+    std::string formatRow(const std::string &label,
+                          const std::vector<std::string> &cells) const;
+
+    // --- Cell factories -------------------------------------------
+
+    /** Fixed-precision numeric cell. */
+    static std::string num(double value, int precision = 3);
+    /** Integer cell. */
+    static std::string integer(long long value);
+    /** "mean+-std" cell when the stat has >1 sample, else the mean. */
+    static std::string meanStd(const RunningStat &s, int precision = 3);
+    /** Percentage cell: 0.153 -> "15.3%". */
+    static std::string percent(double fraction, int precision = 1);
+
+  private:
+    int width(std::size_t col) const;
+
+    struct Row
+    {
+        std::string label;
+        std::vector<std::string> cells;
+    };
+
+    int labelWidth_;
+    int cellWidth_;
+    std::vector<std::string> columns_;
+    std::vector<int> widths_;
+    std::vector<Row> rows_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_TABLE_HH

@@ -1,0 +1,104 @@
+#include "exp/experiments.hh"
+
+#include "common/log.hh"
+
+namespace afcsim::exp
+{
+
+ExperimentSpec
+openloopSweepExperiment()
+{
+    ExperimentSpec spec;
+    spec.name = "openloop_sweep";
+    spec.description =
+        "Open-loop uniform random: latency vs offered load (Sec. V)";
+    spec.kind = RunKind::OpenLoop;
+    spec.configs = {FlowControl::Backpressured,
+                    FlowControl::Backpressureless, FlowControl::Afc};
+    spec.rateSweep(0.05, 0.85);
+    spec.warmupCycles = 4000;
+    spec.measureCycles = 12000;
+    spec.baseSeed = 1;
+    return spec;
+}
+
+ExperimentSpec
+fig2LowLoadExperiment()
+{
+    ExperimentSpec spec;
+    spec.name = "fig2_low_load";
+    spec.description =
+        "Fig. 2(a)/(b): performance and network energy, low-load "
+        "SPLASH-2 workloads, normalized to backpressured";
+    spec.kind = RunKind::ClosedLoop;
+    spec.configs = {FlowControl::Backpressured,
+                    FlowControl::Backpressureless,
+                    FlowControl::AfcAlwaysBackpressured,
+                    FlowControl::Afc,
+                    FlowControl::BackpressuredIdealBypass};
+    spec.workloads = {"barnes", "ocean", "water"};
+    spec.baseSeed = 7;
+    return spec;
+}
+
+ExperimentSpec
+fig2HighLoadExperiment()
+{
+    ExperimentSpec spec;
+    spec.name = "fig2_high_load";
+    spec.description =
+        "Fig. 2(c)/(d): performance and network energy, high-load "
+        "commercial workloads, normalized to backpressured";
+    spec.kind = RunKind::ClosedLoop;
+    spec.configs = {FlowControl::Backpressured,
+                    FlowControl::Backpressureless,
+                    FlowControl::AfcAlwaysBackpressured,
+                    FlowControl::Afc};
+    spec.workloads = {"apache", "oltp", "specjbb"};
+    spec.baseSeed = 7;
+    return spec;
+}
+
+ExperimentSpec
+scalingExperiment()
+{
+    ExperimentSpec spec;
+    spec.name = "scaling";
+    spec.description =
+        "Conclusion scaling study: 3x3/4x4/5x5 CMPs, per-node "
+        "transaction pressure held constant";
+    spec.kind = RunKind::ClosedLoop;
+    spec.configs = {FlowControl::Backpressured,
+                    FlowControl::Backpressureless, FlowControl::Afc};
+    spec.workloads = {"water", "apache"};
+    spec.meshSizes = {3, 4, 5};
+    spec.scale = 0.5;
+    spec.scaleWithMesh = true;
+    spec.baseSeed = 7;
+    return spec;
+}
+
+std::vector<std::string>
+experimentNames()
+{
+    return {"openloop_sweep", "fig2_low_load", "fig2_high_load",
+            "scaling"};
+}
+
+ExperimentSpec
+experimentByName(const std::string &name)
+{
+    if (name == "openloop_sweep")
+        return openloopSweepExperiment();
+    if (name == "fig2_low_load")
+        return fig2LowLoadExperiment();
+    if (name == "fig2_high_load")
+        return fig2HighLoadExperiment();
+    if (name == "scaling")
+        return scalingExperiment();
+    AFCSIM_FATAL("unknown experiment '", name, "'; known: ",
+                 "openloop_sweep, fig2_low_load, fig2_high_load, "
+                 "scaling");
+}
+
+} // namespace afcsim::exp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Named paper experiments: the declarative ExperimentSpec behind
+ * each refactored bench binary (and the `afcsim-exp --experiment`
+ * CLI). Each function returns the paper-default grid; callers may
+ * then override scale, repeats, rates or thread count before
+ * expansion, which is how the benches expose their key=value knobs.
+ */
+
+#ifndef AFCSIM_EXP_EXPERIMENTS_HH
+#define AFCSIM_EXP_EXPERIMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/spec.hh"
+
+namespace afcsim::exp
+{
+
+/**
+ * Sec. V "Other results": open-loop uniform-random latency vs.
+ * offered load for BP / BPL / AFC (bench_openloop_sweep).
+ */
+ExperimentSpec openloopSweepExperiment();
+
+/**
+ * Fig. 2(a)/(b): low-load SPLASH-2 workloads, five configurations
+ * including the ideal-bypass energy bound (bench_fig2_low_load).
+ */
+ExperimentSpec fig2LowLoadExperiment();
+
+/** Fig. 2(c)/(d): high-load commercial workloads (bench_fig2_high_load). */
+ExperimentSpec fig2HighLoadExperiment();
+
+/**
+ * Conclusion scaling study: 3x3/4x4/5x5 meshes, one low- and one
+ * high-load workload, per-node pressure held constant
+ * (bench_scaling).
+ */
+ExperimentSpec scalingExperiment();
+
+/** All registered experiment names. */
+std::vector<std::string> experimentNames();
+
+/** Look up a named experiment; fatal on unknown names. */
+ExperimentSpec experimentByName(const std::string &name);
+
+} // namespace afcsim::exp
+
+#endif // AFCSIM_EXP_EXPERIMENTS_HH

@@ -1,0 +1,266 @@
+#include "exp/result.hh"
+
+#include <fstream>
+#include <map>
+#include <tuple>
+
+#include "common/log.hh"
+#include "common/statsio.hh"
+
+namespace afcsim::exp
+{
+
+std::vector<AggregateRow>
+aggregate(const std::vector<RunResult> &results)
+{
+    // Baseline runtime/energy per (mesh, group, repeat) for relative
+    // normalization.
+    using BaseKey = std::tuple<int, std::string, int>;
+    std::map<BaseKey, std::pair<double, double>> baselines;
+    for (const auto &r : results) {
+        if (r.point.fc == FlowControl::Backpressured) {
+            baselines[{r.point.mesh, r.point.group, r.point.repeat}] =
+                {r.runtimeCycles, r.energyTotal};
+        }
+    }
+
+    std::vector<AggregateRow> rows;
+    auto rowFor = [&](const RunResult &r) -> AggregateRow & {
+        for (auto &row : rows) {
+            if (row.group == r.point.group && row.fc == r.point.fc &&
+                row.mesh == r.point.mesh)
+                return row;
+        }
+        AggregateRow row;
+        row.group = r.point.group;
+        row.mesh = r.point.mesh;
+        row.fc = r.point.fc;
+        rows.push_back(row);
+        return rows.back();
+    };
+
+    for (const auto &r : results) {
+        AggregateRow &row = rowFor(r);
+        row.runtime.add(r.runtimeCycles);
+        row.avgPacketLatency.add(r.avgPacketLatency);
+        row.p99PacketLatency.add(r.p99PacketLatency);
+        row.acceptedRate.add(r.acceptedRate);
+        row.energyTotal.add(r.energyTotal);
+        row.energyPerFlit.add(r.energyPerFlit);
+        row.bpFraction.add(r.bpFraction);
+        auto it = baselines.find(
+            {r.point.mesh, r.point.group, r.point.repeat});
+        if (it != baselines.end() && it->second.first > 0 &&
+            it->second.second > 0 && r.runtimeCycles > 0) {
+            row.perfRel.add(it->second.first / r.runtimeCycles);
+            row.energyRel.add(r.energyTotal / it->second.second);
+        }
+    }
+    return rows;
+}
+
+JsonValue
+toJson(const RunResult &r, bool with_telemetry)
+{
+    JsonValue o = JsonValue::object();
+    o.set("index", JsonValue(static_cast<std::int64_t>(r.point.index)));
+    o.set("group", JsonValue(r.point.group));
+    o.set("mesh", JsonValue(static_cast<std::int64_t>(r.point.mesh)));
+    o.set("flow_control", JsonValue(afcsim::toString(r.point.fc)));
+    o.set("repeat", JsonValue(static_cast<std::int64_t>(r.point.repeat)));
+    o.set("seed", JsonValue(r.point.seed));
+    if (r.point.kind == RunKind::OpenLoop) {
+        o.set("rate", JsonValue(r.point.rate));
+        o.set("pattern", JsonValue(r.point.ol.pattern));
+    } else {
+        o.set("workload", JsonValue(r.point.workload.name));
+    }
+
+    JsonValue m = JsonValue::object();
+    m.set("runtime_cycles", JsonValue(r.runtimeCycles));
+    if (r.point.kind == RunKind::ClosedLoop) {
+        m.set("transactions", JsonValue(r.transactions));
+        m.set("throughput_tx_per_cycle", JsonValue(r.throughput));
+        m.set("avg_tx_latency", JsonValue(r.avgTxLatency));
+    }
+    m.set("offered_rate", JsonValue(r.offeredRate));
+    m.set("accepted_rate", JsonValue(r.acceptedRate));
+    m.set("avg_packet_latency", JsonValue(r.avgPacketLatency));
+    m.set("p50_packet_latency", JsonValue(r.p50PacketLatency));
+    m.set("p99_packet_latency", JsonValue(r.p99PacketLatency));
+    m.set("avg_flit_latency", JsonValue(r.avgFlitLatency));
+    m.set("avg_hops", JsonValue(r.avgHops));
+    m.set("avg_deflections", JsonValue(r.avgDeflections));
+    m.set("saturated", JsonValue(r.saturated));
+    m.set("energy_total_pj", JsonValue(r.energyTotal));
+    m.set("energy_per_flit_pj", JsonValue(r.energyPerFlit));
+    o.set("metrics", std::move(m));
+
+    JsonValue afc = JsonValue::object();
+    afc.set("bp_fraction", JsonValue(r.bpFraction));
+    afc.set("forward_switches", JsonValue(r.forwardSwitches));
+    afc.set("reverse_switches", JsonValue(r.reverseSwitches));
+    afc.set("gossip_switches", JsonValue(r.gossipSwitches));
+    o.set("afc_mode", std::move(afc));
+
+    o.set("energy", afcsim::toJson(r.energy));
+    o.set("net", afcsim::toJson(r.net));
+
+    if (with_telemetry) {
+        JsonValue t = JsonValue::object();
+        t.set("wall_ms", JsonValue(r.wallMs));
+        t.set("cycles_per_sec", JsonValue(r.cyclesPerSec));
+        o.set("telemetry", std::move(t));
+    }
+    return o;
+}
+
+namespace
+{
+
+JsonValue
+specToJson(const ExperimentSpec &spec)
+{
+    JsonValue s = JsonValue::object();
+    s.set("kind", JsonValue(toString(spec.kind)));
+    JsonValue meshes = JsonValue::array();
+    if (spec.meshSizes.empty()) {
+        meshes.push(JsonValue(static_cast<std::int64_t>(spec.base.width)));
+    } else {
+        for (int m : spec.meshSizes)
+            meshes.push(JsonValue(static_cast<std::int64_t>(m)));
+    }
+    s.set("mesh", std::move(meshes));
+    JsonValue fcs = JsonValue::array();
+    for (FlowControl fc : spec.configs)
+        fcs.push(JsonValue(afcsim::toString(fc)));
+    s.set("configs", std::move(fcs));
+    if (spec.kind == RunKind::OpenLoop) {
+        JsonValue rates = JsonValue::array();
+        for (double r : spec.rates)
+            rates.push(JsonValue(r));
+        s.set("rates", std::move(rates));
+        s.set("pattern", JsonValue(spec.pattern));
+        s.set("warmup_cycles", JsonValue(
+            static_cast<std::int64_t>(spec.warmupCycles)));
+        s.set("measure_cycles", JsonValue(
+            static_cast<std::int64_t>(spec.measureCycles)));
+        s.set("data_fraction", JsonValue(spec.dataPacketFraction));
+    } else {
+        JsonValue ws = JsonValue::array();
+        for (const auto &w : spec.workloads)
+            ws.push(JsonValue(w));
+        s.set("workloads", std::move(ws));
+        s.set("scale", JsonValue(spec.scale));
+        s.set("scale_with_mesh", JsonValue(spec.scaleWithMesh));
+    }
+    s.set("repeats", JsonValue(static_cast<std::int64_t>(spec.repeats)));
+    s.set("seed", JsonValue(spec.baseSeed));
+    return s;
+}
+
+JsonValue
+aggregateToJson(const AggregateRow &row)
+{
+    JsonValue o = JsonValue::object();
+    o.set("group", JsonValue(row.group));
+    o.set("mesh", JsonValue(static_cast<std::int64_t>(row.mesh)));
+    o.set("flow_control", JsonValue(afcsim::toString(row.fc)));
+    o.set("runs", JsonValue(row.runtime.count()));
+    o.set("runtime_cycles", afcsim::toJson(row.runtime));
+    o.set("avg_packet_latency", afcsim::toJson(row.avgPacketLatency));
+    o.set("p99_packet_latency", afcsim::toJson(row.p99PacketLatency));
+    o.set("accepted_rate", afcsim::toJson(row.acceptedRate));
+    o.set("energy_total_pj", afcsim::toJson(row.energyTotal));
+    o.set("energy_per_flit_pj", afcsim::toJson(row.energyPerFlit));
+    o.set("bp_fraction", afcsim::toJson(row.bpFraction));
+    if (row.perfRel.count() > 0) {
+        o.set("perf_rel", afcsim::toJson(row.perfRel));
+        o.set("energy_rel", afcsim::toJson(row.energyRel));
+    }
+    return o;
+}
+
+} // namespace
+
+JsonValue
+resultsToJson(const ExperimentSpec &spec,
+              const std::vector<RunResult> &results, bool with_telemetry)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("experiment", JsonValue(spec.name));
+    if (!spec.description.empty())
+        doc.set("description", JsonValue(spec.description));
+    doc.set("spec", specToJson(spec));
+    JsonValue runs = JsonValue::array();
+    for (const auto &r : results)
+        runs.push(toJson(r, with_telemetry));
+    doc.set("runs", std::move(runs));
+    JsonValue aggs = JsonValue::array();
+    for (const auto &row : aggregate(results))
+        aggs.push(aggregateToJson(row));
+    doc.set("aggregates", std::move(aggs));
+    return doc;
+}
+
+std::string
+resultsToCsv(const std::vector<RunResult> &results)
+{
+    std::string out = csvRow({
+        "index", "experiment", "group", "mesh", "flow_control",
+        "repeat", "seed", "rate", "workload", "runtime_cycles",
+        "transactions", "offered_rate", "accepted_rate",
+        "avg_packet_latency", "p50_packet_latency",
+        "p99_packet_latency", "avg_hops", "avg_deflections",
+        "saturated", "energy_total_pj", "energy_per_flit_pj",
+        "buffer_pj", "link_pj", "rest_pj", "bp_fraction",
+    });
+    // Same shortest-round-trip formatting as the JSON sink, so the
+    // two artifacts show identical numbers.
+    auto num = [](double v) { return JsonValue(v).dump(); };
+    for (const auto &r : results) {
+        out += csvRow({
+            std::to_string(r.point.index),
+            r.point.experiment,
+            r.point.group,
+            std::to_string(r.point.mesh),
+            afcsim::toString(r.point.fc),
+            std::to_string(r.point.repeat),
+            std::to_string(r.point.seed),
+            r.point.kind == RunKind::OpenLoop ? num(r.point.rate) : "",
+            r.point.kind == RunKind::ClosedLoop ? r.point.workload.name
+                                                : "",
+            num(r.runtimeCycles),
+            std::to_string(r.transactions),
+            num(r.offeredRate),
+            num(r.acceptedRate),
+            num(r.avgPacketLatency),
+            num(r.p50PacketLatency),
+            num(r.p99PacketLatency),
+            num(r.avgHops),
+            num(r.avgDeflections),
+            r.saturated ? "1" : "0",
+            num(r.energyTotal),
+            num(r.energyPerFlit),
+            num(r.energy.bufferEnergy()),
+            num(r.energy.linkEnergy()),
+            num(r.energy.restEnergy()),
+            num(r.bpFraction),
+        });
+    }
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        AFCSIM_FATAL("cannot open '", path, "' for writing");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    if (!out)
+        AFCSIM_FATAL("error writing '", path, "'");
+}
+
+} // namespace afcsim::exp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Experiment results and sinks. A RunResult is the structured
+ * outcome of one RunPoint (metrics + energy breakdown + telemetry);
+ * aggregation groups results over repeat seeds and normalizes
+ * against the backpressured baseline (the paper's reporting style).
+ * Sinks serialize the same structures to JSON and CSV; the bench
+ * binaries render their text tables from these rows too, so the
+ * human-readable and machine-readable outputs can never diverge.
+ */
+
+#ifndef AFCSIM_EXP_RESULT_HH
+#define AFCSIM_EXP_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "energy/energy.hh"
+#include "exp/spec.hh"
+
+namespace afcsim::exp
+{
+
+/** Structured outcome of one run. */
+struct RunResult
+{
+    RunPoint point;
+
+    // Unified metrics (some are kind-specific and stay 0 otherwise).
+    double runtimeCycles = 0.0;  ///< measured window length
+    std::uint64_t transactions = 0;
+    double throughput = 0.0;     ///< closed loop: transactions/cycle
+    double offeredRate = 0.0;    ///< flits/node/cycle
+    double acceptedRate = 0.0;   ///< flits/node/cycle delivered
+    double avgPacketLatency = 0.0;
+    double p50PacketLatency = 0.0;
+    double p99PacketLatency = 0.0;
+    double avgFlitLatency = 0.0;
+    double avgHops = 0.0;
+    double avgDeflections = 0.0;
+    double avgTxLatency = 0.0;   ///< closed loop: miss-to-response
+    bool saturated = false;
+
+    double energyTotal = 0.0;    ///< pJ over the measured window
+    double energyPerFlit = 0.0;
+    EnergyReport energy;
+
+    // AFC mode behaviour.
+    double bpFraction = 0.0;     ///< router-cycle duty in BP mode
+    std::uint64_t forwardSwitches = 0;
+    std::uint64_t reverseSwitches = 0;
+    std::uint64_t gossipSwitches = 0;
+
+    NetStats net;
+
+    // Execution telemetry (nondeterministic; excluded from the
+    // deterministic JSON document unless explicitly requested).
+    double wallMs = 0.0;
+    double cyclesPerSec = 0.0;
+};
+
+/**
+ * Per-(group, flow-control) aggregate over repeat seeds. Relative
+ * stats normalize each repeat against the Backpressured run of the
+ * same group and repeat (present only when the spec includes the
+ * backpressured baseline).
+ */
+struct AggregateRow
+{
+    std::string group;
+    int mesh = 3;
+    FlowControl fc = FlowControl::Backpressured;
+    RunningStat runtime;
+    RunningStat avgPacketLatency;
+    RunningStat p99PacketLatency;
+    RunningStat acceptedRate;
+    RunningStat energyTotal;
+    RunningStat energyPerFlit;
+    RunningStat bpFraction;
+    /** baseline_runtime / runtime per repeat (higher is better). */
+    RunningStat perfRel;
+    /** energy / baseline_energy per repeat (lower is better). */
+    RunningStat energyRel;
+};
+
+/** Group results over repeats, in first-appearance (index) order. */
+std::vector<AggregateRow> aggregate(const std::vector<RunResult> &results);
+
+/**
+ * Build the full JSON document for an experiment: spec echo, one
+ * entry per run (index order), and the aggregate rows.
+ * `with_telemetry` adds per-run wall-clock fields — off by default
+ * so the document is bit-identical across thread counts.
+ */
+JsonValue resultsToJson(const ExperimentSpec &spec,
+                        const std::vector<RunResult> &results,
+                        bool with_telemetry = false);
+
+/** Serialize one run (used by resultsToJson; exposed for tests). */
+JsonValue toJson(const RunResult &r, bool with_telemetry = false);
+
+/** Flat CSV: header + one row per run, index order. */
+std::string resultsToCsv(const std::vector<RunResult> &results);
+
+/** Write a string to a file; fatal on I/O errors. */
+void writeFile(const std::string &path, const std::string &contents);
+
+} // namespace afcsim::exp
+
+#endif // AFCSIM_EXP_RESULT_HH

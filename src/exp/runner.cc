@@ -1,0 +1,191 @@
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "sim/closedloop.hh"
+#include "traffic/openloop.hh"
+
+namespace afcsim::exp
+{
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+RunResult
+fromOpenLoop(const RunPoint &p, const OpenLoopResult &r)
+{
+    RunResult out;
+    out.point = p;
+    out.runtimeCycles = static_cast<double>(r.measuredCycles);
+    out.offeredRate = r.offeredRate;
+    out.acceptedRate = r.acceptedRate;
+    out.throughput = r.acceptedRate;
+    out.avgPacketLatency = r.avgPacketLatency;
+    out.p50PacketLatency = r.p50PacketLatency;
+    out.p99PacketLatency = r.p99PacketLatency;
+    out.avgFlitLatency = r.avgFlitLatency;
+    out.avgHops = r.avgHops;
+    out.avgDeflections = r.avgDeflections;
+    out.saturated = r.saturated;
+    out.energy = r.energy;
+    out.energyTotal = r.energy.total();
+    out.energyPerFlit = r.energyPerFlit;
+    out.bpFraction = r.bpFraction;
+    out.net = r.stats;
+    return out;
+}
+
+RunResult
+fromClosedLoop(const RunPoint &p, const ClosedLoopResult &r)
+{
+    RunResult out;
+    out.point = p;
+    out.runtimeCycles = static_cast<double>(r.runtime);
+    out.transactions = r.transactions;
+    out.throughput = r.throughput();
+    out.offeredRate = r.injectionRate;
+    int nodes = p.cfg.numNodes();
+    if (r.runtime > 0 && nodes > 0) {
+        out.acceptedRate = static_cast<double>(r.net.flitsDelivered) /
+                           (static_cast<double>(nodes) * r.runtime);
+    }
+    out.avgTxLatency = r.avgTxLatency;
+    out.avgPacketLatency = r.avgPacketLatency;
+    out.p50PacketLatency = r.net.packetLatencyHist.quantile(0.5);
+    out.p99PacketLatency = r.net.packetLatencyHist.quantile(0.99);
+    out.avgFlitLatency = r.net.flitLatency.mean();
+    out.avgHops = r.net.hops.mean();
+    out.avgDeflections = r.avgDeflections;
+    out.energy = r.energy;
+    out.energyTotal = r.energy.total();
+    if (r.net.flitsDelivered > 0)
+        out.energyPerFlit = out.energyTotal / r.net.flitsDelivered;
+    out.bpFraction = r.bpFraction;
+    out.forwardSwitches = r.forwardSwitches;
+    out.reverseSwitches = r.reverseSwitches;
+    out.gossipSwitches = r.gossipSwitches;
+    out.net = r.net;
+    return out;
+}
+
+} // namespace
+
+RunResult
+executeRun(const RunPoint &point)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult out;
+    double sim_cycles = 0.0;
+    if (point.kind == RunKind::OpenLoop) {
+        OpenLoopResult r = runOpenLoop(point.cfg, point.fc, point.ol);
+        out = fromOpenLoop(point, r);
+        sim_cycles = static_cast<double>(point.ol.warmupCycles +
+                                         point.ol.measureCycles);
+    } else {
+        ClosedLoopResult r =
+            runClosedLoop(point.cfg, point.fc, point.workload);
+        out = fromClosedLoop(point, r);
+        sim_cycles = out.runtimeCycles;
+    }
+    out.wallMs = msSince(t0);
+    if (out.wallMs > 0.0)
+        out.cyclesPerSec = sim_cycles / (out.wallMs / 1000.0);
+    return out;
+}
+
+ParallelRunner::ParallelRunner(int threads) : threads_(threads)
+{
+    if (threads_ <= 0) {
+        threads_ = static_cast<int>(std::thread::hardware_concurrency());
+        if (threads_ <= 0)
+            threads_ = 1;
+    }
+}
+
+std::vector<RunResult>
+ParallelRunner::run(const std::vector<RunPoint> &points,
+                    const ProgressFn &progress) const
+{
+    std::vector<RunResult> results(points.size());
+    if (points.empty())
+        return results;
+
+    int workers = std::min<int>(threads_,
+                                static_cast<int>(points.size()));
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<int> done{0};
+    std::mutex progress_mutex;
+
+    auto work = [&]() {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1);
+            if (i >= points.size())
+                return;
+            results[i] = executeRun(points[i]);
+            int d = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(results[i], d,
+                         static_cast<int>(points.size()));
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        work();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(work);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+ParallelRunner::GridOutcome
+ParallelRunner::runSpec(const ExperimentSpec &spec,
+                        const ProgressFn &progress) const
+{
+    auto t0 = std::chrono::steady_clock::now();
+    GridOutcome out;
+    out.results = run(spec.expand(), progress);
+    out.wallMs = msSince(t0);
+    for (const auto &r : out.results) {
+        out.totalSimCycles += r.point.kind == RunKind::OpenLoop
+            ? static_cast<double>(r.point.ol.warmupCycles +
+                                  r.point.ol.measureCycles)
+            : r.runtimeCycles;
+    }
+    return out;
+}
+
+ParallelRunner::ProgressFn
+stderrProgress()
+{
+    return [](const RunResult &r, int done, int total) {
+        std::fprintf(stderr,
+                     "[%3d/%3d] %-12s %-24s %-16s %7.0f ms  "
+                     "%6.2f Mcyc/s\n",
+                     done, total, r.point.experiment.c_str(),
+                     r.point.group.c_str(),
+                     afcsim::toString(r.point.fc).c_str(), r.wallMs,
+                     r.cyclesPerSec / 1e6);
+    };
+}
+
+} // namespace afcsim::exp

@@ -1,0 +1,273 @@
+#include "exp/spec.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/configfile.hh"
+#include "common/log.hh"
+
+namespace afcsim::exp
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        item = trim(item);
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+double
+toDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        AFCSIM_FATAL("spec key '", key, "': bad number '", value, "'");
+    return v;
+}
+
+long
+toInt(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        AFCSIM_FATAL("spec key '", key, "': bad integer '", value, "'");
+    return v;
+}
+
+bool
+toBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    AFCSIM_FATAL("spec key '", key, "': bad boolean '", value, "'");
+}
+
+/** Short stable label for a rate group ("rate=0.05"). */
+std::string
+rateLabel(double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "rate=%g", rate);
+    return buf;
+}
+
+} // namespace
+
+std::string
+toString(RunKind k)
+{
+    return k == RunKind::OpenLoop ? "open_loop" : "closed_loop";
+}
+
+RunKind
+runKindFromString(const std::string &name)
+{
+    if (name == "open_loop" || name == "openloop" || name == "open")
+        return RunKind::OpenLoop;
+    if (name == "closed_loop" || name == "closedloop" || name == "closed")
+        return RunKind::ClosedLoop;
+    AFCSIM_FATAL("unknown experiment kind '", name,
+                 "' (want open_loop or closed_loop)");
+}
+
+void
+ExperimentSpec::rateSweep(double step, double max)
+{
+    AFCSIM_ASSERT(step > 0 && max > 0, "rate sweep needs positive bounds");
+    rates.clear();
+    for (double r = step; r <= max + 1e-9; r += step)
+        rates.push_back(r);
+}
+
+std::vector<RunPoint>
+ExperimentSpec::expand() const
+{
+    if (configs.empty())
+        AFCSIM_FATAL("experiment '", name, "': no flow controls");
+    if (repeats < 1)
+        AFCSIM_FATAL("experiment '", name, "': repeats must be >= 1");
+    if (kind == RunKind::OpenLoop && rates.empty())
+        AFCSIM_FATAL("experiment '", name, "': open-loop spec has no rates");
+    if (kind == RunKind::ClosedLoop && workloads.empty())
+        AFCSIM_FATAL("experiment '", name,
+                     "': closed-loop spec has no workloads");
+
+    std::vector<int> meshes = meshSizes;
+    if (meshes.empty())
+        meshes.push_back(base.width);
+
+    // Resolve workload profiles once (fatal on bad names up front).
+    std::vector<WorkloadProfile> profiles;
+    if (kind == RunKind::ClosedLoop) {
+        for (const auto &w : workloads)
+            profiles.push_back(workloadByName(w));
+    }
+
+    std::vector<RunPoint> points;
+    int index = 0;
+    for (int mesh : meshes) {
+        std::size_t groups = kind == RunKind::OpenLoop ? rates.size()
+                                                       : profiles.size();
+        for (std::size_t g = 0; g < groups; ++g) {
+            for (int rep = 0; rep < repeats; ++rep) {
+                for (FlowControl fc : configs) {
+                    RunPoint p;
+                    p.index = index++;
+                    p.kind = kind;
+                    p.experiment = name;
+                    p.mesh = mesh;
+                    p.fc = fc;
+                    p.repeat = rep;
+                    p.seed = baseSeed + 1000ull * rep;
+                    p.cfg = base;
+                    p.cfg.width = mesh;
+                    p.cfg.height = mesh;
+                    p.cfg.seed = p.seed;
+                    p.cfg.validate();
+                    if (kind == RunKind::OpenLoop) {
+                        p.rate = rates[g];
+                        p.group = rateLabel(p.rate);
+                        p.ol.injectionRate = p.rate;
+                        p.ol.pattern = pattern;
+                        p.ol.warmupCycles = warmupCycles;
+                        p.ol.measureCycles = measureCycles;
+                        p.ol.drainCycles = drainCycles;
+                        p.ol.dataPacketFraction = dataPacketFraction;
+                    } else {
+                        WorkloadProfile w = profiles[g];
+                        double s = scale;
+                        if (scaleWithMesh)
+                            s *= static_cast<double>(mesh * mesh) / 9.0;
+                        w.measureTransactions =
+                            static_cast<std::uint64_t>(
+                                w.measureTransactions * s);
+                        w.warmupTransactions =
+                            static_cast<std::uint64_t>(
+                                w.warmupTransactions * s);
+                        p.workload = w;
+                        p.group = w.name;
+                    }
+                    points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+ExperimentSpec
+ExperimentSpec::fromText(const std::string &text)
+{
+    ExperimentSpec spec;
+    std::stringstream ss(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(ss, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            AFCSIM_FATAL("spec line ", lineno,
+                         ": expected 'key = value', got '", line, "'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+
+        if (key.rfind("exp.", 0) != 0) {
+            // Everything without the exp. prefix is a NetworkConfig
+            // key applied to the base configuration.
+            applyConfigKey(spec.base, key, value);
+            continue;
+        }
+        std::string k = key.substr(4);
+        if (k == "name") {
+            spec.name = value;
+        } else if (k == "description") {
+            spec.description = value;
+        } else if (k == "kind") {
+            spec.kind = runKindFromString(value);
+        } else if (k == "pattern") {
+            spec.pattern = value;
+        } else if (k == "rates") {
+            spec.rates.clear();
+            for (const auto &r : splitList(value))
+                spec.rates.push_back(toDouble(key, r));
+        } else if (k == "configs") {
+            spec.configs.clear();
+            for (const auto &c : splitList(value))
+                spec.configs.push_back(flowControlFromString(c));
+        } else if (k == "workloads") {
+            spec.workloads = splitList(value);
+        } else if (k == "mesh") {
+            spec.meshSizes.clear();
+            for (const auto &m : splitList(value))
+                spec.meshSizes.push_back(
+                    static_cast<int>(toInt(key, m)));
+        } else if (k == "warmup") {
+            spec.warmupCycles = static_cast<Cycle>(toInt(key, value));
+        } else if (k == "measure") {
+            spec.measureCycles = static_cast<Cycle>(toInt(key, value));
+        } else if (k == "drain") {
+            spec.drainCycles = static_cast<Cycle>(toInt(key, value));
+        } else if (k == "data_fraction") {
+            spec.dataPacketFraction = toDouble(key, value);
+        } else if (k == "repeats") {
+            spec.repeats = static_cast<int>(toInt(key, value));
+        } else if (k == "seed") {
+            spec.baseSeed = static_cast<std::uint64_t>(toInt(key, value));
+        } else if (k == "scale") {
+            spec.scale = toDouble(key, value);
+        } else if (k == "scale_with_mesh") {
+            spec.scaleWithMesh = toBool(key, value);
+        } else {
+            AFCSIM_FATAL("unknown spec key '", key, "'");
+        }
+    }
+    return spec;
+}
+
+ExperimentSpec
+ExperimentSpec::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        AFCSIM_FATAL("cannot open experiment spec '", path, "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return fromText(ss.str());
+}
+
+} // namespace afcsim::exp

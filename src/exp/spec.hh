@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Declarative experiment specifications. An ExperimentSpec describes
+ * a grid of independent simulator runs — mesh sizes x flow controls
+ * x (injection rates | workloads) x repeat seeds — which expands to a
+ * flat list of fully-resolved RunPoints. Every RunPoint carries its
+ * own NetworkConfig and RNG seed, so runs are deterministic and can
+ * execute in any order on any number of threads (see runner.hh).
+ */
+
+#ifndef AFCSIM_EXP_SPEC_HH
+#define AFCSIM_EXP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/workload.hh"
+
+namespace afcsim::exp
+{
+
+/** What one run simulates. */
+enum class RunKind
+{
+    OpenLoop,   ///< synthetic traffic at a fixed offered load
+    ClosedLoop, ///< multicore workload to a transaction count
+};
+
+std::string toString(RunKind k);
+RunKind runKindFromString(const std::string &name);
+
+/** One fully-resolved cell of the experiment grid. */
+struct RunPoint
+{
+    int index = 0;           ///< stable position in the expanded grid
+    RunKind kind = RunKind::OpenLoop;
+    std::string experiment;  ///< owning spec name
+    /** Grouping key for aggregation: workload name or "rate=<r>". */
+    std::string group;
+    int mesh = 3;            ///< mesh edge (width == height)
+    FlowControl fc = FlowControl::Backpressured;
+    int repeat = 0;          ///< repeat ordinal (distinct seed)
+    std::uint64_t seed = 0;
+    NetworkConfig cfg;       ///< resolved network (incl. seed, size)
+    // Open-loop only:
+    double rate = 0.0;
+    OpenLoopConfig ol;
+    // Closed-loop only:
+    WorkloadProfile workload;
+};
+
+/**
+ * Declarative description of a run grid. Vector fields are axes of
+ * the grid; scalar fields apply to every run. Expansion order is
+ * mesh -> group (rate/workload) -> repeat -> flow control, so run
+ * indices (and therefore seeds and emitted JSON) are independent of
+ * how the runs are later scheduled.
+ */
+struct ExperimentSpec
+{
+    std::string name = "adhoc";
+    std::string description;
+    RunKind kind = RunKind::OpenLoop;
+
+    /** Base network configuration; per-run copies override size/seed. */
+    NetworkConfig base;
+    /** Mesh edge sizes; empty means {base.width}. */
+    std::vector<int> meshSizes;
+    /** Flow-control mechanisms to compare. */
+    std::vector<FlowControl> configs = {FlowControl::Backpressured,
+                                        FlowControl::Backpressureless,
+                                        FlowControl::Afc};
+
+    // --- Open-loop axis -------------------------------------------
+    /** Offered injection rates (flits/node/cycle). */
+    std::vector<double> rates;
+    std::string pattern = "uniform";
+    Cycle warmupCycles = 4000;
+    Cycle measureCycles = 12000;
+    Cycle drainCycles = 100000;
+    double dataPacketFraction = 0.35;
+
+    // --- Closed-loop axis -----------------------------------------
+    /** Workload names (see workloadByName). */
+    std::vector<std::string> workloads;
+    /** Transaction-count scale factor (fast runs use < 1). */
+    double scale = 1.0;
+    /**
+     * Scale transaction counts with mesh area (mesh^2 / 9) so the
+     * per-node pressure stays constant across meshSizes (the scaling
+     * study's methodology).
+     */
+    bool scaleWithMesh = false;
+
+    /** Independent repeats; run r uses seed baseSeed + 1000 r. */
+    int repeats = 1;
+    std::uint64_t baseSeed = 7;
+
+    /** Convenience: uniform rate ladder step, step*2, ..., <= max. */
+    void rateSweep(double step, double max);
+
+    /** Expand the grid to fully-resolved run points (validated). */
+    std::vector<RunPoint> expand() const;
+
+    /**
+     * Parse a spec from `key = value` text. Keys prefixed `exp.`
+     * configure the spec (kind, rates, configs, workloads, warmup,
+     * measure, repeats, seed, scale, mesh, pattern, ...); all other
+     * keys are NetworkConfig keys applied to `base` (see
+     * configfile.hh). Fatal on unknown keys.
+     */
+    static ExperimentSpec fromText(const std::string &text);
+    /** Load fromText() from a file; fatal if unreadable. */
+    static ExperimentSpec fromFile(const std::string &path);
+};
+
+} // namespace afcsim::exp
+
+#endif // AFCSIM_EXP_SPEC_HH

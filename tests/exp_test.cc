@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the experiment subsystem (src/exp/): spec expansion
+ * order and seeding, text-spec parsing, baseline-relative
+ * aggregation, and the determinism regression — the same
+ * ExperimentSpec must produce a bit-identical JSON document whether
+ * it runs on one thread or many.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hh"
+#include "exp/result.hh"
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+
+using namespace afcsim;
+using namespace afcsim::exp;
+
+namespace
+{
+
+/** Tiny open-loop grid: fast enough for unit tests, still exercises
+ *  all three flow controls and a low + moderate load point. */
+ExperimentSpec
+tinySweep()
+{
+    ExperimentSpec spec;
+    spec.name = "tiny_sweep";
+    spec.kind = RunKind::OpenLoop;
+    spec.rates = {0.1, 0.4};
+    spec.warmupCycles = 200;
+    spec.measureCycles = 600;
+    spec.drainCycles = 20000;
+    spec.baseSeed = 13;
+    return spec;
+}
+
+} // namespace
+
+TEST(ExperimentSpec, ExpandOrderAndSeeds)
+{
+    ExperimentSpec spec = tinySweep();
+    spec.repeats = 2;
+    std::vector<RunPoint> points = spec.expand();
+
+    // mesh (1) x rates (2) x repeats (2) x configs (3)
+    ASSERT_EQ(points.size(), 12u);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].index, static_cast<int>(i));
+
+    // Innermost axis is flow control; then repeat; then rate.
+    EXPECT_EQ(points[0].fc, FlowControl::Backpressured);
+    EXPECT_EQ(points[1].fc, FlowControl::Backpressureless);
+    EXPECT_EQ(points[2].fc, FlowControl::Afc);
+    EXPECT_EQ(points[0].rate, 0.1);
+    EXPECT_EQ(points[0].repeat, 0);
+    EXPECT_EQ(points[3].repeat, 1);
+    EXPECT_EQ(points[6].rate, 0.4);
+
+    // Seeds depend only on repeat ordinal.
+    EXPECT_EQ(points[0].seed, 13u);
+    EXPECT_EQ(points[3].seed, 1013u);
+    EXPECT_EQ(points[0].cfg.seed, points[0].seed);
+    EXPECT_EQ(points[0].group, "rate=0.1");
+}
+
+TEST(ExperimentSpec, ExpandMeshSizes)
+{
+    ExperimentSpec spec = tinySweep();
+    spec.meshSizes = {3, 4};
+    std::vector<RunPoint> points = spec.expand();
+    ASSERT_EQ(points.size(), 12u);
+    EXPECT_EQ(points[0].mesh, 3);
+    EXPECT_EQ(points[0].cfg.width, 3);
+    EXPECT_EQ(points[6].mesh, 4);
+    EXPECT_EQ(points[6].cfg.width, 4);
+    EXPECT_EQ(points[6].cfg.height, 4);
+}
+
+TEST(ExperimentSpec, RateSweep)
+{
+    ExperimentSpec spec;
+    spec.rateSweep(0.05, 0.2);
+    ASSERT_EQ(spec.rates.size(), 4u);
+    EXPECT_NEAR(spec.rates.front(), 0.05, 1e-12);
+    EXPECT_NEAR(spec.rates.back(), 0.2, 1e-12);
+}
+
+TEST(ExperimentSpec, FromText)
+{
+    ExperimentSpec spec = ExperimentSpec::fromText(
+        "# comment\n"
+        "exp.name = parsed\n"
+        "exp.kind = open_loop\n"
+        "exp.rates = 0.1, 0.2\n"
+        "exp.configs = bp, afc\n"
+        "exp.warmup = 500\n"
+        "exp.measure = 1500\n"
+        "exp.repeats = 2\n"
+        "exp.seed = 99\n"
+        "exp.pattern = transpose\n"
+        "link_latency = 2\n");
+    EXPECT_EQ(spec.name, "parsed");
+    EXPECT_EQ(spec.kind, RunKind::OpenLoop);
+    ASSERT_EQ(spec.rates.size(), 2u);
+    ASSERT_EQ(spec.configs.size(), 2u);
+    EXPECT_EQ(spec.configs[1], FlowControl::Afc);
+    EXPECT_EQ(spec.warmupCycles, 500u);
+    EXPECT_EQ(spec.measureCycles, 1500u);
+    EXPECT_EQ(spec.repeats, 2);
+    EXPECT_EQ(spec.baseSeed, 99u);
+    EXPECT_EQ(spec.pattern, "transpose");
+    EXPECT_EQ(spec.base.linkLatency, 2);
+
+    std::vector<RunPoint> points = spec.expand();
+    EXPECT_EQ(points.size(), 8u);
+    EXPECT_EQ(points[0].ol.pattern, "transpose");
+}
+
+TEST(ExperimentRegistry, NamesResolve)
+{
+    for (const auto &name : experimentNames()) {
+        ExperimentSpec spec = experimentByName(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_FALSE(spec.expand().empty());
+    }
+}
+
+TEST(ExperimentRun, AggregateNormalizesAgainstBackpressured)
+{
+    ParallelRunner runner(1);
+    std::vector<RunResult> results = runner.run(tinySweep().expand());
+    ASSERT_EQ(results.size(), 6u);
+
+    std::vector<AggregateRow> rows = aggregate(results);
+    ASSERT_EQ(rows.size(), 6u);
+
+    // Rows appear in grid order; the baseline's relative stats are
+    // exactly 1 by construction.
+    EXPECT_EQ(rows[0].group, "rate=0.1");
+    EXPECT_EQ(rows[0].fc, FlowControl::Backpressured);
+    EXPECT_DOUBLE_EQ(rows[0].perfRel.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(rows[0].energyRel.mean(), 1.0);
+    for (const auto &row : rows) {
+        EXPECT_EQ(row.perfRel.count(), 1u);
+        EXPECT_GT(row.energyTotal.mean(), 0.0);
+        EXPECT_GT(row.avgPacketLatency.mean(), 0.0);
+    }
+}
+
+TEST(ExperimentRun, JsonDocumentShape)
+{
+    ExperimentSpec spec = tinySweep();
+    ParallelRunner runner(1);
+    std::vector<RunResult> results = runner.run(spec.expand());
+
+    JsonValue doc = resultsToJson(spec, results);
+    EXPECT_EQ(doc.at("experiment").asString(), "tiny_sweep");
+    ASSERT_EQ(doc.at("runs").size(), 6u);
+    EXPECT_EQ(doc.at("aggregates").size(), 6u);
+    const JsonValue &run0 = doc.at("runs").at(0);
+    EXPECT_EQ(run0.at("index").asInt(), 0);
+    EXPECT_EQ(run0.at("flow_control").asString(), "backpressured");
+    EXPECT_FALSE(run0.has("telemetry"));
+    EXPECT_GT(run0.at("metrics").at("runtime_cycles").asDouble(), 0.0);
+
+    // Telemetry appears only on request.
+    JsonValue with = resultsToJson(spec, results, /*with_telemetry=*/true);
+    EXPECT_TRUE(with.at("runs").at(0).has("telemetry"));
+
+    // The document parses back cleanly.
+    std::string err;
+    JsonValue back = JsonValue::parse(doc.dump(2), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back, doc);
+}
+
+TEST(ExperimentRun, CsvHasHeaderAndOneRowPerRun)
+{
+    ParallelRunner runner(1);
+    std::vector<RunResult> results = runner.run(tinySweep().expand());
+    std::string csv = resultsToCsv(results);
+    std::size_t lines = 0;
+    for (char c : csv)
+        if (c == '\n')
+            ++lines;
+    EXPECT_EQ(lines, 1u + results.size());
+    EXPECT_EQ(csv.compare(0, 5, "index"), 0);
+}
+
+/**
+ * The determinism regression from the issue: the same spec and seed
+ * must yield bit-identical aggregated output at 1 thread and N
+ * threads. Telemetry is excluded from the document by default, so
+ * byte comparison of the JSON dumps is the strongest possible check.
+ */
+TEST(ExperimentRun, DeterministicAcrossThreadCounts)
+{
+    ExperimentSpec spec = tinySweep();
+
+    ParallelRunner one(1);
+    ParallelRunner four(4);
+    EXPECT_EQ(one.threads(), 1);
+    EXPECT_EQ(four.threads(), 4);
+
+    std::vector<RunResult> r1 = one.run(spec.expand());
+    std::vector<RunResult> r4 = four.run(spec.expand());
+    ASSERT_EQ(r1.size(), r4.size());
+
+    std::string d1 = resultsToJson(spec, r1).dump(2);
+    std::string d4 = resultsToJson(spec, r4).dump(2);
+    EXPECT_EQ(d1, d4);
+
+    EXPECT_EQ(resultsToCsv(r1), resultsToCsv(r4));
+
+    // Re-running the single-thread grid is also stable (no hidden
+    // global state leaks between runs).
+    std::vector<RunResult> again = one.run(spec.expand());
+    EXPECT_EQ(resultsToJson(spec, again).dump(2), d1);
+}

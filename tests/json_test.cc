@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the minimal JSON document model (common/json.hh):
+ * construction, escaping, serialization stability, parsing, and
+ * dump -> parse -> dump round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hh"
+
+using afcsim::JsonValue;
+
+TEST(Json, ScalarDump)
+{
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(static_cast<std::int64_t>(-7)).dump(), "-7");
+    EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+    EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersKeepIntegerFormatting)
+{
+    JsonValue v(static_cast<std::uint64_t>(1234567890123ull));
+    EXPECT_TRUE(v.isInteger());
+    EXPECT_EQ(v.dump(), "1234567890123");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+}
+
+TEST(Json, Escaping)
+{
+    EXPECT_EQ(JsonValue::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonValue::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonValue::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonValue::escape("nl\n"), "nl\\n");
+    EXPECT_EQ(JsonValue::escape(std::string(1, '\x01')), "\\u0001");
+    // UTF-8 bytes pass through untouched.
+    EXPECT_EQ(JsonValue::escape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    JsonValue o = JsonValue::object();
+    o.set("zebra", JsonValue(1));
+    o.set("apple", JsonValue(2));
+    o.set("mid", JsonValue(3));
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"apple\":2,\"mid\":3}");
+    // Overwrite keeps the original position.
+    o.set("apple", JsonValue(9));
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"apple\":9,\"mid\":3}");
+}
+
+TEST(Json, PrettyPrint)
+{
+    JsonValue o = JsonValue::object();
+    o.set("k", JsonValue(1));
+    EXPECT_EQ(o.dump(2), "{\n  \"k\": 1\n}");
+    JsonValue a = JsonValue::array();
+    a.push(JsonValue(1));
+    a.push(JsonValue(2));
+    EXPECT_EQ(a.dump(2), "[\n  1,\n  2\n]");
+    EXPECT_EQ(JsonValue::array().dump(2), "[]");
+    EXPECT_EQ(JsonValue::object().dump(2), "{}");
+}
+
+TEST(Json, ParseScalars)
+{
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse("null", &err).isNull());
+    EXPECT_TRUE(err.empty());
+    EXPECT_EQ(JsonValue::parse("true").asBool(), true);
+    EXPECT_EQ(JsonValue::parse("-17").asInt(), -17);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("2.5e3").asDouble(), 2500.0);
+    EXPECT_EQ(JsonValue::parse("\"x\\ny\"").asString(), "x\ny");
+}
+
+TEST(Json, ParseNested)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse(
+        " { \"a\" : [1, 2, {\"b\": false}], \"c\": \"d\" } ", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_EQ(v.at("a").at(0).asInt(), 1);
+    EXPECT_EQ(v.at("a").at(2).at("b").asBool(), false);
+    EXPECT_EQ(v.at("c").asString(), "d");
+}
+
+TEST(Json, ParseUnicodeEscape)
+{
+    JsonValue v = JsonValue::parse("\"\\u0041\\u00e9\\u20ac\"");
+    EXPECT_EQ(v.asString(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, ParseErrors)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse("{\"a\": }", &err);
+    EXPECT_TRUE(v.isNull());
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    JsonValue t = JsonValue::parse("[1, 2] trailing", &err);
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    JsonValue u = JsonValue::parse("\"unterminated", &err);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, RoundTripStable)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("name", JsonValue("quote\" and \\backslash\n"));
+    doc.set("count", JsonValue(123456789));
+    doc.set("value", JsonValue(0.1 + 0.2));
+    JsonValue arr = JsonValue::array();
+    for (int i = 0; i < 4; ++i)
+        arr.push(JsonValue(i * 0.25));
+    doc.set("arr", std::move(arr));
+    JsonValue inner = JsonValue::object();
+    inner.set("nested", JsonValue(true));
+    doc.set("obj", std::move(inner));
+
+    for (int indent : {0, 2, 4}) {
+        std::string once = doc.dump(indent);
+        std::string err;
+        JsonValue back = JsonValue::parse(once, &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(back, doc);
+        EXPECT_EQ(back.dump(indent), once);
+    }
+}
+
+TEST(Json, DoubleRoundTripExact)
+{
+    // %.15..17g formatting must recover doubles exactly.
+    for (double d : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23,
+                     0.30000000000000004}) {
+        JsonValue v(d);
+        JsonValue back = JsonValue::parse(v.dump());
+        EXPECT_EQ(back.asDouble(), d);
+    }
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for stats serialization (common/statsio.hh): RunningStat /
+ * Histogram / NetStats / EnergyReport to JSON (values and
+ * round-trip through the parser) and CSV escaping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/statsio.hh"
+
+using namespace afcsim;
+
+TEST(StatsIo, RunningStatJson)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.0);
+    JsonValue j = toJson(s);
+    EXPECT_EQ(j.at("count").asInt(), 3);
+    EXPECT_DOUBLE_EQ(j.at("mean").asDouble(), 2.0);
+    EXPECT_DOUBLE_EQ(j.at("stddev").asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(j.at("min").asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(j.at("max").asDouble(), 3.0);
+    EXPECT_DOUBLE_EQ(j.at("sum").asDouble(), 6.0);
+}
+
+TEST(StatsIo, EmptyRunningStatOmitsMoments)
+{
+    JsonValue j = toJson(RunningStat{});
+    EXPECT_EQ(j.at("count").asInt(), 0);
+    EXPECT_FALSE(j.has("mean"));
+}
+
+TEST(StatsIo, RunningStatJsonRoundTrip)
+{
+    RunningStat s;
+    for (int i = 0; i < 100; ++i)
+        s.add(0.37 * i - 11.0);
+    std::string text = toJson(s).dump(2);
+    std::string err;
+    JsonValue back = JsonValue::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.at("count").asInt(), 100);
+    EXPECT_EQ(back.at("mean").asDouble(), s.mean());
+    EXPECT_EQ(back.at("stddev").asDouble(), s.stddev());
+}
+
+TEST(StatsIo, HistogramJsonQuantiles)
+{
+    Histogram h(1.0, 100);
+    for (int i = 1; i <= 100; ++i)
+        h.add(i);
+    JsonValue j = toJson(h);
+    EXPECT_EQ(j.at("count").asInt(), 100);
+    EXPECT_NEAR(j.at("p50").asDouble(), h.quantile(0.5), 1e-12);
+    EXPECT_NEAR(j.at("p99").asDouble(), h.quantile(0.99), 1e-12);
+    EXPECT_FALSE(j.has("buckets"));
+
+    JsonValue jb = toJson(h, /*include_buckets=*/true);
+    ASSERT_TRUE(jb.has("buckets"));
+    EXPECT_EQ(jb.at("buckets").size(), h.numBuckets());
+    EXPECT_DOUBLE_EQ(jb.at("bucket_width").asDouble(), 1.0);
+    // Each in-range bucket holds exactly one sample.
+    EXPECT_EQ(jb.at("buckets").at(5).asInt(), 1);
+}
+
+TEST(StatsIo, NetStatsJson)
+{
+    NetStats n;
+    n.flitsInjected = 10;
+    n.flitsDelivered = 9;
+    n.packetsInjected = 3;
+    n.packetsDelivered = 2;
+    n.packetLatency.add(12.0);
+    n.packetLatencyHist.add(12.0);
+    n.hops.add(2.0);
+    JsonValue j = toJson(n);
+    EXPECT_EQ(j.at("flits_injected").asInt(), 10);
+    EXPECT_EQ(j.at("flits_delivered").asInt(), 9);
+    EXPECT_EQ(j.at("packet_latency").at("count").asInt(), 1);
+    EXPECT_DOUBLE_EQ(j.at("hops").at("mean").asDouble(), 2.0);
+}
+
+TEST(StatsIo, EnergyReportJson)
+{
+    EnergyReport e;
+    e.byComponent[static_cast<int>(EnergyComponent::BufferWrite)] = 2.0;
+    e.byComponent[static_cast<int>(EnergyComponent::Link)] = 3.0;
+    e.byComponent[static_cast<int>(EnergyComponent::Crossbar)] = 5.0;
+    JsonValue j = toJson(e);
+    EXPECT_DOUBLE_EQ(j.at("total_pj").asDouble(), 10.0);
+    EXPECT_DOUBLE_EQ(j.at("buffer_pj").asDouble(), 2.0);
+    EXPECT_DOUBLE_EQ(j.at("link_pj").asDouble(), 3.0);
+    EXPECT_DOUBLE_EQ(j.at("rest_pj").asDouble(), 5.0);
+    // Every component appears in the detail map.
+    EXPECT_EQ(j.at("by_component").size(),
+              static_cast<std::size_t>(EnergyComponent::NumComponents));
+    EXPECT_DOUBLE_EQ(
+        j.at("by_component").at(componentName(EnergyComponent::Link))
+            .asDouble(),
+        3.0);
+}
+
+TEST(StatsIo, CsvEscaping)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(csvEscape("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(csvEscape("multi\nline"), "\"multi\nline\"");
+    EXPECT_EQ(csvEscape(""), "");
+}
+
+TEST(StatsIo, CsvRow)
+{
+    EXPECT_EQ(csvRow({"a", "b,c", "d"}), "a,\"b,c\",d\n");
+    EXPECT_EQ(csvRow({}), "\n");
+}

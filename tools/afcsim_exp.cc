@@ -1,0 +1,379 @@
+/**
+ * @file
+ * afcsim-exp: unified experiment CLI. Runs any named paper
+ * experiment or an ad-hoc sweep described by a spec file, executes
+ * the run grid on a thread pool, and exports structured results as
+ * JSON/CSV alongside a human-readable summary table.
+ *
+ * Usage:
+ *   afcsim-exp --list
+ *   afcsim-exp --experiment openloop_sweep --threads 4 \
+ *              --json sweep.json [--csv sweep.csv]
+ *   afcsim-exp --config my_sweep.cfg --json out.json --validate
+ *   afcsim-exp --check-json out.json
+ *
+ * Overrides (apply on top of the named/filed spec):
+ *   --rates 0.1,0.2  --configs bp,bless,afc  --workloads water,apache
+ *   --mesh 3,4       --pattern transpose     --repeats N  --seed N
+ *   --scale F        --warmup N  --measure N --drain N
+ * Output / execution:
+ *   --threads N      (0 = hardware concurrency; default 1)
+ *   --json PATH      --csv PATH   --indent N (default 2)
+ *   --telemetry      include per-run wall-clock in the JSON
+ *                    (off by default: JSON is then bit-identical
+ *                    for every --threads value)
+ *   --validate       re-read and structurally check the JSON
+ *   --quiet          no per-run progress lines
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "exp/experiments.hh"
+#include "exp/result.hh"
+#include "exp/runner.hh"
+
+using namespace afcsim;
+using namespace afcsim::exp;
+
+namespace
+{
+
+/** GNU-style "--key value" / "--key=value" / bare "--flag" parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0)
+                AFCSIM_FATAL("unexpected argument '", arg,
+                             "' (options start with --)");
+            arg = arg.substr(2);
+            auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+            } else if (i + 1 < argc && !isFlag(arg) &&
+                       std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                kv_.emplace_back(arg, argv[++i]);
+            } else {
+                kv_.emplace_back(arg, "");
+            }
+        }
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        for (const auto &[k, v] : kv_)
+            if (k == key)
+                return true;
+        return false;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        for (const auto &[k, v] : kv_)
+            if (k == key)
+                return v;
+        return fallback;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        std::string v = get(key);
+        return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        std::string v = get(key);
+        return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+    }
+
+    void
+    rejectUnknown(const std::vector<std::string> &known) const
+    {
+        for (const auto &[k, v] : kv_) {
+            bool ok = false;
+            for (const auto &name : known)
+                ok = ok || name == k;
+            if (!ok)
+                AFCSIM_FATAL("unknown option '--", k,
+                             "' (see afcsim-exp --help)");
+        }
+    }
+
+  private:
+    static bool
+    isFlag(const std::string &key)
+    {
+        return key == "list" || key == "help" || key == "telemetry" ||
+               key == "validate" || key == "quiet";
+    }
+
+    std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+applyOverrides(ExperimentSpec &spec, const Args &args)
+{
+    if (args.has("rates")) {
+        spec.rates.clear();
+        for (const auto &r : splitList(args.get("rates")))
+            spec.rates.push_back(std::strtod(r.c_str(), nullptr));
+    }
+    if (args.has("configs")) {
+        spec.configs.clear();
+        for (const auto &c : splitList(args.get("configs")))
+            spec.configs.push_back(flowControlFromString(c));
+    }
+    if (args.has("workloads"))
+        spec.workloads = splitList(args.get("workloads"));
+    if (args.has("mesh")) {
+        spec.meshSizes.clear();
+        for (const auto &m : splitList(args.get("mesh")))
+            spec.meshSizes.push_back(
+                static_cast<int>(std::strtol(m.c_str(), nullptr, 10)));
+    }
+    if (args.has("pattern"))
+        spec.pattern = args.get("pattern");
+    if (args.has("repeats"))
+        spec.repeats = static_cast<int>(args.getInt("repeats", 1));
+    if (args.has("seed"))
+        spec.baseSeed =
+            static_cast<std::uint64_t>(args.getInt("seed", 7));
+    if (args.has("scale"))
+        spec.scale = args.getDouble("scale", 1.0);
+    if (args.has("warmup"))
+        spec.warmupCycles =
+            static_cast<Cycle>(args.getInt("warmup", 0));
+    if (args.has("measure"))
+        spec.measureCycles =
+            static_cast<Cycle>(args.getInt("measure", 0));
+    if (args.has("drain"))
+        spec.drainCycles = static_cast<Cycle>(args.getInt("drain", 0));
+}
+
+/**
+ * Structural validation of an emitted result document. Returns an
+ * empty string when valid, else a description of the first problem.
+ */
+std::string
+validateDocument(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return "document is not a JSON object";
+    for (const char *key : {"experiment", "spec", "runs", "aggregates"})
+        if (!doc.has(key))
+            return std::string("missing top-level key '") + key + "'";
+    const JsonValue &runs = doc.at("runs");
+    if (!runs.isArray() || runs.size() == 0)
+        return "'runs' is empty or not an array";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const JsonValue &run = runs.at(i);
+        for (const char *key :
+             {"index", "group", "flow_control", "seed", "metrics",
+              "energy", "net"})
+            if (!run.has(key))
+                return "run " + std::to_string(i) +
+                       " missing key '" + key + "'";
+        if (run.at("index").asInt() != static_cast<std::int64_t>(i))
+            return "run " + std::to_string(i) + " has index " +
+                   std::to_string(run.at("index").asInt()) +
+                   " (grid order broken)";
+        const JsonValue &m = run.at("metrics");
+        for (const char *key :
+             {"runtime_cycles", "avg_packet_latency", "energy_total_pj"})
+            if (!m.has(key))
+                return "run " + std::to_string(i) +
+                       " metrics missing '" + key + "'";
+    }
+    if (!doc.at("aggregates").isArray() ||
+        doc.at("aggregates").size() == 0)
+        return "'aggregates' is empty or not an array";
+    return "";
+}
+
+int
+checkJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "afcsim-exp: cannot open '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    JsonValue doc = JsonValue::parse(ss.str(), &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "afcsim-exp: %s: parse error: %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    std::string problem = validateDocument(doc);
+    if (!problem.empty()) {
+        std::fprintf(stderr, "afcsim-exp: %s: invalid: %s\n",
+                     path.c_str(), problem.c_str());
+        return 1;
+    }
+    std::printf("%s: valid (%zu runs, %zu aggregates)\n", path.c_str(),
+                doc.at("runs").size(), doc.at("aggregates").size());
+    return 0;
+}
+
+void
+printSummary(const ExperimentSpec &spec,
+             const std::vector<RunResult> &results)
+{
+    std::printf("\n=== %s ===\n", spec.name.c_str());
+    if (!spec.description.empty())
+        std::printf("%s\n", spec.description.c_str());
+    TextTable t(26, 12);
+    t.setColumns({"fc", "runs", "latency", "p99", "accepted",
+                  "pJ/flit", "bp-mode%", "perf-rel", "energy-rel"});
+    t.setColumnWidths({18, 6});
+    for (const auto &row : aggregate(results)) {
+        std::string label = row.group;
+        if (row.mesh != spec.base.width ||
+            (spec.meshSizes.size() > 1))
+            label = std::to_string(row.mesh) + "x" +
+                    std::to_string(row.mesh) + " " + label;
+        std::vector<std::string> cells = {
+            toString(row.fc),
+            TextTable::integer(
+                static_cast<long long>(row.runtime.count())),
+            TextTable::num(row.avgPacketLatency.mean(), 1),
+            TextTable::num(row.p99PacketLatency.mean(), 1),
+            TextTable::num(row.acceptedRate.mean(), 3),
+            TextTable::num(row.energyPerFlit.mean(), 2),
+            TextTable::percent(row.bpFraction.mean()),
+        };
+        if (row.perfRel.count() > 0) {
+            cells.push_back(TextTable::meanStd(row.perfRel));
+            cells.push_back(TextTable::meanStd(row.energyRel));
+        }
+        t.addRow(label, cells);
+    }
+    t.print();
+}
+
+void
+printHelp()
+{
+    std::printf(
+        "afcsim-exp: run a paper experiment or ad-hoc sweep grid\n\n"
+        "  --list                     show named experiments\n"
+        "  --experiment NAME          run a named experiment\n"
+        "  --config FILE              run an ad-hoc spec file\n"
+        "  --threads N                worker threads (0 = all cores)\n"
+        "  --json PATH  --csv PATH    structured result export\n"
+        "  --validate                 re-read + check the JSON\n"
+        "  --check-json PATH          validate an existing artifact\n"
+        "  --telemetry                include wall-clock in JSON\n"
+        "  --indent N                 JSON indent (default 2)\n"
+        "  --quiet                    suppress per-run progress\n"
+        "overrides: --rates --configs --workloads --mesh --pattern\n"
+        "           --repeats --seed --scale --warmup --measure "
+        "--drain\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    args.rejectUnknown({
+        "list", "help", "experiment", "config", "threads", "json",
+        "csv", "validate", "check-json", "telemetry", "indent",
+        "quiet", "rates", "configs", "workloads", "mesh", "pattern",
+        "repeats", "seed", "scale", "warmup", "measure", "drain",
+    });
+
+    if (args.has("help")) {
+        printHelp();
+        return 0;
+    }
+    if (args.has("list")) {
+        for (const auto &name : experimentNames()) {
+            ExperimentSpec spec = experimentByName(name);
+            std::printf("%-18s %s\n", name.c_str(),
+                        spec.description.c_str());
+        }
+        return 0;
+    }
+    if (args.has("check-json"))
+        return checkJsonFile(args.get("check-json"));
+
+    ExperimentSpec spec;
+    if (args.has("experiment")) {
+        spec = experimentByName(args.get("experiment"));
+    } else if (args.has("config")) {
+        spec = ExperimentSpec::fromFile(args.get("config"));
+    } else {
+        printHelp();
+        return 2;
+    }
+    applyOverrides(spec, args);
+    if (args.has("validate") && !args.has("json"))
+        AFCSIM_FATAL("--validate needs --json PATH");
+
+    int threads = static_cast<int>(args.getInt("threads", 1));
+    ParallelRunner runner(threads);
+    auto progress =
+        args.has("quiet") ? ParallelRunner::ProgressFn{} : stderrProgress();
+
+    auto outcome = runner.runSpec(spec, progress);
+    std::fprintf(stderr,
+                 "%zu runs on %d thread(s): %.0f ms wall, "
+                 "%.2f Msim-cycles/s aggregate\n",
+                 outcome.results.size(), runner.threads(),
+                 outcome.wallMs, outcome.cyclesPerSec() / 1e6);
+
+    printSummary(spec, outcome.results);
+
+    int rc = 0;
+    if (args.has("json")) {
+        std::string path = args.get("json");
+        int indent = static_cast<int>(args.getInt("indent", 2));
+        JsonValue doc = resultsToJson(spec, outcome.results,
+                                      args.has("telemetry"));
+        writeFile(path, doc.dump(indent) + "\n");
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+        if (args.has("validate"))
+            rc = checkJsonFile(path);
+    }
+    if (args.has("csv")) {
+        writeFile(args.get("csv"), resultsToCsv(outcome.results));
+        std::fprintf(stderr, "wrote %s\n", args.get("csv").c_str());
+    }
+    return rc;
+}
