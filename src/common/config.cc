@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace afcsim
@@ -46,7 +47,7 @@ flowControlFromString(const std::string &name)
         return FlowControl::BackpressuredIdealBypass;
     if (n == "bpl-drop" || n == "drop" || n == "scarab")
         return FlowControl::BackpressurelessDrop;
-    AFCSIM_FATAL("unknown flow control '", name, "'");
+    AFCSIM_CONFIG_ERROR("unknown flow control '", name, "'");
 }
 
 int
@@ -69,26 +70,59 @@ FlitWidths::forFlowControl(FlowControl fc)
 void
 NetworkConfig::validate() const
 {
-    if (width < 2 || height < 2)
-        AFCSIM_FATAL("mesh must be at least 2x2, got ", width, "x", height);
+    if (width < 2 || height < 2) {
+        AFCSIM_CONFIG_ERROR("mesh must be at least 2x2, got ", width,
+                            "x", height);
+    }
     if (linkLatency < 1)
-        AFCSIM_FATAL("link latency must be >= 1");
+        AFCSIM_CONFIG_ERROR("link latency must be >= 1");
     if (vnets.empty())
-        AFCSIM_FATAL("need at least one virtual network");
+        AFCSIM_CONFIG_ERROR("need at least one virtual network");
     if (afcVnets.size() != vnets.size())
-        AFCSIM_FATAL("afcVnets must mirror vnets per virtual network");
+        AFCSIM_CONFIG_ERROR("afcVnets must mirror vnets per virtual network");
     for (const auto &v : vnets) {
         if (v.numVcs < 1 || v.bufferDepth < 1)
-            AFCSIM_FATAL("vnet shape must be positive");
+            AFCSIM_CONFIG_ERROR("vnet shape must be positive");
     }
     for (const auto &v : afcVnets) {
         if (v.numVcs < 1 || v.bufferDepth < 1)
-            AFCSIM_FATAL("afc vnet shape must be positive");
+            AFCSIM_CONFIG_ERROR("afc vnet shape must be positive");
     }
     if (dataPacketFlits < 1 || controlPacketFlits < 1)
-        AFCSIM_FATAL("packet lengths must be positive");
+        AFCSIM_CONFIG_ERROR("packet lengths must be positive");
     if (injectionQueueDepth < dataPacketFlits)
-        AFCSIM_FATAL("injection queue must hold at least one data packet");
+        AFCSIM_CONFIG_ERROR("injection queue must hold at least one data packet");
+
+    auto check_rate = [](double rate, const char *what) {
+        if (rate < 0.0 || rate > 1.0)
+            AFCSIM_CONFIG_ERROR(what, " must be in [0, 1], got ", rate);
+    };
+    check_rate(faults.corruptRate, "fault.corrupt_rate");
+    check_rate(faults.linkDownRate, "fault.link_down_rate");
+    check_rate(faults.stallRate, "fault.stall_rate");
+    check_rate(faults.creditLossRate, "fault.credit_loss_rate");
+    if (faults.linkDownMinCycles < 1 ||
+        faults.linkDownMaxCycles < faults.linkDownMinCycles) {
+        AFCSIM_CONFIG_ERROR("fault.link_down interval must satisfy "
+                            "1 <= min <= max");
+    }
+    if (faults.stallMinCycles < 1 ||
+        faults.stallMaxCycles < faults.stallMinCycles) {
+        AFCSIM_CONFIG_ERROR("fault.stall interval must satisfy "
+                            "1 <= min <= max");
+    }
+    if (reliability.timeoutCycles < 1)
+        AFCSIM_CONFIG_ERROR("reliability.timeout must be >= 1 cycle");
+    if (reliability.backoffFactor < 1.0)
+        AFCSIM_CONFIG_ERROR("reliability.backoff must be >= 1");
+    if (reliability.maxRetries < 0)
+        AFCSIM_CONFIG_ERROR("reliability.max_retries must be >= 0");
+    if (reliability.bufferPackets < 1)
+        AFCSIM_CONFIG_ERROR("reliability.buffer_packets must be >= 1");
+    if (watchdog.intervalCycles < 1)
+        AFCSIM_CONFIG_ERROR("watchdog.interval must be >= 1 cycle");
+    if (watchdog.progressWindowCycles < 1)
+        AFCSIM_CONFIG_ERROR("watchdog.progress_window must be >= 1 cycle");
 }
 
 Options::Options(int argc, char **argv)

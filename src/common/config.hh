@@ -123,6 +123,97 @@ struct EnergyConfig
 };
 
 /**
+ * Fault-injection model (src/fault). All faults are deterministic
+ * functions of (seed, link, cycle). The model corrupts flit payloads
+ * rather than dropping flits so in-network flow-control state stays
+ * consistent: loss happens at the receiving NIC, where checksum
+ * verification discards corrupted flits (header/ECC bits are assumed
+ * protected). Credit loss (`creditLossRate`) deliberately breaks
+ * flow control and exists to exercise the watchdogs.
+ */
+struct FaultSpec
+{
+    /** Per-flit-traversal probability of a transient payload upset. */
+    double corruptRate = 0.0;
+    /**
+     * Per-link-per-cycle probability that a link-down interval
+     * starts; while down, every traversing flit is corrupted.
+     */
+    double linkDownRate = 0.0;
+    Cycle linkDownMinCycles = 8;
+    Cycle linkDownMaxCycles = 64;
+    /**
+     * Per-link-per-cycle probability that a stall interval starts;
+     * while stalled, arriving flits are held at the link and then
+     * released at most one per cycle (FIFO), preserving each
+     * router's one-arrival-per-link-per-cycle invariant.
+     */
+    double stallRate = 0.0;
+    Cycle stallMinCycles = 1;
+    Cycle stallMaxCycles = 8;
+    /**
+     * Per-credit probability of silently losing a credit backflow.
+     * This corrupts protocol state by design (watchdog tests only).
+     */
+    double creditLossRate = 0.0;
+    /** Hard failure: the network throws SimError at this cycle. */
+    Cycle failAtCycle = kNeverCycle;
+
+    /** True when any fault mechanism is active. */
+    bool
+    any() const
+    {
+        return corruptRate > 0.0 || linkDownRate > 0.0 ||
+               stallRate > 0.0 || creditLossRate > 0.0 ||
+               failAtCycle != kNeverCycle;
+    }
+};
+
+/**
+ * End-to-end reliability layer at the NICs: per-flit checksums,
+ * receive-side verification, and timeout-driven retransmission of
+ * whole packets from a bounded source-side buffer with exponential
+ * backoff. Duplicates created by spurious retransmits are discarded
+ * at the destination.
+ */
+struct ReliabilitySpec
+{
+    bool enabled = false;
+    /** Base retransmission timeout (cycles since last (re)send). */
+    Cycle timeoutCycles = 512;
+    /** Timeout multiplier applied per retry (exponential backoff). */
+    double backoffFactor = 2.0;
+    /** Give up (count the packet failed) after this many retries. */
+    int maxRetries = 8;
+    /** Max packets held in the source retransmission buffer. */
+    int bufferPackets = 256;
+};
+
+/**
+ * Runtime watchdogs: periodic consistency checks that convert hangs
+ * and silent state corruption into a SimError carrying a diagnostic
+ * snapshot. Cheap enough to stay on by default.
+ */
+struct WatchdogSpec
+{
+    bool enabled = true;
+    /** Cycles between watchdog sweeps. */
+    Cycle intervalCycles = 1024;
+    /**
+     * Deadlock detection: fail if no router dispatches and no flit
+     * is delivered for this many cycles while flits are in flight.
+     */
+    Cycle progressWindowCycles = 100000;
+    /** Livelock detection: max in-network age (cycles since network
+     *  entry) any flit may reach. */
+    Cycle maxFlitAgeCycles = 1000000;
+    /** Verify per-VC/per-VN credit counts against buffer state. */
+    bool creditCheck = true;
+    /** Verify flit conservation (injected vs delivered + in flight). */
+    bool conservationCheck = true;
+};
+
+/**
  * Network configuration (Table II defaults: 3x3 mesh, 2-cycle links,
  * 2 control vnets (2 VCs x 8 flits each) + 1 data vnet (4 VCs x 8
  * flits) for the backpressured baseline).
@@ -159,6 +250,9 @@ struct NetworkConfig
     int dropRetransmitBuffer = 32;
     AfcConfig afc;
     EnergyConfig energy;
+    FaultSpec faults;
+    ReliabilitySpec reliability;
+    WatchdogSpec watchdog;
     std::uint64_t seed = 1;
     /**
      * Use deterministic oldest-first deflection priorities instead
@@ -189,7 +283,7 @@ struct NetworkConfig
         return n;
     }
 
-    /** Validate invariants; calls AFCSIM_FATAL on bad configs. */
+    /** Validate invariants; throws ConfigError on bad configs. */
     void validate() const;
 };
 

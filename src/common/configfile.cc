@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace afcsim
@@ -31,7 +32,7 @@ toDouble(const std::string &key, const std::string &value)
     char *end = nullptr;
     double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
-        AFCSIM_FATAL("config key '", key, "': bad number '", value,
+        AFCSIM_CONFIG_ERROR("config key '", key, "': bad number '", value,
                      "'");
     return v;
 }
@@ -42,7 +43,7 @@ toInt(const std::string &key, const std::string &value)
     char *end = nullptr;
     long v = std::strtol(value.c_str(), &end, 10);
     if (end == value.c_str() || *end != '\0')
-        AFCSIM_FATAL("config key '", key, "': bad integer '", value,
+        AFCSIM_CONFIG_ERROR("config key '", key, "': bad integer '", value,
                      "'");
     return v;
 }
@@ -54,7 +55,7 @@ toBool(const std::string &key, const std::string &value)
         return true;
     if (value == "false" || value == "0" || value == "no")
         return false;
-    AFCSIM_FATAL("config key '", key, "': bad boolean '", value, "'");
+    AFCSIM_CONFIG_ERROR("config key '", key, "': bad boolean '", value, "'");
 }
 
 } // namespace
@@ -69,7 +70,7 @@ parseVnetShape(const std::string &value)
         item = trim(item);
         auto x = item.find('x');
         if (x == std::string::npos)
-            AFCSIM_FATAL("VC shape entry '", item,
+            AFCSIM_CONFIG_ERROR("VC shape entry '", item,
                          "' is not of the form NxD");
         VnetConfig v;
         v.numVcs = static_cast<int>(
@@ -79,7 +80,7 @@ parseVnetShape(const std::string &value)
         shape.push_back(v);
     }
     if (shape.empty())
-        AFCSIM_FATAL("empty VC shape");
+        AFCSIM_CONFIG_ERROR("empty VC shape");
     return shape;
 }
 
@@ -156,8 +157,52 @@ applyConfigKey(NetworkConfig &cfg, const std::string &key,
         cfg.energy.creditPerHop = toDouble(key, value);
     } else if (key == "energy.power_gating_efficiency") {
         cfg.energy.powerGatingEfficiency = toDouble(key, value);
+    // Fault-injection knobs (src/fault).
+    } else if (key == "fault.corrupt_rate") {
+        cfg.faults.corruptRate = toDouble(key, value);
+    } else if (key == "fault.link_down_rate") {
+        cfg.faults.linkDownRate = toDouble(key, value);
+    } else if (key == "fault.link_down_min") {
+        cfg.faults.linkDownMinCycles = toInt(key, value);
+    } else if (key == "fault.link_down_max") {
+        cfg.faults.linkDownMaxCycles = toInt(key, value);
+    } else if (key == "fault.stall_rate") {
+        cfg.faults.stallRate = toDouble(key, value);
+    } else if (key == "fault.stall_min") {
+        cfg.faults.stallMinCycles = toInt(key, value);
+    } else if (key == "fault.stall_max") {
+        cfg.faults.stallMaxCycles = toInt(key, value);
+    } else if (key == "fault.credit_loss_rate") {
+        cfg.faults.creditLossRate = toDouble(key, value);
+    } else if (key == "fault.fail_at_cycle") {
+        cfg.faults.failAtCycle = toInt(key, value);
+    // End-to-end retransmission.
+    } else if (key == "reliability.enabled") {
+        cfg.reliability.enabled = toBool(key, value);
+    } else if (key == "reliability.timeout") {
+        cfg.reliability.timeoutCycles = toInt(key, value);
+    } else if (key == "reliability.backoff") {
+        cfg.reliability.backoffFactor = toDouble(key, value);
+    } else if (key == "reliability.max_retries") {
+        cfg.reliability.maxRetries = static_cast<int>(toInt(key, value));
+    } else if (key == "reliability.buffer_packets") {
+        cfg.reliability.bufferPackets =
+            static_cast<int>(toInt(key, value));
+    // Runtime watchdogs.
+    } else if (key == "watchdog.enabled") {
+        cfg.watchdog.enabled = toBool(key, value);
+    } else if (key == "watchdog.interval") {
+        cfg.watchdog.intervalCycles = toInt(key, value);
+    } else if (key == "watchdog.progress_window") {
+        cfg.watchdog.progressWindowCycles = toInt(key, value);
+    } else if (key == "watchdog.max_flit_age") {
+        cfg.watchdog.maxFlitAgeCycles = toInt(key, value);
+    } else if (key == "watchdog.credit_check") {
+        cfg.watchdog.creditCheck = toBool(key, value);
+    } else if (key == "watchdog.conservation_check") {
+        cfg.watchdog.conservationCheck = toBool(key, value);
     } else {
-        AFCSIM_FATAL("unknown config key '", key, "'");
+        AFCSIM_CONFIG_ERROR("unknown config key '", key, "'");
     }
     return cfg;
 }
@@ -179,7 +224,7 @@ parseNetworkConfig(const std::string &text)
             continue;
         auto eq = line.find('=');
         if (eq == std::string::npos)
-            AFCSIM_FATAL("config line ", lineno,
+            AFCSIM_CONFIG_ERROR("config line ", lineno,
                          ": expected 'key = value', got '", line, "'");
         applyConfigKey(cfg, trim(line.substr(0, eq)),
                        trim(line.substr(eq + 1)));
@@ -193,7 +238,7 @@ loadNetworkConfig(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        AFCSIM_FATAL("cannot open config file '", path, "'");
+        AFCSIM_CONFIG_ERROR("cannot open config file '", path, "'");
     std::stringstream ss;
     ss << in.rdbuf();
     return parseNetworkConfig(ss.str());

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Recoverable error types. The simulator distinguishes three failure
+ * classes:
+ *
+ *  - ConfigError: bad user input (config files, experiment specs,
+ *    CLI overrides). Callers with a user interface catch it, print
+ *    the message and exit nonzero.
+ *  - SimError: a simulation-state failure — a protocol invariant
+ *    violated at runtime, a watchdog firing, an injected fault, or a
+ *    run exceeding its cycle budget. The experiment runner catches
+ *    it per run so one bad point cannot kill a grid.
+ *  - AFCSIM_PANIC (common/log.hh) remains for programmer-error
+ *    invariants: wrong call ordering, out-of-range arguments,
+ *    construction-time contract violations. Those still abort.
+ */
+
+#ifndef AFCSIM_COMMON_ERROR_HH
+#define AFCSIM_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+/** Base class for all recoverable afcsim errors. */
+class Error : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Bad user input: config files, spec files, CLI options. */
+class ConfigError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/**
+ * Simulation-state failure: protocol violation, watchdog detection,
+ * injected fault, or exhausted cycle budget. Recoverable at the
+ * per-run boundary (exp::ParallelRunner) — the network that threw is
+ * in an undefined state and must be discarded.
+ */
+class SimError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** Throw a SimError with a concatenated message. */
+#define AFCSIM_SIM_ERROR(...) \
+    throw ::afcsim::SimError(::afcsim::detail::concat(__VA_ARGS__))
+
+/** Throw a SimError unless a simulation-state invariant holds. */
+#define AFCSIM_SIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            throw ::afcsim::SimError(::afcsim::detail::concat( \
+                __VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Throw a ConfigError with a concatenated message. */
+#define AFCSIM_CONFIG_ERROR(...) \
+    throw ::afcsim::ConfigError(::afcsim::detail::concat(__VA_ARGS__))
+
+} // namespace afcsim
+
+#endif // AFCSIM_COMMON_ERROR_HH

@@ -191,6 +191,15 @@ struct NetStats
     RunningStat hops;            ///< per delivered flit
     RunningStat deflections;     ///< per delivered flit
     std::uint64_t totalDeflections = 0;
+    /// @name End-to-end reliability counters (src/fault).
+    /// @{
+    std::uint64_t flitsCorrupted = 0;    ///< discarded: bad checksum
+    std::uint64_t flitsDuplicate = 0;    ///< discarded: already seen
+    std::uint64_t flitsRetransmitted = 0;///< flits re-enqueued
+    std::uint64_t packetsRetransmitted = 0; ///< retransmit events
+    std::uint64_t packetsFailed = 0;     ///< gave up after maxRetries
+    std::uint64_t retransmitOverflows = 0; ///< sent unprotected
+    /// @}
 
     void
     reset()
@@ -211,6 +220,12 @@ struct NetStats
         hops.merge(o.hops);
         deflections.merge(o.deflections);
         totalDeflections += o.totalDeflections;
+        flitsCorrupted += o.flitsCorrupted;
+        flitsDuplicate += o.flitsDuplicate;
+        flitsRetransmitted += o.flitsRetransmitted;
+        packetsRetransmitted += o.packetsRetransmitted;
+        packetsFailed += o.packetsFailed;
+        retransmitOverflows += o.retransmitOverflows;
     }
 };
 

@@ -51,6 +51,12 @@ toJson(const NetStats &n)
     o.set("hops", toJson(n.hops));
     o.set("deflections", toJson(n.deflections));
     o.set("total_deflections", JsonValue(n.totalDeflections));
+    o.set("flits_corrupted", JsonValue(n.flitsCorrupted));
+    o.set("flits_duplicate", JsonValue(n.flitsDuplicate));
+    o.set("flits_retransmitted", JsonValue(n.flitsRetransmitted));
+    o.set("packets_retransmitted", JsonValue(n.packetsRetransmitted));
+    o.set("packets_failed", JsonValue(n.packetsFailed));
+    o.set("retransmit_overflows", JsonValue(n.retransmitOverflows));
     return o;
 }
 

@@ -1,5 +1,6 @@
 #include "exp/experiments.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace afcsim::exp
@@ -96,7 +97,7 @@ experimentByName(const std::string &name)
         return fig2HighLoadExperiment();
     if (name == "scaling")
         return scalingExperiment();
-    AFCSIM_FATAL("unknown experiment '", name, "'; known: ",
+    AFCSIM_CONFIG_ERROR("unknown experiment '", name, "'; known: ",
                  "openloop_sweep, fig2_low_load, fig2_high_load, "
                  "scaling");
 }

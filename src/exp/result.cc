@@ -4,6 +4,7 @@
 #include <map>
 #include <tuple>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "common/statsio.hh"
 
@@ -18,7 +19,7 @@ aggregate(const std::vector<RunResult> &results)
     using BaseKey = std::tuple<int, std::string, int>;
     std::map<BaseKey, std::pair<double, double>> baselines;
     for (const auto &r : results) {
-        if (r.point.fc == FlowControl::Backpressured) {
+        if (r.point.fc == FlowControl::Backpressured && r.error.empty()) {
             baselines[{r.point.mesh, r.point.group, r.point.repeat}] =
                 {r.runtimeCycles, r.energyTotal};
         }
@@ -40,6 +41,8 @@ aggregate(const std::vector<RunResult> &results)
     };
 
     for (const auto &r : results) {
+        if (!r.error.empty())
+            continue; // errored runs carry no metrics
         AggregateRow &row = rowFor(r);
         row.runtime.add(r.runtimeCycles);
         row.avgPacketLatency.add(r.avgPacketLatency);
@@ -69,6 +72,11 @@ toJson(const RunResult &r, bool with_telemetry)
     o.set("flow_control", JsonValue(afcsim::toString(r.point.fc)));
     o.set("repeat", JsonValue(static_cast<std::int64_t>(r.point.repeat)));
     o.set("seed", JsonValue(r.point.seed));
+    if (!r.error.empty()) {
+        // Error record: run identity plus the failure, nothing else.
+        o.set("error", JsonValue(r.error));
+        return o;
+    }
     if (r.point.kind == RunKind::OpenLoop) {
         o.set("rate", JsonValue(r.point.rate));
         o.set("pattern", JsonValue(r.point.ol.pattern));
@@ -105,6 +113,8 @@ toJson(const RunResult &r, bool with_telemetry)
 
     o.set("energy", afcsim::toJson(r.energy));
     o.set("net", afcsim::toJson(r.net));
+    if (r.point.cfg.faults.any())
+        o.set("faults", afcsim::toJson(r.faults));
 
     if (with_telemetry) {
         JsonValue t = JsonValue::object();
@@ -213,7 +223,7 @@ resultsToCsv(const std::vector<RunResult> &results)
         "avg_packet_latency", "p50_packet_latency",
         "p99_packet_latency", "avg_hops", "avg_deflections",
         "saturated", "energy_total_pj", "energy_per_flit_pj",
-        "buffer_pj", "link_pj", "rest_pj", "bp_fraction",
+        "buffer_pj", "link_pj", "rest_pj", "bp_fraction", "error",
     });
     // Same shortest-round-trip formatting as the JSON sink, so the
     // two artifacts show identical numbers.
@@ -246,6 +256,7 @@ resultsToCsv(const std::vector<RunResult> &results)
             num(r.energy.linkEnergy()),
             num(r.energy.restEnergy()),
             num(r.bpFraction),
+            r.error,
         });
     }
     return out;
@@ -256,11 +267,11 @@ writeFile(const std::string &path, const std::string &contents)
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
-        AFCSIM_FATAL("cannot open '", path, "' for writing");
+        AFCSIM_CONFIG_ERROR("cannot open '", path, "' for writing");
     out.write(contents.data(),
               static_cast<std::streamsize>(contents.size()));
     if (!out)
-        AFCSIM_FATAL("error writing '", path, "'");
+        AFCSIM_CONFIG_ERROR("error writing '", path, "'");
 }
 
 } // namespace afcsim::exp

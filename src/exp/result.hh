@@ -19,6 +19,7 @@
 #include "common/stats.hh"
 #include "energy/energy.hh"
 #include "exp/spec.hh"
+#include "fault/fault.hh"
 
 namespace afcsim::exp
 {
@@ -54,6 +55,17 @@ struct RunResult
     std::uint64_t gossipSwitches = 0;
 
     NetStats net;
+
+    /** Injected-fault counters (all zero when cfg.faults is off). */
+    FaultStats faults;
+
+    /**
+     * Non-empty when the run raised a recoverable error (SimError /
+     * ConfigError): the what() text. An errored run serializes as a
+     * compact error record (identity + error) and is excluded from
+     * aggregation; the rest of the grid is unaffected.
+     */
+    std::string error;
 
     // Execution telemetry (nondeterministic; excluded from the
     // deterministic JSON document unless explicitly requested).

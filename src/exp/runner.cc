@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "sim/closedloop.hh"
 #include "traffic/openloop.hh"
@@ -45,6 +46,7 @@ fromOpenLoop(const RunPoint &p, const OpenLoopResult &r)
     out.energyPerFlit = r.energyPerFlit;
     out.bpFraction = r.bpFraction;
     out.net = r.stats;
+    out.faults = r.faults;
     return out;
 }
 
@@ -78,6 +80,7 @@ fromClosedLoop(const RunPoint &p, const ClosedLoopResult &r)
     out.reverseSwitches = r.reverseSwitches;
     out.gossipSwitches = r.gossipSwitches;
     out.net = r.net;
+    out.faults = r.faults;
     return out;
 }
 
@@ -89,16 +92,27 @@ executeRun(const RunPoint &point)
     auto t0 = std::chrono::steady_clock::now();
     RunResult out;
     double sim_cycles = 0.0;
-    if (point.kind == RunKind::OpenLoop) {
-        OpenLoopResult r = runOpenLoop(point.cfg, point.fc, point.ol);
-        out = fromOpenLoop(point, r);
-        sim_cycles = static_cast<double>(point.ol.warmupCycles +
-                                         point.ol.measureCycles);
-    } else {
-        ClosedLoopResult r =
-            runClosedLoop(point.cfg, point.fc, point.workload);
-        out = fromClosedLoop(point, r);
-        sim_cycles = out.runtimeCycles;
+    // Per-run error boundary: a recoverable failure (watchdog
+    // SimError, injected hard failure, exceeded cycle budget, bad
+    // per-point config) degrades this run to an error record and
+    // leaves the rest of the grid untouched.
+    try {
+        if (point.kind == RunKind::OpenLoop) {
+            OpenLoopResult r = runOpenLoop(point.cfg, point.fc,
+                                           point.ol);
+            out = fromOpenLoop(point, r);
+            sim_cycles = static_cast<double>(point.ol.warmupCycles +
+                                             point.ol.measureCycles);
+        } else {
+            ClosedLoopResult r = runClosedLoop(
+                point.cfg, point.fc, point.workload, point.maxCycles);
+            out = fromClosedLoop(point, r);
+            sim_cycles = out.runtimeCycles;
+        }
+    } catch (const Error &e) {
+        out = RunResult{};
+        out.point = point;
+        out.error = e.what();
     }
     out.wallMs = msSince(t0);
     if (out.wallMs > 0.0)

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/configfile.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace afcsim::exp
@@ -47,7 +48,7 @@ toDouble(const std::string &key, const std::string &value)
     char *end = nullptr;
     double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
-        AFCSIM_FATAL("spec key '", key, "': bad number '", value, "'");
+        AFCSIM_CONFIG_ERROR("spec key '", key, "': bad number '", value, "'");
     return v;
 }
 
@@ -57,7 +58,7 @@ toInt(const std::string &key, const std::string &value)
     char *end = nullptr;
     long v = std::strtol(value.c_str(), &end, 10);
     if (end == value.c_str() || *end != '\0')
-        AFCSIM_FATAL("spec key '", key, "': bad integer '", value, "'");
+        AFCSIM_CONFIG_ERROR("spec key '", key, "': bad integer '", value, "'");
     return v;
 }
 
@@ -68,7 +69,7 @@ toBool(const std::string &key, const std::string &value)
         return true;
     if (value == "false" || value == "0" || value == "no")
         return false;
-    AFCSIM_FATAL("spec key '", key, "': bad boolean '", value, "'");
+    AFCSIM_CONFIG_ERROR("spec key '", key, "': bad boolean '", value, "'");
 }
 
 /** Short stable label for a rate group ("rate=0.05"). */
@@ -95,7 +96,7 @@ runKindFromString(const std::string &name)
         return RunKind::OpenLoop;
     if (name == "closed_loop" || name == "closedloop" || name == "closed")
         return RunKind::ClosedLoop;
-    AFCSIM_FATAL("unknown experiment kind '", name,
+    AFCSIM_CONFIG_ERROR("unknown experiment kind '", name,
                  "' (want open_loop or closed_loop)");
 }
 
@@ -112,13 +113,13 @@ std::vector<RunPoint>
 ExperimentSpec::expand() const
 {
     if (configs.empty())
-        AFCSIM_FATAL("experiment '", name, "': no flow controls");
+        AFCSIM_CONFIG_ERROR("experiment '", name, "': no flow controls");
     if (repeats < 1)
-        AFCSIM_FATAL("experiment '", name, "': repeats must be >= 1");
+        AFCSIM_CONFIG_ERROR("experiment '", name, "': repeats must be >= 1");
     if (kind == RunKind::OpenLoop && rates.empty())
-        AFCSIM_FATAL("experiment '", name, "': open-loop spec has no rates");
+        AFCSIM_CONFIG_ERROR("experiment '", name, "': open-loop spec has no rates");
     if (kind == RunKind::ClosedLoop && workloads.empty())
-        AFCSIM_FATAL("experiment '", name,
+        AFCSIM_CONFIG_ERROR("experiment '", name,
                      "': closed-loop spec has no workloads");
 
     std::vector<int> meshes = meshSizes;
@@ -152,6 +153,7 @@ ExperimentSpec::expand() const
                     p.cfg.width = mesh;
                     p.cfg.height = mesh;
                     p.cfg.seed = p.seed;
+                    p.maxCycles = maxCycles;
                     p.cfg.validate();
                     if (kind == RunKind::OpenLoop) {
                         p.rate = rates[g];
@@ -201,7 +203,7 @@ ExperimentSpec::fromText(const std::string &text)
             continue;
         auto eq = line.find('=');
         if (eq == std::string::npos)
-            AFCSIM_FATAL("spec line ", lineno,
+            AFCSIM_CONFIG_ERROR("spec line ", lineno,
                          ": expected 'key = value', got '", line, "'");
         std::string key = trim(line.substr(0, eq));
         std::string value = trim(line.substr(eq + 1));
@@ -252,8 +254,10 @@ ExperimentSpec::fromText(const std::string &text)
             spec.scale = toDouble(key, value);
         } else if (k == "scale_with_mesh") {
             spec.scaleWithMesh = toBool(key, value);
+        } else if (k == "max_cycles") {
+            spec.maxCycles = static_cast<Cycle>(toInt(key, value));
         } else {
-            AFCSIM_FATAL("unknown spec key '", key, "'");
+            AFCSIM_CONFIG_ERROR("unknown spec key '", key, "'");
         }
     }
     return spec;
@@ -264,7 +268,7 @@ ExperimentSpec::fromFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        AFCSIM_FATAL("cannot open experiment spec '", path, "'");
+        AFCSIM_CONFIG_ERROR("cannot open experiment spec '", path, "'");
     std::stringstream ss;
     ss << in.rdbuf();
     return fromText(ss.str());

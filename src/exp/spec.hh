@@ -49,6 +49,10 @@ struct RunPoint
     OpenLoopConfig ol;
     // Closed-loop only:
     WorkloadProfile workload;
+    /** Cycle budget for closed-loop runs (0 = harness default). A
+     *  run that exceeds it raises SimError and becomes an error
+     *  record instead of wedging the grid. */
+    Cycle maxCycles = 0;
 };
 
 /**
@@ -97,6 +101,8 @@ struct ExperimentSpec
     /** Independent repeats; run r uses seed baseSeed + 1000 r. */
     int repeats = 1;
     std::uint64_t baseSeed = 7;
+    /** Per-run cycle budget (closed-loop; 0 = harness default). */
+    Cycle maxCycles = 0;
 
     /** Convenience: uniform rate ladder step, step*2, ..., <= max. */
     void rateSweep(double step, double max);
@@ -109,10 +115,11 @@ struct ExperimentSpec
      * configure the spec (kind, rates, configs, workloads, warmup,
      * measure, repeats, seed, scale, mesh, pattern, ...); all other
      * keys are NetworkConfig keys applied to `base` (see
-     * configfile.hh). Fatal on unknown keys.
+     * configfile.hh). Throws ConfigError on unknown or malformed
+     * keys.
      */
     static ExperimentSpec fromText(const std::string &text);
-    /** Load fromText() from a file; fatal if unreadable. */
+    /** Load fromText() from a file; ConfigError if unreadable. */
     static ExperimentSpec fromFile(const std::string &path);
 };
 

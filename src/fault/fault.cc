@@ -1,0 +1,181 @@
+#include "fault/fault.hh"
+
+namespace afcsim
+{
+
+std::string
+toString(FaultEvent::Kind kind)
+{
+    switch (kind) {
+      case FaultEvent::Kind::Corrupt:
+        return "corrupt";
+      case FaultEvent::Kind::LinkDown:
+        return "link_down";
+      case FaultEvent::Kind::Stall:
+        return "stall";
+      case FaultEvent::Kind::CreditDrop:
+        return "credit_drop";
+    }
+    return "unknown";
+}
+
+void
+FaultStats::record(Cycle now, NodeId node, int dir, FaultEvent::Kind kind)
+{
+    if (events.size() >= kMaxEvents)
+        return;
+    FaultEvent e;
+    e.cycle = now;
+    e.node = node;
+    e.dir = static_cast<std::uint8_t>(dir);
+    e.kind = kind;
+    events.push_back(e);
+}
+
+JsonValue
+toJson(const FaultStats &stats)
+{
+    JsonValue o = JsonValue::object();
+    o.set("corruptions",
+          JsonValue(static_cast<std::int64_t>(stats.corruptions)));
+    o.set("link_down_events",
+          JsonValue(static_cast<std::int64_t>(stats.linkDownEvents)));
+    o.set("stall_events",
+          JsonValue(static_cast<std::int64_t>(stats.stallEvents)));
+    o.set("flits_held",
+          JsonValue(static_cast<std::int64_t>(stats.flitsHeld)));
+    o.set("credits_dropped",
+          JsonValue(static_cast<std::int64_t>(stats.creditsDropped)));
+    JsonValue events = JsonValue::array();
+    for (const auto &e : stats.events) {
+        JsonValue ev = JsonValue::object();
+        ev.set("cycle", JsonValue(static_cast<std::int64_t>(e.cycle)));
+        ev.set("node", JsonValue(static_cast<std::int64_t>(e.node)));
+        ev.set("dir", JsonValue(static_cast<std::int64_t>(e.dir)));
+        ev.set("kind", JsonValue(toString(e.kind)));
+        events.push(std::move(ev));
+    }
+    o.set("events", std::move(events));
+    return o;
+}
+
+FaultInjector::FaultInjector(const FaultSpec &spec, int num_nodes,
+                             std::uint64_t seed)
+    : spec_(spec), links_(num_nodes)
+{
+    // Every link forks its own stream so the draw sequence on one
+    // link is independent of activity on any other.
+    Rng root(seed, 0xfa417);
+    for (int n = 0; n < num_nodes; ++n) {
+        for (int d = 0; d < kNumNetPorts; ++d)
+            links_[n][d].rng = root.fork(
+                static_cast<std::uint64_t>(n) * kNumNetPorts + d + 1);
+    }
+}
+
+void
+FaultInjector::beginCycle(Cycle now)
+{
+    if (spec_.linkDownRate <= 0.0 && spec_.stallRate <= 0.0)
+        return;
+    for (std::size_t n = 0; n < links_.size(); ++n) {
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            LinkState &link = links_[n][d];
+            if (spec_.linkDownRate > 0.0 &&
+                link.rng.chance(spec_.linkDownRate)) {
+                Cycle len = static_cast<Cycle>(link.rng.range(
+                    static_cast<std::int64_t>(spec_.linkDownMinCycles),
+                    static_cast<std::int64_t>(spec_.linkDownMaxCycles)));
+                link.downUntil = std::max(link.downUntil, now + len);
+                ++stats_.linkDownEvents;
+                stats_.record(now, static_cast<NodeId>(n), d,
+                              FaultEvent::Kind::LinkDown);
+            }
+            if (spec_.stallRate > 0.0 &&
+                link.rng.chance(spec_.stallRate)) {
+                Cycle len = static_cast<Cycle>(link.rng.range(
+                    static_cast<std::int64_t>(spec_.stallMinCycles),
+                    static_cast<std::int64_t>(spec_.stallMaxCycles)));
+                link.stallUntil = std::max(link.stallUntil, now + len);
+                ++stats_.stallEvents;
+                stats_.record(now, static_cast<NodeId>(n), d,
+                              FaultEvent::Kind::Stall);
+            }
+        }
+    }
+}
+
+void
+FaultInjector::corrupt(LinkState &link, NodeId node, int dir, Flit &flit,
+                       Cycle now)
+{
+    flit.payload ^= 1u << link.rng.below(32);
+    ++stats_.corruptions;
+    stats_.record(now, node, dir, FaultEvent::Kind::Corrupt);
+}
+
+bool
+FaultInjector::onFlitArrival(NodeId node, int dir, Flit &flit, Cycle now)
+{
+    LinkState &link = links_.at(node)[dir];
+    if (now < link.downUntil) {
+        corrupt(link, node, dir, flit, now);
+    } else if (spec_.corruptRate > 0.0 &&
+               link.rng.chance(spec_.corruptRate)) {
+        corrupt(link, node, dir, flit, now);
+    }
+    // A flit joins the stall queue while the link is stalled, while
+    // earlier captives are still queued (FIFO), or when a captive
+    // was already released this cycle (one arrival per link/cycle).
+    if (now < link.stallUntil || !link.held.empty() ||
+        link.releasedAt == now) {
+        link.held.push_back(flit);
+        ++stats_.flitsHeld;
+        return false;
+    }
+    return true;
+}
+
+bool
+FaultInjector::onCreditArrival(NodeId node, int dir, Cycle now)
+{
+    if (spec_.creditLossRate <= 0.0)
+        return true;
+    LinkState &link = links_.at(node)[dir];
+    if (link.rng.chance(spec_.creditLossRate)) {
+        ++stats_.creditsDropped;
+        stats_.record(now, node, dir, FaultEvent::Kind::CreditDrop);
+        return false;
+    }
+    return true;
+}
+
+void
+FaultInjector::releaseHeld(Cycle now,
+                           const std::function<void(NodeId, int, Flit &)> &fn)
+{
+    for (std::size_t n = 0; n < links_.size(); ++n) {
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            LinkState &link = links_[n][d];
+            if (link.held.empty() || now < link.stallUntil)
+                continue;
+            Flit flit = link.held.front();
+            link.held.pop_front();
+            link.releasedAt = now;
+            fn(static_cast<NodeId>(n), d, flit);
+        }
+    }
+}
+
+std::uint64_t
+FaultInjector::heldFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &node : links_) {
+        for (const auto &link : node)
+            n += link.held.size();
+    }
+    return n;
+}
+
+} // namespace afcsim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection at the network's links
+ * (tentpole of the resilience subsystem). Three fault mechanisms:
+ *
+ *  - transient payload upsets: a traversing flit has one payload bit
+ *    flipped with probability FaultSpec::corruptRate;
+ *  - link-down intervals: a link enters a down interval with per-
+ *    cycle probability linkDownRate; every flit traversing a down
+ *    link is corrupted (a burst of upsets);
+ *  - stalls: a link enters a stall interval with per-cycle
+ *    probability stallRate; arriving flits are held at the link and
+ *    released FIFO, at most one per cycle, once the stall ends —
+ *    preserving the routers' one-arrival-per-link-per-cycle
+ *    invariant.
+ *
+ * Faults never drop flits in the network (that would silently leak
+ * credits in buffered routers); loss is realized at the receiving
+ * NIC, which discards corrupted flits after checksum verification.
+ * The exception is creditLossRate, which drops credit backflows and
+ * thereby deliberately corrupts protocol state — it exists so the
+ * watchdog tests can manufacture deadlocks and credit-accounting
+ * violations on demand.
+ *
+ * Determinism: every link owns a forked PCG32 stream, and the per
+ * -link draw sequence is a pure function of the cycle number and the
+ * (deterministic) arrival order on that link, so a (seed, spec) pair
+ * reproduces the exact fault trace regardless of runner thread
+ * count.
+ */
+
+#ifndef AFCSIM_FAULT_FAULT_HH
+#define AFCSIM_FAULT_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/json.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "network/flit.hh"
+
+namespace afcsim
+{
+
+/** One recorded fault event (bounded trace for reports and tests). */
+struct FaultEvent
+{
+    enum class Kind : std::uint8_t { Corrupt, LinkDown, Stall, CreditDrop };
+
+    Cycle cycle = 0;
+    NodeId node = kInvalidNode; ///< upstream end of the faulted link
+    std::uint8_t dir = 0;       ///< output port at `node`
+    Kind kind = Kind::Corrupt;
+};
+
+/** Human-readable name of a fault-event kind. */
+std::string toString(FaultEvent::Kind kind);
+
+/** Counters plus a bounded event trace for all injected faults. */
+struct FaultStats
+{
+    /** Events kept in the trace before it saturates. */
+    static constexpr std::size_t kMaxEvents = 256;
+
+    std::uint64_t corruptions = 0;     ///< flit payload upsets
+    std::uint64_t linkDownEvents = 0;  ///< down intervals started
+    std::uint64_t stallEvents = 0;     ///< stall intervals started
+    std::uint64_t flitsHeld = 0;       ///< flits delayed by stalls
+    std::uint64_t creditsDropped = 0;  ///< credit backflows lost
+    std::vector<FaultEvent> events;    ///< first kMaxEvents events
+
+    std::uint64_t
+    total() const
+    {
+        return corruptions + linkDownEvents + stallEvents + creditsDropped;
+    }
+
+    void record(Cycle now, NodeId node, int dir, FaultEvent::Kind kind);
+};
+
+/** JSON shape: counters plus the bounded event trace. */
+JsonValue toJson(const FaultStats &stats);
+
+/**
+ * Per-link fault state machine driven by the Network kernel. The
+ * kernel calls beginCycle() once per cycle, filters every flit and
+ * credit arrival through onFlitArrival()/onCreditArrival(), and
+ * releases stall-held flits via releaseHeld(). Links are identified
+ * by their upstream end: (node, dir) is node's output port dir, the
+ * same indexing as Network's flit channels.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultSpec &spec, int num_nodes,
+                  std::uint64_t seed);
+
+    const FaultSpec &spec() const { return spec_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /** Roll this cycle's interval starts (fixed link order). */
+    void beginCycle(Cycle now);
+
+    /**
+     * Filter a flit arriving off link (node, dir) at cycle `now`.
+     * May corrupt the flit in place. Returns false when the flit is
+     * captured into the link's stall queue (the caller must not
+     * deliver it); it will reappear via releaseHeld().
+     */
+    bool onFlitArrival(NodeId node, int dir, Flit &flit, Cycle now);
+
+    /** Filter a credit arrival; false means the credit was lost. */
+    bool onCreditArrival(NodeId node, int dir, Cycle now);
+
+    /**
+     * Release at most one held flit per link whose stall interval
+     * has ended. Call once per cycle, before delivering that
+     * cycle's regular channel arrivals.
+     */
+    void releaseHeld(Cycle now,
+                     const std::function<void(NodeId, int, Flit &)> &fn);
+
+    /** Flits currently captured in stall queues (drain accounting). */
+    std::uint64_t heldFlits() const;
+
+    /** True once the configured hard-failure cycle is reached. */
+    bool
+    shouldFail(Cycle now) const
+    {
+        return now >= spec_.failAtCycle;
+    }
+
+  private:
+    struct LinkState
+    {
+        Rng rng{0, 0};
+        Cycle downUntil = 0;     ///< corrupting-all until this cycle
+        Cycle stallUntil = 0;    ///< holding arrivals until this cycle
+        Cycle releasedAt = kNeverCycle; ///< last releaseHeld() cycle
+        std::deque<Flit> held;
+    };
+
+    void corrupt(LinkState &link, NodeId node, int dir, Flit &flit,
+                 Cycle now);
+
+    FaultSpec spec_;
+    std::vector<std::array<LinkState, kNumNetPorts>> links_;
+    FaultStats stats_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_FAULT_FAULT_HH

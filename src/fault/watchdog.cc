@@ -1,0 +1,263 @@
+#include "fault/watchdog.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+#include "fault/fault.hh"
+#include "network/network.hh"
+#include "router/afc.hh"
+#include "router/backpressured.hh"
+#include "router/vcshape.hh"
+
+namespace afcsim
+{
+
+namespace
+{
+
+/** Dispatches + deliveries: the network's monotone work measure. */
+std::uint64_t
+totalWork(const Network &net)
+{
+    std::uint64_t work = 0;
+    for (NodeId n = 0; n < net.mesh().numNodes(); ++n) {
+        work += net.router(n).stats().flitsRouted;
+        work += net.nic(n).lifetime().flitsDelivered;
+    }
+    return work;
+}
+
+} // namespace
+
+std::string
+Watchdog::snapshot(const Network &net, Cycle now)
+{
+    constexpr int kMaxNodes = 16;
+    std::ostringstream os;
+    os << "diagnostic snapshot @cycle " << now
+       << " (fc=" << toString(net.flowControl())
+       << ", flits in flight " << net.flitsInFlight() << ")";
+    int nodes = net.mesh().numNodes();
+    for (NodeId n = 0; n < std::min(nodes, kMaxNodes); ++n) {
+        const Router &r = net.router(n);
+        os << "\n  node " << n << ": mode="
+           << (r.mode() == RouterMode::Backpressured ? "BP" : "BPL")
+           << " occ=" << r.occupancy();
+        if (const auto *afc = dynamic_cast<const AfcRouter *>(&r))
+            os << " ewma=" << afc->trafficIntensity();
+        os << " nicq=" << net.nic(n).queuedFlits()
+           << " reasm=" << net.nic(n).pendingReassemblies();
+    }
+    if (nodes > kMaxNodes)
+        os << "\n  ... (" << (nodes - kMaxNodes) << " more nodes)";
+    return os.str();
+}
+
+void
+Watchdog::check(const Network &net, Cycle now)
+{
+    if (spec_.conservationCheck)
+        checkConservation(net, now);
+    if (spec_.creditCheck)
+        checkCredits(net, now);
+    checkFlitAges(net, now);
+    checkProgress(net, now);
+}
+
+void
+Watchdog::checkConservation(const Network &net, Cycle now) const
+{
+    // The drop-based variant keeps private retransmit copies inside
+    // its routers; its books intentionally do not balance mid-run.
+    if (net.flowControl() == FlowControl::BackpressurelessDrop)
+        return;
+
+    std::uint64_t injected = 0, retransmitted = 0, delivered = 0;
+    std::uint64_t corrupted = 0, duplicate = 0, queued = 0;
+    for (NodeId n = 0; n < net.mesh().numNodes(); ++n) {
+        const auto &life = net.nic(n).lifetime();
+        injected += life.flitsInjected;
+        retransmitted += life.flitsRetransmitted;
+        delivered += life.flitsDelivered;
+        corrupted += life.flitsCorrupted;
+        duplicate += life.flitsDuplicate;
+        queued += net.nic(n).queuedFlits();
+    }
+    std::uint64_t in_flight = net.flitsInFlight();
+    if (injected + retransmitted !=
+        delivered + corrupted + duplicate + queued + in_flight) {
+        AFCSIM_SIM_ERROR(
+            "flit-conservation violation at cycle ", now, ": injected ",
+            injected, " + retransmitted ", retransmitted,
+            " != delivered ", delivered, " + corrupted ", corrupted,
+            " + duplicate ", duplicate, " + queued ", queued,
+            " + in-flight ", in_flight, "\n", snapshot(net, now));
+    }
+}
+
+void
+Watchdog::checkCredits(const Network &net, Cycle now) const
+{
+    const Mesh &mesh = net.mesh();
+    FlowControl fc = net.flowControl();
+
+    if (fc == FlowControl::Backpressured ||
+        fc == FlowControl::BackpressuredIdealBypass) {
+        // Per-VC invariant, holds at every cycle boundary: upstream
+        // credits + in-flight flits + in-flight credits + occupied
+        // downstream slots == VC depth.
+        VcShape shape(net.config().vnets);
+        for (NodeId up = 0; up < mesh.numNodes(); ++up) {
+            const auto *upR = dynamic_cast<const BackpressuredRouter *>(
+                &net.router(up));
+            for (int d = 0; d < kNumNetPorts; ++d) {
+                Direction dir = static_cast<Direction>(d);
+                NodeId down = mesh.neighbor(up, dir);
+                if (down == kInvalidNode)
+                    continue;
+                const auto *downR =
+                    dynamic_cast<const BackpressuredRouter *>(
+                        &net.router(down));
+                for (VcId vc = 0; vc < shape.totalVcs(); ++vc) {
+                    std::uint64_t found = static_cast<std::uint64_t>(
+                        upR->creditsFor(dir, vc));
+                    for (const auto &[t, f] :
+                         net.flitChannel(up, dir)->pending()) {
+                        if (f.vc == vc)
+                            ++found;
+                    }
+                    for (const auto &[t, c] :
+                         net.creditChannel(down, opposite(dir))
+                             ->pending()) {
+                        if (c.vc == vc)
+                            ++found;
+                    }
+                    found += downR->bufferedInVc(opposite(dir), vc);
+                    std::uint64_t depth = static_cast<std::uint64_t>(
+                        shape.depth(shape.vnetOf(vc)));
+                    if (found != depth) {
+                        AFCSIM_SIM_ERROR(
+                            "credit-consistency violation at cycle ",
+                            now, " on link ", up, "->", down, " vc ",
+                            vc, ": credits+in-flight+buffered = ",
+                            found, ", expected VC depth ", depth, "\n",
+                            snapshot(net, now));
+                    }
+                }
+            }
+        }
+        return;
+    }
+
+    if (fc != FlowControl::Afc && fc != FlowControl::AfcAlwaysBackpressured)
+        return;
+
+    // AFC tracks credits per virtual network, and only while the
+    // downstream router is in backpressured mode. The invariant is
+    // only evaluated when the link is safely mid-episode: downstream
+    // fully switched (past its buffer-from cycle, no pending
+    // switch), upstream tracking, and no mode-control messages in
+    // flight in either direction. Outside those windows in-flight
+    // flits may legitimately be handled by the deflection pipeline
+    // and the books do not balance. (Derivation: any flit in flight
+    // at cycle now >= T + 2L was sent after T + L, i.e. after the
+    // upstream began tracking, so it is credit-accounted.)
+    VcShape shape(net.config().afcVnets);
+    for (NodeId up = 0; up < mesh.numNodes(); ++up) {
+        const auto *upR = dynamic_cast<const AfcRouter *>(&net.router(up));
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            Direction dir = static_cast<Direction>(d);
+            NodeId down = mesh.neighbor(up, dir);
+            if (down == kInvalidNode || !upR->trackingDownstream(dir))
+                continue;
+            const auto *downR =
+                dynamic_cast<const AfcRouter *>(&net.router(down));
+            if (downR->mode() != RouterMode::Backpressured ||
+                downR->switchPending() ||
+                now < downR->bufferFromCycle())
+                continue;
+            if (!net.ctlChannel(up, dir)->empty() ||
+                !net.ctlChannel(down, opposite(dir))->empty())
+                continue;
+            for (VnetId v = 0; v < shape.numVnets(); ++v) {
+                std::uint64_t found = static_cast<std::uint64_t>(
+                    upR->downstreamFreeSlots(dir, v));
+                for (const auto &[t, f] :
+                     net.flitChannel(up, dir)->pending()) {
+                    if (f.vnet == v)
+                        ++found;
+                }
+                for (const auto &[t, c] :
+                     net.creditChannel(down, opposite(dir))->pending()) {
+                    if (c.vnet == v)
+                        ++found;
+                }
+                found += static_cast<std::uint64_t>(
+                    downR->occupiedSlots(opposite(dir), v));
+                std::uint64_t slots =
+                    static_cast<std::uint64_t>(shape.count(v));
+                if (found != slots) {
+                    AFCSIM_SIM_ERROR(
+                        "credit-consistency violation at cycle ", now,
+                        " on link ", up, "->", down, " vnet ", int(v),
+                        ": free+in-flight+occupied = ", found,
+                        ", expected ", slots, " slots\n",
+                        snapshot(net, now));
+                }
+            }
+        }
+    }
+}
+
+void
+Watchdog::checkFlitAges(const Network &net, Cycle now) const
+{
+    if (spec_.maxFlitAgeCycles == 0 || spec_.maxFlitAgeCycles == kNeverCycle)
+        return;
+    const Flit *oldest = nullptr;
+    Cycle worst = 0;
+    auto inspect = [&](const Flit &f) {
+        Cycle age = now - f.injectTime;
+        if (age > worst) {
+            worst = age;
+            oldest = &f;
+        }
+    };
+    for (NodeId n = 0; n < net.mesh().numNodes(); ++n) {
+        net.router(n).visitFlits(inspect);
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            const auto *ch = net.flitChannel(n, static_cast<Direction>(d));
+            if (!ch)
+                continue;
+            for (const auto &[t, f] : ch->pending())
+                inspect(f);
+        }
+    }
+    if (oldest && worst > spec_.maxFlitAgeCycles) {
+        AFCSIM_SIM_ERROR(
+            "livelock suspected at cycle ", now, ": ",
+            oldest->describe(), " has been in the network for ", worst,
+            " cycles (max ", spec_.maxFlitAgeCycles, ")\n",
+            snapshot(net, now));
+    }
+}
+
+void
+Watchdog::checkProgress(const Network &net, Cycle now)
+{
+    std::uint64_t work = totalWork(net);
+    if (work != lastWork_ || net.flitsInFlight() == 0) {
+        lastWork_ = work;
+        lastProgressCycle_ = now;
+        return;
+    }
+    if (now - lastProgressCycle_ >= spec_.progressWindowCycles) {
+        AFCSIM_SIM_ERROR(
+            "no forward progress (deadlock suspected): no flit "
+            "dispatched or delivered since cycle ", lastProgressCycle_,
+            " with flits still in flight at cycle ", now, "\n",
+            snapshot(net, now));
+    }
+}
+
+} // namespace afcsim

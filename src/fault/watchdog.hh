@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime watchdogs: periodic whole-network consistency checks that
+ * turn hangs and silent state corruption into a recoverable SimError
+ * carrying a diagnostic snapshot, instead of a wedged process or a
+ * wrong result. Four checks (WatchdogSpec gates each):
+ *
+ *  - flit conservation: every flit ever injected or retransmitted
+ *    is delivered, discarded (corrupt/duplicate), queued, or in
+ *    flight — nothing leaks, nothing is minted;
+ *  - credit consistency: per-VC (backpressured) or per-VN (AFC,
+ *    while safely in backpressured mode) credits + in-flight flits
+ *    + in-flight credits + occupied downstream slots equal the
+ *    buffer capacity on every tracked link;
+ *  - livelock: no in-network flit's age (cycles since network
+ *    entry) may exceed maxFlitAgeCycles;
+ *  - progress: if flits are in flight, some router must dispatch or
+ *    some NIC must deliver within every progressWindowCycles window
+ *    (deadlock detection).
+ */
+
+#ifndef AFCSIM_FAULT_WATCHDOG_HH
+#define AFCSIM_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace afcsim
+{
+
+class Network;
+
+/**
+ * Periodic network auditor. The Network calls check() every
+ * WatchdogSpec::intervalCycles; a failed check throws SimError with
+ * a message that embeds a diagnostic snapshot of router modes,
+ * buffer occupancy and EWMA values.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(const WatchdogSpec &spec)
+        : spec_(spec)
+    {
+    }
+
+    const WatchdogSpec &spec() const { return spec_; }
+
+    /** Run all enabled checks; throws SimError on a violation. */
+    void check(const Network &net, Cycle now);
+
+    /** Multi-line diagnostic snapshot of the network's state. */
+    static std::string snapshot(const Network &net, Cycle now);
+
+  private:
+    void checkConservation(const Network &net, Cycle now) const;
+    void checkCredits(const Network &net, Cycle now) const;
+    void checkFlitAges(const Network &net, Cycle now) const;
+    void checkProgress(const Network &net, Cycle now);
+
+    WatchdogSpec spec_;
+    std::uint64_t lastWork_ = 0;   ///< dispatches + deliveries seen
+    Cycle lastProgressCycle_ = 0;  ///< when lastWork_ last advanced
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_FAULT_WATCHDOG_HH

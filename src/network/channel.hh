@@ -65,6 +65,14 @@ class Channel
 
     bool empty() const { return inflight_.empty(); }
 
+    /** Read-only view of in-flight (arrival, message) pairs, oldest
+     *  first — used by the runtime watchdogs (src/fault). */
+    const std::deque<std::pair<Cycle, T>> &
+    pending() const
+    {
+        return inflight_;
+    }
+
   private:
     int latency_;
     std::deque<std::pair<Cycle, T>> inflight_;

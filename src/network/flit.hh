@@ -42,6 +42,47 @@ struct Flit
     Direction lookahead = kLocal;
     /** Opaque user metadata (e.g. a memory-transaction id). */
     std::uint64_t tag = 0;
+    /**
+     * End-to-end reliability fields (src/fault): a stand-in payload
+     * word, its checksum, and whether the source NIC guarded this
+     * flit. Fault injection flips bits in `payload`; the receiving
+     * NIC discards guarded flits whose checksum no longer matches.
+     * Header fields are assumed ECC-protected and are never faulted.
+     */
+    std::uint32_t payload = 0;
+    std::uint32_t checksum = 0;
+    bool guarded = false;
+
+    /** Finalization mix (splitmix64-style) for payload/checksum. */
+    static std::uint32_t
+    mix32(std::uint64_t x)
+    {
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ULL;
+        x ^= x >> 33;
+        return static_cast<std::uint32_t>(x);
+    }
+
+    /** Deterministic checksum over identity + payload. */
+    std::uint32_t
+    expectedChecksum() const
+    {
+        return mix32((static_cast<std::uint64_t>(payload) << 32) ^
+                     (packet * 0x9e3779b97f4a7c15ULL + seq));
+    }
+
+    /** Fill payload/checksum at the source (reliability mode). */
+    void
+    guard()
+    {
+        payload = mix32(packet * 0xbf58476d1ce4e5b9ULL + seq * 31ULL + src);
+        checksum = expectedChecksum();
+        guarded = true;
+    }
+
+    bool checksumOk() const { return checksum == expectedChecksum(); }
 
     bool isHead() const
     {

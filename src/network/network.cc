@@ -1,6 +1,9 @@
 #include "network/network.hh"
 
+#include "common/error.hh"
 #include "common/rng.hh"
+#include "fault/fault.hh"
+#include "fault/watchdog.hh"
 #include "router/afc.hh"
 #include "router/backpressured.hh"
 #include "router/deflection.hh"
@@ -110,6 +113,23 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
                             ctlCh_[node][d].get());
         }
     }
+
+    if (cfg_.faults.any())
+        faults_ = std::make_unique<FaultInjector>(cfg_.faults, n,
+                                                  cfg_.seed);
+    if (cfg_.watchdog.enabled)
+        watchdog_ = std::make_unique<Watchdog>(cfg_.watchdog);
+    if (cfg_.reliability.enabled) {
+        // End-to-end acks are out-of-band and free: the destination
+        // NIC releases the source's retransmit slot directly.
+        for (NodeId node = 0; node < n; ++node) {
+            nics_[node]->attachLedger(ledgers_[node].get());
+            nics_[node]->setAckHandler(
+                [this](NodeId src, PacketId packet) {
+                    nics_.at(src)->onAcked(packet);
+                });
+        }
+    }
 }
 
 Network::~Network() = default;
@@ -118,6 +138,18 @@ void
 Network::deliver()
 {
     int n = mesh_.numNodes();
+    if (faults_) {
+        faults_->beginCycle(now_);
+        // Stall-held flits re-enter first, so a link releases at most
+        // one flit per cycle (regular arrivals on a link that just
+        // released are captured behind it by onFlitArrival).
+        faults_->releaseHeld(now_,
+            [this](NodeId node, int d, Flit &flit) {
+                Direction dir = static_cast<Direction>(d);
+                NodeId nbr = mesh_.neighbor(node, dir);
+                routers_[nbr]->acceptFlit(opposite(dir), flit, now_);
+            });
+    }
     for (NodeId node = 0; node < n; ++node) {
         for (int d = 0; d < kNumNetPorts; ++d) {
             Direction dir = static_cast<Direction>(d);
@@ -125,15 +157,23 @@ Network::deliver()
             if (nbr == kInvalidNode)
                 continue;
             if (flitCh_[node][d]) {
-                for (auto &flit : flitCh_[node][d]->receive(now_))
+                for (auto &flit : flitCh_[node][d]->receive(now_)) {
+                    if (faults_ &&
+                        !faults_->onFlitArrival(node, d, flit, now_))
+                        continue; // captured by a link stall
                     routers_[nbr]->acceptFlit(opposite(dir), flit, now_);
+                }
             }
             if (creditCh_[node][d]) {
                 // A credit sent from node's *input* port d goes to
                 // the upstream router's *output* port opposite(d).
-                for (auto &credit : creditCh_[node][d]->receive(now_))
+                for (auto &credit : creditCh_[node][d]->receive(now_)) {
+                    if (faults_ &&
+                        !faults_->onCreditArrival(node, d, now_))
+                        continue; // credit lost (watchdog-test knob)
                     routers_[nbr]->acceptCredit(opposite(dir), credit,
                                                 now_);
+                }
             }
             if (ctlCh_[node][d]) {
                 for (auto &msg : ctlCh_[node][d]->receive(now_))
@@ -148,11 +188,21 @@ Network::deliver()
 void
 Network::step()
 {
+    if (faults_ && faults_->shouldFail(now_)) {
+        AFCSIM_SIM_ERROR("injected hard failure at cycle ", now_,
+                         " (fault.fail_at_cycle)");
+    }
     deliver();
+    for (auto &nic : nics_)
+        nic->tick(now_);
     for (auto &r : routers_)
         r->evaluate(now_);
     for (auto &r : routers_)
         r->advance(now_);
+    if (watchdog_ && now_ > 0 &&
+        now_ % cfg_.watchdog.intervalCycles == 0) {
+        watchdog_->check(*this, now_);
+    }
     ++now_;
 }
 
@@ -199,6 +249,8 @@ Network::flitsInFlight() const
     }
     if (nackFabric_)
         n += nackFabric_->inflight();
+    if (faults_)
+        n += faults_->heldFlits();
     return n;
 }
 

@@ -29,6 +29,9 @@
 namespace afcsim
 {
 
+class FaultInjector;
+class Watchdog;
+
 /** A complete mesh network under one flow-control mechanism. */
 class Network
 {
@@ -94,6 +97,35 @@ class Network
      */
     void setTracer(FlitTracer *tracer);
 
+    /**
+     * The fault injector, or nullptr when cfg.faults is all-zero.
+     * (The injector is only constructed when at least one fault rate
+     * is nonzero, so the fault-free path is bit-for-bit identical to
+     * a build without the subsystem.)
+     */
+    const FaultInjector *faultInjector() const { return faults_.get(); }
+
+    /// @name Channel introspection for the runtime watchdogs.
+    /// @{
+    const Channel<Flit> *
+    flitChannel(NodeId n, Direction d) const
+    {
+        return flitCh_.at(n)[d].get();
+    }
+
+    const Channel<Credit> *
+    creditChannel(NodeId n, Direction d) const
+    {
+        return creditCh_.at(n)[d].get();
+    }
+
+    const Channel<CtlMsg> *
+    ctlChannel(NodeId n, Direction d) const
+    {
+        return ctlCh_.at(n)[d].get();
+    }
+    /// @}
+
   private:
     void deliver();
 
@@ -106,6 +138,10 @@ class Network
     std::vector<std::unique_ptr<Router>> routers_;
     /** Dedicated NACK network (drop-based flow control only). */
     std::unique_ptr<NackFabric> nackFabric_;
+    /** Fault injector (nullptr unless cfg.faults.any()). */
+    std::unique_ptr<FaultInjector> faults_;
+    /** Runtime auditor (nullptr unless cfg.watchdog.enabled). */
+    std::unique_ptr<Watchdog> watchdog_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<EnergyLedger>> ledgers_;
 

@@ -1,15 +1,23 @@
 #include "network/nic.hh"
 
 #include "common/log.hh"
+#include "energy/energy.hh"
 
 namespace afcsim
 {
 
 Nic::Nic(NodeId node, const NetworkConfig &cfg, PacketId *packet_counter)
     : node_(node), numVnets_(cfg.numVnets()), packetCounter_(packet_counter),
-      queues_(cfg.numVnets())
+      rel_(cfg.reliability), queues_(cfg.numVnets())
 {
     AFCSIM_ASSERT(packet_counter != nullptr, "NIC needs a packet counter");
+    // After this long past completion no retransmitted copy can still
+    // be in flight: the source stops resending at the ack, and the
+    // last copy left at most one (backed-off) timeout earlier.
+    Cycle worst_wait = rel_.timeoutCycles;
+    for (int i = 0; i < rel_.maxRetries; ++i)
+        worst_wait = static_cast<Cycle>(worst_wait * rel_.backoffFactor);
+    completedHorizon_ = worst_wait + 10000;
 }
 
 PacketId
@@ -21,6 +29,22 @@ Nic::sendPacket(NodeId dest, VnetId vnet, int length, Cycle now,
     AFCSIM_ASSERT(dest != node_, "self-addressed packet at node ", node_);
 
     PacketId id = (*packetCounter_)++;
+    bool protect = rel_.enabled &&
+                   retransmit_.size() <
+                       static_cast<std::size_t>(rel_.bufferPackets);
+    if (rel_.enabled && !protect)
+        ++stats_.retransmitOverflows;
+
+    RetransmitEntry *entry = nullptr;
+    if (protect) {
+        RetransmitEntry &e = retransmit_[id];
+        e.vnet = vnet;
+        e.wait = rel_.timeoutCycles;
+        e.deadline = now + e.wait;
+        e.flits.reserve(length);
+        entry = &e;
+    }
+
     for (int i = 0; i < length; ++i) {
         Flit f;
         f.packet = id;
@@ -40,10 +64,15 @@ Nic::sendPacket(NodeId dest, VnetId vnet, int length, Cycle now,
             f.type = FlitType::Body;
         }
         f.tag = tag;
+        if (protect) {
+            f.guard();
+            entry->flits.push_back(f);
+        }
         queues_[vnet].push_back(f);
     }
     ++stats_.packetsInjected;
     stats_.flitsInjected += length;
+    lifetime_.flitsInjected += length;
     return id;
 }
 
@@ -51,6 +80,75 @@ void
 Nic::setDeliveryHandler(DeliveryHandler handler)
 {
     handler_ = std::move(handler);
+}
+
+void
+Nic::setAckHandler(AckHandler handler)
+{
+    ackFn_ = std::move(handler);
+}
+
+void
+Nic::onAcked(PacketId packet)
+{
+    retransmit_.erase(packet);
+}
+
+void
+Nic::tick(Cycle now)
+{
+    if (!rel_.enabled)
+        return;
+
+    for (auto it = retransmit_.begin(); it != retransmit_.end();) {
+        RetransmitEntry &e = it->second;
+        if (e.deadline > now) {
+            ++it;
+            continue;
+        }
+        if (e.retries >= rel_.maxRetries) {
+            ++stats_.packetsFailed;
+            it = retransmit_.erase(it);
+            continue;
+        }
+        ++e.retries;
+        ++stats_.packetsRetransmitted;
+        stats_.flitsRetransmitted += e.flits.size();
+        lifetime_.flitsRetransmitted += e.flits.size();
+        // Re-enqueue the stored copies ahead of new traffic. Each
+        // copy is read out of the retransmit buffer (charged); the
+        // deadline re-arms when the copy's tail re-enters the network
+        // (popInjection), so only in-network loss restarts the clock.
+        // If the router is mid-way through pulling a packet from this
+        // queue (its head already popped), splice after that packet's
+        // remaining flits — a resent head must not split it.
+        auto &q = queues_.at(e.vnet);
+        auto pos = q.begin();
+        if (!q.empty() && !q.front().isHead()) {
+            while (pos != q.end() && !pos->isTail())
+                ++pos;
+            if (pos != q.end())
+                ++pos;
+        }
+        q.insert(pos, e.flits.begin(), e.flits.end());
+        if (ledger_) {
+            for (std::size_t i = 0; i < e.flits.size(); ++i)
+                ledger_->bufferRead();
+        }
+        e.wait = static_cast<Cycle>(e.wait * rel_.backoffFactor);
+        e.deadline = now + e.wait;
+        ++it;
+    }
+
+    // Prune the completed-packet memory on a coarse cadence.
+    if ((now & 1023) == 0 && !completedAt_.empty()) {
+        for (auto it = completedAt_.begin(); it != completedAt_.end();) {
+            if (it->second + completedHorizon_ < now)
+                it = completedAt_.erase(it);
+            else
+                ++it;
+        }
+    }
 }
 
 bool
@@ -73,6 +171,15 @@ Nic::popInjection(VnetId vnet, Cycle now)
     Flit f = queues_[vnet].front();
     queues_[vnet].pop_front();
     f.injectTime = now;
+    if (rel_.enabled &&
+        (f.type == FlitType::Tail || f.type == FlitType::Single)) {
+        // The whole packet is now in the network: start (or restart)
+        // the retransmit timer from here rather than from enqueue, so
+        // source-queue waiting never triggers a spurious resend.
+        auto it = retransmit_.find(f.packet);
+        if (it != retransmit_.end())
+            it->second.deadline = now + it->second.wait;
+    }
     if (tracer_)
         tracer_->onInject(node_, f, now);
     return f;
@@ -94,19 +201,38 @@ Nic::queuedFlits(VnetId vnet) const
 }
 
 void
+Nic::discardDuplicate(const Flit &flit, Cycle now)
+{
+    ++stats_.flitsDuplicate;
+    ++lifetime_.flitsDuplicate;
+    if (tracer_)
+        tracer_->onDrop(node_, flit, now);
+}
+
+void
 Nic::eject(const Flit &flit, Cycle now)
 {
     AFCSIM_ASSERT(flit.dest == node_,
                   "misdelivered ", flit.describe(), " at node ", node_);
 
-    if (tracer_)
-        tracer_->onDeliver(node_, flit, now);
+    // End-to-end checksum: a corrupted flit is discarded here and the
+    // loss is repaired by source retransmission. (In-network flow
+    // control never sees the loss — the corruption-only fault model
+    // keeps credits/deflections consistent.)
+    if (flit.guarded && !flit.checksumOk()) {
+        ++stats_.flitsCorrupted;
+        ++lifetime_.flitsCorrupted;
+        if (tracer_)
+            tracer_->onDrop(node_, flit, now);
+        return;
+    }
 
-    ++stats_.flitsDelivered;
-    stats_.flitLatency.add(static_cast<double>(now - flit.injectTime));
-    stats_.hops.add(flit.hops);
-    stats_.deflections.add(flit.deflections);
-    stats_.totalDeflections += flit.deflections;
+    // A straggler copy of a packet that already completed must not
+    // re-open a reassembly entry.
+    if (rel_.enabled && completedAt_.count(flit.packet)) {
+        discardDuplicate(flit, now);
+        return;
+    }
 
     auto [it, inserted] = reassembly_.try_emplace(flit.packet);
     Reassembly &r = it->second;
@@ -118,16 +244,35 @@ Nic::eject(const Flit &flit, Cycle now)
         maxReassemblies_ = std::max(maxReassemblies_, reassembly_.size());
     }
     AFCSIM_ASSERT(flit.seq < r.seen.size(), "flit seq out of range");
-    AFCSIM_ASSERT(!r.seen[flit.seq],
-                  "duplicate flit delivery: ", flit.describe());
+    if (r.seen[flit.seq]) {
+        // Without retransmission the network must never duplicate.
+        AFCSIM_ASSERT(rel_.enabled,
+                      "duplicate flit delivery: ", flit.describe());
+        discardDuplicate(flit, now);
+        return;
+    }
     r.seen[flit.seq] = true;
     ++r.received;
+
+    if (tracer_)
+        tracer_->onDeliver(node_, flit, now);
+    ++stats_.flitsDelivered;
+    ++lifetime_.flitsDelivered;
+    stats_.flitLatency.add(static_cast<double>(now - flit.injectTime));
+    stats_.hops.add(flit.hops);
+    stats_.deflections.add(flit.deflections);
+    stats_.totalDeflections += flit.deflections;
 
     if (r.received == static_cast<int>(r.seen.size())) {
         ++stats_.packetsDelivered;
         stats_.packetLatency.add(static_cast<double>(now - r.createTime));
         stats_.packetLatencyHist.add(
             static_cast<double>(now - r.createTime));
+        if (rel_.enabled) {
+            completedAt_.emplace(flit.packet, now);
+            if (ackFn_)
+                ackFn_(r.src, flit.packet);
+        }
         if (handler_) {
             PacketInfo info;
             info.packet = flit.packet;

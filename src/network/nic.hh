@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +24,25 @@
 
 namespace afcsim
 {
+
+class EnergyLedger;
+
+/**
+ * Never-reset per-NIC flit accounting used by the conservation
+ * watchdog (src/fault). NetStats resets at the measurement-window
+ * boundary, so the watchdog needs its own lifetime counters:
+ * injected + retransmitted == delivered + corrupted + duplicate
+ *                             + queued + in-flight
+ * holds at every cycle under the corruption-only fault model.
+ */
+struct NicLifetime
+{
+    std::uint64_t flitsInjected = 0;      ///< unique flits enqueued
+    std::uint64_t flitsRetransmitted = 0; ///< re-enqueued copies
+    std::uint64_t flitsDelivered = 0;     ///< accepted by reassembly
+    std::uint64_t flitsCorrupted = 0;     ///< discarded: bad checksum
+    std::uint64_t flitsDuplicate = 0;     ///< discarded: already seen
+};
 
 /** Summary of a fully reassembled packet, passed to delivery hooks. */
 struct PacketInfo
@@ -47,6 +67,8 @@ class Nic
 {
   public:
     using DeliveryHandler = std::function<void(const PacketInfo &)>;
+    /** Out-of-band ack: (source node, packet) — see onAcked(). */
+    using AckHandler = std::function<void(NodeId, PacketId)>;
 
     Nic(NodeId node, const NetworkConfig &cfg, PacketId *packet_counter);
 
@@ -66,6 +88,33 @@ class Nic
     /** Attach an event tracer (nullptr disables tracing). */
     void attachTracer(FlitTracer *tracer) { tracer_ = tracer; }
 
+    /// @name End-to-end reliability layer (cfg.reliability).
+    /// @{
+    /**
+     * Register the ack path. When a packet completes reassembly the
+     * destination NIC invokes this with (src, packet); the Network
+     * wires it to the source NIC's onAcked(). Acks are modeled as
+     * out-of-band and free so the fault-free fast path is untouched.
+     */
+    void setAckHandler(AckHandler handler);
+
+    /** The destination acked `packet`: release its retransmit slot. */
+    void onAcked(PacketId packet);
+
+    /** Ledger charged for retransmit-buffer reads (nullptr: none). */
+    void attachLedger(EnergyLedger *ledger) { ledger_ = ledger; }
+
+    /**
+     * Per-cycle reliability bookkeeping: expire retransmit timers,
+     * re-enqueue timed-out packets (with exponential backoff), give
+     * up after maxRetries. No-op when reliability is disabled.
+     */
+    void tick(Cycle now);
+
+    /** Packets parked in the source retransmit buffer. */
+    std::size_t retransmitPending() const { return retransmit_.size(); }
+    /// @}
+
     /// @name Injection-side interface used by routers.
     /// @{
     bool hasInjectable(VnetId vnet) const;
@@ -83,17 +132,25 @@ class Nic
     const NetStats &stats() const { return stats_; }
     NetStats &stats() { return stats_; }
 
+    /** Never-reset counters for the conservation watchdog. */
+    const NicLifetime &lifetime() const { return lifetime_; }
+
     /** Packets currently awaiting missing flits. */
     std::size_t pendingReassemblies() const { return reassembly_.size(); }
 
     /** High-water mark of concurrent reassembly entries (MSHR use). */
     std::size_t maxReassemblies() const { return maxReassemblies_; }
 
-    /** True when no flits are queued and no packet is half-received. */
+    /**
+     * True when no flits are queued, no packet is half-received, and
+     * no packet is awaiting an end-to-end ack (a pending retransmit
+     * slot means this NIC may still re-inject traffic).
+     */
     bool
     quiescent() const
     {
-        return queuedFlits() == 0 && reassembly_.empty();
+        return queuedFlits() == 0 && reassembly_.empty() &&
+               retransmit_.empty();
     }
 
   private:
@@ -106,15 +163,41 @@ class Nic
         std::uint64_t tag = 0;
     };
 
+    /** Source-side copy of an unacked packet. */
+    struct RetransmitEntry
+    {
+        std::vector<Flit> flits; ///< guarded copies, pre-corruption
+        VnetId vnet = 0;
+        Cycle deadline = kNeverCycle;
+        Cycle wait = 0; ///< current timeout (grows by backoffFactor)
+        int retries = 0;
+    };
+
+    void discardDuplicate(const Flit &flit, Cycle now);
+
     NodeId node_;
     int numVnets_;
     PacketId *packetCounter_;
+    ReliabilitySpec rel_;
     std::vector<std::deque<Flit>> queues_;
     std::unordered_map<PacketId, Reassembly> reassembly_;
     std::size_t maxReassemblies_ = 0;
     DeliveryHandler handler_;
+    AckHandler ackFn_;
+    EnergyLedger *ledger_ = nullptr;
     FlitTracer *tracer_ = nullptr;
     NetStats stats_;
+    NicLifetime lifetime_;
+    /** Unacked packets, ordered for deterministic timeout sweeps. */
+    std::map<PacketId, RetransmitEntry> retransmit_;
+    /**
+     * Completion times of recently delivered packets, so straggler
+     * duplicates of an already-complete packet are recognized instead
+     * of re-opening a reassembly entry. Pruned on a horizon well past
+     * the last possible retransmitted copy.
+     */
+    std::unordered_map<PacketId, Cycle> completedAt_;
+    Cycle completedHorizon_ = 0;
 };
 
 } // namespace afcsim

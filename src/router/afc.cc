@@ -1,5 +1,7 @@
 #include "router/afc.hh"
 
+#include "common/error.hh"
+
 namespace afcsim
 {
 
@@ -87,12 +89,14 @@ AfcRouter::acceptFlit(Direction in_port, const Flit &flit, Cycle now)
                 return;
             }
         }
-        AFCSIM_PANIC("lazy-VCA buffer overflow at node ", node_,
-                     " port ", dirName(in_port), " ", flit.describe(),
-                     " — credit/gossip protocol violated");
+        AFCSIM_SIM_ERROR("lazy-VCA buffer overflow at node ", node_,
+                         " port ", dirName(in_port), " ",
+                         flit.describe(),
+                         " — credit/gossip protocol violated");
     } else {
-        AFCSIM_ASSERT(static_cast<int>(incoming_.size()) < kNumNetPorts,
-                      "more arrivals than links at node ", node_);
+        AFCSIM_SIM_ASSERT(static_cast<int>(incoming_.size()) <
+                              kNumNetPorts,
+                          "more arrivals than links at node ", node_);
         incoming_.push_back(flit);
         if (ledger_)
             ledger_->latchWrite();
@@ -104,8 +108,8 @@ AfcRouter::acceptCredit(Direction out_port, const Credit &credit, Cycle)
 {
     int &c = freeSlots_[out_port][credit.vnet];
     ++c;
-    AFCSIM_ASSERT(c <= shape_.count(credit.vnet),
-                  "per-vnet credit overflow at node ", node_);
+    AFCSIM_SIM_ASSERT(c <= shape_.count(credit.vnet),
+                      "per-vnet credit overflow at node ", node_);
 }
 
 void
@@ -133,9 +137,10 @@ AfcRouter::consumeDownstreamSlot(Direction d, VnetId vnet)
         return;
     int &c = freeSlots_[d][vnet];
     --c;
-    AFCSIM_ASSERT(c >= 0, "downstream slot underflow at node ", node_,
-                  " port ", dirName(d),
-                  " — gossip reserve X too small");
+    AFCSIM_SIM_ASSERT(c >= 0,
+                      "downstream slot underflow at node ", node_,
+                      " port ", dirName(d),
+                      " — gossip reserve X too small");
 }
 
 void
@@ -441,6 +446,34 @@ int
 AfcRouter::downstreamFreeSlots(Direction d, VnetId v) const
 {
     return freeSlots_.at(d).at(v);
+}
+
+int
+AfcRouter::occupiedSlots(Direction in_port, VnetId v) const
+{
+    int n = 0;
+    for (const auto &slot : buffers_.at(in_port).at(v)) {
+        if (slot.full)
+            ++n;
+    }
+    return n;
+}
+
+void
+AfcRouter::visitFlits(const std::function<void(const Flit &)> &fn) const
+{
+    for (const auto &f : current_)
+        fn(f);
+    for (const auto &f : incoming_)
+        fn(f);
+    for (const auto &port : buffers_) {
+        for (const auto &group : port) {
+            for (const auto &slot : group) {
+                if (slot.full)
+                    fn(slot.flit);
+            }
+        }
+    }
 }
 
 } // namespace afcsim

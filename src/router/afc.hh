@@ -75,7 +75,12 @@ class AfcRouter : public Router
     bool trackingDownstream(Direction d) const { return tracking_.at(d); }
     int downstreamFreeSlots(Direction d, VnetId v) const;
     std::size_t bufferedFlits() const;
+    /** Occupied lazy-VCA slots of vnet `v` at input port `in_port`. */
+    int occupiedSlots(Direction in_port, VnetId v) const;
     /// @}
+
+    void visitFlits(
+        const std::function<void(const Flit &)> &fn) const override;
 
   private:
     /** One 1-flit lazy VC slot. */

@@ -1,5 +1,7 @@
 #include "router/backpressured.hh"
 
+#include "common/error.hh"
+
 namespace afcsim
 {
 
@@ -35,15 +37,19 @@ BackpressuredRouter::acceptFlit(Direction in_port, const Flit &flit,
     AFCSIM_ASSERT(flit.vc >= 0 && flit.vc < shape_.totalVcs(),
                   "arriving flit without a VC: ", flit.describe());
     InVc &vc = inputs_[in_port][flit.vc];
-    AFCSIM_ASSERT(static_cast<int>(vc.q.size()) <
-                  shape_.depth(flit.vnet),
-                  "buffer overflow at node ", node_, " port ",
-                  dirName(in_port), " ", flit.describe());
+    AFCSIM_SIM_ASSERT(static_cast<int>(vc.q.size()) <
+                      shape_.depth(flit.vnet),
+                      "buffer overflow at node ", node_, " port ",
+                      dirName(in_port), " ", flit.describe());
     // Packets must be contiguous within a VC (upstream rule R1).
     if (flit.isHead()) {
-        AFCSIM_ASSERT(!vc.writeOpen, "head interleaved into open VC");
+        AFCSIM_SIM_ASSERT(!vc.writeOpen,
+                          "head interleaved into open VC at node ",
+                          node_, " ", flit.describe());
     } else {
-        AFCSIM_ASSERT(vc.writeOpen, "body flit into idle VC");
+        AFCSIM_SIM_ASSERT(vc.writeOpen,
+                          "body flit into idle VC at node ", node_,
+                          " ", flit.describe());
     }
     vc.writeOpen = !flit.isTail();
     vc.q.push_back({flit, now + 1});
@@ -60,8 +66,8 @@ BackpressuredRouter::acceptCredit(Direction out_port, const Credit &credit,
                   "credit without VC");
     int &c = credits_[out_port][credit.vc];
     ++c;
-    AFCSIM_ASSERT(c <= shape_.depth(shape_.vnetOf(credit.vc)),
-                  "credit overflow at node ", node_);
+    AFCSIM_SIM_ASSERT(c <= shape_.depth(shape_.vnetOf(credit.vc)),
+                      "credit overflow at node ", node_);
 }
 
 VcId
@@ -192,8 +198,8 @@ BackpressuredRouter::dispatch(Direction p, const Candidate &cand, Cycle now)
         }
         AFCSIM_ASSERT(vc.bound, "dispatching net flit without VCA");
         --credits_[cand.route][vc.outVc];
-        AFCSIM_ASSERT(credits_[cand.route][vc.outVc] >= 0,
-                      "negative credits");
+        AFCSIM_SIM_ASSERT(credits_[cand.route][vc.outVc] >= 0,
+                          "negative credits at node ", node_);
         flit.vc = vc.outVc;
         if (flit.isTail()) {
             outVcBusy_[cand.route][vc.outVc] = false;
@@ -284,6 +290,24 @@ BackpressuredRouter::bufferedAt(Direction in_port) const
     for (const auto &vc : inputs_.at(in_port))
         n += vc.q.size();
     return n;
+}
+
+std::size_t
+BackpressuredRouter::bufferedInVc(Direction in_port, VcId vc) const
+{
+    return inputs_.at(in_port).at(vc).q.size();
+}
+
+void
+BackpressuredRouter::visitFlits(
+    const std::function<void(const Flit &)> &fn) const
+{
+    for (const auto &port : inputs_) {
+        for (const auto &vc : port) {
+            for (const auto &b : vc.q)
+                fn(b.flit);
+        }
+    }
 }
 
 } // namespace afcsim

@@ -46,7 +46,12 @@ class BackpressuredRouter : public Router
     int creditsFor(Direction out_port, VcId vc) const;
     bool outVcBusy(Direction out_port, VcId vc) const;
     std::size_t bufferedAt(Direction in_port) const;
+    /** Occupancy of one input VC (watchdog credit audit). */
+    std::size_t bufferedInVc(Direction in_port, VcId vc) const;
     /// @}
+
+    void visitFlits(
+        const std::function<void(const Flit &)> &fn) const override;
 
   private:
     struct BufferedFlit

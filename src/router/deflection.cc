@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
+
 namespace afcsim
 {
 
@@ -71,9 +73,9 @@ DeflectionEngine::assign(std::vector<Flit> flits, Rng &rng,
                 placed = true;
             }
         }
-        AFCSIM_ASSERT(placed,
-                      "deflection router out of ports at node ", node_,
-                      " for ", f.describe());
+        AFCSIM_SIM_ASSERT(placed,
+                          "deflection router out of ports at node ",
+                          node_, " for ", f.describe());
     }
 
     // Injection opportunity: any port still free? Prefer a
@@ -116,8 +118,8 @@ DeflectionRouter::acceptFlit(Direction in_port, const Flit &flit, Cycle)
 {
     AFCSIM_ASSERT(in_port >= 0 && in_port < kNumNetPorts,
                   "network flit on non-network port");
-    AFCSIM_ASSERT(static_cast<int>(incoming_.size()) < kNumNetPorts,
-                  "more arrivals than links at node ", node_);
+    AFCSIM_SIM_ASSERT(static_cast<int>(incoming_.size()) < kNumNetPorts,
+                      "more arrivals than links at node ", node_);
     incoming_.push_back(flit);
     if (ledger_)
         ledger_->latchWrite();
@@ -186,6 +188,16 @@ std::size_t
 DeflectionRouter::occupancy() const
 {
     return current_.size() + incoming_.size();
+}
+
+void
+DeflectionRouter::visitFlits(
+    const std::function<void(const Flit &)> &fn) const
+{
+    for (const auto &f : current_)
+        fn(f);
+    for (const auto &f : incoming_)
+        fn(f);
 }
 
 } // namespace afcsim

@@ -47,6 +47,9 @@ class DeflectionRouter : public Router
         return RouterMode::Backpressureless;
     }
 
+    void visitFlits(
+        const std::function<void(const Flit &)> &fn) const override;
+
   private:
     Rng rng_;
     DeflectionPolicy policy_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
+
 namespace afcsim
 {
 
@@ -26,8 +28,8 @@ DropRouter::acceptFlit(Direction in_port, const Flit &flit, Cycle)
 {
     AFCSIM_ASSERT(in_port >= 0 && in_port < kNumNetPorts,
                   "network flit on non-network port");
-    AFCSIM_ASSERT(static_cast<int>(incoming_.size()) < kNumNetPorts,
-                  "more arrivals than links at node ", node_);
+    AFCSIM_SIM_ASSERT(static_cast<int>(incoming_.size()) < kNumNetPorts,
+                      "more arrivals than links at node ", node_);
     incoming_.push_back(flit);
     if (ledger_)
         ledger_->latchWrite();
@@ -76,9 +78,9 @@ DropRouter::evaluate(Cycle now)
     for (const NackFabric::Nack &nack :
          fabric_->arrivalsFor(node_, now)) {
         auto it = pending_.find(flitKey(nack.packet, nack.seq));
-        AFCSIM_ASSERT(it != pending_.end(),
-                      "NACK for unknown flit at node ", node_,
-                      " — NACK delay bound too small");
+        AFCSIM_SIM_ASSERT(it != pending_.end(),
+                          "NACK for unknown flit at node ", node_,
+                          " — NACK delay bound too small");
         retransmitQ_.push_back(it->second.flit);
         pending_.erase(it);
     }
@@ -198,6 +200,17 @@ std::size_t
 DropRouter::retransmitBufferUse() const
 {
     return pending_.size() + retransmitQ_.size();
+}
+
+void
+DropRouter::visitFlits(const std::function<void(const Flit &)> &fn) const
+{
+    for (const auto &f : current_)
+        fn(f);
+    for (const auto &f : incoming_)
+        fn(f);
+    for (const auto &f : retransmitQ_)
+        fn(f);
 }
 
 } // namespace afcsim

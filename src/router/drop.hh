@@ -113,6 +113,9 @@ class DropRouter : public Router
     std::uint64_t retransmissions() const { return retransmissions_; }
     /// @}
 
+    void visitFlits(
+        const std::function<void(const Flit &)> &fn) const override;
+
   private:
     struct PendingFlit
     {

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 
 #include "common/config.hh"
 #include "common/types.hh"
@@ -102,6 +103,11 @@ class Router
     /** Flits currently held (buffers + pipeline latches). */
     virtual std::size_t occupancy() const = 0;
     virtual RouterMode mode() const = 0;
+    /** Visit every flit currently held (watchdog age audits). */
+    virtual void
+    visitFlits(const std::function<void(const Flit &)> &) const
+    {
+    }
     /// @}
 
     NodeId node() const { return node_; }

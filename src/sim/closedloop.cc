@@ -1,7 +1,9 @@
 #include "sim/closedloop.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "fault/fault.hh"
 
 namespace afcsim
 {
@@ -81,9 +83,11 @@ ClosedLoopSystem::run(Cycle max_cycles)
         net_.step();
     }
 
-    AFCSIM_ASSERT(net_.now() < max_cycles,
-                  "closed-loop run did not complete: workload ",
-                  profile_.name, " fc ", toString(net_.flowControl()));
+    AFCSIM_SIM_ASSERT(net_.now() < max_cycles,
+                      "closed-loop run exceeded its cycle budget (",
+                      max_cycles, " cycles) without completing: workload ",
+                      profile_.name, " fc ",
+                      toString(net_.flowControl()));
 
     ClosedLoopResult res;
     res.fc = net_.flowControl();
@@ -92,6 +96,8 @@ ClosedLoopSystem::run(Cycle max_cycles)
     res.transactions = totalCompleted();
     res.net = net_.aggregateStats();
     res.energy = net_.aggregateEnergy().diff(e0);
+    if (net_.faultInjector())
+        res.faults = net_.faultInjector()->stats();
 
     double node_cycles = static_cast<double>(n) * res.runtime;
     res.injectionRate = node_cycles > 0

@@ -14,6 +14,7 @@
 
 #include "common/config.hh"
 #include "energy/energy.hh"
+#include "fault/fault.hh"
 #include "network/network.hh"
 #include "sim/core.hh"
 #include "sim/l2bank.hh"
@@ -39,6 +40,7 @@ struct ClosedLoopResult
     std::uint64_t gossipSwitches = 0;
     EnergyReport energy;           ///< measurement window only
     NetStats net;
+    FaultStats faults;             ///< whole run (zero if no faults)
 
     /** Performance = transactions per cycle (higher is better). */
     double

@@ -1,5 +1,6 @@
 #include "sim/workload.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace afcsim
@@ -115,7 +116,7 @@ workloadByName(const std::string &name)
         if (w.name == name)
             return w;
     }
-    AFCSIM_FATAL("unknown workload '", name, "'");
+    AFCSIM_CONFIG_ERROR("unknown workload '", name, "'");
 }
 
 std::vector<WorkloadProfile>

@@ -1,5 +1,6 @@
 #include "traffic/openloop.hh"
 
+#include "fault/fault.hh"
 #include "traffic/injector.hh"
 #include "traffic/patterns.hh"
 
@@ -45,6 +46,8 @@ runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
     res.measuredCycles = ol.measureCycles;
     res.stats = net.aggregateStats();
     res.energy = net.aggregateEnergy().diff(e0);
+    if (net.faultInjector())
+        res.faults = net.faultInjector()->stats();
 
     double node_cycles = static_cast<double>(n) * ol.measureCycles;
     res.offeredRate = inj.offeredFlits() / node_cycles;

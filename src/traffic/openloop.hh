@@ -14,6 +14,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "energy/energy.hh"
+#include "fault/fault.hh"
 #include "network/network.hh"
 
 namespace afcsim
@@ -37,6 +38,8 @@ struct OpenLoopResult
     Cycle measuredCycles = 0;
     NetStats stats;
     EnergyReport energy;
+    /** Injected-fault counters for the whole run (zero if no faults). */
+    FaultStats faults;
 };
 
 /**

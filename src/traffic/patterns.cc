@@ -1,5 +1,6 @@
 #include "traffic/patterns.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace afcsim
@@ -20,7 +21,7 @@ TransposePattern::TransposePattern(const Mesh &mesh)
     : mesh_(mesh), fallback_(mesh)
 {
     if (mesh.width() != mesh.height())
-        AFCSIM_FATAL("transpose pattern requires a square mesh");
+        AFCSIM_CONFIG_ERROR("transpose pattern requires a square mesh");
 }
 
 NodeId
@@ -79,7 +80,7 @@ QuadrantPattern::QuadrantPattern(const Mesh &mesh)
     : mesh_(mesh)
 {
     if (mesh.width() < 4 || mesh.height() < 4)
-        AFCSIM_FATAL("quadrant pattern needs at least a 4x4 mesh");
+        AFCSIM_CONFIG_ERROR("quadrant pattern needs at least a 4x4 mesh");
 }
 
 int
@@ -127,7 +128,7 @@ makePattern(const std::string &name, const Mesh &mesh)
         return std::make_unique<NearNeighborPattern>(mesh);
     if (name == "quadrant")
         return std::make_unique<QuadrantPattern>(mesh);
-    AFCSIM_FATAL("unknown traffic pattern '", name, "'");
+    AFCSIM_CONFIG_ERROR("unknown traffic pattern '", name, "'");
 }
 
 } // namespace afcsim

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/error.hh"
 #include "network/network.hh"
 #include "testutil.hh"
 
@@ -20,14 +23,13 @@ namespace
 
 TEST(Ablation, GossipIsRequiredForCorrectness)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     // Same scenario as AfcProtocol.GossipFiresAtReserveThreshold —
     // backpressureless edges streaming into a backpressured center —
     // but with the gossip switch disabled. The upstream now keeps
     // deflecting flits into the neighbor without regard for its
     // buffers; the simulator detects the protocol violation (credit
     // underflow at the upstream or buffer overflow at the center)
-    // and panics.
+    // and raises a recoverable SimError.
     auto scenario = [] {
         NetworkConfig cfg = testConfig(3, 3);
         cfg.afcVnets = {{5, 1}, {5, 1}, {5, 1}};
@@ -36,6 +38,9 @@ TEST(Ablation, GossipIsRequiredForCorrectness)
         cfg.afc.edgeHigh = 1e9;
         cfg.afc.cornerHigh = 1e9;
         cfg.afc.disableGossipUnsafe = true;
+        // Let the router's own protocol check (not the periodic
+        // credit watchdog) be the one that reports the violation.
+        cfg.watchdog.creditCheck = false;
         Network net(cfg, FlowControl::Afc);
         for (int k = 0; k < 2000; ++k) {
             // Two flows fight for the center's east output: 3 -> 5
@@ -49,7 +54,15 @@ TEST(Ablation, GossipIsRequiredForCorrectness)
         }
         net.drain(100000);
     };
-    EXPECT_DEATH(scenario(), "underflow|overflow");
+    try {
+        scenario();
+        FAIL() << "expected a SimError protocol violation";
+    } catch (const SimError &e) {
+        std::string msg = e.what();
+        EXPECT_TRUE(msg.find("underflow") != std::string::npos ||
+                    msg.find("overflow") != std::string::npos)
+            << msg;
+    }
 }
 
 TEST(Ablation, GossipEnabledSameScenarioIsSafe)

@@ -7,8 +7,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "common/configfile.hh"
+#include "common/error.hh"
 
 namespace afcsim
 {
@@ -89,42 +91,80 @@ TEST(ConfigFile, LoadFromDisk)
     std::remove(path.c_str());
 }
 
-TEST(ConfigFile, DeathOnUnknownKey)
+/** Expect a ConfigError whose message contains `substr`. */
+template <typename Fn>
+void
+expectConfigError(Fn fn, const std::string &substr)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    try {
+        fn();
+        FAIL() << "expected ConfigError containing '" << substr << "'";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ConfigFile, ErrorOnUnknownKey)
+{
     NetworkConfig cfg;
-    EXPECT_EXIT(applyConfigKey(cfg, "wdith", "3"),
-                ::testing::ExitedWithCode(1), "unknown config key");
+    expectConfigError([&] { applyConfigKey(cfg, "wdith", "3"); },
+                      "unknown config key");
 }
 
-TEST(ConfigFile, DeathOnBadNumber)
+TEST(ConfigFile, ErrorOnBadNumber)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     NetworkConfig cfg;
-    EXPECT_EXIT(applyConfigKey(cfg, "width", "abc"),
-                ::testing::ExitedWithCode(1), "bad integer");
+    expectConfigError([&] { applyConfigKey(cfg, "width", "abc"); },
+                      "bad integer");
 }
 
-TEST(ConfigFile, DeathOnMalformedLine)
+TEST(ConfigFile, ErrorOnMalformedLine)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-    EXPECT_EXIT(parseNetworkConfig("width 3\n"),
-                ::testing::ExitedWithCode(1), "expected");
+    expectConfigError([] { parseNetworkConfig("width 3\n"); },
+                      "expected");
 }
 
-TEST(ConfigFile, DeathOnBadShape)
+TEST(ConfigFile, ErrorOnBadShape)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-    EXPECT_EXIT(parseNetworkConfig("vnets = 2-8\n"),
-                ::testing::ExitedWithCode(1), "NxD");
+    expectConfigError([] { parseNetworkConfig("vnets = 2-8\n"); }, "NxD");
 }
 
 TEST(ConfigFile, ParsedConfigValidates)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-    // validate() runs at parse time: a 1-wide mesh must die.
-    EXPECT_EXIT(parseNetworkConfig("width = 1\n"),
-                ::testing::ExitedWithCode(1), "at least 2x2");
+    // validate() runs at parse time: a 1-wide mesh is rejected.
+    expectConfigError([] { parseNetworkConfig("width = 1\n"); },
+                      "at least 2x2");
+}
+
+TEST(ConfigFile, FaultReliabilityWatchdogKeys)
+{
+    NetworkConfig cfg = parseNetworkConfig(
+        "fault.corrupt_rate = 0.01\n"
+        "fault.stall_rate = 0.001\n"
+        "fault.stall_max = 16\n"
+        "fault.fail_at_cycle = 5000\n"
+        "reliability.enabled = true\n"
+        "reliability.timeout = 256\n"
+        "reliability.max_retries = 4\n"
+        "watchdog.interval = 512\n"
+        "watchdog.progress_window = 20000\n"
+        "watchdog.credit_check = false\n");
+    EXPECT_DOUBLE_EQ(cfg.faults.corruptRate, 0.01);
+    EXPECT_DOUBLE_EQ(cfg.faults.stallRate, 0.001);
+    EXPECT_EQ(cfg.faults.stallMaxCycles, 16u);
+    EXPECT_EQ(cfg.faults.failAtCycle, 5000u);
+    EXPECT_TRUE(cfg.faults.any());
+    EXPECT_TRUE(cfg.reliability.enabled);
+    EXPECT_EQ(cfg.reliability.timeoutCycles, 256u);
+    EXPECT_EQ(cfg.reliability.maxRetries, 4);
+    EXPECT_EQ(cfg.watchdog.intervalCycles, 512u);
+    EXPECT_EQ(cfg.watchdog.progressWindowCycles, 20000u);
+    EXPECT_FALSE(cfg.watchdog.creditCheck);
+
+    expectConfigError(
+        [] { parseNetworkConfig("fault.corrupt_rate = 1.5\n"); },
+        "fault.corrupt_rate");
 }
 
 } // namespace

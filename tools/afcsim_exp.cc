@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/table.hh"
@@ -57,7 +58,7 @@ class Args
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg.rfind("--", 0) != 0)
-                AFCSIM_FATAL("unexpected argument '", arg,
+                AFCSIM_CONFIG_ERROR("unexpected argument '", arg,
                              "' (options start with --)");
             arg = arg.substr(2);
             auto eq = arg.find('=');
@@ -112,7 +113,7 @@ class Args
             for (const auto &name : known)
                 ok = ok || name == k;
             if (!ok)
-                AFCSIM_FATAL("unknown option '--", k,
+                AFCSIM_CONFIG_ERROR("unknown option '--", k,
                              "' (see afcsim-exp --help)");
         }
     }
@@ -195,11 +196,10 @@ validateDocument(const JsonValue &doc)
     const JsonValue &runs = doc.at("runs");
     if (!runs.isArray() || runs.size() == 0)
         return "'runs' is empty or not an array";
+    std::size_t errors = 0;
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const JsonValue &run = runs.at(i);
-        for (const char *key :
-             {"index", "group", "flow_control", "seed", "metrics",
-              "energy", "net"})
+        for (const char *key : {"index", "group", "flow_control", "seed"})
             if (!run.has(key))
                 return "run " + std::to_string(i) +
                        " missing key '" + key + "'";
@@ -207,6 +207,18 @@ validateDocument(const JsonValue &doc)
             return "run " + std::to_string(i) + " has index " +
                    std::to_string(run.at("index").asInt()) +
                    " (grid order broken)";
+        if (run.has("error")) {
+            // Error record: identity + error text only.
+            ++errors;
+            if (run.at("error").asString().empty())
+                return "run " + std::to_string(i) +
+                       " has an empty error record";
+            continue;
+        }
+        for (const char *key : {"metrics", "energy", "net"})
+            if (!run.has(key))
+                return "run " + std::to_string(i) +
+                       " missing key '" + key + "'";
         const JsonValue &m = run.at("metrics");
         for (const char *key :
              {"runtime_cycles", "avg_packet_latency", "energy_total_pj"})
@@ -214,9 +226,10 @@ validateDocument(const JsonValue &doc)
                 return "run " + std::to_string(i) +
                        " metrics missing '" + key + "'";
     }
-    if (!doc.at("aggregates").isArray() ||
-        doc.at("aggregates").size() == 0)
-        return "'aggregates' is empty or not an array";
+    if (!doc.at("aggregates").isArray())
+        return "'aggregates' is not an array";
+    if (doc.at("aggregates").size() == 0 && errors < runs.size())
+        return "'aggregates' is empty despite successful runs";
     return "";
 }
 
@@ -308,7 +321,7 @@ printHelp()
 } // namespace
 
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     Args args(argc, argv);
     args.rejectUnknown({
@@ -344,7 +357,7 @@ main(int argc, char **argv)
     }
     applyOverrides(spec, args);
     if (args.has("validate") && !args.has("json"))
-        AFCSIM_FATAL("--validate needs --json PATH");
+        AFCSIM_CONFIG_ERROR("--validate needs --json PATH");
 
     int threads = static_cast<int>(args.getInt("threads", 1));
     ParallelRunner runner(threads);
@@ -376,4 +389,18 @@ main(int argc, char **argv)
         std::fprintf(stderr, "wrote %s\n", args.get("csv").c_str());
     }
     return rc;
+}
+
+int
+main(int argc, char **argv)
+{
+    // User mistakes (malformed spec files, unknown options, bad
+    // overrides) and recoverable sim failures surface as a clear
+    // message and a nonzero exit, never an abort or a stack trace.
+    try {
+        return runMain(argc, argv);
+    } catch (const afcsim::Error &e) {
+        std::fprintf(stderr, "afcsim-exp: error: %s\n", e.what());
+        return 1;
+    }
 }
