@@ -10,7 +10,7 @@
  *   - AFC-always-backpressured with a halved lazy shape
  *     (16 x 1 = 16/port), showing where buffering starts to matter.
  *
- * Options: measure=<n> warmup=<n>
+ * Options: measure=<n> warmup=<n> obs=<path|none>
  */
 
 #include <cstdio>
@@ -28,6 +28,7 @@ main(int argc, char **argv)
     OpenLoopConfig ol;
     ol.warmupCycles = opt.getInt("warmup", 3000);
     ol.measureCycles = opt.getInt("measure", 10000);
+    BenchProfile profile("ablation_lazy_vca", opt);
 
     printHeader("Ablation: lazy VCA buffer halving (Sec. III-E)",
                 "AFC's 32 flits/port matches the baseline's 64 "
@@ -41,6 +42,9 @@ main(int argc, char **argv)
     std::printf("%-8s%14s%16s%16s%14s%16s%16s\n", "rate", "BP64-lat",
                 "AFClazy32-lat", "AFClazy16-lat", "BP64-acc",
                 "AFClazy32-acc", "AFClazy16-acc");
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    profile.begin("sweep");
     for (double rate : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
         ol.injectionRate = rate;
         OpenLoopResult bp =
@@ -49,19 +53,25 @@ main(int argc, char **argv)
             lazy32, FlowControl::AfcAlwaysBackpressured, ol);
         OpenLoopResult l16 = runOpenLoop(
             lazy16, FlowControl::AfcAlwaysBackpressured, ol);
+        cycles += 3 * (ol.warmupCycles + ol.measureCycles);
+        for (const OpenLoopResult *r : {&bp, &l32, &l16})
+            events += r->stats.flitsInjected + r->stats.flitsDelivered;
         std::printf("%-8.2f%14.1f%16.1f%16.1f%14.3f%16.3f%16.3f\n",
                     rate, bp.avgPacketLatency, l32.avgPacketLatency,
                     l16.avgPacketLatency, bp.acceptedRate,
                     l32.acceptedRate, l16.acceptedRate);
     }
+    profile.end(cycles, events);
 
     std::printf("\nBuffer-leak energy per cycle ratio "
                 "(AFC-lazy-32 vs BP-64, both always powered): ");
     {
+        profile.begin("leak");
         Network a(lazy32, FlowControl::AfcAlwaysBackpressured);
         Network b(base, FlowControl::Backpressured);
         a.run(2000);
         b.run(2000);
+        profile.end(4000, 0);
         std::printf("%.3f (flit-width-adjusted: 32*49 / 64*41 = "
                     "%.3f)\n",
                     a.aggregateEnergy().component(
@@ -70,5 +80,6 @@ main(int argc, char **argv)
                             EnergyComponent::BufferLeak),
                     (32.0 * 49) / (64.0 * 41));
     }
+    profile.finish();
     return 0;
 }

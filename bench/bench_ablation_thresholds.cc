@@ -7,7 +7,7 @@
  * open-loop workload. Shows (1) the hysteresis gap suppressing
  * flapping and (2) EWMA smoothing suppressing transient switches.
  *
- * Options: rate=<f> measure=<n>
+ * Options: rate=<f> measure=<n> obs=<path|none>
  */
 
 #include <cstdio>
@@ -28,6 +28,8 @@ struct AblationRow
     double energyPerFlit;
     double bpFraction;
     std::uint64_t switches;
+    std::uint64_t simCycles;
+    std::uint64_t flitEvents;
 };
 
 AblationRow
@@ -52,6 +54,8 @@ runCase(NetworkConfig cfg, double rate, Cycle measure)
         ? net.aggregateEnergy().total() / s.flitsDelivered : 0.0;
     row.bpFraction = rs.backpressuredFraction();
     row.switches = rs.forwardSwitches + rs.reverseSwitches;
+    row.simCycles = ol.warmupCycles + ol.measureCycles;
+    row.flitEvents = s.flitsInjected + s.flitsDelivered;
     return row;
 }
 
@@ -63,12 +67,20 @@ main(int argc, char **argv)
     Options opt(argc, argv);
     double rate = opt.getDouble("rate", 0.45);
     Cycle measure = opt.getInt("measure", 15000);
+    BenchProfile profile("ablation_thresholds", opt);
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    auto closePhase = [&] {
+        profile.end(cycles, events);
+        cycles = events = 0;
+    };
 
     printHeader("Ablation: threshold scaling (paper thresholds x k)",
                 "k<1 switches earlier (more BP residency); k>1 "
                 "later; hysteresis keeps switch counts low");
     std::printf("%-8s%12s%14s%12s%12s\n", "k", "latency",
                 "energy/flit", "bp-frac", "switches");
+    profile.begin("threshold_scale");
     for (double k : {0.5, 0.75, 1.0, 1.5, 2.0}) {
         NetworkConfig cfg;
         cfg.afc.cornerHigh *= k;
@@ -78,38 +90,50 @@ main(int argc, char **argv)
         cfg.afc.centerHigh *= k;
         cfg.afc.centerLow *= k;
         AblationRow r = runCase(cfg, rate, measure);
+        cycles += r.simCycles;
+        events += r.flitEvents;
         std::printf("%-8.2f%12.1f%14.2f%12.3f%12llu\n", k, r.latency,
                     r.energyPerFlit, r.bpFraction,
                     static_cast<unsigned long long>(r.switches));
     }
+    closePhase();
 
     printHeader("Ablation: hysteresis (low = high x h)",
                 "h -> 1 collapses the hysteresis band; switch churn "
                 "rises");
     std::printf("%-8s%12s%14s%12s%12s\n", "h", "latency",
                 "energy/flit", "bp-frac", "switches");
+    profile.begin("hysteresis");
     for (double h : {0.5, 0.7, 0.9, 0.99}) {
         NetworkConfig cfg;
         cfg.afc.cornerLow = cfg.afc.cornerHigh * h;
         cfg.afc.edgeLow = cfg.afc.edgeHigh * h;
         cfg.afc.centerLow = cfg.afc.centerHigh * h;
         AblationRow r = runCase(cfg, rate, measure);
+        cycles += r.simCycles;
+        events += r.flitEvents;
         std::printf("%-8.2f%12.1f%14.2f%12.3f%12llu\n", h, r.latency,
                     r.energyPerFlit, r.bpFraction,
                     static_cast<unsigned long long>(r.switches));
     }
+    closePhase();
 
     printHeader("Ablation: EWMA weight (paper: 0.99)",
                 "lower weights react to bursts and flap more");
     std::printf("%-8s%12s%14s%12s%12s\n", "w", "latency",
                 "energy/flit", "bp-frac", "switches");
+    profile.begin("ewma_weight");
     for (double w : {0.0, 0.5, 0.9, 0.99, 0.999}) {
         NetworkConfig cfg;
         cfg.afc.ewmaWeight = w;
         AblationRow r = runCase(cfg, rate, measure);
+        cycles += r.simCycles;
+        events += r.flitEvents;
         std::printf("%-8.3f%12.1f%14.2f%12.3f%12llu\n", w, r.latency,
                     r.energyPerFlit, r.bpFraction,
                     static_cast<unsigned long long>(r.switches));
     }
+    closePhase();
+    profile.finish();
     return 0;
 }

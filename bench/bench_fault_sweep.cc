@@ -17,7 +17,7 @@
  *    layer) bit-for-bit — merely arming the machinery is free.
  *
  * Options: mesh=<n> rate=<load> rates=<r1,r2,...> warmup=<n>
- *          measure=<n> seed=<n>
+ *          measure=<n> seed=<n> obs=<path|none>
  */
 
 #include <cstdio>
@@ -43,6 +43,8 @@ struct SweepCell
     double deliveredFraction = 0.0;
     std::uint64_t retransmits = 0;
     std::uint64_t corruptions = 0;
+    std::uint64_t simCycles = 0;
+    std::uint64_t flitEvents = 0;
     bool drained = false;
 };
 
@@ -88,6 +90,8 @@ runCell(const NetworkConfig &cfg, FlowControl fc, const SweepOptions &o)
         cell.deliveredFraction =
             static_cast<double>(delivered) / static_cast<double>(injected);
     }
+    cell.simCycles = net.now();
+    cell.flitEvents = injected + delivered;
     return cell;
 }
 
@@ -120,6 +124,9 @@ main(int argc, char **argv)
     std::vector<FlowControl> configs = {FlowControl::Backpressured,
                                         FlowControl::Backpressureless,
                                         FlowControl::Afc};
+    BenchProfile profile("fault_sweep", opt);
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
 
     printHeader(
         "Fault sweep: corruption rate vs latency / energy / delivery",
@@ -134,6 +141,7 @@ main(int argc, char **argv)
     std::printf("\n");
 
     int violations = 0;
+    profile.begin("sweep");
     for (double rate : rates) {
         std::printf("%-10g", rate);
         for (FlowControl fc : configs) {
@@ -150,6 +158,8 @@ main(int argc, char **argv)
             cfg.reliability.timeoutCycles = 256;
             cfg.reliability.maxRetries = 16;
             SweepCell cell = runCell(cfg, fc, o);
+            cycles += cell.simCycles;
+            events += cell.flitEvents;
             std::printf("%12.1f%12.0f%10.4f%8llu",
                         cell.avgPacketLatency, cell.energyTotal,
                         cell.deliveredFraction,
@@ -179,6 +189,8 @@ main(int argc, char **argv)
                 plain.height = o.mesh;
                 plain.seed = o.seed;
                 SweepCell base = runCell(plain, fc, o);
+                cycles += base.simCycles;
+                events += base.flitEvents;
                 if (cell.avgPacketLatency != base.avgPacketLatency ||
                     cell.energyTotal != base.energyTotal ||
                     cell.deliveredFraction != base.deliveredFraction) {
@@ -196,6 +208,8 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
+    profile.end(cycles, events);
+    profile.finish();
 
     if (violations) {
         std::fprintf(stderr, "%d violation(s)\n", violations);

@@ -4,7 +4,7 @@
  * / rest-of-router) for all six workloads and four mechanisms,
  * normalized to the backpressured baseline's total.
  *
- * Options: scale=<f> seed=<n>
+ * Options: scale=<f> seed=<n> obs=<path|none>
  */
 
 #include <cstdio>
@@ -21,10 +21,14 @@ namespace
 
 void
 runSet(const std::vector<WorkloadProfile> &workloads, double scale,
-       std::uint64_t seed, const char *figure)
+       std::uint64_t seed, const char *figure, const char *phase,
+       BenchProfile &profile)
 {
     std::printf("\n--- %s ---\n", figure);
     auto configs = mainConfigs();
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    profile.begin(phase);
     for (const auto &base_w : workloads) {
         WorkloadProfile w = base_w;
         w.measureTransactions = static_cast<std::uint64_t>(
@@ -36,6 +40,8 @@ runSet(const std::vector<WorkloadProfile> &workloads, double scale,
 
         ClosedLoopResult base =
             runClosedLoop(cfg, FlowControl::Backpressured, w);
+        cycles += base.runtime;
+        events += base.net.flitsInjected + base.net.flitsDelivered;
         double norm = base.energy.total();
         std::printf("\n%s (all values normalized to BP total)\n",
                     w.name.c_str());
@@ -45,6 +51,11 @@ runSet(const std::vector<WorkloadProfile> &workloads, double scale,
             ClosedLoopResult r =
                 fc == FlowControl::Backpressured ? base
                     : runClosedLoop(cfg, fc, w);
+            if (fc != FlowControl::Backpressured) {
+                cycles += r.runtime;
+                events +=
+                    r.net.flitsInjected + r.net.flitsDelivered;
+            }
             std::printf("%-14s%12.3f%12.3f%12.3f%12.3f\n",
                         shortName(fc).c_str(),
                         r.energy.bufferEnergy() / norm,
@@ -53,6 +64,7 @@ runSet(const std::vector<WorkloadProfile> &workloads, double scale,
                         r.energy.total() / norm);
         }
     }
+    profile.end(cycles, events);
 }
 
 } // namespace
@@ -63,6 +75,7 @@ main(int argc, char **argv)
     Options opt(argc, argv);
     double scale = opt.getDouble("scale", 1.0);
     std::uint64_t seed = opt.getInt("seed", 7);
+    BenchProfile profile("fig3_breakdown", opt);
 
     printHeader("Fig. 3: Network energy breakdown",
                 "low load: buffer energy significant for BP, "
@@ -70,8 +83,9 @@ main(int argc, char **argv)
                 "increase; high load: BP lowest, BPL pays a large "
                 "link-energy penalty from misrouting");
     runSet(lowLoadWorkloads(), scale, seed,
-           "Fig. 3(a): low-load applications");
+           "Fig. 3(a): low-load applications", "low_load", profile);
     runSet(highLoadWorkloads(), scale, seed,
-           "Fig. 3(b): high-load applications");
+           "Fig. 3(b): high-load applications", "high_load", profile);
+    profile.finish();
     return 0;
 }

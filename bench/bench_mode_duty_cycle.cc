@@ -5,17 +5,68 @@
  * mode per workload, plus switch counts (including gossip-induced
  * switches, which the paper's closed-loop runs never exercised).
  *
- * Options: scale=<f> seed=<n>
+ * Observability: `trace=1` records every AFC mode switch and exports
+ * a Chrome trace-event file per workload (open in Perfetto) named
+ * `mode_duty_<workload>_trace.json`, then cross-checks the
+ * trace-derived per-router residency against the routers' own cycle
+ * counters. `series=1` additionally samples per-router time series
+ * (`mode_duty_<workload>_series.csv`), `sample=N` sets the period.
+ *
+ * Options: scale=<f> seed=<n> workload=<name> trace=1 series=1
+ *          sample=<cycles> obs=<path|none>
  */
 
+#include <cmath>
 #include <cstdio>
 
 #include "benchutil.hh"
+#include "obs/obs.hh"
 #include "sim/closedloop.hh"
 #include "sim/workload.hh"
 
 using namespace afcsim;
 using namespace afcsim::bench;
+
+namespace
+{
+
+/**
+ * Compare the residency reconstructed from mode-switch trace events
+ * against the network-wide counter duty cycle. Both cover the
+ * measurement window (the harness marks it on the Observability at
+ * the post-warmup stats reset). Forward switches are traced at the
+ * decision cycle, 2L cycles before buffering actually begins, so the
+ * comparison uses a tolerance that scales with switch density.
+ * Returns true when consistent.
+ */
+bool
+checkTraceResidency(const obs::Observability &o,
+                    const ClosedLoopResult &r)
+{
+    std::vector<double> residency = o.bpResidency();
+    if (residency.empty())
+        return true;
+    double mean = 0.0;
+    for (double f : residency)
+        mean += f;
+    mean /= static_cast<double>(residency.size());
+
+    Cycle window = o.lastCycle() + 1 - o.windowStart();
+    double switches = static_cast<double>(r.forwardSwitches +
+                                          r.reverseSwitches);
+    double lagError =
+        window > 0 ? 4.0 * switches / static_cast<double>(window)
+                   : 0.0;
+    double tol = 0.02 + lagError;
+    double diff = std::fabs(mean - r.bpFraction);
+    std::printf("  trace check: residency %.1f%% vs counters %.1f%% "
+                "(tol %.1f%%) -> %s\n",
+                100.0 * mean, 100.0 * r.bpFraction, 100.0 * tol,
+                diff <= tol ? "ok" : "MISMATCH");
+    return diff <= tol;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -23,6 +74,11 @@ main(int argc, char **argv)
     Options opt(argc, argv);
     double scale = opt.getDouble("scale", 1.0);
     std::uint64_t seed = opt.getInt("seed", 7);
+    bool trace = opt.getInt("trace", 0) != 0;
+    bool series = opt.getInt("series", 0) != 0;
+    Cycle sample = static_cast<Cycle>(opt.getInt("sample", 64));
+    std::string only = opt.get("workload", "");
+    BenchProfile profile("mode_duty_cycle", opt);
 
     printHeader("Sec. V: AFC mode duty cycle",
                 "water/barnes ~99% backpressureless; specjbb/apache "
@@ -31,7 +87,10 @@ main(int argc, char **argv)
     std::printf("%-10s%14s%14s%12s%12s%10s\n", "workload", "%cycles-BP",
                 "%cycles-BPL", "fwd-sw", "rev-sw", "gossip");
 
+    bool consistent = true;
     for (const auto &base_w : allWorkloads()) {
+        if (!only.empty() && base_w.name != only)
+            continue;
         WorkloadProfile w = base_w;
         w.measureTransactions = static_cast<std::uint64_t>(
             w.measureTransactions * scale);
@@ -39,15 +98,47 @@ main(int argc, char **argv)
             w.warmupTransactions * scale);
         NetworkConfig cfg;
         cfg.seed = seed;
+        cfg.obs.trace = trace;
+        if (series)
+            cfg.obs.sampleInterval = sample;
         // Measurement window only: mode state reached steady during
         // warmup, matching the paper's methodology.
+        profile.begin(w.name);
         ClosedLoopResult r = runClosedLoop(cfg, FlowControl::Afc, w);
+        profile.end(r.runtime, r.net);
         std::printf("%-10s%13.1f%%%13.1f%%%12llu%12llu%10llu\n",
                     w.name.c_str(), 100.0 * r.bpFraction,
                     100.0 * (1.0 - r.bpFraction),
                     static_cast<unsigned long long>(r.forwardSwitches),
                     static_cast<unsigned long long>(r.reverseSwitches),
                     static_cast<unsigned long long>(r.gossipSwitches));
+        if (r.obs) {
+            if (trace) {
+                std::string path =
+                    "mode_duty_" + w.name + "_trace.json";
+                if (r.obs->writeChromeTrace(path))
+                    std::printf("  wrote %s (%llu mode events)\n",
+                                path.c_str(),
+                                static_cast<unsigned long long>(
+                                    r.obs->trace()->modeEvents()
+                                        .size()));
+                consistent =
+                    checkTraceResidency(*r.obs, r) && consistent;
+            }
+            if (series) {
+                std::string path =
+                    "mode_duty_" + w.name + "_series.csv";
+                if (r.obs->writeSeriesCsv(path))
+                    std::printf("  wrote %s\n", path.c_str());
+            }
+        }
+    }
+    profile.finish();
+    if (!consistent) {
+        std::fprintf(stderr,
+                     "mode_duty_cycle: trace-derived residency "
+                     "disagrees with router counters\n");
+        return 1;
     }
     return 0;
 }

@@ -10,6 +10,7 @@
  * under backpressureless routing.
  *
  * Options: hot=<f> cool=<f> warmup=<n> measure=<n> seed=<n>
+ *          obs=<path|none>
  */
 
 #include <cstdio>
@@ -33,6 +34,7 @@ main(int argc, char **argv)
     ol.measureCycles = opt.getInt("measure", 15000);
     double hot = opt.getDouble("hot", 0.9);
     double cool = opt.getDouble("cool", 0.1);
+    BenchProfile profile("spatial_variation", opt);
 
     printHeader("Sec. V-B: spatial variation (8x8, hot NW quadrant "
                 "at 0.9, others at 0.1, intra-quadrant traffic)",
@@ -53,8 +55,11 @@ main(int argc, char **argv)
     };
     std::vector<Row> rows;
     for (FlowControl fc : configs) {
+        profile.begin(shortName(fc));
         QuadrantResult qr =
             runQuadrantExperiment(cfg, fc, ol, hot, cool);
+        profile.end(ol.warmupCycles + ol.measureCycles,
+                    qr.overall.stats);
         if (fc == FlowControl::Afc)
             afc_energy = qr.overall.energy.total();
         rows.push_back({fc, qr});
@@ -94,5 +99,6 @@ main(int argc, char **argv)
                     row.qr.overall.energy.total() / afc_energy);
     }
     std::printf("paper: BP 1.09, BPL 1.30, AFC 1.00\n");
+    profile.finish();
     return 0;
 }

@@ -9,7 +9,7 @@
  *   backpressureless / AFC-backpressureless: R+SA | LT+latch ->
  *     same hop cost but no injection buffering.
  *
- * Options: (none)
+ * Options: obs=<path|none>
  */
 
 #include <cstdio>
@@ -24,7 +24,8 @@ namespace
 {
 
 double
-zeroLoadLatency(FlowControl fc, int hops, int link_latency)
+zeroLoadLatency(FlowControl fc, int hops, int link_latency,
+                std::uint64_t &cycles, std::uint64_t &events)
 {
     NetworkConfig cfg;
     cfg.linkLatency = link_latency;
@@ -33,19 +34,27 @@ zeroLoadLatency(FlowControl fc, int hops, int link_latency)
     NodeId src = 0;
     NodeId dest = hops <= 2 ? hops : (hops - 2) * 3 + 2;
     net.nic(src).sendPacket(dest, 0, 1, net.now());
+    double latency = -1.0;
     for (int i = 0; i < 1000; ++i) {
         net.step();
-        if (net.aggregateStats().packetsDelivered > 0)
-            return net.aggregateStats().packetLatency.mean();
+        if (net.aggregateStats().packetsDelivered > 0) {
+            latency = net.aggregateStats().packetLatency.mean();
+            break;
+        }
     }
-    return -1.0;
+    NetStats s = net.aggregateStats();
+    cycles += net.now();
+    events += s.flitsInjected + s.flitsDelivered;
+    return latency;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opt(argc, argv);
+    BenchProfile profile("table1_pipeline", opt);
     printHeader("Table I: router pipelines, measured as zero-load "
                 "latency",
                 "BP & AFC-bp: 2-stage + 0-cycle VCA (lazy VCA for "
@@ -53,15 +62,21 @@ main()
 
     std::printf("%-10s%8s%8s%12s%12s%12s%12s\n", "L", "hops",
                 "minimal", "BP", "BPL", "AFC", "AFC-aBP");
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    profile.begin("zero_load");
     for (int L : {1, 2, 3}) {
         for (int hops : {1, 2, 4}) {
-            double bp =
-                zeroLoadLatency(FlowControl::Backpressured, hops, L);
+            double bp = zeroLoadLatency(FlowControl::Backpressured,
+                                        hops, L, cycles, events);
             double bpl = zeroLoadLatency(
-                FlowControl::Backpressureless, hops, L);
-            double afc = zeroLoadLatency(FlowControl::Afc, hops, L);
-            double afcbp = zeroLoadLatency(
-                FlowControl::AfcAlwaysBackpressured, hops, L);
+                FlowControl::Backpressureless, hops, L, cycles,
+                events);
+            double afc = zeroLoadLatency(FlowControl::Afc, hops, L,
+                                         cycles, events);
+            double afcbp =
+                zeroLoadLatency(FlowControl::AfcAlwaysBackpressured,
+                                hops, L, cycles, events);
             std::printf("%-10d%8d%8d%12.0f%12.0f%12.0f%12.0f\n", L,
                         hops, hops * (L + 1), bp, bpl, afc, afcbp);
             // Model check: BP = h(L+1)+2, BPL = h(L+1)+1.
@@ -74,9 +89,11 @@ main()
             }
         }
     }
+    profile.end(cycles, events);
     std::printf("\nAll latencies match the Table I pipeline model "
                 "(AFC backpressureless-mode == BPL; AFC "
                 "backpressured-mode == BP thanks to lazy VCA "
                 "absorbing the VCA stage).\n");
+    profile.finish();
     return 0;
 }

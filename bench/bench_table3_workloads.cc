@@ -5,7 +5,7 @@
  * measured on the backpressured baseline vs. the paper's value,
  * plus transaction counts and mean transaction latency.
  *
- * Options: scale=<f> seed=<n>
+ * Options: scale=<f> seed=<n> obs=<path|none>
  */
 
 #include <cstdio>
@@ -23,6 +23,7 @@ main(int argc, char **argv)
     Options opt(argc, argv);
     double scale = opt.getDouble("scale", 1.0);
     std::uint64_t seed = opt.getInt("seed", 7);
+    BenchProfile profile("table3_workloads", opt);
 
     printHeader("Table III: workload injection rates "
                 "(flits/node/cycle, backpressured baseline)",
@@ -40,8 +41,10 @@ main(int argc, char **argv)
             w.warmupTransactions * scale);
         NetworkConfig cfg;
         cfg.seed = seed;
+        profile.begin(w.name);
         ClosedLoopResult r =
             runClosedLoop(cfg, FlowControl::Backpressured, w);
+        profile.end(r.runtime, r.net);
         double err =
             100.0 * (r.injectionRate - w.paperInjRate) / w.paperInjRate;
         std::printf("%-10s%12.3f%12.2f%9.1f%%%14llu%14llu%12.1f\n",
@@ -57,5 +60,6 @@ main(int argc, char **argv)
                 "(64 flits/port); AFC lazy VCA 8+8+16 x 1-flit "
                 "(32 flits/port); 16 MSHRs/core, L2 12 cycles, "
                 "memory 250 cycles\n");
+    profile.finish();
     return 0;
 }

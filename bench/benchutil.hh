@@ -17,9 +17,58 @@
 #include "common/table.hh"
 #include "exp/result.hh"
 #include "exp/runner.hh"
+#include "obs/profile.hh"
 
 namespace afcsim::bench
 {
+
+/**
+ * Per-bench throughput profile writer (ISSUE: every bench emits a
+ * `<bench>_obs.json` with wall-clock cycles/sec and flit-events/sec
+ * per phase). Flit events are counted from the end-to-end stats
+ * (injected + delivered), so the profile exists even when the event
+ * tracer is off. The `obs=` option overrides the output path;
+ * `obs=none` disables the file.
+ */
+class BenchProfile
+{
+  public:
+    BenchProfile(const std::string &bench, const Options &opt)
+        : prof_(bench), path_(opt.get("obs", bench + "_obs.json"))
+    {
+    }
+
+    void begin(const std::string &label) { prof_.begin(label); }
+
+    void
+    end(std::uint64_t sim_cycles, std::uint64_t flit_events)
+    {
+        prof_.end(sim_cycles, flit_events);
+    }
+
+    /** Convenience: close a phase from a run's network stats. */
+    void
+    end(std::uint64_t sim_cycles, const NetStats &net)
+    {
+        prof_.end(sim_cycles, net.flitsInjected + net.flitsDelivered);
+    }
+
+    /** Write the profile (call once, at the end of main). */
+    void
+    finish()
+    {
+        if (path_ != "none") {
+            std::string out = prof_.write(path_);
+            std::fprintf(stderr, "[obs] wrote %s\n", out.c_str());
+        }
+    }
+
+    obs::ThroughputProfiler &profiler() { return prof_; }
+
+  private:
+    obs::ThroughputProfiler prof_;
+    std::string path_;
+};
 
 /** The four bars of Fig. 2(a)/(c)/(d). */
 inline std::vector<FlowControl>
@@ -163,6 +212,19 @@ runSpecForBench(const exp::ExperimentSpec &spec, const Options &opt)
                            + "\n");
         std::fprintf(stderr, "[%s] wrote %s\n", spec.name.c_str(),
                      json.c_str());
+    }
+    std::string obs_path = opt.get("obs", spec.name + "_obs.json");
+    if (obs_path != "none") {
+        obs::ThroughputProfiler prof(spec.name);
+        std::uint64_t flit_events = 0;
+        for (const auto &r : outcome.results)
+            flit_events += r.net.flitsInjected + r.net.flitsDelivered;
+        prof.add("grid", outcome.wallMs,
+                 static_cast<std::uint64_t>(outcome.totalSimCycles),
+                 flit_events);
+        prof.write(obs_path);
+        std::fprintf(stderr, "[%s] wrote %s\n", spec.name.c_str(),
+                     obs_path.c_str());
     }
     return std::move(outcome.results);
 }

@@ -123,6 +123,10 @@ NetworkConfig::validate() const
         AFCSIM_CONFIG_ERROR("watchdog.interval must be >= 1 cycle");
     if (watchdog.progressWindowCycles < 1)
         AFCSIM_CONFIG_ERROR("watchdog.progress_window must be >= 1 cycle");
+    if (obs.sampleInterval > 0 && obs.sampleCapacity < 1)
+        AFCSIM_CONFIG_ERROR("obs.capacity must be >= 1 frame");
+    if (obs.trace && obs.traceCapacity < 1)
+        AFCSIM_CONFIG_ERROR("obs.trace_capacity must be >= 1 event");
 }
 
 Options::Options(int argc, char **argv)

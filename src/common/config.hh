@@ -214,6 +214,33 @@ struct WatchdogSpec
 };
 
 /**
+ * Observability layer (src/obs): a time-series metrics sampler and a
+ * structured event tracer, both preallocated and deterministic. The
+ * whole subsystem is constructed only when any() is true, so the
+ * disabled path is bit-for-bit identical to a build without it (the
+ * only cost is one null-pointer test per simulated cycle).
+ */
+struct ObsSpec
+{
+    /** Cycles between metric samples; 0 disables the sampler. */
+    Cycle sampleInterval = 0;
+    /** Ring-buffer capacity in frames; oldest frames are overwritten. */
+    int sampleCapacity = 4096;
+    /** Record flit-lifecycle / mode-switch events (Chrome trace). */
+    bool trace = false;
+    /** Flit events retained before further ones are counted dropped
+     *  (mode-switch events are never dropped). */
+    int traceCapacity = 1 << 20;
+
+    /** True when any observability mechanism is active. */
+    bool
+    any() const
+    {
+        return sampleInterval > 0 || trace;
+    }
+};
+
+/**
  * Network configuration (Table II defaults: 3x3 mesh, 2-cycle links,
  * 2 control vnets (2 VCs x 8 flits each) + 1 data vnet (4 VCs x 8
  * flits) for the backpressured baseline).
@@ -253,6 +280,7 @@ struct NetworkConfig
     FaultSpec faults;
     ReliabilitySpec reliability;
     WatchdogSpec watchdog;
+    ObsSpec obs;
     std::uint64_t seed = 1;
     /**
      * Use deterministic oldest-first deflection priorities instead

@@ -201,6 +201,15 @@ applyConfigKey(NetworkConfig &cfg, const std::string &key,
         cfg.watchdog.creditCheck = toBool(key, value);
     } else if (key == "watchdog.conservation_check") {
         cfg.watchdog.conservationCheck = toBool(key, value);
+    // Observability (src/obs).
+    } else if (key == "obs.interval") {
+        cfg.obs.sampleInterval = static_cast<Cycle>(toInt(key, value));
+    } else if (key == "obs.capacity") {
+        cfg.obs.sampleCapacity = static_cast<int>(toInt(key, value));
+    } else if (key == "obs.trace") {
+        cfg.obs.trace = toBool(key, value);
+    } else if (key == "obs.trace_capacity") {
+        cfg.obs.traceCapacity = static_cast<int>(toInt(key, value));
     } else {
         AFCSIM_CONFIG_ERROR("unknown config key '", key, "'");
     }

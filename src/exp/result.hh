@@ -12,6 +12,7 @@
 #ifndef AFCSIM_EXP_RESULT_HH
 #define AFCSIM_EXP_RESULT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,11 @@
 #include "energy/energy.hh"
 #include "exp/spec.hh"
 #include "fault/fault.hh"
+
+namespace afcsim::obs
+{
+class Observability;
+}
 
 namespace afcsim::exp
 {
@@ -71,6 +77,14 @@ struct RunResult
     // deterministic JSON document unless explicitly requested).
     double wallMs = 0.0;
     double cyclesPerSec = 0.0;
+
+    /**
+     * Observability bundle recorded during the run; nullptr unless
+     * the run's cfg.obs enabled it. Exported to side files by the
+     * runner (point.obsDir) — never serialized into the stats JSON,
+     * which must stay bit-identical with observability off.
+     */
+    std::shared_ptr<obs::Observability> obs;
 };
 
 /**

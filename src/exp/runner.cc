@@ -3,11 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hh"
 #include "common/log.hh"
+#include "obs/obs.hh"
 #include "sim/closedloop.hh"
 #include "traffic/openloop.hh"
 
@@ -47,6 +50,7 @@ fromOpenLoop(const RunPoint &p, const OpenLoopResult &r)
     out.bpFraction = r.bpFraction;
     out.net = r.stats;
     out.faults = r.faults;
+    out.obs = r.obs;
     return out;
 }
 
@@ -81,7 +85,34 @@ fromClosedLoop(const RunPoint &p, const ClosedLoopResult &r)
     out.gossipSwitches = r.gossipSwitches;
     out.net = r.net;
     out.faults = r.faults;
+    out.obs = r.obs;
     return out;
+}
+
+/**
+ * Write the run's observability side files into point.obsDir.
+ * Filenames embed the run index, so concurrent runs of the same grid
+ * never collide, and the content is a pure function of the run (no
+ * wall-clock), so exports are identical for any thread count.
+ */
+void
+exportObs(const RunPoint &point, const RunResult &res)
+{
+    if (point.obsDir.empty() || !res.obs)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(point.obsDir, ec);
+    std::ostringstream stem;
+    stem << point.obsDir << '/' << point.experiment << "_run"
+         << point.index;
+    if (res.obs->trace() &&
+        !res.obs->writeChromeTrace(stem.str() + "_trace.json")) {
+        warn("cannot write ", stem.str(), "_trace.json");
+    }
+    if (res.obs->sampler() &&
+        !res.obs->writeSeriesCsv(stem.str() + "_series.csv")) {
+        warn("cannot write ", stem.str(), "_series.csv");
+    }
 }
 
 } // namespace
@@ -114,6 +145,7 @@ executeRun(const RunPoint &point)
         out.point = point;
         out.error = e.what();
     }
+    exportObs(point, out);
     out.wallMs = msSince(t0);
     if (out.wallMs > 0.0)
         out.cyclesPerSec = sim_cycles / (out.wallMs / 1000.0);

@@ -154,6 +154,7 @@ ExperimentSpec::expand() const
                     p.cfg.height = mesh;
                     p.cfg.seed = p.seed;
                     p.maxCycles = maxCycles;
+                    p.obsDir = obsDir;
                     p.cfg.validate();
                     if (kind == RunKind::OpenLoop) {
                         p.rate = rates[g];
@@ -256,6 +257,8 @@ ExperimentSpec::fromText(const std::string &text)
             spec.scaleWithMesh = toBool(key, value);
         } else if (k == "max_cycles") {
             spec.maxCycles = static_cast<Cycle>(toInt(key, value));
+        } else if (k == "obs_dir") {
+            spec.obsDir = value;
         } else {
             AFCSIM_CONFIG_ERROR("unknown spec key '", key, "'");
         }

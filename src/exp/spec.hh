@@ -53,6 +53,13 @@ struct RunPoint
      *  run that exceeds it raises SimError and becomes an error
      *  record instead of wedging the grid. */
     Cycle maxCycles = 0;
+    /**
+     * Directory for per-run observability exports (empty = none).
+     * The runner writes `<experiment>_run<index>_trace.json` and/or
+     * `_series.csv` there; filenames embed the run index, so
+     * parallel runs never collide.
+     */
+    std::string obsDir;
 };
 
 /**
@@ -103,6 +110,8 @@ struct ExperimentSpec
     std::uint64_t baseSeed = 7;
     /** Per-run cycle budget (closed-loop; 0 = harness default). */
     Cycle maxCycles = 0;
+    /** Observability export directory (empty = no side files). */
+    std::string obsDir;
 
     /** Convenience: uniform rate ladder step, step*2, ..., <= max. */
     void rateSweep(double step, double max);

@@ -4,6 +4,7 @@
 #include "common/rng.hh"
 #include "fault/fault.hh"
 #include "fault/watchdog.hh"
+#include "obs/obs.hh"
 #include "router/afc.hh"
 #include "router/backpressured.hh"
 #include "router/deflection.hh"
@@ -130,6 +131,10 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
                 });
         }
     }
+    if (cfg_.obs.any()) {
+        obs_ = std::make_shared<obs::Observability>(cfg_.obs);
+        obs_->attach(*this);
+    }
 }
 
 Network::~Network() = default;
@@ -203,6 +208,8 @@ Network::step()
         now_ % cfg_.watchdog.intervalCycles == 0) {
         watchdog_->check(*this, now_);
     }
+    if (obs_)
+        obs_->onCycleEnd(*this, now_);
     ++now_;
 }
 
@@ -285,6 +292,7 @@ Network::aggregateRouterStats() const
         total.forwardSwitches += s.forwardSwitches;
         total.reverseSwitches += s.reverseSwitches;
         total.gossipSwitches += s.gossipSwitches;
+        total.creditStalls += s.creditStalls;
     }
     return total;
 }

@@ -29,6 +29,11 @@
 namespace afcsim
 {
 
+namespace obs
+{
+class Observability;
+}
+
 class FaultInjector;
 class Watchdog;
 
@@ -73,6 +78,9 @@ class Network
     /** Sum of all routers' energy ledgers. */
     EnergyReport aggregateEnergy() const;
 
+    /** One node's energy ledger (observability sampling). */
+    const EnergyLedger &ledger(NodeId n) const { return *ledgers_.at(n); }
+
     /** Sum of all routers' activity statistics. */
     RouterStats aggregateRouterStats() const;
 
@@ -104,6 +112,19 @@ class Network
      * a build without the subsystem.)
      */
     const FaultInjector *faultInjector() const { return faults_.get(); }
+
+    /**
+     * The observability bundle (tracer + sampler), or nullptr when
+     * cfg.obs is all-off. Shared so results can keep the recorded
+     * traces/series alive after this network is destroyed; like the
+     * fault injector, it is only constructed when enabled so the
+     * disabled path is bit-for-bit identical.
+     */
+    const std::shared_ptr<obs::Observability> &
+    observability() const
+    {
+        return obs_;
+    }
 
     /// @name Channel introspection for the runtime watchdogs.
     /// @{
@@ -142,6 +163,8 @@ class Network
     std::unique_ptr<FaultInjector> faults_;
     /** Runtime auditor (nullptr unless cfg.watchdog.enabled). */
     std::unique_ptr<Watchdog> watchdog_;
+    /** Observability bundle (nullptr unless cfg.obs.any()). */
+    std::shared_ptr<obs::Observability> obs_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<EnergyLedger>> ledgers_;
 

@@ -112,6 +112,8 @@ Nic::tick(Cycle now)
             continue;
         }
         ++e.retries;
+        if (tracer_ && !e.flits.empty())
+            tracer_->onRetransmit(node_, e.flits.front(), e.retries, now);
         ++stats_.packetsRetransmitted;
         stats_.flitsRetransmitted += e.flits.size();
         lifetime_.flitsRetransmitted += e.flits.size();

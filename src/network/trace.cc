@@ -48,6 +48,12 @@ CsvTracer::onDrop(NodeId node, const Flit &flit, Cycle now)
 }
 
 void
+CsvTracer::onRetransmit(NodeId node, const Flit &head, int, Cycle now)
+{
+    row("retransmit", node, -1, head, now);
+}
+
+void
 CsvTracer::onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
                         Cycle now)
 {

@@ -52,6 +52,17 @@ class FlitTracer
         (void)node; (void)flit; (void)now;
     }
 
+    /**
+     * A source NIC re-enqueued a whole packet after a retransmission
+     * timeout (end-to-end reliability layer). Called once per packet
+     * with its head flit.
+     */
+    virtual void
+    onRetransmit(NodeId node, const Flit &head, int retry, Cycle now)
+    {
+        (void)node; (void)head; (void)retry; (void)now;
+    }
+
     /** An AFC router changed mode. */
     virtual void
     onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
@@ -75,6 +86,8 @@ class CsvTracer : public FlitTracer
                     Cycle now, bool productive) override;
     void onDeliver(NodeId node, const Flit &flit, Cycle now) override;
     void onDrop(NodeId node, const Flit &flit, Cycle now) override;
+    void onRetransmit(NodeId node, const Flit &head, int retry,
+                      Cycle now) override;
     void onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
                       Cycle now) override;
 

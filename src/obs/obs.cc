@@ -1,0 +1,283 @@
+#include "obs/obs.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "network/network.hh"
+
+namespace afcsim::obs
+{
+
+Observability::Observability(const ObsSpec &spec) : spec_(spec)
+{
+    if (spec_.trace)
+        trace_ = std::make_unique<EventTrace>(spec_);
+}
+
+Observability::~Observability() = default;
+
+void
+Observability::attach(Network &net)
+{
+    numNodes_ = net.mesh().numNodes();
+    if (spec_.sampleInterval > 0) {
+        sampler_ = std::make_unique<MetricsSampler>(spec_, numNodes_);
+        sampler_->attachMeta(net);
+    }
+    initialBp_.resize(static_cast<std::size_t>(numNodes_));
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        initialBp_[static_cast<std::size_t>(n)] =
+            net.router(n).mode() == RouterMode::Backpressured ? 1 : 0;
+    }
+    if (trace_)
+        net.setTracer(trace_.get());
+}
+
+void
+Observability::onCycleEnd(const Network &net, Cycle now)
+{
+    lastCycle_ = now;
+    if (sampler_ && now % sampler_->interval() == 0)
+        sampler_->sample(net, now);
+}
+
+std::uint64_t
+Observability::flitEvents() const
+{
+    return trace_ ? trace_->totalFlitEvents() : 0;
+}
+
+JsonValue
+Observability::chromeTrace() const
+{
+    JsonValue events = JsonValue::array();
+
+    auto base = [](const char *ph, NodeId tid, Cycle ts) {
+        JsonValue e = JsonValue::object();
+        e.set("ph", ph);
+        e.set("pid", 0);
+        e.set("tid", static_cast<std::int64_t>(tid));
+        e.set("ts", static_cast<std::int64_t>(ts));
+        return e;
+    };
+
+    // Thread metadata: one named track per router.
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        JsonValue e = JsonValue::object();
+        e.set("ph", "M");
+        e.set("pid", 0);
+        e.set("tid", static_cast<std::int64_t>(n));
+        e.set("name", "thread_name");
+        JsonValue args = JsonValue::object();
+        std::ostringstream label;
+        label << "router " << n;
+        if (sampler_ && n < static_cast<NodeId>(sampler_->meta().size())) {
+            const RouterMeta &m =
+                sampler_->meta()[static_cast<std::size_t>(n)];
+            label << " (" << m.x << "," << m.y << ")";
+        }
+        args.set("name", label.str());
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+    }
+
+    if (trace_) {
+        // Mode duration spans: replay initial modes + switch events.
+        Cycle endTs = lastCycle_ + 1;
+        std::vector<std::uint8_t> bp = initialBp_;
+        std::vector<Cycle> openSince(
+            static_cast<std::size_t>(numNodes_), 0);
+        auto emitSpan = [&](NodeId n, bool was_bp, Cycle from, Cycle to) {
+            if (to <= from)
+                return;
+            JsonValue b = base("B", n, from);
+            b.set("name", was_bp ? "BP" : "BPL");
+            b.set("cat", "mode");
+            events.push(std::move(b));
+            JsonValue e = base("E", n, to);
+            events.push(std::move(e));
+        };
+        for (const ModeEvent &m : trace_->modeEvents()) {
+            std::size_t i = static_cast<std::size_t>(m.node);
+            if (m.node < 0 || m.node >= numNodes_)
+                continue;
+            if ((bp[i] != 0) == m.toBackpressured)
+                continue; // redundant notification
+            emitSpan(m.node, bp[i] != 0, openSince[i], m.cycle);
+            bp[i] = m.toBackpressured ? 1 : 0;
+            openSince[i] = m.cycle;
+            if (m.toBackpressured) {
+                JsonValue e = base("i", m.node, m.cycle);
+                e.set("name", m.gossip ? "switch:gossip"
+                                       : "switch:forward");
+                e.set("cat", "switch");
+                e.set("s", "t");
+                events.push(std::move(e));
+            } else {
+                JsonValue e = base("i", m.node, m.cycle);
+                e.set("name", "switch:reverse");
+                e.set("cat", "switch");
+                e.set("s", "t");
+                events.push(std::move(e));
+            }
+        }
+        for (NodeId n = 0; n < numNodes_; ++n) {
+            std::size_t i = static_cast<std::size_t>(n);
+            emitSpan(n, bp[i] != 0, openSince[i], endTs);
+        }
+
+        // Flit-lifecycle instants.
+        for (const TraceEvent &ev : trace_->events()) {
+            JsonValue e = base("i", ev.node, ev.cycle);
+            e.set("name", eventKindName(ev.kind));
+            e.set("cat", "flit");
+            e.set("s", "t");
+            JsonValue args = JsonValue::object();
+            args.set("packet", static_cast<std::int64_t>(ev.packet));
+            args.set("seq", static_cast<std::int64_t>(ev.seq));
+            args.set("src", static_cast<std::int64_t>(ev.src));
+            args.set("dest", static_cast<std::int64_t>(ev.dest));
+            args.set("vnet", static_cast<std::int64_t>(ev.vnet));
+            if (ev.port >= 0)
+                args.set("port", dirName(ev.port));
+            if (ev.kind == EventKind::Retransmit) {
+                // record() stored the retry ordinal in `hops`.
+                args.set("retry", static_cast<std::int64_t>(ev.hops));
+            } else {
+                args.set("hops", static_cast<std::int64_t>(ev.hops));
+                args.set("deflections",
+                         static_cast<std::int64_t>(ev.deflections));
+            }
+            e.set("args", std::move(args));
+            events.push(std::move(e));
+        }
+    }
+
+    if (sampler_) {
+        // Network-wide counter tracks, one point per sampler frame.
+        std::size_t held = sampler_->frames();
+        for (std::size_t i = 0; i < held; ++i) {
+            const SampleFrame &f = sampler_->frame(i);
+            std::uint64_t routed = 0, deflected = 0, stalls = 0;
+            double ewma = 0.0;
+            std::uint64_t bpCount = 0;
+            for (const RouterSample &r : f.routers) {
+                routed += r.routedDelta;
+                deflected += r.deflectedDelta;
+                stalls += r.creditStallDelta;
+                ewma += r.ewma;
+                bpCount += r.backpressured;
+            }
+            JsonValue c = base("C", 0, f.cycle);
+            c.set("name", "network");
+            JsonValue args = JsonValue::object();
+            args.set("routed", static_cast<std::int64_t>(routed));
+            args.set("deflected", static_cast<std::int64_t>(deflected));
+            args.set("credit_stalls", static_cast<std::int64_t>(stalls));
+            c.set("args", std::move(args));
+            events.push(std::move(c));
+
+            JsonValue m = base("C", 0, f.cycle);
+            m.set("name", "mode");
+            JsonValue margs = JsonValue::object();
+            margs.set("bp_routers", static_cast<std::int64_t>(bpCount));
+            margs.set("ewma_mean",
+                      numNodes_ > 0 ? ewma / numNodes_ : 0.0);
+            m.set("args", std::move(margs));
+            events.push(std::move(m));
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    JsonValue meta = JsonValue::object();
+    meta.set("nodes", static_cast<std::int64_t>(numNodes_));
+    meta.set("last_cycle", static_cast<std::int64_t>(lastCycle_));
+    if (trace_) {
+        meta.set("flit_events_recorded",
+                 static_cast<std::int64_t>(trace_->events().size()));
+        meta.set("flit_events_dropped",
+                 static_cast<std::int64_t>(trace_->dropped()));
+        meta.set("mode_events",
+                 static_cast<std::int64_t>(trace_->modeEvents().size()));
+    }
+    doc.set("otherData", std::move(meta));
+    return doc;
+}
+
+std::string
+Observability::seriesCsv() const
+{
+    return sampler_ ? sampler_->toCsv() : std::string();
+}
+
+JsonValue
+Observability::seriesJson() const
+{
+    return sampler_ ? sampler_->toJson() : JsonValue();
+}
+
+std::vector<double>
+Observability::bpResidency() const
+{
+    std::vector<double> out;
+    if (!trace_)
+        return out;
+    Cycle total = lastCycle_ + 1;
+    Cycle start = windowStart_ < total ? windowStart_ : 0;
+    Cycle window = total - start;
+    // BP cycles contributed by a mode span, clipped to the window.
+    auto clip = [&](Cycle from, Cycle to) -> Cycle {
+        Cycle lo = std::max(from, start);
+        Cycle hi = std::min(to, total);
+        return hi > lo ? hi - lo : 0;
+    };
+    std::vector<std::uint8_t> bp = initialBp_;
+    std::vector<Cycle> bpCycles(static_cast<std::size_t>(numNodes_), 0);
+    std::vector<Cycle> openSince(static_cast<std::size_t>(numNodes_), 0);
+    for (const ModeEvent &m : trace_->modeEvents()) {
+        if (m.node < 0 || m.node >= numNodes_)
+            continue;
+        std::size_t i = static_cast<std::size_t>(m.node);
+        if ((bp[i] != 0) == m.toBackpressured)
+            continue;
+        if (bp[i])
+            bpCycles[i] += clip(openSince[i], m.cycle);
+        bp[i] = m.toBackpressured ? 1 : 0;
+        openSince[i] = m.cycle;
+    }
+    out.resize(static_cast<std::size_t>(numNodes_), 0.0);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        Cycle cycles = bpCycles[i];
+        if (bp[i])
+            cycles += clip(openSince[i], total);
+        out[i] = window ? static_cast<double>(cycles) /
+                              static_cast<double>(window)
+                        : 0.0;
+    }
+    return out;
+}
+
+bool
+Observability::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f.good())
+        return false;
+    f << chromeTrace().dump(0) << '\n';
+    return f.good();
+}
+
+bool
+Observability::writeSeriesCsv(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f.good())
+        return false;
+    f << seriesCsv();
+    return f.good();
+}
+
+} // namespace afcsim::obs

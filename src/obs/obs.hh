@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Observability umbrella (src/obs): owns the optional event tracer
+ * and metrics sampler for one Network, hooks into the cycle kernel,
+ * and renders post-run exports.
+ *
+ * Construction discipline mirrors the fault injector: the Network
+ * only builds an Observability object when cfg.obs.any() is true, so
+ * the disabled path has no observer pointer, no per-cycle branch cost
+ * beyond a null check, and bit-identical simulation output.
+ *
+ * Lifetime: runOpenLoop/runClosedLoop destroy their Network before
+ * returning, so results carry this object by shared_ptr; every export
+ * below reads only data captured during the run, never the (possibly
+ * dead) Network.
+ *
+ * Exports:
+ *  - chromeTrace(): Chrome trace-event JSON (open in Perfetto or
+ *    chrome://tracing). Per-router tracks carry BP/BPL mode duration
+ *    spans (B/E) and flit-lifecycle instants (i); network-wide
+ *    counter tracks (C) come from the sampler. Timestamps are
+ *    simulation cycles reported as microseconds.
+ *  - seriesCsv()/seriesJson(): the sampler ring as a flat table.
+ *  - bpResidency(): per-router backpressured-mode fraction derived
+ *    from the mode-switch event stream (duty-cycle cross-checks).
+ */
+
+#ifndef AFCSIM_OBS_OBS_HH
+#define AFCSIM_OBS_OBS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/json.hh"
+#include "common/types.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
+
+namespace afcsim
+{
+class Network;
+}
+
+namespace afcsim::obs
+{
+
+/** Tracer + sampler bundle attached to one Network. */
+class Observability
+{
+  public:
+    explicit Observability(const ObsSpec &spec);
+    ~Observability();
+
+    /**
+     * Bind to a freshly built network: capture static per-router
+     * metadata and initial modes, and install the event tracer on
+     * every router and NIC when tracing is enabled.
+     */
+    void attach(Network &net);
+
+    /** Called by Network::step() after the cycle completes. */
+    void onCycleEnd(const Network &net, Cycle now);
+
+    /**
+     * Mark the start of the measurement window (the harnesses call
+     * this at their post-warmup stats reset). bpResidency() then
+     * covers [windowStart, lastCycle] — the same window as the
+     * routers' duty-cycle counters.
+     */
+    void markWindow(Cycle now) { windowStart_ = now; }
+    Cycle windowStart() const { return windowStart_; }
+
+    /** The tracer, or nullptr when cfg.obs.trace is off. */
+    const EventTrace *trace() const { return trace_.get(); }
+    /** The sampler, or nullptr when cfg.obs.interval is 0. */
+    const MetricsSampler *sampler() const { return sampler_.get(); }
+
+    /** Last simulated cycle observed (run length proxy). */
+    Cycle lastCycle() const { return lastCycle_; }
+    int numNodes() const { return numNodes_; }
+
+    /** Flit events seen by the tracer (0 when tracing is off). */
+    std::uint64_t flitEvents() const;
+
+    /** Chrome trace-event document (requires tracing enabled). */
+    JsonValue chromeTrace() const;
+
+    /** Sampler series as CSV (empty string when sampling is off). */
+    std::string seriesCsv() const;
+
+    /** Sampler series as JSON (null value when sampling is off). */
+    JsonValue seriesJson() const;
+
+    /**
+     * Per-router fraction of [windowStart(), lastCycle()] spent in
+     * backpressured mode, reconstructed from the mode-switch events
+     * (empty when tracing is off). Forward switches are timestamped
+     * at the decision cycle, 2L cycles before buffering actually
+     * begins, so comparisons against router cycle counters need a
+     * tolerance of roughly (switches * 2L) / cycles.
+     */
+    std::vector<double> bpResidency() const;
+
+    /** Write chromeTrace() to `path`; returns false on I/O error. */
+    bool writeChromeTrace(const std::string &path) const;
+
+    /** Write seriesCsv() to `path`; returns false on I/O error. */
+    bool writeSeriesCsv(const std::string &path) const;
+
+  private:
+    ObsSpec spec_;
+    std::unique_ptr<EventTrace> trace_;
+    std::unique_ptr<MetricsSampler> sampler_;
+    int numNodes_ = 0;
+    std::vector<std::uint8_t> initialBp_; ///< mode at attach, per router
+    Cycle lastCycle_ = 0;
+    Cycle windowStart_ = 0;
+};
+
+} // namespace afcsim::obs
+
+#endif // AFCSIM_OBS_OBS_HH

@@ -1,0 +1,106 @@
+#include "obs/profile.hh"
+
+#include <fstream>
+
+#include "common/error.hh"
+
+namespace afcsim::obs
+{
+
+namespace
+{
+
+double
+rate(double count, double wall_ms)
+{
+    return wall_ms > 0.0 ? count / (wall_ms / 1000.0) : 0.0;
+}
+
+} // namespace
+
+ThroughputProfiler::ThroughputProfiler(std::string bench_name)
+    : bench_(std::move(bench_name))
+{
+}
+
+void
+ThroughputProfiler::begin(const std::string &label)
+{
+    AFCSIM_ASSERT(!open_, "profiler phase '", openLabel_,
+                  "' still open when beginning '", label, "'");
+    open_ = true;
+    openLabel_ = label;
+    openStart_ = std::chrono::steady_clock::now();
+}
+
+void
+ThroughputProfiler::end(std::uint64_t sim_cycles,
+                        std::uint64_t flit_events)
+{
+    AFCSIM_ASSERT(open_, "profiler end() without begin()");
+    auto elapsed = std::chrono::steady_clock::now() - openStart_;
+    double ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    add(openLabel_, ms, sim_cycles, flit_events);
+    open_ = false;
+}
+
+void
+ThroughputProfiler::add(const std::string &label, double wall_ms,
+                        std::uint64_t sim_cycles,
+                        std::uint64_t flit_events)
+{
+    phases_.push_back({label, wall_ms, sim_cycles, flit_events});
+}
+
+JsonValue
+ThroughputProfiler::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("bench", bench_);
+
+    double total_ms = 0.0;
+    std::uint64_t total_cycles = 0;
+    std::uint64_t total_events = 0;
+
+    JsonValue arr = JsonValue::array();
+    for (const ProfilePhase &p : phases_) {
+        JsonValue ph = JsonValue::object();
+        ph.set("label", p.label);
+        ph.set("wall_ms", p.wallMs);
+        ph.set("sim_cycles", static_cast<std::int64_t>(p.simCycles));
+        ph.set("cycles_per_sec",
+               rate(static_cast<double>(p.simCycles), p.wallMs));
+        ph.set("flit_events", static_cast<std::int64_t>(p.flitEvents));
+        ph.set("flit_events_per_sec",
+               rate(static_cast<double>(p.flitEvents), p.wallMs));
+        arr.push(std::move(ph));
+        total_ms += p.wallMs;
+        total_cycles += p.simCycles;
+        total_events += p.flitEvents;
+    }
+    doc.set("phases", std::move(arr));
+
+    JsonValue total = JsonValue::object();
+    total.set("wall_ms", total_ms);
+    total.set("sim_cycles", static_cast<std::int64_t>(total_cycles));
+    total.set("cycles_per_sec",
+              rate(static_cast<double>(total_cycles), total_ms));
+    total.set("flit_events", static_cast<std::int64_t>(total_events));
+    total.set("flit_events_per_sec",
+              rate(static_cast<double>(total_events), total_ms));
+    doc.set("total", std::move(total));
+    return doc;
+}
+
+std::string
+ThroughputProfiler::write(const std::string &path) const
+{
+    std::string out = path.empty() ? bench_ + "_obs.json" : path;
+    std::ofstream f(out);
+    AFCSIM_ASSERT(f.good(), "cannot open ", out, " for writing");
+    f << toJson().dump(2) << '\n';
+    return out;
+}
+
+} // namespace afcsim::obs

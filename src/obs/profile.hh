@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Throughput profiler (src/obs): wall-clock phase timing for benches.
+ * Each phase records elapsed wall time together with the simulated
+ * cycles and flit events it covered, so the export carries
+ * cycles/second and flit-events/second rates plus a whole-run total.
+ * Benches write the result next to their stats output as
+ * `<bench>_obs.json` (see docs/METRICS.md for the schema).
+ *
+ * Wall-clock numbers are *reporting only*: nothing in the simulator
+ * reads them, so determinism of simulation results is unaffected.
+ */
+
+#ifndef AFCSIM_OBS_PROFILE_HH
+#define AFCSIM_OBS_PROFILE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace afcsim::obs
+{
+
+/** One profiled phase of a bench run. */
+struct ProfilePhase
+{
+    std::string label;
+    double wallMs = 0.0;
+    std::uint64_t simCycles = 0;
+    std::uint64_t flitEvents = 0;
+};
+
+/** Accumulates per-phase wall-clock throughput for one bench. */
+class ThroughputProfiler
+{
+  public:
+    explicit ThroughputProfiler(std::string bench_name);
+
+    /** Start timing a phase (one open phase at a time). */
+    void begin(const std::string &label);
+
+    /**
+     * Close the open phase, attributing `sim_cycles` simulated cycles
+     * and `flit_events` flit events (inject+route+deflect+eject etc.)
+     * to it.
+     */
+    void end(std::uint64_t sim_cycles, std::uint64_t flit_events);
+
+    /** Record a phase whose wall time was measured externally. */
+    void add(const std::string &label, double wall_ms,
+             std::uint64_t sim_cycles, std::uint64_t flit_events);
+
+    const std::vector<ProfilePhase> &phases() const { return phases_; }
+
+    /** Export: {bench, phases: [...], total: {...}}. */
+    JsonValue toJson() const;
+
+    /**
+     * Write toJson() to `path` (empty: `<bench>_obs.json` in the
+     * working directory). Returns the path written.
+     */
+    std::string write(const std::string &path = "") const;
+
+  private:
+    std::string bench_;
+    std::vector<ProfilePhase> phases_;
+    bool open_ = false;
+    std::string openLabel_;
+    std::chrono::steady_clock::time_point openStart_{};
+};
+
+} // namespace afcsim::obs
+
+#endif // AFCSIM_OBS_PROFILE_HH

@@ -1,0 +1,175 @@
+#include "obs/sampler.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "network/network.hh"
+#include "router/afc.hh"
+
+namespace afcsim::obs
+{
+
+MetricsSampler::MetricsSampler(const ObsSpec &spec, int num_nodes)
+    : interval_(spec.sampleInterval), numNodes_(num_nodes)
+{
+    int cap = std::max(1, spec.sampleCapacity);
+    ring_.resize(static_cast<std::size_t>(cap));
+    for (auto &f : ring_)
+        f.routers.resize(static_cast<std::size_t>(num_nodes));
+    prev_.resize(static_cast<std::size_t>(num_nodes));
+    meta_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void
+MetricsSampler::attachMeta(const Network &net)
+{
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        Coord c = net.mesh().coordOf(n);
+        RouterMeta &m = meta_[static_cast<std::size_t>(n)];
+        m.x = c.x;
+        m.y = c.y;
+        if (const auto *afc =
+                dynamic_cast<const AfcRouter *>(&net.router(n))) {
+            m.highThreshold = afc->highThreshold();
+            m.lowThreshold = afc->lowThreshold();
+        }
+    }
+}
+
+void
+MetricsSampler::sample(const Network &net, Cycle now)
+{
+    SampleFrame &frame = ring_[head_];
+    frame.cycle = now;
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        const Router &r = net.router(n);
+        const RouterStats &s = r.stats();
+        PrevCounters &p = prev_[static_cast<std::size_t>(n)];
+        RouterSample &out = frame.routers[static_cast<std::size_t>(n)];
+
+        out.backpressured = r.mode() == RouterMode::Backpressured ? 1 : 0;
+        out.occupancy = static_cast<std::uint32_t>(r.occupancy());
+        out.nicQueue =
+            static_cast<std::uint32_t>(net.nic(n).queuedFlits());
+        out.ewma = r.contentionEwma();
+        out.routedDelta = s.flitsRouted - p.routed;
+        out.deflectedDelta = s.flitsDeflected - p.deflected;
+        out.creditStallDelta = s.creditStalls - p.creditStalls;
+        out.forwardSwitchDelta = s.forwardSwitches - p.forwardSwitches;
+        out.reverseSwitchDelta = s.reverseSwitches - p.reverseSwitches;
+        out.gossipSwitchDelta = s.gossipSwitches - p.gossipSwitches;
+        double energy = net.ledger(n).report().total();
+        out.energyDeltaPj = energy - p.energyPj;
+
+        p.routed = s.flitsRouted;
+        p.deflected = s.flitsDeflected;
+        p.creditStalls = s.creditStalls;
+        p.forwardSwitches = s.forwardSwitches;
+        p.reverseSwitches = s.reverseSwitches;
+        p.gossipSwitches = s.gossipSwitches;
+        p.energyPj = energy;
+    }
+    head_ = (head_ + 1) % ring_.size();
+    ++recorded_;
+}
+
+std::size_t
+MetricsSampler::frames() const
+{
+    return std::min<std::uint64_t>(recorded_, ring_.size());
+}
+
+const SampleFrame &
+MetricsSampler::frame(std::size_t i) const
+{
+    std::size_t held = frames();
+    // head_ points at the slot holding the oldest frame once wrapped.
+    std::size_t oldest = recorded_ > held ? head_ : 0;
+    return ring_[(oldest + i) % ring_.size()];
+}
+
+std::string
+MetricsSampler::toCsv() const
+{
+    std::ostringstream os;
+    os << "cycle,node,x,y,mode,ewma,high,low,occupancy,nic_queue,"
+          "routed_d,deflected_d,credit_stalls_d,fwd_switch_d,"
+          "rev_switch_d,gossip_switch_d,energy_pj_d\n";
+    std::size_t held = frames();
+    for (std::size_t i = 0; i < held; ++i) {
+        const SampleFrame &f = frame(i);
+        for (NodeId n = 0; n < numNodes_; ++n) {
+            const RouterSample &r = f.routers[static_cast<std::size_t>(n)];
+            const RouterMeta &m = meta_[static_cast<std::size_t>(n)];
+            os << f.cycle << ',' << n << ',' << m.x << ',' << m.y << ','
+               << (r.backpressured ? "bp" : "bpl") << ',' << r.ewma << ','
+               << m.highThreshold << ',' << m.lowThreshold << ','
+               << r.occupancy << ',' << r.nicQueue << ','
+               << r.routedDelta << ',' << r.deflectedDelta << ','
+               << r.creditStallDelta << ',' << r.forwardSwitchDelta << ','
+               << r.reverseSwitchDelta << ',' << r.gossipSwitchDelta << ','
+               << r.energyDeltaPj << '\n';
+        }
+    }
+    return os.str();
+}
+
+JsonValue
+MetricsSampler::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("interval", static_cast<std::int64_t>(interval_));
+    doc.set("capacity", static_cast<std::int64_t>(ring_.size()));
+    doc.set("frames_recorded", static_cast<std::int64_t>(recorded_));
+    doc.set("frames_retained", static_cast<std::int64_t>(frames()));
+
+    JsonValue routers = JsonValue::array();
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        const RouterMeta &m = meta_[static_cast<std::size_t>(n)];
+        JsonValue r = JsonValue::object();
+        r.set("node", static_cast<std::int64_t>(n));
+        r.set("x", static_cast<std::int64_t>(m.x));
+        r.set("y", static_cast<std::int64_t>(m.y));
+        r.set("high_threshold", m.highThreshold);
+        r.set("low_threshold", m.lowThreshold);
+        routers.push(std::move(r));
+    }
+    doc.set("routers", std::move(routers));
+
+    JsonValue series = JsonValue::array();
+    std::size_t held = frames();
+    for (std::size_t i = 0; i < held; ++i) {
+        const SampleFrame &f = frame(i);
+        JsonValue fr = JsonValue::object();
+        fr.set("cycle", static_cast<std::int64_t>(f.cycle));
+        JsonValue rows = JsonValue::array();
+        for (NodeId n = 0; n < numNodes_; ++n) {
+            const RouterSample &r = f.routers[static_cast<std::size_t>(n)];
+            JsonValue row = JsonValue::object();
+            row.set("node", static_cast<std::int64_t>(n));
+            row.set("mode", r.backpressured ? "bp" : "bpl");
+            row.set("ewma", r.ewma);
+            row.set("occupancy", static_cast<std::int64_t>(r.occupancy));
+            row.set("nic_queue", static_cast<std::int64_t>(r.nicQueue));
+            row.set("routed_d", static_cast<std::int64_t>(r.routedDelta));
+            row.set("deflected_d",
+                    static_cast<std::int64_t>(r.deflectedDelta));
+            row.set("credit_stalls_d",
+                    static_cast<std::int64_t>(r.creditStallDelta));
+            row.set("fwd_switch_d",
+                    static_cast<std::int64_t>(r.forwardSwitchDelta));
+            row.set("rev_switch_d",
+                    static_cast<std::int64_t>(r.reverseSwitchDelta));
+            row.set("gossip_switch_d",
+                    static_cast<std::int64_t>(r.gossipSwitchDelta));
+            row.set("energy_pj_d", r.energyDeltaPj);
+            rows.push(std::move(row));
+        }
+        fr.set("routers", std::move(rows));
+        series.push(std::move(fr));
+    }
+    doc.set("series", std::move(series));
+    return doc;
+}
+
+} // namespace afcsim::obs

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Time-series metrics sampler (src/obs): every N cycles it snapshots
+ * per-router state — mode, contention EWMA against its switching
+ * thresholds, buffer occupancy, NIC source-queue depth, and the
+ * deltas of the cumulative activity counters (flits routed/deflected,
+ * credit stalls, mode switches, energy) since the previous sample —
+ * into a preallocated ring buffer. When the ring fills, the oldest
+ * frames are overwritten; deltas are computed at sample time from the
+ * cumulative counters, so wrapped series stay self-consistent.
+ * Export is CSV (one row per router per frame, oldest first) or JSON.
+ */
+
+#ifndef AFCSIM_OBS_SAMPLER_HH
+#define AFCSIM_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace afcsim
+{
+class Network;
+}
+
+namespace afcsim::obs
+{
+
+/** Per-router state captured at one sample point. */
+struct RouterSample
+{
+    std::uint8_t backpressured = 0; ///< 1 = BP mode, 0 = BPL mode
+    std::uint32_t occupancy = 0;    ///< flits held in the router
+    std::uint32_t nicQueue = 0;     ///< flits waiting in the NIC
+    double ewma = 0.0;              ///< contention EWMA (flits/cycle)
+    std::uint64_t routedDelta = 0;
+    std::uint64_t deflectedDelta = 0;
+    std::uint64_t creditStallDelta = 0;
+    std::uint64_t forwardSwitchDelta = 0;
+    std::uint64_t reverseSwitchDelta = 0;
+    std::uint64_t gossipSwitchDelta = 0;
+    double energyDeltaPj = 0.0;     ///< ledger energy since last sample
+};
+
+/** One ring-buffer frame: all routers at one cycle. */
+struct SampleFrame
+{
+    Cycle cycle = 0;
+    std::vector<RouterSample> routers;
+};
+
+/** Static per-router metadata captured once at attach time. */
+struct RouterMeta
+{
+    int x = 0;
+    int y = 0;
+    double highThreshold = 0.0; ///< 0 when the router is not adaptive
+    double lowThreshold = 0.0;
+};
+
+/** The ring-buffered sampler. */
+class MetricsSampler
+{
+  public:
+    MetricsSampler(const ObsSpec &spec, int num_nodes);
+
+    /** Capture positions and AFC thresholds (once, at attach). */
+    void attachMeta(const Network &net);
+
+    /** Record one frame (the caller enforces the cadence). */
+    void sample(const Network &net, Cycle now);
+
+    Cycle interval() const { return interval_; }
+    /** Frames currently held (<= capacity). */
+    std::size_t frames() const;
+    /** Frame i, i = 0 being the oldest retained. */
+    const SampleFrame &frame(std::size_t i) const;
+    /** Total frames ever recorded, including overwritten ones. */
+    std::uint64_t framesRecorded() const { return recorded_; }
+    std::size_t capacity() const { return ring_.size(); }
+    const std::vector<RouterMeta> &meta() const { return meta_; }
+
+    /**
+     * CSV export, oldest frame first:
+     * `cycle,node,x,y,mode,ewma,high,low,occupancy,nic_queue,
+     *  routed_d,deflected_d,credit_stalls_d,fwd_switch_d,rev_switch_d,
+     *  gossip_switch_d,energy_pj_d`.
+     */
+    std::string toCsv() const;
+
+    /** JSON export: metadata + the same series as toCsv(). */
+    JsonValue toJson() const;
+
+  private:
+    /** Cumulative counters at the previous sample, per router. */
+    struct PrevCounters
+    {
+        std::uint64_t routed = 0;
+        std::uint64_t deflected = 0;
+        std::uint64_t creditStalls = 0;
+        std::uint64_t forwardSwitches = 0;
+        std::uint64_t reverseSwitches = 0;
+        std::uint64_t gossipSwitches = 0;
+        double energyPj = 0.0;
+    };
+
+    Cycle interval_;
+    int numNodes_;
+    std::vector<SampleFrame> ring_;
+    std::vector<PrevCounters> prev_;
+    std::vector<RouterMeta> meta_;
+    std::size_t head_ = 0;      ///< next slot to write
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace afcsim::obs
+
+#endif // AFCSIM_OBS_SAMPLER_HH

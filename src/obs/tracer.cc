@@ -1,0 +1,98 @@
+#include "obs/tracer.hh"
+
+namespace afcsim::obs
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Inject: return "inject";
+      case EventKind::Route: return "route";
+      case EventKind::Deflect: return "deflect";
+      case EventKind::Drop: return "drop";
+      case EventKind::Retransmit: return "retransmit";
+      case EventKind::Eject: return "eject";
+    }
+    return "?";
+}
+
+EventTrace::EventTrace(const ObsSpec &spec)
+    : capacity_(static_cast<std::size_t>(spec.traceCapacity))
+{
+    events_.reserve(capacity_);
+}
+
+void
+EventTrace::record(EventKind kind, NodeId node, int port,
+                   const Flit &flit, Cycle now)
+{
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    TraceEvent e;
+    e.cycle = now;
+    e.kind = kind;
+    e.port = static_cast<std::int8_t>(port);
+    e.vnet = flit.vnet;
+    e.node = node;
+    e.src = flit.src;
+    e.dest = flit.dest;
+    e.packet = flit.packet;
+    e.seq = flit.seq;
+    e.hops = flit.hops;
+    e.deflections = flit.deflections;
+    events_.push_back(e);
+}
+
+void
+EventTrace::onInject(NodeId node, const Flit &flit, Cycle now)
+{
+    record(EventKind::Inject, node, -1, flit, now);
+}
+
+void
+EventTrace::onDispatch(NodeId node, Direction out, const Flit &flit,
+                       Cycle now, bool productive)
+{
+    record(productive ? EventKind::Route : EventKind::Deflect, node, out,
+           flit, now);
+}
+
+void
+EventTrace::onDeliver(NodeId node, const Flit &flit, Cycle now)
+{
+    record(EventKind::Eject, node, -1, flit, now);
+}
+
+void
+EventTrace::onDrop(NodeId node, const Flit &flit, Cycle now)
+{
+    record(EventKind::Drop, node, -1, flit, now);
+}
+
+void
+EventTrace::onRetransmit(NodeId node, const Flit &head, int retry,
+                         Cycle now)
+{
+    // Encode the retry ordinal in the (otherwise unused) hops field
+    // so the export can surface it without widening the record.
+    Flit copy = head;
+    copy.hops = static_cast<std::uint16_t>(retry);
+    record(EventKind::Retransmit, node, -1, copy, now);
+}
+
+void
+EventTrace::onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
+                         Cycle now)
+{
+    ModeEvent m;
+    m.cycle = now;
+    m.node = node;
+    m.toBackpressured = to_backpressured;
+    m.gossip = gossip;
+    modes_.push_back(m);
+}
+
+} // namespace afcsim::obs

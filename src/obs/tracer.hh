@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Structured event tracer (src/obs): records the flit lifecycle
+ * (inject, route, deflect, drop, retransmit, eject) and AFC
+ * mode-switch/gossip events into preallocated vectors of compact
+ * binary records. Everything is deterministic — records carry only
+ * simulation state, never wall-clock — so traces are bit-identical
+ * across runner thread counts. Export to Chrome trace-event JSON
+ * (viewable in Perfetto / chrome://tracing) is done by the owning
+ * Observability object, which merges mode spans and sampler counter
+ * tracks into one document.
+ */
+
+#ifndef AFCSIM_OBS_TRACER_HH
+#define AFCSIM_OBS_TRACER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "network/trace.hh"
+
+namespace afcsim::obs
+{
+
+/** What happened. Values are stable (used in exports and tests). */
+enum class EventKind : std::uint8_t
+{
+    Inject,     ///< flit left a NIC source queue into the network
+    Route,      ///< router dispatched the flit on a productive port
+    Deflect,    ///< router dispatched the flit on a losing port
+    Drop,       ///< NIC discarded the flit (checksum / duplicate)
+    Retransmit, ///< source NIC re-enqueued a timed-out packet
+    Eject,      ///< flit accepted by the destination NIC
+};
+
+/** Human-readable name ("inject", "route", ...). */
+const char *eventKindName(EventKind k);
+
+/** One flit-lifecycle event (compact, preallocated storage). */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    EventKind kind = EventKind::Inject;
+    std::int8_t port = -1; ///< output port for Route/Deflect, else -1
+    std::int8_t vnet = 0;
+    NodeId node = kInvalidNode;
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    PacketId packet = 0;
+    std::uint16_t seq = 0;
+    std::uint16_t hops = 0;
+    std::uint16_t deflections = 0;
+};
+
+/** One AFC mode transition (never dropped; switches are rare). */
+struct ModeEvent
+{
+    Cycle cycle = 0;
+    NodeId node = kInvalidNode;
+    bool toBackpressured = false;
+    bool gossip = false;
+};
+
+/**
+ * FlitTracer backend filling the preallocated event vectors. Attach
+ * through Network::setTracer() (the Observability object does this
+ * when cfg.obs.trace is set).
+ */
+class EventTrace : public FlitTracer
+{
+  public:
+    explicit EventTrace(const ObsSpec &spec);
+
+    void onInject(NodeId node, const Flit &flit, Cycle now) override;
+    void onDispatch(NodeId node, Direction out, const Flit &flit,
+                    Cycle now, bool productive) override;
+    void onDeliver(NodeId node, const Flit &flit, Cycle now) override;
+    void onDrop(NodeId node, const Flit &flit, Cycle now) override;
+    void onRetransmit(NodeId node, const Flit &head, int retry,
+                      Cycle now) override;
+    void onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
+                      Cycle now) override;
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    const std::vector<ModeEvent> &modeEvents() const { return modes_; }
+    /** Flit events discarded after the capacity was reached. */
+    std::uint64_t dropped() const { return dropped_; }
+    /** All flit events seen (recorded + dropped). */
+    std::uint64_t totalFlitEvents() const
+    {
+        return events_.size() + dropped_;
+    }
+
+  private:
+    void record(EventKind kind, NodeId node, int port, const Flit &flit,
+                Cycle now);
+
+    std::size_t capacity_;
+    std::vector<TraceEvent> events_;
+    std::vector<ModeEvent> modes_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace afcsim::obs
+
+#endif // AFCSIM_OBS_TRACER_HH

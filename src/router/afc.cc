@@ -219,6 +219,7 @@ AfcRouter::pickCandidate(Direction p, Cycle now)
         Direction route = slot.route;
         if (route != kLocal && tracking_[route] &&
             freeSlots_[route][v] <= 0) {
+            ++stats_.creditStalls;
             continue; // backpressure: downstream vnet full
         }
         cand.vnet = v;

@@ -63,6 +63,7 @@ class AfcRouter : public Router
 
     std::size_t occupancy() const override;
     RouterMode mode() const override { return mode_; }
+    double contentionEwma() const override { return intensity_.value(); }
 
     /// @name Test/diagnostic accessors.
     /// @{

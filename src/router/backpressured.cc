@@ -160,10 +160,13 @@ BackpressuredRouter::pickCandidate(Direction p, Cycle now)
                 cand.route = route;
                 return cand;
             }
+            ++stats_.creditStalls;
             continue;
         }
         AFCSIM_ASSERT(head.isHead(), "unbound VC with non-head at front");
         VcId out_vc = findFreeOutVc(route, head.vnet);
+        if (out_vc == kInvalidVc)
+            ++stats_.creditStalls; // no out-VC with credit available
         if (out_vc != kInvalidVc) {
             cand.inVc = idx;
             cand.route = route;

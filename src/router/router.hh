@@ -45,6 +45,9 @@ struct RouterStats
     std::uint64_t forwardSwitches = 0;  ///< BPL -> BP transitions
     std::uint64_t reverseSwitches = 0;  ///< BP -> BPL transitions
     std::uint64_t gossipSwitches = 0;   ///< forward switches forced by gossip
+    /** Ready flits that could not dispatch solely for lack of
+     *  downstream credits (one count per blocked input VC scan). */
+    std::uint64_t creditStalls = 0;
 
     double
     backpressuredFraction() const
@@ -103,6 +106,9 @@ class Router
     /** Flits currently held (buffers + pipeline latches). */
     virtual std::size_t occupancy() const = 0;
     virtual RouterMode mode() const = 0;
+    /** EWMA-smoothed local traffic intensity driving mode decisions
+     *  (0 for routers without an adaptive policy). */
+    virtual double contentionEwma() const { return 0.0; }
     /** Visit every flit currently held (watchdog age audits). */
     virtual void
     visitFlits(const std::function<void(const Flit &)> &) const

@@ -4,6 +4,7 @@
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "fault/fault.hh"
+#include "obs/obs.hh"
 
 namespace afcsim
 {
@@ -76,6 +77,8 @@ ClosedLoopSystem::run(Cycle max_cycles)
     EnergyReport e0 = net_.aggregateEnergy();
     RouterStats r0 = net_.aggregateRouterStats();
     Cycle t0 = net_.now();
+    if (net_.observability())
+        net_.observability()->markWindow(t0);
 
     while (totalCompleted() < profile_.measureTransactions &&
            net_.now() < max_cycles) {
@@ -96,6 +99,7 @@ ClosedLoopSystem::run(Cycle max_cycles)
     res.transactions = totalCompleted();
     res.net = net_.aggregateStats();
     res.energy = net_.aggregateEnergy().diff(e0);
+    res.obs = net_.observability();
     if (net_.faultInjector())
         res.faults = net_.faultInjector()->stats();
 

@@ -23,6 +23,11 @@
 namespace afcsim
 {
 
+namespace obs
+{
+class Observability;
+}
+
 /** Outcome of one closed-loop run. */
 struct ClosedLoopResult
 {
@@ -41,6 +46,11 @@ struct ClosedLoopResult
     EnergyReport energy;           ///< measurement window only
     NetStats net;
     FaultStats faults;             ///< whole run (zero if no faults)
+    /**
+     * Observability bundle (tracer + sampler); nullptr unless
+     * cfg.obs enabled it. Never serialized into stats JSON.
+     */
+    std::shared_ptr<obs::Observability> obs;
 
     /** Performance = transactions per cycle (higher is better). */
     double

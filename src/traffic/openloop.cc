@@ -1,6 +1,7 @@
 #include "traffic/openloop.hh"
 
 #include "fault/fault.hh"
+#include "obs/obs.hh"
 #include "traffic/injector.hh"
 #include "traffic/patterns.hh"
 
@@ -32,6 +33,8 @@ runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
     inj.resetOffered();
     EnergyReport e0 = net.aggregateEnergy();
     RouterStats r0 = net.aggregateRouterStats();
+    if (net.observability())
+        net.observability()->markWindow(net.now());
     std::uint64_t queued0 = 0;
     for (NodeId node = 0; node < n; ++node)
         queued0 += net.nic(node).queuedFlits();
@@ -44,6 +47,7 @@ runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
     OpenLoopResult res;
     res.fc = fc;
     res.measuredCycles = ol.measureCycles;
+    res.obs = net.observability(); // outlives the network below
     res.stats = net.aggregateStats();
     res.energy = net.aggregateEnergy().diff(e0);
     if (net.faultInjector())

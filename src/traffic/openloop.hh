@@ -8,6 +8,7 @@
 #ifndef AFCSIM_TRAFFIC_OPENLOOP_HH
 #define AFCSIM_TRAFFIC_OPENLOOP_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,11 @@
 
 namespace afcsim
 {
+
+namespace obs
+{
+class Observability;
+}
 
 /** Outcome of one open-loop run at a fixed offered load. */
 struct OpenLoopResult
@@ -40,6 +46,12 @@ struct OpenLoopResult
     EnergyReport energy;
     /** Injected-fault counters for the whole run (zero if no faults). */
     FaultStats faults;
+    /**
+     * Observability bundle (tracer + sampler), kept alive past the
+     * network's destruction; nullptr unless cfg.obs enabled it.
+     * Never serialized into stats JSON.
+     */
+    std::shared_ptr<obs::Observability> obs;
 };
 
 /**

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs): sampler ring
+ * wraparound, the zero-overhead off path (bit-identical run results
+ * with tracing on vs. off), Chrome trace structure and residency
+ * consistency, and trace/series export determinism across runner
+ * thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+#include "network/network.hh"
+#include "obs/obs.hh"
+#include "traffic/injector.hh"
+#include "traffic/patterns.hh"
+
+using namespace afcsim;
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Drive an AFC network under uniform open-loop load for `cycles`. */
+void
+drive(Network &net, double rate, Cycle cycles)
+{
+    UniformPattern pattern(net.mesh());
+    OpenLoopInjector inj(net, pattern, rate, 0.35);
+    for (Cycle c = 0; c < cycles; ++c) {
+        inj.tick(net.now());
+        net.step();
+    }
+}
+
+exp::ExperimentSpec
+tinySpec()
+{
+    exp::ExperimentSpec spec;
+    spec.name = "obs_tiny";
+    spec.kind = exp::RunKind::OpenLoop;
+    spec.rates = {0.3};
+    spec.warmupCycles = 200;
+    spec.measureCycles = 600;
+    spec.baseSeed = 13;
+    return spec;
+}
+
+} // namespace
+
+TEST(ObsSampler, DisabledByDefault)
+{
+    NetworkConfig cfg;
+    Network net(cfg, FlowControl::Afc);
+    EXPECT_EQ(net.observability(), nullptr);
+}
+
+TEST(ObsSampler, RingWraparound)
+{
+    NetworkConfig cfg;
+    cfg.obs.sampleInterval = 10;
+    cfg.obs.sampleCapacity = 4;
+    Network net(cfg, FlowControl::Afc);
+    ASSERT_NE(net.observability(), nullptr);
+    net.run(100);
+
+    const obs::MetricsSampler *s = net.observability()->sampler();
+    ASSERT_NE(s, nullptr);
+    // Samples land at cycles 0, 10, ..., 90: ten recorded, the ring
+    // retains the last four (60, 70, 80, 90), oldest first.
+    EXPECT_EQ(s->framesRecorded(), 10u);
+    ASSERT_EQ(s->frames(), 4u);
+    EXPECT_EQ(s->frame(0).cycle, 60u);
+    EXPECT_EQ(s->frame(1).cycle, 70u);
+    EXPECT_EQ(s->frame(2).cycle, 80u);
+    EXPECT_EQ(s->frame(3).cycle, 90u);
+    ASSERT_EQ(s->frame(0).routers.size(),
+              static_cast<std::size_t>(cfg.numNodes()));
+
+    std::string csv = s->toCsv();
+    EXPECT_EQ(csv.rfind("cycle,node,x,y,mode,", 0), 0u);
+    std::size_t rows = 0;
+    for (char c : csv)
+        if (c == '\n')
+            ++rows;
+    // Header plus one row per router per retained frame.
+    EXPECT_EQ(rows, 1u + 4u * cfg.numNodes());
+}
+
+TEST(ObsSampler, BeforeWraparoundKeepsOldestFirst)
+{
+    NetworkConfig cfg;
+    cfg.obs.sampleInterval = 10;
+    cfg.obs.sampleCapacity = 8;
+    Network net(cfg, FlowControl::Afc);
+    net.run(35); // samples at 0, 10, 20, 30 — ring not yet full
+    const obs::MetricsSampler *s = net.observability()->sampler();
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->frames(), 4u);
+    EXPECT_EQ(s->frame(0).cycle, 0u);
+    EXPECT_EQ(s->frame(3).cycle, 30u);
+}
+
+TEST(ObsTrace, OffPathBitIdentical)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    std::vector<exp::RunPoint> points = spec.expand();
+    ASSERT_GE(points.size(), 3u);
+
+    for (const exp::RunPoint &p : points) {
+        SCOPED_TRACE(toString(p.fc));
+        exp::RunResult plain = exp::executeRun(p);
+        EXPECT_EQ(plain.obs, nullptr);
+
+        exp::RunPoint armed = p;
+        armed.cfg.obs.trace = true;
+        armed.cfg.obs.sampleInterval = 16;
+        exp::RunResult traced = exp::executeRun(armed);
+        ASSERT_NE(traced.obs, nullptr);
+        // The harness marked the measurement window at warmup end.
+        EXPECT_EQ(traced.obs->windowStart(), spec.warmupCycles);
+
+        // Arming observability must not perturb the simulation: the
+        // serialized run records are byte-identical.
+        EXPECT_EQ(exp::toJson(plain).dump(2),
+                  exp::toJson(traced).dump(2));
+    }
+}
+
+TEST(ObsTrace, ChromeTraceStructureAndResidency)
+{
+    NetworkConfig cfg;
+    cfg.obs.trace = true;
+    cfg.obs.sampleInterval = 32;
+    Network net(cfg, FlowControl::Afc);
+    drive(net, 0.45, 3000);
+
+    const auto &o = net.observability();
+    ASSERT_NE(o, nullptr);
+    EXPECT_GT(o->flitEvents(), 0u);
+
+    JsonValue doc = o->chromeTrace();
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_GT(events.size(), 0u);
+
+    std::size_t meta = 0, begins = 0, ends = 0, counters = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        ASSERT_TRUE(e.isObject());
+        const std::string &ph = e.at("ph").asString();
+        if (ph == "M")
+            ++meta;
+        else if (ph == "B")
+            ++begins;
+        else if (ph == "E")
+            ++ends;
+        else if (ph == "C")
+            ++counters;
+    }
+    EXPECT_EQ(meta, static_cast<std::size_t>(cfg.numNodes()));
+    EXPECT_EQ(begins, ends); // every mode span is closed
+    EXPECT_GT(counters, 0u); // sampler frames became counter tracks
+    EXPECT_EQ(doc.at("otherData").at("nodes").asInt(),
+              cfg.numNodes());
+
+    // Trace-derived residency must agree with the routers' own
+    // cycle counters, up to the 2L switch-notification lag.
+    std::vector<double> residency = o->bpResidency();
+    ASSERT_EQ(residency.size(),
+              static_cast<std::size_t>(cfg.numNodes()));
+    double mean = 0.0;
+    for (double f : residency)
+        mean += f;
+    mean /= static_cast<double>(residency.size());
+    RouterStats rs = net.aggregateRouterStats();
+    double switches = static_cast<double>(rs.forwardSwitches +
+                                          rs.reverseSwitches);
+    double tol = 0.02 + 4.0 * switches / 3000.0;
+    EXPECT_NEAR(mean, rs.backpressuredFraction(), tol);
+}
+
+TEST(ObsExport, DeterministicAcrossRunnerThreads)
+{
+    namespace fs = std::filesystem;
+    fs::path base = fs::temp_directory_path() / "afcsim_obs_det";
+    fs::remove_all(base);
+    std::string dir1 = (base / "t1").string();
+    std::string dir4 = (base / "t4").string();
+
+    exp::ExperimentSpec spec = tinySpec();
+    spec.base.obs.trace = true;
+    spec.base.obs.sampleInterval = 50;
+
+    spec.obsDir = dir1;
+    exp::ParallelRunner one(1);
+    auto r1 = one.runSpec(spec);
+    spec.obsDir = dir4;
+    exp::ParallelRunner four(4);
+    auto r4 = four.runSpec(spec);
+    ASSERT_EQ(r1.results.size(), r4.results.size());
+
+    // Every exported artifact must be byte-identical regardless of
+    // the worker count that produced it.
+    std::size_t compared = 0;
+    for (std::size_t i = 0; i < r1.results.size(); ++i) {
+        for (const char *suffix : {"_trace.json", "_series.csv"}) {
+            std::string name =
+                spec.name + "_run" + std::to_string(i) + suffix;
+            std::string a = dir1 + "/" + name;
+            std::string b = dir4 + "/" + name;
+            ASSERT_TRUE(fs::exists(a)) << a;
+            ASSERT_TRUE(fs::exists(b)) << b;
+            EXPECT_EQ(readFile(a), readFile(b)) << name;
+            ++compared;
+        }
+    }
+    EXPECT_EQ(compared, 2 * r1.results.size());
+    fs::remove_all(base);
+}

@@ -24,6 +24,9 @@
  *                    for every --threads value)
  *   --validate       re-read and structurally check the JSON
  *   --quiet          no per-run progress lines
+ * Observability (side files; the stats JSON stays bit-identical):
+ *   --obs-dir PATH   per-run Chrome trace + metric-series exports
+ *   --obs-interval N sampler period  --obs-trace  force tracing on
  */
 
 #include <cstdio>
@@ -123,7 +126,8 @@ class Args
     isFlag(const std::string &key)
     {
         return key == "list" || key == "help" || key == "telemetry" ||
-               key == "validate" || key == "quiet";
+               key == "validate" || key == "quiet" ||
+               key == "obs-trace";
     }
 
     std::vector<std::pair<std::string, std::string>> kv_;
@@ -179,6 +183,22 @@ applyOverrides(ExperimentSpec &spec, const Args &args)
             static_cast<Cycle>(args.getInt("measure", 0));
     if (args.has("drain"))
         spec.drainCycles = static_cast<Cycle>(args.getInt("drain", 0));
+
+    // Observability: --obs-dir turns on exports (trace + series with
+    // a default sampling interval unless the spec already set them);
+    // --obs-interval / --obs-trace refine what gets recorded.
+    if (args.has("obs-dir")) {
+        spec.obsDir = args.get("obs-dir");
+        if (!spec.base.obs.any()) {
+            spec.base.obs.trace = true;
+            spec.base.obs.sampleInterval = 64;
+        }
+    }
+    if (args.has("obs-interval"))
+        spec.base.obs.sampleInterval =
+            static_cast<Cycle>(args.getInt("obs-interval", 0));
+    if (args.has("obs-trace"))
+        spec.base.obs.trace = true;
 }
 
 /**
@@ -313,6 +333,13 @@ printHelp()
         "  --telemetry                include wall-clock in JSON\n"
         "  --indent N                 JSON indent (default 2)\n"
         "  --quiet                    suppress per-run progress\n"
+        "observability:\n"
+        "  --obs-dir PATH             export per-run Chrome traces\n"
+        "                             and metric series (enables\n"
+        "                             tracing + sampling if the spec\n"
+        "                             did not already)\n"
+        "  --obs-interval N           sampler period in cycles\n"
+        "  --obs-trace                force flit-event tracing on\n"
         "overrides: --rates --configs --workloads --mesh --pattern\n"
         "           --repeats --seed --scale --warmup --measure "
         "--drain\n");
@@ -329,6 +356,7 @@ runMain(int argc, char **argv)
         "csv", "validate", "check-json", "telemetry", "indent",
         "quiet", "rates", "configs", "workloads", "mesh", "pattern",
         "repeats", "seed", "scale", "warmup", "measure", "drain",
+        "obs-dir", "obs-interval", "obs-trace",
     });
 
     if (args.has("help")) {

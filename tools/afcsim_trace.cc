@@ -1,0 +1,276 @@
+/**
+ * @file
+ * afcsim-trace: inspect and filter Chrome trace-event files emitted
+ * by the observability subsystem (src/obs). The same files load in
+ * Perfetto / chrome://tracing; this tool covers the quick-look and
+ * scripting cases without a browser.
+ *
+ * Usage:
+ *   afcsim-trace summary TRACE.json
+ *       Event counts by name, per-router backpressured-mode
+ *       residency (from the B/E mode spans), and switch totals.
+ *   afcsim-trace filter TRACE.json [node=N] [cat=CAT] [name=NAME]
+ *                [from=CYCLE] [to=CYCLE]
+ *       Re-emit the document keeping only matching events (metadata
+ *       records are always kept so the output still loads in
+ *       Perfetto). Writes to stdout.
+ *
+ * Exit status: 0 on success, 1 on bad input, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+using afcsim::JsonValue;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: afcsim-trace summary TRACE.json\n"
+        "       afcsim-trace filter TRACE.json [node=N] [cat=CAT]\n"
+        "                    [name=NAME] [from=CYCLE] [to=CYCLE]\n");
+    return 2;
+}
+
+/** key=value operands after the file argument. */
+struct Filter
+{
+    long node = -1;
+    std::string cat;
+    std::string name;
+    long from = -1;
+    long to = -1;
+};
+
+bool
+parseFilter(int argc, char **argv, int start, Filter &f)
+{
+    for (int i = start; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            std::fprintf(stderr,
+                         "afcsim-trace: bad operand '%s' "
+                         "(want key=value)\n",
+                         arg.c_str());
+            return false;
+        }
+        std::string key = arg.substr(0, eq);
+        std::string value = arg.substr(eq + 1);
+        if (key == "node") {
+            f.node = std::strtol(value.c_str(), nullptr, 10);
+        } else if (key == "cat") {
+            f.cat = value;
+        } else if (key == "name") {
+            f.name = value;
+        } else if (key == "from") {
+            f.from = std::strtol(value.c_str(), nullptr, 10);
+        } else if (key == "to") {
+            f.to = std::strtol(value.c_str(), nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "afcsim-trace: unknown filter key '%s'\n",
+                         key.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadTrace(const std::string &path, JsonValue &doc)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "afcsim-trace: cannot open '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    doc = JsonValue::parse(ss.str(), &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "afcsim-trace: %s: parse error: %s\n",
+                     path.c_str(), error.c_str());
+        return false;
+    }
+    if (!doc.isObject() || !doc.has("traceEvents") ||
+        !doc.at("traceEvents").isArray()) {
+        std::fprintf(stderr,
+                     "afcsim-trace: %s: not a Chrome trace-event "
+                     "document (no traceEvents array)\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+strField(const JsonValue &e, const char *key)
+{
+    const JsonValue *v = e.find(key);
+    return v != nullptr && v->isString() ? v->asString() : std::string();
+}
+
+long
+intField(const JsonValue &e, const char *key, long fallback)
+{
+    const JsonValue *v = e.find(key);
+    return v != nullptr && v->isNumber() ? v->asInt() : fallback;
+}
+
+int
+runSummary(const JsonValue &doc)
+{
+    const JsonValue &events = doc.at("traceEvents");
+    std::map<std::string, std::uint64_t> byName;
+    std::map<std::string, std::uint64_t> byCat;
+    // Mode-span replay state per tid.
+    struct ModeState
+    {
+        std::string open;   ///< "BP"/"BPL" of the unclosed B, if any
+        long openTs = 0;
+        long bpCycles = 0;
+        long totalCycles = 0;
+    };
+    std::map<long, ModeState> modes;
+
+    long last_ts = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        std::string ph = strField(e, "ph");
+        long ts = intField(e, "ts", 0);
+        if (ts > last_ts)
+            last_ts = ts;
+        if (ph == "M" || ph == "C")
+            continue;
+        long tid = intField(e, "tid", -1);
+        if (ph == "B") {
+            ModeState &m = modes[tid];
+            m.open = strField(e, "name");
+            m.openTs = ts;
+            continue;
+        }
+        if (ph == "E") {
+            ModeState &m = modes[tid];
+            if (!m.open.empty()) {
+                long span = ts - m.openTs;
+                m.totalCycles += span;
+                if (m.open == "BP")
+                    m.bpCycles += span;
+                m.open.clear();
+            }
+            continue;
+        }
+        // Instant events: flit lifecycle and mode switches.
+        ++byName[strField(e, "name")];
+        ++byCat[strField(e, "cat")];
+    }
+
+    std::printf("events by name:\n");
+    for (const auto &[name, count] : byName)
+        std::printf("  %-18s %10llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+    std::printf("events by category:\n");
+    for (const auto &[cat, count] : byCat)
+        std::printf("  %-18s %10llu\n", cat.c_str(),
+                    static_cast<unsigned long long>(count));
+
+    if (!modes.empty()) {
+        std::printf("mode residency (BP fraction of traced span):\n");
+        double sum = 0.0;
+        std::uint64_t counted = 0;
+        for (const auto &[tid, m] : modes) {
+            double frac = m.totalCycles > 0
+                ? static_cast<double>(m.bpCycles) / m.totalCycles
+                : 0.0;
+            std::printf("  router %-4ld %6.1f%%  (%ld / %ld cycles)\n",
+                        tid, 100.0 * frac, m.bpCycles, m.totalCycles);
+            sum += frac;
+            ++counted;
+        }
+        if (counted > 0)
+            std::printf("  mean       %6.1f%%\n",
+                        100.0 * sum / static_cast<double>(counted));
+    }
+    std::printf("last event at cycle %ld\n", last_ts);
+    return 0;
+}
+
+bool
+matches(const JsonValue &e, const Filter &f)
+{
+    if (f.node >= 0 && intField(e, "tid", -1) != f.node)
+        return false;
+    if (!f.cat.empty() && strField(e, "cat") != f.cat)
+        return false;
+    if (!f.name.empty() && strField(e, "name") != f.name)
+        return false;
+    long ts = intField(e, "ts", 0);
+    if (f.from >= 0 && ts < f.from)
+        return false;
+    if (f.to >= 0 && ts > f.to)
+        return false;
+    return true;
+}
+
+int
+runFilter(const JsonValue &doc, const Filter &f)
+{
+    const JsonValue &events = doc.at("traceEvents");
+    JsonValue kept = JsonValue::array();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        // Keep metadata so the result still renders named tracks.
+        if (strField(e, "ph") == "M" || matches(e, f))
+            kept.push(e);
+    }
+    JsonValue out = JsonValue::object();
+    out.set("traceEvents", std::move(kept));
+    for (const auto &[key, value] : doc.members()) {
+        if (key != "traceEvents")
+            out.set(key, value);
+    }
+    std::printf("%s\n", out.dump(0).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd != "summary" && cmd != "filter")
+        return usage();
+
+    JsonValue doc;
+    if (!loadTrace(argv[2], doc))
+        return 1;
+
+    if (cmd == "summary") {
+        if (argc != 3)
+            return usage();
+        return runSummary(doc);
+    }
+    Filter f;
+    if (!parseFilter(argc, argv, 3, f))
+        return 2;
+    return runFilter(doc, f);
+}

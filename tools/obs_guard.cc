@@ -1,0 +1,230 @@
+/**
+ * @file
+ * afcsim-obs-guard: throughput-regression guard for the observability
+ * subsystem. It replays the bench_router_micro AFC hot loop (a 3x3
+ * AFC mesh under uniform open-loop traffic at 0.3 flits/node/cycle)
+ * with observability disabled, takes the best of several repetitions,
+ * and either records the result as a baseline or checks the current
+ * build against a recorded baseline.
+ *
+ * The guarded quantity is the *calibrated ratio* sim-cycles/sec
+ * divided by the throughput of a fixed pure-CPU reference kernel
+ * measured in the same process, interleaved rep by rep. Host speed
+ * changes (frequency scaling, an overcommitted container) move both
+ * numbers together and cancel in the ratio, so a tight tolerance
+ * stays meaningful on noisy machines where raw wall-clock — or even
+ * CPU-time — throughput drifts by 5-20 % between invocations.
+ *
+ * Usage (key=value options):
+ *   afcsim-obs-guard mode=record [file=bench_router_micro_obs.json]
+ *       Measure and write the baseline file (schema matches the
+ *       ThroughputProfiler export, plus a "guard" block).
+ *   afcsim-obs-guard mode=check [file=...] [tolerance=0.02]
+ *       Re-measure and fail (exit 1) if the calibrated ratio fell
+ *       more than `tolerance` below the baseline. Also measures the
+ *       obs-on configuration and reports its overhead
+ *       (informational).
+ *
+ * Extra knobs: cycles=N (per rep, default 60000), reps=N (default 3).
+ */
+
+#include <algorithm>
+#include <ctime>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/config.hh"
+#include "common/json.hh"
+#include "network/network.hh"
+#include "obs/profile.hh"
+#include "traffic/injector.hh"
+#include "traffic/patterns.hh"
+
+using namespace afcsim;
+
+namespace
+{
+
+/**
+ * Process CPU time: unlike wall clock, it does not count cycles the
+ * scheduler gave to other processes, so best-of-N measurements stay
+ * comparable on a loaded or overcommitted host. (The loop is
+ * single-threaded, so CPU time == time actually spent simulating.)
+ */
+double
+cpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+/** One timed run of the bench_router_micro AFC loop. */
+double
+measureCyclesPerSec(const NetworkConfig &cfg, Cycle cycles)
+{
+    Network net(cfg, FlowControl::Afc);
+    UniformPattern pattern(net.mesh());
+    OpenLoopInjector inj(net, pattern, 0.3, 0.35);
+    double t0 = cpuSeconds();
+    for (Cycle c = 0; c < cycles; ++c) {
+        inj.tick(net.now());
+        net.step();
+    }
+    double sec = cpuSeconds() - t0;
+    return sec > 0.0 ? static_cast<double>(cycles) / sec : 0.0;
+}
+
+/**
+ * Reference kernel: a fixed amount of pure-register work (xorshift64
+ * over `iters` steps), returning steps/sec of CPU time. Cache- and
+ * memory-free, so its speed tracks the core's effective frequency.
+ */
+double
+calibrationStepsPerSec(std::uint64_t iters)
+{
+    double t0 = cpuSeconds();
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    double sec = cpuSeconds() - t0;
+    // Defeat dead-code elimination of the kernel.
+    volatile std::uint64_t sink = x;
+    (void)sink;
+    return sec > 0.0 ? static_cast<double>(iters) / sec : 0.0;
+}
+
+/**
+ * Best-of-`reps` sim throughput and calibration throughput,
+ * interleaved so both sample the same machine conditions. Returns
+ * {sim cycles/sec, calibration steps/sec}.
+ */
+struct Measurement
+{
+    double simCps = 0.0;
+    double calibSps = 0.0;
+};
+
+Measurement
+bestOf(const NetworkConfig &cfg, Cycle cycles, int reps)
+{
+    constexpr std::uint64_t kCalibIters = 20'000'000;
+    Measurement m;
+    for (int i = 0; i < reps; ++i) {
+        m.simCps = std::max(m.simCps, measureCyclesPerSec(cfg, cycles));
+        m.calibSps =
+            std::max(m.calibSps, calibrationStepsPerSec(kCalibIters));
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt(argc, argv);
+    std::string mode = opt.get("mode", "check");
+    std::string file = opt.get("file", "bench_router_micro_obs.json");
+    Cycle cycles = static_cast<Cycle>(opt.getInt("cycles", 60000));
+    int reps = static_cast<int>(opt.getInt("reps", 3));
+    double tolerance = opt.getDouble("tolerance", 0.02);
+
+    NetworkConfig off; // observability disabled: the guarded path
+    Measurement offm = bestOf(off, cycles, reps);
+    double off_cps = offm.simCps;
+    double off_ratio =
+        offm.calibSps > 0.0 ? offm.simCps / offm.calibSps : 0.0;
+
+    NetworkConfig on = off;
+    on.obs.trace = true;
+    on.obs.sampleInterval = 64;
+    double on_cps = bestOf(on, cycles, reps).simCps;
+
+    double overhead =
+        off_cps > 0.0 ? 1.0 - on_cps / off_cps : 0.0;
+    std::printf("obs off: %.0f cycles/s, calibrated ratio %.5g "
+                "(best of %d x %llu cycles)\n",
+                off_cps, off_ratio, reps,
+                static_cast<unsigned long long>(cycles));
+    std::printf("obs on:  %.0f cycles/s (%.1f%% overhead)\n", on_cps,
+                100.0 * overhead);
+
+    if (mode == "record") {
+        obs::ThroughputProfiler prof("bench_router_micro");
+        double wall_ms =
+            off_cps > 0.0 ? 1000.0 * cycles / off_cps : 0.0;
+        prof.add("afc_cycle_obs_off", wall_ms, cycles, 0);
+        JsonValue doc = prof.toJson();
+        JsonValue guard = JsonValue::object();
+        guard.set("cycles_per_sec", off_cps);
+        guard.set("calib_steps_per_sec", offm.calibSps);
+        guard.set("calibrated_ratio", off_ratio);
+        guard.set("obs_on_cycles_per_sec", on_cps);
+        guard.set("reps", reps);
+        guard.set("cycles", static_cast<std::int64_t>(cycles));
+        doc.set("guard", std::move(guard));
+        std::ofstream out(file);
+        if (!out) {
+            std::fprintf(stderr,
+                         "afcsim-obs-guard: cannot write '%s'\n",
+                         file.c_str());
+            return 1;
+        }
+        out << doc.dump(2) << '\n';
+        std::printf("recorded baseline -> %s\n", file.c_str());
+        return 0;
+    }
+
+    if (mode != "check") {
+        std::fprintf(stderr,
+                     "afcsim-obs-guard: unknown mode '%s' "
+                     "(want record or check)\n",
+                     mode.c_str());
+        return 2;
+    }
+
+    std::ifstream in(file);
+    if (!in) {
+        std::fprintf(stderr,
+                     "afcsim-obs-guard: no baseline '%s' "
+                     "(run mode=record first)\n",
+                     file.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    JsonValue doc = JsonValue::parse(ss.str(), &error);
+    if (!error.empty() || !doc.has("guard")) {
+        std::fprintf(stderr,
+                     "afcsim-obs-guard: bad baseline '%s': %s\n",
+                     file.c_str(),
+                     error.empty() ? "missing guard block"
+                                   : error.c_str());
+        return 1;
+    }
+    double baseline =
+        doc.at("guard").at("calibrated_ratio").asDouble();
+    double floor = baseline * (1.0 - tolerance);
+    std::printf("baseline ratio: %.5g, floor: %.5g (-%.0f%%)\n",
+                baseline, floor, 100.0 * tolerance);
+    if (off_ratio < floor) {
+        std::fprintf(stderr,
+                     "afcsim-obs-guard: FAIL: calibrated ratio %.5g "
+                     "is below the %.5g floor (baseline %.5g, "
+                     "tolerance %.0f%%)\n",
+                     off_ratio, floor, baseline, 100.0 * tolerance);
+        return 1;
+    }
+    std::printf("PASS: tracing-off throughput within %.0f%% of "
+                "baseline (calibrated)\n",
+                100.0 * tolerance);
+    return 0;
+}

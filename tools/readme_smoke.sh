@@ -1,0 +1,105 @@
+#!/bin/sh
+# Extract fenced ```sh blocks from a markdown file and execute them
+# against a build tree, so documented commands can never go stale.
+#
+# Usage: readme_smoke.sh <markdown-file> <build-dir>
+#
+# Every block runs verbatim in a scratch directory with `./build/`
+# rewritten to the given build dir. A marker comment on the line
+# before a fence changes the mode:
+#   <!-- readme-smoke: skip -->       do not touch the block
+#   <!-- readme-smoke: check-only --> only verify each command's
+#                                     binary exists and is executable
+set -eu
+
+README=${1:?usage: readme_smoke.sh <markdown-file> <build-dir>}
+BUILD_DIR=${2:?usage: readme_smoke.sh <markdown-file> <build-dir>}
+README=$(cd "$(dirname "$README")" && pwd)/$(basename "$README")
+BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+mkdir "$WORK/scratch"
+
+# Commands run in a scratch dir (artifacts never pollute the repo),
+# but may reference repo-relative inputs like examples/example.cfg —
+# symlink the repo's top-level entries in.
+README_DIR=$(dirname "$README")
+for entry in "$README_DIR"/*; do
+    name=$(basename "$entry")
+    [ "$README_DIR/$name" = "$BUILD_DIR" ] && continue
+    ln -s "$entry" "$WORK/scratch/$name" 2>/dev/null || true
+done
+
+# Split the fenced sh blocks into numbered files; line 1 of each file
+# is the mode selected by the marker preceding the fence.
+awk -v out="$WORK/block" '
+    /<!-- readme-smoke: skip -->/       { mode = "skip"; next }
+    /<!-- readme-smoke: check-only -->/ { mode = "check-only"; next }
+    /^```sh[ \t]*$/ {
+        inblock = 1; file = sprintf("%s%03d.sh", out, ++n)
+        print (mode ? mode : "run") > file; mode = ""; next
+    }
+    /^```/  { inblock = 0; next }
+    inblock { print >> file }
+' "$README"
+
+blocks=0
+ran=0
+checked=0
+status=0
+for block in "$WORK"/block*.sh; do
+    [ -e "$block" ] || break
+    blocks=$((blocks + 1))
+    mode=$(head -n 1 "$block")
+    body="$WORK/body.sh"
+    tail -n +2 "$block" | sed "s#\\./build/#$BUILD_DIR/#g" > "$body"
+    case "$mode" in
+      skip)
+        echo "== block $blocks: skipped"
+        ;;
+      check-only)
+        echo "== block $blocks: checking binaries"
+        # Join backslash continuations, then test the first token of
+        # every non-comment command line.
+        sed -e ':a' -e '/\\$/{N; s/\\\n//; ba' -e '}' "$body" |
+        while IFS= read -r line; do
+            set -- $line
+            [ $# -gt 0 ] || continue
+            case "$1" in \#*) continue ;; esac
+            case "$1" in
+              */*)
+                if [ ! -x "$1" ]; then
+                    echo "MISSING binary: $1 (documented in $README)"
+                    exit 1
+                fi
+                echo "   ok: $1"
+                ;;
+            esac
+        done || status=1
+        checked=$((checked + 1))
+        ;;
+      run)
+        echo "== block $blocks: running"
+        sed 's/^/   $ /' "$body"
+        if ! (cd "$WORK/scratch" && sh -e "$body" >"$WORK/out.log" 2>&1)
+        then
+            echo "FAILED block $blocks; output:"
+            cat "$WORK/out.log"
+            status=1
+        fi
+        ran=$((ran + 1))
+        ;;
+      *)
+        echo "unknown mode '$mode' for block $blocks"
+        status=1
+        ;;
+    esac
+done
+
+echo "readme_smoke: $blocks block(s): $ran run, $checked checked"
+if [ "$blocks" -eq 0 ]; then
+    echo "readme_smoke: no \`\`\`sh blocks found in $README"
+    status=1
+fi
+exit $status
