@@ -67,16 +67,19 @@ BM_DeflectionEngineAssign(benchmark::State &state)
     Mesh mesh(3, 3);
     DeflectionEngine eng(mesh, 4, DeflectionPolicy::Random, 1);
     Rng rng(1);
-    std::vector<Flit> flits(4);
+    std::vector<Flit> proto(4);
     for (int i = 0; i < 4; ++i) {
-        flits[i].packet = i;
-        flits[i].src = 0;
-        flits[i].dest = static_cast<NodeId>((i * 2 + 1) % 9);
+        proto[i].packet = i;
+        proto[i].src = 0;
+        proto[i].dest = static_cast<NodeId>((i * 2 + 1) % 9);
     }
+    std::vector<Flit> flits;
+    std::vector<DeflectionEngine::Assignment> out;
     for (auto _ : state) {
+        flits = proto; // assign() reorders its input in place
         Direction free_port;
-        auto out = eng.assign(flits, rng, 8, &free_port);
-        benchmark::DoNotOptimize(out);
+        eng.assign(flits, rng, 8, &free_port, out);
+        benchmark::DoNotOptimize(out.data());
     }
 }
 BENCHMARK(BM_DeflectionEngineAssign);
@@ -90,6 +93,34 @@ BM_IdleNetworkCycle(benchmark::State &state)
         net.step();
 }
 BENCHMARK(BM_IdleNetworkCycle);
+
+void
+BM_IdleNetworkCycleNoSkip(benchmark::State &state)
+{
+    NetworkConfig cfg;
+    cfg.idleSkip = false;
+    Network net(cfg, FlowControl::Afc);
+    for (auto _ : state)
+        net.step();
+}
+BENCHMARK(BM_IdleNetworkCycleNoSkip);
+
+void
+BM_AfcCycleNoSkip(benchmark::State &state)
+{
+    NetworkConfig cfg;
+    cfg.idleSkip = false;
+    Network net(cfg, FlowControl::Afc);
+    UniformPattern pattern(net.mesh());
+    OpenLoopInjector inj(net, pattern, 0.3, 0.35);
+    for (auto _ : state) {
+        inj.tick(net.now());
+        net.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+    benchmark::DoNotOptimize(net.aggregateStats().flitsDelivered);
+}
+BENCHMARK(BM_AfcCycleNoSkip);
 
 } // namespace
 } // namespace afcsim

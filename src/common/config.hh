@@ -287,6 +287,15 @@ struct NetworkConfig
      * of the paper's randomized (Chaos-style) priorities (ablation).
      */
     bool oldestFirstDeflection = false;
+    /**
+     * Activity-tracked scheduler (`sim.idle_skip`): Network::step()
+     * iterates only routers with work; quiescent routers are replayed
+     * lazily (Router::advanceIdle) when an arrival wakes them or an
+     * observer needs their state. Bit-identical to the full scan on
+     * every exported counter (tests/sched_equiv_test.cc); the knob
+     * exists for differential testing and perf triage, not tuning.
+     */
+    bool idleSkip = true;
 
     int numNodes() const { return width * height; }
     int numVnets() const { return static_cast<int>(vnets.size()); }

@@ -113,6 +113,8 @@ applyConfigKey(NetworkConfig &cfg, const std::string &key,
         cfg.seed = static_cast<std::uint64_t>(toInt(key, value));
     } else if (key == "oldest_first_deflection") {
         cfg.oldestFirstDeflection = toBool(key, value);
+    } else if (key == "sim.idle_skip") {
+        cfg.idleSkip = toBool(key, value);
     // AFC policy parameters.
     } else if (key == "afc.ewma_weight") {
         cfg.afc.ewmaWeight = toDouble(key, value);

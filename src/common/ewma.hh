@@ -81,6 +81,15 @@ class TrafficIntensity
     /** Current smoothed traffic intensity (flits/cycle). */
     double value() const { return ewma_.value(); }
 
+    /**
+     * True when every boxcar slot is zero, i.e. no flit has crossed
+     * the router in the last kWindow recorded cycles. While this
+     * holds (and no new flits arrive), recordCycle(0) can only decay
+     * the estimate — the idle-skip scheduler uses this to prove a
+     * sleeping router can never cross a switch-up threshold.
+     */
+    bool windowClear() const { return sum_ == 0; }
+
     /** Reset both the window and the EWMA. */
     void
     reset()

@@ -79,11 +79,30 @@ scalingExperiment()
     return spec;
 }
 
+ExperimentSpec
+faultSweepExperiment()
+{
+    ExperimentSpec spec;
+    spec.name = "fault_sweep";
+    spec.description =
+        "Link-fault robustness: flit-corruption rate sweep with "
+        "end-to-end retransmission, low and moderate load";
+    spec.kind = RunKind::OpenLoop;
+    spec.configs = {FlowControl::Backpressured,
+                    FlowControl::Backpressureless, FlowControl::Afc};
+    spec.rates = {0.1, 0.3};
+    spec.faultRates = {0.0, 0.001, 0.005, 0.02};
+    spec.warmupCycles = 4000;
+    spec.measureCycles = 12000;
+    spec.baseSeed = 1;
+    return spec;
+}
+
 std::vector<std::string>
 experimentNames()
 {
     return {"openloop_sweep", "fig2_low_load", "fig2_high_load",
-            "scaling"};
+            "scaling", "fault_sweep"};
 }
 
 ExperimentSpec
@@ -97,9 +116,11 @@ experimentByName(const std::string &name)
         return fig2HighLoadExperiment();
     if (name == "scaling")
         return scalingExperiment();
+    if (name == "fault_sweep")
+        return faultSweepExperiment();
     AFCSIM_CONFIG_ERROR("unknown experiment '", name, "'; known: ",
                  "openloop_sweep, fig2_low_load, fig2_high_load, "
-                 "scaling");
+                 "scaling, fault_sweep");
 }
 
 } // namespace afcsim::exp

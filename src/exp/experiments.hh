@@ -40,6 +40,14 @@ ExperimentSpec fig2HighLoadExperiment();
  */
 ExperimentSpec scalingExperiment();
 
+/**
+ * Link-fault robustness sweep: flit-corruption rates {0, 0.001,
+ * 0.005, 0.02} x offered loads {0.1, 0.3} with end-to-end
+ * retransmission armed for nonzero rates (bench_fault_sweep's setup
+ * as a declarative grid).
+ */
+ExperimentSpec faultSweepExperiment();
+
 /** All registered experiment names. */
 std::vector<std::string> experimentNames();
 

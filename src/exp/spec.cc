@@ -81,6 +81,15 @@ rateLabel(double rate)
     return buf;
 }
 
+/** Group-label suffix for the fault axis ("fault=0.005"). */
+std::string
+faultLabel(double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "fault=%g", rate);
+    return buf;
+}
+
 } // namespace
 
 std::string
@@ -133,53 +142,74 @@ ExperimentSpec::expand() const
             profiles.push_back(workloadByName(w));
     }
 
+    // Fault axis: a negative sentinel leaves base.faults untouched
+    // when no rates are listed, so fault-free specs expand exactly as
+    // before the axis existed.
+    std::vector<double> faults = faultRates;
+    if (faults.empty())
+        faults.push_back(-1.0);
+
     std::vector<RunPoint> points;
     int index = 0;
     for (int mesh : meshes) {
         std::size_t groups = kind == RunKind::OpenLoop ? rates.size()
                                                        : profiles.size();
         for (std::size_t g = 0; g < groups; ++g) {
-            for (int rep = 0; rep < repeats; ++rep) {
-                for (FlowControl fc : configs) {
-                    RunPoint p;
-                    p.index = index++;
-                    p.kind = kind;
-                    p.experiment = name;
-                    p.mesh = mesh;
-                    p.fc = fc;
-                    p.repeat = rep;
-                    p.seed = baseSeed + 1000ull * rep;
-                    p.cfg = base;
-                    p.cfg.width = mesh;
-                    p.cfg.height = mesh;
-                    p.cfg.seed = p.seed;
-                    p.maxCycles = maxCycles;
-                    p.obsDir = obsDir;
-                    p.cfg.validate();
-                    if (kind == RunKind::OpenLoop) {
-                        p.rate = rates[g];
-                        p.group = rateLabel(p.rate);
-                        p.ol.injectionRate = p.rate;
-                        p.ol.pattern = pattern;
-                        p.ol.warmupCycles = warmupCycles;
-                        p.ol.measureCycles = measureCycles;
-                        p.ol.drainCycles = drainCycles;
-                        p.ol.dataPacketFraction = dataPacketFraction;
-                    } else {
-                        WorkloadProfile w = profiles[g];
-                        double s = scale;
-                        if (scaleWithMesh)
-                            s *= static_cast<double>(mesh * mesh) / 9.0;
-                        w.measureTransactions =
-                            static_cast<std::uint64_t>(
-                                w.measureTransactions * s);
-                        w.warmupTransactions =
-                            static_cast<std::uint64_t>(
-                                w.warmupTransactions * s);
-                        p.workload = w;
-                        p.group = w.name;
+            for (double frate : faults) {
+                for (int rep = 0; rep < repeats; ++rep) {
+                    for (FlowControl fc : configs) {
+                        RunPoint p;
+                        p.index = index++;
+                        p.kind = kind;
+                        p.experiment = name;
+                        p.mesh = mesh;
+                        p.fc = fc;
+                        p.repeat = rep;
+                        p.seed = baseSeed + 1000ull * rep;
+                        p.cfg = base;
+                        p.cfg.width = mesh;
+                        p.cfg.height = mesh;
+                        p.cfg.seed = p.seed;
+                        p.maxCycles = maxCycles;
+                        p.obsDir = obsDir;
+                        if (kind == RunKind::OpenLoop) {
+                            p.rate = rates[g];
+                            p.group = rateLabel(p.rate);
+                            p.ol.injectionRate = p.rate;
+                            p.ol.pattern = pattern;
+                            p.ol.warmupCycles = warmupCycles;
+                            p.ol.measureCycles = measureCycles;
+                            p.ol.drainCycles = drainCycles;
+                            p.ol.dataPacketFraction =
+                                dataPacketFraction;
+                        } else {
+                            WorkloadProfile w = profiles[g];
+                            double s = scale;
+                            if (scaleWithMesh)
+                                s *= static_cast<double>(mesh * mesh) /
+                                     9.0;
+                            w.measureTransactions =
+                                static_cast<std::uint64_t>(
+                                    w.measureTransactions * s);
+                            w.warmupTransactions =
+                                static_cast<std::uint64_t>(
+                                    w.warmupTransactions * s);
+                            p.workload = w;
+                            p.group = w.name;
+                        }
+                        if (frate >= 0.0) {
+                            p.cfg.faults.corruptRate = frate;
+                            if (frate > 0.0 &&
+                                !base.reliability.enabled) {
+                                p.cfg.reliability.enabled = true;
+                                p.cfg.reliability.timeoutCycles = 256;
+                                p.cfg.reliability.maxRetries = 16;
+                            }
+                            p.group += " " + faultLabel(frate);
+                        }
+                        p.cfg.validate();
+                        points.push_back(std::move(p));
                     }
-                    points.push_back(std::move(p));
                 }
             }
         }
@@ -228,6 +258,10 @@ ExperimentSpec::fromText(const std::string &text)
             spec.rates.clear();
             for (const auto &r : splitList(value))
                 spec.rates.push_back(toDouble(key, r));
+        } else if (k == "fault_rates") {
+            spec.faultRates.clear();
+            for (const auto &r : splitList(value))
+                spec.faultRates.push_back(toDouble(key, r));
         } else if (k == "configs") {
             spec.configs.clear();
             for (const auto &c : splitList(value))

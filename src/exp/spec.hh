@@ -65,9 +65,9 @@ struct RunPoint
 /**
  * Declarative description of a run grid. Vector fields are axes of
  * the grid; scalar fields apply to every run. Expansion order is
- * mesh -> group (rate/workload) -> repeat -> flow control, so run
- * indices (and therefore seeds and emitted JSON) are independent of
- * how the runs are later scheduled.
+ * mesh -> group (rate/workload) -> fault rate -> repeat -> flow
+ * control, so run indices (and therefore seeds and emitted JSON) are
+ * independent of how the runs are later scheduled.
  */
 struct ExperimentSpec
 {
@@ -105,6 +105,18 @@ struct ExperimentSpec
      */
     bool scaleWithMesh = false;
 
+    /**
+     * Link-fault axis: per-flit corruption rates swept as an extra
+     * grid dimension (empty = base.faults left untouched). A listed
+     * rate overwrites base.faults.corruptRate, and a nonzero rate
+     * arms end-to-end retransmission (timeout 256 cycles, 16
+     * retries — the bench_fault_sweep setup) unless the base config
+     * already enabled it, so corrupted flits are recovered rather
+     * than silently lost. Group labels gain a " fault=<r>" suffix so
+     * aggregation never mixes rates.
+     */
+    std::vector<double> faultRates;
+
     /** Independent repeats; run r uses seed baseSeed + 1000 r. */
     int repeats = 1;
     std::uint64_t baseSeed = 7;
@@ -121,8 +133,9 @@ struct ExperimentSpec
 
     /**
      * Parse a spec from `key = value` text. Keys prefixed `exp.`
-     * configure the spec (kind, rates, configs, workloads, warmup,
-     * measure, repeats, seed, scale, mesh, pattern, ...); all other
+     * configure the spec (kind, rates, fault_rates, configs,
+     * workloads, warmup, measure, repeats, seed, scale, mesh,
+     * pattern, ...); all other
      * keys are NetworkConfig keys applied to `base` (see
      * configfile.hh). Throws ConfigError on unknown or malformed
      * keys.

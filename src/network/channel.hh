@@ -47,17 +47,33 @@ class Channel
 
     /**
      * Pop every message whose arrival time is <= now, in order.
-     * Called once per cycle by the network kernel.
+     * Convenience for tests; the cycle kernel drains with
+     * ready()/pop() to avoid the per-call vector.
      */
     std::vector<T>
     receive(Cycle now)
     {
         std::vector<T> out;
-        while (!inflight_.empty() && inflight_.front().first <= now) {
-            out.push_back(std::move(inflight_.front().second));
-            inflight_.pop_front();
-        }
+        while (ready(now))
+            out.push_back(pop());
         return out;
+    }
+
+    /** True when the oldest in-flight message has arrived by `now`. */
+    bool
+    ready(Cycle now) const
+    {
+        return !inflight_.empty() && inflight_.front().first <= now;
+    }
+
+    /** Pop the oldest message; only valid when ready() held. */
+    T
+    pop()
+    {
+        AFCSIM_ASSERT(!inflight_.empty(), "pop on empty channel");
+        T msg = std::move(inflight_.front().second);
+        inflight_.pop_front();
+        return msg;
     }
 
     /** Messages still in the pipe (used by drain checks and tests). */

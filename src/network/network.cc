@@ -1,5 +1,7 @@
 #include "network/network.hh"
 
+#include <algorithm>
+
 #include "common/error.hh"
 #include "common/rng.hh"
 #include "fault/fault.hh"
@@ -115,6 +117,29 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
         }
     }
 
+    // Activity scheduler state must exist before the observability
+    // bundle attaches below (attach() reads routers through the
+    // syncing accessors). Everyone starts active with nothing owed.
+    idleSkip_ = cfg_.idleSkip;
+    relEnabled_ = cfg_.reliability.enabled;
+    activeFlag_.assign(n, 1);
+    lastDone_.assign(n, 0);
+    activeList_.resize(n);
+    for (NodeId node = 0; node < n; ++node)
+        activeList_[node] = node;
+    if (idleSkip_) {
+        for (NodeId node = 0; node < n; ++node) {
+            nics_[node]->setWakeHook(
+                [this, node] { wakeRouter(node); });
+        }
+        if (nackFabric_) {
+            // NACKs are sent mid-evaluate; the wake must not mutate
+            // the active list while step() iterates it.
+            nackFabric_->setWakeHook(
+                [this](NodeId src) { wakeDeferred(src); });
+        }
+    }
+
     if (cfg_.faults.any())
         faults_ = std::make_unique<FaultInjector>(cfg_.faults, n,
                                                   cfg_.seed);
@@ -152,9 +177,14 @@ Network::deliver()
             [this](NodeId node, int d, Flit &flit) {
                 Direction dir = static_cast<Direction>(d);
                 NodeId nbr = mesh_.neighbor(node, dir);
+                wakeRouter(nbr);
                 routers_[nbr]->acceptFlit(opposite(dir), flit, now_);
             });
     }
+    // Any delivered arrival re-activates its router first, so the
+    // parked router replays its skipped idle cycles before the accept
+    // mutates latch/credit state. Channels drain with ready()/pop()
+    // — a quiet link costs one deque probe, an arrival no vector.
     for (NodeId node = 0; node < n; ++node) {
         for (int d = 0; d < kNumNetPorts; ++d) {
             Direction dir = static_cast<Direction>(d);
@@ -162,32 +192,76 @@ Network::deliver()
             if (nbr == kInvalidNode)
                 continue;
             if (flitCh_[node][d]) {
-                for (auto &flit : flitCh_[node][d]->receive(now_)) {
+                while (flitCh_[node][d]->ready(now_)) {
+                    Flit flit = flitCh_[node][d]->pop();
                     if (faults_ &&
                         !faults_->onFlitArrival(node, d, flit, now_))
                         continue; // captured by a link stall
+                    wakeRouter(nbr);
                     routers_[nbr]->acceptFlit(opposite(dir), flit, now_);
                 }
             }
             if (creditCh_[node][d]) {
                 // A credit sent from node's *input* port d goes to
                 // the upstream router's *output* port opposite(d).
-                for (auto &credit : creditCh_[node][d]->receive(now_)) {
+                while (creditCh_[node][d]->ready(now_)) {
+                    Credit credit = creditCh_[node][d]->pop();
                     if (faults_ &&
                         !faults_->onCreditArrival(node, d, now_))
                         continue; // credit lost (watchdog-test knob)
+                    wakeRouter(nbr);
                     routers_[nbr]->acceptCredit(opposite(dir), credit,
                                                 now_);
                 }
             }
             if (ctlCh_[node][d]) {
-                for (auto &msg : ctlCh_[node][d]->receive(now_))
+                while (ctlCh_[node][d]->ready(now_)) {
+                    CtlMsg msg = ctlCh_[node][d]->pop();
+                    wakeRouter(nbr);
                     routers_[nbr]->acceptCtl(opposite(dir), msg, now_);
+                }
             }
         }
-        for (auto &flit : ejectCh_[node]->receive(now_))
+        while (ejectCh_[node]->ready(now_)) {
+            Flit flit = ejectCh_[node]->pop();
             nics_[node]->eject(flit, now_);
+        }
     }
+}
+
+void
+Network::wakeRouter(NodeId n)
+{
+    if (!idleSkip_ || activeFlag_[n])
+        return;
+    if (lastDone_[n] < now_)
+        routers_[n]->advanceIdle(now_ - lastDone_[n]);
+    activeFlag_[n] = 1;
+    activeList_.push_back(n);
+    needSort_ = true;
+}
+
+void
+Network::wakeDeferred(NodeId n)
+{
+    if (!idleSkip_ || activeFlag_[n])
+        return;
+    // Flag now so repeat senders don't queue n twice; the idle replay
+    // happens after the advance loop (the sender fires mid-evaluate,
+    // and a parked router is provably idle through the current cycle
+    // — NACK fabric delay is always >= 1).
+    activeFlag_[n] = 1;
+    pendingWake_.push_back(n);
+}
+
+void
+Network::syncAll(Cycle target) const
+{
+    if (!idleSkip_)
+        return;
+    int n = mesh_.numNodes();
+    for (NodeId node = 0; node < n; ++node)
+        syncTo(node, target);
 }
 
 void
@@ -198,18 +272,70 @@ Network::step()
                          " (fault.fail_at_cycle)");
     }
     deliver();
-    for (auto &nic : nics_)
-        nic->tick(now_);
-    for (auto &r : routers_)
-        r->evaluate(now_);
-    for (auto &r : routers_)
-        r->advance(now_);
+    if (relEnabled_) {
+        for (auto &nic : nics_)
+            nic->tick(now_);
+    }
+    if (!idleSkip_) {
+        for (auto &r : routers_)
+            r->evaluate(now_);
+        for (auto &r : routers_)
+            r->advance(now_);
+    } else {
+        // Evaluate order must match the full scan's ascending node
+        // order: same-cycle pushes into the shared NACK fabric are
+        // order-sensitive. Wakes append, so restore sortedness first.
+        if (needSort_) {
+            std::sort(activeList_.begin(), activeList_.end());
+            needSort_ = false;
+        }
+        for (NodeId n : activeList_)
+            routers_[n]->evaluate(now_);
+        for (NodeId n : activeList_)
+            routers_[n]->advance(now_);
+        // Routers NACKed mid-evaluate: replay their idle cycles
+        // through now_ and admit them for cycle now_ + 1.
+        if (!pendingWake_.empty()) {
+            for (NodeId n : pendingWake_) {
+                if (lastDone_[n] < now_ + 1)
+                    routers_[n]->advanceIdle(now_ + 1 - lastDone_[n]);
+                activeList_.push_back(n);
+            }
+            pendingWake_.clear();
+            needSort_ = true;
+        }
+        // Park scan, every kParkIntervalCycles: drop routers that
+        // are idle *right now* from the active list, stamping the
+        // first cycle they have not yet run (now_ + 1). Everyone
+        // else stays listed; an active router's lastDone_ is never
+        // read (syncTo and wakeRouter check the flag first), so the
+        // common all-busy cycle touches no scheduler state at all.
+        if ((now_ + 1) % kParkIntervalCycles == 0) {
+            std::size_t w = 0;
+            for (std::size_t i = 0; i < activeList_.size(); ++i) {
+                NodeId n = activeList_[i];
+                if (routers_[n]->idle()) {
+                    activeFlag_[n] = 0;
+                    lastDone_[n] = now_ + 1;
+                    continue;
+                }
+                activeList_[w++] = n;
+            }
+            activeList_.resize(w);
+        }
+    }
     if (watchdog_ && now_ > 0 &&
         now_ % cfg_.watchdog.intervalCycles == 0) {
+        // Audits read true per-router state: catch parked routers up
+        // through the cycle that just completed.
+        syncAll(now_ + 1);
         watchdog_->check(*this, now_);
     }
-    if (obs_)
+    if (obs_) {
+        if (idleSkip_ && obs_->samplingAt(now_))
+            syncAll(now_ + 1); // sampled series stay bit-identical
         obs_->onCycleEnd(*this, now_);
+    }
     ++now_;
 }
 
@@ -273,6 +399,7 @@ Network::aggregateStats() const
 EnergyReport
 Network::aggregateEnergy() const
 {
+    syncAll(now_); // idle leakage accrues in advanceIdle
     EnergyReport total;
     for (const auto &l : ledgers_)
         total.merge(l->report());
@@ -282,6 +409,7 @@ Network::aggregateEnergy() const
 RouterStats
 Network::aggregateRouterStats() const
 {
+    syncAll(now_); // duty-cycle residency accrues in advanceIdle
     RouterStats total;
     for (const auto &r : routers_) {
         const RouterStats &s = r->stats();

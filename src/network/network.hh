@@ -14,6 +14,7 @@
 #ifndef AFCSIM_NETWORK_NETWORK_HH
 #define AFCSIM_NETWORK_NETWORK_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -66,8 +67,20 @@ class Network
 
     Nic &nic(NodeId n) { return *nics_.at(n); }
     const Nic &nic(NodeId n) const { return *nics_.at(n); }
-    Router &router(NodeId n) { return *routers_.at(n); }
-    const Router &router(NodeId n) const { return *routers_.at(n); }
+    /** Router accessors catch a parked router up on its skipped idle
+     *  cycles first, so callers always see exact per-cycle counters. */
+    Router &
+    router(NodeId n)
+    {
+        syncTo(n, now_);
+        return *routers_.at(n);
+    }
+    const Router &
+    router(NodeId n) const
+    {
+        syncTo(n, now_);
+        return *routers_.at(n);
+    }
 
     /** True when no flit exists anywhere in the system. */
     bool quiescent() const;
@@ -79,7 +92,12 @@ class Network
     EnergyReport aggregateEnergy() const;
 
     /** One node's energy ledger (observability sampling). */
-    const EnergyLedger &ledger(NodeId n) const { return *ledgers_.at(n); }
+    const EnergyLedger &
+    ledger(NodeId n) const
+    {
+        syncTo(n, now_); // idle leakage accrues in advanceIdle
+        return *ledgers_.at(n);
+    }
 
     /** Sum of all routers' activity statistics. */
     RouterStats aggregateRouterStats() const;
@@ -149,6 +167,59 @@ class Network
 
   private:
     void deliver();
+
+    /// @name Idle-router activity scheduler (cfg.idleSkip).
+    ///
+    /// Each router carries an active flag; step() evaluates only the
+    /// compact, ascending-sorted active list. A parked router records
+    /// lastDone_[n] = first cycle it has not yet accounted for; any
+    /// wake or external read replays the gap through advanceIdle(),
+    /// whose per-cycle arithmetic is bit-identical to running the
+    /// router live, so every exported counter matches idle_skip=off.
+    /// @{
+    /** Re-activate n for cycle now_ (arrivals, NIC work). No-op when
+     *  already active. Replays [lastDone_, now_) first. */
+    void wakeRouter(NodeId n);
+    /** Re-activate n from mid-evaluate senders (NACK fabric): queued
+     *  on pendingWake_ and replayed through now_ after the advance
+     *  loop, so n joins the active set at cycle now_ + 1. */
+    void wakeDeferred(NodeId n);
+    /** Replay a parked router's idle cycles up to (not including)
+     *  `target` without activating it. */
+    void
+    syncTo(NodeId n, Cycle target) const
+    {
+        if (!idleSkip_ || activeFlag_[n] || lastDone_[n] >= target)
+            return;
+        routers_[n]->advanceIdle(target - lastDone_[n]);
+        lastDone_[n] = target;
+    }
+    /** syncTo() every parked router (watchdog audits, obs samples). */
+    void syncAll(Cycle target) const;
+
+    bool idleSkip_ = false;
+    /** Hoists the per-cycle NIC tick loop (tick() is a no-op when
+     *  reliability is off). */
+    bool relEnabled_ = false;
+    /** Cadence of the park scan. An awake idle router costs two
+     *  cheap virtual calls per cycle; a premature park costs a wake
+     *  + idle replay + re-sort on the next arrival, so parking is
+     *  attempted only every few cycles and only routers idle at scan
+     *  time park — busy routers pay no per-cycle scheduler state at
+     *  all. Parking policy is perf-only: it cannot affect simulation
+     *  results (tests/sched_equiv_test.cc proves bit-identity). */
+    static constexpr Cycle kParkIntervalCycles = 8;
+    /** Active routers, ascending (evaluate order must match the full
+     *  scan: same-cycle NACK-fabric pushes are order-sensitive). */
+    std::vector<NodeId> activeList_;
+    std::vector<std::uint8_t> activeFlag_;
+    /** First cycle router n has not yet accounted for. Only
+     *  meaningful while n is parked (stamped at park time); mutable
+     *  so const accessors can sync parked routers on demand. */
+    mutable std::vector<Cycle> lastDone_;
+    std::vector<NodeId> pendingWake_;
+    bool needSort_ = false;
+    /// @}
 
     NetworkConfig cfg_;
     FlowControl fc_;

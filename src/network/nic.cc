@@ -70,9 +70,12 @@ Nic::sendPacket(NodeId dest, VnetId vnet, int length, Cycle now,
         }
         queues_[vnet].push_back(f);
     }
+    queuedTotal_ += static_cast<std::size_t>(length);
     ++stats_.packetsInjected;
     stats_.flitsInjected += length;
     lifetime_.flitsInjected += length;
+    if (wakeHook_)
+        wakeHook_();
     return id;
 }
 
@@ -133,6 +136,9 @@ Nic::tick(Cycle now)
                 ++pos;
         }
         q.insert(pos, e.flits.begin(), e.flits.end());
+        queuedTotal_ += e.flits.size();
+        if (wakeHook_)
+            wakeHook_();
         if (ledger_) {
             for (std::size_t i = 0; i < e.flits.size(); ++i)
                 ledger_->bufferRead();
@@ -172,6 +178,7 @@ Nic::popInjection(VnetId vnet, Cycle now)
     AFCSIM_ASSERT(hasInjectable(vnet), "pop on empty vnet queue");
     Flit f = queues_[vnet].front();
     queues_[vnet].pop_front();
+    --queuedTotal_;
     f.injectTime = now;
     if (rel_.enabled &&
         (f.type == FlitType::Tail || f.type == FlitType::Single)) {
@@ -185,15 +192,6 @@ Nic::popInjection(VnetId vnet, Cycle now)
     if (tracer_)
         tracer_->onInject(node_, f, now);
     return f;
-}
-
-std::size_t
-Nic::queuedFlits() const
-{
-    std::size_t n = 0;
-    for (const auto &q : queues_)
-        n += q.size();
-    return n;
 }
 
 std::size_t

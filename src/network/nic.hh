@@ -85,6 +85,16 @@ class Nic
     /** Register the reassembled-packet callback (closed-loop hook). */
     void setDeliveryHandler(DeliveryHandler handler);
 
+    /**
+     * Called whenever new injectable work appears at this NIC
+     * (sendPacket, or a retransmission timeout re-enqueueing flits).
+     * The idle-skip scheduler uses it to re-activate the router.
+     */
+    void setWakeHook(std::function<void()> hook)
+    {
+        wakeHook_ = std::move(hook);
+    }
+
     /** Attach an event tracer (nullptr disables tracing). */
     void attachTracer(FlitTracer *tracer) { tracer_ = tracer; }
 
@@ -121,8 +131,9 @@ class Nic
     const Flit &peekInjection(VnetId vnet) const;
     /** Dequeue the head flit of `vnet`, stamping its network entry. */
     Flit popInjection(VnetId vnet, Cycle now);
-    /** Total flits waiting across all vnets (source-queue occupancy). */
-    std::size_t queuedFlits() const;
+    /** Total flits waiting across all vnets (source-queue occupancy).
+     *  O(1): maintained as a running counter (hot path + idle checks). */
+    std::size_t queuedFlits() const { return queuedTotal_; }
     std::size_t queuedFlits(VnetId vnet) const;
     /// @}
 
@@ -180,6 +191,8 @@ class Nic
     PacketId *packetCounter_;
     ReliabilitySpec rel_;
     std::vector<std::deque<Flit>> queues_;
+    std::size_t queuedTotal_ = 0;
+    std::function<void()> wakeHook_;
     std::unordered_map<PacketId, Reassembly> reassembly_;
     std::size_t maxReassemblies_ = 0;
     DeliveryHandler handler_;

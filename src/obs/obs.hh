@@ -64,6 +64,17 @@ class Observability
     void onCycleEnd(const Network &net, Cycle now);
 
     /**
+     * True when onCycleEnd(net, now) will take a sampler snapshot.
+     * The idle-skip scheduler syncs parked routers first on exactly
+     * these cycles so every sampled series stays bit-identical.
+     */
+    bool
+    samplingAt(Cycle now) const
+    {
+        return sampler_ != nullptr && now % sampler_->interval() == 0;
+    }
+
+    /**
      * Mark the start of the measurement window (the harnesses call
      * this at their post-warmup stats reset). bpResidency() then
      * covers [windowStart, lastCycle] — the same window as the

@@ -10,7 +10,8 @@ AfcRouter::AfcRouter(const Mesh &mesh, NodeId node,
                      DeflectionPolicy policy)
     : Router(mesh, node, cfg), shape_(cfg.afcVnets), rng_(rng),
       policy_(policy), alwaysBp_(cfg.afc.alwaysBackpressured),
-      intensity_(cfg.afc.ewmaWeight), ejectPerCycle_(cfg.ejectPerCycle)
+      intensity_(cfg.afc.ewmaWeight), ejectPerCycle_(cfg.ejectPerCycle),
+      engine_(mesh, node, policy, cfg.ejectPerCycle)
 {
     switch (mesh.positionOf(node)) {
       case RouterPosition::Corner:
@@ -52,6 +53,15 @@ AfcRouter::AfcRouter(const Mesh &mesh, NodeId node,
     inputRr_.assign(kNumPorts, 0);
     outputRr_.assign(kNumPorts, 0);
 
+    // Flat SA-scan index tables: idx -> (vnet, slot).
+    for (int v = 0; v < shape_.numVnets(); ++v) {
+        for (int s = 0; s < shape_.count(v); ++s) {
+            slotVnet_.push_back(static_cast<VnetId>(v));
+            slotIndex_.push_back(s);
+        }
+    }
+    flatTotal_ = static_cast<int>(slotVnet_.size());
+
     int ports_with_buffers = mesh.numNetPortsAt(node) + 1;
     fullBufferBits_ = static_cast<std::int64_t>(ports_with_buffers) *
         shape_.totalBufferFlits() * FlitWidths::kAfc;
@@ -84,6 +94,8 @@ AfcRouter::acceptFlit(Direction in_port, const Flit &flit, Cycle now)
                 group[s].flit = flit;
                 group[s].ready = now + 1;
                 group[s].route = flit.lookahead;
+                ++bufferedCount_;
+                ++bufferedPerPort_[in_port];
                 if (ledger_)
                     ledger_->bufferWrite();
                 return;
@@ -152,8 +164,6 @@ AfcRouter::bplDispatch(Cycle now, std::array<bool, kNumPorts> &port_used)
         return;
     }
 
-    DeflectionEngine engine(mesh_, node_, policy_, ejectPerCycle_);
-
     NodeId inject_dest = kInvalidNode;
     VnetId inject_vnet = -1;
     if (may_inject && nic_ != nullptr) {
@@ -169,11 +179,11 @@ AfcRouter::bplDispatch(Cycle now, std::array<bool, kNumPorts> &port_used)
     }
 
     Direction free_port = kNoDirection;
-    auto assignments = engine.assign(std::move(current_), rng_,
-                                     inject_dest, &free_port);
+    engine_.assign(current_, rng_, inject_dest, &free_port,
+                   assignments_);
     current_.clear();
 
-    for (auto &a : assignments) {
+    for (auto &a : assignments_) {
         if (ledger_)
             ledger_->arbitrate();
         consumeDownstreamSlot(a.port, a.flit.vnet);
@@ -199,21 +209,18 @@ AfcRouter::Candidate
 AfcRouter::pickCandidate(Direction p, Cycle now)
 {
     Candidate cand;
-    // Flatten (vnet, slot) indices for round-robin scanning.
-    int total = 0;
-    for (int v = 0; v < shape_.numVnets(); ++v)
-        total += shape_.count(v);
+    // Round-robin scan over the flat (vnet, slot) index space; the
+    // idx -> (vnet, slot) mapping is precomputed in the ctor.
+    int total = flatTotal_;
     int &rr = inputRr_[p];
+    const auto &port_buffers = buffers_[p];
     for (int i = 0; i < total; ++i) {
-        int idx = (rr + i) % total;
-        // Locate (vnet, slot) for flat index idx.
-        int v = 0;
-        int rem = idx;
-        while (rem >= shape_.count(v)) {
-            rem -= shape_.count(v);
-            ++v;
-        }
-        Slot &slot = buffers_[p][v][rem];
+        int idx = rr + i;
+        if (idx >= total)
+            idx -= total;
+        int v = slotVnet_[idx];
+        int rem = slotIndex_[idx];
+        const Slot &slot = port_buffers[v][rem];
         if (!slot.full || slot.ready > now)
             continue;
         Direction route = slot.route;
@@ -234,9 +241,17 @@ AfcRouter::pickCandidate(Direction p, Cycle now)
 void
 AfcRouter::bpAllocate(Cycle now, std::array<bool, kNumPorts> &port_used)
 {
+    // Nothing buffered: every scan below would find nothing and
+    // touch no round-robin or stall state, so skip it wholesale.
+    if (bufferedCount_ == 0)
+        return;
+
     std::array<Candidate, kNumPorts> cands;
-    for (int p = 0; p < kNumPorts; ++p)
-        cands[p] = pickCandidate(static_cast<Direction>(p), now);
+    for (int p = 0; p < kNumPorts; ++p) {
+        cands[p] = bufferedPerPort_[p] == 0
+            ? Candidate{}
+            : pickCandidate(static_cast<Direction>(p), now);
+    }
 
     for (int out = 0; out < kNumPorts; ++out) {
         if (port_used[out])
@@ -258,6 +273,8 @@ AfcRouter::bpAllocate(Cycle now, std::array<bool, kNumPorts> &port_used)
         Slot &slot = buffers_[winner][cand.vnet][cand.slot];
         Flit flit = slot.flit;
         slot.full = false;
+        --bufferedCount_;
+        --bufferedPerPort_[winner];
 
         if (ledger_) {
             ledger_->bufferRead();
@@ -298,6 +315,8 @@ AfcRouter::bpInjection(Cycle now)
             slot.flit = f;
             slot.ready = now + 1;
             slot.route = dorRoute(mesh_, node_, f.dest);
+            ++bufferedCount_;
+            ++bufferedPerPort_[kLocal];
             if (ledger_)
                 ledger_->bufferWrite();
             injectVnetRr_ = (vnet + 1) % vnets;
@@ -322,17 +341,7 @@ AfcRouter::evaluate(Cycle now)
 bool
 AfcRouter::buffersEmpty() const
 {
-    if (!current_.empty() || !incoming_.empty())
-        return false;
-    for (const auto &port : buffers_) {
-        for (const auto &group : port) {
-            for (const auto &slot : group) {
-                if (slot.full)
-                    return false;
-            }
-        }
-    }
-    return true;
+    return current_.empty() && incoming_.empty() && bufferedCount_ == 0;
 }
 
 void
@@ -425,22 +434,60 @@ AfcRouter::advance(Cycle now)
 std::size_t
 AfcRouter::occupancy() const
 {
-    return current_.size() + incoming_.size() + bufferedFlits();
+    return current_.size() + incoming_.size() + bufferedCount_;
 }
 
 std::size_t
 AfcRouter::bufferedFlits() const
 {
-    std::size_t n = 0;
-    for (const auto &port : buffers_) {
-        for (const auto &group : port) {
-            for (const auto &slot : group) {
-                if (slot.full)
-                    ++n;
-            }
-        }
+    return bufferedCount_;
+}
+
+bool
+AfcRouter::idle() const
+{
+    if (!current_.empty() || !incoming_.empty() || bufferedCount_ != 0)
+        return false;
+    if (nic_ != nullptr && nic_->queuedFlits() != 0)
+        return false;
+    if (pendingForward_)
+        return false;
+    // Only park in a mode that cannot change without an arrival:
+    // backpressureless needs a clear boxcar window (the EWMA then
+    // strictly decays, so m > high_ is unreachable; a gossip trigger
+    // needs a credit/ctl arrival, which wakes us), and pinned
+    // backpressured never switches at all. An unpinned BP-mode
+    // router stays awake so its reverse switch fires on time.
+    if (alwaysBp_)
+        return true;
+    return mode_ == RouterMode::Backpressureless &&
+           intensity_.windowClear();
+}
+
+void
+AfcRouter::advanceIdle(Cycle k)
+{
+    if (mode_ == RouterMode::Backpressureless)
+        stats_.cyclesBackpressureless += k;
+    else
+        stats_.cyclesBackpressured += k;
+    // EWMA decay: m_new = w * m_old every idle cycle (the boxcar
+    // window is all-zero while parked). Once the value has decayed
+    // to exactly +0.0 the per-cycle update is the identity, and with
+    // an all-zero window the boxcar position is unobservable, so the
+    // replay loop can stop early. Otherwise loop cycle by cycle —
+    // floating-point decay is not associative.
+    if (intensity_.value() != 0.0) {
+        for (Cycle i = 0; i < k; ++i)
+            intensity_.recordCycle(0);
     }
-    return n;
+    if (ledger_) {
+        bool powered = bufferFromCycle_ != kNeverCycle;
+        std::int64_t pb = powered ? fullBufferBits_ : 0;
+        std::int64_t gb = powered ? 0 : fullBufferBits_;
+        for (Cycle i = 0; i < k; ++i)
+            ledger_->leakCycle(pb, gb);
+    }
 }
 
 int

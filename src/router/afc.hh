@@ -61,6 +61,17 @@ class AfcRouter : public Router
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
 
+    /**
+     * Idle when nothing is latched, buffered or injectable, no mode
+     * work is pending, and the mode cannot change on its own: either
+     * backpressureless with a clear intensity window (m can only
+     * decay, so the high threshold is unreachable; gossip needs a
+     * credit/ctl arrival, which wakes the router) or pinned
+     * backpressured (reverse switches disabled).
+     */
+    bool idle() const override;
+    void advanceIdle(Cycle k) override;
+
     std::size_t occupancy() const override;
     RouterMode mode() const override { return mode_; }
     double contentionEwma() const override { return intensity_.value(); }
@@ -128,9 +139,21 @@ class AfcRouter : public Router
     std::vector<Flit> current_;
     std::vector<Flit> incoming_;
     int ejectPerCycle_;
+    DeflectionEngine engine_;
+    /** Scratch for engine_.assign(), reused across cycles. */
+    std::vector<DeflectionEngine::Assignment> assignments_;
 
     /// Backpressured-mode lazy-VCA buffers: [port][vnet][slot].
     std::vector<std::vector<std::vector<Slot>>> buffers_;
+    /** Flat SA-scan index -> (vnet, slot), precomputed so the
+     *  per-candidate scan needs no divide-and-locate loop. */
+    std::vector<VnetId> slotVnet_;
+    std::vector<int> slotIndex_;
+    int flatTotal_ = 0;
+    /** Total occupied lazy-VCA slots (all ports). */
+    std::size_t bufferedCount_ = 0;
+    /** Per-port slice of bufferedCount_ (skips empty-port SA scans). */
+    std::array<std::size_t, kNumPorts> bufferedPerPort_{};
 
     /// Downstream credit view: [netPort] tracking + [vnet] free slots.
     std::array<bool, kNumNetPorts> tracking_{};

@@ -53,6 +53,8 @@ BackpressuredRouter::acceptFlit(Direction in_port, const Flit &flit,
     }
     vc.writeOpen = !flit.isTail();
     vc.q.push_back({flit, now + 1});
+    ++bufferedCount_;
+    ++bufferedPerPort_[in_port];
     if (ledger_)
         ledger_->bufferWrite();
 }
@@ -128,6 +130,8 @@ BackpressuredRouter::pullInjection(Cycle now)
         vc.writeOpen = !f.isTail();
         f.vc = target; // record which local VC holds it
         vc.q.push_back({f, now + 1});
+        ++bufferedCount_;
+        ++bufferedPerPort_[kLocal];
         injectVc_[vnet] = f.isTail() ? kInvalidVc : target;
         if (ledger_)
             ledger_->bufferWrite();
@@ -184,6 +188,8 @@ BackpressuredRouter::dispatch(Direction p, const Candidate &cand, Cycle now)
     InVc &vc = inputs_[p][cand.inVc];
     Flit flit = vc.q.front().flit;
     vc.q.pop_front();
+    --bufferedCount_;
+    --bufferedPerPort_[p];
 
     if (ledger_) {
         ledger_->bufferRead();
@@ -231,11 +237,21 @@ BackpressuredRouter::evaluate(Cycle now)
 {
     pullInjection(now);
 
+    // Nothing buffered: every SA scan below would find nothing and
+    // touch no round-robin or stall state, so skip them wholesale.
+    if (bufferedCount_ == 0)
+        return;
+
     // Separable switch allocation: input-first candidates, then
-    // round-robin output arbitration.
+    // round-robin output arbitration. A port with zero buffered
+    // flits yields the default (empty) candidate without a scan —
+    // identical to scanning its all-empty VCs.
     std::array<Candidate, kNumPorts> cands;
-    for (int p = 0; p < kNumPorts; ++p)
-        cands[p] = pickCandidate(static_cast<Direction>(p), now);
+    for (int p = 0; p < kNumPorts; ++p) {
+        cands[p] = bufferedPerPort_[p] == 0
+            ? Candidate{}
+            : pickCandidate(static_cast<Direction>(p), now);
+    }
 
     for (int out = 0; out < kNumPorts; ++out) {
         int winner = -1;
@@ -263,15 +279,31 @@ BackpressuredRouter::advance(Cycle)
         ledger_->leakCycle(poweredBufferBits_, 0);
 }
 
+bool
+BackpressuredRouter::idle() const
+{
+    return bufferedCount_ == 0 &&
+           (nic_ == nullptr || nic_->queuedFlits() == 0);
+}
+
+void
+BackpressuredRouter::advanceIdle(Cycle k)
+{
+    // With nothing buffered, evaluate() returns before touching any
+    // round-robin pointer and advance() only counts residency and
+    // leaks. Leakage adds are looped so the floating-point
+    // accumulation matches the skipped cycles bit for bit.
+    stats_.cyclesBackpressured += k;
+    if (ledger_) {
+        for (Cycle i = 0; i < k; ++i)
+            ledger_->leakCycle(poweredBufferBits_, 0);
+    }
+}
+
 std::size_t
 BackpressuredRouter::occupancy() const
 {
-    std::size_t n = 0;
-    for (const auto &port : inputs_) {
-        for (const auto &vc : port)
-            n += vc.q.size();
-    }
-    return n;
+    return bufferedCount_;
 }
 
 int

@@ -38,6 +38,14 @@ class BackpressuredRouter : public Router
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
 
+    /**
+     * Idle when no flit is buffered anywhere and the NIC has nothing
+     * to inject. A router merely *stalled* on credits is not idle —
+     * it keeps evaluating (and counting creditStalls) every cycle.
+     */
+    bool idle() const override;
+    void advanceIdle(Cycle k) override;
+
     std::size_t occupancy() const override;
     RouterMode mode() const override { return RouterMode::Backpressured; }
 
@@ -98,6 +106,12 @@ class BackpressuredRouter : public Router
     int injectVnetRr_ = 0;
     /** Local in-VC a partially injected packet is appending to. */
     std::vector<VcId> injectVc_;
+
+    /** Total buffered flits; cached so evaluate() and the idle-skip
+     *  scheduler never rescan every VC queue. */
+    std::size_t bufferedCount_ = 0;
+    /** Per-port slice of bufferedCount_ (skips empty-port SA scans). */
+    std::array<std::size_t, kNumPorts> bufferedPerPort_{};
 
     std::int64_t poweredBufferBits_ = 0;
 };

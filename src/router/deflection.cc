@@ -15,12 +15,12 @@ DeflectionEngine::DeflectionEngine(const Mesh &mesh, NodeId node,
 {
 }
 
-std::vector<DeflectionEngine::Assignment>
-DeflectionEngine::assign(std::vector<Flit> flits, Rng &rng,
-                         NodeId inject_dest,
-                         Direction *free_port_out) const
+void
+DeflectionEngine::assign(std::vector<Flit> &flits, Rng &rng,
+                         NodeId inject_dest, Direction *free_port_out,
+                         std::vector<Assignment> &out) const
 {
-    std::vector<Assignment> out;
+    out.clear();
     out.reserve(flits.size());
 
     // Priority order: random shuffle (Chaos-style) or oldest-first.
@@ -100,13 +100,13 @@ DeflectionEngine::assign(std::vector<Flit> flits, Rng &rng,
             }
         }
     }
-    return out;
 }
 
 DeflectionRouter::DeflectionRouter(const Mesh &mesh, NodeId node,
                                    const NetworkConfig &cfg, Rng rng,
                                    DeflectionPolicy policy)
     : Router(mesh, node, cfg), rng_(rng), policy_(policy),
+      engine_(mesh, node, policy, cfg.ejectPerCycle),
       ejectPerCycle_(cfg.ejectPerCycle)
 {
     AFCSIM_ASSERT(cfg.ejectPerCycle >= 1,
@@ -133,8 +133,6 @@ DeflectionRouter::evaluate(Cycle now)
         return;
     }
 
-    DeflectionEngine engine(mesh_, node_, policy_, ejectPerCycle_);
-
     // Pick the injection candidate (round-robin across vnets is not
     // needed: deflection ignores vnets; take the globally oldest
     // head-of-queue flit).
@@ -153,11 +151,11 @@ DeflectionRouter::evaluate(Cycle now)
     }
 
     Direction free_port = kNoDirection;
-    auto assignments = engine.assign(std::move(current_), rng_,
-                                     inject_dest, &free_port);
+    engine_.assign(current_, rng_, inject_dest, &free_port,
+                   assignments_);
     current_.clear();
 
-    for (auto &a : assignments) {
+    for (auto &a : assignments_) {
         if (ledger_)
             ledger_->arbitrate();
         sendFlit(a.port, a.flit, now, a.productive);
@@ -182,6 +180,27 @@ DeflectionRouter::advance(Cycle)
     ++stats_.cyclesBackpressureless;
     if (ledger_)
         ledger_->leakCycle(0, 0); // no buffers at all
+}
+
+bool
+DeflectionRouter::idle() const
+{
+    return current_.empty() && incoming_.empty() &&
+           (nic_ == nullptr || nic_->queuedFlits() == 0);
+}
+
+void
+DeflectionRouter::advanceIdle(Cycle k)
+{
+    // evaluate() early-returns on an idle cycle and never touches
+    // rng_, so only advance()'s bookkeeping needs replaying. The
+    // leakage adds are looped (not scaled) so the floating-point
+    // accumulation order matches the skipped cycles exactly.
+    stats_.cyclesBackpressureless += k;
+    if (ledger_) {
+        for (Cycle i = 0; i < k; ++i)
+            ledger_->leakCycle(0, 0);
+    }
 }
 
 std::size_t

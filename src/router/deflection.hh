@@ -27,39 +27,6 @@ namespace afcsim
 /** Priority policy for deflection arbitration. */
 enum class DeflectionPolicy { Random, OldestFirst };
 
-/** Bufferless deflection router. */
-class DeflectionRouter : public Router
-{
-  public:
-    DeflectionRouter(const Mesh &mesh, NodeId node,
-                     const NetworkConfig &cfg, Rng rng,
-                     DeflectionPolicy policy = DeflectionPolicy::Random);
-
-    void acceptFlit(Direction in_port, const Flit &flit,
-                    Cycle now) override;
-    void evaluate(Cycle now) override;
-    void advance(Cycle now) override;
-
-    std::size_t occupancy() const override;
-    RouterMode
-    mode() const override
-    {
-        return RouterMode::Backpressureless;
-    }
-
-    void visitFlits(
-        const std::function<void(const Flit &)> &fn) const override;
-
-  private:
-    Rng rng_;
-    DeflectionPolicy policy_;
-    /** Flits latched last cycle; all must dispatch this cycle. */
-    std::vector<Flit> current_;
-    /** Flits arriving this cycle; become current_ at advance(). */
-    std::vector<Flit> incoming_;
-    int ejectPerCycle_;
-};
-
 /**
  * Deflection port-assignment engine shared by DeflectionRouter and
  * the AFC router's backpressureless mode. Given the flits that must
@@ -81,19 +48,62 @@ class DeflectionEngine
                      DeflectionPolicy policy, int eject_per_cycle);
 
     /**
-     * Assign every flit in `flits` to an output. Returns the
-     * assignments; `free_port_out` receives a still-free network
-     * port (preferring a productive one for `inject_dest`, if that
-     * is a valid node), or kInvalidPort when the node is saturated.
+     * Assign every flit in `flits` to an output, appending to `out`
+     * (cleared first). `flits` is reordered in place by the priority
+     * policy; the caller still owns its capacity (hot loops reuse
+     * both vectors across cycles to avoid per-cycle allocation).
+     * `free_port_out` receives a still-free network port (preferring
+     * a productive one for `inject_dest`, if that is a valid node),
+     * or kNoDirection when the node is saturated.
      */
-    std::vector<Assignment> assign(std::vector<Flit> flits, Rng &rng,
-                                   NodeId inject_dest,
-                                   Direction *free_port_out) const;
+    void assign(std::vector<Flit> &flits, Rng &rng, NodeId inject_dest,
+                Direction *free_port_out,
+                std::vector<Assignment> &out) const;
 
   private:
     const Mesh &mesh_;
     NodeId node_;
     DeflectionPolicy policy_;
+    int ejectPerCycle_;
+};
+
+/** Bufferless deflection router. */
+class DeflectionRouter : public Router
+{
+  public:
+    DeflectionRouter(const Mesh &mesh, NodeId node,
+                     const NetworkConfig &cfg, Rng rng,
+                     DeflectionPolicy policy = DeflectionPolicy::Random);
+
+    void acceptFlit(Direction in_port, const Flit &flit,
+                    Cycle now) override;
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    /** Idle when nothing is latched and the NIC has nothing queued. */
+    bool idle() const override;
+    void advanceIdle(Cycle k) override;
+
+    std::size_t occupancy() const override;
+    RouterMode
+    mode() const override
+    {
+        return RouterMode::Backpressureless;
+    }
+
+    void visitFlits(
+        const std::function<void(const Flit &)> &fn) const override;
+
+  private:
+    Rng rng_;
+    DeflectionPolicy policy_;
+    DeflectionEngine engine_;
+    /** Flits latched last cycle; all must dispatch this cycle. */
+    std::vector<Flit> current_;
+    /** Flits arriving this cycle; become current_ at advance(). */
+    std::vector<Flit> incoming_;
+    /** Scratch for engine_.assign(), reused across cycles. */
+    std::vector<DeflectionEngine::Assignment> assignments_;
     int ejectPerCycle_;
 };
 

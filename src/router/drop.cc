@@ -75,16 +75,20 @@ void
 DropRouter::evaluate(Cycle now)
 {
     // NACKs from the dedicated fabric: re-queue the retained copy.
-    for (const NackFabric::Nack &nack :
-         fabric_->arrivalsFor(node_, now)) {
-        auto it = pending_.find(flitKey(nack.packet, nack.seq));
-        AFCSIM_SIM_ASSERT(it != pending_.end(),
-                          "NACK for unknown flit at node ", node_,
-                          " — NACK delay bound too small");
-        retransmitQ_.push_back(it->second.flit);
-        pending_.erase(it);
+    // (Guarded so the common no-NACK cycle allocates nothing.)
+    if (fabric_->pendingFor(node_) != 0) {
+        for (const NackFabric::Nack &nack :
+             fabric_->arrivalsFor(node_, now)) {
+            auto it = pending_.find(flitKey(nack.packet, nack.seq));
+            AFCSIM_SIM_ASSERT(it != pending_.end(),
+                              "NACK for unknown flit at node ", node_,
+                              " — NACK delay bound too small");
+            retransmitQ_.push_back(it->second.flit);
+            pending_.erase(it);
+        }
     }
-    expirePending(now);
+    if (!pending_.empty())
+        expirePending(now);
 
     // Randomized priority over this cycle's transit flits.
     std::vector<Flit> flits;
@@ -185,6 +189,29 @@ DropRouter::advance(Cycle)
     ++stats_.cyclesBackpressureless;
     if (ledger_)
         ledger_->leakCycle(0, 0);
+}
+
+bool
+DropRouter::idle() const
+{
+    return current_.empty() && incoming_.empty() &&
+           retransmitQ_.empty() && pending_.empty() &&
+           (nic_ == nullptr || nic_->queuedFlits() == 0) &&
+           fabric_->pendingFor(node_) == 0;
+}
+
+void
+DropRouter::advanceIdle(Cycle k)
+{
+    // With no latched flits, empty pending/retransmit state and no
+    // NACKs en route, evaluate() touches nothing (the priority
+    // shuffle never draws from rng_ on an empty flit set) and
+    // advance() only counts residency and leakage.
+    stats_.cyclesBackpressureless += k;
+    if (ledger_) {
+        for (Cycle i = 0; i < k; ++i)
+            ledger_->leakCycle(0, 0);
+    }
 }
 
 std::size_t

@@ -29,6 +29,7 @@
 #define AFCSIM_ROUTER_DROP_HH
 
 #include <deque>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -59,6 +60,24 @@ class NackFabric
     send(NodeId src, const Nack &nack, Cycle now, Cycle delay)
     {
         queues_.at(src).push_back({now + delay, nack});
+        if (wake_)
+            wake_(src);
+    }
+
+    /**
+     * Notify the scheduler that `src` has NACK traffic en route (the
+     * idle-skip scheduler re-activates the source router so it polls
+     * arrivalsFor again).
+     */
+    void setWakeHook(std::function<void(NodeId)> hook)
+    {
+        wake_ = std::move(hook);
+    }
+
+    /** NACKs queued (in flight or arrived) for `node`. */
+    std::size_t pendingFor(NodeId node) const
+    {
+        return queues_.at(node).size();
     }
 
     /** Pop all NACKs for `node` that have arrived by `now`. */
@@ -85,6 +104,7 @@ class NackFabric
 
   private:
     std::vector<std::deque<std::pair<Cycle, Nack>>> queues_;
+    std::function<void(NodeId)> wake_;
 };
 
 /** Bufferless minimal-routing router that drops on contention. */
@@ -98,6 +118,15 @@ class DropRouter : public Router
                     Cycle now) override;
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+
+    /**
+     * Idle when nothing is latched or queued for (re)injection, no
+     * NACK is en route to this node, and no retained copy awaits its
+     * implicit-ACK deadline (expirePending must tick while entries
+     * exist so retransmitBufferUse() stays exact).
+     */
+    bool idle() const override;
+    void advanceIdle(Cycle k) override;
 
     std::size_t occupancy() const override;
     RouterMode

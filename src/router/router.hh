@@ -99,6 +99,22 @@ class Router
     virtual void evaluate(Cycle now) = 0;
     /** Commit per-cycle state (EWMA, mode switches, leakage). */
     virtual void advance(Cycle now) = 0;
+    /**
+     * True when a full evaluate()+advance() cycle would be a no-op
+     * apart from the per-cycle bookkeeping that advanceIdle() can
+     * replay exactly: nothing buffered or latched, nothing queued at
+     * the NIC, and no pending mode/threshold work. The idle-skip
+     * scheduler only parks routers for which this holds; variants
+     * that cannot prove it simply return false and are never skipped.
+     */
+    virtual bool idle() const { return false; }
+    /**
+     * Replay `k` skipped idle cycles' worth of bookkeeping (residency
+     * counters, EWMA decay, leakage) so that every exported counter
+     * is bit-identical to having called evaluate()+advance() `k`
+     * times with no work. Only called when idle() held throughout.
+     */
+    virtual void advanceIdle(Cycle k) { (void)k; }
     /// @}
 
     /// @name Introspection for tests, drain checks and reports.

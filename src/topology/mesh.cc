@@ -36,35 +36,26 @@ Mesh::Mesh(int width, int height)
 {
     AFCSIM_ASSERT(width >= 2 && height >= 2,
                   "mesh must be at least 2x2");
-}
-
-NodeId
-Mesh::neighbor(NodeId n, Direction d) const
-{
-    Coord c = coordOf(n);
-    switch (d) {
-      case kEast:
-        return c.x + 1 < width_ ? nodeAt({c.x + 1, c.y}) : kInvalidNode;
-      case kWest:
-        return c.x - 1 >= 0 ? nodeAt({c.x - 1, c.y}) : kInvalidNode;
-      case kSouth:
-        return c.y + 1 < height_ ? nodeAt({c.x, c.y + 1}) : kInvalidNode;
-      case kNorth:
-        return c.y - 1 >= 0 ? nodeAt({c.x, c.y - 1}) : kInvalidNode;
-      default:
-        return kInvalidNode;
+    neighbors_.resize(static_cast<std::size_t>(numNodes()));
+    netPorts_.resize(static_cast<std::size_t>(numNodes()));
+    for (NodeId n = 0; n < numNodes(); ++n) {
+        Coord c = coordOf(n);
+        auto &nbr = neighbors_[static_cast<std::size_t>(n)];
+        nbr[kEast] =
+            c.x + 1 < width_ ? nodeAt({c.x + 1, c.y}) : kInvalidNode;
+        nbr[kWest] =
+            c.x - 1 >= 0 ? nodeAt({c.x - 1, c.y}) : kInvalidNode;
+        nbr[kSouth] =
+            c.y + 1 < height_ ? nodeAt({c.x, c.y + 1}) : kInvalidNode;
+        nbr[kNorth] =
+            c.y - 1 >= 0 ? nodeAt({c.x, c.y - 1}) : kInvalidNode;
+        int count = 0;
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (nbr[d] != kInvalidNode)
+                ++count;
+        }
+        netPorts_[static_cast<std::size_t>(n)] = count;
     }
-}
-
-int
-Mesh::numNetPortsAt(NodeId n) const
-{
-    int count = 0;
-    for (int d = 0; d < kNumNetPorts; ++d) {
-        if (hasNeighbor(n, static_cast<Direction>(d)))
-            ++count;
-    }
-    return count;
 }
 
 RouterPosition

@@ -91,9 +91,19 @@ class Mesh
 
     /**
      * Neighbor of node n in direction d, or kInvalidNode if d points
-     * off the mesh edge.
+     * off the mesh edge. Table lookup: the per-node neighbor ids are
+     * precomputed at construction (this is the single hottest query
+     * in the simulator — the cycle kernel, the routing functions and
+     * the deflection engine all sit on it).
      */
-    NodeId neighbor(NodeId n, Direction d) const;
+    NodeId
+    neighbor(NodeId n, Direction d) const
+    {
+        AFCSIM_ASSERT(valid(n), "node ", n, " out of range");
+        AFCSIM_ASSERT(d >= 0 && d < kNumNetPorts,
+                      "neighbor() of non-mesh direction ", d);
+        return neighbors_[static_cast<std::size_t>(n)][d];
+    }
 
     /** True if node n has a link in direction d. */
     bool
@@ -103,7 +113,12 @@ class Mesh
     }
 
     /** Number of network (non-local) ports at node n (2, 3 or 4). */
-    int numNetPortsAt(NodeId n) const;
+    int
+    numNetPortsAt(NodeId n) const
+    {
+        AFCSIM_ASSERT(valid(n), "node ", n, " out of range");
+        return netPorts_[static_cast<std::size_t>(n)];
+    }
 
     /** Corner / edge / center classification for AFC thresholds. */
     RouterPosition positionOf(NodeId n) const;
@@ -117,6 +132,10 @@ class Mesh
   private:
     int width_;
     int height_;
+    /** Precomputed neighbor(n, d) table, kInvalidNode off-edge. */
+    std::vector<std::array<NodeId, kNumNetPorts>> neighbors_;
+    /** Precomputed numNetPortsAt(n). */
+    std::vector<int> netPorts_;
 };
 
 } // namespace afcsim

@@ -30,6 +30,17 @@ mkFlit(NodeId src, NodeId dest, PacketId id, Cycle create = 0)
     return f;
 }
 
+/** assign() works in place on caller-owned scratch; wrap it so the
+ *  tests keep their by-value call shape. */
+std::vector<DeflectionEngine::Assignment>
+runAssign(DeflectionEngine &eng, std::vector<Flit> flits, Rng &rng,
+          NodeId inject_dest, Direction *free_port)
+{
+    std::vector<DeflectionEngine::Assignment> out;
+    eng.assign(flits, rng, inject_dest, free_port, out);
+    return out;
+}
+
 TEST(DeflectionEngine, AllFlitsAssignedDistinctPorts)
 {
     Mesh mesh(3, 3);
@@ -40,7 +51,7 @@ TEST(DeflectionEngine, AllFlitsAssignedDistinctPorts)
     std::vector<Flit> flits = {mkFlit(0, 2, 1), mkFlit(0, 2, 2),
                                mkFlit(8, 6, 3), mkFlit(8, 6, 4)};
     Direction free_port = kNoDirection;
-    auto out = eng.assign(flits, rng, kInvalidNode, &free_port);
+    auto out = runAssign(eng, flits, rng, kInvalidNode, &free_port);
     ASSERT_EQ(out.size(), 4u);
     std::set<Direction> used;
     for (const auto &a : out) {
@@ -56,7 +67,8 @@ TEST(DeflectionEngine, EjectsAtDestination)
     Mesh mesh(3, 3);
     DeflectionEngine eng(mesh, 4, DeflectionPolicy::Random, 1);
     Rng rng(2);
-    auto out = eng.assign({mkFlit(0, 4, 1)}, rng, kInvalidNode, nullptr);
+    auto out = runAssign(eng, {mkFlit(0, 4, 1)}, rng, kInvalidNode,
+                         nullptr);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].port, kLocal);
     EXPECT_TRUE(out[0].productive);
@@ -67,8 +79,8 @@ TEST(DeflectionEngine, SecondAtDestFlitDeflects)
     Mesh mesh(3, 3);
     DeflectionEngine eng(mesh, 4, DeflectionPolicy::Random, 1);
     Rng rng(3);
-    auto out = eng.assign({mkFlit(0, 4, 1), mkFlit(8, 4, 2)}, rng,
-                          kInvalidNode, nullptr);
+    auto out = runAssign(eng, {mkFlit(0, 4, 1), mkFlit(8, 4, 2)}, rng,
+                         kInvalidNode, nullptr);
     ASSERT_EQ(out.size(), 2u);
     int ejected = 0, deflected = 0;
     for (const auto &a : out) {
@@ -87,7 +99,8 @@ TEST(DeflectionEngine, ProductivePreferred)
     DeflectionEngine eng(mesh, 0, DeflectionPolicy::Random, 1);
     Rng rng(4);
     // Single flit at corner 0 heading to 8: must take E or S.
-    auto out = eng.assign({mkFlit(0, 8, 1)}, rng, kInvalidNode, nullptr);
+    auto out = runAssign(eng, {mkFlit(0, 8, 1)}, rng, kInvalidNode,
+                         nullptr);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_TRUE(out[0].port == kEast || out[0].port == kSouth);
     EXPECT_TRUE(out[0].productive);
@@ -99,8 +112,8 @@ TEST(DeflectionEngine, ContentionCausesDeflection)
     // Node 3 (west edge, ports E/N/S): two flits, both want East.
     DeflectionEngine eng(mesh, 3, DeflectionPolicy::Random, 1);
     Rng rng(5);
-    auto out = eng.assign({mkFlit(0, 5, 1), mkFlit(6, 5, 2)}, rng,
-                          kInvalidNode, nullptr);
+    auto out = runAssign(eng, {mkFlit(0, 5, 1), mkFlit(6, 5, 2)}, rng,
+                         kInvalidNode, nullptr);
     ASSERT_EQ(out.size(), 2u);
     int productive = 0;
     for (const auto &a : out)
@@ -115,7 +128,8 @@ TEST(DeflectionEngine, OldestFirstWinsContention)
     Rng rng(6);
     Flit old_flit = mkFlit(0, 5, 1, /*create=*/10);
     Flit young = mkFlit(6, 5, 2, /*create=*/50);
-    auto out = eng.assign({young, old_flit}, rng, kInvalidNode, nullptr);
+    auto out = runAssign(eng, {young, old_flit}, rng, kInvalidNode,
+                         nullptr);
     for (const auto &a : out) {
         if (a.flit.packet == 1)
             EXPECT_TRUE(a.productive);
@@ -131,10 +145,11 @@ TEST(DeflectionEngine, InjectionPortOnlyWhenFree)
     Rng rng(7);
     // Corner node 0 has 2 net ports; two transit flits saturate it.
     Direction free_port = kNoDirection;
-    eng.assign({mkFlit(3, 2, 1), mkFlit(1, 6, 2)}, rng, 8, &free_port);
+    runAssign(eng, {mkFlit(3, 2, 1), mkFlit(1, 6, 2)}, rng, 8,
+              &free_port);
     EXPECT_EQ(free_port, kNoDirection);
     // One transit flit leaves one port free.
-    eng.assign({mkFlit(3, 2, 3)}, rng, 8, &free_port);
+    runAssign(eng, {mkFlit(3, 2, 3)}, rng, 8, &free_port);
     EXPECT_NE(free_port, kNoDirection);
 }
 

@@ -78,6 +78,53 @@ TEST(ExperimentSpec, ExpandMeshSizes)
     EXPECT_EQ(points[6].cfg.height, 4);
 }
 
+TEST(ExperimentSpec, ExpandFaultAxis)
+{
+    ExperimentSpec spec = tinySweep();
+    spec.faultRates = {0.0, 0.005};
+    std::vector<RunPoint> points = spec.expand();
+
+    // mesh (1) x rates (2) x faults (2) x repeats (1) x configs (3)
+    ASSERT_EQ(points.size(), 12u);
+    EXPECT_EQ(points[0].group, "rate=0.1 fault=0");
+    EXPECT_EQ(points[3].group, "rate=0.1 fault=0.005");
+    EXPECT_EQ(points[6].group, "rate=0.4 fault=0");
+
+    // Rate 0 pins the injector off without arming retransmission;
+    // nonzero rates arm it with the fault-sweep timeouts.
+    EXPECT_EQ(points[0].cfg.faults.corruptRate, 0.0);
+    EXPECT_FALSE(points[0].cfg.reliability.enabled);
+    EXPECT_EQ(points[3].cfg.faults.corruptRate, 0.005);
+    EXPECT_TRUE(points[3].cfg.reliability.enabled);
+    EXPECT_EQ(points[3].cfg.reliability.timeoutCycles, 256u);
+    EXPECT_EQ(points[3].cfg.reliability.maxRetries, 16);
+
+    // An explicitly-configured reliability block is left alone.
+    spec.base.reliability.enabled = true;
+    spec.base.reliability.timeoutCycles = 999;
+    points = spec.expand();
+    EXPECT_EQ(points[3].cfg.reliability.timeoutCycles, 999u);
+}
+
+TEST(ExperimentSpec, FaultRatesFromText)
+{
+    ExperimentSpec spec = ExperimentSpec::fromText(
+        "exp.kind = openloop\n"
+        "exp.rates = 0.1\n"
+        "exp.fault_rates = 0, 0.001, 0.02\n");
+    ASSERT_EQ(spec.faultRates.size(), 3u);
+    EXPECT_EQ(spec.faultRates[1], 0.001);
+    EXPECT_EQ(spec.faultRates[2], 0.02);
+}
+
+TEST(ExperimentRegistry, FaultSweepRegistered)
+{
+    ExperimentSpec spec = experimentByName("fault_sweep");
+    EXPECT_EQ(spec.kind, RunKind::OpenLoop);
+    EXPECT_FALSE(spec.faultRates.empty());
+    EXPECT_FALSE(spec.expand().empty());
+}
+
 TEST(ExperimentSpec, RateSweep)
 {
     ExperimentSpec spec;

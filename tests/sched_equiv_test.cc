@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Differential bit-identity suite for the idle-router activity
+ * scheduler (`sim.idle_skip`). Every run is executed twice — skip on
+ * and skip off — and every exported artifact must be byte-identical:
+ * aggregate/per-router counters, energy ledgers, fault counters, the
+ * observability sampler series and the Chrome trace. Watchdog audits
+ * run at a tightened interval in both runs, so a scheduler bug that
+ * breaks credit/conservation invariants fails the run outright
+ * rather than just diverging.
+ *
+ * The grid mirrors the coverage contract: {backpressured,
+ * backpressureless, AFC, drop} x {uniform, hotspot, closed-loop
+ * memory system} x fault rates {0, nonzero}.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/statsio.hh"
+#include "obs/obs.hh"
+#include "sim/closedloop.hh"
+#include "sim/workload.hh"
+#include "testutil.hh"
+#include "traffic/injector.hh"
+#include "traffic/openloop.hh"
+#include "traffic/patterns.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+/** Observability + watchdog settings shared by both runs of a pair:
+ *  dense sampling and frequent audits so parked-router catch-up is
+ *  exercised mid-run, not just at the end. */
+void
+armObservers(NetworkConfig &cfg)
+{
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.intervalCycles = 128;
+    cfg.obs.sampleInterval = 64;
+    cfg.obs.trace = true;
+}
+
+std::string
+obsFingerprint(const std::shared_ptr<obs::Observability> &obs)
+{
+    if (!obs)
+        return "<no obs>";
+    return obs->seriesCsv() + "\n" + obs->chromeTrace().dump(2);
+}
+
+/** Serialize everything an open-loop run exports. */
+std::string
+openLoopFingerprint(const OpenLoopResult &r)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("accepted", r.acceptedRate);
+    doc.set("avg_pkt_lat", r.avgPacketLatency);
+    doc.set("p50_pkt_lat", r.p50PacketLatency);
+    doc.set("p99_pkt_lat", r.p99PacketLatency);
+    doc.set("avg_flit_lat", r.avgFlitLatency);
+    doc.set("avg_hops", r.avgHops);
+    doc.set("avg_defl", r.avgDeflections);
+    doc.set("energy_per_flit", r.energyPerFlit);
+    doc.set("bp_fraction", r.bpFraction);
+    doc.set("net", toJson(r.stats));
+    doc.set("energy", toJson(r.energy));
+    doc.set("corruptions", static_cast<std::int64_t>(r.faults.corruptions));
+    doc.set("stall_events", static_cast<std::int64_t>(r.faults.stallEvents));
+    doc.set("flits_held", static_cast<std::int64_t>(r.faults.flitsHeld));
+    return doc.dump(2) + "\n" + obsFingerprint(r.obs);
+}
+
+/** Serialize everything a closed-loop run exports. */
+std::string
+closedLoopFingerprint(const ClosedLoopResult &r)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("runtime", static_cast<std::int64_t>(r.runtime));
+    doc.set("transactions", static_cast<std::int64_t>(r.transactions));
+    doc.set("injection_rate", r.injectionRate);
+    doc.set("avg_tx_lat", r.avgTxLatency);
+    doc.set("avg_pkt_lat", r.avgPacketLatency);
+    doc.set("avg_defl", r.avgDeflections);
+    doc.set("bp_fraction", r.bpFraction);
+    doc.set("fwd", static_cast<std::int64_t>(r.forwardSwitches));
+    doc.set("rev", static_cast<std::int64_t>(r.reverseSwitches));
+    doc.set("gossip", static_cast<std::int64_t>(r.gossipSwitches));
+    doc.set("net", toJson(r.net));
+    doc.set("energy", toJson(r.energy));
+    doc.set("stall_events", static_cast<std::int64_t>(r.faults.stallEvents));
+    doc.set("flits_held", static_cast<std::int64_t>(r.faults.flitsHeld));
+    return doc.dump(2) + "\n" + obsFingerprint(r.obs);
+}
+
+/** One open-loop grid point: pattern x load x fault configuration. */
+struct EquivCase
+{
+    const char *name;
+    FlowControl fc;
+    const char *pattern;
+    double rate;
+    double corruptRate;  ///< armed with end-to-end reliability
+    double stallRate;    ///< loss-free link faults (any flow control)
+};
+
+std::string
+caseName(const testing::TestParamInfo<EquivCase> &info)
+{
+    return info.param.name;
+}
+
+class SchedEquivTest : public testing::TestWithParam<EquivCase>
+{
+};
+
+TEST_P(SchedEquivTest, OpenLoopBitIdentical)
+{
+    const EquivCase &p = GetParam();
+    OpenLoopConfig ol;
+    ol.pattern = p.pattern;
+    ol.injectionRate = p.rate;
+    ol.warmupCycles = 300;
+    ol.measureCycles = 1500;
+    ol.drainCycles = 30000;
+
+    std::string fp[2];
+    for (int skip = 0; skip < 2; ++skip) {
+        NetworkConfig cfg = testConfig();
+        cfg.idleSkip = skip != 0;
+        armObservers(cfg);
+        cfg.faults.corruptRate = p.corruptRate;
+        cfg.faults.stallRate = p.stallRate;
+        if (p.corruptRate > 0.0) {
+            cfg.reliability.enabled = true;
+            cfg.reliability.timeoutCycles = 256;
+            cfg.reliability.maxRetries = 16;
+        }
+        fp[skip] = openLoopFingerprint(runOpenLoop(cfg, p.fc, ol));
+    }
+    EXPECT_EQ(fp[0], fp[1])
+        << "idle_skip diverged for " << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedEquivTest,
+    testing::Values(
+        // Fault-free: every flow control, uniform and hotspot.
+        EquivCase{"bp_uniform", FlowControl::Backpressured,
+                  "uniform", 0.15, 0.0, 0.0},
+        EquivCase{"bp_hotspot", FlowControl::Backpressured,
+                  "hotspot", 0.10, 0.0, 0.0},
+        EquivCase{"bpl_uniform", FlowControl::Backpressureless,
+                  "uniform", 0.15, 0.0, 0.0},
+        EquivCase{"bpl_hotspot", FlowControl::Backpressureless,
+                  "hotspot", 0.10, 0.0, 0.0},
+        EquivCase{"afc_uniform", FlowControl::Afc,
+                  "uniform", 0.15, 0.0, 0.0},
+        EquivCase{"afc_hotspot", FlowControl::Afc,
+                  "hotspot", 0.10, 0.0, 0.0},
+        // High load: AFC switches modes, gossip propagates.
+        EquivCase{"afc_uniform_hi", FlowControl::Afc,
+                  "uniform", 0.45, 0.0, 0.0},
+        EquivCase{"drop_uniform", FlowControl::BackpressurelessDrop,
+                  "uniform", 0.15, 0.0, 0.0},
+        EquivCase{"drop_hotspot", FlowControl::BackpressurelessDrop,
+                  "hotspot", 0.10, 0.0, 0.0},
+        // Nonzero faults: corruption + retransmission for the
+        // credit/latch variants, loss-free stalls for drop (its NACK
+        // protocol handles loss itself; stalls stress wake timing).
+        EquivCase{"bp_faulty", FlowControl::Backpressured,
+                  "uniform", 0.12, 0.002, 0.0},
+        EquivCase{"bpl_faulty", FlowControl::Backpressureless,
+                  "uniform", 0.12, 0.002, 0.0},
+        EquivCase{"afc_faulty", FlowControl::Afc,
+                  "uniform", 0.12, 0.002, 0.0},
+        EquivCase{"drop_stalls", FlowControl::BackpressurelessDrop,
+                  "uniform", 0.12, 0.0, 0.002}),
+    caseName);
+
+/** Closed-loop memory-system grid: the bursty request/response
+ *  traffic quiesces whole regions of the mesh between misses, so
+ *  this is the strongest park/wake workout. */
+class SchedEquivClosedLoopTest
+    : public testing::TestWithParam<std::pair<const char *, FlowControl>>
+{
+};
+
+TEST_P(SchedEquivClosedLoopTest, MemsysBitIdentical)
+{
+    FlowControl fc = GetParam().second;
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= 20;
+    w.measureTransactions /= 20;
+
+    std::string fp[2];
+    for (int skip = 0; skip < 2; ++skip) {
+        NetworkConfig cfg = testConfig(4, 4);
+        cfg.idleSkip = skip != 0;
+        armObservers(cfg);
+        fp[skip] = closedLoopFingerprint(runClosedLoop(cfg, fc, w));
+    }
+    EXPECT_EQ(fp[0], fp[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedEquivClosedLoopTest,
+    testing::Values(
+        std::make_pair("bp", FlowControl::Backpressured),
+        std::make_pair("bpl", FlowControl::Backpressureless),
+        std::make_pair("afc", FlowControl::Afc),
+        std::make_pair("drop", FlowControl::BackpressurelessDrop)),
+    [](const auto &info) { return std::string(info.param.first); });
+
+/** Nonzero faults under the memory system. Stalls pair with the
+ *  deflecting variant (AFC's credit/ctl protocol does not tolerate a
+ *  flit held across a mode switch — that asserts identically with
+ *  skip on and off); corruption + end-to-end retransmission pairs
+ *  with AFC, exercising NIC timer wakes on parked routers. */
+TEST(SchedEquivClosedLoop, MemsysWithStallFaultsBitIdentical)
+{
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= 20;
+    w.measureTransactions /= 20;
+
+    std::string fp[2];
+    for (int skip = 0; skip < 2; ++skip) {
+        NetworkConfig cfg = testConfig(4, 4);
+        cfg.idleSkip = skip != 0;
+        armObservers(cfg);
+        cfg.faults.stallRate = 0.001;
+        fp[skip] = closedLoopFingerprint(
+            runClosedLoop(cfg, FlowControl::Backpressureless, w));
+    }
+    EXPECT_EQ(fp[0], fp[1]);
+}
+
+TEST(SchedEquivClosedLoop, MemsysWithRetransmissionBitIdentical)
+{
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= 20;
+    w.measureTransactions /= 20;
+
+    std::string fp[2];
+    for (int skip = 0; skip < 2; ++skip) {
+        NetworkConfig cfg = testConfig(4, 4);
+        cfg.idleSkip = skip != 0;
+        armObservers(cfg);
+        cfg.faults.corruptRate = 0.001;
+        cfg.reliability.enabled = true;
+        cfg.reliability.timeoutCycles = 256;
+        cfg.reliability.maxRetries = 16;
+        fp[skip] = closedLoopFingerprint(
+            runClosedLoop(cfg, FlowControl::Afc, w));
+    }
+    EXPECT_EQ(fp[0], fp[1]);
+}
+
+/** Per-router counters read *mid-run* must match too: an accessor on
+ *  a parked router replays its idle gap on demand, and that read
+ *  must not perturb anything downstream. */
+TEST(SchedEquiv, MidRunPerRouterReadsExactAndNonPerturbing)
+{
+    std::string fp[2];
+    for (int skip = 0; skip < 2; ++skip) {
+        NetworkConfig cfg = testConfig();
+        cfg.idleSkip = skip != 0;
+        Network net(cfg, FlowControl::Afc);
+        UniformPattern pattern(net.mesh());
+        OpenLoopInjector inj(net, pattern, 0.15, 0.35);
+
+        JsonValue doc = JsonValue::array();
+        for (int chunk = 0; chunk < 4; ++chunk) {
+            for (int c = 0; c < 512; ++c) {
+                inj.tick(net.now());
+                net.step();
+            }
+            JsonValue snap = JsonValue::object();
+            for (NodeId n = 0; n < net.mesh().numNodes(); ++n) {
+                const RouterStats &rs = net.router(n).stats();
+                JsonValue row = JsonValue::array();
+                row.push(static_cast<std::int64_t>(rs.flitsRouted));
+                row.push(static_cast<std::int64_t>(rs.flitsDeflected));
+                row.push(static_cast<std::int64_t>(rs.cyclesBackpressured));
+                row.push(
+                    static_cast<std::int64_t>(rs.cyclesBackpressureless));
+                row.push(static_cast<std::int64_t>(rs.forwardSwitches));
+                row.push(static_cast<std::int64_t>(rs.reverseSwitches));
+                row.push(static_cast<std::int64_t>(rs.gossipSwitches));
+                row.push(static_cast<std::int64_t>(rs.creditStalls));
+                row.push(net.ledger(n).report().total());
+                snap.set("node" + std::to_string(n), std::move(row));
+            }
+            doc.push(std::move(snap));
+        }
+        fp[skip] = doc.dump(2);
+    }
+    EXPECT_EQ(fp[0], fp[1]);
+}
+
+} // namespace
+} // namespace afcsim

@@ -153,6 +153,12 @@ applyOverrides(ExperimentSpec &spec, const Args &args)
         for (const auto &r : splitList(args.get("rates")))
             spec.rates.push_back(std::strtod(r.c_str(), nullptr));
     }
+    if (args.has("fault-rates")) {
+        spec.faultRates.clear();
+        for (const auto &r : splitList(args.get("fault-rates")))
+            spec.faultRates.push_back(
+                std::strtod(r.c_str(), nullptr));
+    }
     if (args.has("configs")) {
         spec.configs.clear();
         for (const auto &c : splitList(args.get("configs")))
@@ -340,7 +346,8 @@ printHelp()
         "                             did not already)\n"
         "  --obs-interval N           sampler period in cycles\n"
         "  --obs-trace                force flit-event tracing on\n"
-        "overrides: --rates --configs --workloads --mesh --pattern\n"
+        "overrides: --rates --fault-rates --configs --workloads\n"
+        "           --mesh --pattern\n"
         "           --repeats --seed --scale --warmup --measure "
         "--drain\n");
 }
@@ -354,7 +361,8 @@ runMain(int argc, char **argv)
     args.rejectUnknown({
         "list", "help", "experiment", "config", "threads", "json",
         "csv", "validate", "check-json", "telemetry", "indent",
-        "quiet", "rates", "configs", "workloads", "mesh", "pattern",
+        "quiet", "rates", "fault-rates", "configs", "workloads",
+        "mesh", "pattern",
         "repeats", "seed", "scale", "warmup", "measure", "drain",
         "obs-dir", "obs-interval", "obs-trace",
     });

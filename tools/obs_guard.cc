@@ -1,11 +1,16 @@
 /**
  * @file
- * afcsim-obs-guard: throughput-regression guard for the observability
- * subsystem. It replays the bench_router_micro AFC hot loop (a 3x3
- * AFC mesh under uniform open-loop traffic at 0.3 flits/node/cycle)
- * with observability disabled, takes the best of several repetitions,
- * and either records the result as a baseline or checks the current
- * build against a recorded baseline.
+ * afcsim-obs-guard: throughput-regression guard ("perf ratchet") for
+ * the simulator's hot paths. It measures named kernel points and
+ * either records them as a baseline or checks the current build
+ * against a recorded baseline:
+ *
+ *  - router_micro: the bench_router_micro AFC hot loop (3x3 AFC mesh
+ *    under uniform open-loop traffic at 0.3 flits/node/cycle),
+ *    observability disabled.
+ *  - closedloop_8x8: the 8x8 closed-loop memory-system kernel (ocean
+ *    workload), the workload the idle-router activity scheduler
+ *    targets — bursty traffic with large quiescent regions.
  *
  * The guarded quantity is the *calibrated ratio* sim-cycles/sec
  * divided by the throughput of a fixed pure-CPU reference kernel
@@ -18,20 +23,28 @@
  * Usage (key=value options):
  *   afcsim-obs-guard mode=record [file=bench_router_micro_obs.json]
  *       Measure and write the baseline file (schema matches the
- *       ThroughputProfiler export, plus a "guard" block).
+ *       ThroughputProfiler export, plus a "guard" block and a
+ *       per-point "points" block).
  *   afcsim-obs-guard mode=check [file=...] [tolerance=0.02]
- *       Re-measure and fail (exit 1) if the calibrated ratio fell
- *       more than `tolerance` below the baseline. Also measures the
- *       obs-on configuration and reports its overhead
- *       (informational).
+ *       Re-measure and fail (exit 1) if any point's calibrated ratio
+ *       fell more than `tolerance` below its baseline. Also measures
+ *       the obs-on configuration and the idle_skip=off scheduler
+ *       path and reports their overhead (informational).
  *
- * Extra knobs: cycles=N (per rep, default 60000), reps=N (default 3).
+ * Extra knobs: cycles=N (router_micro cycles per rep, default 60000),
+ * reps=N (default 3), cl_div=N (closed-loop workload divisor,
+ * default 4), cl_tolerance=F (closed-loop point tolerance, default
+ * 0.06 — the bursty memory-system kernel is cache-sensitive and
+ * noisier than the steady micro loop, so its ratchet is looser),
+ * attempts=N (check-mode re-measurements before a miss counts as a
+ * regression, default 3).
  */
 
 #include <algorithm>
 #include <ctime>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -39,6 +52,8 @@
 #include "common/json.hh"
 #include "network/network.hh"
 #include "obs/profile.hh"
+#include "sim/closedloop.hh"
+#include "sim/workload.hh"
 #include "traffic/injector.hh"
 #include "traffic/patterns.hh"
 
@@ -64,7 +79,7 @@ cpuSeconds()
 
 /** One timed run of the bench_router_micro AFC loop. */
 double
-measureCyclesPerSec(const NetworkConfig &cfg, Cycle cycles)
+measureRouterMicroCps(const NetworkConfig &cfg, Cycle cycles)
 {
     Network net(cfg, FlowControl::Afc);
     UniformPattern pattern(net.mesh());
@@ -76,6 +91,25 @@ measureCyclesPerSec(const NetworkConfig &cfg, Cycle cycles)
     }
     double sec = cpuSeconds() - t0;
     return sec > 0.0 ? static_cast<double>(cycles) / sec : 0.0;
+}
+
+/** One timed run of the 8x8 closed-loop memory-system kernel. */
+double
+measureClosedLoopCps(const NetworkConfig &base, long cl_div)
+{
+    NetworkConfig cfg = base;
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.seed = 7;
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= cl_div;
+    w.measureTransactions /= cl_div;
+    ClosedLoopSystem sys(cfg, FlowControl::Afc, w);
+    double t0 = cpuSeconds();
+    sys.run();
+    double sec = cpuSeconds() - t0;
+    double cycles = static_cast<double>(sys.network().now());
+    return sec > 0.0 ? cycles / sec : 0.0;
 }
 
 /**
@@ -102,26 +136,73 @@ calibrationStepsPerSec(std::uint64_t iters)
 
 /**
  * Best-of-`reps` sim throughput and calibration throughput,
- * interleaved so both sample the same machine conditions. Returns
- * {sim cycles/sec, calibration steps/sec}.
+ * interleaved so both sample the same machine conditions.
  */
 struct Measurement
 {
     double simCps = 0.0;
     double calibSps = 0.0;
+
+    double
+    ratio() const
+    {
+        return calibSps > 0.0 ? simCps / calibSps : 0.0;
+    }
 };
 
 Measurement
-bestOf(const NetworkConfig &cfg, Cycle cycles, int reps)
+bestOf(const std::function<double()> &run, int reps)
 {
     constexpr std::uint64_t kCalibIters = 20'000'000;
     Measurement m;
     for (int i = 0; i < reps; ++i) {
-        m.simCps = std::max(m.simCps, measureCyclesPerSec(cfg, cycles));
+        m.simCps = std::max(m.simCps, run());
         m.calibSps =
             std::max(m.calibSps, calibrationStepsPerSec(kCalibIters));
     }
     return m;
+}
+
+JsonValue
+pointJson(const Measurement &m)
+{
+    JsonValue p = JsonValue::object();
+    p.set("cycles_per_sec", m.simCps);
+    p.set("calib_steps_per_sec", m.calibSps);
+    p.set("calibrated_ratio", m.ratio());
+    return p;
+}
+
+/**
+ * Check one point against its baseline ratio. A first miss is
+ * re-measured (up to `attempts` total) before declaring a
+ * regression: co-tenant load bursts slow a whole measurement window
+ * at once and no best-of-reps can hide them, but they pass; a real
+ * code regression fails every attempt.
+ */
+bool
+checkPoint(const char *name, double measured, double baseline,
+           double tolerance, int attempts,
+           const std::function<Measurement()> &remeasure)
+{
+    double floor = baseline * (1.0 - tolerance);
+    for (int a = 0; a < attempts; ++a) {
+        std::printf("%s: baseline ratio %.5g, floor %.5g, measured "
+                    "%.5g%s\n",
+                    name, baseline, floor, measured,
+                    a ? " (retry)" : "");
+        if (measured >= floor)
+            return true;
+        if (a + 1 < attempts)
+            measured = remeasure().ratio();
+    }
+    std::fprintf(stderr,
+                 "afcsim-obs-guard: FAIL: %s calibrated ratio %.5g "
+                 "is below the %.5g floor (baseline %.5g, tolerance "
+                 "%.0f%%, %d attempts)\n",
+                 name, measured, floor, baseline, 100.0 * tolerance,
+                 attempts);
+    return false;
 }
 
 } // namespace
@@ -134,42 +215,67 @@ main(int argc, char **argv)
     std::string file = opt.get("file", "bench_router_micro_obs.json");
     Cycle cycles = static_cast<Cycle>(opt.getInt("cycles", 60000));
     int reps = static_cast<int>(opt.getInt("reps", 3));
+    long cl_div = opt.getInt("cl_div", 4);
     double tolerance = opt.getDouble("tolerance", 0.02);
+    double cl_tolerance = opt.getDouble("cl_tolerance", 0.06);
 
     NetworkConfig off; // observability disabled: the guarded path
-    Measurement offm = bestOf(off, cycles, reps);
-    double off_cps = offm.simCps;
-    double off_ratio =
-        offm.calibSps > 0.0 ? offm.simCps / offm.calibSps : 0.0;
+    Measurement micro = bestOf(
+        [&] { return measureRouterMicroCps(off, cycles); }, reps);
+    Measurement closed = bestOf(
+        [&] { return measureClosedLoopCps(off, cl_div); }, reps);
 
+    // Informational companions: observability cost on the micro
+    // loop, and the activity scheduler's gain on the closed loop.
     NetworkConfig on = off;
     on.obs.trace = true;
     on.obs.sampleInterval = 64;
-    double on_cps = bestOf(on, cycles, reps).simCps;
+    double on_cps = bestOf(
+        [&] { return measureRouterMicroCps(on, cycles); }, reps).simCps;
+    NetworkConfig noskip = off;
+    noskip.idleSkip = false;
+    double noskip_cps = bestOf(
+        [&] { return measureClosedLoopCps(noskip, cl_div); }, reps).simCps;
 
     double overhead =
-        off_cps > 0.0 ? 1.0 - on_cps / off_cps : 0.0;
-    std::printf("obs off: %.0f cycles/s, calibrated ratio %.5g "
+        micro.simCps > 0.0 ? 1.0 - on_cps / micro.simCps : 0.0;
+    double skip_gain =
+        noskip_cps > 0.0 ? closed.simCps / noskip_cps : 0.0;
+    std::printf("router_micro:   %.0f cycles/s, calibrated ratio %.5g "
                 "(best of %d x %llu cycles)\n",
-                off_cps, off_ratio, reps,
+                micro.simCps, micro.ratio(), reps,
                 static_cast<unsigned long long>(cycles));
-    std::printf("obs on:  %.0f cycles/s (%.1f%% overhead)\n", on_cps,
-                100.0 * overhead);
+    std::printf("  obs on:       %.0f cycles/s (%.1f%% overhead)\n",
+                on_cps, 100.0 * overhead);
+    std::printf("closedloop_8x8: %.0f cycles/s, calibrated ratio %.5g "
+                "(best of %d, ocean/%ld)\n",
+                closed.simCps, closed.ratio(), reps, cl_div);
+    std::printf("  idle_skip=off: %.0f cycles/s (skip speedup "
+                "%.2fx)\n",
+                noskip_cps, skip_gain);
 
     if (mode == "record") {
         obs::ThroughputProfiler prof("bench_router_micro");
         double wall_ms =
-            off_cps > 0.0 ? 1000.0 * cycles / off_cps : 0.0;
+            micro.simCps > 0.0 ? 1000.0 * cycles / micro.simCps : 0.0;
         prof.add("afc_cycle_obs_off", wall_ms, cycles, 0);
         JsonValue doc = prof.toJson();
+        // Legacy single-point block (older checkers read only this).
         JsonValue guard = JsonValue::object();
-        guard.set("cycles_per_sec", off_cps);
-        guard.set("calib_steps_per_sec", offm.calibSps);
-        guard.set("calibrated_ratio", off_ratio);
+        guard.set("cycles_per_sec", micro.simCps);
+        guard.set("calib_steps_per_sec", micro.calibSps);
+        guard.set("calibrated_ratio", micro.ratio());
         guard.set("obs_on_cycles_per_sec", on_cps);
         guard.set("reps", reps);
         guard.set("cycles", static_cast<std::int64_t>(cycles));
         doc.set("guard", std::move(guard));
+        JsonValue points = JsonValue::object();
+        points.set("router_micro", pointJson(micro));
+        JsonValue cl = pointJson(closed);
+        cl.set("idle_skip_off_cycles_per_sec", noskip_cps);
+        cl.set("idle_skip_speedup", skip_gain);
+        points.set("closedloop_8x8", std::move(cl));
+        doc.set("points", std::move(points));
         std::ofstream out(file);
         if (!out) {
             std::fprintf(stderr,
@@ -210,21 +316,38 @@ main(int argc, char **argv)
                                    : error.c_str());
         return 1;
     }
-    double baseline =
-        doc.at("guard").at("calibrated_ratio").asDouble();
-    double floor = baseline * (1.0 - tolerance);
-    std::printf("baseline ratio: %.5g, floor: %.5g (-%.0f%%)\n",
-                baseline, floor, 100.0 * tolerance);
-    if (off_ratio < floor) {
-        std::fprintf(stderr,
-                     "afcsim-obs-guard: FAIL: calibrated ratio %.5g "
-                     "is below the %.5g floor (baseline %.5g, "
-                     "tolerance %.0f%%)\n",
-                     off_ratio, floor, baseline, 100.0 * tolerance);
-        return 1;
+    int attempts = static_cast<int>(opt.getInt("attempts", 3));
+    bool ok = checkPoint(
+        "router_micro", micro.ratio(),
+        doc.at("guard").at("calibrated_ratio").asDouble(), tolerance,
+        attempts, [&] {
+            return bestOf(
+                [&] { return measureRouterMicroCps(off, cycles); },
+                reps);
+        });
+    // Per-point block (absent in baselines from older builds).
+    if (doc.has("points")) {
+        const JsonValue &points = doc.at("points");
+        if (points.has("closedloop_8x8")) {
+            ok = checkPoint("closedloop_8x8", closed.ratio(),
+                            points.at("closedloop_8x8")
+                                .at("calibrated_ratio")
+                                .asDouble(),
+                            cl_tolerance, attempts,
+                            [&] {
+                                return bestOf(
+                                    [&] {
+                                        return measureClosedLoopCps(
+                                            off, cl_div);
+                                    },
+                                    reps);
+                            }) &&
+                 ok;
+        }
     }
-    std::printf("PASS: tracing-off throughput within %.0f%% of "
-                "baseline (calibrated)\n",
-                100.0 * tolerance);
+    if (!ok)
+        return 1;
+    std::printf("PASS: all guard points within tolerance of baseline "
+                "(calibrated)\n");
     return 0;
 }
