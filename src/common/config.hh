@@ -231,6 +231,15 @@ struct ObsSpec
     /** Flit events retained before further ones are counted dropped
      *  (mode-switch events are never dropped). */
     int traceCapacity = 1 << 20;
+    /**
+     * Streaming series export: when non-empty and the sampler is
+     * active, frames evicted from the ring are appended to this CSV
+     * file instead of being dropped, and the series export flushes
+     * the retained tail there. Empty (the default) keeps the pure
+     * in-memory ring — that path is byte-identical to builds without
+     * streaming.
+     */
+    std::string streamPath;
 
     /** True when any observability mechanism is active. */
     bool

@@ -212,6 +212,8 @@ applyConfigKey(NetworkConfig &cfg, const std::string &key,
         cfg.obs.trace = toBool(key, value);
     } else if (key == "obs.trace_capacity") {
         cfg.obs.traceCapacity = static_cast<int>(toInt(key, value));
+    } else if (key == "obs.stream") {
+        cfg.obs.streamPath = value;
     } else {
         AFCSIM_CONFIG_ERROR("unknown config key '", key, "'");
     }

@@ -176,6 +176,72 @@ class Histogram
 };
 
 /**
+ * Exact percentile accumulator: stores every sample and answers
+ * nearest-rank quantile queries over the sorted set. Complements
+ * Histogram, whose bucket-midpoint quantiles are approximate — the
+ * search criteria (src/search) need exact p50/p95/p99 so that a
+ * pass/fail decision never flips on bucket rounding.
+ *
+ * Samples are kept unsorted on the hot add() path and sorted lazily
+ * on the first quantile() after a mutation.
+ */
+class PercentileAccumulator
+{
+  public:
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sorted_ = samples_.size() == 1;
+    }
+
+    std::uint64_t count() const { return samples_.size(); }
+
+    /**
+     * Exact nearest-rank p-quantile (0..1): the smallest sample with
+     * at least ceil(p * count) samples at or below it. p=0 reports
+     * the minimum, p=1 the maximum; an empty accumulator reports 0.
+     */
+    double
+    quantile(double p) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        AFCSIM_ASSERT(p >= 0.0 && p <= 1.0, "quantile p out of range");
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(p * static_cast<double>(samples_.size())));
+        rank = std::max<std::size_t>(rank, 1);
+        rank = std::min(rank, samples_.size());
+        return samples_[rank - 1];
+    }
+
+    void
+    reset()
+    {
+        samples_.clear();
+        sorted_ = true;
+    }
+
+    void
+    merge(const PercentileAccumulator &other)
+    {
+        if (other.samples_.empty())
+            return;
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+        sorted_ = false;
+    }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
  * End-to-end network statistics accumulated by a NIC / harness:
  * packet and flit latency, hops, deflections, counts.
  */
@@ -186,7 +252,8 @@ struct NetStats
     std::uint64_t packetsInjected = 0;
     std::uint64_t packetsDelivered = 0;
     RunningStat packetLatency;   ///< injection-queue entry to last flit
-    Histogram packetLatencyHist; ///< same signal, for percentiles
+    Histogram packetLatencyHist; ///< same signal, bucketed distribution
+    PercentileAccumulator packetLatencyPct; ///< same signal, exact quantiles
     RunningStat flitLatency;     ///< network entry to delivery, per flit
     RunningStat hops;            ///< per delivered flit
     RunningStat deflections;     ///< per delivered flit
@@ -216,6 +283,7 @@ struct NetStats
         packetsDelivered += o.packetsDelivered;
         packetLatency.merge(o.packetLatency);
         packetLatencyHist.merge(o.packetLatencyHist);
+        packetLatencyPct.merge(o.packetLatencyPct);
         flitLatency.merge(o.flitLatency);
         hops.merge(o.hops);
         deflections.merge(o.deflections);

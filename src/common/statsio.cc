@@ -47,6 +47,13 @@ toJson(const NetStats &n)
     o.set("packets_injected", JsonValue(n.packetsInjected));
     o.set("packets_delivered", JsonValue(n.packetsDelivered));
     o.set("packet_latency", toJson(n.packetLatencyHist));
+    if (n.packetLatencyPct.count() > 0) {
+        // Exact nearest-rank quantiles (PercentileAccumulator), as
+        // opposed to the bucket-midpoint approximations above.
+        o.set("p50_exact", JsonValue(n.packetLatencyPct.quantile(0.50)));
+        o.set("p95_exact", JsonValue(n.packetLatencyPct.quantile(0.95)));
+        o.set("p99_exact", JsonValue(n.packetLatencyPct.quantile(0.99)));
+    }
     o.set("flit_latency", toJson(n.flitLatency));
     o.set("hops", toJson(n.hops));
     o.set("deflections", toJson(n.deflections));

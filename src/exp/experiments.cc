@@ -98,11 +98,35 @@ faultSweepExperiment()
     return spec;
 }
 
+ExperimentSpec
+saturationSearchExperiment()
+{
+    ExperimentSpec spec;
+    spec.name = "saturation_search";
+    spec.description =
+        "Adaptive load search: per-flow-control saturation rate on "
+        "the 8x8 mesh, uniform random (bracketing + bisection)";
+    spec.kind = RunKind::OpenLoop;
+    spec.configs = {FlowControl::Backpressured,
+                    FlowControl::Backpressureless, FlowControl::Afc};
+    spec.meshSizes = {8};
+    spec.warmupCycles = 4000;
+    spec.measureCycles = 12000;
+    spec.baseSeed = 1;
+    spec.search.enabled = true;
+    spec.search.seedRate = 0.1;
+    spec.search.rateTolerance = 0.002;
+    spec.search.maxProbes = 12;
+    spec.search.probeWarmup = 1000;
+    spec.search.probeMeasure = 3000;
+    return spec;
+}
+
 std::vector<std::string>
 experimentNames()
 {
     return {"openloop_sweep", "fig2_low_load", "fig2_high_load",
-            "scaling", "fault_sweep"};
+            "scaling", "fault_sweep", "saturation_search"};
 }
 
 ExperimentSpec
@@ -118,9 +142,11 @@ experimentByName(const std::string &name)
         return scalingExperiment();
     if (name == "fault_sweep")
         return faultSweepExperiment();
+    if (name == "saturation_search")
+        return saturationSearchExperiment();
     AFCSIM_CONFIG_ERROR("unknown experiment '", name, "'; known: ",
                  "openloop_sweep, fig2_low_load, fig2_high_load, "
-                 "scaling, fault_sweep");
+                 "scaling, fault_sweep, saturation_search");
 }
 
 } // namespace afcsim::exp

@@ -48,6 +48,14 @@ ExperimentSpec scalingExperiment();
  */
 ExperimentSpec faultSweepExperiment();
 
+/**
+ * Adaptive load search (src/search): per-flow-control saturation
+ * rate on the 8x8 open-loop mesh under uniform random, found by
+ * bracketing + bisection instead of a rate grid (afcsim-search,
+ * bench_saturation).
+ */
+ExperimentSpec saturationSearchExperiment();
+
 /** All registered experiment names. */
 std::vector<std::string> experimentNames();
 

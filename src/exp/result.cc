@@ -95,6 +95,7 @@ toJson(const RunResult &r, bool with_telemetry)
     m.set("accepted_rate", JsonValue(r.acceptedRate));
     m.set("avg_packet_latency", JsonValue(r.avgPacketLatency));
     m.set("p50_packet_latency", JsonValue(r.p50PacketLatency));
+    m.set("p95_packet_latency", JsonValue(r.p95PacketLatency));
     m.set("p99_packet_latency", JsonValue(r.p99PacketLatency));
     m.set("avg_flit_latency", JsonValue(r.avgFlitLatency));
     m.set("avg_hops", JsonValue(r.avgHops));
@@ -221,7 +222,8 @@ resultsToCsv(const std::vector<RunResult> &results)
         "repeat", "seed", "rate", "workload", "runtime_cycles",
         "transactions", "offered_rate", "accepted_rate",
         "avg_packet_latency", "p50_packet_latency",
-        "p99_packet_latency", "avg_hops", "avg_deflections",
+        "p95_packet_latency", "p99_packet_latency",
+        "avg_hops", "avg_deflections",
         "saturated", "energy_total_pj", "energy_per_flit_pj",
         "buffer_pj", "link_pj", "rest_pj", "bp_fraction", "error",
     });
@@ -246,6 +248,7 @@ resultsToCsv(const std::vector<RunResult> &results)
             num(r.acceptedRate),
             num(r.avgPacketLatency),
             num(r.p50PacketLatency),
+            num(r.p95PacketLatency),
             num(r.p99PacketLatency),
             num(r.avgHops),
             num(r.avgDeflections),

@@ -43,6 +43,7 @@ struct RunResult
     double acceptedRate = 0.0;   ///< flits/node/cycle delivered
     double avgPacketLatency = 0.0;
     double p50PacketLatency = 0.0;
+    double p95PacketLatency = 0.0;
     double p99PacketLatency = 0.0;
     double avgFlitLatency = 0.0;
     double avgHops = 0.0;

@@ -39,6 +39,7 @@ fromOpenLoop(const RunPoint &p, const OpenLoopResult &r)
     out.throughput = r.acceptedRate;
     out.avgPacketLatency = r.avgPacketLatency;
     out.p50PacketLatency = r.p50PacketLatency;
+    out.p95PacketLatency = r.p95PacketLatency;
     out.p99PacketLatency = r.p99PacketLatency;
     out.avgFlitLatency = r.avgFlitLatency;
     out.avgHops = r.avgHops;
@@ -70,8 +71,9 @@ fromClosedLoop(const RunPoint &p, const ClosedLoopResult &r)
     }
     out.avgTxLatency = r.avgTxLatency;
     out.avgPacketLatency = r.avgPacketLatency;
-    out.p50PacketLatency = r.net.packetLatencyHist.quantile(0.5);
-    out.p99PacketLatency = r.net.packetLatencyHist.quantile(0.99);
+    out.p50PacketLatency = r.net.packetLatencyPct.quantile(0.5);
+    out.p95PacketLatency = r.net.packetLatencyPct.quantile(0.95);
+    out.p99PacketLatency = r.net.packetLatencyPct.quantile(0.99);
     out.avgFlitLatency = r.net.flitLatency.mean();
     out.avgHops = r.net.hops.mean();
     out.avgDeflections = r.avgDeflections;
@@ -123,6 +125,15 @@ executeRun(const RunPoint &point)
     auto t0 = std::chrono::steady_clock::now();
     RunResult out;
     double sim_cycles = 0.0;
+    // Streaming series export opens its file while the network is
+    // built, before exportObs() would create the directory.
+    if (!point.cfg.obs.streamPath.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(point.cfg.obs.streamPath)
+                .parent_path(),
+            ec);
+    }
     // Per-run error boundary: a recoverable failure (watchdog
     // SimError, injected hard failure, exceeded cycle budget, bad
     // per-point config) degrades this run to an error record and

@@ -125,11 +125,31 @@ ExperimentSpec::expand() const
         AFCSIM_CONFIG_ERROR("experiment '", name, "': no flow controls");
     if (repeats < 1)
         AFCSIM_CONFIG_ERROR("experiment '", name, "': repeats must be >= 1");
-    if (kind == RunKind::OpenLoop && rates.empty())
+    if (search.enabled) {
+        if (kind != RunKind::OpenLoop)
+            AFCSIM_CONFIG_ERROR("experiment '", name,
+                         "': search requires an open-loop spec");
+        if (!rates.empty())
+            AFCSIM_CONFIG_ERROR("experiment '", name,
+                         "': search spec must not list rates "
+                         "(the search finds them)");
+        search.validate(name);
+    }
+    if (kind == RunKind::OpenLoop && rates.empty() && !search.enabled)
         AFCSIM_CONFIG_ERROR("experiment '", name, "': open-loop spec has no rates");
     if (kind == RunKind::ClosedLoop && workloads.empty())
         AFCSIM_CONFIG_ERROR("experiment '", name,
                      "': closed-loop spec has no workloads");
+    if (obsStream) {
+        if (obsDir.empty())
+            AFCSIM_CONFIG_ERROR("experiment '", name,
+                         "': obs_stream needs obs_dir (the stream "
+                         "files live there)");
+        if (base.obs.sampleInterval == 0)
+            AFCSIM_CONFIG_ERROR("experiment '", name,
+                         "': obs_stream needs a sampler "
+                         "(set obs.interval)");
+    }
 
     std::vector<int> meshes = meshSizes;
     if (meshes.empty())
@@ -152,8 +172,13 @@ ExperimentSpec::expand() const
     std::vector<RunPoint> points;
     int index = 0;
     for (int mesh : meshes) {
-        std::size_t groups = kind == RunKind::OpenLoop ? rates.size()
-                                                       : profiles.size();
+        // A search spec has no rate axis: one group per mesh,
+        // labelled by the traffic pattern (the fault suffix still
+        // composes, e.g. "uniform fault=0.005"). The cell's rate is
+        // the search seed; the controller overrides it per probe.
+        std::size_t groups = kind == RunKind::OpenLoop
+            ? (search.enabled ? 1 : rates.size())
+            : profiles.size();
         for (std::size_t g = 0; g < groups; ++g) {
             for (double frate : faults) {
                 for (int rep = 0; rep < repeats; ++rep) {
@@ -172,9 +197,24 @@ ExperimentSpec::expand() const
                         p.cfg.seed = p.seed;
                         p.maxCycles = maxCycles;
                         p.obsDir = obsDir;
+                        if (obsStream) {
+                            // Same filename the runner's post-hoc
+                            // export would use, so nothing is
+                            // written twice (writeSeriesCsv then
+                            // finalizes the stream instead).
+                            p.cfg.obs.streamPath =
+                                obsDir + "/" + name + "_run" +
+                                std::to_string(p.index) +
+                                "_series.csv";
+                        }
                         if (kind == RunKind::OpenLoop) {
-                            p.rate = rates[g];
-                            p.group = rateLabel(p.rate);
+                            if (search.enabled) {
+                                p.rate = search.seedRate;
+                                p.group = pattern;
+                            } else {
+                                p.rate = rates[g];
+                                p.group = rateLabel(p.rate);
+                            }
                             p.ol.injectionRate = p.rate;
                             p.ol.pattern = pattern;
                             p.ol.warmupCycles = warmupCycles;
@@ -293,6 +333,12 @@ ExperimentSpec::fromText(const std::string &text)
             spec.maxCycles = static_cast<Cycle>(toInt(key, value));
         } else if (k == "obs_dir") {
             spec.obsDir = value;
+        } else if (k == "obs_stream") {
+            spec.obsStream = toBool(key, value);
+        } else if (k == "search") {
+            spec.search.enabled = toBool(key, value);
+        } else if (k.rfind("search.", 0) == 0) {
+            search::applySearchKey(spec.search, k.substr(7), value);
         } else {
             AFCSIM_CONFIG_ERROR("unknown spec key '", key, "'");
         }

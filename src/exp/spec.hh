@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "search/spec.hh"
 #include "sim/workload.hh"
 
 namespace afcsim::exp
@@ -117,6 +118,16 @@ struct ExperimentSpec
      */
     std::vector<double> faultRates;
 
+    /**
+     * Adaptive load search (`exp.search` block, src/search). When
+     * enabled the spec lists no rates — the search finds the maximum
+     * sustainable rate per grid cell — and expand() emits one cell
+     * per mesh x fault x repeat x flow control, grouped by traffic
+     * pattern. warmupCycles/measureCycles become the testing-stage
+     * budgets unless the block overrides them.
+     */
+    search::SearchSpec search;
+
     /** Independent repeats; run r uses seed baseSeed + 1000 r. */
     int repeats = 1;
     std::uint64_t baseSeed = 7;
@@ -124,6 +135,15 @@ struct ExperimentSpec
     Cycle maxCycles = 0;
     /** Observability export directory (empty = no side files). */
     std::string obsDir;
+    /**
+     * Stream the sampler series to disk as frames are evicted from
+     * the ring (`exp.obs_stream`, src/obs). Each run streams into the
+     * same `<obsDir>/<name>_run<index>_series.csv` file the runner
+     * would otherwise write post-hoc, so long runs keep the full
+     * series instead of the ring's tail. Requires obsDir and a
+     * sampler interval.
+     */
+    bool obsStream = false;
 
     /** Convenience: uniform rate ladder step, step*2, ..., <= max. */
     void rateSweep(double step, double max);

@@ -268,6 +268,8 @@ Nic::eject(const Flit &flit, Cycle now)
         stats_.packetLatency.add(static_cast<double>(now - r.createTime));
         stats_.packetLatencyHist.add(
             static_cast<double>(now - r.createTime));
+        stats_.packetLatencyPct.add(
+            static_cast<double>(now - r.createTime));
         if (rel_.enabled) {
             completedAt_.emplace(flit.packet, now);
             if (ackFn_)

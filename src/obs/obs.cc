@@ -273,6 +273,11 @@ Observability::writeChromeTrace(const std::string &path) const
 bool
 Observability::writeSeriesCsv(const std::string &path) const
 {
+    // Streaming mode: the file at spec.streamPath already holds every
+    // evicted frame; flush the retained tail and close instead of
+    // rewriting `path` (a rewrite could only see the ring's tail).
+    if (sampler_ && sampler_->streaming())
+        return sampler_->finishStream();
     std::ofstream f(path);
     if (!f.good())
         return false;

@@ -117,7 +117,12 @@ class Observability
     /** Write chromeTrace() to `path`; returns false on I/O error. */
     bool writeChromeTrace(const std::string &path) const;
 
-    /** Write seriesCsv() to `path`; returns false on I/O error. */
+    /**
+     * Write seriesCsv() to `path`; returns false on I/O error. When
+     * the sampler streams (cfg.obs.streamPath), this instead
+     * finalizes the stream file — which already holds every evicted
+     * frame — and `path` is ignored.
+     */
     bool writeSeriesCsv(const std::string &path) const;
 
   private:

@@ -1,13 +1,25 @@
 #include "obs/sampler.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
+#include "common/log.hh"
 #include "network/network.hh"
 #include "router/afc.hh"
 
 namespace afcsim::obs
 {
+
+namespace
+{
+
+constexpr const char *kCsvHeader =
+    "cycle,node,x,y,mode,ewma,high,low,occupancy,nic_queue,"
+    "routed_d,deflected_d,credit_stalls_d,fwd_switch_d,"
+    "rev_switch_d,gossip_switch_d,energy_pj_d\n";
+
+} // namespace
 
 MetricsSampler::MetricsSampler(const ObsSpec &spec, int num_nodes)
     : interval_(spec.sampleInterval), numNodes_(num_nodes)
@@ -18,6 +30,17 @@ MetricsSampler::MetricsSampler(const ObsSpec &spec, int num_nodes)
         f.routers.resize(static_cast<std::size_t>(num_nodes));
     prev_.resize(static_cast<std::size_t>(num_nodes));
     meta_.resize(static_cast<std::size_t>(num_nodes));
+    if (!spec.streamPath.empty()) {
+        stream_ = std::make_unique<std::ofstream>(spec.streamPath);
+        if (stream_->good()) {
+            *stream_ << kCsvHeader;
+        } else {
+            // Degrade to the in-memory ring rather than aborting the
+            // run over a side-file path.
+            warn("cannot open series stream '", spec.streamPath, "'");
+            stream_.reset();
+        }
+    }
 }
 
 void
@@ -40,6 +63,10 @@ void
 MetricsSampler::sample(const Network &net, Cycle now)
 {
     SampleFrame &frame = ring_[head_];
+    // Once wrapped, head_ holds the oldest frame; stream it out
+    // before overwriting so no frame is ever dropped.
+    if (stream_ && recorded_ >= ring_.size())
+        frameCsv(*stream_, frame);
     frame.cycle = now;
     for (NodeId n = 0; n < numNodes_; ++n) {
         const Router &r = net.router(n);
@@ -88,30 +115,49 @@ MetricsSampler::frame(std::size_t i) const
     return ring_[(oldest + i) % ring_.size()];
 }
 
+void
+MetricsSampler::frameCsv(std::ostream &os, const SampleFrame &f) const
+{
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        const RouterSample &r = f.routers[static_cast<std::size_t>(n)];
+        const RouterMeta &m = meta_[static_cast<std::size_t>(n)];
+        os << f.cycle << ',' << n << ',' << m.x << ',' << m.y << ','
+           << (r.backpressured ? "bp" : "bpl") << ',' << r.ewma << ','
+           << m.highThreshold << ',' << m.lowThreshold << ','
+           << r.occupancy << ',' << r.nicQueue << ','
+           << r.routedDelta << ',' << r.deflectedDelta << ','
+           << r.creditStallDelta << ',' << r.forwardSwitchDelta << ','
+           << r.reverseSwitchDelta << ',' << r.gossipSwitchDelta << ','
+           << r.energyDeltaPj << '\n';
+    }
+}
+
 std::string
 MetricsSampler::toCsv() const
 {
     std::ostringstream os;
-    os << "cycle,node,x,y,mode,ewma,high,low,occupancy,nic_queue,"
-          "routed_d,deflected_d,credit_stalls_d,fwd_switch_d,"
-          "rev_switch_d,gossip_switch_d,energy_pj_d\n";
+    os << kCsvHeader;
     std::size_t held = frames();
-    for (std::size_t i = 0; i < held; ++i) {
-        const SampleFrame &f = frame(i);
-        for (NodeId n = 0; n < numNodes_; ++n) {
-            const RouterSample &r = f.routers[static_cast<std::size_t>(n)];
-            const RouterMeta &m = meta_[static_cast<std::size_t>(n)];
-            os << f.cycle << ',' << n << ',' << m.x << ',' << m.y << ','
-               << (r.backpressured ? "bp" : "bpl") << ',' << r.ewma << ','
-               << m.highThreshold << ',' << m.lowThreshold << ','
-               << r.occupancy << ',' << r.nicQueue << ','
-               << r.routedDelta << ',' << r.deflectedDelta << ','
-               << r.creditStallDelta << ',' << r.forwardSwitchDelta << ','
-               << r.reverseSwitchDelta << ',' << r.gossipSwitchDelta << ','
-               << r.energyDeltaPj << '\n';
-        }
-    }
+    for (std::size_t i = 0; i < held; ++i)
+        frameCsv(os, frame(i));
     return os.str();
+}
+
+bool
+MetricsSampler::finishStream()
+{
+    if (streamDone_)
+        return streamOk_;
+    if (!stream_)
+        return false;
+    std::size_t held = frames();
+    for (std::size_t i = 0; i < held; ++i)
+        frameCsv(*stream_, frame(i));
+    stream_->close();
+    streamOk_ = stream_->good();
+    stream_.reset();
+    streamDone_ = true;
+    return streamOk_;
 }
 
 JsonValue

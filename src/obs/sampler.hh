@@ -9,12 +9,21 @@
  * frames are overwritten; deltas are computed at sample time from the
  * cumulative counters, so wrapped series stay self-consistent.
  * Export is CSV (one row per router per frame, oldest first) or JSON.
+ *
+ * Streaming (spec.streamPath non-empty): instead of dropping the
+ * oldest frame at wrap, its CSV rows are appended to an open file
+ * before the slot is overwritten, and finishStream() flushes the
+ * retained tail — so the file ends up holding every frame ever
+ * recorded, byte-identical to what toCsv() would return from an
+ * unbounded ring. Off by default; the disabled path is unchanged.
  */
 
 #ifndef AFCSIM_OBS_SAMPLER_HH
 #define AFCSIM_OBS_SAMPLER_HH
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -95,7 +104,24 @@ class MetricsSampler
     /** JSON export: metadata + the same series as toCsv(). */
     JsonValue toJson() const;
 
+    /**
+     * True when this sampler streams evicted frames to
+     * spec.streamPath (stays true after finishStream(), so callers
+     * can tell the file is authoritative and must not rewrite it).
+     */
+    bool streaming() const { return stream_ != nullptr || streamDone_; }
+
+    /**
+     * Flush the retained frames to the stream and close it; after
+     * this the file holds the complete series. Idempotent — repeat
+     * calls return the first outcome. False when streaming is off or
+     * any write failed.
+     */
+    bool finishStream();
+
   private:
+    /** Append one frame's CSV rows (the body shared with toCsv()). */
+    void frameCsv(std::ostream &os, const SampleFrame &f) const;
     /** Cumulative counters at the previous sample, per router. */
     struct PrevCounters
     {
@@ -115,6 +141,10 @@ class MetricsSampler
     std::vector<RouterMeta> meta_;
     std::size_t head_ = 0;      ///< next slot to write
     std::uint64_t recorded_ = 0;
+    /** Open streaming target (null when streaming is off or done). */
+    std::unique_ptr<std::ofstream> stream_;
+    bool streamDone_ = false;
+    bool streamOk_ = false;     ///< finishStream() outcome
 };
 
 } // namespace afcsim::obs

@@ -1,0 +1,99 @@
+#include "search/criteria.hh"
+
+namespace afcsim::search
+{
+
+Evaluation
+evaluateCriteria(const SearchCriteria &c, const ProbeMetrics &m,
+                 double baselineAvgLatency)
+{
+    Evaluation ev;
+    auto add = [&ev](const std::string &name, bool pass, double value,
+                     double bound) {
+        ev.criteria.push_back({name, pass, value, bound});
+    };
+
+    // A degraded run has no metrics to judge: fail on the clean
+    // criterion alone. This is the "a faulted probe counts as
+    // failing criteria" contract — the search treats it as an
+    // unsustainable rate and moves its bracket, never aborts.
+    if (!m.error.empty()) {
+        add("clean", false, 0.0, 1.0);
+        ev.pass = false;
+        return ev;
+    }
+    if (c.requireClean)
+        add("clean", true, 1.0, 1.0);
+
+    if (c.minDeliveredFraction > 0.0) {
+        double frac = m.offeredRate > 0.0
+            ? m.acceptedRate / m.offeredRate
+            : 0.0;
+        add("delivered_fraction", frac >= c.minDeliveredFraction, frac,
+            c.minDeliveredFraction);
+    }
+    if (c.requireUnsaturated) {
+        add("unsaturated", !m.saturated, m.saturated ? 0.0 : 1.0, 1.0);
+    }
+    if (c.maxAvgLatency > 0.0) {
+        add("avg_latency", m.avgPacketLatency <= c.maxAvgLatency,
+            m.avgPacketLatency, c.maxAvgLatency);
+    }
+    if (c.maxP95Latency > 0.0) {
+        add("p95_latency", m.p95PacketLatency <= c.maxP95Latency,
+            m.p95PacketLatency, c.maxP95Latency);
+    }
+    if (c.maxP99Latency > 0.0) {
+        add("p99_latency", m.p99PacketLatency <= c.maxP99Latency,
+            m.p99PacketLatency, c.maxP99Latency);
+    }
+    if (c.kneeRatio > 0.0 && baselineAvgLatency > 0.0) {
+        double bound = c.kneeRatio * baselineAvgLatency;
+        add("latency_knee", m.avgPacketLatency <= bound,
+            m.avgPacketLatency, bound);
+    }
+
+    ev.pass = true;
+    for (const auto &r : ev.criteria)
+        ev.pass = ev.pass && r.pass;
+    return ev;
+}
+
+JsonValue
+toJson(const SearchCriteria &c)
+{
+    JsonValue o = JsonValue::object();
+    o.set("min_delivered_fraction", JsonValue(c.minDeliveredFraction));
+    o.set("max_avg_latency", JsonValue(c.maxAvgLatency));
+    o.set("max_p95_latency", JsonValue(c.maxP95Latency));
+    o.set("max_p99_latency", JsonValue(c.maxP99Latency));
+    o.set("knee_ratio", JsonValue(c.kneeRatio));
+    o.set("require_unsaturated", JsonValue(c.requireUnsaturated));
+    o.set("require_clean", JsonValue(c.requireClean));
+    return o;
+}
+
+JsonValue
+toJson(const CriterionResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("name", JsonValue(r.name));
+    o.set("pass", JsonValue(r.pass));
+    o.set("value", JsonValue(r.value));
+    o.set("bound", JsonValue(r.bound));
+    return o;
+}
+
+JsonValue
+toJson(const Evaluation &e)
+{
+    JsonValue o = JsonValue::object();
+    o.set("pass", JsonValue(e.pass));
+    JsonValue list = JsonValue::array();
+    for (const auto &r : e.criteria)
+        list.push(toJson(r));
+    o.set("criteria", std::move(list));
+    return o;
+}
+
+} // namespace afcsim::search

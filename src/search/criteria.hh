@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Declarative convergence criteria for the adaptive load search
+ * (src/search). A SearchCriteria is a set of predicates over the
+ * metrics of one finished run; evaluateCriteria() applies them and
+ * returns a JSON-exportable per-criterion breakdown, so a search
+ * result always records *why* each probe passed or failed — the
+ * Nighthawk adaptive-load-controller reporting style.
+ *
+ * This header depends only on src/common so the experiment spec
+ * layer (exp/spec.hh) can embed a criteria block without pulling in
+ * the runner.
+ */
+
+#ifndef AFCSIM_SEARCH_CRITERIA_HH
+#define AFCSIM_SEARCH_CRITERIA_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace afcsim::search
+{
+
+/**
+ * The slice of a run's outcome the criteria can see. Kept separate
+ * from exp::RunResult so criteria stay testable with hand-built
+ * fixtures (the monotonicity tests drive the controller with a
+ * synthetic metrics function, no simulator involved).
+ */
+struct ProbeMetrics
+{
+    double offeredRate = 0.0;      ///< flits/node/cycle offered
+    double acceptedRate = 0.0;     ///< flits/node/cycle delivered
+    double avgPacketLatency = 0.0; ///< cycles
+    double p50PacketLatency = 0.0;
+    double p95PacketLatency = 0.0;
+    double p99PacketLatency = 0.0;
+    bool saturated = false;        ///< open-loop saturation flag
+    /**
+     * Non-empty when the run degraded to an error record (watchdog
+     * SimError, injected hard failure, exceeded budget). A degraded
+     * probe carries no usable metrics and always fails evaluation.
+     */
+    std::string error;
+};
+
+/**
+ * Predicate thresholds. A threshold of 0 disables that predicate
+ * (except the delivered-fraction floor, which is the one criterion
+ * every search needs — set it to 0 explicitly to disable).
+ */
+struct SearchCriteria
+{
+    /** Floor on acceptedRate / offeredRate (0 disables). */
+    double minDeliveredFraction = 0.9;
+    /** Ceiling on mean packet latency in cycles (0 disables). */
+    double maxAvgLatency = 0.0;
+    /** Ceiling on p95 packet latency in cycles (0 disables). */
+    double maxP95Latency = 0.0;
+    /** Ceiling on p99 packet latency in cycles (0 disables). */
+    double maxP99Latency = 0.0;
+    /**
+     * Latency-knee detector: mean latency must stay within this
+     * factor of the low-load baseline probe's mean latency (0
+     * disables; enabling it makes the controller run one baseline
+     * probe first). The Envoy gradient-controller idiom: minRTT vs
+     * sampleRTT.
+     */
+    double kneeRatio = 0.0;
+    /** Require the open-loop saturation flag to be clear. */
+    bool requireUnsaturated = true;
+    /**
+     * Record a "clean" criterion for runs that degraded to an error
+     * record. Informational only: a degraded probe fails evaluation
+     * regardless, because it has no metrics to judge.
+     */
+    bool requireClean = true;
+};
+
+/** One predicate's outcome: observed value against its bound. */
+struct CriterionResult
+{
+    std::string name;
+    bool pass = false;
+    double value = 0.0;
+    double bound = 0.0;
+};
+
+/** Full evaluation of one run against a criteria set. */
+struct Evaluation
+{
+    bool pass = false;
+    std::vector<CriterionResult> criteria;
+};
+
+/**
+ * Apply the criteria to one run's metrics. `baselineAvgLatency` is
+ * the mean latency of the low-load baseline probe (0 when no
+ * baseline ran; the knee criterion is skipped then).
+ */
+Evaluation evaluateCriteria(const SearchCriteria &c,
+                            const ProbeMetrics &m,
+                            double baselineAvgLatency = 0.0);
+
+JsonValue toJson(const SearchCriteria &c);
+JsonValue toJson(const CriterionResult &r);
+JsonValue toJson(const Evaluation &e);
+
+} // namespace afcsim::search
+
+#endif // AFCSIM_SEARCH_CRITERIA_HH

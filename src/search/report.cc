@@ -1,0 +1,182 @@
+/**
+ * @file
+ * JSON and CSV sinks for search results. Like exp/result.cc, every
+ * document is a pure function of the results — no wall-clock, no
+ * thread-count artifacts — so repeated runs byte-compare equal.
+ */
+
+#include "search/search.hh"
+
+#include "common/statsio.hh"
+
+namespace afcsim::search
+{
+
+namespace
+{
+
+JsonValue
+toJson(const ProbeMetrics &m)
+{
+    JsonValue o = JsonValue::object();
+    o.set("offered_rate", JsonValue(m.offeredRate));
+    o.set("accepted_rate", JsonValue(m.acceptedRate));
+    o.set("avg_packet_latency", JsonValue(m.avgPacketLatency));
+    o.set("p50_packet_latency", JsonValue(m.p50PacketLatency));
+    o.set("p95_packet_latency", JsonValue(m.p95PacketLatency));
+    o.set("p99_packet_latency", JsonValue(m.p99PacketLatency));
+    o.set("saturated", JsonValue(m.saturated));
+    return o;
+}
+
+JsonValue
+toJson(const ProbeRecord &p)
+{
+    JsonValue o = JsonValue::object();
+    o.set("ordinal", JsonValue(static_cast<std::int64_t>(p.ordinal)));
+    o.set("stage", JsonValue(toString(p.stage)));
+    o.set("rate", JsonValue(p.rate));
+    o.set("pass", JsonValue(p.pass));
+    if (!p.metrics.error.empty())
+        o.set("error", JsonValue(p.metrics.error));
+    else
+        o.set("metrics", toJson(p.metrics));
+    o.set("eval", toJson(p.eval));
+    return o;
+}
+
+JsonValue
+searchSpecToJson(const exp::ExperimentSpec &spec)
+{
+    JsonValue s = JsonValue::object();
+    s.set("kind", JsonValue(std::string("search")));
+    JsonValue meshes = JsonValue::array();
+    if (spec.meshSizes.empty()) {
+        meshes.push(
+            JsonValue(static_cast<std::int64_t>(spec.base.width)));
+    } else {
+        for (int m : spec.meshSizes)
+            meshes.push(JsonValue(static_cast<std::int64_t>(m)));
+    }
+    s.set("mesh", std::move(meshes));
+    JsonValue fcs = JsonValue::array();
+    for (FlowControl fc : spec.configs)
+        fcs.push(JsonValue(afcsim::toString(fc)));
+    s.set("configs", std::move(fcs));
+    s.set("pattern", JsonValue(spec.pattern));
+    s.set("warmup_cycles",
+          JsonValue(static_cast<std::int64_t>(spec.warmupCycles)));
+    s.set("measure_cycles",
+          JsonValue(static_cast<std::int64_t>(spec.measureCycles)));
+    if (!spec.faultRates.empty()) {
+        JsonValue faults = JsonValue::array();
+        for (double f : spec.faultRates)
+            faults.push(JsonValue(f));
+        s.set("fault_rates", std::move(faults));
+    }
+    s.set("repeats",
+          JsonValue(static_cast<std::int64_t>(spec.repeats)));
+    s.set("seed", JsonValue(spec.baseSeed));
+    s.set("search", search::toJson(spec.search));
+    return s;
+}
+
+} // namespace
+
+JsonValue
+toJson(const SearchResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("index",
+          JsonValue(static_cast<std::int64_t>(r.point.index)));
+    o.set("group", JsonValue(r.point.group));
+    o.set("mesh", JsonValue(static_cast<std::int64_t>(r.point.mesh)));
+    o.set("flow_control", JsonValue(afcsim::toString(r.point.fc)));
+    o.set("repeat",
+          JsonValue(static_cast<std::int64_t>(r.point.repeat)));
+    o.set("seed", JsonValue(r.point.seed));
+    o.set("pattern", JsonValue(r.point.ol.pattern));
+
+    JsonValue probes = JsonValue::array();
+    for (const auto &p : r.probes)
+        probes.push(toJson(p));
+    o.set("probes", std::move(probes));
+    o.set("probe_count",
+          JsonValue(static_cast<std::int64_t>(r.probes.size())));
+
+    if (!r.error.empty()) {
+        o.set("error", JsonValue(r.error));
+        return o;
+    }
+    JsonValue bracket = JsonValue::object();
+    bracket.set("lo", JsonValue(r.bracketLo));
+    bracket.set("hi", JsonValue(r.bracketHi));
+    o.set("bracket", std::move(bracket));
+    o.set("converged", JsonValue(r.converged));
+    o.set("optimum_rate", JsonValue(r.optimumRate));
+    if (r.baselineAvgLatency > 0.0)
+        o.set("baseline_avg_latency", JsonValue(r.baselineAvgLatency));
+    o.set("final", exp::toJson(r.finalRun));
+    o.set("final_pass", JsonValue(r.finalEval.pass));
+    o.set("final_eval", toJson(r.finalEval));
+    return o;
+}
+
+JsonValue
+searchResultsToJson(const exp::ExperimentSpec &spec,
+                    const std::vector<SearchResult> &results)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("experiment", JsonValue(spec.name));
+    if (!spec.description.empty())
+        doc.set("description", JsonValue(spec.description));
+    doc.set("spec", searchSpecToJson(spec));
+    JsonValue searches = JsonValue::array();
+    for (const auto &r : results)
+        searches.push(toJson(r));
+    doc.set("searches", std::move(searches));
+    return doc;
+}
+
+std::string
+searchResultsToCsv(const std::vector<SearchResult> &results)
+{
+    std::string out = csvRow({
+        "index", "experiment", "group", "mesh", "flow_control",
+        "repeat", "seed", "pattern", "probes", "converged",
+        "optimum_rate", "bracket_lo", "bracket_hi",
+        "final_accepted_rate", "final_avg_packet_latency",
+        "final_p95_packet_latency", "final_p99_packet_latency",
+        "final_saturated", "final_pass", "error",
+    });
+    // Shortest-round-trip numbers, same as the JSON sink.
+    auto num = [](double v) { return JsonValue(v).dump(); };
+    for (const auto &r : results) {
+        bool failed = !r.error.empty();
+        out += csvRow({
+            std::to_string(r.point.index),
+            r.point.experiment,
+            r.point.group,
+            std::to_string(r.point.mesh),
+            afcsim::toString(r.point.fc),
+            std::to_string(r.point.repeat),
+            std::to_string(r.point.seed),
+            r.point.ol.pattern,
+            std::to_string(r.probes.size()),
+            r.converged ? "1" : "0",
+            failed ? "" : num(r.optimumRate),
+            failed ? "" : num(r.bracketLo),
+            failed ? "" : num(r.bracketHi),
+            failed ? "" : num(r.finalRun.acceptedRate),
+            failed ? "" : num(r.finalRun.avgPacketLatency),
+            failed ? "" : num(r.finalRun.p95PacketLatency),
+            failed ? "" : num(r.finalRun.p99PacketLatency),
+            failed ? "" : (r.finalRun.saturated ? "1" : "0"),
+            failed ? "" : (r.finalEval.pass ? "1" : "0"),
+            r.error,
+        });
+    }
+    return out;
+}
+
+} // namespace afcsim::search

@@ -1,0 +1,240 @@
+#include "search/search.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hh"
+
+namespace afcsim::search
+{
+
+std::string
+toString(ProbeStage s)
+{
+    switch (s) {
+      case ProbeStage::Baseline:
+        return "baseline";
+      case ProbeStage::Bracket:
+        return "bracket";
+      case ProbeStage::Bisect:
+        return "bisect";
+    }
+    return "?";
+}
+
+ProbeMetrics
+metricsFromRun(const exp::RunResult &r)
+{
+    ProbeMetrics m;
+    m.offeredRate = r.offeredRate;
+    m.acceptedRate = r.acceptedRate;
+    m.avgPacketLatency = r.avgPacketLatency;
+    m.p50PacketLatency = r.p50PacketLatency;
+    m.p95PacketLatency = r.p95PacketLatency;
+    m.p99PacketLatency = r.p99PacketLatency;
+    m.saturated = r.saturated;
+    m.error = r.error;
+    return m;
+}
+
+SearchController::SearchController(const SearchSpec &spec, ProbeFn probe)
+    : spec_(spec),
+      probe_(probe ? std::move(probe) : ProbeFn(&exp::executeRun))
+{
+}
+
+SearchResult
+SearchController::search(const exp::RunPoint &cell) const
+{
+    const SearchSpec &s = spec_;
+    SearchResult out;
+    out.point = cell;
+
+    int ordinal = 0;
+    double baselineLat = 0.0;
+    auto canProbe = [&] { return ordinal < s.maxProbes; };
+    auto probe = [&](double rate,
+                     ProbeStage stage) -> const ProbeRecord & {
+        exp::RunPoint p = cell;
+        p.rate = rate;
+        p.ol.injectionRate = rate;
+        p.ol.warmupCycles = s.probeWarmup;
+        p.ol.measureCycles = s.probeMeasure;
+        // Probes run dark: they share the cell's run index, so
+        // observability side files would collide with the testing
+        // stage's, and tracing a dozen throwaway runs costs more
+        // than the probes themselves.
+        p.obsDir.clear();
+        p.cfg.obs = ObsSpec{};
+        exp::RunResult r = probe_(p);
+        ProbeRecord rec;
+        rec.ordinal = ordinal++;
+        rec.stage = stage;
+        rec.rate = rate;
+        rec.metrics = metricsFromRun(r);
+        rec.eval =
+            evaluateCriteria(s.criteria, rec.metrics, baselineLat);
+        rec.pass = rec.eval.pass;
+        out.probes.push_back(std::move(rec));
+        return out.probes.back();
+    };
+
+    if (s.criteria.kneeRatio > 0.0) {
+        const ProbeRecord &b = probe(s.baselineRate,
+                                     ProbeStage::Baseline);
+        baselineLat = b.metrics.avgPacketLatency;
+        out.baselineAvgLatency = baselineLat;
+    }
+
+    auto clampRate = [&](double r) {
+        return std::min(std::max(r, s.minRate), s.maxRate);
+    };
+
+    // Search stage 1: exponential bracketing. Double upward from a
+    // passing seed until a rate fails (or the cap passes); halve
+    // downward from a failing seed until a rate passes.
+    double lo = 0.0;
+    double hi = 0.0;
+    bool haveLo = false;
+    bool haveHi = false;
+    {
+        double seed = clampRate(s.seedRate);
+        const ProbeRecord &first = probe(seed, ProbeStage::Bracket);
+        if (first.pass) {
+            lo = seed;
+            haveLo = true;
+        } else {
+            hi = seed;
+            haveHi = true;
+        }
+    }
+    if (haveLo) {
+        while (!haveHi && lo < s.maxRate && canProbe()) {
+            double r = std::min(lo * 2.0, s.maxRate);
+            const ProbeRecord &p = probe(r, ProbeStage::Bracket);
+            if (!p.pass) {
+                hi = r;
+                haveHi = true;
+            } else {
+                lo = r;
+                if (r >= s.maxRate) {
+                    // The cap itself is sustainable: the bracket
+                    // collapses and the search is done.
+                    hi = r;
+                    haveHi = true;
+                }
+            }
+        }
+    } else {
+        while (!haveLo && hi > s.minRate && canProbe()) {
+            double r = std::max(hi / 2.0, s.minRate);
+            const ProbeRecord &p = probe(r, ProbeStage::Bracket);
+            if (p.pass) {
+                lo = r;
+                haveLo = true;
+            } else {
+                hi = r;
+            }
+        }
+    }
+    if (!haveLo) {
+        out.bracketHi = hi;
+        out.error = "no rate at or above min_rate met the criteria";
+        return out;
+    }
+
+    // Search stage 2: bisect [pass, fail] down to the tolerance.
+    while (haveHi && hi - lo > s.rateTolerance && canProbe()) {
+        double mid = lo + (hi - lo) / 2.0;
+        const ProbeRecord &p = probe(mid, ProbeStage::Bisect);
+        if (p.pass)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    if (!haveHi)
+        hi = lo; // probe budget ran out while still doubling
+    out.bracketLo = lo;
+    out.bracketHi = hi;
+    out.converged = haveHi && hi - lo <= s.rateTolerance;
+    out.optimumRate = lo;
+
+    // Testing stage: re-measure the optimum at the full budget.
+    exp::RunPoint fin = cell;
+    fin.rate = out.optimumRate;
+    fin.ol.injectionRate = out.optimumRate;
+    if (s.finalWarmup > 0)
+        fin.ol.warmupCycles = s.finalWarmup;
+    if (s.finalMeasure > 0)
+        fin.ol.measureCycles = s.finalMeasure;
+    out.finalRun = probe_(fin);
+    out.finalEval = evaluateCriteria(
+        s.criteria, metricsFromRun(out.finalRun), baselineLat);
+    return out;
+}
+
+std::vector<SearchResult>
+runSearchGrid(const exp::ExperimentSpec &spec, int threads)
+{
+    return runSearchGrid(spec, threads, SearchProgressFn{});
+}
+
+std::vector<SearchResult>
+runSearchGrid(const exp::ExperimentSpec &spec, int threads,
+              const SearchProgressFn &progress)
+{
+    if (!spec.search.enabled)
+        AFCSIM_CONFIG_ERROR("experiment '", spec.name,
+                            "' is not a search spec (exp.search off)");
+    std::vector<exp::RunPoint> cells = spec.expand();
+    SearchController controller(spec.search);
+
+    std::vector<SearchResult> results(cells.size());
+    if (cells.empty())
+        return results;
+
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+        if (threads <= 0)
+            threads = 1;
+    }
+    int workers = std::min<int>(threads,
+                                static_cast<int>(cells.size()));
+
+    // Same discipline as exp::ParallelRunner: claim cells from an
+    // atomic cursor, store by cell index, so documents rendered from
+    // `results` are bit-identical for any worker count.
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<int> done{0};
+    std::mutex progress_mutex;
+    auto work = [&]() {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            results[i] = controller.search(cells[i]);
+            int d = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(results[i], d,
+                         static_cast<int>(cells.size()));
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        work();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(work);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace afcsim::search

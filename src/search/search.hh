@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Adaptive load search on top of the experiment runner: find the
+ * maximum sustainable injection rate per grid point against declared
+ * criteria (criteria.hh), Nighthawk-style. Two stages:
+ *
+ *  - search stage: exponential bracketing from a seed rate (double
+ *    while probes pass, halve while they fail) followed by bisection
+ *    of the [pass, fail] bracket to the rate tolerance. Every probe
+ *    is a short warmup+measure run through exp::executeRun's error
+ *    boundary, so a faulted probe degrades to "criteria failed" and
+ *    the search continues.
+ *  - testing stage: re-run the converged optimum at the full
+ *    measurement budget and evaluate it one more time.
+ *
+ * A search runs per expanded grid cell (mesh x pattern x fault x
+ * repeat x flow control), so "saturation vs fault rate x FC mode" is
+ * one spec. Cells execute under the ParallelRunner discipline —
+ * claimed from an atomic cursor, results stored by cell index — so
+ * the emitted documents are bit-identical for any thread count.
+ */
+
+#ifndef AFCSIM_SEARCH_SEARCH_HH
+#define AFCSIM_SEARCH_SEARCH_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/result.hh"
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+#include "search/criteria.hh"
+#include "search/spec.hh"
+
+namespace afcsim::search
+{
+
+/**
+ * Executes one probe point and returns its result. Defaults to
+ * exp::executeRun; tests substitute synthetic functions to exercise
+ * the controller without a simulator.
+ */
+using ProbeFn = std::function<exp::RunResult(const exp::RunPoint &)>;
+
+/** What a probe was for. */
+enum class ProbeStage
+{
+    Baseline, ///< low-load reference for the knee criterion
+    Bracket,  ///< exponential bracketing from the seed rate
+    Bisect,   ///< bisection inside the bracket
+};
+
+std::string toString(ProbeStage s);
+
+/** One probe of the search stage. */
+struct ProbeRecord
+{
+    int ordinal = 0; ///< probe sequence number within this search
+    ProbeStage stage = ProbeStage::Bracket;
+    double rate = 0.0;
+    bool pass = false;
+    ProbeMetrics metrics;
+    Evaluation eval;
+};
+
+/** Outcome of one grid cell's search + testing stage. */
+struct SearchResult
+{
+    exp::RunPoint point; ///< the grid cell searched
+    std::vector<ProbeRecord> probes;
+    /** Final bracket: highest passing and lowest failing rate. */
+    double bracketLo = 0.0;
+    double bracketHi = 0.0;
+    bool converged = false;
+    double optimumRate = 0.0;
+    /** Baseline probe's mean latency (0 when no baseline ran). */
+    double baselineAvgLatency = 0.0;
+    /** Testing stage at the optimum (unset when `error` non-empty). */
+    exp::RunResult finalRun;
+    Evaluation finalEval;
+    /**
+     * Non-empty when the search itself failed — no passing rate at
+     * or above min_rate within the probe budget. Individual probe
+     * failures land in `probes`, never here.
+     */
+    std::string error;
+};
+
+/** Extract the criteria-visible slice of a finished run. */
+ProbeMetrics metricsFromRun(const exp::RunResult &r);
+
+/**
+ * Bracketing/bisection controller for one grid cell. Stateless
+ * across searches; every rate decision is a pure function of the
+ * spec and the preceding probe outcomes, so a search is reproducible
+ * whenever its probes are.
+ */
+class SearchController
+{
+  public:
+    explicit SearchController(const SearchSpec &spec,
+                              ProbeFn probe = {});
+
+    /**
+     * Run the full search for one cell. `cell.ol` carries the
+     * testing-stage budgets; probe runs override rate/warmup/measure
+     * and drop observability exports.
+     */
+    SearchResult search(const exp::RunPoint &cell) const;
+
+  private:
+    SearchSpec spec_;
+    ProbeFn probe_;
+};
+
+/**
+ * Run a search per expanded grid cell of a search-enabled spec
+ * (spec.search.enabled; the spec lists no rates — the search finds
+ * them). Results are in cell-index order regardless of `threads`.
+ */
+std::vector<SearchResult> runSearchGrid(const exp::ExperimentSpec &spec,
+                                        int threads);
+
+/**
+ * Progress callback: finished search, done count, total cells.
+ * Invoked under a mutex in grid-completion order.
+ */
+using SearchProgressFn =
+    std::function<void(const SearchResult &, int, int)>;
+
+std::vector<SearchResult> runSearchGrid(const exp::ExperimentSpec &spec,
+                                        int threads,
+                                        const SearchProgressFn &progress);
+
+/**
+ * Full JSON document: spec echo plus one entry per search in cell
+ * order. Deterministic — no wall-clock, no thread-count artifacts.
+ */
+JsonValue searchResultsToJson(const exp::ExperimentSpec &spec,
+                              const std::vector<SearchResult> &results);
+
+/** Serialize one search (used by searchResultsToJson; for tests). */
+JsonValue toJson(const SearchResult &r);
+
+/** Flat CSV: header + one row per search, cell order. */
+std::string searchResultsToCsv(const std::vector<SearchResult> &results);
+
+} // namespace afcsim::search
+
+#endif // AFCSIM_SEARCH_SEARCH_HH

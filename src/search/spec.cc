@@ -1,0 +1,136 @@
+#include "search/spec.hh"
+
+#include <cstdlib>
+
+#include "common/error.hh"
+
+namespace afcsim::search
+{
+
+namespace
+{
+
+double
+toDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        AFCSIM_CONFIG_ERROR("search key '", key, "': bad number '",
+                            value, "'");
+    return v;
+}
+
+long
+toInt(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        AFCSIM_CONFIG_ERROR("search key '", key, "': bad integer '",
+                            value, "'");
+    return v;
+}
+
+bool
+toBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    AFCSIM_CONFIG_ERROR("search key '", key, "': bad boolean '",
+                        value, "'");
+}
+
+} // namespace
+
+void
+SearchSpec::validate(const std::string &owner) const
+{
+    if (!enabled)
+        return;
+    if (seedRate <= 0.0 || seedRate > maxRate)
+        AFCSIM_CONFIG_ERROR("experiment '", owner,
+                            "': search seed_rate must be in (0, max_rate]");
+    if (rateTolerance <= 0.0)
+        AFCSIM_CONFIG_ERROR("experiment '", owner,
+                            "': search tolerance must be positive");
+    if (minRate < 0.0 || minRate >= maxRate)
+        AFCSIM_CONFIG_ERROR("experiment '", owner,
+                            "': search needs 0 <= min_rate < max_rate");
+    if (maxProbes < 2)
+        AFCSIM_CONFIG_ERROR("experiment '", owner,
+                            "': search max_probes must be >= 2");
+    if (probeWarmup == 0 || probeMeasure == 0)
+        AFCSIM_CONFIG_ERROR("experiment '", owner,
+                            "': search probe budgets must be positive");
+    if (criteria.kneeRatio > 0.0 && baselineRate <= 0.0)
+        AFCSIM_CONFIG_ERROR("experiment '", owner,
+                            "': knee criterion needs baseline_rate > 0");
+}
+
+void
+applySearchKey(SearchSpec &s, const std::string &key,
+               const std::string &value)
+{
+    if (key == "enabled") {
+        s.enabled = toBool(key, value);
+    } else if (key == "seed_rate") {
+        s.seedRate = toDouble(key, value);
+    } else if (key == "tolerance") {
+        s.rateTolerance = toDouble(key, value);
+    } else if (key == "min_rate") {
+        s.minRate = toDouble(key, value);
+    } else if (key == "max_rate") {
+        s.maxRate = toDouble(key, value);
+    } else if (key == "max_probes") {
+        s.maxProbes = static_cast<int>(toInt(key, value));
+    } else if (key == "probe_warmup") {
+        s.probeWarmup = static_cast<Cycle>(toInt(key, value));
+    } else if (key == "probe_measure") {
+        s.probeMeasure = static_cast<Cycle>(toInt(key, value));
+    } else if (key == "final_warmup") {
+        s.finalWarmup = static_cast<Cycle>(toInt(key, value));
+    } else if (key == "final_measure") {
+        s.finalMeasure = static_cast<Cycle>(toInt(key, value));
+    } else if (key == "baseline_rate") {
+        s.baselineRate = toDouble(key, value);
+    } else if (key == "min_delivered") {
+        s.criteria.minDeliveredFraction = toDouble(key, value);
+    } else if (key == "max_avg_latency") {
+        s.criteria.maxAvgLatency = toDouble(key, value);
+    } else if (key == "max_p95_latency") {
+        s.criteria.maxP95Latency = toDouble(key, value);
+    } else if (key == "max_p99_latency") {
+        s.criteria.maxP99Latency = toDouble(key, value);
+    } else if (key == "knee_ratio") {
+        s.criteria.kneeRatio = toDouble(key, value);
+    } else if (key == "require_unsaturated") {
+        s.criteria.requireUnsaturated = toBool(key, value);
+    } else if (key == "require_clean") {
+        s.criteria.requireClean = toBool(key, value);
+    } else {
+        AFCSIM_CONFIG_ERROR("unknown search key 'exp.search.", key, "'");
+    }
+}
+
+JsonValue
+toJson(const SearchSpec &s)
+{
+    JsonValue o = JsonValue::object();
+    o.set("seed_rate", JsonValue(s.seedRate));
+    o.set("tolerance", JsonValue(s.rateTolerance));
+    o.set("min_rate", JsonValue(s.minRate));
+    o.set("max_rate", JsonValue(s.maxRate));
+    o.set("max_probes", JsonValue(static_cast<std::int64_t>(s.maxProbes)));
+    o.set("probe_warmup", JsonValue(s.probeWarmup));
+    o.set("probe_measure", JsonValue(s.probeMeasure));
+    o.set("final_warmup", JsonValue(s.finalWarmup));
+    o.set("final_measure", JsonValue(s.finalMeasure));
+    o.set("baseline_rate", JsonValue(s.baselineRate));
+    o.set("criteria", toJson(s.criteria));
+    return o;
+}
+
+} // namespace afcsim::search

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Search configuration: the `exp.search` block of an experiment
+ * spec. Like criteria.hh this depends only on src/common so
+ * exp/spec.hh can embed a SearchSpec by value.
+ */
+
+#ifndef AFCSIM_SEARCH_SPEC_HH
+#define AFCSIM_SEARCH_SPEC_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "search/criteria.hh"
+
+namespace afcsim::search
+{
+
+/**
+ * Parameters of one adaptive load search. The controller brackets
+ * exponentially from `seedRate` (doubling while probes pass, halving
+ * while they fail), then bisects the [pass, fail] bracket down to
+ * `rateTolerance`, then re-measures the optimum at the testing-stage
+ * budgets. Probes use the short probe budgets; the testing stage
+ * falls back to the owning spec's warmup/measure when its own
+ * budgets are 0.
+ */
+struct SearchSpec
+{
+    /** Search mode off by default; rate sweeps behave as before. */
+    bool enabled = false;
+
+    SearchCriteria criteria;
+
+    /** First probed rate (flits/node/cycle). */
+    double seedRate = 0.1;
+    /** Stop bisecting when the bracket is at most this wide. */
+    double rateTolerance = 0.002;
+    /** Lowest rate worth probing; below it the search gives up. */
+    double minRate = 0.001;
+    /** Injection-rate ceiling (1 flit/node/cycle is the hard cap). */
+    double maxRate = 1.0;
+    /** Probe budget for bracketing + bisection (not the final run). */
+    int maxProbes = 12;
+
+    /** Warmup/measure budgets for search-stage probes. */
+    Cycle probeWarmup = 1000;
+    Cycle probeMeasure = 3000;
+    /** Testing-stage budgets; 0 = the owning spec's warmup/measure. */
+    Cycle finalWarmup = 0;
+    Cycle finalMeasure = 0;
+
+    /**
+     * Rate of the low-load baseline probe the knee criterion
+     * compares against. Only probed when criteria.kneeRatio > 0.
+     */
+    double baselineRate = 0.02;
+
+    /** Validate ranges; throws ConfigError with the spec name. */
+    void validate(const std::string &owner) const;
+};
+
+/**
+ * Apply one `exp.search.<key> = value` setting (key passed without
+ * the prefix). Throws ConfigError on unknown keys or bad values.
+ * Keys: enabled, seed_rate, tolerance, min_rate, max_rate,
+ * max_probes, probe_warmup, probe_measure, final_warmup,
+ * final_measure, baseline_rate, min_delivered, max_avg_latency,
+ * max_p95_latency, max_p99_latency, knee_ratio, require_unsaturated,
+ * require_clean.
+ */
+void applySearchKey(SearchSpec &s, const std::string &key,
+                    const std::string &value);
+
+JsonValue toJson(const SearchSpec &s);
+
+} // namespace afcsim::search
+
+#endif // AFCSIM_SEARCH_SPEC_HH

@@ -57,8 +57,9 @@ runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
     res.offeredRate = inj.offeredFlits() / node_cycles;
     res.acceptedRate = res.stats.flitsDelivered / node_cycles;
     res.avgPacketLatency = res.stats.packetLatency.mean();
-    res.p50PacketLatency = res.stats.packetLatencyHist.quantile(0.5);
-    res.p99PacketLatency = res.stats.packetLatencyHist.quantile(0.99);
+    res.p50PacketLatency = res.stats.packetLatencyPct.quantile(0.5);
+    res.p95PacketLatency = res.stats.packetLatencyPct.quantile(0.95);
+    res.p99PacketLatency = res.stats.packetLatencyPct.quantile(0.99);
     res.avgFlitLatency = res.stats.flitLatency.mean();
     res.avgHops = res.stats.hops.mean();
     res.avgDeflections = res.stats.deflections.mean();

@@ -33,8 +33,9 @@ struct OpenLoopResult
     double offeredRate = 0.0;      ///< flits/node/cycle offered
     double acceptedRate = 0.0;     ///< flits/node/cycle delivered
     double avgPacketLatency = 0.0; ///< cycles, source-queue included
-    double p50PacketLatency = 0.0; ///< median packet latency
-    double p99PacketLatency = 0.0; ///< tail packet latency
+    double p50PacketLatency = 0.0; ///< median packet latency (exact)
+    double p95PacketLatency = 0.0; ///< upper-tail packet latency (exact)
+    double p99PacketLatency = 0.0; ///< tail packet latency (exact)
     double avgFlitLatency = 0.0;   ///< cycles, network only
     double avgHops = 0.0;
     double avgDeflections = 0.0;   ///< per delivered flit

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "exp/runner.hh"
 #include "exp/spec.hh"
 #include "network/network.hh"
@@ -234,4 +235,104 @@ TEST(ObsExport, DeterministicAcrossRunnerThreads)
     }
     EXPECT_EQ(compared, 2 * r1.results.size());
     fs::remove_all(base);
+}
+
+TEST(ObsStream, StreamedFileMatchesUnboundedExport)
+{
+    namespace fs = std::filesystem;
+    fs::path base = fs::temp_directory_path() / "afcsim_obs_stream";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    std::string path = (base / "series.csv").string();
+
+    // A four-frame ring sampled every 10 cycles wraps many times
+    // over 600 cycles; streaming must preserve every evicted frame.
+    NetworkConfig cfg;
+    cfg.obs.sampleInterval = 10;
+    cfg.obs.sampleCapacity = 4;
+    cfg.obs.streamPath = path;
+    Network streamed(cfg, FlowControl::Afc);
+    drive(streamed, 0.3, 600);
+    ASSERT_NE(streamed.observability(), nullptr);
+    EXPECT_TRUE(streamed.observability()->sampler()->streaming());
+    EXPECT_TRUE(streamed.observability()->writeSeriesCsv(path));
+
+    // Reference: the same run with an unbounded ring and no stream.
+    NetworkConfig ref = cfg;
+    ref.obs.streamPath.clear();
+    ref.obs.sampleCapacity = 4096;
+    Network inmem(ref, FlowControl::Afc);
+    drive(inmem, 0.3, 600);
+    EXPECT_EQ(readFile(path), inmem.observability()->seriesCsv());
+
+    // Streaming is an observer: the simulation itself is untouched.
+    EXPECT_EQ(streamed.aggregateStats().flitsDelivered,
+              inmem.aggregateStats().flitsDelivered);
+    fs::remove_all(base);
+}
+
+TEST(ObsStream, DisabledPathUnchangedAndFinalizeIdempotent)
+{
+    namespace fs = std::filesystem;
+    fs::path base = fs::temp_directory_path() / "afcsim_obs_stream2";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    std::string path = (base / "series.csv").string();
+
+    NetworkConfig cfg;
+    cfg.obs.sampleInterval = 10;
+    cfg.obs.sampleCapacity = 4;
+
+    // Stream off: toCsv() renders the ring tail exactly as before.
+    Network off(cfg, FlowControl::Afc);
+    drive(off, 0.3, 600);
+    EXPECT_FALSE(off.observability()->sampler()->streaming());
+    std::string tail = off.observability()->seriesCsv();
+
+    cfg.obs.streamPath = path;
+    Network on(cfg, FlowControl::Afc);
+    drive(on, 0.3, 600);
+    // The in-memory ring is identical whether or not it streams.
+    EXPECT_EQ(on.observability()->seriesCsv(), tail);
+
+    // writeSeriesCsv() finalizes the stream; a repeat call reports
+    // the same outcome and must not truncate the file.
+    EXPECT_TRUE(on.observability()->writeSeriesCsv(path));
+    std::string first = readFile(path);
+    EXPECT_TRUE(on.observability()->writeSeriesCsv(path));
+    EXPECT_EQ(readFile(path), first);
+    // The streamed file ends with the ring tail (minus its header).
+    ASSERT_GT(first.size(), tail.size());
+    std::string tailRows = tail.substr(tail.find('\n') + 1);
+    EXPECT_EQ(first.substr(first.size() - tailRows.size()), tailRows);
+    fs::remove_all(base);
+}
+
+TEST(ObsStream, SpecKeyWiresPerRunStreamPaths)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    spec.obsStream = true;
+    // obs_stream without obs_dir (or without a sampler) is a
+    // configuration error, not a silent no-op.
+    EXPECT_THROW(spec.expand(), ConfigError);
+    spec.obsDir = "/tmp/obs_stream_spec_test";
+    EXPECT_THROW(spec.expand(), ConfigError);
+    spec.base.obs.sampleInterval = 32;
+    std::vector<exp::RunPoint> points = spec.expand();
+    ASSERT_GE(points.size(), 1u);
+    for (const auto &p : points) {
+        EXPECT_EQ(p.cfg.obs.streamPath,
+                  spec.obsDir + "/" + spec.name + "_run" +
+                      std::to_string(p.index) + "_series.csv");
+    }
+
+    // The text form round-trips the flag.
+    exp::ExperimentSpec parsed = exp::ExperimentSpec::fromText(
+        "exp.kind = openloop\n"
+        "exp.rates = 0.3\n"
+        "exp.obs_dir = /tmp/x\n"
+        "exp.obs_stream = true\n"
+        "obs.interval = 16\n");
+    EXPECT_TRUE(parsed.obsStream);
+    EXPECT_EQ(parsed.base.obs.sampleInterval, 16u);
 }

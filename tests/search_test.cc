@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the adaptive load search subsystem (src/search) and its
+ * supporting pieces: the exact percentile accumulator, the criteria
+ * evaluator (including the degraded-probe contract), search-spec
+ * parsing/validation, the bracketing + bisection controller against
+ * synthetic monotone fixtures, and grid determinism — repeated and
+ * 1-vs-4-thread runs must render byte-identical documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/stats.hh"
+#include "exp/experiments.hh"
+#include "exp/spec.hh"
+#include "search/search.hh"
+
+using namespace afcsim;
+using namespace afcsim::search;
+
+namespace
+{
+
+/** Deterministic pseudo-random doubles (no <random> seeding drama). */
+double
+lcg(std::uint64_t &state)
+{
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) /
+           static_cast<double>(1ull << 53);
+}
+
+/**
+ * Synthetic monotone fixture: a probe passes exactly when its rate is
+ * at or below `threshold`. Above it, either the delivered fraction
+ * collapses (degraded=false) or the run degrades to an error record
+ * (degraded=true) — both must steer the bracket the same way.
+ */
+ProbeFn
+monotoneProbe(double threshold, bool degraded,
+              std::vector<exp::RunPoint> *seen = nullptr)
+{
+    return [threshold, degraded, seen](const exp::RunPoint &p) {
+        if (seen != nullptr)
+            seen->push_back(p);
+        exp::RunResult r;
+        r.point = p;
+        r.offeredRate = p.rate;
+        if (p.rate <= threshold) {
+            r.acceptedRate = p.rate;
+            r.avgPacketLatency = 20.0;
+        } else if (degraded) {
+            r.error = "synthetic watchdog trip";
+        } else {
+            r.acceptedRate = 0.5 * p.rate;
+            r.avgPacketLatency = 400.0;
+            r.saturated = true;
+        }
+        return r;
+    };
+}
+
+SearchSpec
+tinySearchSpec()
+{
+    SearchSpec s;
+    s.enabled = true;
+    s.seedRate = 0.1;
+    s.rateTolerance = 0.002;
+    s.maxProbes = 12;
+    s.probeWarmup = 100;
+    s.probeMeasure = 300;
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// PercentileAccumulator
+// ---------------------------------------------------------------
+
+TEST(Percentile, MatchesSortedReference)
+{
+    PercentileAccumulator acc;
+    std::vector<double> ref;
+    std::uint64_t state = 42;
+    for (int i = 0; i < 1000; ++i) {
+        double x = 500.0 * lcg(state);
+        acc.add(x);
+        ref.push_back(x);
+    }
+    std::sort(ref.begin(), ref.end());
+    for (double p : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(p * static_cast<double>(ref.size())));
+        rank = std::min(std::max<std::size_t>(rank, 1), ref.size());
+        EXPECT_EQ(acc.quantile(p), ref[rank - 1]) << "p=" << p;
+    }
+    EXPECT_EQ(acc.quantile(0.0), ref.front());
+    EXPECT_EQ(acc.quantile(1.0), ref.back());
+}
+
+TEST(Percentile, EdgeCasesAndMerge)
+{
+    PercentileAccumulator acc;
+    EXPECT_EQ(acc.quantile(0.5), 0.0); // empty reports 0
+    acc.add(7.0);
+    EXPECT_EQ(acc.quantile(0.0), 7.0);
+    EXPECT_EQ(acc.quantile(0.99), 7.0);
+
+    PercentileAccumulator lo, hi;
+    for (int i = 1; i <= 50; ++i)
+        lo.add(static_cast<double>(i));
+    for (int i = 51; i <= 100; ++i)
+        hi.add(static_cast<double>(i));
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), 100u);
+    EXPECT_EQ(lo.quantile(0.5), 50.0);
+    EXPECT_EQ(lo.quantile(0.95), 95.0);
+    lo.reset();
+    EXPECT_EQ(lo.count(), 0u);
+    EXPECT_EQ(lo.quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Criteria evaluation
+// ---------------------------------------------------------------
+
+TEST(Criteria, DeliveredFractionFloor)
+{
+    SearchCriteria c;
+    ProbeMetrics m;
+    m.offeredRate = 0.5;
+    m.acceptedRate = 0.49;
+    Evaluation ev = evaluateCriteria(c, m);
+    EXPECT_TRUE(ev.pass);
+
+    m.acceptedRate = 0.4; // fraction 0.8, below the 0.9 floor
+    ev = evaluateCriteria(c, m);
+    EXPECT_FALSE(ev.pass);
+    bool found = false;
+    for (const auto &r : ev.criteria) {
+        if (r.name == "delivered_fraction") {
+            found = true;
+            EXPECT_FALSE(r.pass);
+            EXPECT_NEAR(r.value, 0.8, 1e-12);
+            EXPECT_EQ(r.bound, 0.9);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Criteria, DegradedProbeAlwaysFails)
+{
+    SearchCriteria c;
+    c.minDeliveredFraction = 0.0; // disable everything else
+    c.requireUnsaturated = false;
+    ProbeMetrics m;
+    m.error = "watchdog: credit stall";
+    Evaluation ev = evaluateCriteria(c, m);
+    EXPECT_FALSE(ev.pass);
+    ASSERT_EQ(ev.criteria.size(), 1u);
+    EXPECT_EQ(ev.criteria[0].name, "clean");
+    EXPECT_FALSE(ev.criteria[0].pass);
+}
+
+TEST(Criteria, LatencyCeilingsAndKnee)
+{
+    SearchCriteria c;
+    c.maxAvgLatency = 100.0;
+    c.maxP99Latency = 300.0;
+    c.kneeRatio = 3.0;
+    ProbeMetrics m;
+    m.offeredRate = 0.4;
+    m.acceptedRate = 0.4;
+    m.avgPacketLatency = 90.0;
+    m.p99PacketLatency = 250.0;
+    // Baseline latency 20 -> knee bound 60: avg 90 exceeds it.
+    Evaluation ev = evaluateCriteria(c, m, 20.0);
+    EXPECT_FALSE(ev.pass);
+    // Without a baseline the knee criterion is skipped.
+    ev = evaluateCriteria(c, m, 0.0);
+    EXPECT_TRUE(ev.pass);
+    m.p99PacketLatency = 301.0;
+    ev = evaluateCriteria(c, m, 0.0);
+    EXPECT_FALSE(ev.pass);
+}
+
+TEST(Criteria, JsonShape)
+{
+    SearchCriteria c;
+    ProbeMetrics m;
+    m.offeredRate = 0.3;
+    m.acceptedRate = 0.3;
+    JsonValue j = toJson(evaluateCriteria(c, m));
+    ASSERT_TRUE(j.isObject());
+    EXPECT_TRUE(j.at("pass").asBool());
+    const JsonValue &list = j.at("criteria");
+    ASSERT_TRUE(list.isArray());
+    ASSERT_GT(list.size(), 0u);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const JsonValue &r = list.at(i);
+        EXPECT_TRUE(r.has("name"));
+        EXPECT_TRUE(r.has("pass"));
+        EXPECT_TRUE(r.has("value"));
+        EXPECT_TRUE(r.has("bound"));
+    }
+}
+
+// ---------------------------------------------------------------
+// Spec parsing and expansion
+// ---------------------------------------------------------------
+
+TEST(SearchSpecKeys, ApplyAndValidate)
+{
+    SearchSpec s;
+    applySearchKey(s, "enabled", "true");
+    applySearchKey(s, "seed_rate", "0.25");
+    applySearchKey(s, "tolerance", "0.01");
+    applySearchKey(s, "max_probes", "20");
+    applySearchKey(s, "min_delivered", "0.8");
+    applySearchKey(s, "knee_ratio", "4");
+    EXPECT_TRUE(s.enabled);
+    EXPECT_EQ(s.seedRate, 0.25);
+    EXPECT_EQ(s.rateTolerance, 0.01);
+    EXPECT_EQ(s.maxProbes, 20);
+    EXPECT_EQ(s.criteria.minDeliveredFraction, 0.8);
+    EXPECT_EQ(s.criteria.kneeRatio, 4.0);
+    s.validate("t");
+
+    EXPECT_THROW(applySearchKey(s, "bogus", "1"), ConfigError);
+    SearchSpec bad = s;
+    bad.rateTolerance = 0.0;
+    EXPECT_THROW(bad.validate("t"), ConfigError);
+    bad = s;
+    bad.seedRate = 2.0; // above maxRate
+    EXPECT_THROW(bad.validate("t"), ConfigError);
+    bad = s;
+    bad.maxProbes = 1;
+    EXPECT_THROW(bad.validate("t"), ConfigError);
+}
+
+TEST(SearchSpecKeys, RatesConflictIsConfigError)
+{
+    exp::ExperimentSpec spec = exp::ExperimentSpec::fromText(
+        "exp.kind = openloop\n"
+        "exp.rates = 0.1\n"
+        "exp.search = true\n");
+    EXPECT_THROW(spec.expand(), ConfigError);
+}
+
+TEST(SearchSpecKeys, ExpandSearchGrid)
+{
+    exp::ExperimentSpec spec = exp::saturationSearchExperiment();
+    std::vector<exp::RunPoint> cells = spec.expand();
+    ASSERT_EQ(cells.size(), spec.configs.size());
+    for (const auto &c : cells) {
+        EXPECT_EQ(c.group, "uniform");
+        EXPECT_EQ(c.rate, spec.search.seedRate);
+        EXPECT_EQ(c.mesh, 8);
+    }
+}
+
+// ---------------------------------------------------------------
+// Controller against synthetic monotone fixtures
+// ---------------------------------------------------------------
+
+TEST(SearchController, ConvergesOnMonotoneFixture)
+{
+    SearchSpec s = tinySearchSpec();
+    double threshold = 0.33;
+    SearchController c(s, monotoneProbe(threshold, false));
+    SearchResult r = c.search(exp::RunPoint{});
+    EXPECT_TRUE(r.error.empty());
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(static_cast<int>(r.probes.size()), s.maxProbes);
+    EXPECT_LE(r.bracketHi - r.bracketLo, s.rateTolerance + 1e-12);
+    EXPECT_LE(r.optimumRate, threshold + 1e-12);
+    EXPECT_GE(r.optimumRate, threshold - s.rateTolerance - 1e-12);
+    // The testing stage re-ran the optimum and it passes.
+    EXPECT_EQ(r.finalRun.offeredRate, r.optimumRate);
+    EXPECT_TRUE(r.finalEval.pass);
+}
+
+TEST(SearchController, DegradedProbesSteerTheBracket)
+{
+    SearchSpec s = tinySearchSpec();
+    double threshold = 0.33;
+    SearchController c(s, monotoneProbe(threshold, true));
+    SearchResult r = c.search(exp::RunPoint{});
+    EXPECT_TRUE(r.error.empty());
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.optimumRate, threshold + 1e-12);
+    EXPECT_GE(r.optimumRate, threshold - s.rateTolerance - 1e-12);
+    // At least one probe above the threshold degraded — and was
+    // recorded as a failing probe, not a search failure.
+    bool sawDegraded = false;
+    for (const auto &p : r.probes)
+        sawDegraded = sawDegraded || !p.metrics.error.empty();
+    EXPECT_TRUE(sawDegraded);
+}
+
+TEST(SearchController, NoSustainableRateIsASearchError)
+{
+    SearchSpec s = tinySearchSpec();
+    // Threshold below minRate: every probe fails.
+    SearchController c(s, monotoneProbe(s.minRate / 2.0, false));
+    SearchResult r = c.search(exp::RunPoint{});
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_FALSE(r.converged);
+    EXPECT_GE(r.probes.size(), 1u);
+    // No testing stage ran.
+    EXPECT_EQ(r.finalRun.offeredRate, 0.0);
+}
+
+TEST(SearchController, ProbesRunDarkAndAreReproducible)
+{
+    SearchSpec s = tinySearchSpec();
+    std::vector<exp::RunPoint> seen1, seen2;
+    exp::RunPoint cell;
+    cell.obsDir = "/tmp/should_not_be_used";
+    cell.cfg.obs.trace = true;
+    cell.cfg.obs.sampleInterval = 8;
+    cell.cfg.obs.streamPath = "/tmp/should_not_stream.csv";
+
+    SearchController c1(s, monotoneProbe(0.4, false, &seen1));
+    SearchResult r1 = c1.search(cell);
+    SearchController c2(s, monotoneProbe(0.4, false, &seen2));
+    SearchResult r2 = c2.search(cell);
+
+    // Identical spec + fixture => identical probe sequence.
+    ASSERT_EQ(seen1.size(), seen2.size());
+    for (std::size_t i = 0; i < seen1.size(); ++i)
+        EXPECT_EQ(seen1[i].rate, seen2[i].rate) << "probe " << i;
+    EXPECT_EQ(toJson(r1).dump(2), toJson(r2).dump(2));
+
+    // Every probe ran dark; only the final (testing-stage) point
+    // kept the cell's observability settings.
+    ASSERT_GE(seen1.size(), 2u);
+    for (std::size_t i = 0; i + 1 < seen1.size(); ++i) {
+        EXPECT_TRUE(seen1[i].obsDir.empty()) << "probe " << i;
+        EXPECT_FALSE(seen1[i].cfg.obs.any()) << "probe " << i;
+        EXPECT_TRUE(seen1[i].cfg.obs.streamPath.empty());
+    }
+    const exp::RunPoint &fin = seen1.back();
+    EXPECT_EQ(fin.obsDir, cell.obsDir);
+    EXPECT_TRUE(fin.cfg.obs.trace);
+}
+
+TEST(SearchController, TwelveProbeBudgetCoversSeedToCap)
+{
+    // The acceptance budget: seed 0.1 doubling 0.1->0.2->0.4->0.8
+    // (4 probes) plus 8 bisections halves the 0.4-wide bracket to
+    // 0.0015625 <= 0.002 — exactly 12 probes, converged.
+    SearchSpec s = tinySearchSpec();
+    SearchController c(s, monotoneProbe(0.55, false));
+    SearchResult r = c.search(exp::RunPoint{});
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(static_cast<int>(r.probes.size()), s.maxProbes);
+}
+
+// ---------------------------------------------------------------
+// Grid determinism (real simulator, tiny scale)
+// ---------------------------------------------------------------
+
+TEST(SearchGrid, ByteIdenticalAcrossThreadsAndRepeats)
+{
+    exp::ExperimentSpec spec;
+    spec.name = "search_det";
+    spec.kind = exp::RunKind::OpenLoop;
+    spec.configs = {FlowControl::Backpressured, FlowControl::Afc};
+    spec.warmupCycles = 300;
+    spec.measureCycles = 800;
+    spec.baseSeed = 5;
+    spec.repeats = 2;
+    spec.search.enabled = true;
+    spec.search.probeWarmup = 200;
+    spec.search.probeMeasure = 500;
+    spec.search.rateTolerance = 0.01;
+    spec.search.maxProbes = 10;
+
+    std::vector<SearchResult> r1 = runSearchGrid(spec, 1);
+    std::vector<SearchResult> r4 = runSearchGrid(spec, 4);
+    std::vector<SearchResult> again = runSearchGrid(spec, 1);
+    ASSERT_EQ(r1.size(), 4u);
+
+    std::string d1 = searchResultsToJson(spec, r1).dump(2);
+    EXPECT_EQ(d1, searchResultsToJson(spec, r4).dump(2));
+    EXPECT_EQ(d1, searchResultsToJson(spec, again).dump(2));
+    EXPECT_EQ(searchResultsToCsv(r1), searchResultsToCsv(r4));
+}
+
+TEST(SearchGrid, CsvShape)
+{
+    SearchSpec s = tinySearchSpec();
+    SearchController c(s, monotoneProbe(0.3, false));
+    std::vector<SearchResult> results = {c.search(exp::RunPoint{})};
+    std::string csv = searchResultsToCsv(results);
+    EXPECT_EQ(csv.rfind("index,experiment,group,mesh,flow_control,", 0),
+              0u);
+    std::size_t rows = 0;
+    for (char ch : csv)
+        if (ch == '\n')
+            ++rows;
+    EXPECT_EQ(rows, results.size() + 1); // header + one per search
+}

@@ -127,7 +127,7 @@ class Args
     {
         return key == "list" || key == "help" || key == "telemetry" ||
                key == "validate" || key == "quiet" ||
-               key == "obs-trace";
+               key == "obs-trace" || key == "obs-stream";
     }
 
     std::vector<std::pair<std::string, std::string>> kv_;
@@ -205,6 +205,11 @@ applyOverrides(ExperimentSpec &spec, const Args &args)
             static_cast<Cycle>(args.getInt("obs-interval", 0));
     if (args.has("obs-trace"))
         spec.base.obs.trace = true;
+    // --obs-stream appends evicted sampler frames to the per-run
+    // series file instead of dropping them (expand() checks that
+    // obs-dir and a sampler interval are set).
+    if (args.has("obs-stream"))
+        spec.obsStream = true;
 }
 
 /**
@@ -346,6 +351,9 @@ printHelp()
         "                             did not already)\n"
         "  --obs-interval N           sampler period in cycles\n"
         "  --obs-trace                force flit-event tracing on\n"
+        "  --obs-stream               stream evicted sampler frames\n"
+        "                             to the series file (full-length\n"
+        "                             series for long runs)\n"
         "overrides: --rates --fault-rates --configs --workloads\n"
         "           --mesh --pattern\n"
         "           --repeats --seed --scale --warmup --measure "
@@ -364,7 +372,7 @@ runMain(int argc, char **argv)
         "quiet", "rates", "fault-rates", "configs", "workloads",
         "mesh", "pattern",
         "repeats", "seed", "scale", "warmup", "measure", "drain",
-        "obs-dir", "obs-interval", "obs-trace",
+        "obs-dir", "obs-interval", "obs-trace", "obs-stream",
     });
 
     if (args.has("help")) {

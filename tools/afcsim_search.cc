@@ -1,0 +1,392 @@
+/**
+ * @file
+ * afcsim-search: adaptive load search CLI (src/search). Finds the
+ * maximum sustainable injection rate per grid cell of a search
+ * spec — Nighthawk-style bracketing + bisection against declared
+ * criteria, then a full-length testing run at the optimum — and
+ * exports SearchResult documents as JSON/CSV alongside a summary
+ * table.
+ *
+ * Usage:
+ *   afcsim-search --experiment saturation_search --threads 4 \
+ *                 --json sat.json [--csv sat.csv]
+ *   afcsim-search --config my_search.cfg --json out.json
+ *
+ * Overrides (apply on top of the named/filed spec):
+ *   --configs bp,bless,afc  --mesh 8  --pattern transpose
+ *   --fault-rates 0,0.005   --repeats N  --seed N
+ *   --warmup N --measure N          testing-stage budgets
+ *   --seed-rate R --tolerance R --max-probes N
+ *   --probe-warmup N --probe-measure N --min-rate R --max-rate R
+ * Criteria:
+ *   --min-delivered F  --max-avg-latency C  --max-p95-latency C
+ *   --max-p99-latency C  --knee-ratio F  --baseline-rate R
+ * Output / execution:
+ *   --threads N   (0 = hardware concurrency; default 1)
+ *   --json PATH --csv PATH --indent N (default 2) --quiet
+ *   --require-converged   exit 1 unless every search converged
+ * Observability (testing-stage side files only; probes run dark):
+ *   --obs-dir PATH  --obs-interval N  --obs-trace  --obs-stream
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/table.hh"
+#include "exp/experiments.hh"
+#include "search/search.hh"
+
+using namespace afcsim;
+using namespace afcsim::exp;
+using namespace afcsim::search;
+
+namespace
+{
+
+/** GNU-style "--key value" / "--key=value" / bare "--flag" parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0)
+                AFCSIM_CONFIG_ERROR("unexpected argument '", arg,
+                             "' (options start with --)");
+            arg = arg.substr(2);
+            auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+            } else if (i + 1 < argc && !isFlag(arg) &&
+                       std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                kv_.emplace_back(arg, argv[++i]);
+            } else {
+                kv_.emplace_back(arg, "");
+            }
+        }
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        for (const auto &[k, v] : kv_)
+            if (k == key)
+                return true;
+        return false;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        for (const auto &[k, v] : kv_)
+            if (k == key)
+                return v;
+        return fallback;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        std::string v = get(key);
+        return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        std::string v = get(key);
+        return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+    }
+
+    void
+    rejectUnknown(const std::vector<std::string> &known) const
+    {
+        for (const auto &[k, v] : kv_) {
+            bool ok = false;
+            for (const auto &name : known)
+                ok = ok || name == k;
+            if (!ok)
+                AFCSIM_CONFIG_ERROR("unknown option '--", k,
+                             "' (see afcsim-search --help)");
+        }
+    }
+
+  private:
+    static bool
+    isFlag(const std::string &key)
+    {
+        return key == "help" || key == "quiet" ||
+               key == "require-converged" || key == "obs-trace" ||
+               key == "obs-stream";
+    }
+
+    std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+applyOverrides(ExperimentSpec &spec, const Args &args)
+{
+    if (args.has("configs")) {
+        spec.configs.clear();
+        for (const auto &c : splitList(args.get("configs")))
+            spec.configs.push_back(flowControlFromString(c));
+    }
+    if (args.has("mesh")) {
+        spec.meshSizes.clear();
+        for (const auto &m : splitList(args.get("mesh")))
+            spec.meshSizes.push_back(
+                static_cast<int>(std::strtol(m.c_str(), nullptr, 10)));
+    }
+    if (args.has("pattern"))
+        spec.pattern = args.get("pattern");
+    if (args.has("fault-rates")) {
+        spec.faultRates.clear();
+        for (const auto &r : splitList(args.get("fault-rates")))
+            spec.faultRates.push_back(
+                std::strtod(r.c_str(), nullptr));
+    }
+    if (args.has("repeats"))
+        spec.repeats = static_cast<int>(args.getInt("repeats", 1));
+    if (args.has("seed"))
+        spec.baseSeed =
+            static_cast<std::uint64_t>(args.getInt("seed", 7));
+    if (args.has("warmup"))
+        spec.warmupCycles =
+            static_cast<Cycle>(args.getInt("warmup", 0));
+    if (args.has("measure"))
+        spec.measureCycles =
+            static_cast<Cycle>(args.getInt("measure", 0));
+
+    SearchSpec &s = spec.search;
+    if (args.has("seed-rate"))
+        s.seedRate = args.getDouble("seed-rate", s.seedRate);
+    if (args.has("tolerance"))
+        s.rateTolerance = args.getDouble("tolerance", s.rateTolerance);
+    if (args.has("min-rate"))
+        s.minRate = args.getDouble("min-rate", s.minRate);
+    if (args.has("max-rate"))
+        s.maxRate = args.getDouble("max-rate", s.maxRate);
+    if (args.has("max-probes"))
+        s.maxProbes = static_cast<int>(
+            args.getInt("max-probes", s.maxProbes));
+    if (args.has("probe-warmup"))
+        s.probeWarmup = static_cast<Cycle>(
+            args.getInt("probe-warmup", 0));
+    if (args.has("probe-measure"))
+        s.probeMeasure = static_cast<Cycle>(
+            args.getInt("probe-measure", 0));
+    if (args.has("baseline-rate"))
+        s.baselineRate = args.getDouble("baseline-rate", s.baselineRate);
+    if (args.has("min-delivered"))
+        s.criteria.minDeliveredFraction =
+            args.getDouble("min-delivered", 0.9);
+    if (args.has("max-avg-latency"))
+        s.criteria.maxAvgLatency =
+            args.getDouble("max-avg-latency", 0.0);
+    if (args.has("max-p95-latency"))
+        s.criteria.maxP95Latency =
+            args.getDouble("max-p95-latency", 0.0);
+    if (args.has("max-p99-latency"))
+        s.criteria.maxP99Latency =
+            args.getDouble("max-p99-latency", 0.0);
+    if (args.has("knee-ratio"))
+        s.criteria.kneeRatio = args.getDouble("knee-ratio", 0.0);
+
+    // Observability side files for the testing-stage run; probes
+    // always run dark (see SearchController).
+    if (args.has("obs-dir")) {
+        spec.obsDir = args.get("obs-dir");
+        if (!spec.base.obs.any()) {
+            spec.base.obs.trace = true;
+            spec.base.obs.sampleInterval = 64;
+        }
+    }
+    if (args.has("obs-interval"))
+        spec.base.obs.sampleInterval =
+            static_cast<Cycle>(args.getInt("obs-interval", 0));
+    if (args.has("obs-trace"))
+        spec.base.obs.trace = true;
+    if (args.has("obs-stream"))
+        spec.obsStream = true;
+}
+
+void
+printSummary(const ExperimentSpec &spec,
+             const std::vector<SearchResult> &results)
+{
+    std::printf("\n=== %s ===\n", spec.name.c_str());
+    if (!spec.description.empty())
+        std::printf("%s\n", spec.description.c_str());
+    TextTable t(26, 12);
+    t.setColumns({"fc", "probes", "converged", "optimum", "accepted",
+                  "latency", "p99", "final-pass"});
+    t.setColumnWidths({18, 7, 10});
+    for (const auto &r : results) {
+        std::string label = r.point.group;
+        if (spec.meshSizes.size() > 1 ||
+            r.point.mesh != spec.base.width)
+            label = std::to_string(r.point.mesh) + "x" +
+                    std::to_string(r.point.mesh) + " " + label;
+        if (!r.error.empty()) {
+            t.addRow(label, {afcsim::toString(r.point.fc),
+                             TextTable::integer(static_cast<long long>(
+                                 r.probes.size())),
+                             "no", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        t.addRow(label,
+                 {afcsim::toString(r.point.fc),
+                  TextTable::integer(
+                      static_cast<long long>(r.probes.size())),
+                  r.converged ? "yes" : "no",
+                  TextTable::num(r.optimumRate, 4),
+                  TextTable::num(r.finalRun.acceptedRate, 4),
+                  TextTable::num(r.finalRun.avgPacketLatency, 1),
+                  TextTable::num(r.finalRun.p99PacketLatency, 1),
+                  r.finalEval.pass ? "yes" : "no"});
+    }
+    t.print();
+}
+
+SearchProgressFn
+stderrSearchProgress()
+{
+    return [](const SearchResult &r, int done, int total) {
+        std::fprintf(stderr,
+                     "[%3d/%3d] %-24s %-16s %2zu probes  "
+                     "optimum %.4f %s\n",
+                     done, total, r.point.group.c_str(),
+                     afcsim::toString(r.point.fc).c_str(),
+                     r.probes.size(), r.optimumRate,
+                     r.error.empty()
+                         ? (r.converged ? "(converged)" : "(budget out)")
+                         : "(failed)");
+    };
+}
+
+void
+printHelp()
+{
+    std::printf(
+        "afcsim-search: find the max sustainable injection rate per\n"
+        "grid cell by adaptive search (bracketing + bisection)\n\n"
+        "  --experiment NAME          run a named search experiment\n"
+        "                             (e.g. saturation_search)\n"
+        "  --config FILE              run a spec file (search mode is\n"
+        "                             forced on; it must list no rates)\n"
+        "  --threads N                worker threads (0 = all cores)\n"
+        "  --json PATH  --csv PATH    structured result export\n"
+        "  --indent N                 JSON indent (default 2)\n"
+        "  --quiet                    suppress per-search progress\n"
+        "  --require-converged        exit 1 unless all converged\n"
+        "search:     --seed-rate --tolerance --max-probes --min-rate\n"
+        "            --max-rate --probe-warmup --probe-measure\n"
+        "criteria:   --min-delivered --max-avg-latency\n"
+        "            --max-p95-latency --max-p99-latency\n"
+        "            --knee-ratio --baseline-rate\n"
+        "grid:       --configs --mesh --pattern --fault-rates\n"
+        "            --repeats --seed --warmup --measure\n"
+        "obs:        --obs-dir --obs-interval --obs-trace\n"
+        "            --obs-stream\n");
+}
+
+} // namespace
+
+int
+runMain(int argc, char **argv)
+{
+    Args args(argc, argv);
+    args.rejectUnknown({
+        "help", "experiment", "config", "threads", "json", "csv",
+        "indent", "quiet", "require-converged", "configs", "mesh",
+        "pattern", "fault-rates", "repeats", "seed", "warmup",
+        "measure", "seed-rate", "tolerance", "min-rate", "max-rate",
+        "max-probes", "probe-warmup", "probe-measure",
+        "baseline-rate", "min-delivered", "max-avg-latency",
+        "max-p95-latency", "max-p99-latency", "knee-ratio",
+        "obs-dir", "obs-interval", "obs-trace", "obs-stream",
+    });
+
+    if (args.has("help")) {
+        printHelp();
+        return 0;
+    }
+
+    ExperimentSpec spec;
+    if (args.has("experiment")) {
+        spec = experimentByName(args.get("experiment"));
+    } else if (args.has("config")) {
+        spec = ExperimentSpec::fromFile(args.get("config"));
+    } else {
+        printHelp();
+        return 2;
+    }
+    // This binary always searches, whatever the spec says.
+    spec.search.enabled = true;
+    applyOverrides(spec, args);
+
+    int threads = static_cast<int>(args.getInt("threads", 1));
+    auto progress = args.has("quiet") ? SearchProgressFn{}
+                                      : stderrSearchProgress();
+    std::vector<SearchResult> results =
+        runSearchGrid(spec, threads, progress);
+
+    printSummary(spec, results);
+
+    if (args.has("json")) {
+        std::string path = args.get("json");
+        int indent = static_cast<int>(args.getInt("indent", 2));
+        JsonValue doc = searchResultsToJson(spec, results);
+        writeFile(path, doc.dump(indent) + "\n");
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    if (args.has("csv")) {
+        writeFile(args.get("csv"), searchResultsToCsv(results));
+        std::fprintf(stderr, "wrote %s\n", args.get("csv").c_str());
+    }
+
+    if (args.has("require-converged")) {
+        for (const auto &r : results) {
+            if (r.error.empty() && r.converged)
+                continue;
+            AFCSIM_CONFIG_ERROR(
+                "search for '", r.point.group, "' ",
+                afcsim::toString(r.point.fc),
+                r.error.empty()
+                    ? std::string(
+                          " did not converge within the probe budget")
+                    : " failed: " + r.error);
+        }
+    }
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // User mistakes and recoverable failures surface as a clear
+    // message and a nonzero exit, never an abort or a stack trace.
+    try {
+        return runMain(argc, argv);
+    } catch (const afcsim::Error &e) {
+        std::fprintf(stderr, "afcsim-search: error: %s\n", e.what());
+        return 1;
+    }
+}

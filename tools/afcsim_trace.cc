@@ -14,10 +14,17 @@
  *       Re-emit the document keeping only matching events (metadata
  *       records are always kept so the output still loads in
  *       Perfetto). Writes to stdout.
+ *   afcsim-trace diff A.json B.json
+ *       Compare the AFC mode-switch timelines (cat=switch instant
+ *       events) of two runs: first divergence cycle and per-router
+ *       switch-count deltas.
  *
  * Exit status: 0 on success, 1 on bad input, 2 on usage errors.
+ * `diff` exits 0 when the switch timelines are identical and 3 when
+ * they diverge, so scripts can branch on it like cmp(1).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,7 +48,8 @@ usage()
         stderr,
         "usage: afcsim-trace summary TRACE.json\n"
         "       afcsim-trace filter TRACE.json [node=N] [cat=CAT]\n"
-        "                    [name=NAME] [from=CYCLE] [to=CYCLE]\n");
+        "                    [name=NAME] [from=CYCLE] [to=CYCLE]\n"
+        "       afcsim-trace diff A.json B.json\n");
     return 2;
 }
 
@@ -249,6 +257,98 @@ runFilter(const JsonValue &doc, const Filter &f)
     return 0;
 }
 
+/** One mode-switch instant: when, where, which transition. */
+struct SwitchEvent
+{
+    long ts = 0;
+    long tid = 0;
+    std::string name;
+
+    bool
+    operator==(const SwitchEvent &o) const
+    {
+        return ts == o.ts && tid == o.tid && name == o.name;
+    }
+};
+
+/** Extract cat=="switch" instant events in document order. */
+std::vector<SwitchEvent>
+switchTimeline(const JsonValue &doc)
+{
+    std::vector<SwitchEvent> out;
+    const JsonValue &events = doc.at("traceEvents");
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        if (strField(e, "cat") != "switch")
+            continue;
+        SwitchEvent s;
+        s.ts = intField(e, "ts", 0);
+        s.tid = intField(e, "tid", -1);
+        s.name = strField(e, "name");
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+int
+runDiff(const JsonValue &a, const JsonValue &b,
+        const std::string &name_a, const std::string &name_b)
+{
+    std::vector<SwitchEvent> ta = switchTimeline(a);
+    std::vector<SwitchEvent> tb = switchTimeline(b);
+
+    std::printf("switch events: %zu vs %zu\n", ta.size(), tb.size());
+
+    // Per-router switch-count delta.
+    std::map<long, std::pair<long, long>> perRouter;
+    for (const auto &s : ta)
+        ++perRouter[s.tid].first;
+    for (const auto &s : tb)
+        ++perRouter[s.tid].second;
+    bool countsDiffer = false;
+    for (const auto &[tid, counts] : perRouter) {
+        if (counts.first != counts.second) {
+            if (!countsDiffer)
+                std::printf("per-router switch-count deltas:\n");
+            countsDiffer = true;
+            std::printf("  router %-4ld %6ld vs %-6ld (%+ld)\n", tid,
+                        counts.first, counts.second,
+                        counts.second - counts.first);
+        }
+    }
+    if (!countsDiffer)
+        std::printf("per-router switch counts match "
+                    "(%zu routers switched)\n",
+                    perRouter.size());
+
+    // First divergence in timeline order.
+    std::size_t n = std::min(ta.size(), tb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ta[i] == tb[i])
+            continue;
+        std::printf("first divergence at event %zu, cycle %ld:\n"
+                    "  %s: cycle %ld router %ld %s\n"
+                    "  %s: cycle %ld router %ld %s\n",
+                    i, std::min(ta[i].ts, tb[i].ts), name_a.c_str(),
+                    ta[i].ts, ta[i].tid, ta[i].name.c_str(),
+                    name_b.c_str(), tb[i].ts, tb[i].tid,
+                    tb[i].name.c_str());
+        return 3;
+    }
+    if (ta.size() != tb.size()) {
+        const auto &longer = ta.size() > tb.size() ? ta : tb;
+        std::printf("first divergence at event %zu, cycle %ld: %s "
+                    "has %zu extra event(s)\n",
+                    n, longer[n].ts,
+                    (ta.size() > tb.size() ? name_a : name_b).c_str(),
+                    longer.size() - n);
+        return 3;
+    }
+    std::printf("switch timelines identical (%zu events)\n",
+                ta.size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -257,8 +357,18 @@ main(int argc, char **argv)
     if (argc < 3)
         return usage();
     std::string cmd = argv[1];
-    if (cmd != "summary" && cmd != "filter")
+    if (cmd != "summary" && cmd != "filter" && cmd != "diff")
         return usage();
+
+    if (cmd == "diff") {
+        if (argc != 4)
+            return usage();
+        JsonValue a;
+        JsonValue b;
+        if (!loadTrace(argv[2], a) || !loadTrace(argv[3], b))
+            return 1;
+        return runDiff(a, b, argv[2], argv[3]);
+    }
 
     JsonValue doc;
     if (!loadTrace(argv[2], doc))
