@@ -1,0 +1,142 @@
+#include "ckpt/serial.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace afcsim::ckpt
+{
+
+namespace
+{
+
+/** 8-byte container magic; the \1 doubles as a layout generation. */
+constexpr char kMagic[8] = {'A', 'F', 'C', 'K', 'P', 'T', '\1', '\n'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+writeFile(const std::string &path, Kind kind,
+          const std::vector<std::uint8_t> &payload)
+{
+    std::string blob;
+    blob.reserve(kHeaderBytes + payload.size());
+    blob.append(kMagic, sizeof(kMagic));
+    putU32(blob, kFormatVersion);
+    putU32(blob, static_cast<std::uint32_t>(kind));
+    putU64(blob, payload.size());
+    putU64(blob, fnv1a(payload.data(), payload.size()));
+    blob.append(reinterpret_cast<const char *>(payload.data()),
+                payload.size());
+
+    // Write-to-temp + rename: a crash mid-write leaves at worst a
+    // stale .tmp sibling, never a torn checkpoint under `path`.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            AFCSIM_SIM_ERROR("checkpoint '", path,
+                             "': cannot open temporary '", tmp,
+                             "' for writing");
+        out.write(blob.data(),
+                  static_cast<std::streamsize>(blob.size()));
+        out.flush();
+        if (!out)
+            AFCSIM_SIM_ERROR("checkpoint '", path, "': write to '",
+                             tmp, "' failed");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        AFCSIM_SIM_ERROR("checkpoint '", path, "': rename from '", tmp,
+                         "' failed: ", ec.message());
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path, Kind kind)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        AFCSIM_SIM_ERROR("checkpoint '", path, "': cannot open file");
+    std::string blob((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (blob.size() < kHeaderBytes)
+        AFCSIM_SIM_ERROR("checkpoint '", path, "': truncated header (",
+                         blob.size(), " bytes, need ", kHeaderBytes,
+                         ")");
+    const unsigned char *p =
+        reinterpret_cast<const unsigned char *>(blob.data());
+    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0)
+        AFCSIM_SIM_ERROR("checkpoint '", path,
+                         "': bad magic (not an afcsim checkpoint)");
+    std::uint32_t version = getU32(p + 8);
+    if (version != kFormatVersion)
+        AFCSIM_SIM_ERROR("checkpoint '", path, "': format version ",
+                         version, " (this build reads version ",
+                         kFormatVersion, ")");
+    std::uint32_t fileKind = getU32(p + 12);
+    if (fileKind != static_cast<std::uint32_t>(kind))
+        AFCSIM_SIM_ERROR("checkpoint '", path, "': payload kind ",
+                         fileKind, " (expected ",
+                         static_cast<std::uint32_t>(kind), ")");
+    std::uint64_t size = getU64(p + 16);
+    std::uint64_t checksum = getU64(p + 24);
+    if (blob.size() - kHeaderBytes != size)
+        AFCSIM_SIM_ERROR("checkpoint '", path,
+                         "': truncated payload (header says ", size,
+                         " bytes, file holds ",
+                         blob.size() - kHeaderBytes, ")");
+    std::uint64_t actual = fnv1a(p + kHeaderBytes, size);
+    if (actual != checksum)
+        AFCSIM_SIM_ERROR("checkpoint '", path,
+                         "': checksum mismatch (corrupt payload)");
+    return std::vector<std::uint8_t>(p + kHeaderBytes,
+                                     p + kHeaderBytes + size);
+}
+
+} // namespace afcsim::ckpt

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Binary checkpoint serialization (DESIGN.md S20). A checkpoint is a
+ * little-endian byte stream written through Writer and read back
+ * through Reader, wrapped in a versioned, checksummed file container:
+ *
+ *   offset  size  field
+ *   0       8     magic "AFCKPT\1\n"
+ *   8       4     format version (u32)
+ *   12      4     payload kind (u32; what the payload snapshots)
+ *   16      8     payload size in bytes (u64)
+ *   24      8     FNV-1a-64 checksum of the payload bytes (u64)
+ *   32      n     payload
+ *
+ * Every container mismatch — short file, bad magic, unknown version,
+ * wrong kind, checksum failure, or a payload that reads past its end
+ * — raises a recoverable SimError naming the file and the defect;
+ * corrupt checkpoints must never crash or silently restore wrong
+ * state. Files are written to a temporary sibling and renamed into
+ * place so readers only ever observe complete checkpoints.
+ *
+ * Integers are fixed-width little-endian; doubles are serialized as
+ * their IEEE-754 bit pattern, so restored state is bit-identical to
+ * the snapshotted state on every platform we build for.
+ */
+
+#ifndef AFCSIM_CKPT_SERIAL_HH
+#define AFCSIM_CKPT_SERIAL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace afcsim::ckpt
+{
+
+/** Current checkpoint format version. Bump on any layout change. */
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** What a checkpoint payload snapshots (container `kind` field). */
+enum class Kind : std::uint32_t
+{
+    OpenLoopRun = 1,   ///< full open-loop harness + network state
+    RunResult = 2,     ///< a finished exp::RunResult (journal entry)
+    SearchResult = 3,  ///< a finished search::SearchResult
+    WarmupFork = 4,    ///< shared warm-up prefix (network + injector)
+};
+
+/** FNV-1a 64-bit hash of a byte range. */
+std::uint64_t fnv1a(const void *data, std::size_t size,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** Append-only little-endian byte-stream builder. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked reader over a checkpoint payload. Reading past the
+ * end raises SimError (a truncated payload must not fabricate state).
+ */
+class Reader
+{
+  public:
+    explicit Reader(std::vector<std::uint8_t> bytes,
+                    std::string origin = "<buffer>")
+        : buf_(std::move(bytes)), origin_(std::move(origin))
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return buf_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    bool b() { return u8() != 0; }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(buf_.data()) + pos_,
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    std::size_t remaining() const { return buf_.size() - pos_; }
+
+    /** Assert the whole payload was consumed (layout drift guard). */
+    void
+    finish() const
+    {
+        if (pos_ != buf_.size())
+            AFCSIM_SIM_ERROR("checkpoint '", origin_, "': ",
+                             buf_.size() - pos_,
+                             " trailing bytes after restore "
+                             "(layout mismatch)");
+    }
+
+  private:
+    void
+    need(std::uint64_t n)
+    {
+        if (pos_ + n > buf_.size())
+            AFCSIM_SIM_ERROR("checkpoint '", origin_,
+                             "': truncated payload (need ", n,
+                             " bytes at offset ", pos_, " of ",
+                             buf_.size(), ")");
+    }
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    std::string origin_;
+};
+
+/**
+ * Write `payload` to `path` inside the versioned, checksummed
+ * container, atomically: the bytes land in a temporary sibling file
+ * first and are renamed over `path`. Throws SimError when the file
+ * cannot be written.
+ */
+void writeFile(const std::string &path, Kind kind,
+               const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read a container written by writeFile() and return the verified
+ * payload. Throws SimError with a distinct, clear message for a
+ * missing/short file, bad magic, version skew, kind mismatch, size
+ * mismatch, or checksum failure.
+ */
+std::vector<std::uint8_t> readFile(const std::string &path, Kind kind);
+
+} // namespace afcsim::ckpt
+
+#endif // AFCSIM_CKPT_SERIAL_HH

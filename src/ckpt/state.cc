@@ -1,0 +1,204 @@
+#include "ckpt/state.hh"
+
+namespace afcsim::ckpt
+{
+
+void
+put(Writer &w, const Flit &f)
+{
+    w.u64(f.packet);
+    w.u32(f.seq);
+    w.u32(f.packetLen);
+    w.i32(f.src);
+    w.i32(f.dest);
+    w.i32(f.vnet);
+    w.i32(f.vc);
+    w.u8(static_cast<std::uint8_t>(f.type));
+    w.u64(f.createTime);
+    w.u64(f.injectTime);
+    w.u32(f.hops);
+    w.u32(f.deflections);
+    w.i32(f.lookahead);
+    w.u64(f.tag);
+    w.u32(f.payload);
+    w.u32(f.checksum);
+    w.b(f.guarded);
+}
+
+Flit
+getFlit(Reader &r)
+{
+    Flit f;
+    f.packet = r.u64();
+    f.seq = static_cast<std::uint16_t>(r.u32());
+    f.packetLen = static_cast<std::uint16_t>(r.u32());
+    f.src = static_cast<NodeId>(r.i32());
+    f.dest = static_cast<NodeId>(r.i32());
+    f.vnet = static_cast<VnetId>(r.i32());
+    f.vc = static_cast<VcId>(r.i32());
+    f.type = static_cast<FlitType>(r.u8());
+    f.createTime = r.u64();
+    f.injectTime = r.u64();
+    f.hops = static_cast<std::uint16_t>(r.u32());
+    f.deflections = static_cast<std::uint16_t>(r.u32());
+    f.lookahead = static_cast<Direction>(r.i32());
+    f.tag = r.u64();
+    f.payload = r.u32();
+    f.checksum = r.u32();
+    f.guarded = r.b();
+    return f;
+}
+
+void
+put(Writer &w, const Credit &c)
+{
+    w.i32(c.vnet);
+    w.i32(c.vc);
+}
+
+Credit
+getCredit(Reader &r)
+{
+    Credit c;
+    c.vnet = static_cast<VnetId>(r.i32());
+    c.vc = static_cast<VcId>(r.i32());
+    return c;
+}
+
+void
+put(Writer &w, const CtlMsg &m)
+{
+    w.u8(static_cast<std::uint8_t>(m.kind));
+}
+
+CtlMsg
+getCtl(Reader &r)
+{
+    CtlMsg m;
+    m.kind = static_cast<CtlMsg::Kind>(r.u8());
+    return m;
+}
+
+void
+put(Writer &w, const Rng &rng)
+{
+    w.u64(rng.rawState());
+    w.u64(rng.rawInc());
+}
+
+Rng
+getRng(Reader &r)
+{
+    std::uint64_t state = r.u64();
+    std::uint64_t inc = r.u64();
+    return Rng::fromRaw(state, inc);
+}
+
+void
+put(Writer &w, const RunningStat &s)
+{
+    w.u64(s.count());
+    w.f64(s.rawMean());
+    w.f64(s.rawM2());
+    w.f64(s.rawMin());
+    w.f64(s.rawMax());
+}
+
+void
+get(Reader &r, RunningStat &s)
+{
+    std::uint64_t count = r.u64();
+    double mean = r.f64();
+    double m2 = r.f64();
+    double mn = r.f64();
+    double mx = r.f64();
+    s.restoreRaw(count, mean, m2, mn, mx);
+}
+
+void
+put(Writer &w, const Histogram &h)
+{
+    const auto &buckets = h.rawBuckets();
+    w.u64(buckets.size());
+    for (std::uint64_t b : buckets)
+        w.u64(b);
+    put(w, h.summary());
+}
+
+void
+get(Reader &r, Histogram &h)
+{
+    std::uint64_t n = r.u64();
+    std::vector<std::uint64_t> buckets(static_cast<std::size_t>(n));
+    for (auto &b : buckets)
+        b = r.u64();
+    h.restoreRawBuckets(buckets);
+    get(r, h.rawSummary());
+}
+
+void
+put(Writer &w, const PercentileAccumulator &p)
+{
+    const auto &samples = p.rawSamples();
+    w.u64(samples.size());
+    for (double s : samples)
+        w.f64(s);
+    w.b(p.rawSorted());
+}
+
+void
+get(Reader &r, PercentileAccumulator &p)
+{
+    std::uint64_t n = r.u64();
+    std::vector<double> samples(static_cast<std::size_t>(n));
+    for (auto &s : samples)
+        s = r.f64();
+    bool sorted = r.b();
+    p.restoreRaw(std::move(samples), sorted);
+}
+
+void
+put(Writer &w, const NetStats &s)
+{
+    w.u64(s.flitsInjected);
+    w.u64(s.flitsDelivered);
+    w.u64(s.packetsInjected);
+    w.u64(s.packetsDelivered);
+    put(w, s.packetLatency);
+    put(w, s.packetLatencyHist);
+    put(w, s.packetLatencyPct);
+    put(w, s.flitLatency);
+    put(w, s.hops);
+    put(w, s.deflections);
+    w.u64(s.totalDeflections);
+    w.u64(s.flitsCorrupted);
+    w.u64(s.flitsDuplicate);
+    w.u64(s.flitsRetransmitted);
+    w.u64(s.packetsRetransmitted);
+    w.u64(s.packetsFailed);
+    w.u64(s.retransmitOverflows);
+}
+
+void
+get(Reader &r, NetStats &s)
+{
+    s.flitsInjected = r.u64();
+    s.flitsDelivered = r.u64();
+    s.packetsInjected = r.u64();
+    s.packetsDelivered = r.u64();
+    get(r, s.packetLatency);
+    get(r, s.packetLatencyHist);
+    get(r, s.packetLatencyPct);
+    get(r, s.flitLatency);
+    get(r, s.hops);
+    get(r, s.deflections);
+    s.totalDeflections = r.u64();
+    s.flitsCorrupted = r.u64();
+    s.flitsDuplicate = r.u64();
+    s.flitsRetransmitted = r.u64();
+    s.packetsRetransmitted = r.u64();
+    s.packetsFailed = r.u64();
+    s.retransmitOverflows = r.u64();
+}
+
+} // namespace afcsim::ckpt

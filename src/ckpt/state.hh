@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Serialization helpers for the value types that appear throughout
+ * simulator state: flits, credits, control messages, RNG streams and
+ * statistics accumulators. Component snapshot/restore methods
+ * (Router::ckptSave, Nic::ckptSave, ...) compose these so every
+ * container layout is written exactly one way.
+ */
+
+#ifndef AFCSIM_CKPT_STATE_HH
+#define AFCSIM_CKPT_STATE_HH
+
+#include "ckpt/serial.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "network/flit.hh"
+
+namespace afcsim::ckpt
+{
+
+void put(Writer &w, const Flit &f);
+Flit getFlit(Reader &r);
+
+void put(Writer &w, const Credit &c);
+Credit getCredit(Reader &r);
+
+void put(Writer &w, const CtlMsg &m);
+CtlMsg getCtl(Reader &r);
+
+void put(Writer &w, const Rng &rng);
+Rng getRng(Reader &r);
+
+void put(Writer &w, const RunningStat &s);
+void get(Reader &r, RunningStat &s);
+
+void put(Writer &w, const Histogram &h);
+void get(Reader &r, Histogram &h);
+
+void put(Writer &w, const PercentileAccumulator &p);
+void get(Reader &r, PercentileAccumulator &p);
+
+void put(Writer &w, const NetStats &s);
+void get(Reader &r, NetStats &s);
+
+} // namespace afcsim::ckpt
+
+#endif // AFCSIM_CKPT_STATE_HH

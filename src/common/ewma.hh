@@ -100,6 +100,25 @@ class TrafficIntensity
         ewma_.reset(0.0);
     }
 
+    /// @name Raw state for bit-exact checkpointing (src/ckpt).
+    /// @{
+    const std::array<unsigned, kWindow> &rawWindow() const { return window_; }
+    std::size_t rawPos() const { return pos_; }
+    double rawEwma() const { return ewma_.value(); }
+
+    void
+    restoreRaw(const std::array<unsigned, kWindow> &window,
+               std::size_t pos, double ewma)
+    {
+        window_ = window;
+        sum_ = 0;
+        for (unsigned w : window_)
+            sum_ += w;
+        pos_ = pos;
+        ewma_.reset(ewma);
+    }
+    /// @}
+
   private:
     std::array<unsigned, kWindow> window_{};
     unsigned sum_ = 0;

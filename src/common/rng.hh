@@ -120,6 +120,23 @@ class Rng
         return Rng(child_seed, stream_tag * 2654435761ULL + 1);
     }
 
+    /**
+     * Raw generator state for checkpointing (src/ckpt). fromRaw()
+     * reconstructs the exact stream position, bypassing the seeding
+     * draws the public constructor performs.
+     */
+    std::uint64_t rawState() const { return state_; }
+    std::uint64_t rawInc() const { return inc_; }
+
+    static Rng
+    fromRaw(std::uint64_t state, std::uint64_t inc)
+    {
+        Rng r;
+        r.state_ = state;
+        r.inc_ = inc;
+        return r;
+    }
+
   private:
     std::uint32_t
     next()

@@ -83,6 +83,25 @@ class RunningStat
         max_ = std::max(max_, other.max_);
     }
 
+    /// @name Raw state for bit-exact checkpointing (src/ckpt).
+    /// @{
+    double rawMean() const { return mean_; }
+    double rawM2() const { return m2_; }
+    double rawMin() const { return min_; }
+    double rawMax() const { return max_; }
+
+    void
+    restoreRaw(std::uint64_t count, double mean, double m2, double mn,
+               double mx)
+    {
+        count_ = count;
+        mean_ = mean;
+        m2_ = m2;
+        min_ = mn;
+        max_ = mx;
+    }
+    /// @}
+
   private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;
@@ -169,6 +188,20 @@ class Histogram
         stat_.merge(other.stat_);
     }
 
+    /// @name Raw state for bit-exact checkpointing (src/ckpt).
+    /// @{
+    const std::vector<std::uint64_t> &rawBuckets() const { return buckets_; }
+    RunningStat &rawSummary() { return stat_; }
+
+    void
+    restoreRawBuckets(const std::vector<std::uint64_t> &buckets)
+    {
+        AFCSIM_ASSERT(buckets.size() == buckets_.size(),
+                      "histogram shape mismatch in restore");
+        buckets_ = buckets;
+    }
+    /// @}
+
   private:
     double width_;
     std::vector<std::uint64_t> buckets_;
@@ -235,6 +268,22 @@ class PercentileAccumulator
                         other.samples_.end());
         sorted_ = false;
     }
+
+    /// @name Raw state for bit-exact checkpointing (src/ckpt).
+    /// Samples are preserved in stored (possibly unsorted) order so a
+    /// restored accumulator sorts at exactly the same point the
+    /// uninterrupted one would.
+    /// @{
+    const std::vector<double> &rawSamples() const { return samples_; }
+    bool rawSorted() const { return sorted_; }
+
+    void
+    restoreRaw(std::vector<double> samples, bool sorted)
+    {
+        samples_ = std::move(samples);
+        sorted_ = sorted;
+    }
+    /// @}
 
   private:
     mutable std::vector<double> samples_;

@@ -117,6 +117,9 @@ class EnergyLedger
 
     void reset() { report_ = EnergyReport{}; }
 
+    /** Overwrite the accumulated report (checkpoint restore). */
+    void restoreReport(const EnergyReport &r) { report_ = r; }
+
   private:
     void
     add(EnergyComponent c, double pj)

@@ -1,0 +1,393 @@
+#include "exp/journal.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/state.hh"
+#include "common/error.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "network/network.hh"
+
+namespace afcsim::exp
+{
+
+namespace
+{
+
+constexpr int kManifestFormat = 1;
+
+/** 16-hex-digit rendering of a fingerprint (JSON numbers would lose
+ *  precision past 2^53, so hashes travel as strings). */
+std::string
+hashString(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+/** Atomic text-file write: temporary sibling + rename, same
+ *  discipline as ckpt::writeFile. */
+void
+writeTextAtomic(const std::string &path, const std::string &contents)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            AFCSIM_SIM_ERROR("journal: cannot open temporary '", tmp,
+                             "' for writing");
+        out << contents;
+        out.flush();
+        if (!out)
+            AFCSIM_SIM_ERROR("journal: write to '", tmp, "' failed");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        AFCSIM_SIM_ERROR("journal: rename '", tmp, "' over '", path,
+                         "' failed: ", ec.message());
+}
+
+} // namespace
+
+Journal::Journal(std::string dir) : dir_(std::move(dir)) {}
+
+void
+Journal::open(const std::string &tool, const ExperimentSpec &spec)
+{
+    ckptInterval_ = spec.ckptInterval;
+    maxAttempts_ = spec.maxAttempts > 0 ? spec.maxAttempts : 1;
+
+    std::uint64_t hash = specHash(spec);
+    std::size_t points = spec.expand().size();
+    std::string manifestPath = dir_ + "/manifest.json";
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        AFCSIM_CONFIG_ERROR("cannot create resume directory '", dir_,
+                            "': ", ec.message());
+
+    std::ifstream in(manifestPath);
+    if (!in) {
+        JsonValue doc = JsonValue::object();
+        doc.set("format", JsonValue(static_cast<std::int64_t>(
+                              kManifestFormat)));
+        doc.set("tool", JsonValue(tool));
+        doc.set("experiment", JsonValue(spec.name));
+        doc.set("spec_hash", JsonValue(hashString(hash)));
+        doc.set("points",
+                JsonValue(static_cast<std::int64_t>(points)));
+        writeTextAtomic(manifestPath, doc.dump(2) + "\n");
+        return;
+    }
+
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    JsonValue doc = JsonValue::parse(ss.str(), &error);
+    if (!error.empty() || !doc.isObject())
+        AFCSIM_CONFIG_ERROR("resume directory '", dir_,
+                            "': unreadable manifest.json (",
+                            error.empty() ? "not an object" : error,
+                            ")");
+    for (const char *key :
+         {"format", "tool", "experiment", "spec_hash", "points"}) {
+        if (!doc.has(key))
+            AFCSIM_CONFIG_ERROR("resume directory '", dir_,
+                                "': manifest.json missing '", key,
+                                "'");
+    }
+    if (doc.at("format").asInt() != kManifestFormat)
+        AFCSIM_CONFIG_ERROR("resume directory '", dir_,
+                            "': manifest format ",
+                            doc.at("format").asInt(),
+                            " (this build reads format ",
+                            kManifestFormat, ")");
+    if (doc.at("tool").asString() != tool)
+        AFCSIM_CONFIG_ERROR("resume directory '", dir_,
+                            "': journal was written by ",
+                            doc.at("tool").asString(),
+                            ", not ", tool);
+    if (doc.at("spec_hash").asString() != hashString(hash) ||
+        doc.at("points").asInt() !=
+            static_cast<std::int64_t>(points)) {
+        AFCSIM_CONFIG_ERROR(
+            "resume directory '", dir_, "': journal holds a "
+            "different grid (experiment '",
+            doc.at("experiment").asString(), "', ",
+            doc.at("points").asInt(), " points, spec ",
+            doc.at("spec_hash").asString(), "; this invocation is '",
+            spec.name, "', ", points, " points, spec ",
+            hashString(hash), ") — resume with the exact original "
+            "spec and overrides, or use a fresh directory");
+    }
+}
+
+std::string
+Journal::resultPath(int index) const
+{
+    return dir_ + "/point_" + std::to_string(index) + ".res";
+}
+
+std::string
+Journal::checkpointPath(int index, int generation) const
+{
+    std::string p = dir_ + "/point_" + std::to_string(index) + ".ckpt";
+    if (generation > 0)
+        p += "." + std::to_string(generation);
+    return p;
+}
+
+std::string
+Journal::attemptsPath(int index) const
+{
+    return dir_ + "/point_" + std::to_string(index) + ".attempts";
+}
+
+std::string
+Journal::postmortemCheckpointPath(int index) const
+{
+    return dir_ + "/point_" + std::to_string(index) +
+           ".postmortem.ckpt";
+}
+
+std::string
+Journal::postmortemReportPath(int index) const
+{
+    return dir_ + "/point_" + std::to_string(index) +
+           ".postmortem.txt";
+}
+
+std::string
+Journal::warmupForkPath(std::uint64_t hash) const
+{
+    return dir_ + "/warmup_" + hashString(hash) + ".ckpt";
+}
+
+bool
+Journal::loadResult(const RunPoint &point, RunResult &out) const
+{
+    std::string path = resultPath(point.index);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return false;
+    try {
+        ckpt::Reader r(ckpt::readFile(path, ckpt::Kind::RunResult),
+                       path);
+        RunResult res;
+        getRunResult(r, res);
+        r.finish();
+        res.point = point;
+        out = std::move(res);
+        return true;
+    } catch (const Error &e) {
+        warn("discarding journal result '", path,
+             "' (point will re-run): ", e.what());
+        return false;
+    }
+}
+
+void
+Journal::storeResult(const RunResult &r) const
+{
+    ckpt::Writer w;
+    putRunResult(w, r);
+    ckpt::writeFile(resultPath(r.point.index), ckpt::Kind::RunResult,
+                    w.bytes());
+    clearPointScratch(r.point.index);
+}
+
+int
+Journal::beginAttempt(int index) const
+{
+    int prior = 0;
+    {
+        std::ifstream in(attemptsPath(index));
+        if (in)
+            in >> prior;
+        if (prior < 0)
+            prior = 0;
+    }
+    int attempt = prior + 1;
+    try {
+        writeTextAtomic(attemptsPath(index),
+                        std::to_string(attempt) + "\n");
+    } catch (const Error &e) {
+        // The counter only guards repeated crashes; failing to
+        // persist it must not block the run itself.
+        warn("cannot persist attempt counter for point ", index, ": ",
+             e.what());
+    }
+    return attempt;
+}
+
+void
+Journal::rotateCheckpoints(int index) const
+{
+    std::error_code ec;
+    std::filesystem::remove(checkpointPath(index, kGenerations - 1),
+                            ec);
+    for (int g = kGenerations - 1; g > 0; --g) {
+        std::filesystem::rename(checkpointPath(index, g - 1),
+                                checkpointPath(index, g), ec);
+        // Missing younger generations are normal early in a run.
+    }
+}
+
+void
+Journal::clearPointScratch(int index) const
+{
+    std::error_code ec;
+    for (int g = 0; g < kGenerations; ++g)
+        std::filesystem::remove(checkpointPath(index, g), ec);
+    std::filesystem::remove(attemptsPath(index), ec);
+}
+
+std::uint64_t
+Journal::specHash(const ExperimentSpec &spec)
+{
+    ckpt::Writer w;
+    w.str(spec.name);
+    std::vector<RunPoint> points = spec.expand();
+    w.u64(points.size());
+    for (const RunPoint &p : points) {
+        w.i32(p.index);
+        w.u8(p.kind == RunKind::OpenLoop ? 0 : 1);
+        w.str(p.group);
+        w.i32(p.mesh);
+        w.i32(static_cast<std::int32_t>(p.fc));
+        w.i32(p.repeat);
+        w.u64(p.seed);
+        w.u64(hashNetworkConfig(p.cfg, p.fc));
+        w.f64(p.rate);
+        w.str(p.ol.pattern);
+        w.f64(p.ol.injectionRate);
+        w.u64(p.ol.warmupCycles);
+        w.u64(p.ol.measureCycles);
+        w.u64(p.ol.drainCycles);
+        w.f64(p.ol.dataPacketFraction);
+        w.str(p.workload.name);
+        w.u64(p.workload.warmupTransactions);
+        w.u64(p.workload.measureTransactions);
+        w.u64(p.maxCycles);
+    }
+    w.b(spec.search.enabled);
+    if (spec.search.enabled) {
+        const search::SearchSpec &s = spec.search;
+        w.f64(s.seedRate);
+        w.f64(s.rateTolerance);
+        w.f64(s.minRate);
+        w.f64(s.maxRate);
+        w.i32(s.maxProbes);
+        w.u64(s.probeWarmup);
+        w.u64(s.probeMeasure);
+        w.u64(s.finalWarmup);
+        w.u64(s.finalMeasure);
+        w.f64(s.baselineRate);
+        const search::SearchCriteria &c = s.criteria;
+        w.f64(c.minDeliveredFraction);
+        w.f64(c.maxAvgLatency);
+        w.f64(c.maxP95Latency);
+        w.f64(c.maxP99Latency);
+        w.f64(c.kneeRatio);
+        w.b(c.requireUnsaturated);
+        w.b(c.requireClean);
+    }
+    return ckpt::fnv1a(w.bytes().data(), w.bytes().size());
+}
+
+void
+putRunResult(ckpt::Writer &w, const RunResult &r)
+{
+    w.f64(r.runtimeCycles);
+    w.u64(r.transactions);
+    w.f64(r.throughput);
+    w.f64(r.offeredRate);
+    w.f64(r.acceptedRate);
+    w.f64(r.avgPacketLatency);
+    w.f64(r.p50PacketLatency);
+    w.f64(r.p95PacketLatency);
+    w.f64(r.p99PacketLatency);
+    w.f64(r.avgFlitLatency);
+    w.f64(r.avgHops);
+    w.f64(r.avgDeflections);
+    w.f64(r.avgTxLatency);
+    w.b(r.saturated);
+    w.f64(r.energyTotal);
+    w.f64(r.energyPerFlit);
+    for (double v : r.energy.byComponent)
+        w.f64(v);
+    w.f64(r.bpFraction);
+    w.u64(r.forwardSwitches);
+    w.u64(r.reverseSwitches);
+    w.u64(r.gossipSwitches);
+    ckpt::put(w, r.net);
+    w.u64(r.faults.corruptions);
+    w.u64(r.faults.linkDownEvents);
+    w.u64(r.faults.stallEvents);
+    w.u64(r.faults.flitsHeld);
+    w.u64(r.faults.creditsDropped);
+    w.u64(r.faults.events.size());
+    for (const FaultEvent &ev : r.faults.events) {
+        w.u64(ev.cycle);
+        w.i32(ev.node);
+        w.u8(ev.dir);
+        w.u8(static_cast<std::uint8_t>(ev.kind));
+    }
+    w.str(r.error);
+    w.f64(r.wallMs);
+    w.f64(r.cyclesPerSec);
+}
+
+void
+getRunResult(ckpt::Reader &r, RunResult &out)
+{
+    out.runtimeCycles = r.f64();
+    out.transactions = r.u64();
+    out.throughput = r.f64();
+    out.offeredRate = r.f64();
+    out.acceptedRate = r.f64();
+    out.avgPacketLatency = r.f64();
+    out.p50PacketLatency = r.f64();
+    out.p95PacketLatency = r.f64();
+    out.p99PacketLatency = r.f64();
+    out.avgFlitLatency = r.f64();
+    out.avgHops = r.f64();
+    out.avgDeflections = r.f64();
+    out.avgTxLatency = r.f64();
+    out.saturated = r.b();
+    out.energyTotal = r.f64();
+    out.energyPerFlit = r.f64();
+    for (double &v : out.energy.byComponent)
+        v = r.f64();
+    out.bpFraction = r.f64();
+    out.forwardSwitches = r.u64();
+    out.reverseSwitches = r.u64();
+    out.gossipSwitches = r.u64();
+    ckpt::get(r, out.net);
+    out.faults.corruptions = r.u64();
+    out.faults.linkDownEvents = r.u64();
+    out.faults.stallEvents = r.u64();
+    out.faults.flitsHeld = r.u64();
+    out.faults.creditsDropped = r.u64();
+    std::uint64_t events = r.u64();
+    out.faults.events.clear();
+    for (std::uint64_t i = 0; i < events; ++i) {
+        FaultEvent ev;
+        ev.cycle = r.u64();
+        ev.node = static_cast<NodeId>(r.i32());
+        ev.dir = r.u8();
+        ev.kind = static_cast<FaultEvent::Kind>(r.u8());
+        out.faults.events.push_back(ev);
+    }
+    out.error = r.str();
+    out.wallMs = r.f64();
+    out.cyclesPerSec = r.f64();
+}
+
+} // namespace afcsim::exp

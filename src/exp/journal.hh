@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Crash-safe sweep journal (DESIGN.md S20). A journal directory makes
+ * an experiment grid resumable after a crash or SIGKILL:
+ *
+ *   manifest.json          grid identity (tool, spec fingerprint,
+ *                          point count), written atomically
+ *   point_<i>.res          done marker: the finished result in the
+ *                          ckpt/serial.hh container (atomic rename)
+ *   point_<i>.ckpt[.<g>]   rotated periodic checkpoints of an
+ *                          in-flight open-loop run (generation 0 is
+ *                          newest; kGenerations retained)
+ *   point_<i>.attempts     crash counter: bumped when an attempt
+ *                          starts, cleared when a result lands, so a
+ *                          point that keeps killing the process is
+ *                          degraded after maxAttempts instead of
+ *                          wedging the grid forever
+ *   point_<i>.postmortem.* final checkpoint + watchdog diagnostic
+ *                          snapshot written when a run dies on a
+ *                          recoverable error (SimError)
+ *   warmup_<hash>.ckpt     shared warm-up prefix (openloop.hh
+ *                          warm-up forking), keyed by warmupHash()
+ *
+ * On resume, completed points load back verbatim from their done
+ * markers, in-flight open-loop points restart from their newest
+ * valid checkpoint, and everything else re-runs deterministically —
+ * so the merged exports are byte-identical to a never-interrupted
+ * sweep (proven by the kill-resume integration test). A corrupt or
+ * version-skewed file is never trusted: the container checksum
+ * rejects it and the point simply re-runs.
+ */
+
+#ifndef AFCSIM_EXP_JOURNAL_HH
+#define AFCSIM_EXP_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/serial.hh"
+#include "exp/result.hh"
+#include "exp/spec.hh"
+
+namespace afcsim::exp
+{
+
+class Journal
+{
+  public:
+    /** Checkpoint generations retained per in-flight point: if the
+     *  process dies *while* writing generation 0, generation 1 is
+     *  still a complete, verified restart point. */
+    static constexpr int kGenerations = 2;
+
+    explicit Journal(std::string dir);
+
+    /**
+     * Create the journal directory + manifest, or validate an
+     * existing manifest against this grid. ConfigError when the
+     * directory belongs to a different tool or a different grid
+     * (spec fingerprint or point count mismatch) — resuming would
+     * silently mix incompatible results otherwise.
+     */
+    void open(const std::string &tool, const ExperimentSpec &spec);
+
+    const std::string &dir() const { return dir_; }
+    /** Periodic-checkpoint period in cycles (0 = none). */
+    Cycle ckptInterval() const { return ckptInterval_; }
+    /** Crash attempts before a point is marked degraded. */
+    int maxAttempts() const { return maxAttempts_; }
+
+    /// @name Per-point file paths.
+    /// @{
+    std::string resultPath(int index) const;
+    /** Generation 0 is the newest checkpoint. */
+    std::string checkpointPath(int index, int generation) const;
+    std::string attemptsPath(int index) const;
+    std::string postmortemCheckpointPath(int index) const;
+    std::string postmortemReportPath(int index) const;
+    std::string warmupForkPath(std::uint64_t hash) const;
+    /// @}
+
+    /**
+     * Load a completed point's result (reattaching `point`, which is
+     * never serialized — it comes from deterministic grid
+     * re-expansion). Returns false when there is no done marker or
+     * the marker fails verification (warned, then re-run — a corrupt
+     * file must never crash the resume or restore wrong results).
+     */
+    bool loadResult(const RunPoint &point, RunResult &out) const;
+
+    /** Write the done marker (atomic rename; landing it completes
+     *  the point) and drop the point's scratch files. */
+    void storeResult(const RunResult &r) const;
+
+    /** Bump and persist the point's attempt counter; returns the
+     *  1-based ordinal of the attempt that is about to start. */
+    int beginAttempt(int index) const;
+
+    /** Shift checkpoint generations (0 -> 1 -> ... dropped) to make
+     *  room for a new generation-0 write. */
+    void rotateCheckpoints(int index) const;
+
+    /** Remove the point's checkpoints + attempt counter (postmortem
+     *  files are kept — they are the crash diagnostics). */
+    void clearPointScratch(int index) const;
+
+    /**
+     * Fingerprint of everything that determines the grid's results:
+     * every expanded point's identity, seed, config hash and harness
+     * parameters, plus the search block when enabled. Deliberately
+     * excludes output routing (obsDir, JSON/CSV paths) so a resume
+     * may redirect exports.
+     */
+    static std::uint64_t specHash(const ExperimentSpec &spec);
+
+  private:
+    std::string dir_;
+    Cycle ckptInterval_ = 0;
+    int maxAttempts_ = 1;
+};
+
+/// @name RunResult payload serialization (container Kind::RunResult).
+/// Every field in declaration order except `point` (reattached from
+/// re-expansion) and `obs` (side files are exported before the done
+/// marker lands, so the bundle need not survive the process).
+/// @{
+void putRunResult(ckpt::Writer &w, const RunResult &r);
+void getRunResult(ckpt::Reader &r, RunResult &out);
+/// @}
+
+} // namespace afcsim::exp
+
+#endif // AFCSIM_EXP_JOURNAL_HH

@@ -10,6 +10,8 @@
 
 #include "common/error.hh"
 #include "common/log.hh"
+#include "exp/journal.hh"
+#include "fault/watchdog.hh"
 #include "obs/obs.hh"
 #include "sim/closedloop.hh"
 #include "traffic/openloop.hh"
@@ -163,6 +165,169 @@ executeRun(const RunPoint &point)
     return out;
 }
 
+RunResult
+executeRun(const RunPoint &point, Journal &journal)
+{
+    RunResult cached;
+    if (journal.loadResult(point, cached))
+        return cached;
+
+    // Re-armed error boundary: attempts count process *crashes* (a
+    // run that completes — even as an error record — lands a done
+    // marker and clears the counter). A point whose simulation keeps
+    // killing the process is degraded instead of wedging every
+    // resume on the same run.
+    int attempt = journal.beginAttempt(point.index);
+    if (attempt > journal.maxAttempts()) {
+        RunResult out;
+        out.point = point;
+        out.error = "degraded: " + std::to_string(attempt - 1) +
+                    " attempts crashed before completing; giving up";
+        journal.storeResult(out);
+        return out;
+    }
+
+    if (point.kind != RunKind::OpenLoop) {
+        // Closed-loop runs are deterministic but not yet
+        // checkpointable mid-run: a restart reproduces the
+        // interrupted run exactly from scratch, and the done marker
+        // still makes the completed point resumable.
+        RunResult out = executeRun(point);
+        journal.storeResult(out);
+        return out;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult out;
+    if (!point.cfg.obs.streamPath.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(point.cfg.obs.streamPath)
+                .parent_path(),
+            ec);
+    }
+    std::unique_ptr<OpenLoopRun> run;
+    try {
+        std::vector<double> rates(
+            static_cast<std::size_t>(point.cfg.numNodes()),
+            point.ol.injectionRate);
+        auto freshRun = [&] {
+            return std::make_unique<OpenLoopRun>(point.cfg, point.fc,
+                                                 point.ol, rates);
+        };
+
+        // Restart from the newest checkpoint generation that
+        // verifies; a corrupt or stale file falls through to the
+        // next generation (each attempt gets a fresh run object, so
+        // a rejected load can never leave mixed state behind).
+        bool restored = false;
+        for (int gen = 0; gen < Journal::kGenerations && !restored;
+             ++gen) {
+            std::string path = journal.checkpointPath(point.index,
+                                                      gen);
+            std::error_code ec;
+            if (!std::filesystem::exists(path, ec))
+                continue;
+            auto candidate = freshRun();
+            try {
+                candidate->loadCheckpoint(path);
+                run = std::move(candidate);
+                restored = true;
+            } catch (const Error &e) {
+                warn("discarding checkpoint '", path, "': ",
+                     e.what());
+            }
+        }
+        if (!run)
+            run = freshRun();
+
+        // Shared warm-up forking: points differing only post-warm-up
+        // simulate the prefix once and fork from its snapshot.
+        // Streaming runs are excluded — their series files must
+        // contain the warm-up frames they themselves streamed.
+        std::string warmPath;
+        if (!restored && point.ol.warmupCycles > 0 &&
+            point.cfg.obs.streamPath.empty()) {
+            warmPath = journal.warmupForkPath(run->warmupHash());
+            std::error_code ec;
+            if (std::filesystem::exists(warmPath, ec)) {
+                try {
+                    run->loadWarmupFork(warmPath);
+                    warmPath.clear(); // nothing left to save
+                } catch (const Error &e) {
+                    warn("discarding warm-up fork '", warmPath,
+                         "': ", e.what());
+                    run = freshRun();
+                }
+            }
+        }
+
+        Cycle interval = journal.ckptInterval();
+        while (!run->done()) {
+            run->step();
+            Cycle c = run->cycle();
+            if (!warmPath.empty() && c == point.ol.warmupCycles) {
+                // Concurrent workers may race to write the same
+                // prefix; the payloads are identical (deterministic
+                // warm-up) and a torn loser is caught by the
+                // container checksum, so last-rename-wins is safe.
+                std::error_code ec;
+                if (!std::filesystem::exists(warmPath, ec))
+                    run->saveWarmupFork(warmPath);
+                warmPath.clear();
+            }
+            if (interval > 0 && !run->done() && c % interval == 0) {
+                journal.rotateCheckpoints(point.index);
+                run->saveCheckpoint(
+                    journal.checkpointPath(point.index, 0));
+            }
+        }
+        out = fromOpenLoop(point, run->finish());
+    } catch (const Error &e) {
+        out = RunResult{};
+        out.point = point;
+        out.error = e.what();
+        // Watchdog postmortem: park the dying run's full state and a
+        // diagnostic snapshot next to the error record, so a tripped
+        // audit can be dissected (or re-simulated) after the sweep.
+        if (run) {
+            try {
+                run->saveCheckpoint(
+                    journal.postmortemCheckpointPath(point.index));
+            } catch (const Error &e2) {
+                warn("cannot write postmortem checkpoint for run ",
+                     point.index, ": ", e2.what());
+            }
+            try {
+                std::ostringstream report;
+                report << "postmortem: " << point.experiment
+                       << " run " << point.index << " ("
+                       << point.group << ", "
+                       << afcsim::toString(point.fc) << ")\n"
+                       << "cycle: " << run->cycle() << " of "
+                       << run->totalCycles() << "\n"
+                       << "error: " << e.what() << "\n\n"
+                       << Watchdog::snapshot(run->network(),
+                                             run->cycle());
+                writeFile(journal.postmortemReportPath(point.index),
+                          report.str());
+            } catch (const Error &e2) {
+                warn("cannot write postmortem report for run ",
+                     point.index, ": ", e2.what());
+            }
+        }
+    }
+    exportObs(point, out);
+    out.wallMs = msSince(t0);
+    if (out.wallMs > 0.0) {
+        double sim_cycles = static_cast<double>(
+            point.ol.warmupCycles + point.ol.measureCycles);
+        out.cyclesPerSec = sim_cycles / (out.wallMs / 1000.0);
+    }
+    journal.storeResult(out);
+    return out;
+}
+
 ParallelRunner::ParallelRunner(int threads) : threads_(threads)
 {
     if (threads_ <= 0) {
@@ -174,7 +339,8 @@ ParallelRunner::ParallelRunner(int threads) : threads_(threads)
 
 std::vector<RunResult>
 ParallelRunner::run(const std::vector<RunPoint> &points,
-                    const ProgressFn &progress) const
+                    const ProgressFn &progress,
+                    Journal *journal) const
 {
     std::vector<RunResult> results(points.size());
     if (points.empty())
@@ -191,7 +357,8 @@ ParallelRunner::run(const std::vector<RunPoint> &points,
             std::size_t i = cursor.fetch_add(1);
             if (i >= points.size())
                 return;
-            results[i] = executeRun(points[i]);
+            results[i] = journal ? executeRun(points[i], *journal)
+                                 : executeRun(points[i]);
             int d = done.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
@@ -216,11 +383,12 @@ ParallelRunner::run(const std::vector<RunPoint> &points,
 
 ParallelRunner::GridOutcome
 ParallelRunner::runSpec(const ExperimentSpec &spec,
-                        const ProgressFn &progress) const
+                        const ProgressFn &progress,
+                        Journal *journal) const
 {
     auto t0 = std::chrono::steady_clock::now();
     GridOutcome out;
-    out.results = run(spec.expand(), progress);
+    out.results = run(spec.expand(), progress, journal);
     out.wallMs = msSince(t0);
     for (const auto &r : out.results) {
         out.totalSimCycles += r.point.kind == RunKind::OpenLoop

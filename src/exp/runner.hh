@@ -20,8 +20,22 @@
 namespace afcsim::exp
 {
 
+class Journal;
+
 /** Execute one run point synchronously on the calling thread. */
 RunResult executeRun(const RunPoint &point);
+
+/**
+ * Crash-safe variant: consult the journal first (a done marker loads
+ * back instantly; a point that crashed maxAttempts times degrades to
+ * an error record), restart interrupted open-loop runs from their
+ * newest valid periodic checkpoint (or a shared warm-up fork), write
+ * rotated checkpoints every journal.ckptInterval() cycles, dump a
+ * postmortem checkpoint + watchdog snapshot when the run dies on a
+ * recoverable error, and land the result as an atomic done marker.
+ * The executed simulation is bit-identical to executeRun(point).
+ */
+RunResult executeRun(const RunPoint &point, Journal &journal);
 
 /**
  * Fixed-size thread pool over a run grid.
@@ -45,9 +59,13 @@ class ParallelRunner
 
     int threads() const { return threads_; }
 
-    /** Execute all points; returns results in point-index order. */
+    /** Execute all points; returns results in point-index order.
+     *  With a journal, each point runs through the crash-safe
+     *  executeRun overload (per-point files are distinct, so the
+     *  workers never contend on the journal). */
     std::vector<RunResult> run(const std::vector<RunPoint> &points,
-                               const ProgressFn &progress = {}) const;
+                               const ProgressFn &progress = {},
+                               Journal *journal = nullptr) const;
 
     /** expand() + run() + wall-clock totals in one call. */
     struct GridOutcome
@@ -63,7 +81,8 @@ class ParallelRunner
     };
 
     GridOutcome runSpec(const ExperimentSpec &spec,
-                        const ProgressFn &progress = {}) const;
+                        const ProgressFn &progress = {},
+                        Journal *journal = nullptr) const;
 
   private:
     int threads_;

@@ -331,6 +331,10 @@ ExperimentSpec::fromText(const std::string &text)
             spec.scaleWithMesh = toBool(key, value);
         } else if (k == "max_cycles") {
             spec.maxCycles = static_cast<Cycle>(toInt(key, value));
+        } else if (k == "ckpt_interval") {
+            spec.ckptInterval = static_cast<Cycle>(toInt(key, value));
+        } else if (k == "max_attempts") {
+            spec.maxAttempts = static_cast<int>(toInt(key, value));
         } else if (k == "obs_dir") {
             spec.obsDir = value;
         } else if (k == "obs_stream") {

@@ -128,6 +128,20 @@ struct ExperimentSpec
      */
     search::SearchSpec search;
 
+    /**
+     * Crash-safe sweeps (`exp.ckpt_interval`, journal.hh): when the
+     * grid runs under a `--resume` journal, open-loop runs write a
+     * periodic checkpoint every ckptInterval simulated cycles (0 =
+     * done markers only, no mid-run restart points).
+     */
+    Cycle ckptInterval = 2000;
+    /**
+     * Error boundary for resumed grids (`exp.max_attempts`): a point
+     * whose process crashed maxAttempts times without producing a
+     * result is marked degraded instead of being retried forever.
+     */
+    int maxAttempts = 3;
+
     /** Independent repeats; run r uses seed baseSeed + 1000 r. */
     int repeats = 1;
     std::uint64_t baseSeed = 7;

@@ -1,5 +1,7 @@
 #include "fault/fault.hh"
 
+#include "ckpt/state.hh"
+
 namespace afcsim
 {
 
@@ -176,6 +178,70 @@ FaultInjector::heldFlits() const
             n += link.held.size();
     }
     return n;
+}
+
+void
+FaultInjector::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(links_.size());
+    for (const auto &node : links_) {
+        for (const auto &link : node) {
+            ckpt::put(w, link.rng);
+            w.u64(link.downUntil);
+            w.u64(link.stallUntil);
+            w.u64(link.releasedAt);
+            w.u64(link.held.size());
+            for (const auto &f : link.held)
+                ckpt::put(w, f);
+        }
+    }
+    w.u64(stats_.corruptions);
+    w.u64(stats_.linkDownEvents);
+    w.u64(stats_.stallEvents);
+    w.u64(stats_.flitsHeld);
+    w.u64(stats_.creditsDropped);
+    w.u64(stats_.events.size());
+    for (const auto &e : stats_.events) {
+        w.u64(e.cycle);
+        w.i32(e.node);
+        w.u8(e.dir);
+        w.u8(static_cast<std::uint8_t>(e.kind));
+    }
+}
+
+void
+FaultInjector::ckptLoad(ckpt::Reader &r)
+{
+    std::uint64_t nodes = r.u64();
+    AFCSIM_ASSERT(nodes == links_.size(),
+                  "fault checkpoint: node count mismatch");
+    for (auto &node : links_) {
+        for (auto &link : node) {
+            link.rng = ckpt::getRng(r);
+            link.downUntil = r.u64();
+            link.stallUntil = r.u64();
+            link.releasedAt = r.u64();
+            link.held.clear();
+            std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i)
+                link.held.push_back(ckpt::getFlit(r));
+        }
+    }
+    stats_.corruptions = r.u64();
+    stats_.linkDownEvents = r.u64();
+    stats_.stallEvents = r.u64();
+    stats_.flitsHeld = r.u64();
+    stats_.creditsDropped = r.u64();
+    stats_.events.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        FaultEvent e;
+        e.cycle = r.u64();
+        e.node = static_cast<NodeId>(r.i32());
+        e.dir = r.u8();
+        e.kind = static_cast<FaultEvent::Kind>(r.u8());
+        stats_.events.push_back(e);
+    }
 }
 
 } // namespace afcsim

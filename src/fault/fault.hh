@@ -47,6 +47,12 @@
 namespace afcsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** One recorded fault event (bounded trace for reports and tests). */
 struct FaultEvent
 {
@@ -134,6 +140,13 @@ class FaultInjector
     {
         return now >= spec_.failAtCycle;
     }
+
+    /// @name Bit-exact snapshot/restore (src/ckpt): per-link RNG
+    /// streams, interval timers, stall queues, and the fault trace.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
 
   private:
     struct LinkState

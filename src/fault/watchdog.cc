@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "ckpt/state.hh"
 #include "common/error.hh"
 #include "fault/fault.hh"
 #include "network/network.hh"
@@ -258,6 +259,20 @@ Watchdog::checkProgress(const Network &net, Cycle now)
             " with flits still in flight at cycle ", now, "\n",
             snapshot(net, now));
     }
+}
+
+void
+Watchdog::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(lastWork_);
+    w.u64(lastProgressCycle_);
+}
+
+void
+Watchdog::ckptLoad(ckpt::Reader &r)
+{
+    lastWork_ = r.u64();
+    lastProgressCycle_ = r.u64();
 }
 
 } // namespace afcsim

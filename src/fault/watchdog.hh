@@ -33,6 +33,12 @@ namespace afcsim
 
 class Network;
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /**
  * Periodic network auditor. The Network calls check() every
  * WatchdogSpec::intervalCycles; a failed check throws SimError with
@@ -54,6 +60,15 @@ class Watchdog
 
     /** Multi-line diagnostic snapshot of the network's state. */
     static std::string snapshot(const Network &net, Cycle now);
+
+    /// @name Bit-exact snapshot/restore (src/ckpt): the progress
+    /// window's counters must survive a restore or a restored run
+    /// could fire (or miss) a deadlock audit the uninterrupted run
+    /// would not.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
 
   private:
     void checkConservation(const Network &net, Cycle now) const;

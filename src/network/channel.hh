@@ -89,6 +89,13 @@ class Channel
         return inflight_;
     }
 
+    /** Overwrite the in-flight pipe from a checkpoint (src/ckpt). */
+    void
+    restorePending(std::deque<std::pair<Cycle, T>> inflight)
+    {
+        inflight_ = std::move(inflight);
+    }
+
   private:
     int latency_;
     std::deque<std::pair<Cycle, T>> inflight_;

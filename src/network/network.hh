@@ -35,6 +35,12 @@ namespace obs
 class Observability;
 }
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 class FaultInjector;
 class Watchdog;
 
@@ -144,6 +150,29 @@ class Network
         return obs_;
     }
 
+    /// @name Bit-exact snapshot/restore (src/ckpt, DESIGN.md S20).
+    ///
+    /// ckptSave() serializes every piece of dynamic simulator state —
+    /// router variants, NICs, energy ledgers, all channel queues in
+    /// flight, the NACK fabric, fault injector, watchdog and obs
+    /// bundle — prefixed by configHash() so a snapshot can only be
+    /// restored into an identically configured network. Both are
+    /// valid only at a cycle boundary (between step() calls).
+    /// ckptLoad() overwrites the state of this freshly constructed
+    /// network and re-activates every router; the park scan re-parks
+    /// idle ones within kParkIntervalCycles, and the replayed idle
+    /// arithmetic is bit-identical to live stepping (see
+    /// tests/sched_equiv_test.cc), so a restored run's exports match
+    /// an uninterrupted run byte for byte.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /** FNV-1a hash of every simulation-affecting config field + the
+     *  flow-control mechanism (obs stream path excluded: it redirects
+     *  output without touching simulation state). */
+    std::uint64_t configHash() const;
+    /// @}
+
     /// @name Channel introspection for the runtime watchdogs.
     /// @{
     const Channel<Flit> *
@@ -251,6 +280,17 @@ class Network
     std::vector<std::array<std::unique_ptr<Channel<CtlMsg>>, kNumNetPorts>>
         ctlCh_;
 };
+
+/**
+ * FNV-1a hash of every simulation-affecting NetworkConfig field plus
+ * the flow-control mechanism — the free-function form of
+ * Network::configHash(), so grid-level code (the crash-safe journal's
+ * spec fingerprint) can hash per-point configs without constructing
+ * networks. The obs stream path is excluded: it redirects output
+ * without touching simulation state.
+ */
+std::uint64_t hashNetworkConfig(const NetworkConfig &cfg,
+                                FlowControl fc);
 
 } // namespace afcsim
 

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Network-level checkpoint assembly (DESIGN.md S20): walks every
+ * subsystem in a fixed, config-derived order and delegates to the
+ * components' ckptSave()/ckptLoad() members. Kept out of network.cc
+ * so the cycle kernel stays free of serialization concerns.
+ */
+
+#include <algorithm>
+
+#include "ckpt/serial.hh"
+#include "ckpt/state.hh"
+#include "fault/fault.hh"
+#include "fault/watchdog.hh"
+#include "network/network.hh"
+#include "obs/obs.hh"
+
+namespace afcsim
+{
+
+namespace
+{
+
+void
+hashVnets(ckpt::Writer &w, const std::vector<VnetConfig> &shape)
+{
+    w.u64(shape.size());
+    for (const auto &v : shape) {
+        w.i32(v.numVcs);
+        w.i32(v.bufferDepth);
+    }
+}
+
+template <typename T>
+void
+saveChannel(ckpt::Writer &w, const Channel<T> *ch)
+{
+    const auto &q = ch->pending();
+    w.u64(q.size());
+    for (const auto &[t, v] : q) {
+        w.u64(t);
+        ckpt::put(w, v);
+    }
+}
+
+template <typename T, typename Get>
+void
+loadChannel(ckpt::Reader &r, Channel<T> *ch, Get get)
+{
+    std::deque<std::pair<Cycle, T>> q;
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Cycle t = r.u64();
+        q.emplace_back(t, get(r));
+    }
+    ch->restorePending(std::move(q));
+}
+
+} // namespace
+
+std::uint64_t
+hashNetworkConfig(const NetworkConfig &cfg, FlowControl fc)
+{
+    // Canonical encoding of every simulation-affecting field. The
+    // obs stream path is deliberately excluded: it redirects series
+    // output without touching simulation state, so a restored run
+    // may stream to a different file (the differential tests do).
+    ckpt::Writer w;
+    w.i32(static_cast<std::int32_t>(fc));
+    w.i32(cfg.width);
+    w.i32(cfg.height);
+    w.i32(cfg.linkLatency);
+    w.i32(cfg.routerStages);
+    hashVnets(w, cfg.vnets);
+    hashVnets(w, cfg.afcVnets);
+    w.i32(cfg.dataPacketFlits);
+    w.i32(cfg.controlPacketFlits);
+    w.i32(cfg.injectionQueueDepth);
+    w.i32(cfg.ejectPerCycle);
+    w.i32(cfg.dropRetransmitBuffer);
+    const AfcConfig &a = cfg.afc;
+    w.f64(a.ewmaWeight);
+    w.f64(a.cornerHigh);
+    w.f64(a.cornerLow);
+    w.f64(a.edgeHigh);
+    w.f64(a.edgeLow);
+    w.f64(a.centerHigh);
+    w.f64(a.centerLow);
+    w.i32(a.gossipReserve);
+    w.b(a.alwaysBackpressured);
+    w.b(a.disableGossipUnsafe);
+    const EnergyConfig &e = cfg.energy;
+    w.f64(e.bufferWritePerBit);
+    w.f64(e.bufferReadPerBit);
+    w.f64(e.crossbarPerBit);
+    w.f64(e.linkPerBitPerMm);
+    w.f64(e.linkLengthMm);
+    w.f64(e.arbiterPerAlloc);
+    w.f64(e.latchPerBit);
+    w.f64(e.bufferLeakPerBitCycle);
+    w.f64(e.bufferDepthEnergySlope);
+    w.f64(e.routerIdlePerCycle);
+    w.f64(e.creditPerHop);
+    w.f64(e.powerGatingEfficiency);
+    const FaultSpec &f = cfg.faults;
+    w.f64(f.corruptRate);
+    w.f64(f.linkDownRate);
+    w.u64(f.linkDownMinCycles);
+    w.u64(f.linkDownMaxCycles);
+    w.f64(f.stallRate);
+    w.u64(f.stallMinCycles);
+    w.u64(f.stallMaxCycles);
+    w.f64(f.creditLossRate);
+    w.u64(f.failAtCycle);
+    const ReliabilitySpec &rl = cfg.reliability;
+    w.b(rl.enabled);
+    w.u64(rl.timeoutCycles);
+    w.f64(rl.backoffFactor);
+    w.i32(rl.maxRetries);
+    w.i32(rl.bufferPackets);
+    const WatchdogSpec &wd = cfg.watchdog;
+    w.b(wd.enabled);
+    w.u64(wd.intervalCycles);
+    w.u64(wd.progressWindowCycles);
+    w.u64(wd.maxFlitAgeCycles);
+    w.b(wd.creditCheck);
+    w.b(wd.conservationCheck);
+    const ObsSpec &o = cfg.obs;
+    w.u64(o.sampleInterval);
+    w.i32(o.sampleCapacity);
+    w.b(o.trace);
+    w.i32(o.traceCapacity);
+    w.u64(cfg.seed);
+    w.b(cfg.oldestFirstDeflection);
+    w.b(cfg.idleSkip);
+    return ckpt::fnv1a(w.bytes().data(), w.bytes().size());
+}
+
+std::uint64_t
+Network::configHash() const
+{
+    return hashNetworkConfig(cfg_, fc_);
+}
+
+void
+Network::ckptSave(ckpt::Writer &w) const
+{
+    // Cycle-boundary state only: the caller snapshots between step()
+    // calls. Parked routers replay their skipped idle cycles first so
+    // every serialized counter is exact for cycles [0, now_).
+    syncAll(now_);
+    w.u64(configHash());
+    w.u64(now_);
+    w.u64(packetCounter_);
+    int n = mesh_.numNodes();
+    for (NodeId node = 0; node < n; ++node)
+        routers_[node]->ckptSave(w);
+    for (NodeId node = 0; node < n; ++node)
+        nics_[node]->ckptSave(w);
+    for (NodeId node = 0; node < n; ++node) {
+        for (double v : ledgers_[node]->report().byComponent)
+            w.f64(v);
+    }
+    for (NodeId node = 0; node < n; ++node) {
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (flitCh_[node][d])
+                saveChannel(w, flitCh_[node][d].get());
+        }
+        saveChannel(w, ejectCh_[node].get());
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (creditCh_[node][d])
+                saveChannel(w, creditCh_[node][d].get());
+        }
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (ctlCh_[node][d])
+                saveChannel(w, ctlCh_[node][d].get());
+        }
+    }
+    w.b(nackFabric_ != nullptr);
+    if (nackFabric_) {
+        for (NodeId node = 0; node < n; ++node) {
+            const auto &q = nackFabric_->rawQueue(node);
+            w.u64(q.size());
+            for (const auto &[t, nk] : q) {
+                w.u64(t);
+                w.u64(nk.packet);
+                w.u32(nk.seq);
+            }
+        }
+    }
+    w.b(faults_ != nullptr);
+    if (faults_)
+        faults_->ckptSave(w);
+    w.b(watchdog_ != nullptr);
+    if (watchdog_)
+        watchdog_->ckptSave(w);
+    w.b(obs_ != nullptr);
+    if (obs_)
+        obs_->ckptSave(w);
+}
+
+void
+Network::ckptLoad(ckpt::Reader &r)
+{
+    std::uint64_t hash = r.u64();
+    if (hash != configHash()) {
+        AFCSIM_SIM_ERROR(
+            "checkpoint config mismatch: the snapshot was taken under "
+            "a different network configuration or flow control");
+    }
+    now_ = r.u64();
+    packetCounter_ = r.u64();
+    int n = mesh_.numNodes();
+    for (NodeId node = 0; node < n; ++node)
+        routers_[node]->ckptLoad(r);
+    for (NodeId node = 0; node < n; ++node)
+        nics_[node]->ckptLoad(r);
+    for (NodeId node = 0; node < n; ++node) {
+        EnergyReport rep;
+        for (double &v : rep.byComponent)
+            v = r.f64();
+        ledgers_[node]->restoreReport(rep);
+    }
+    for (NodeId node = 0; node < n; ++node) {
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (flitCh_[node][d])
+                loadChannel(r, flitCh_[node][d].get(), ckpt::getFlit);
+        }
+        loadChannel(r, ejectCh_[node].get(), ckpt::getFlit);
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (creditCh_[node][d])
+                loadChannel(r, creditCh_[node][d].get(),
+                            ckpt::getCredit);
+        }
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            if (ctlCh_[node][d])
+                loadChannel(r, ctlCh_[node][d].get(), ckpt::getCtl);
+        }
+    }
+    bool hadNack = r.b();
+    AFCSIM_SIM_ASSERT(hadNack == (nackFabric_ != nullptr),
+                      "checkpoint: NACK-fabric presence mismatch");
+    if (nackFabric_) {
+        for (NodeId node = 0; node < n; ++node) {
+            std::deque<std::pair<Cycle, NackFabric::Nack>> q;
+            std::uint64_t sz = r.u64();
+            for (std::uint64_t i = 0; i < sz; ++i) {
+                Cycle t = r.u64();
+                NackFabric::Nack nk;
+                nk.packet = r.u64();
+                nk.seq = static_cast<std::uint16_t>(r.u32());
+                q.emplace_back(t, nk);
+            }
+            nackFabric_->restoreQueue(node, std::move(q));
+        }
+    }
+    bool hadFaults = r.b();
+    AFCSIM_SIM_ASSERT(hadFaults == (faults_ != nullptr),
+                      "checkpoint: fault-injector presence mismatch");
+    if (faults_)
+        faults_->ckptLoad(r);
+    bool hadWatchdog = r.b();
+    AFCSIM_SIM_ASSERT(hadWatchdog == (watchdog_ != nullptr),
+                      "checkpoint: watchdog presence mismatch");
+    if (watchdog_)
+        watchdog_->ckptLoad(r);
+    bool hadObs = r.b();
+    AFCSIM_SIM_ASSERT(hadObs == (obs_ != nullptr),
+                      "checkpoint: observability presence mismatch");
+    if (obs_)
+        obs_->ckptLoad(r);
+
+    // Re-admit every router to the active list for cycle now_. The
+    // original process's park set is not serialized: replayed idle
+    // arithmetic is bit-identical to live stepping, and the next park
+    // scan re-parks idle routers, so the restored run's exports match
+    // an uninterrupted run exactly.
+    std::fill(activeFlag_.begin(), activeFlag_.end(), 1);
+    std::fill(lastDone_.begin(), lastDone_.end(), Cycle{0});
+    activeList_.resize(static_cast<std::size_t>(n));
+    for (NodeId node = 0; node < n; ++node)
+        activeList_[static_cast<std::size_t>(node)] = node;
+    pendingWake_.clear();
+    needSort_ = false;
+}
+
+} // namespace afcsim

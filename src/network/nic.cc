@@ -1,5 +1,8 @@
 #include "network/nic.hh"
 
+#include <algorithm>
+
+#include "ckpt/state.hh"
 #include "common/log.hh"
 #include "energy/energy.hh"
 
@@ -289,6 +292,125 @@ Nic::eject(const Flit &flit, Cycle now)
         }
         reassembly_.erase(it);
     }
+}
+
+void
+Nic::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(queues_.size());
+    for (const auto &q : queues_) {
+        w.u64(q.size());
+        for (const auto &f : q)
+            ckpt::put(w, f);
+    }
+    w.u64(queuedTotal_);
+    // Unordered maps are written in sorted key order so the stream is
+    // deterministic; rebuild order on load does not affect behavior
+    // because all lookups are keyed.
+    std::vector<PacketId> keys;
+    keys.reserve(reassembly_.size());
+    for (const auto &[pkt, re] : reassembly_)
+        keys.push_back(pkt);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (PacketId pkt : keys) {
+        const Reassembly &re = reassembly_.at(pkt);
+        w.u64(pkt);
+        w.u64(re.seen.size());
+        for (bool s : re.seen)
+            w.b(s);
+        w.i32(re.received);
+        w.u64(re.createTime);
+        w.i32(re.src);
+        w.u64(re.tag);
+    }
+    w.u64(maxReassemblies_);
+    ckpt::put(w, stats_);
+    w.u64(lifetime_.flitsInjected);
+    w.u64(lifetime_.flitsRetransmitted);
+    w.u64(lifetime_.flitsDelivered);
+    w.u64(lifetime_.flitsCorrupted);
+    w.u64(lifetime_.flitsDuplicate);
+    w.u64(retransmit_.size());
+    for (const auto &[pkt, entry] : retransmit_) {
+        w.u64(pkt);
+        w.u64(entry.flits.size());
+        for (const auto &f : entry.flits)
+            ckpt::put(w, f);
+        w.i32(entry.vnet);
+        w.u64(entry.deadline);
+        w.u64(entry.wait);
+        w.i32(entry.retries);
+    }
+    keys.clear();
+    for (const auto &[pkt, cyc] : completedAt_)
+        keys.push_back(pkt);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (PacketId pkt : keys) {
+        w.u64(pkt);
+        w.u64(completedAt_.at(pkt));
+    }
+    w.u64(completedHorizon_);
+}
+
+void
+Nic::ckptLoad(ckpt::Reader &r)
+{
+    std::uint64_t nq = r.u64();
+    AFCSIM_ASSERT(nq == queues_.size(),
+                  "NIC checkpoint: vnet count mismatch");
+    for (auto &q : queues_) {
+        q.clear();
+        std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            q.push_back(ckpt::getFlit(r));
+    }
+    queuedTotal_ = r.u64();
+    reassembly_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PacketId pkt = r.u64();
+        Reassembly re;
+        std::uint64_t seen = r.u64();
+        re.seen.resize(static_cast<std::size_t>(seen));
+        for (std::uint64_t j = 0; j < seen; ++j)
+            re.seen[j] = r.b();
+        re.received = r.i32();
+        re.createTime = r.u64();
+        re.src = static_cast<NodeId>(r.i32());
+        re.tag = r.u64();
+        reassembly_.emplace(pkt, std::move(re));
+    }
+    maxReassemblies_ = r.u64();
+    ckpt::get(r, stats_);
+    lifetime_.flitsInjected = r.u64();
+    lifetime_.flitsRetransmitted = r.u64();
+    lifetime_.flitsDelivered = r.u64();
+    lifetime_.flitsCorrupted = r.u64();
+    lifetime_.flitsDuplicate = r.u64();
+    retransmit_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PacketId pkt = r.u64();
+        RetransmitEntry entry;
+        std::uint64_t nf = r.u64();
+        entry.flits.reserve(static_cast<std::size_t>(nf));
+        for (std::uint64_t j = 0; j < nf; ++j)
+            entry.flits.push_back(ckpt::getFlit(r));
+        entry.vnet = static_cast<VnetId>(r.i32());
+        entry.deadline = r.u64();
+        entry.wait = r.u64();
+        entry.retries = r.i32();
+        retransmit_.emplace(pkt, std::move(entry));
+    }
+    completedAt_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PacketId pkt = r.u64();
+        completedAt_.emplace(pkt, r.u64());
+    }
+    completedHorizon_ = r.u64();
 }
 
 } // namespace afcsim

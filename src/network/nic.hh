@@ -27,6 +27,12 @@ namespace afcsim
 
 class EnergyLedger;
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /**
  * Never-reset per-NIC flit accounting used by the conservation
  * watchdog (src/fault). NetStats resets at the measurement-window
@@ -163,6 +169,14 @@ class Nic
         return queuedFlits() == 0 && reassembly_.empty() &&
                retransmit_.empty();
     }
+
+    /// @name Bit-exact snapshot/restore (src/ckpt). Serializes all
+    /// dynamic state (queues, reassembly, retransmit buffer, stats);
+    /// handlers, hooks and config stay with the fresh construction.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
 
   private:
     struct Reassembly

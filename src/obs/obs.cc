@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "ckpt/serial.hh"
+#include "common/log.hh"
 #include "network/network.hh"
 
 namespace afcsim::obs
@@ -40,6 +42,44 @@ Observability::onCycleEnd(const Network &net, Cycle now)
     lastCycle_ = now;
     if (sampler_ && now % sampler_->interval() == 0)
         sampler_->sample(net, now);
+}
+
+void
+Observability::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(lastCycle_);
+    w.u64(windowStart_);
+    w.u64(initialBp_.size());
+    for (std::uint8_t b : initialBp_)
+        w.u8(b);
+    w.b(trace_ != nullptr);
+    if (trace_)
+        trace_->ckptSave(w);
+    w.b(sampler_ != nullptr);
+    if (sampler_)
+        sampler_->ckptSave(w);
+}
+
+void
+Observability::ckptLoad(ckpt::Reader &r)
+{
+    lastCycle_ = r.u64();
+    windowStart_ = r.u64();
+    std::uint64_t n = r.u64();
+    AFCSIM_ASSERT(n == initialBp_.size(),
+                  "obs checkpoint: node count mismatch");
+    for (auto &b : initialBp_)
+        b = r.u8();
+    bool hadTrace = r.b();
+    AFCSIM_ASSERT(hadTrace == (trace_ != nullptr),
+                  "obs checkpoint: tracer configuration mismatch");
+    if (trace_)
+        trace_->ckptLoad(r);
+    bool hadSampler = r.b();
+    AFCSIM_ASSERT(hadSampler == (sampler_ != nullptr),
+                  "obs checkpoint: sampler configuration mismatch");
+    if (sampler_)
+        sampler_->ckptLoad(r);
 }
 
 std::uint64_t

@@ -43,6 +43,12 @@ namespace afcsim
 class Network;
 }
 
+namespace afcsim::ckpt
+{
+class Writer;
+class Reader;
+} // namespace afcsim::ckpt
+
 namespace afcsim::obs
 {
 
@@ -113,6 +119,14 @@ class Observability
      * tolerance of roughly (switches * 2L) / cycles.
      */
     std::vector<double> bpResidency() const;
+
+    /// @name Bit-exact snapshot/restore (src/ckpt). Only valid on an
+    /// attached object; ckptLoad() must see the same trace/sampler
+    /// configuration the snapshot was taken with.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
 
     /** Write chromeTrace() to `path`; returns false on I/O error. */
     bool writeChromeTrace(const std::string &path) const;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "ckpt/serial.hh"
 #include "common/log.hh"
 #include "network/network.hh"
 #include "router/afc.hh"
@@ -30,6 +31,7 @@ MetricsSampler::MetricsSampler(const ObsSpec &spec, int num_nodes)
         f.routers.resize(static_cast<std::size_t>(num_nodes));
     prev_.resize(static_cast<std::size_t>(num_nodes));
     meta_.resize(static_cast<std::size_t>(num_nodes));
+    streamPath_ = spec.streamPath;
     if (!spec.streamPath.empty()) {
         stream_ = std::make_unique<std::ofstream>(spec.streamPath);
         if (stream_->good()) {
@@ -158,6 +160,122 @@ MetricsSampler::finishStream()
     stream_.reset();
     streamDone_ = true;
     return streamOk_;
+}
+
+void
+MetricsSampler::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(recorded_);
+    w.u64(head_);
+    w.u64(ring_.size());
+    for (const SampleFrame &f : ring_) {
+        w.u64(f.cycle);
+        for (const RouterSample &s : f.routers) {
+            w.u8(s.backpressured);
+            w.u32(s.occupancy);
+            w.u32(s.nicQueue);
+            w.f64(s.ewma);
+            w.u64(s.routedDelta);
+            w.u64(s.deflectedDelta);
+            w.u64(s.creditStallDelta);
+            w.u64(s.forwardSwitchDelta);
+            w.u64(s.reverseSwitchDelta);
+            w.u64(s.gossipSwitchDelta);
+            w.f64(s.energyDeltaPj);
+        }
+    }
+    for (const PrevCounters &p : prev_) {
+        w.u64(p.routed);
+        w.u64(p.deflected);
+        w.u64(p.creditStalls);
+        w.u64(p.forwardSwitches);
+        w.u64(p.reverseSwitches);
+        w.u64(p.gossipSwitches);
+        w.f64(p.energyPj);
+    }
+    w.b(streamDone_);
+    w.b(streamOk_);
+    bool open = stream_ != nullptr;
+    w.b(open);
+    if (open) {
+        // Embed the file's logical content; the on-disk copy cannot
+        // be trusted to survive until restore (see header comment).
+        stream_->flush();
+        auto size = static_cast<std::uint64_t>(
+            static_cast<std::streamoff>(stream_->tellp()));
+        std::string bytes(static_cast<std::size_t>(size), '\0');
+        std::ifstream in(streamPath_, std::ios::binary);
+        in.read(bytes.data(), static_cast<std::streamsize>(size));
+        AFCSIM_ASSERT(in.gcount() ==
+                          static_cast<std::streamsize>(size),
+                      "cannot read back series stream '", streamPath_,
+                      "' for checkpointing");
+        w.str(bytes);
+    }
+}
+
+void
+MetricsSampler::ckptLoad(ckpt::Reader &r)
+{
+    recorded_ = r.u64();
+    head_ = static_cast<std::size_t>(r.u64());
+    std::uint64_t cap = r.u64();
+    AFCSIM_ASSERT(cap == ring_.size(),
+                  "sampler checkpoint: ring capacity mismatch");
+    for (SampleFrame &f : ring_) {
+        f.cycle = r.u64();
+        for (RouterSample &s : f.routers) {
+            s.backpressured = r.u8();
+            s.occupancy = r.u32();
+            s.nicQueue = r.u32();
+            s.ewma = r.f64();
+            s.routedDelta = r.u64();
+            s.deflectedDelta = r.u64();
+            s.creditStallDelta = r.u64();
+            s.forwardSwitchDelta = r.u64();
+            s.reverseSwitchDelta = r.u64();
+            s.gossipSwitchDelta = r.u64();
+            s.energyDeltaPj = r.f64();
+        }
+    }
+    for (PrevCounters &p : prev_) {
+        p.routed = r.u64();
+        p.deflected = r.u64();
+        p.creditStalls = r.u64();
+        p.forwardSwitches = r.u64();
+        p.reverseSwitches = r.u64();
+        p.gossipSwitches = r.u64();
+        p.energyPj = r.f64();
+    }
+    streamDone_ = r.b();
+    streamOk_ = r.b();
+    bool open = r.b();
+    if (open) {
+        std::string bytes = r.str();
+        if (stream_) {
+            stream_->close();
+            {
+                std::ofstream out(streamPath_,
+                                  std::ios::binary | std::ios::trunc);
+                out.write(bytes.data(),
+                          static_cast<std::streamsize>(bytes.size()));
+            }
+            stream_ = std::make_unique<std::ofstream>(streamPath_,
+                                                      std::ios::app);
+            if (!stream_->good()) {
+                warn("cannot reopen series stream '", streamPath_,
+                     "' after restore");
+                stream_.reset();
+            }
+        }
+        // else: this sampler already degraded to the in-memory ring
+        // (the stream path was unwritable here); stay degraded.
+    } else if (streamDone_ && stream_) {
+        // Snapshot taken after finishStream(): the file was already
+        // finalized by the original run; do not write it again.
+        stream_->close();
+        stream_.reset();
+    }
 }
 
 JsonValue

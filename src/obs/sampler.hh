@@ -36,6 +36,12 @@ namespace afcsim
 class Network;
 }
 
+namespace afcsim::ckpt
+{
+class Writer;
+class Reader;
+} // namespace afcsim::ckpt
+
 namespace afcsim::obs
 {
 
@@ -119,6 +125,19 @@ class MetricsSampler
      */
     bool finishStream();
 
+    /// @name Bit-exact snapshot/restore (src/ckpt). The ring, delta
+    /// baselines, and wrap bookkeeping are serialized directly. When
+    /// streaming, the stream file's bytes written so far are embedded
+    /// in the checkpoint (the stream is flushed first): a fresh
+    /// sampler truncates the file at construction, and a crashed
+    /// writer may have lost buffered bytes, so the checkpoint must be
+    /// self-contained. ckptLoad() rewrites the file from the embedded
+    /// bytes and reopens it in append mode.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
+
   private:
     /** Append one frame's CSV rows (the body shared with toCsv()). */
     void frameCsv(std::ostream &os, const SampleFrame &f) const;
@@ -141,6 +160,7 @@ class MetricsSampler
     std::vector<RouterMeta> meta_;
     std::size_t head_ = 0;      ///< next slot to write
     std::uint64_t recorded_ = 0;
+    std::string streamPath_;    ///< spec.streamPath (restore target)
     /** Open streaming target (null when streaming is off or done). */
     std::unique_ptr<std::ofstream> stream_;
     bool streamDone_ = false;

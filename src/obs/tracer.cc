@@ -1,5 +1,7 @@
 #include "obs/tracer.hh"
 
+#include "ckpt/serial.hh"
+
 namespace afcsim::obs
 {
 
@@ -93,6 +95,66 @@ EventTrace::onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
     m.toBackpressured = to_backpressured;
     m.gossip = gossip;
     modes_.push_back(m);
+}
+
+void
+EventTrace::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(dropped_);
+    w.u64(events_.size());
+    for (const TraceEvent &e : events_) {
+        w.u64(e.cycle);
+        w.u8(static_cast<std::uint8_t>(e.kind));
+        w.i32(e.port);
+        w.i32(e.vnet);
+        w.i32(e.node);
+        w.i32(e.src);
+        w.i32(e.dest);
+        w.u64(e.packet);
+        w.u32(e.seq);
+        w.u32(e.hops);
+        w.u32(e.deflections);
+    }
+    w.u64(modes_.size());
+    for (const ModeEvent &m : modes_) {
+        w.u64(m.cycle);
+        w.i32(m.node);
+        w.b(m.toBackpressured);
+        w.b(m.gossip);
+    }
+}
+
+void
+EventTrace::ckptLoad(ckpt::Reader &r)
+{
+    dropped_ = r.u64();
+    events_.clear();
+    std::uint64_t ne = r.u64();
+    for (std::uint64_t i = 0; i < ne; ++i) {
+        TraceEvent e;
+        e.cycle = r.u64();
+        e.kind = static_cast<EventKind>(r.u8());
+        e.port = static_cast<std::int8_t>(r.i32());
+        e.vnet = static_cast<std::int8_t>(r.i32());
+        e.node = r.i32();
+        e.src = r.i32();
+        e.dest = r.i32();
+        e.packet = r.u64();
+        e.seq = static_cast<std::uint16_t>(r.u32());
+        e.hops = static_cast<std::uint16_t>(r.u32());
+        e.deflections = static_cast<std::uint16_t>(r.u32());
+        events_.push_back(e);
+    }
+    modes_.clear();
+    std::uint64_t nm = r.u64();
+    for (std::uint64_t i = 0; i < nm; ++i) {
+        ModeEvent m;
+        m.cycle = r.u64();
+        m.node = r.i32();
+        m.toBackpressured = r.b();
+        m.gossip = r.b();
+        modes_.push_back(m);
+    }
 }
 
 } // namespace afcsim::obs

@@ -21,6 +21,12 @@
 #include "common/types.hh"
 #include "network/trace.hh"
 
+namespace afcsim::ckpt
+{
+class Writer;
+class Reader;
+} // namespace afcsim::ckpt
+
 namespace afcsim::obs
 {
 
@@ -92,6 +98,14 @@ class EventTrace : public FlitTracer
     {
         return events_.size() + dropped_;
     }
+
+    /// @name Bit-exact snapshot/restore (src/ckpt): recorded events,
+    /// mode transitions, and the overflow counter — so exports from a
+    /// restored run are byte-identical to an uninterrupted one.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
 
   private:
     void record(EventKind kind, NodeId node, int port, const Flit &flit,

@@ -1,5 +1,6 @@
 #include "router/afc.hh"
 
+#include "ckpt/state.hh"
 #include "common/error.hh"
 
 namespace afcsim
@@ -522,6 +523,107 @@ AfcRouter::visitFlits(const std::function<void(const Flit &)> &fn) const
             }
         }
     }
+}
+
+void
+AfcRouter::ckptSave(ckpt::Writer &w) const
+{
+    Router::ckptSave(w);
+    ckpt::put(w, rng_);
+    w.u64(intensity_.rawWindow().size());
+    for (unsigned v : intensity_.rawWindow())
+        w.u32(v);
+    w.u64(intensity_.rawPos());
+    w.f64(intensity_.rawEwma());
+    w.u8(mode_ == RouterMode::Backpressured ? 1 : 0);
+    w.b(pendingForward_);
+    w.b(pendingGossip_);
+    w.u64(bufferFromCycle_);
+    w.u64(current_.size());
+    for (const auto &f : current_)
+        ckpt::put(w, f);
+    w.u64(incoming_.size());
+    for (const auto &f : incoming_)
+        ckpt::put(w, f);
+    for (const auto &port : buffers_) {
+        for (const auto &group : port) {
+            for (const auto &slot : group) {
+                w.b(slot.full);
+                ckpt::put(w, slot.flit);
+                w.u64(slot.ready);
+                w.i32(slot.route);
+            }
+        }
+    }
+    w.u64(bufferedCount_);
+    for (std::size_t n : bufferedPerPort_)
+        w.u64(n);
+    for (bool t : tracking_)
+        w.b(t);
+    for (const auto &port : freeSlots_)
+        for (int s : port)
+            w.i32(s);
+    for (int rr : inputRr_)
+        w.i32(rr);
+    for (int rr : outputRr_)
+        w.i32(rr);
+    w.i32(injectVnetRr_);
+    w.u32(routedThisCycle_);
+    w.i64(fullBufferBits_);
+}
+
+void
+AfcRouter::ckptLoad(ckpt::Reader &r)
+{
+    Router::ckptLoad(r);
+    rng_ = ckpt::getRng(r);
+    std::uint64_t wn = r.u64();
+    AFCSIM_SIM_ASSERT(wn == TrafficIntensity::kWindow,
+                      "AFC checkpoint: intensity window size ", wn);
+    std::array<unsigned, TrafficIntensity::kWindow> window{};
+    for (unsigned &v : window)
+        v = r.u32();
+    std::size_t pos = static_cast<std::size_t>(r.u64());
+    double ewma = r.f64();
+    intensity_.restoreRaw(window, pos, ewma);
+    mode_ = r.u8() ? RouterMode::Backpressured
+                   : RouterMode::Backpressureless;
+    pendingForward_ = r.b();
+    pendingGossip_ = r.b();
+    bufferFromCycle_ = r.u64();
+    current_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        current_.push_back(ckpt::getFlit(r));
+    incoming_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        incoming_.push_back(ckpt::getFlit(r));
+    for (auto &port : buffers_) {
+        for (auto &group : port) {
+            for (auto &slot : group) {
+                slot.full = r.b();
+                slot.flit = ckpt::getFlit(r);
+                slot.ready = r.u64();
+                slot.route = static_cast<Direction>(r.i32());
+            }
+        }
+    }
+    bufferedCount_ = r.u64();
+    for (std::size_t &cnt : bufferedPerPort_)
+        cnt = r.u64();
+    for (std::size_t i = 0; i < tracking_.size(); ++i)
+        tracking_[i] = r.b();
+    for (auto &port : freeSlots_)
+        for (int &s : port)
+            s = r.i32();
+    for (int &rr : inputRr_)
+        rr = r.i32();
+    for (int &rr : outputRr_)
+        rr = r.i32();
+    injectVnetRr_ = r.i32();
+    routedThisCycle_ = r.u32();
+    fullBufferBits_ = r.i64();
 }
 
 } // namespace afcsim

@@ -94,6 +94,9 @@ class AfcRouter : public Router
     void visitFlits(
         const std::function<void(const Flit &)> &fn) const override;
 
+    void ckptSave(ckpt::Writer &w) const override;
+    void ckptLoad(ckpt::Reader &r) override;
+
   private:
     /** One 1-flit lazy VC slot. */
     struct Slot

@@ -1,5 +1,6 @@
 #include "router/backpressured.hh"
 
+#include "ckpt/state.hh"
 #include "common/error.hh"
 
 namespace afcsim
@@ -343,6 +344,85 @@ BackpressuredRouter::visitFlits(
                 fn(b.flit);
         }
     }
+}
+
+void
+BackpressuredRouter::ckptSave(ckpt::Writer &w) const
+{
+    Router::ckptSave(w);
+    for (const auto &port : inputs_) {
+        for (const auto &vc : port) {
+            w.u64(vc.q.size());
+            for (const auto &b : vc.q) {
+                ckpt::put(w, b.flit);
+                w.u64(b.ready);
+            }
+            w.i32(vc.outVc);
+            w.b(vc.bound);
+            w.b(vc.writeOpen);
+        }
+    }
+    for (const auto &port : outVcBusy_)
+        for (bool busy : port)
+            w.b(busy);
+    for (const auto &port : credits_)
+        for (int c : port)
+            w.i32(c);
+    for (int rr : inputRr_)
+        w.i32(rr);
+    for (int rr : outputRr_)
+        w.i32(rr);
+    for (const auto &port : vcaRr_)
+        for (int rr : port)
+            w.i32(rr);
+    w.i32(injectVnetRr_);
+    for (VcId vc : injectVc_)
+        w.i32(vc);
+    w.u64(bufferedCount_);
+    for (std::size_t n : bufferedPerPort_)
+        w.u64(n);
+    w.i64(poweredBufferBits_);
+}
+
+void
+BackpressuredRouter::ckptLoad(ckpt::Reader &r)
+{
+    Router::ckptLoad(r);
+    for (auto &port : inputs_) {
+        for (auto &vc : port) {
+            vc.q.clear();
+            std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                BufferedFlit b;
+                b.flit = ckpt::getFlit(r);
+                b.ready = r.u64();
+                vc.q.push_back(std::move(b));
+            }
+            vc.outVc = static_cast<VcId>(r.i32());
+            vc.bound = r.b();
+            vc.writeOpen = r.b();
+        }
+    }
+    for (auto &port : outVcBusy_)
+        for (std::size_t i = 0; i < port.size(); ++i)
+            port[i] = r.b();
+    for (auto &port : credits_)
+        for (int &c : port)
+            c = r.i32();
+    for (int &rr : inputRr_)
+        rr = r.i32();
+    for (int &rr : outputRr_)
+        rr = r.i32();
+    for (auto &port : vcaRr_)
+        for (int &rr : port)
+            rr = r.i32();
+    injectVnetRr_ = r.i32();
+    for (VcId &vc : injectVc_)
+        vc = static_cast<VcId>(r.i32());
+    bufferedCount_ = r.u64();
+    for (std::size_t &n : bufferedPerPort_)
+        n = r.u64();
+    poweredBufferBits_ = r.i64();
 }
 
 } // namespace afcsim

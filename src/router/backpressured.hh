@@ -61,6 +61,9 @@ class BackpressuredRouter : public Router
     void visitFlits(
         const std::function<void(const Flit &)> &fn) const override;
 
+    void ckptSave(ckpt::Writer &w) const override;
+    void ckptLoad(ckpt::Reader &r) override;
+
   private:
     struct BufferedFlit
     {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state.hh"
 #include "common/error.hh"
 
 namespace afcsim
@@ -217,6 +218,34 @@ DeflectionRouter::visitFlits(
         fn(f);
     for (const auto &f : incoming_)
         fn(f);
+}
+
+void
+DeflectionRouter::ckptSave(ckpt::Writer &w) const
+{
+    Router::ckptSave(w);
+    ckpt::put(w, rng_);
+    w.u64(current_.size());
+    for (const auto &f : current_)
+        ckpt::put(w, f);
+    w.u64(incoming_.size());
+    for (const auto &f : incoming_)
+        ckpt::put(w, f);
+}
+
+void
+DeflectionRouter::ckptLoad(ckpt::Reader &r)
+{
+    Router::ckptLoad(r);
+    rng_ = ckpt::getRng(r);
+    current_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        current_.push_back(ckpt::getFlit(r));
+    incoming_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        incoming_.push_back(ckpt::getFlit(r));
 }
 
 } // namespace afcsim

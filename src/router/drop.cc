@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state.hh"
 #include "common/error.hh"
 
 namespace afcsim
@@ -238,6 +239,68 @@ DropRouter::visitFlits(const std::function<void(const Flit &)> &fn) const
         fn(f);
     for (const auto &f : retransmitQ_)
         fn(f);
+}
+
+void
+DropRouter::ckptSave(ckpt::Writer &w) const
+{
+    Router::ckptSave(w);
+    ckpt::put(w, rng_);
+    w.u64(current_.size());
+    for (const auto &f : current_)
+        ckpt::put(w, f);
+    w.u64(incoming_.size());
+    for (const auto &f : incoming_)
+        ckpt::put(w, f);
+    // pending_ is unordered; write in sorted key order so the byte
+    // stream is deterministic for a given state.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pending_.size());
+    for (const auto &[key, p] : pending_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t key : keys) {
+        const PendingFlit &p = pending_.at(key);
+        w.u64(key);
+        ckpt::put(w, p.flit);
+        w.u64(p.deadline);
+    }
+    w.u64(retransmitQ_.size());
+    for (const auto &f : retransmitQ_)
+        ckpt::put(w, f);
+    w.u64(dropped_);
+    w.u64(retransmissions_);
+}
+
+void
+DropRouter::ckptLoad(ckpt::Reader &r)
+{
+    Router::ckptLoad(r);
+    rng_ = ckpt::getRng(r);
+    current_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        current_.push_back(ckpt::getFlit(r));
+    incoming_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        incoming_.push_back(ckpt::getFlit(r));
+    pending_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t key = r.u64();
+        PendingFlit p;
+        p.flit = ckpt::getFlit(r);
+        p.deadline = r.u64();
+        pending_.emplace(key, std::move(p));
+    }
+    retransmitQ_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        retransmitQ_.push_back(ckpt::getFlit(r));
+    dropped_ = r.u64();
+    retransmissions_ = r.u64();
 }
 
 } // namespace afcsim

@@ -102,6 +102,23 @@ class NackFabric
         return n;
     }
 
+    /// @name Raw queue access for bit-exact checkpointing (src/ckpt).
+    /// @{
+    std::size_t numQueues() const { return queues_.size(); }
+
+    const std::deque<std::pair<Cycle, Nack>> &
+    rawQueue(NodeId node) const
+    {
+        return queues_.at(node);
+    }
+
+    void
+    restoreQueue(NodeId node, std::deque<std::pair<Cycle, Nack>> q)
+    {
+        queues_.at(node) = std::move(q);
+    }
+    /// @}
+
   private:
     std::vector<std::deque<std::pair<Cycle, Nack>>> queues_;
     std::function<void(NodeId)> wake_;
@@ -144,6 +161,9 @@ class DropRouter : public Router
 
     void visitFlits(
         const std::function<void(const Flit &)> &fn) const override;
+
+    void ckptSave(ckpt::Writer &w) const override;
+    void ckptLoad(ckpt::Reader &r) override;
 
   private:
     struct PendingFlit

@@ -1,5 +1,7 @@
 #include "router/router.hh"
 
+#include "ckpt/state.hh"
+
 namespace afcsim
 {
 
@@ -95,6 +97,36 @@ Router::sendCredit(Direction in_port, const Credit &credit, Cycle now)
     creditOut_[in_port]->send(credit, now);
     if (ledger_)
         ledger_->creditSignal();
+}
+
+void
+Router::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(stats_.flitsRouted);
+    w.u64(stats_.flitsDeflected);
+    w.u64(stats_.cyclesBackpressured);
+    w.u64(stats_.cyclesBackpressureless);
+    w.u64(stats_.forwardSwitches);
+    w.u64(stats_.reverseSwitches);
+    w.u64(stats_.gossipSwitches);
+    w.u64(stats_.creditStalls);
+    for (std::uint64_t d : portDispatches_)
+        w.u64(d);
+}
+
+void
+Router::ckptLoad(ckpt::Reader &r)
+{
+    stats_.flitsRouted = r.u64();
+    stats_.flitsDeflected = r.u64();
+    stats_.cyclesBackpressured = r.u64();
+    stats_.cyclesBackpressureless = r.u64();
+    stats_.forwardSwitches = r.u64();
+    stats_.reverseSwitches = r.u64();
+    stats_.gossipSwitches = r.u64();
+    stats_.creditStalls = r.u64();
+    for (std::uint64_t &d : portDispatches_)
+        d = r.u64();
 }
 
 void

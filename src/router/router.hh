@@ -32,6 +32,12 @@
 namespace afcsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Flow-control mode a router is operating in (Fig. 1 states). */
 enum class RouterMode { Backpressured, Backpressureless };
 
@@ -130,6 +136,16 @@ class Router
     visitFlits(const std::function<void(const Flit &)> &) const
     {
     }
+    /// @}
+
+    /// @name Bit-exact snapshot/restore (src/ckpt). Variants first
+    /// call the base implementation (stats, port dispatch counters),
+    /// then serialize their own dynamic state. Wiring and
+    /// config-derived tables are rebuilt by fresh construction, never
+    /// serialized. Only valid at a cycle boundary (between steps).
+    /// @{
+    virtual void ckptSave(ckpt::Writer &w) const;
+    virtual void ckptLoad(ckpt::Reader &r);
     /// @}
 
     NodeId node() const { return node_; }

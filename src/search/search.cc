@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
 #include "common/error.hh"
+#include "common/log.hh"
 
 namespace afcsim::search
 {
@@ -41,7 +43,9 @@ metricsFromRun(const exp::RunResult &r)
 
 SearchController::SearchController(const SearchSpec &spec, ProbeFn probe)
     : spec_(spec),
-      probe_(probe ? std::move(probe) : ProbeFn(&exp::executeRun))
+      probe_(probe ? std::move(probe) : ProbeFn([](const exp::RunPoint &p) {
+          return exp::executeRun(p);
+      }))
 {
 }
 
@@ -175,6 +179,170 @@ SearchController::search(const exp::RunPoint &cell) const
     return out;
 }
 
+namespace
+{
+
+void
+putMetrics(ckpt::Writer &w, const ProbeMetrics &m)
+{
+    w.f64(m.offeredRate);
+    w.f64(m.acceptedRate);
+    w.f64(m.avgPacketLatency);
+    w.f64(m.p50PacketLatency);
+    w.f64(m.p95PacketLatency);
+    w.f64(m.p99PacketLatency);
+    w.b(m.saturated);
+    w.str(m.error);
+}
+
+void
+getMetrics(ckpt::Reader &r, ProbeMetrics &m)
+{
+    m.offeredRate = r.f64();
+    m.acceptedRate = r.f64();
+    m.avgPacketLatency = r.f64();
+    m.p50PacketLatency = r.f64();
+    m.p95PacketLatency = r.f64();
+    m.p99PacketLatency = r.f64();
+    m.saturated = r.b();
+    m.error = r.str();
+}
+
+void
+putEval(ckpt::Writer &w, const Evaluation &e)
+{
+    w.b(e.pass);
+    w.u64(e.criteria.size());
+    for (const CriterionResult &c : e.criteria) {
+        w.str(c.name);
+        w.b(c.pass);
+        w.f64(c.value);
+        w.f64(c.bound);
+    }
+}
+
+void
+getEval(ckpt::Reader &r, Evaluation &e)
+{
+    e.pass = r.b();
+    std::uint64_t n = r.u64();
+    e.criteria.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        CriterionResult c;
+        c.name = r.str();
+        c.pass = r.b();
+        c.value = r.f64();
+        c.bound = r.f64();
+        e.criteria.push_back(std::move(c));
+    }
+}
+
+/**
+ * Load/run/store one cell against the journal, mirroring the
+ * crash-safe executeRun discipline: done markers short-circuit, a
+ * cell that crashed maxAttempts times degrades, and a completed
+ * search lands atomically.
+ */
+SearchResult
+searchCellJournaled(const SearchController &controller,
+                    const SearchSpec &spec, const exp::RunPoint &cell,
+                    const Journal &journal)
+{
+    std::string path = journal.resultPath(cell.index);
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+        try {
+            ckpt::Reader r(
+                ckpt::readFile(path, ckpt::Kind::SearchResult), path);
+            SearchResult out;
+            getSearchResult(r, out);
+            r.finish();
+            out.point = cell;
+            if (out.error.empty()) {
+                // Reattach the testing-stage point exactly as the
+                // controller built it (rate = optimum, final-budget
+                // overrides), so the re-rendered documents match an
+                // uninterrupted grid byte for byte.
+                exp::RunPoint fin = cell;
+                fin.rate = out.optimumRate;
+                fin.ol.injectionRate = out.optimumRate;
+                if (spec.finalWarmup > 0)
+                    fin.ol.warmupCycles = spec.finalWarmup;
+                if (spec.finalMeasure > 0)
+                    fin.ol.measureCycles = spec.finalMeasure;
+                out.finalRun.point = fin;
+            }
+            return out;
+        } catch (const Error &e) {
+            warn("discarding journal result '", path,
+                 "' (cell will re-search): ", e.what());
+        }
+    }
+    int attempt = journal.beginAttempt(cell.index);
+    SearchResult out;
+    if (attempt > journal.maxAttempts()) {
+        out.point = cell;
+        out.error = "degraded: " + std::to_string(attempt - 1) +
+                    " attempts crashed before completing; giving up";
+    } else {
+        out = controller.search(cell);
+    }
+    ckpt::Writer w;
+    putSearchResult(w, out);
+    ckpt::writeFile(path, ckpt::Kind::SearchResult, w.bytes());
+    journal.clearPointScratch(cell.index);
+    return out;
+}
+
+} // namespace
+
+void
+putSearchResult(ckpt::Writer &w, const SearchResult &r)
+{
+    w.u64(r.probes.size());
+    for (const ProbeRecord &p : r.probes) {
+        w.i32(p.ordinal);
+        w.u8(static_cast<std::uint8_t>(p.stage));
+        w.f64(p.rate);
+        w.b(p.pass);
+        putMetrics(w, p.metrics);
+        putEval(w, p.eval);
+    }
+    w.f64(r.bracketLo);
+    w.f64(r.bracketHi);
+    w.b(r.converged);
+    w.f64(r.optimumRate);
+    w.f64(r.baselineAvgLatency);
+    exp::putRunResult(w, r.finalRun);
+    putEval(w, r.finalEval);
+    w.str(r.error);
+}
+
+void
+getSearchResult(ckpt::Reader &r, SearchResult &out)
+{
+    std::uint64_t probes = r.u64();
+    out.probes.clear();
+    for (std::uint64_t i = 0; i < probes; ++i) {
+        ProbeRecord p;
+        p.ordinal = r.i32();
+        p.stage = static_cast<ProbeStage>(r.u8());
+        p.rate = r.f64();
+        p.pass = r.b();
+        getMetrics(r, p.metrics);
+        getEval(r, p.eval);
+        out.probes.push_back(std::move(p));
+    }
+    out.bracketLo = r.f64();
+    out.bracketHi = r.f64();
+    out.converged = r.b();
+    out.optimumRate = r.f64();
+    out.baselineAvgLatency = r.f64();
+    exp::getRunResult(r, out.finalRun);
+    getEval(r, out.finalEval);
+    out.error = r.str();
+}
+
 std::vector<SearchResult>
 runSearchGrid(const exp::ExperimentSpec &spec, int threads)
 {
@@ -184,6 +352,13 @@ runSearchGrid(const exp::ExperimentSpec &spec, int threads)
 std::vector<SearchResult>
 runSearchGrid(const exp::ExperimentSpec &spec, int threads,
               const SearchProgressFn &progress)
+{
+    return runSearchGrid(spec, threads, progress, nullptr);
+}
+
+std::vector<SearchResult>
+runSearchGrid(const exp::ExperimentSpec &spec, int threads,
+              const SearchProgressFn &progress, Journal *journal)
 {
     if (!spec.search.enabled)
         AFCSIM_CONFIG_ERROR("experiment '", spec.name,
@@ -214,7 +389,10 @@ runSearchGrid(const exp::ExperimentSpec &spec, int threads,
             std::size_t i = cursor.fetch_add(1);
             if (i >= cells.size())
                 return;
-            results[i] = controller.search(cells[i]);
+            results[i] = journal
+                ? searchCellJournaled(controller, spec.search,
+                                      cells[i], *journal)
+                : controller.search(cells[i]);
             int d = done.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/journal.hh"
 #include "exp/result.hh"
 #include "exp/runner.hh"
 #include "exp/spec.hh"
@@ -35,6 +36,8 @@
 
 namespace afcsim::search
 {
+
+using exp::Journal;
 
 /**
  * Executes one probe point and returns its result. Defaults to
@@ -132,6 +135,26 @@ using SearchProgressFn =
 std::vector<SearchResult> runSearchGrid(const exp::ExperimentSpec &spec,
                                         int threads,
                                         const SearchProgressFn &progress);
+
+/**
+ * Crash-safe variant (`afcsim-search --resume`): completed cells
+ * load back from the journal's done markers (Kind::SearchResult), a
+ * cell whose process crashed maxAttempts times degrades to an error
+ * record, and everything else re-searches deterministically — so
+ * the resumed documents are byte-identical to an uninterrupted grid.
+ */
+std::vector<SearchResult> runSearchGrid(const exp::ExperimentSpec &spec,
+                                        int threads,
+                                        const SearchProgressFn &progress,
+                                        Journal *journal);
+
+/// @name SearchResult journal serialization (Kind::SearchResult in
+/// the ckpt/serial.hh container; exposed for the journal tests).
+/// `point` is reattached from grid re-expansion, not serialized.
+/// @{
+void putSearchResult(ckpt::Writer &w, const SearchResult &r);
+void getSearchResult(ckpt::Reader &r, SearchResult &out);
+/// @}
 
 /**
  * Full JSON document: spec echo plus one entry per search in cell

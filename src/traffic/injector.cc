@@ -1,5 +1,7 @@
 #include "traffic/injector.hh"
 
+#include "ckpt/state.hh"
+
 namespace afcsim
 {
 
@@ -65,6 +67,26 @@ OpenLoopInjector::tick(Cycle now)
         net_.nic(n).sendPacket(dest, vnet, len, now);
         offeredFlits_ += len;
     }
+}
+
+void
+OpenLoopInjector::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(rngs_.size());
+    for (const Rng &rng : rngs_)
+        ckpt::put(w, rng);
+    w.u64(offeredFlits_);
+}
+
+void
+OpenLoopInjector::ckptLoad(ckpt::Reader &r)
+{
+    std::uint64_t n = r.u64();
+    AFCSIM_ASSERT(n == rngs_.size(),
+                  "injector checkpoint: node count mismatch");
+    for (Rng &rng : rngs_)
+        rng = ckpt::getRng(r);
+    offeredFlits_ = r.u64();
 }
 
 } // namespace afcsim

@@ -19,6 +19,12 @@
 namespace afcsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /**
  * Per-cycle packet source driving every NIC of a network. Rates are
  * in flits/node/cycle; the injector converts them to packet
@@ -51,6 +57,14 @@ class OpenLoopInjector
     void resetOffered() { offeredFlits_ = 0; }
 
     double packetProbability(NodeId n) const { return packetProb_.at(n); }
+
+    /// @name Bit-exact snapshot/restore (src/ckpt): the per-node RNG
+    /// streams and the offered-flit counter. Rates and probabilities
+    /// are reconstructed from the constructor arguments.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
 
   private:
     void init(std::vector<double> rates, double data_fraction);

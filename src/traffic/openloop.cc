@@ -1,5 +1,6 @@
 #include "traffic/openloop.hh"
 
+#include "ckpt/serial.hh"
 #include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "traffic/injector.hh"
@@ -8,53 +9,74 @@
 namespace afcsim
 {
 
-namespace
+OpenLoopRun::OpenLoopRun(const NetworkConfig &cfg, FlowControl fc,
+                         const OpenLoopConfig &ol,
+                         std::vector<double> rates)
+    : ol_(ol), rates_(std::move(rates)), net_(cfg, fc),
+      pattern_(makePattern(ol.pattern, net_.mesh())),
+      inj_(net_, *pattern_, rates_, ol.dataPacketFraction)
 {
+}
+
+Cycle
+OpenLoopRun::totalCycles() const
+{
+    return ol_.warmupCycles + ol_.measureCycles;
+}
+
+void
+OpenLoopRun::beginMeasurement()
+{
+    int n = net_.mesh().numNodes();
+    for (NodeId node = 0; node < n; ++node)
+        net_.nic(node).stats().reset();
+    inj_.resetOffered();
+    e0_ = net_.aggregateEnergy();
+    r0_ = net_.aggregateRouterStats();
+    if (net_.observability())
+        net_.observability()->markWindow(net_.now());
+    queued0_ = 0;
+    for (NodeId node = 0; node < n; ++node)
+        queued0_ += net_.nic(node).queuedFlits();
+    phase_ = Phase::Measure;
+}
+
+void
+OpenLoopRun::step()
+{
+    if (phase_ == Phase::Done)
+        return;
+    if (phase_ == Phase::Warmup && net_.now() >= ol_.warmupCycles)
+        beginMeasurement();
+    if (phase_ == Phase::Measure && net_.now() >= totalCycles()) {
+        phase_ = Phase::Done; // zero-length measurement window
+        return;
+    }
+    inj_.tick(net_.now());
+    net_.step();
+    if (phase_ == Phase::Measure && net_.now() >= totalCycles())
+        phase_ = Phase::Done;
+}
 
 OpenLoopResult
-runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
-        const std::vector<double> &rates,
-        QuadrantResult *quadrant_out)
+OpenLoopRun::finish(QuadrantResult *quadrant_out)
 {
-    Network net(cfg, fc);
-    auto pattern = makePattern(ol.pattern, net.mesh());
-    OpenLoopInjector inj(net, *pattern, rates, ol.dataPacketFraction);
+    while (!done())
+        step();
 
-    for (Cycle c = 0; c < ol.warmupCycles; ++c) {
-        inj.tick(net.now());
-        net.step();
-    }
-
-    // Measurement window: reset end-to-end stats and snapshot
-    // cumulative counters (energy, router activity).
+    Network &net = net_;
     int n = net.mesh().numNodes();
-    for (NodeId node = 0; node < n; ++node)
-        net.nic(node).stats().reset();
-    inj.resetOffered();
-    EnergyReport e0 = net.aggregateEnergy();
-    RouterStats r0 = net.aggregateRouterStats();
-    if (net.observability())
-        net.observability()->markWindow(net.now());
-    std::uint64_t queued0 = 0;
-    for (NodeId node = 0; node < n; ++node)
-        queued0 += net.nic(node).queuedFlits();
-
-    for (Cycle c = 0; c < ol.measureCycles; ++c) {
-        inj.tick(net.now());
-        net.step();
-    }
-
     OpenLoopResult res;
-    res.fc = fc;
-    res.measuredCycles = ol.measureCycles;
-    res.obs = net.observability(); // outlives the network below
+    res.fc = net.flowControl();
+    res.measuredCycles = ol_.measureCycles;
+    res.obs = net.observability(); // outlives the network
     res.stats = net.aggregateStats();
-    res.energy = net.aggregateEnergy().diff(e0);
+    res.energy = net.aggregateEnergy().diff(e0_);
     if (net.faultInjector())
         res.faults = net.faultInjector()->stats();
 
-    double node_cycles = static_cast<double>(n) * ol.measureCycles;
-    res.offeredRate = inj.offeredFlits() / node_cycles;
+    double node_cycles = static_cast<double>(n) * ol_.measureCycles;
+    res.offeredRate = inj_.offeredFlits() / node_cycles;
     res.acceptedRate = res.stats.flitsDelivered / node_cycles;
     res.avgPacketLatency = res.stats.packetLatency.mean();
     res.p50PacketLatency = res.stats.packetLatencyPct.quantile(0.5);
@@ -69,9 +91,9 @@ runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
     }
 
     RouterStats r1 = net.aggregateRouterStats();
-    std::uint64_t bp = r1.cyclesBackpressured - r0.cyclesBackpressured;
+    std::uint64_t bp = r1.cyclesBackpressured - r0_.cyclesBackpressured;
     std::uint64_t bpl =
-        r1.cyclesBackpressureless - r0.cyclesBackpressureless;
+        r1.cyclesBackpressureless - r0_.cyclesBackpressureless;
     res.bpFraction = (bp + bpl) ? static_cast<double>(bp) / (bp + bpl)
                                 : 0.0;
 
@@ -79,13 +101,13 @@ runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
     for (NodeId node = 0; node < n; ++node)
         queued1 += net.nic(node).queuedFlits();
     bool queue_growth = queued1 >
-        queued0 + static_cast<std::uint64_t>(n) * 16;
+        queued0_ + static_cast<std::uint64_t>(n) * 16;
     res.saturated = queue_growth ||
         res.acceptedRate < 0.9 * res.offeredRate;
 
     if (quadrant_out != nullptr) {
         const auto *qp = dynamic_cast<const QuadrantPattern *>(
-            pattern.get());
+            pattern_.get());
         AFCSIM_ASSERT(qp != nullptr, "quadrant stats need the "
                       "quadrant pattern");
         std::array<RunningStat, 4> lat;
@@ -105,7 +127,128 @@ runImpl(const NetworkConfig &cfg, FlowControl fc, const OpenLoopConfig &ol,
     return res;
 }
 
-} // namespace
+std::uint64_t
+OpenLoopRun::paramsHash() const
+{
+    ckpt::Writer w;
+    w.str(ol_.pattern);
+    w.u64(ol_.warmupCycles);
+    w.u64(ol_.measureCycles);
+    w.u64(ol_.drainCycles);
+    w.f64(ol_.dataPacketFraction);
+    w.u64(rates_.size());
+    for (double rate : rates_)
+        w.f64(rate);
+    return ckpt::fnv1a(w.bytes().data(), w.bytes().size());
+}
+
+void
+OpenLoopRun::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(paramsHash());
+    net_.ckptSave(w);
+    inj_.ckptSave(w);
+    w.u8(static_cast<std::uint8_t>(phase_));
+    for (double v : e0_.byComponent)
+        w.f64(v);
+    w.u64(r0_.flitsRouted);
+    w.u64(r0_.flitsDeflected);
+    w.u64(r0_.cyclesBackpressured);
+    w.u64(r0_.cyclesBackpressureless);
+    w.u64(r0_.forwardSwitches);
+    w.u64(r0_.reverseSwitches);
+    w.u64(r0_.gossipSwitches);
+    w.u64(r0_.creditStalls);
+    w.u64(queued0_);
+}
+
+void
+OpenLoopRun::ckptLoad(ckpt::Reader &r)
+{
+    std::uint64_t hash = r.u64();
+    if (hash != paramsHash()) {
+        AFCSIM_SIM_ERROR(
+            "checkpoint harness mismatch: the snapshot was taken with "
+            "different open-loop parameters (pattern, rates, or "
+            "warmup/measure windows)");
+    }
+    net_.ckptLoad(r);
+    inj_.ckptLoad(r);
+    phase_ = static_cast<Phase>(r.u8());
+    for (double &v : e0_.byComponent)
+        v = r.f64();
+    r0_.flitsRouted = r.u64();
+    r0_.flitsDeflected = r.u64();
+    r0_.cyclesBackpressured = r.u64();
+    r0_.cyclesBackpressureless = r.u64();
+    r0_.forwardSwitches = r.u64();
+    r0_.reverseSwitches = r.u64();
+    r0_.gossipSwitches = r.u64();
+    r0_.creditStalls = r.u64();
+    queued0_ = r.u64();
+}
+
+std::uint64_t
+OpenLoopRun::warmupHash() const
+{
+    ckpt::Writer w;
+    w.u64(net_.configHash());
+    w.str(ol_.pattern);
+    w.u64(ol_.warmupCycles);
+    w.f64(ol_.dataPacketFraction);
+    w.u64(rates_.size());
+    for (double rate : rates_)
+        w.f64(rate);
+    return ckpt::fnv1a(w.bytes().data(), w.bytes().size());
+}
+
+void
+OpenLoopRun::saveWarmupFork(const std::string &path) const
+{
+    AFCSIM_SIM_ASSERT(phase_ == Phase::Warmup &&
+                      net_.now() == ol_.warmupCycles,
+                      "warm-up fork must be saved exactly at the "
+                      "warm-up boundary");
+    ckpt::Writer w;
+    w.u64(warmupHash());
+    net_.ckptSave(w);
+    inj_.ckptSave(w);
+    ckpt::writeFile(path, ckpt::Kind::WarmupFork, w.bytes());
+}
+
+void
+OpenLoopRun::loadWarmupFork(const std::string &path)
+{
+    AFCSIM_SIM_ASSERT(net_.now() == 0,
+                      "warm-up fork restores into a fresh run");
+    ckpt::Reader r(ckpt::readFile(path, ckpt::Kind::WarmupFork), path);
+    std::uint64_t hash = r.u64();
+    if (hash != warmupHash()) {
+        AFCSIM_SIM_ERROR(
+            "warm-up fork mismatch: '", path, "' holds a different "
+            "warm-up prefix (config, pattern, rates or warm-up "
+            "window differ)");
+    }
+    net_.ckptLoad(r);
+    inj_.ckptLoad(r);
+    r.finish();
+}
+
+void
+OpenLoopRun::saveCheckpoint(const std::string &path) const
+{
+    ckpt::Writer w;
+    ckptSave(w);
+    ckpt::writeFile(path, ckpt::Kind::OpenLoopRun, w.bytes());
+}
+
+void
+OpenLoopRun::loadCheckpoint(const std::string &path)
+{
+    ckpt::Reader r(ckpt::readFile(path, ckpt::Kind::OpenLoopRun), path);
+    ckptLoad(r);
+    r.finish();
+}
 
 OpenLoopResult
 runOpenLoop(const NetworkConfig &cfg, FlowControl fc,
@@ -113,7 +256,8 @@ runOpenLoop(const NetworkConfig &cfg, FlowControl fc,
 {
     Mesh mesh(cfg.width, cfg.height);
     std::vector<double> rates(mesh.numNodes(), ol.injectionRate);
-    return runImpl(cfg, fc, ol, rates, nullptr);
+    OpenLoopRun run(cfg, fc, ol, std::move(rates));
+    return run.finish();
 }
 
 OpenLoopResult
@@ -121,7 +265,8 @@ runOpenLoop(const NetworkConfig &cfg, FlowControl fc,
             const OpenLoopConfig &ol,
             const std::vector<double> &per_node_rates)
 {
-    return runImpl(cfg, fc, ol, per_node_rates, nullptr);
+    OpenLoopRun run(cfg, fc, ol, per_node_rates);
+    return run.finish();
 }
 
 QuadrantResult
@@ -139,7 +284,8 @@ runQuadrantExperiment(const NetworkConfig &cfg, FlowControl fc,
     OpenLoopConfig ol2 = ol;
     ol2.pattern = "quadrant";
     QuadrantResult out;
-    out.overall = runImpl(cfg, fc, ol2, rates, &out);
+    OpenLoopRun run(cfg, fc, ol2, std::move(rates));
+    out.overall = run.finish(&out);
     return out;
 }
 

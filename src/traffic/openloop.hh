@@ -17,6 +17,8 @@
 #include "energy/energy.hh"
 #include "fault/fault.hh"
 #include "network/network.hh"
+#include "traffic/injector.hh"
+#include "traffic/patterns.hh"
 
 namespace afcsim
 {
@@ -25,6 +27,12 @@ namespace obs
 {
 class Observability;
 }
+
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
 
 /** Outcome of one open-loop run at a fixed offered load. */
 struct OpenLoopResult
@@ -53,6 +61,112 @@ struct OpenLoopResult
      * Never serialized into stats JSON.
      */
     std::shared_ptr<obs::Observability> obs;
+};
+
+/**
+ * Per-quadrant view of an open-loop run (Sec. V-B): average packet
+ * latency of traffic originating in each quadrant.
+ */
+struct QuadrantResult;
+
+/**
+ * A resumable open-loop run: the warmup/measure loop of runOpenLoop
+ * unrolled into a stepping object so callers can pause at any cycle
+ * boundary, snapshot complete simulator state to a checkpoint file,
+ * and later restore an identically constructed run in a fresh
+ * process — bit-identical to never having stopped (the crash-safe
+ * sweep machinery in src/exp is built on this; the differential
+ * suite in tests/ckpt_diff_test.cc proves the bit-identity).
+ *
+ * Cycle-for-cycle behavior is identical to the historical monolithic
+ * loop: warmupCycles injected-and-stepped cycles, a measurement-window
+ * reset (stats cleared, energy/router baselines captured), then
+ * measureCycles more, then the result computation.
+ */
+class OpenLoopRun
+{
+  public:
+    OpenLoopRun(const NetworkConfig &cfg, FlowControl fc,
+                const OpenLoopConfig &ol, std::vector<double> rates);
+
+    /** Cycles this run simulates in total (warmup + measure). */
+    Cycle totalCycles() const;
+    /** Cycles simulated so far. */
+    Cycle cycle() const { return net_.now(); }
+    bool done() const { return phase_ == Phase::Done; }
+    const Network &network() const { return net_; }
+
+    /** Simulate one cycle (no-op once done). */
+    void step();
+
+    /**
+     * Run any remaining cycles and compute the result. When
+     * `quadrant_out` is non-null the run must use the quadrant
+     * pattern; its per-quadrant stats are filled in.
+     */
+    OpenLoopResult finish(QuadrantResult *quadrant_out = nullptr);
+
+    /// @name Checkpointing (src/ckpt). save/load serialize the
+    /// network, injector RNG streams and harness phase/baselines,
+    /// guarded by a hash of the harness parameters (the network
+    /// checks its own config hash). saveCheckpoint()/loadCheckpoint()
+    /// wrap the state in the versioned, checksummed, atomically
+    /// written container of ckpt/serial.hh. Only valid at cycle
+    /// boundaries — which is everywhere, since step() is atomic.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    void saveCheckpoint(const std::string &path) const;
+    void loadCheckpoint(const std::string &path);
+    /// @}
+
+    /// @name Shared warm-up forking. Runs that differ only in their
+    /// post-warm-up parameters (measurement/drain budgets) simulate
+    /// an identical warm-up prefix: the boundary placement never
+    /// feeds back into the dynamics, beginMeasurement() only resets
+    /// counters. saveWarmupFork() snapshots network + injector at
+    /// exactly the warm-up boundary — after the step() that advanced
+    /// the clock to warmupCycles, before the next step() runs the
+    /// measurement-window reset — keyed by warmupHash() so a grid
+    /// simulates each distinct prefix once and forks the rest.
+    /// @{
+    /** Hash of the warm-up-determining parameters: network config +
+     *  flow control, pattern, per-node rates, data fraction and
+     *  warmupCycles — NOT the measurement/drain budgets. */
+    std::uint64_t warmupHash() const;
+    /** Snapshot the warm-up prefix; only valid with the clock at the
+     *  warm-up boundary and the measurement window not yet opened. */
+    void saveWarmupFork(const std::string &path) const;
+    /** Adopt a saved prefix into this freshly constructed run (clock
+     *  at 0); SimError if the file's warmupHash doesn't match. */
+    void loadWarmupFork(const std::string &path);
+    /// @}
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        Warmup = 0,  ///< pre-measurement cycles
+        Measure = 1, ///< measurement window open
+        Done = 2,    ///< measureCycles elapsed
+    };
+
+    /** Measurement-window reset at the warmup/measure boundary. */
+    void beginMeasurement();
+    /** Hash of the harness parameters (rates, pattern, windows). */
+    std::uint64_t paramsHash() const;
+
+    OpenLoopConfig ol_;
+    std::vector<double> rates_;
+    Network net_;
+    std::unique_ptr<TrafficPattern> pattern_;
+    OpenLoopInjector inj_;
+    Phase phase_ = Phase::Warmup;
+    /// @name Measurement baselines (captured at beginMeasurement()).
+    /// @{
+    EnergyReport e0_;
+    RouterStats r0_;
+    std::uint64_t queued0_ = 0;
+    /// @}
 };
 
 /**

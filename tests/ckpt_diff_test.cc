@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Differential bit-identity suite for checkpoint/restore (DESIGN.md
+ * S20), in the style of sched_equiv_test.cc: run a reference
+ * simulation uninterrupted, then run the same configuration to cycle
+ * k, snapshot it through the full file container, restore into a
+ * freshly constructed run and finish — every exported artifact
+ * (stats JSON, energy ledger, fault counters, observability series
+ * and Chrome trace) must be byte-identical to the reference.
+ *
+ * Snapshot points cover mid-warm-up, the warm-up/measure boundary and
+ * mid-measurement; the fault grid pins the hard cases the journal
+ * relies on — a snapshot taken mid-retransmission (NIC retransmit
+ * buffers non-empty, verified) and one inside an active link_down
+ * window (verified via interval arithmetic on the fault stats).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/statsio.hh"
+#include "obs/obs.hh"
+#include "testutil.hh"
+#include "traffic/openloop.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+/** Dense sampling + frequent audits, as in sched_equiv_test.cc, so a
+ *  restore that perturbs credit/conservation invariants fails the
+ *  run outright rather than just diverging. */
+void
+armObservers(NetworkConfig &cfg)
+{
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.intervalCycles = 128;
+    cfg.obs.sampleInterval = 16;
+    cfg.obs.trace = true;
+}
+
+std::string
+obsFingerprint(const std::shared_ptr<obs::Observability> &obs)
+{
+    if (!obs)
+        return "<no obs>";
+    return obs->seriesCsv() + "\n" + obs->chromeTrace().dump(2);
+}
+
+/** Serialize everything an open-loop run exports. */
+std::string
+fingerprint(const OpenLoopResult &r)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("accepted", r.acceptedRate);
+    doc.set("avg_pkt_lat", r.avgPacketLatency);
+    doc.set("p50_pkt_lat", r.p50PacketLatency);
+    doc.set("p95_pkt_lat", r.p95PacketLatency);
+    doc.set("p99_pkt_lat", r.p99PacketLatency);
+    doc.set("avg_flit_lat", r.avgFlitLatency);
+    doc.set("avg_hops", r.avgHops);
+    doc.set("avg_defl", r.avgDeflections);
+    doc.set("energy_per_flit", r.energyPerFlit);
+    doc.set("bp_fraction", r.bpFraction);
+    doc.set("saturated", r.saturated);
+    doc.set("net", toJson(r.stats));
+    doc.set("energy", toJson(r.energy));
+    doc.set("faults", toJson(r.faults));
+    return doc.dump(2) + "\n" + obsFingerprint(r.obs);
+}
+
+std::string
+tmpCkpt(const std::string &name)
+{
+    return std::string(testing::TempDir()) + "/" + name;
+}
+
+std::vector<double>
+uniformRates(const NetworkConfig &cfg, double rate)
+{
+    return std::vector<double>(
+        static_cast<std::size_t>(cfg.width * cfg.height), rate);
+}
+
+/** One snapshot/restore scenario. */
+struct DiffCase
+{
+    const char *name;
+    FlowControl fc;
+    const char *pattern;
+    double rate;
+    Cycle snapshotCycle; ///< where the donor run is interrupted
+    double corruptRate;  ///< armed with end-to-end reliability
+    double linkDownRate; ///< link outage windows (loss-free stalls)
+};
+
+std::string
+caseName(const testing::TestParamInfo<DiffCase> &info)
+{
+    return info.param.name;
+}
+
+NetworkConfig
+diffConfig(const DiffCase &p)
+{
+    NetworkConfig cfg = testConfig(4, 4);
+    armObservers(cfg);
+    cfg.faults.corruptRate = p.corruptRate;
+    if (p.corruptRate > 0.0) {
+        cfg.reliability.enabled = true;
+        cfg.reliability.timeoutCycles = 64;
+        cfg.reliability.maxRetries = 16;
+    }
+    if (p.linkDownRate > 0.0) {
+        cfg.faults.linkDownRate = p.linkDownRate;
+        // Outage windows far longer than the run: any window that has
+        // started by the snapshot cycle is still active there, so
+        // linkDownEvents > 0 at the snapshot proves the restore
+        // happened inside a live outage.
+        cfg.faults.linkDownMinCycles = 4000;
+        cfg.faults.linkDownMaxCycles = 5000;
+    }
+    return cfg;
+}
+
+OpenLoopConfig
+diffOl(const DiffCase &p)
+{
+    OpenLoopConfig ol;
+    ol.pattern = p.pattern;
+    ol.injectionRate = p.rate;
+    ol.warmupCycles = 600;
+    ol.measureCycles = 1200;
+    ol.drainCycles = 30000;
+    return ol;
+}
+
+class CkptDiffTest : public testing::TestWithParam<DiffCase>
+{
+};
+
+TEST_P(CkptDiffTest, SnapshotRestoreBitIdentical)
+{
+    const DiffCase &p = GetParam();
+    NetworkConfig cfg = diffConfig(p);
+    OpenLoopConfig ol = diffOl(p);
+    std::vector<double> rates = uniformRates(cfg, p.rate);
+
+    // Reference: uninterrupted run.
+    OpenLoopRun ref(cfg, p.fc, ol, rates);
+    std::string refFp = fingerprint(ref.finish());
+
+    // Donor: identical run interrupted at the snapshot cycle.
+    const std::string path = tmpCkpt(std::string("diff_") + p.name +
+                                     ".ckpt");
+    OpenLoopRun donor(cfg, p.fc, ol, rates);
+    while (donor.cycle() < p.snapshotCycle)
+        donor.step();
+    ASSERT_FALSE(donor.done());
+
+    if (p.corruptRate > 0.0) {
+        // The snapshot must actually land mid-retransmission: at
+        // least one NIC holds unacknowledged packets in its
+        // retransmit buffer when the state is serialized.
+        std::size_t pending = 0;
+        for (NodeId n = 0; n < donor.network().mesh().numNodes(); ++n)
+            pending += donor.network().nic(n).retransmitPending();
+        ASSERT_GT(pending, 0u)
+            << "snapshot missed the retransmission window";
+        ASSERT_GT(donor.network().faultInjector()->stats().corruptions,
+                  0u);
+    }
+    if (p.linkDownRate > 0.0) {
+        // Outages last >= 4000 cycles, the whole run is 1800: any
+        // outage on record is still active at the snapshot cycle.
+        ASSERT_GT(
+            donor.network().faultInjector()->stats().linkDownEvents, 0u)
+            << "snapshot missed the link_down window";
+    }
+
+    donor.saveCheckpoint(path);
+
+    // Restored: fresh process stand-in — a newly constructed run
+    // adopting the donor's state through the file container.
+    OpenLoopRun restored(cfg, p.fc, ol, rates);
+    restored.loadCheckpoint(path);
+    EXPECT_EQ(restored.cycle(), p.snapshotCycle);
+    std::string resFp = fingerprint(restored.finish());
+
+    EXPECT_EQ(resFp, refFp)
+        << "restore at cycle " << p.snapshotCycle << " diverged for "
+        << p.name;
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CkptDiffTest,
+    testing::Values(
+        // Fault-free AFC at each phase of the run: mid-warm-up, the
+        // warm-up/measure boundary, mid-measurement.
+        DiffCase{"afc_mid_warmup", FlowControl::Afc, "uniform", 0.30,
+                 300, 0.0, 0.0},
+        DiffCase{"afc_boundary", FlowControl::Afc, "uniform", 0.30,
+                 600, 0.0, 0.0},
+        DiffCase{"afc_mid_measure", FlowControl::Afc, "uniform", 0.30,
+                 900, 0.0, 0.0},
+        // High load: AFC mode switches + gossip in flight.
+        DiffCase{"afc_hi_load", FlowControl::Afc, "uniform", 0.45,
+                 900, 0.0, 0.0},
+        // Other flow controls, transpose for non-uniform flows.
+        DiffCase{"bp_mid_measure", FlowControl::Backpressured,
+                 "transpose", 0.20, 900, 0.0, 0.0},
+        DiffCase{"bpl_mid_measure", FlowControl::Backpressureless,
+                 "uniform", 0.25, 900, 0.0, 0.0},
+        DiffCase{"drop_mid_measure", FlowControl::BackpressurelessDrop,
+                 "uniform", 0.20, 900, 0.0, 0.0},
+        // Snapshot taken mid-retransmission (corruption + end-to-end
+        // reliability; retransmit buffers asserted non-empty).
+        DiffCase{"bp_mid_retransmission", FlowControl::Backpressured,
+                 "uniform", 0.20, 900, 0.02, 0.0},
+        DiffCase{"afc_mid_retransmission", FlowControl::Afc,
+                 "uniform", 0.20, 900, 0.02, 0.0},
+        // Snapshot taken inside an active link_down window.
+        DiffCase{"bp_link_down_window", FlowControl::Backpressured,
+                 "uniform", 0.15, 900, 0.0, 0.001}),
+    caseName);
+
+/** Chained snapshots: restore, run a while, snapshot again, restore
+ *  again — generations of checkpoints of checkpoints must still land
+ *  on the reference bit-for-bit (the journal rotates generations, so
+ *  a resumed process routinely restores a checkpoint written by a
+ *  previous restore). */
+TEST(CkptDiff, ChainedSnapshotsBitIdentical)
+{
+    DiffCase p{"chained", FlowControl::Afc, "uniform", 0.30, 0, 0.0,
+               0.0};
+    NetworkConfig cfg = diffConfig(p);
+    OpenLoopConfig ol = diffOl(p);
+    std::vector<double> rates = uniformRates(cfg, p.rate);
+
+    OpenLoopRun ref(cfg, p.fc, ol, rates);
+    std::string refFp = fingerprint(ref.finish());
+
+    const std::string pathA = tmpCkpt("chain_a.ckpt");
+    const std::string pathB = tmpCkpt("chain_b.ckpt");
+
+    OpenLoopRun first(cfg, p.fc, ol, rates);
+    while (first.cycle() < 450)
+        first.step();
+    first.saveCheckpoint(pathA);
+
+    OpenLoopRun second(cfg, p.fc, ol, rates);
+    second.loadCheckpoint(pathA);
+    while (second.cycle() < 1100)
+        second.step();
+    second.saveCheckpoint(pathB);
+
+    OpenLoopRun third(cfg, p.fc, ol, rates);
+    third.loadCheckpoint(pathB);
+    EXPECT_EQ(third.cycle(), 1100u);
+    EXPECT_EQ(fingerprint(third.finish()), refFp);
+    std::remove(pathA.c_str());
+    std::remove(pathB.c_str());
+}
+
+/** The observability stream path is excluded from the config hash: a
+ *  restored run may redirect its stream without invalidating the
+ *  snapshot, and the streamed series bytes must match the donor's. */
+TEST(CkptDiff, StreamRedirectAcrossRestore)
+{
+    DiffCase p{"stream", FlowControl::Afc, "uniform", 0.30, 0, 0.0,
+               0.0};
+    NetworkConfig cfg = diffConfig(p);
+    OpenLoopConfig ol = diffOl(p);
+    std::vector<double> rates = uniformRates(cfg, p.rate);
+
+    NetworkConfig refCfg = cfg;
+    refCfg.obs.streamPath = tmpCkpt("stream_ref.csv");
+    OpenLoopRun ref(refCfg, p.fc, ol, rates);
+    std::string refFp = fingerprint(ref.finish());
+
+    const std::string path = tmpCkpt("stream.ckpt");
+    NetworkConfig donorCfg = cfg;
+    donorCfg.obs.streamPath = tmpCkpt("stream_donor.csv");
+    OpenLoopRun donor(donorCfg, p.fc, ol, rates);
+    while (donor.cycle() < 900)
+        donor.step();
+    donor.saveCheckpoint(path);
+
+    NetworkConfig resCfg = cfg;
+    resCfg.obs.streamPath = tmpCkpt("stream_restored.csv");
+    OpenLoopRun restored(resCfg, p.fc, ol, rates);
+    restored.loadCheckpoint(path);
+    EXPECT_EQ(fingerprint(restored.finish()), refFp);
+    std::remove(path.c_str());
+    std::remove(refCfg.obs.streamPath.c_str());
+    std::remove(donorCfg.obs.streamPath.c_str());
+    std::remove(resCfg.obs.streamPath.c_str());
+}
+
+/** Shared warm-up forking: a run adopting a saved warm-up prefix must
+ *  be bit-identical to one that simulated the prefix itself — both
+ *  with the donor's own budgets and with a different measurement
+ *  budget (the fork hash excludes post-warm-up parameters). */
+TEST(CkptDiff, WarmupForkBitIdentical)
+{
+    DiffCase p{"fork", FlowControl::Afc, "uniform", 0.30, 0, 0.0, 0.0};
+    NetworkConfig cfg = diffConfig(p);
+    OpenLoopConfig ol = diffOl(p);
+    std::vector<double> rates = uniformRates(cfg, p.rate);
+
+    const std::string path = tmpCkpt("warmfork.ckpt");
+    OpenLoopRun donor(cfg, p.fc, ol, rates);
+    while (donor.cycle() < ol.warmupCycles)
+        donor.step();
+    donor.saveWarmupFork(path);
+
+    // Same budgets: forked == uninterrupted.
+    OpenLoopRun ref(cfg, p.fc, ol, rates);
+    std::string refFp = fingerprint(ref.finish());
+    OpenLoopRun forked(cfg, p.fc, ol, rates);
+    forked.loadWarmupFork(path);
+    EXPECT_EQ(forked.cycle(), ol.warmupCycles);
+    EXPECT_EQ(fingerprint(forked.finish()), refFp);
+
+    // Different measurement budget forked from the same prefix.
+    OpenLoopConfig shorter = ol;
+    shorter.measureCycles = 700;
+    OpenLoopRun ref2(cfg, p.fc, shorter, rates);
+    std::string ref2Fp = fingerprint(ref2.finish());
+    OpenLoopRun forked2(cfg, p.fc, shorter, rates);
+    forked2.loadWarmupFork(path);
+    EXPECT_EQ(fingerprint(forked2.finish()), ref2Fp);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace afcsim

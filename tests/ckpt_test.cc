@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Checkpoint container and corruption suite (DESIGN.md S20). The
+ * contract under test: every way a checkpoint file can be damaged —
+ * missing, truncated header, truncated payload, flipped byte, bad
+ * magic, version skew, kind mismatch — raises a recoverable SimError
+ * naming the file and the defect; a corrupt checkpoint must never
+ * crash the process or silently restore wrong state. The second half
+ * exercises the semantic guards layered above the container: config
+ * hash, harness-parameter hash and warm-up-fork hash mismatches.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/serial.hh"
+#include "common/config.hh"
+#include "common/error.hh"
+#include "exp/journal.hh"
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+#include "testutil.hh"
+#include "traffic/openloop.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return std::string(testing::TempDir()) + "/" + name;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/** Expect `fn` to throw SimError whose message contains `substr`. */
+template <typename Fn>
+void
+expectSimError(Fn fn, const std::string &substr)
+{
+    try {
+        fn();
+        FAIL() << "expected SimError containing \"" << substr << "\"";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+std::vector<std::uint8_t>
+samplePayload()
+{
+    ckpt::Writer w;
+    w.u64(0x1122334455667788ULL);
+    w.str("afcsim checkpoint payload");
+    for (int i = 0; i < 64; ++i)
+        w.u32(static_cast<std::uint32_t>(i * 2654435761U));
+    return w.bytes();
+}
+
+TEST(CkptSerial, WriterReaderRoundtripAllPrimitives)
+{
+    ckpt::Writer w;
+    w.u8(0xab);
+    w.u32(0xdeadbeefU);
+    w.u64(0x0123456789abcdefULL);
+    w.i32(-42);
+    w.i64(-1234567890123456789LL);
+    w.b(true);
+    w.b(false);
+    w.f64(3.14159265358979);
+    w.f64(-0.0);
+    w.str("hello");
+    w.str("");
+
+    ckpt::Reader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefU);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_EQ(r.i64(), -1234567890123456789LL);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.f64(), 3.14159265358979);
+    double negzero = r.f64();
+    EXPECT_EQ(negzero, -0.0);
+    EXPECT_TRUE(std::signbit(negzero)); // bit pattern, not just value
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_NO_THROW(r.finish());
+}
+
+TEST(CkptSerial, ReaderBoundsCheckedReads)
+{
+    ckpt::Reader r(std::vector<std::uint8_t>{1, 2, 3, 4}, "tiny");
+    expectSimError([&] { r.u64(); }, "truncated payload (need 8 bytes");
+}
+
+TEST(CkptSerial, ReaderStringLengthBeyondBuffer)
+{
+    ckpt::Writer w;
+    w.u64(1000); // claims a 1000-byte string in an 8-byte buffer
+    ckpt::Reader r(w.bytes(), "short-str");
+    expectSimError([&] { r.str(); }, "truncated payload (need 1000");
+}
+
+TEST(CkptSerial, ReaderFinishRejectsTrailingBytes)
+{
+    ckpt::Writer w;
+    w.u64(7);
+    w.u8(9);
+    ckpt::Reader r(w.bytes(), "trailer");
+    EXPECT_EQ(r.u64(), 7u);
+    expectSimError([&] { r.finish(); },
+                   "1 trailing bytes after restore (layout mismatch)");
+}
+
+TEST(CkptSerial, FileRoundtripAndAtomicity)
+{
+    const std::string path = tmpPath("roundtrip.ckpt");
+    std::vector<std::uint8_t> payload = samplePayload();
+    ckpt::writeFile(path, ckpt::Kind::OpenLoopRun, payload);
+    EXPECT_EQ(ckpt::readFile(path, ckpt::Kind::OpenLoopRun), payload);
+    // The temporary sibling must be gone after the atomic rename.
+    std::ifstream tmp(path + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST(CkptSerial, EmptyPayloadRoundtrips)
+{
+    const std::string path = tmpPath("empty.ckpt");
+    ckpt::writeFile(path, ckpt::Kind::RunResult, {});
+    EXPECT_TRUE(ckpt::readFile(path, ckpt::Kind::RunResult).empty());
+    std::remove(path.c_str());
+}
+
+TEST(CkptSerial, MissingFileIsRecoverable)
+{
+    expectSimError(
+        [] { ckpt::readFile(tmpPath("no_such.ckpt"),
+                            ckpt::Kind::OpenLoopRun); },
+        "cannot open file");
+}
+
+TEST(CkptSerial, TruncatedHeaderIsRecoverable)
+{
+    const std::string path = tmpPath("short_header.ckpt");
+    ckpt::writeFile(path, ckpt::Kind::OpenLoopRun, samplePayload());
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes.resize(16);
+    spit(path, bytes);
+    expectSimError(
+        [&] { ckpt::readFile(path, ckpt::Kind::OpenLoopRun); },
+        "truncated header (16 bytes, need 32)");
+    std::remove(path.c_str());
+}
+
+TEST(CkptSerial, BadMagicIsRecoverable)
+{
+    const std::string path = tmpPath("bad_magic.ckpt");
+    ckpt::writeFile(path, ckpt::Kind::OpenLoopRun, samplePayload());
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[0] ^= 0xff;
+    spit(path, bytes);
+    expectSimError(
+        [&] { ckpt::readFile(path, ckpt::Kind::OpenLoopRun); },
+        "bad magic (not an afcsim checkpoint)");
+    std::remove(path.c_str());
+}
+
+TEST(CkptSerial, VersionSkewIsRecoverable)
+{
+    const std::string path = tmpPath("version_skew.ckpt");
+    ckpt::writeFile(path, ckpt::Kind::OpenLoopRun, samplePayload());
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[8] += 1; // format version lives at offset 8
+    spit(path, bytes);
+    expectSimError(
+        [&] { ckpt::readFile(path, ckpt::Kind::OpenLoopRun); },
+        "format version 2 (this build reads version 1)");
+    std::remove(path.c_str());
+}
+
+TEST(CkptSerial, KindMismatchIsRecoverable)
+{
+    const std::string path = tmpPath("kind_mismatch.ckpt");
+    ckpt::writeFile(path, ckpt::Kind::OpenLoopRun, samplePayload());
+    expectSimError(
+        [&] { ckpt::readFile(path, ckpt::Kind::RunResult); },
+        "payload kind 1 (expected 2)");
+    std::remove(path.c_str());
+}
+
+TEST(CkptSerial, TruncatedPayloadIsRecoverable)
+{
+    const std::string path = tmpPath("short_payload.ckpt");
+    ckpt::writeFile(path, ckpt::Kind::OpenLoopRun, samplePayload());
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes.resize(bytes.size() - 3);
+    spit(path, bytes);
+    expectSimError(
+        [&] { ckpt::readFile(path, ckpt::Kind::OpenLoopRun); },
+        "truncated payload (header says");
+    std::remove(path.c_str());
+}
+
+TEST(CkptSerial, FlippedPayloadByteIsRecoverable)
+{
+    const std::string path = tmpPath("flipped_byte.ckpt");
+    std::vector<std::uint8_t> payload = samplePayload();
+    ckpt::writeFile(path, ckpt::Kind::OpenLoopRun, payload);
+    std::vector<std::uint8_t> bytes = slurp(path);
+    // Flip one bit in the middle of the payload region (offset >= 32).
+    bytes[32 + payload.size() / 2] ^= 0x10;
+    spit(path, bytes);
+    expectSimError(
+        [&] { ckpt::readFile(path, ckpt::Kind::OpenLoopRun); },
+        "checksum mismatch (corrupt payload)");
+    std::remove(path.c_str());
+}
+
+/// @name Semantic guards above the container: a checksum-valid
+/// checkpoint loaded into the wrong run must be rejected, not
+/// silently adopted.
+/// @{
+
+OpenLoopConfig
+guardOl()
+{
+    OpenLoopConfig ol;
+    ol.pattern = "uniform";
+    ol.injectionRate = 0.2;
+    ol.warmupCycles = 100;
+    ol.measureCycles = 200;
+    return ol;
+}
+
+std::vector<double>
+uniformRates(const NetworkConfig &cfg, double rate)
+{
+    return std::vector<double>(
+        static_cast<std::size_t>(cfg.width * cfg.height), rate);
+}
+
+TEST(CkptGuards, ConfigMismatchRejected)
+{
+    const std::string path = tmpPath("config_mismatch.ckpt");
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol = guardOl();
+    OpenLoopRun donor(cfg, FlowControl::Afc, ol, uniformRates(cfg, 0.2));
+    for (int i = 0; i < 50; ++i)
+        donor.step();
+    donor.saveCheckpoint(path);
+
+    NetworkConfig other = testConfig();
+    other.seed = cfg.seed + 1;
+    OpenLoopRun restored(other, FlowControl::Afc, ol,
+                         uniformRates(other, 0.2));
+    expectSimError([&] { restored.loadCheckpoint(path); },
+                   "checkpoint config mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(CkptGuards, FlowControlMismatchRejected)
+{
+    const std::string path = tmpPath("fc_mismatch.ckpt");
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol = guardOl();
+    OpenLoopRun donor(cfg, FlowControl::Afc, ol, uniformRates(cfg, 0.2));
+    for (int i = 0; i < 50; ++i)
+        donor.step();
+    donor.saveCheckpoint(path);
+
+    OpenLoopRun restored(cfg, FlowControl::Backpressured, ol,
+                         uniformRates(cfg, 0.2));
+    expectSimError([&] { restored.loadCheckpoint(path); },
+                   "checkpoint config mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(CkptGuards, HarnessMismatchRejected)
+{
+    const std::string path = tmpPath("harness_mismatch.ckpt");
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol = guardOl();
+    OpenLoopRun donor(cfg, FlowControl::Afc, ol, uniformRates(cfg, 0.2));
+    for (int i = 0; i < 50; ++i)
+        donor.step();
+    donor.saveCheckpoint(path);
+
+    OpenLoopConfig longer = ol;
+    longer.measureCycles = 400;
+    OpenLoopRun restored(cfg, FlowControl::Afc, longer,
+                         uniformRates(cfg, 0.2));
+    expectSimError([&] { restored.loadCheckpoint(path); },
+                   "checkpoint harness mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(CkptGuards, CorruptedRunCheckpointNeverRestoresSilently)
+{
+    // Flip a byte inside the payload's leading parameter hash and
+    // patch the container checksum so the container itself verifies:
+    // the semantic guard, not the checksum, must catch it.
+    const std::string path = tmpPath("patched_payload.ckpt");
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol = guardOl();
+    OpenLoopRun donor(cfg, FlowControl::Afc, ol, uniformRates(cfg, 0.2));
+    for (int i = 0; i < 50; ++i)
+        donor.step();
+    donor.saveCheckpoint(path);
+
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[32] ^= 0x01; // paramsHash is the first payload field
+    std::uint64_t sum = ckpt::fnv1a(bytes.data() + 32, bytes.size() - 32);
+    for (int i = 0; i < 8; ++i)
+        bytes[24 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+    spit(path, bytes);
+
+    OpenLoopRun restored(cfg, FlowControl::Afc, ol,
+                         uniformRates(cfg, 0.2));
+    expectSimError([&] { restored.loadCheckpoint(path); },
+                   "checkpoint harness mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(CkptGuards, WarmupForkMismatchRejected)
+{
+    const std::string path = tmpPath("fork_mismatch.ckpt");
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol = guardOl();
+    OpenLoopRun donor(cfg, FlowControl::Afc, ol, uniformRates(cfg, 0.2));
+    while (donor.cycle() < ol.warmupCycles)
+        donor.step();
+    donor.saveWarmupFork(path);
+
+    // A different injection rate changes the warm-up prefix.
+    OpenLoopConfig other = ol;
+    other.injectionRate = 0.25;
+    OpenLoopRun fork(cfg, FlowControl::Afc, other,
+                     uniformRates(cfg, 0.25));
+    expectSimError([&] { fork.loadWarmupFork(path); },
+                   "warm-up fork mismatch");
+
+    // A different measurement budget does NOT: the fork is keyed on
+    // the warm-up-determining parameters only.
+    OpenLoopConfig budget = ol;
+    budget.measureCycles = 350;
+    OpenLoopRun ok(cfg, FlowControl::Afc, budget,
+                   uniformRates(cfg, 0.2));
+    EXPECT_NO_THROW(ok.loadWarmupFork(path));
+    EXPECT_EQ(ok.cycle(), ol.warmupCycles);
+    std::remove(path.c_str());
+}
+
+TEST(CkptGuards, WarmupForkOnlyValidAtBoundary)
+{
+    const std::string path = tmpPath("fork_offside.ckpt");
+    NetworkConfig cfg = testConfig();
+    OpenLoopConfig ol = guardOl();
+    OpenLoopRun run(cfg, FlowControl::Afc, ol, uniformRates(cfg, 0.2));
+    for (int i = 0; i < 40; ++i)
+        run.step();
+    expectSimError([&] { run.saveWarmupFork(path); },
+                   "warm-up fork must be saved exactly at the warm-up "
+                   "boundary");
+}
+
+/// @}
+
+/** Watchdog postmortem: a run whose audit trips mid-flight must
+ *  leave its error record in the journal with a full state
+ *  checkpoint and a diagnostic snapshot parked next to it. Credit
+ *  loss deliberately breaks the backpressured credit invariant
+ *  (config.hh), so this is the designed end-to-end trigger. */
+TEST(CkptJournal, WatchdogTripLeavesPostmortem)
+{
+    const std::string dir =
+        std::string(testing::TempDir()) + "/postmortem_journal";
+    std::filesystem::remove_all(dir);
+
+    exp::ExperimentSpec spec;
+    spec.name = "postmortem_probe";
+    spec.kind = exp::RunKind::OpenLoop;
+    spec.base = testConfig(4, 4);
+    spec.base.watchdog.enabled = true;
+    spec.base.watchdog.intervalCycles = 64;
+    spec.base.faults.creditLossRate = 0.05;
+    spec.configs = {FlowControl::Backpressured};
+    spec.rates = {0.2};
+    spec.warmupCycles = 400;
+    spec.measureCycles = 800;
+
+    exp::Journal journal(dir);
+    journal.open("afcsim-exp", spec);
+    std::vector<exp::RunPoint> points = spec.expand();
+    ASSERT_EQ(points.size(), 1u);
+
+    exp::RunResult r = exp::executeRun(points[0], journal);
+    ASSERT_FALSE(r.error.empty());
+    EXPECT_NE(r.error.find("credit-consistency"), std::string::npos)
+        << r.error;
+
+    // The full dying state, in a valid container, plus the report.
+    const std::string ckptPath = journal.postmortemCheckpointPath(0);
+    EXPECT_NO_THROW(ckpt::readFile(ckptPath, ckpt::Kind::OpenLoopRun));
+    std::ifstream report(journal.postmortemReportPath(0));
+    ASSERT_TRUE(report.good());
+    std::string text((std::istreambuf_iterator<char>(report)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("postmortem: postmortem_probe run 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("credit-consistency"), std::string::npos);
+
+    // The error record is journaled like any other result: a resume
+    // reloads it rather than re-running the doomed point.
+    exp::RunResult cached;
+    ASSERT_TRUE(journal.loadResult(points[0], cached));
+    EXPECT_EQ(cached.error, r.error);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace afcsim

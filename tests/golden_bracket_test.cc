@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Golden-bracket regression for the adaptive load search: the 8x8
+ * saturation optima that the PR 6 saturation bench established are
+ * pinned here, so a behavioral change anywhere in the stack — router
+ * timing, injector RNG, search bracketing, checkpoint plumbing —
+ * that moves a found saturation point gets caught as a regression,
+ * not silently absorbed into new "golden" numbers.
+ *
+ * The grid mirrors bench_saturation's defaults exactly (registered
+ * saturation_search experiment, seed 1, probe budget 1000+3000,
+ * final budget 4000+12000, tolerance 0.002): same searches, same
+ * probes, same optima. The comparison tolerance is three rate
+ * tolerances — the search bisects to 0.002, so anything farther off
+ * than that is a real behavioral shift, not search noise.
+ *
+ * Full searches on the 8x8 mesh take minutes; this suite rides the
+ * `slow` ctest label with the benches, not tier1.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hh"
+#include "search/search.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+/** Pinned optimum for one (pattern, flow control) cell. */
+struct GoldenCase
+{
+    const char *name;
+    const char *pattern;
+    FlowControl fc;
+    double optimum; ///< saturation rate found by the PR 6 bench
+};
+
+constexpr double kTolerance = 3 * 0.002; // 3x search rateTolerance
+
+std::string
+caseName(const testing::TestParamInfo<GoldenCase> &info)
+{
+    return info.param.name;
+}
+
+class GoldenBracketTest : public testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenBracketTest, SaturationOptimumPinned)
+{
+    const GoldenCase &p = GetParam();
+    exp::ExperimentSpec spec = exp::saturationSearchExperiment();
+    spec.pattern = p.pattern;
+    spec.configs = {p.fc};
+
+    std::vector<search::SearchResult> results =
+        search::runSearchGrid(spec, 0);
+    ASSERT_EQ(results.size(), 1u);
+    const search::SearchResult &r = results[0];
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.optimumRate, p.optimum, kTolerance)
+        << p.pattern << "/" << toString(p.fc)
+        << " saturation moved: golden " << p.optimum << ", found "
+        << r.optimumRate;
+    // The bracket must straddle the optimum and be bisected down to
+    // the rate tolerance.
+    EXPECT_LE(r.bracketLo, r.optimumRate);
+    EXPECT_LE(r.bracketHi - r.bracketLo, 2 * 0.002 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GoldenBracketTest,
+    testing::Values(
+        GoldenCase{"uniform_bp", "uniform",
+                   FlowControl::Backpressured, 0.3875},
+        GoldenCase{"uniform_afc", "uniform", FlowControl::Afc, 0.3688},
+        GoldenCase{"transpose_bp", "transpose",
+                   FlowControl::Backpressured, 0.1641},
+        GoldenCase{"transpose_afc", "transpose", FlowControl::Afc,
+                   0.1656},
+        GoldenCase{"hotspot_bp", "hotspot",
+                   FlowControl::Backpressured, 0.0859},
+        GoldenCase{"hotspot_afc", "hotspot", FlowControl::Afc,
+                   0.0844}),
+    caseName);
+
+} // namespace
+} // namespace afcsim

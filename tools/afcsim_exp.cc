@@ -38,11 +38,15 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+#include <memory>
+
 #include "common/error.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 #include "exp/experiments.hh"
+#include "exp/journal.hh"
 #include "exp/result.hh"
 #include "exp/runner.hh"
 
@@ -189,6 +193,12 @@ applyOverrides(ExperimentSpec &spec, const Args &args)
             static_cast<Cycle>(args.getInt("measure", 0));
     if (args.has("drain"))
         spec.drainCycles = static_cast<Cycle>(args.getInt("drain", 0));
+    if (args.has("ckpt-interval"))
+        spec.ckptInterval =
+            static_cast<Cycle>(args.getInt("ckpt-interval", 0));
+    if (args.has("max-attempts"))
+        spec.maxAttempts =
+            static_cast<int>(args.getInt("max-attempts", 3));
 
     // Observability: --obs-dir turns on exports (trace + series with
     // a default sampling interval unless the spec already set them);
@@ -354,6 +364,18 @@ printHelp()
         "  --obs-stream               stream evicted sampler frames\n"
         "                             to the series file (full-length\n"
         "                             series for long runs)\n"
+        "crash-safe sweeps:\n"
+        "  --resume DIR               journal the grid into DIR:\n"
+        "                             completed points are skipped on\n"
+        "                             re-invocation, interrupted ones\n"
+        "                             restart from their last periodic\n"
+        "                             checkpoint; exports match an\n"
+        "                             uninterrupted run byte for byte\n"
+        "  --ckpt-interval N          checkpoint period in simulated\n"
+        "                             cycles (default 2000; 0 = done\n"
+        "                             markers only)\n"
+        "  --max-attempts N           crashes before a point is\n"
+        "                             marked degraded (default 3)\n"
         "overrides: --rates --fault-rates --configs --workloads\n"
         "           --mesh --pattern\n"
         "           --repeats --seed --scale --warmup --measure "
@@ -373,6 +395,7 @@ runMain(int argc, char **argv)
         "mesh", "pattern",
         "repeats", "seed", "scale", "warmup", "measure", "drain",
         "obs-dir", "obs-interval", "obs-trace", "obs-stream",
+        "resume", "ckpt-interval", "max-attempts",
     });
 
     if (args.has("help")) {
@@ -403,12 +426,32 @@ runMain(int argc, char **argv)
     if (args.has("validate") && !args.has("json"))
         AFCSIM_CONFIG_ERROR("--validate needs --json PATH");
 
+    // Create the export directory (with any missing parents) up
+    // front, so a bad --obs-dir fails the invocation with a clear
+    // error instead of surfacing as per-run write warnings after the
+    // grid already burned its cycles.
+    if (!spec.obsDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(spec.obsDir, ec);
+        if (ec)
+            AFCSIM_CONFIG_ERROR("cannot create --obs-dir '",
+                                spec.obsDir, "': ", ec.message());
+    }
+
+    std::unique_ptr<Journal> journal;
+    if (args.has("resume")) {
+        if (args.get("resume").empty())
+            AFCSIM_CONFIG_ERROR("--resume needs a directory");
+        journal = std::make_unique<Journal>(args.get("resume"));
+        journal->open("afcsim-exp", spec);
+    }
+
     int threads = static_cast<int>(args.getInt("threads", 1));
     ParallelRunner runner(threads);
     auto progress =
         args.has("quiet") ? ParallelRunner::ProgressFn{} : stderrProgress();
 
-    auto outcome = runner.runSpec(spec, progress);
+    auto outcome = runner.runSpec(spec, progress, journal.get());
     std::fprintf(stderr,
                  "%zu runs on %d thread(s): %.0f ms wall, "
                  "%.2f Msim-cycles/s aggregate\n",

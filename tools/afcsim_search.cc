@@ -31,6 +31,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "common/error.hh"
 #include "common/table.hh"
 #include "exp/experiments.hh"
+#include "exp/journal.hh"
 #include "search/search.hh"
 
 using namespace afcsim;
@@ -304,7 +307,11 @@ printHelp()
         "grid:       --configs --mesh --pattern --fault-rates\n"
         "            --repeats --seed --warmup --measure\n"
         "obs:        --obs-dir --obs-interval --obs-trace\n"
-        "            --obs-stream\n");
+        "            --obs-stream\n"
+        "crash-safe: --resume DIR   journal completed cells into DIR\n"
+        "                           and skip them on re-invocation;\n"
+        "                           --max-attempts N crashes before a\n"
+        "                           cell is marked degraded\n");
 }
 
 } // namespace
@@ -322,6 +329,7 @@ runMain(int argc, char **argv)
         "baseline-rate", "min-delivered", "max-avg-latency",
         "max-p95-latency", "max-p99-latency", "knee-ratio",
         "obs-dir", "obs-interval", "obs-trace", "obs-stream",
+        "resume", "max-attempts",
     });
 
     if (args.has("help")) {
@@ -341,12 +349,33 @@ runMain(int argc, char **argv)
     // This binary always searches, whatever the spec says.
     spec.search.enabled = true;
     applyOverrides(spec, args);
+    if (args.has("max-attempts"))
+        spec.maxAttempts =
+            static_cast<int>(args.getInt("max-attempts", 3));
+
+    // Fail a bad --obs-dir up front with the offending path, not as
+    // per-cell warnings after hours of searching.
+    if (!spec.obsDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(spec.obsDir, ec);
+        if (ec)
+            AFCSIM_CONFIG_ERROR("cannot create --obs-dir '",
+                                spec.obsDir, "': ", ec.message());
+    }
+
+    std::unique_ptr<Journal> journal;
+    if (args.has("resume")) {
+        if (args.get("resume").empty())
+            AFCSIM_CONFIG_ERROR("--resume needs a directory");
+        journal = std::make_unique<Journal>(args.get("resume"));
+        journal->open("afcsim-search", spec);
+    }
 
     int threads = static_cast<int>(args.getInt("threads", 1));
     auto progress = args.has("quiet") ? SearchProgressFn{}
                                       : stderrSearchProgress();
     std::vector<SearchResult> results =
-        runSearchGrid(spec, threads, progress);
+        runSearchGrid(spec, threads, progress, journal.get());
 
     printSummary(spec, results);
 
