@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Extension: sharded cycle-kernel scaling study. The mesh is
+ * partitioned into `sim.shards` contiguous node ranges stepped by one
+ * worker thread each (docs/ARCHITECTURE.md); every export is
+ * byte-identical for any shard count, so the only question a shard
+ * sweep can answer is wall-clock throughput. This bench measures
+ * cycles/sec of the closed-loop memory system (ocean) on 16x16,
+ * 32x32 and 64x64 meshes at 1, 2 and 4 shards and reports the
+ * speedup over the single-shard run of the same mesh.
+ *
+ * Expected shape: speedup grows with mesh size — per-cycle work
+ * scales with router count while the per-phase barrier cost is
+ * constant, so the 16x16 mesh amortizes the hand-off worst and the
+ * 64x64 mesh best. On hosts with fewer cores than shards the pool
+ * still runs (correctness never depends on placement) but the
+ * speedup degrades toward or below 1x; the host's hardware thread
+ * count is printed so such numbers read as what they are.
+ *
+ * Options: mesh=16,32,64 shards=1,2,4 cl_div=<n> reps=<n>
+ *          json=<path|none>
+ */
+
+#include <ctime>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/json.hh"
+#include "exp/result.hh"
+#include "sim/closedloop.hh"
+#include "sim/workload.hh"
+
+using namespace afcsim;
+
+namespace
+{
+
+double
+wallSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+std::vector<int>
+intList(const Options &opt, const std::string &key,
+        const std::string &fallback)
+{
+    std::vector<int> out;
+    std::string v = opt.get(key, fallback);
+    std::size_t pos = 0;
+    while (pos < v.size()) {
+        std::size_t comma = v.find(',', pos);
+        if (comma == std::string::npos)
+            comma = v.size();
+        out.push_back(std::stoi(v.substr(pos, comma - pos)));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** One wall-clock-timed closed-loop run; returns cycles/sec. */
+double
+measureCps(int mesh, int shards, long cl_div)
+{
+    NetworkConfig cfg;
+    cfg.width = mesh;
+    cfg.height = mesh;
+    cfg.seed = 7;
+    cfg.shards = shards;
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= cl_div;
+    w.measureTransactions /= cl_div;
+    ClosedLoopSystem sys(cfg, FlowControl::Afc, w);
+    double t0 = wallSeconds();
+    sys.run();
+    double sec = wallSeconds() - t0;
+    double cycles = static_cast<double>(sys.network().now());
+    return sec > 0.0 ? cycles / sec : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt(argc, argv);
+    std::vector<int> meshes = intList(opt, "mesh", "16,32,64");
+    std::vector<int> shardCounts = intList(opt, "shards", "1,2,4");
+    long cl_div = opt.getInt("cl_div", 4);
+    int reps = static_cast<int>(opt.getInt("reps", 2));
+    std::string json = opt.get("json", "none");
+
+    std::printf("Sharded cycle-kernel scaling (closed-loop ocean/%ld, "
+                "best of %d, %u hw threads)\n\n",
+                cl_div, reps, std::thread::hardware_concurrency());
+    std::printf("%-8s%-8s%16s%12s\n", "mesh", "shards", "cycles/sec",
+                "speedup");
+
+    JsonValue rows = JsonValue::array();
+    for (int mesh : meshes) {
+        double base = 0.0;
+        for (int shards : shardCounts) {
+            double cps = 0.0;
+            for (int r = 0; r < reps; ++r)
+                cps = std::max(cps, measureCps(mesh, shards, cl_div));
+            if (shards == shardCounts.front())
+                base = cps;
+            double speedup = base > 0.0 ? cps / base : 0.0;
+            std::printf("%-8d%-8d%16.0f%11.2fx\n", mesh, shards, cps,
+                        speedup);
+            JsonValue row = JsonValue::object();
+            row.set("mesh", static_cast<std::int64_t>(mesh));
+            row.set("shards", static_cast<std::int64_t>(shards));
+            row.set("wall_cycles_per_sec", cps);
+            row.set("speedup", speedup);
+            rows.push(std::move(row));
+        }
+    }
+    std::printf("\nExpected trends: speedup rises with mesh size (the "
+                "per-phase barrier is constant while per-cycle work "
+                "grows with router count); a host with fewer hardware "
+                "threads than shards reports <= 1x.\n");
+
+    if (json != "none") {
+        JsonValue doc = JsonValue::object();
+        doc.set("bench", JsonValue(std::string("bench_shard_scaling")));
+        doc.set("cl_div", static_cast<std::int64_t>(cl_div));
+        doc.set("reps", static_cast<std::int64_t>(reps));
+        doc.set("hw_threads",
+                static_cast<std::int64_t>(
+                    std::thread::hardware_concurrency()));
+        doc.set("rows", std::move(rows));
+        exp::writeFile(json, doc.dump(2) + "\n");
+        std::fprintf(stderr, "wrote %s\n", json.c_str());
+    }
+    return 0;
+}

@@ -92,6 +92,8 @@ NetworkConfig::validate() const
         AFCSIM_CONFIG_ERROR("packet lengths must be positive");
     if (injectionQueueDepth < dataPacketFlits)
         AFCSIM_CONFIG_ERROR("injection queue must hold at least one data packet");
+    if (shards < 1)
+        AFCSIM_CONFIG_ERROR("sim.shards must be >= 1, got ", shards);
 
     auto check_rate = [](double rate, const char *what) {
         if (rate < 0.0 || rate > 1.0)

@@ -305,6 +305,16 @@ struct NetworkConfig
      * exists for differential testing and perf triage, not tuning.
      */
     bool idleSkip = true;
+    /**
+     * Cycle-kernel shard count (`sim.shards`, `--shards`): the mesh
+     * is partitioned into `shards` contiguous node ranges stepped by
+     * one worker thread each, with a barrier per pipeline phase and
+     * staged cross-shard hand-off (docs/ARCHITECTURE.md). Purely an
+     * execution knob: every export is byte-identical for any value
+     * (tests/sched_equiv_test.cc), it is excluded from the checkpoint
+     * config hash, and values above the node count are clamped.
+     */
+    int shards = 1;
 
     int numNodes() const { return width * height; }
     int numVnets() const { return static_cast<int>(vnets.size()); }

@@ -115,6 +115,8 @@ applyConfigKey(NetworkConfig &cfg, const std::string &key,
         cfg.oldestFirstDeflection = toBool(key, value);
     } else if (key == "sim.idle_skip") {
         cfg.idleSkip = toBool(key, value);
+    } else if (key == "sim.shards") {
+        cfg.shards = static_cast<int>(toInt(key, value));
     // AFC policy parameters.
     } else if (key == "afc.ewma_weight") {
         cfg.afc.ewmaWeight = toDouble(key, value);

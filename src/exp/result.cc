@@ -118,9 +118,14 @@ toJson(const RunResult &r, bool with_telemetry)
         o.set("faults", afcsim::toJson(r.faults));
 
     if (with_telemetry) {
+        // The shard count rides with the wall-clock numbers it
+        // explains; it never enters the deterministic document body
+        // because exports are byte-identical for any value.
         JsonValue t = JsonValue::object();
         t.set("wall_ms", JsonValue(r.wallMs));
         t.set("cycles_per_sec", JsonValue(r.cyclesPerSec));
+        t.set("shards",
+              JsonValue(static_cast<std::int64_t>(r.point.cfg.shards)));
         o.set("telemetry", std::move(t));
     }
     return o;

@@ -6,6 +6,7 @@
 #include "common/rng.hh"
 #include "fault/fault.hh"
 #include "fault/watchdog.hh"
+#include "network/shardpool.hh"
 #include "obs/obs.hh"
 #include "router/afc.hh"
 #include "router/backpressured.hh"
@@ -28,8 +29,36 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
 
     if (fc == FlowControl::AfcAlwaysBackpressured)
         cfg_.afc.alwaysBackpressured = true;
-    if (fc == FlowControl::BackpressurelessDrop)
+
+    // Shard partition: contiguous node ranges, so per-shard ascending
+    // iteration concatenated in shard order equals the serial
+    // kernel's global ascending-node order. Extra shards beyond the
+    // node count would own empty ranges; clamp them away.
+    shards_ = std::min(std::max(cfg_.shards, 1), n);
+    shardOf_.resize(static_cast<std::size_t>(n));
+    shardState_.resize(static_cast<std::size_t>(shards_));
+    {
+        int base = n / shards_;
+        int rem = n % shards_;
+        NodeId next = 0;
+        for (int s = 0; s < shards_; ++s) {
+            ShardState &sh = shardState_[static_cast<std::size_t>(s)];
+            sh.begin = next;
+            next += static_cast<NodeId>(base + (s < rem ? 1 : 0));
+            sh.end = next;
+            for (NodeId node = sh.begin; node < sh.end; ++node)
+                shardOf_[static_cast<std::size_t>(node)] = s;
+        }
+    }
+
+    if (fc == FlowControl::BackpressurelessDrop) {
         nackFabric_ = std::make_unique<NackFabric>(n);
+        // Cross-shard NACK hand-off: sends park in the sender-shard's
+        // staging slot and merge in ascending-slot order after the
+        // evaluate phase (advanceShard), reproducing the serial
+        // kernel's ascending-sender push order for any shard count.
+        nackFabric_->enableStaging(shards_, shardOf_);
+    }
 
     Rng root(cfg_.seed, 0x5eed);
 
@@ -117,6 +146,32 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
         }
     }
 
+    // Destination-major deliver: precompute each node's incoming
+    // links (ascending source), with the channel pointers resolved so
+    // the hot loop does no neighbor lookups. Per destination, the
+    // accept order (source-ascending, flits before credits before
+    // ctl per link) matches the serial source-major scan restricted
+    // to that destination, so per-router and per-link state evolve
+    // identically — and the order is shard-count-invariant.
+    inLinks_.resize(static_cast<std::size_t>(n));
+    for (NodeId node = 0; node < n; ++node) {
+        auto &in = inLinks_[static_cast<std::size_t>(node)];
+        for (int d = 0; d < kNumNetPorts; ++d) {
+            Direction dir = static_cast<Direction>(d);
+            NodeId src = mesh_.neighbor(node, dir);
+            if (src == kInvalidNode)
+                continue;
+            Direction out = opposite(dir);
+            in.push_back({src, out, dir, flitCh_[src][out].get(),
+                          creditCh_[src][out].get(),
+                          ctlCh_[src][out].get()});
+        }
+        std::sort(in.begin(), in.end(),
+                  [](const InLink &a, const InLink &b) {
+                      return a.src < b.src;
+                  });
+    }
+
     // Activity scheduler state must exist before the observability
     // bundle attaches below (attach() reads routers through the
     // syncing accessors). Everyone starts active with nothing owed.
@@ -124,9 +179,11 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
     relEnabled_ = cfg_.reliability.enabled;
     activeFlag_.assign(n, 1);
     lastDone_.assign(n, 0);
-    activeList_.resize(n);
-    for (NodeId node = 0; node < n; ++node)
-        activeList_[node] = node;
+    for (auto &sh : shardState_) {
+        sh.activeList.reserve(static_cast<std::size_t>(sh.end - sh.begin));
+        for (NodeId node = sh.begin; node < sh.end; ++node)
+            sh.activeList.push_back(node);
+    }
     if (idleSkip_) {
         for (NodeId node = 0; node < n; ++node) {
             nics_[node]->setWakeHook(
@@ -146,13 +203,19 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
     if (cfg_.watchdog.enabled)
         watchdog_ = std::make_unique<Watchdog>(cfg_.watchdog);
     if (cfg_.reliability.enabled) {
-        // End-to-end acks are out-of-band and free: the destination
-        // NIC releases the source's retransmit slot directly.
+        // End-to-end acks are out-of-band and free. The source NIC
+        // may live in another shard, so the ejecting side stages the
+        // ack in its shard's slot; the source's owner drains the
+        // slots in ascending-slot order (== ascending ejecting node)
+        // before any retransmission timer fires (evaluateShard).
+        ackStage_.resize(static_cast<std::size_t>(shards_));
         for (NodeId node = 0; node < n; ++node) {
             nics_[node]->attachLedger(ledgers_[node].get());
             nics_[node]->setAckHandler(
-                [this](NodeId src, PacketId packet) {
-                    nics_.at(src)->onAcked(packet);
+                [this, slot = shardOf_[node]](NodeId src,
+                                              PacketId packet) {
+                    ackStage_[static_cast<std::size_t>(slot)]
+                        .emplace_back(src, packet);
                 });
         }
     }
@@ -165,61 +228,44 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
 Network::~Network() = default;
 
 void
-Network::deliver()
+Network::deliverShard(int s)
 {
-    int n = mesh_.numNodes();
-    if (faults_) {
-        faults_->beginCycle(now_);
-        // Stall-held flits re-enter first, so a link releases at most
-        // one flit per cycle (regular arrivals on a link that just
-        // released are captured behind it by onFlitArrival).
-        faults_->releaseHeld(now_,
-            [this](NodeId node, int d, Flit &flit) {
-                Direction dir = static_cast<Direction>(d);
-                NodeId nbr = mesh_.neighbor(node, dir);
-                wakeRouter(nbr);
-                routers_[nbr]->acceptFlit(opposite(dir), flit, now_);
-            });
-    }
     // Any delivered arrival re-activates its router first, so the
     // parked router replays its skipped idle cycles before the accept
     // mutates latch/credit state. Channels drain with ready()/pop()
     // — a quiet link costs one deque probe, an arrival no vector.
-    for (NodeId node = 0; node < n; ++node) {
-        for (int d = 0; d < kNumNetPorts; ++d) {
-            Direction dir = static_cast<Direction>(d);
-            NodeId nbr = mesh_.neighbor(node, dir);
-            if (nbr == kInvalidNode)
-                continue;
-            if (flitCh_[node][d]) {
-                while (flitCh_[node][d]->ready(now_)) {
-                    Flit flit = flitCh_[node][d]->pop();
-                    if (faults_ &&
-                        !faults_->onFlitArrival(node, d, flit, now_))
-                        continue; // captured by a link stall
-                    wakeRouter(nbr);
-                    routers_[nbr]->acceptFlit(opposite(dir), flit, now_);
-                }
+    // Channels were last written in the previous cycle's evaluate
+    // phase (latency >= 1), and each is popped only by its
+    // destination's owner, so shards never touch a deque two ways.
+    const ShardState &sh = shardState_[static_cast<std::size_t>(s)];
+    for (NodeId node = sh.begin; node < sh.end; ++node) {
+        for (const InLink &in : inLinks_[static_cast<std::size_t>(node)]) {
+            while (in.flit->ready(now_)) {
+                Flit flit = in.flit->pop();
+                if (faults_ &&
+                    !faults_->onFlitArrival(in.src, in.outDir, flit,
+                                            now_))
+                    continue; // captured by a link stall
+                wakeRouter(node);
+                routers_[node]->acceptFlit(in.inPort, flit, now_);
             }
-            if (creditCh_[node][d]) {
-                // A credit sent from node's *input* port d goes to
-                // the upstream router's *output* port opposite(d).
-                while (creditCh_[node][d]->ready(now_)) {
-                    Credit credit = creditCh_[node][d]->pop();
-                    if (faults_ &&
-                        !faults_->onCreditArrival(node, d, now_))
-                        continue; // credit lost (watchdog-test knob)
-                    wakeRouter(nbr);
-                    routers_[nbr]->acceptCredit(opposite(dir), credit,
-                                                now_);
-                }
+            // Credits travel the link's reverse channel: a credit
+            // sent from src's *input* port arrives at our *output*
+            // port facing src. The destination-major walk drains
+            // every channel whose consumer we own, so this credit
+            // backflow belongs to us, not to src's shard.
+            while (in.credit->ready(now_)) {
+                Credit credit = in.credit->pop();
+                if (faults_ &&
+                    !faults_->onCreditArrival(in.src, in.outDir, now_))
+                    continue; // credit lost (watchdog-test knob)
+                wakeRouter(node);
+                routers_[node]->acceptCredit(in.inPort, credit, now_);
             }
-            if (ctlCh_[node][d]) {
-                while (ctlCh_[node][d]->ready(now_)) {
-                    CtlMsg msg = ctlCh_[node][d]->pop();
-                    wakeRouter(nbr);
-                    routers_[nbr]->acceptCtl(opposite(dir), msg, now_);
-                }
+            while (in.ctl->ready(now_)) {
+                CtlMsg msg = in.ctl->pop();
+                wakeRouter(node);
+                routers_[node]->acceptCtl(in.inPort, msg, now_);
             }
         }
         while (ejectCh_[node]->ready(now_)) {
@@ -230,6 +276,129 @@ Network::deliver()
 }
 
 void
+Network::evaluateShard(int s)
+{
+    // The pooled slice bundles both evaluate sub-steps per shard.
+    // State-wise the bundling is free: each sub-step touches only
+    // shard-owned state, so slices compose in any interleaving. The
+    // serialized gate in step() runs the sub-steps phase-major
+    // instead, because *trace event order* is not interleaving-free
+    // — and a tracer can only be attached on the serialized path.
+    evaluateNicsShard(s);
+    evaluateRoutersShard(s);
+}
+
+void
+Network::evaluateNicsShard(int s)
+{
+    if (!relEnabled_)
+        return;
+    ShardState &sh = shardState_[static_cast<std::size_t>(s)];
+    // Acks staged by this cycle's ejections, in ascending-slot
+    // (== ascending ejecting node) order, before any owned NIC's
+    // retransmission timer can fire on the just-acked packet.
+    for (const auto &slot : ackStage_) {
+        for (const auto &[src, packet] : slot) {
+            if (shardOf_[static_cast<std::size_t>(src)] == s)
+                nics_[src]->onAcked(packet);
+        }
+    }
+    for (NodeId node = sh.begin; node < sh.end; ++node)
+        nics_[node]->tick(now_);
+}
+
+void
+Network::evaluateRoutersShard(int s)
+{
+    ShardState &sh = shardState_[static_cast<std::size_t>(s)];
+    if (!idleSkip_) {
+        for (NodeId node = sh.begin; node < sh.end; ++node)
+            routers_[node]->evaluate(now_);
+        return;
+    }
+    // Evaluate order must match the full scan's ascending node
+    // order: same-cycle pushes into the shared NACK fabric are
+    // order-sensitive. Wakes append, so restore sortedness first.
+    if (sh.needSort) {
+        std::sort(sh.activeList.begin(), sh.activeList.end());
+        sh.needSort = false;
+    }
+    for (NodeId node : sh.activeList)
+        routers_[node]->evaluate(now_);
+}
+
+void
+Network::advanceShard(int s)
+{
+    ShardState &sh = shardState_[static_cast<std::size_t>(s)];
+    // Merge the NACK hand-off staged during evaluate: ascending-slot
+    // order is the serial kernel's ascending-sender push order, and
+    // queue order matters (arrivalsFor stops at the queue head).
+    // Every shard reads all slots but pushes only into queues it
+    // owns; wakes land in the owner's pendingWake, as they would
+    // have from a serial mid-evaluate send.
+    if (nackFabric_) {
+        for (int from = 0; from < shards_; ++from) {
+            for (const NackFabric::Staged &e :
+                 nackFabric_->stagedSlot(from)) {
+                if (shardOf_[static_cast<std::size_t>(e.to)] != s)
+                    continue;
+                nackFabric_->pushStaged(e);
+                wakeDeferred(e.to);
+            }
+        }
+    }
+    if (!idleSkip_) {
+        for (NodeId node = sh.begin; node < sh.end; ++node)
+            routers_[node]->advance(now_);
+        return;
+    }
+    for (NodeId node : sh.activeList)
+        routers_[node]->advance(now_);
+    // Routers NACKed mid-evaluate: replay their idle cycles
+    // through now_ and admit them for cycle now_ + 1.
+    if (!sh.pendingWake.empty()) {
+        for (NodeId node : sh.pendingWake) {
+            if (lastDone_[node] < now_ + 1)
+                routers_[node]->advanceIdle(now_ + 1 - lastDone_[node]);
+            sh.activeList.push_back(node);
+        }
+        sh.pendingWake.clear();
+        sh.needSort = true;
+    }
+    // Park scan, every kParkIntervalCycles: drop routers that
+    // are idle *right now* from the active list, stamping the
+    // first cycle they have not yet run (now_ + 1). Everyone
+    // else stays listed; an active router's lastDone_ is never
+    // read (syncTo and wakeRouter check the flag first), so the
+    // common all-busy cycle touches no scheduler state at all.
+    if ((now_ + 1) % kParkIntervalCycles == 0) {
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < sh.activeList.size(); ++i) {
+            NodeId node = sh.activeList[i];
+            if (routers_[node]->idle()) {
+                activeFlag_[node] = 0;
+                lastDone_[node] = now_ + 1;
+                continue;
+            }
+            sh.activeList[w++] = node;
+        }
+        sh.activeList.resize(w);
+    }
+}
+
+void
+Network::runPhase(bool parallel, void (Network::*phase)(int))
+{
+    if (parallel) {
+        pool_->run([this, phase](int s) { (this->*phase)(s); });
+        return;
+    }
+    for (int s = 0; s < shards_; ++s)
+        (this->*phase)(s);
+}
+
+void
 Network::wakeRouter(NodeId n)
 {
     if (!idleSkip_ || activeFlag_[n])
@@ -237,8 +406,9 @@ Network::wakeRouter(NodeId n)
     if (lastDone_[n] < now_)
         routers_[n]->advanceIdle(now_ - lastDone_[n]);
     activeFlag_[n] = 1;
-    activeList_.push_back(n);
-    needSort_ = true;
+    ShardState &sh = shardState_[static_cast<std::size_t>(shardOf_[n])];
+    sh.activeList.push_back(n);
+    sh.needSort = true;
 }
 
 void
@@ -247,11 +417,14 @@ Network::wakeDeferred(NodeId n)
     if (!idleSkip_ || activeFlag_[n])
         return;
     // Flag now so repeat senders don't queue n twice; the idle replay
-    // happens after the advance loop (the sender fires mid-evaluate,
-    // and a parked router is provably idle through the current cycle
-    // — NACK fabric delay is always >= 1).
+    // happens after the advance loop (the NACK that woke n was sent
+    // mid-evaluate, and a parked router is provably idle through the
+    // current cycle — NACK fabric delay is always >= 1). Under the
+    // sharded kernel this runs at the hand-off merge, always from n's
+    // owning shard.
     activeFlag_[n] = 1;
-    pendingWake_.push_back(n);
+    shardState_[static_cast<std::size_t>(shardOf_[n])]
+        .pendingWake.push_back(n);
 }
 
 void
@@ -271,59 +444,52 @@ Network::step()
         AFCSIM_SIM_ERROR("injected hard failure at cycle ", now_,
                          " (fault.fail_at_cycle)");
     }
-    deliver();
-    if (relEnabled_) {
-        for (auto &nic : nics_)
-            nic->tick(now_);
+    // Serial prologue: the fault injector's cycle work mutates global
+    // fault state (counters + the ordered event trace) and wakes
+    // arbitrary routers, so it always runs on this thread, before any
+    // shard moves. Stall-held flits re-enter first, so a link
+    // releases at most one flit per cycle (regular arrivals on a link
+    // that just released are captured behind it by onFlitArrival).
+    if (faults_) {
+        faults_->beginCycle(now_);
+        faults_->releaseHeld(now_,
+            [this](NodeId node, int d, Flit &flit) {
+                Direction dir = static_cast<Direction>(d);
+                NodeId nbr = mesh_.neighbor(node, dir);
+                wakeRouter(nbr);
+                routers_[nbr]->acceptFlit(opposite(dir), flit, now_);
+            });
     }
-    if (!idleSkip_) {
-        for (auto &r : routers_)
-            r->evaluate(now_);
-        for (auto &r : routers_)
-            r->advance(now_);
+    // Threads pay off only without a global-order sink: an attached
+    // flit tracer and the fault injector both append to single
+    // ordered buffers from inside the phases. Such runs execute the
+    // same shard slices inline on the main thread — and, because the
+    // buffers record event *order* (not just state), the serialized
+    // evaluate runs its two sub-steps phase-major (all shards' NIC
+    // timers, then all shards' router evaluates) so trace events
+    // interleave exactly as they do at shards=1.
+    bool parallel = shards_ > 1 && !tracerAttached_ && !faults_;
+    if (parallel && !pool_)
+        pool_ = std::make_unique<ShardPool>(shards_);
+    // Three barriers per cycle: deliver | evaluate | advance. The
+    // phase boundaries are where cross-shard traffic changes hands
+    // (channels written in evaluate drain in the next cycle's
+    // deliver; acks staged in deliver drain in evaluate; NACKs
+    // staged in evaluate merge in advance).
+    runPhase(parallel, &Network::deliverShard);
+    if (parallel) {
+        runPhase(true, &Network::evaluateShard);
     } else {
-        // Evaluate order must match the full scan's ascending node
-        // order: same-cycle pushes into the shared NACK fabric are
-        // order-sensitive. Wakes append, so restore sortedness first.
-        if (needSort_) {
-            std::sort(activeList_.begin(), activeList_.end());
-            needSort_ = false;
-        }
-        for (NodeId n : activeList_)
-            routers_[n]->evaluate(now_);
-        for (NodeId n : activeList_)
-            routers_[n]->advance(now_);
-        // Routers NACKed mid-evaluate: replay their idle cycles
-        // through now_ and admit them for cycle now_ + 1.
-        if (!pendingWake_.empty()) {
-            for (NodeId n : pendingWake_) {
-                if (lastDone_[n] < now_ + 1)
-                    routers_[n]->advanceIdle(now_ + 1 - lastDone_[n]);
-                activeList_.push_back(n);
-            }
-            pendingWake_.clear();
-            needSort_ = true;
-        }
-        // Park scan, every kParkIntervalCycles: drop routers that
-        // are idle *right now* from the active list, stamping the
-        // first cycle they have not yet run (now_ + 1). Everyone
-        // else stays listed; an active router's lastDone_ is never
-        // read (syncTo and wakeRouter check the flag first), so the
-        // common all-busy cycle touches no scheduler state at all.
-        if ((now_ + 1) % kParkIntervalCycles == 0) {
-            std::size_t w = 0;
-            for (std::size_t i = 0; i < activeList_.size(); ++i) {
-                NodeId n = activeList_[i];
-                if (routers_[n]->idle()) {
-                    activeFlag_[n] = 0;
-                    lastDone_[n] = now_ + 1;
-                    continue;
-                }
-                activeList_[w++] = n;
-            }
-            activeList_.resize(w);
-        }
+        runPhase(false, &Network::evaluateNicsShard);
+        runPhase(false, &Network::evaluateRoutersShard);
     }
+    runPhase(parallel, &Network::advanceShard);
+    if (relEnabled_) {
+        for (auto &slot : ackStage_)
+            slot.clear();
+    }
+    if (nackFabric_)
+        nackFabric_->clearStaged();
     if (watchdog_ && now_ > 0 &&
         now_ % cfg_.watchdog.intervalCycles == 0) {
         // Audits read true per-router state: catch parked routers up
@@ -446,6 +612,10 @@ Network::nodeUtilization(NodeId n) const
 void
 Network::setTracer(FlitTracer *tracer)
 {
+    // A tracer is a single global-order event sink: step() drops to
+    // inline shard execution while one is attached (byte-identical,
+    // just unpooled).
+    tracerAttached_ = tracer != nullptr;
     for (auto &r : routers_)
         r->attachTracer(tracer);
     for (auto &nic : nics_)

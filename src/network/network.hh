@@ -43,6 +43,7 @@ class Reader;
 
 class FaultInjector;
 class Watchdog;
+class ShardPool;
 
 /** A complete mesh network under one flow-control mechanism. */
 class Network
@@ -195,7 +196,75 @@ class Network
     /// @}
 
   private:
-    void deliver();
+    /// @name Sharded cycle kernel (cfg.shards, docs/ARCHITECTURE.md).
+    ///
+    /// The mesh is split into `shards_` contiguous node ranges; each
+    /// phase of step() runs once per shard (on a worker pool when
+    /// profitable, inline otherwise — byte-identical either way).
+    /// Cross-shard effects are staged per source shard and merged in
+    /// ascending-slot order at fixed points, so the global order of
+    /// every order-sensitive operation equals the serial kernel's
+    /// ascending-node order for any shard count.
+    /// @{
+    /** Per-shard slice of the activity scheduler. */
+    struct ShardState
+    {
+        NodeId begin = 0; ///< first owned node
+        NodeId end = 0;   ///< one past the last owned node
+        /** Active routers of this shard, ascending (concatenating the
+         *  shards' lists in shard order yields the serial kernel's
+         *  global ascending evaluate order). */
+        std::vector<NodeId> activeList;
+        std::vector<NodeId> pendingWake;
+        bool needSort = false;
+    };
+
+    /** Precomputed incoming link of a node (destination-major
+     *  deliver): the channels from `src`'s output port `outDir` into
+     *  our input port `inPort`. */
+    struct InLink
+    {
+        NodeId src;
+        Direction outDir;
+        Direction inPort;
+        Channel<Flit> *flit;
+        Channel<Credit> *credit;
+        Channel<CtlMsg> *ctl;
+    };
+
+    /** Channel drains + NIC ejection for shard s's routers. */
+    void deliverShard(int s);
+    /** Staged-ack drain, NIC retransmission timers, router evaluate
+     *  — the pooled slice, bundling both evaluate sub-steps. */
+    void evaluateShard(int s);
+    /** Evaluate sub-step 1: staged-ack drain + NIC retransmission
+     *  timers for shard s (no-op when reliability is off). */
+    void evaluateNicsShard(int s);
+    /** Evaluate sub-step 2: router evaluate for shard s's actives. */
+    void evaluateRoutersShard(int s);
+    /** NACK hand-off merge, router advance, deferred wakes, park. */
+    void advanceShard(int s);
+    /** Run fn(s) for every shard — on the pool when parallel. */
+    void runPhase(bool parallel, void (Network::*phase)(int));
+
+    int shards_ = 1;              ///< effective count (clamped to n)
+    std::vector<int> shardOf_;    ///< node -> owning shard
+    std::vector<ShardState> shardState_;
+    /** inLinks_[r]: r's incoming links, ascending by source node, so
+     *  per-destination accept order equals the serial source-major
+     *  scan restricted to r. */
+    std::vector<std::vector<InLink>> inLinks_;
+    /** Worker pool, created on the first step() that can use it. */
+    std::unique_ptr<ShardPool> pool_;
+    /** Global-order observer attached (obs trace or setTracer): the
+     *  event ring is a single append-only buffer, so phases run their
+     *  shard slices serially — same work, same order, no pool. */
+    bool tracerAttached_ = false;
+    /** ackStage_[s]: end-to-end acks (source NIC, packet) staged by
+     *  shard s's ejections this cycle; drained by the source's owner
+     *  in ascending-slot order before any retransmission timer. */
+    std::vector<std::vector<std::pair<NodeId, PacketId>>> ackStage_;
+    /// @}
 
     /// @name Idle-router activity scheduler (cfg.idleSkip).
     ///
@@ -238,16 +307,15 @@ class Network
      *  all. Parking policy is perf-only: it cannot affect simulation
      *  results (tests/sched_equiv_test.cc proves bit-identity). */
     static constexpr Cycle kParkIntervalCycles = 8;
-    /** Active routers, ascending (evaluate order must match the full
-     *  scan: same-cycle NACK-fabric pushes are order-sensitive). */
-    std::vector<NodeId> activeList_;
+    /** The active lists themselves live in shardState_ (ascending
+     *  per shard; shard-order concatenation is globally ascending,
+     *  which the evaluate order must be: same-cycle NACK-fabric
+     *  pushes are order-sensitive). */
     std::vector<std::uint8_t> activeFlag_;
     /** First cycle router n has not yet accounted for. Only
      *  meaningful while n is parked (stamped at park time); mutable
      *  so const accessors can sync parked routers on demand. */
     mutable std::vector<Cycle> lastDone_;
-    std::vector<NodeId> pendingWake_;
-    bool needSort_ = false;
     /// @}
 
     NetworkConfig cfg_;

@@ -133,6 +133,10 @@ hashNetworkConfig(const NetworkConfig &cfg, FlowControl fc)
     w.u64(cfg.seed);
     w.b(cfg.oldestFirstDeflection);
     w.b(cfg.idleSkip);
+    // cfg.shards is deliberately NOT hashed: the shard count is a
+    // pure execution knob (byte-identical exports for any value, see
+    // tests/sched_equiv_test.cc), so a snapshot taken under N shards
+    // must restore under any other count — including 1.
     return ckpt::fnv1a(w.bytes().data(), w.bytes().size());
 }
 
@@ -270,18 +274,22 @@ Network::ckptLoad(ckpt::Reader &r)
     if (obs_)
         obs_->ckptLoad(r);
 
-    // Re-admit every router to the active list for cycle now_. The
-    // original process's park set is not serialized: replayed idle
-    // arithmetic is bit-identical to live stepping, and the next park
-    // scan re-parks idle routers, so the restored run's exports match
-    // an uninterrupted run exactly.
+    // Re-admit every router to its shard's active list for cycle
+    // now_. Neither the park set nor the shard partition is
+    // serialized: replayed idle arithmetic is bit-identical to live
+    // stepping, the next park scan re-parks idle routers, and the
+    // restoring process may run any shard count (the partition is
+    // derived from this network's own config), so the restored run's
+    // exports match an uninterrupted run exactly.
     std::fill(activeFlag_.begin(), activeFlag_.end(), 1);
     std::fill(lastDone_.begin(), lastDone_.end(), Cycle{0});
-    activeList_.resize(static_cast<std::size_t>(n));
-    for (NodeId node = 0; node < n; ++node)
-        activeList_[static_cast<std::size_t>(node)] = node;
-    pendingWake_.clear();
-    needSort_ = false;
+    for (auto &sh : shardState_) {
+        sh.activeList.clear();
+        sh.pendingWake.clear();
+        sh.needSort = false;
+        for (NodeId node = sh.begin; node < sh.end; ++node)
+            sh.activeList.push_back(node);
+    }
 }
 
 } // namespace afcsim

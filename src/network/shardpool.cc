@@ -1,0 +1,105 @@
+#include "network/shardpool.hh"
+
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+template <typename T>
+void
+ShardPool::awaitChange(const std::atomic<T> &a, T old)
+{
+    // A phase hand-off is normally immediate (the other side is a few
+    // hundred instructions away), so spin first; the futex path only
+    // matters for a pool idling between step() bursts.
+    for (int spins = 0; spins < 4096; ++spins) {
+        if (a.load(std::memory_order_acquire) != old)
+            return;
+        cpuRelax();
+    }
+    while (a.load(std::memory_order_acquire) == old)
+        a.wait(old, std::memory_order_acquire);
+}
+
+ShardPool::ShardPool(int shards) : shards_(shards)
+{
+    AFCSIM_ASSERT(shards >= 2, "a shard pool needs >= 2 shards");
+    workers_.reserve(static_cast<std::size_t>(shards - 1));
+    for (int s = 1; s < shards; ++s)
+        workers_.emplace_back([this, s] { workerMain(s); });
+}
+
+ShardPool::~ShardPool()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ShardPool::run(const std::function<void(int)> &fn)
+{
+    fn_ = &fn;
+    pending_.store(shards_ - 1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    try {
+        fn(0);
+    } catch (...) {
+        if (!failed_.exchange(true, std::memory_order_acq_rel))
+            error_ = std::current_exception();
+    }
+    int left = pending_.load(std::memory_order_acquire);
+    while (left != 0) {
+        awaitChange(pending_, left);
+        left = pending_.load(std::memory_order_acquire);
+    }
+    fn_ = nullptr;
+    if (failed_.load(std::memory_order_acquire)) {
+        std::exception_ptr e = error_;
+        error_ = nullptr;
+        failed_.store(false, std::memory_order_release);
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ShardPool::workerMain(int shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        awaitChange(epoch_, seen);
+        seen = epoch_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        try {
+            (*fn_)(shard);
+        } catch (...) {
+            if (!failed_.exchange(true, std::memory_order_acq_rel))
+                error_ = std::current_exception();
+        }
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            pending_.notify_all();
+    }
+}
+
+} // namespace afcsim

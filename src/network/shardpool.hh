@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Persistent worker pool for the sharded cycle kernel (DESIGN.md
+ * S21, docs/ARCHITECTURE.md): N-1 worker threads plus the caller
+ * execute one shard each per phase, synchronized by a spin-then-wait
+ * epoch barrier. The pool carries no simulation state — which shard
+ * touches which router is decided entirely by Network::step()'s
+ * contiguous node partition, so determinism never depends on thread
+ * scheduling.
+ */
+
+#ifndef AFCSIM_NETWORK_SHARDPOOL_HH
+#define AFCSIM_NETWORK_SHARDPOOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace afcsim
+{
+
+/**
+ * Runs fn(shard) for shards 0..N-1, the caller taking shard 0.
+ * run() is a full barrier: it returns only after every shard's
+ * callback finished. Workers park on a C++20 atomic wait after a
+ * short spin, so back-to-back phases (the three per simulated cycle)
+ * hand off in sub-microsecond time while an idle pool costs no CPU.
+ */
+class ShardPool
+{
+  public:
+    explicit ShardPool(int shards);
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    int shards() const { return shards_; }
+
+    /**
+     * Execute fn(s) on every shard and wait for all of them. If any
+     * callback throws, the first exception is rethrown here (after
+     * the barrier, so no callback is still running).
+     */
+    void run(const std::function<void(int)> &fn);
+
+  private:
+    void workerMain(int shard);
+    /** Spin briefly, then block on the atomic until it leaves `old`. */
+    template <typename T>
+    static void awaitChange(const std::atomic<T> &a, T old);
+
+    int shards_;
+    std::vector<std::thread> workers_;
+    /** Bumped once per run(); workers run one phase per bump. */
+    std::atomic<std::uint64_t> epoch_{0};
+    /** Worker callbacks still running in the current phase. */
+    std::atomic<int> pending_{0};
+    std::atomic<bool> stop_{false};
+    const std::function<void(int)> *fn_ = nullptr;
+    /** First exception thrown by any shard's callback this phase. */
+    std::atomic<bool> failed_{false};
+    std::exception_ptr error_;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_NETWORK_SHARDPOOL_HH

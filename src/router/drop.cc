@@ -43,7 +43,7 @@ DropRouter::dropFlit(const Flit &flit, Cycle now)
     if (tracer_)
         tracer_->onDrop(node_, flit, now);
     Cycle delay = std::max(1, mesh_.hopDistance(node_, flit.src));
-    fabric_->send(flit.src, {flit.packet, flit.seq}, now, delay);
+    fabric_->send(flit.src, {flit.packet, flit.seq}, now, delay, node_);
     if (ledger_) {
         // The dedicated NACK wire burns roughly a control signal per
         // hop back to the source.

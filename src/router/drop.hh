@@ -53,16 +53,74 @@ class NackFabric
         std::uint16_t seq;
     };
 
+    /** One staged cross-shard NACK (sharded cycle kernel). */
+    struct Staged
+    {
+        NodeId to;     ///< NACK destination (the dropped flit's source)
+        Cycle arrival; ///< now + delay at send time
+        Nack nack;
+    };
+
     explicit NackFabric(int num_nodes) : queues_(num_nodes) {}
 
-    /** Send a NACK toward `src`, arriving after `delay` cycles. */
+    /**
+     * Send a NACK toward `src`, arriving after `delay` cycles.
+     * `sender` is the dropping router; with staging enabled
+     * (sharded kernel) the NACK lands in the sender-shard's staging
+     * slot instead of the destination queue — the kernel merges the
+     * slots in ascending-slot order after the evaluate phase, which
+     * reproduces the ascending-sender push order of the serial
+     * kernel exactly (queue order is behaviorally significant: a
+     * far NACK at the queue head delays a near one behind it).
+     * Without staging (standalone fabric, unit tests) the push and
+     * the wake hook fire immediately, as they always have.
+     */
     void
-    send(NodeId src, const Nack &nack, Cycle now, Cycle delay)
+    send(NodeId src, const Nack &nack, Cycle now, Cycle delay,
+         NodeId sender = kInvalidNode)
     {
+        if (!stage_.empty() && sender != kInvalidNode) {
+            stage_[static_cast<std::size_t>(slotOf_[sender])]
+                .push_back({src, now + delay, nack});
+            return; // queue push + wake happen at the merge
+        }
         queues_.at(src).push_back({now + delay, nack});
         if (wake_)
             wake_(src);
     }
+
+    /// @name Sharded hand-off staging (Network::step()).
+    /// @{
+    /** Arm staging: sends carrying a sender id are parked in slot
+     *  `slot_of_node[sender]` until the kernel merges them. */
+    void
+    enableStaging(int num_slots, std::vector<int> slot_of_node)
+    {
+        stage_.assign(static_cast<std::size_t>(num_slots), {});
+        slotOf_ = std::move(slot_of_node);
+    }
+
+    const std::vector<Staged> &
+    stagedSlot(int slot) const
+    {
+        return stage_.at(static_cast<std::size_t>(slot));
+    }
+
+    /** Move one staged entry into its destination queue. */
+    void
+    pushStaged(const Staged &e)
+    {
+        queues_.at(e.to).push_back({e.arrival, e.nack});
+    }
+
+    /** Drop all staged entries (end of the cycle's merge). */
+    void
+    clearStaged()
+    {
+        for (auto &slot : stage_)
+            slot.clear();
+    }
+    /// @}
 
     /**
      * Notify the scheduler that `src` has NACK traffic en route (the
@@ -122,6 +180,10 @@ class NackFabric
   private:
     std::vector<std::deque<std::pair<Cycle, Nack>>> queues_;
     std::function<void(NodeId)> wake_;
+    /** Per-slot staged sends; empty when staging is disabled. */
+    std::vector<std::vector<Staged>> stage_;
+    /** Sender node -> staging slot (the sender's shard). */
+    std::vector<int> slotOf_;
 };
 
 /** Bufferless minimal-routing router that drops on contention. */

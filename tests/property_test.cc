@@ -216,10 +216,12 @@ TEST(Property, DeflectionNeverHoldsFlits)
  * repeatable with `sim.idle_skip` on and off.
  */
 std::string
-runChurn(FlowControl fc, int seed, bool idle_skip, Cycle *out_now = nullptr)
+runChurn(FlowControl fc, int seed, bool idle_skip, int shards = 1,
+         Cycle *out_now = nullptr)
 {
     NetworkConfig cfg = testConfig();
     cfg.idleSkip = idle_skip;
+    cfg.shards = shards;
     cfg.seed = 7;
     Network net(cfg, fc);
     Rng rng(seed);
@@ -341,13 +343,28 @@ TEST_P(IdleChurnSweep, ChurnCountersMatchFullScanExactly)
     EXPECT_NE(on, "DRAIN FAILED");
 }
 
+TEST_P(IdleChurnSweep, ChurnCountersShardInvariant)
+{
+    // Sleep/wake churn with the worker pool live: whole shards park
+    // and re-wake while other shards saturate, so the per-shard
+    // active lists, pending-wake replay and park scans all run
+    // concurrently. Counters must match the single-shard run exactly,
+    // with idle-skip both on and off.
+    auto [fc, seed] = GetParam();
+    std::string one = runChurn(fc, seed, true, 1);
+    EXPECT_EQ(one, runChurn(fc, seed, true, 3));
+    EXPECT_EQ(runChurn(fc, seed, false, 1),
+              runChurn(fc, seed, false, 4));
+    EXPECT_NE(one, "DRAIN FAILED");
+}
+
 TEST(Property, ChurnStillProducesGossipAndModeSwitches)
 {
     // The equality check above is vacuous for AFC if churn never
     // leaves backpressureless mode; prove the workload actually
     // exercises forward/reverse switching under idle-skip.
     Cycle now = 0;
-    std::string fp = runChurn(FlowControl::Afc, 11, true, &now);
+    std::string fp = runChurn(FlowControl::Afc, 11, true, 1, &now);
     ASSERT_NE(fp, "DRAIN FAILED");
     EXPECT_EQ(fp.find(" fwd=0 "), std::string::npos) << fp;
     EXPECT_EQ(fp.find(" rev=0 "), std::string::npos) << fp;

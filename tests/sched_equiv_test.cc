@@ -1,8 +1,9 @@
 /**
  * @file
- * Differential bit-identity suite for the idle-router activity
- * scheduler (`sim.idle_skip`). Every run is executed twice — skip on
- * and skip off — and every exported artifact must be byte-identical:
+ * Differential bit-identity suite for the cycle kernel's execution
+ * knobs: the idle-router activity scheduler (`sim.idle_skip`) and the
+ * shard count (`sim.shards`). Every run is executed once per knob
+ * setting and every exported artifact must be byte-identical:
  * aggregate/per-router counters, energy ledgers, fault counters, the
  * observability sampler series and the Chrome trace. Watchdog audits
  * run at a tightened interval in both runs, so a scheduler bug that
@@ -11,9 +12,13 @@
  *
  * The grid mirrors the coverage contract: {backpressured,
  * backpressureless, AFC, drop} x {uniform, hotspot, closed-loop
- * memory system} x fault rates {0, nonzero}.
+ * memory system} x fault rates {0, nonzero} x shard counts {1, N}
+ * (with N chosen to force uneven partitions), plus worker-pool runs
+ * with tracing off so the threaded path itself is exercised, and a
+ * mid-run checkpoint taken under N shards and restored under 1.
  */
 
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
@@ -116,6 +121,64 @@ caseName(const testing::TestParamInfo<EquivCase> &info)
     return info.param.name;
 }
 
+/** Shared by the idle-skip and shard-count differential fixtures:
+ *  both axes promise byte-identical exports over the same coverage
+ *  contract, so they run the same grid. */
+const EquivCase kOpenLoopGrid[] = {
+    // Fault-free: every flow control, uniform and hotspot.
+    {"bp_uniform", FlowControl::Backpressured, "uniform", 0.15, 0.0,
+     0.0},
+    {"bp_hotspot", FlowControl::Backpressured, "hotspot", 0.10, 0.0,
+     0.0},
+    {"bpl_uniform", FlowControl::Backpressureless, "uniform", 0.15,
+     0.0, 0.0},
+    {"bpl_hotspot", FlowControl::Backpressureless, "hotspot", 0.10,
+     0.0, 0.0},
+    {"afc_uniform", FlowControl::Afc, "uniform", 0.15, 0.0, 0.0},
+    {"afc_hotspot", FlowControl::Afc, "hotspot", 0.10, 0.0, 0.0},
+    // High load: AFC switches modes, gossip propagates.
+    {"afc_uniform_hi", FlowControl::Afc, "uniform", 0.45, 0.0, 0.0},
+    {"drop_uniform", FlowControl::BackpressurelessDrop, "uniform",
+     0.15, 0.0, 0.0},
+    {"drop_hotspot", FlowControl::BackpressurelessDrop, "hotspot",
+     0.10, 0.0, 0.0},
+    // Nonzero faults: corruption + retransmission for the
+    // credit/latch variants, loss-free stalls for drop (its NACK
+    // protocol handles loss itself; stalls stress wake timing).
+    {"bp_faulty", FlowControl::Backpressured, "uniform", 0.12, 0.002,
+     0.0},
+    {"bpl_faulty", FlowControl::Backpressureless, "uniform", 0.12,
+     0.002, 0.0},
+    {"afc_faulty", FlowControl::Afc, "uniform", 0.12, 0.002, 0.0},
+    {"drop_stalls", FlowControl::BackpressurelessDrop, "uniform",
+     0.12, 0.0, 0.002},
+};
+
+/** Arm the fault/reliability knobs of one grid point. */
+void
+armFaults(NetworkConfig &cfg, const EquivCase &p)
+{
+    cfg.faults.corruptRate = p.corruptRate;
+    cfg.faults.stallRate = p.stallRate;
+    if (p.corruptRate > 0.0) {
+        cfg.reliability.enabled = true;
+        cfg.reliability.timeoutCycles = 256;
+        cfg.reliability.maxRetries = 16;
+    }
+}
+
+OpenLoopConfig
+gridOl(const EquivCase &p)
+{
+    OpenLoopConfig ol;
+    ol.pattern = p.pattern;
+    ol.injectionRate = p.rate;
+    ol.warmupCycles = 300;
+    ol.measureCycles = 1500;
+    ol.drainCycles = 30000;
+    return ol;
+}
+
 class SchedEquivTest : public testing::TestWithParam<EquivCase>
 {
 };
@@ -123,66 +186,57 @@ class SchedEquivTest : public testing::TestWithParam<EquivCase>
 TEST_P(SchedEquivTest, OpenLoopBitIdentical)
 {
     const EquivCase &p = GetParam();
-    OpenLoopConfig ol;
-    ol.pattern = p.pattern;
-    ol.injectionRate = p.rate;
-    ol.warmupCycles = 300;
-    ol.measureCycles = 1500;
-    ol.drainCycles = 30000;
+    OpenLoopConfig ol = gridOl(p);
 
     std::string fp[2];
     for (int skip = 0; skip < 2; ++skip) {
         NetworkConfig cfg = testConfig();
         cfg.idleSkip = skip != 0;
         armObservers(cfg);
-        cfg.faults.corruptRate = p.corruptRate;
-        cfg.faults.stallRate = p.stallRate;
-        if (p.corruptRate > 0.0) {
-            cfg.reliability.enabled = true;
-            cfg.reliability.timeoutCycles = 256;
-            cfg.reliability.maxRetries = 16;
-        }
+        armFaults(cfg, p);
         fp[skip] = openLoopFingerprint(runOpenLoop(cfg, p.fc, ol));
     }
     EXPECT_EQ(fp[0], fp[1])
         << "idle_skip diverged for " << p.name;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Grid, SchedEquivTest,
-    testing::Values(
-        // Fault-free: every flow control, uniform and hotspot.
-        EquivCase{"bp_uniform", FlowControl::Backpressured,
-                  "uniform", 0.15, 0.0, 0.0},
-        EquivCase{"bp_hotspot", FlowControl::Backpressured,
-                  "hotspot", 0.10, 0.0, 0.0},
-        EquivCase{"bpl_uniform", FlowControl::Backpressureless,
-                  "uniform", 0.15, 0.0, 0.0},
-        EquivCase{"bpl_hotspot", FlowControl::Backpressureless,
-                  "hotspot", 0.10, 0.0, 0.0},
-        EquivCase{"afc_uniform", FlowControl::Afc,
-                  "uniform", 0.15, 0.0, 0.0},
-        EquivCase{"afc_hotspot", FlowControl::Afc,
-                  "hotspot", 0.10, 0.0, 0.0},
-        // High load: AFC switches modes, gossip propagates.
-        EquivCase{"afc_uniform_hi", FlowControl::Afc,
-                  "uniform", 0.45, 0.0, 0.0},
-        EquivCase{"drop_uniform", FlowControl::BackpressurelessDrop,
-                  "uniform", 0.15, 0.0, 0.0},
-        EquivCase{"drop_hotspot", FlowControl::BackpressurelessDrop,
-                  "hotspot", 0.10, 0.0, 0.0},
-        // Nonzero faults: corruption + retransmission for the
-        // credit/latch variants, loss-free stalls for drop (its NACK
-        // protocol handles loss itself; stalls stress wake timing).
-        EquivCase{"bp_faulty", FlowControl::Backpressured,
-                  "uniform", 0.12, 0.002, 0.0},
-        EquivCase{"bpl_faulty", FlowControl::Backpressureless,
-                  "uniform", 0.12, 0.002, 0.0},
-        EquivCase{"afc_faulty", FlowControl::Afc,
-                  "uniform", 0.12, 0.002, 0.0},
-        EquivCase{"drop_stalls", FlowControl::BackpressurelessDrop,
-                  "uniform", 0.12, 0.0, 0.002}),
-    caseName);
+INSTANTIATE_TEST_SUITE_P(Grid, SchedEquivTest,
+                         testing::ValuesIn(kOpenLoopGrid), caseName);
+
+/** Shard-count axis over the same grid: exports must not depend on
+ *  how the mesh is partitioned. Shard counts are chosen to force
+ *  uneven contiguous partitions of the 3x3 mesh (9 = 3x3, 7 leaves
+ *  two shards with two nodes each). Full observers stay armed, so
+ *  the traced/faulty points run the sharded kernel in its serialized
+ *  gate — same slices, same hand-off order, sub-phase-major evaluate
+ *  so trace event order matches shards=1, main thread only — which
+ *  is exactly what those features get in production. */
+class ShardEquivTest : public testing::TestWithParam<EquivCase>
+{
+};
+
+TEST_P(ShardEquivTest, OpenLoopShardCountBitIdentical)
+{
+    const EquivCase &p = GetParam();
+    OpenLoopConfig ol = gridOl(p);
+
+    std::string ref;
+    for (int shards : {1, 3, 7}) {
+        NetworkConfig cfg = testConfig();
+        cfg.shards = shards;
+        armObservers(cfg);
+        armFaults(cfg, p);
+        std::string fp = openLoopFingerprint(runOpenLoop(cfg, p.fc, ol));
+        if (shards == 1)
+            ref = fp;
+        else
+            EXPECT_EQ(ref, fp) << "shards=" << shards
+                               << " diverged for " << p.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ShardEquivTest,
+                         testing::ValuesIn(kOpenLoopGrid), caseName);
 
 /** Closed-loop memory-system grid: the bursty request/response
  *  traffic quiesces whole regions of the mesh between misses, so
@@ -211,6 +265,45 @@ TEST_P(SchedEquivClosedLoopTest, MemsysBitIdentical)
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, SchedEquivClosedLoopTest,
+    testing::Values(
+        std::make_pair("bp", FlowControl::Backpressured),
+        std::make_pair("bpl", FlowControl::Backpressureless),
+        std::make_pair("afc", FlowControl::Afc),
+        std::make_pair("drop", FlowControl::BackpressurelessDrop)),
+    [](const auto &info) { return std::string(info.param.first); });
+
+/** Shard axis under the closed-loop memory system: cores, caches and
+ *  the directory all interact with the network between cycles, so
+ *  this proves the shard barriers leave every cycle-boundary
+ *  interface (NIC eject callbacks, sendPacket, drain) untouched.
+ *  16 nodes / 5 shards gives a 4,3,3,3,3 partition. */
+class ShardEquivClosedLoopTest
+    : public testing::TestWithParam<std::pair<const char *, FlowControl>>
+{
+};
+
+TEST_P(ShardEquivClosedLoopTest, MemsysShardCountBitIdentical)
+{
+    FlowControl fc = GetParam().second;
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= 20;
+    w.measureTransactions /= 20;
+
+    std::string ref;
+    for (int shards : {1, 4, 5}) {
+        NetworkConfig cfg = testConfig(4, 4);
+        cfg.shards = shards;
+        armObservers(cfg);
+        std::string fp = closedLoopFingerprint(runClosedLoop(cfg, fc, w));
+        if (shards == 1)
+            ref = fp;
+        else
+            EXPECT_EQ(ref, fp) << "shards=" << shards << " diverged";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardEquivClosedLoopTest,
     testing::Values(
         std::make_pair("bp", FlowControl::Backpressured),
         std::make_pair("bpl", FlowControl::Backpressureless),
@@ -302,6 +395,185 @@ TEST(SchedEquiv, MidRunPerRouterReadsExactAndNonPerturbing)
         fp[skip] = doc.dump(2);
     }
     EXPECT_EQ(fp[0], fp[1]);
+}
+
+/** The traced grid above runs the sharded kernel through its
+ *  serialized gate; these points drop the Chrome trace (sampler and
+ *  watchdog stay armed) so `shards > 1` actually dispatches the
+ *  worker pool. Any missed barrier, racing staging queue or
+ *  non-canonical drain order shows up as a fingerprint diff — and as
+ *  a data race under the TSan configuration of this suite. */
+TEST(ShardEquiv, WorkerPoolBitIdentical)
+{
+    OpenLoopConfig ol;
+    ol.pattern = "uniform";
+    ol.injectionRate = 0.30;
+    ol.warmupCycles = 300;
+    ol.measureCycles = 1500;
+    ol.drainCycles = 30000;
+
+    std::string ref;
+    for (int shards : {1, 2, 3, 9}) {
+        NetworkConfig cfg = testConfig();
+        cfg.shards = shards;
+        cfg.watchdog.enabled = true;
+        cfg.watchdog.intervalCycles = 128;
+        cfg.obs.sampleInterval = 64;
+        std::string fp = openLoopFingerprint(
+            runOpenLoop(cfg, FlowControl::Afc, ol));
+        if (shards == 1)
+            ref = fp;
+        else
+            EXPECT_EQ(ref, fp) << "shards=" << shards << " diverged";
+    }
+}
+
+/** Same, for the drop variant: cross-shard NACK traffic exercises the
+ *  staged hand-off (NackFabric staging + ascending-slot merge) with
+ *  the pool live. */
+TEST(ShardEquiv, WorkerPoolDropNackBitIdentical)
+{
+    OpenLoopConfig ol;
+    ol.pattern = "uniform";
+    ol.injectionRate = 0.20;
+    ol.warmupCycles = 300;
+    ol.measureCycles = 1500;
+    ol.drainCycles = 30000;
+
+    std::string ref;
+    for (int shards : {1, 3, 7}) {
+        NetworkConfig cfg = testConfig();
+        cfg.shards = shards;
+        cfg.watchdog.enabled = true;
+        cfg.watchdog.intervalCycles = 128;
+        cfg.obs.sampleInterval = 64;
+        std::string fp = openLoopFingerprint(
+            runOpenLoop(cfg, FlowControl::BackpressurelessDrop, ol));
+        if (shards == 1)
+            ref = fp;
+        else
+            EXPECT_EQ(ref, fp) << "shards=" << shards << " diverged";
+    }
+}
+
+/** Closed-loop pool run: end-to-end reliability keeps the ack staging
+ *  path hot (every ejection stages an ack for the sender's shard)
+ *  while cores/caches drive bursty regional traffic. */
+TEST(ShardEquiv, WorkerPoolMemsysBitIdentical)
+{
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= 20;
+    w.measureTransactions /= 20;
+
+    std::string ref;
+    for (int shards : {1, 4}) {
+        NetworkConfig cfg = testConfig(4, 4);
+        cfg.shards = shards;
+        cfg.watchdog.enabled = true;
+        cfg.watchdog.intervalCycles = 128;
+        cfg.obs.sampleInterval = 64;
+        cfg.reliability.enabled = true;
+        cfg.reliability.timeoutCycles = 256;
+        cfg.reliability.maxRetries = 16;
+        std::string fp = closedLoopFingerprint(
+            runClosedLoop(cfg, FlowControl::Afc, w));
+        if (shards == 1)
+            ref = fp;
+        else
+            EXPECT_EQ(ref, fp) << "shards=" << shards << " diverged";
+    }
+}
+
+/** The two scheduler knobs compose: partitioned per-shard active
+ *  lists with parking enabled must match a full-scan single-shard
+ *  run bit-for-bit. */
+TEST(ShardEquiv, ComposesWithIdleSkip)
+{
+    OpenLoopConfig ol;
+    ol.pattern = "hotspot"; // quiescent corners park mid-run
+    ol.injectionRate = 0.10;
+    ol.warmupCycles = 300;
+    ol.measureCycles = 1500;
+    ol.drainCycles = 30000;
+
+    std::string ref;
+    bool first = true;
+    for (int shards : {1, 3}) {
+        for (int skip = 0; skip < 2; ++skip) {
+            NetworkConfig cfg = testConfig();
+            cfg.shards = shards;
+            cfg.idleSkip = skip != 0;
+            cfg.watchdog.enabled = true;
+            cfg.watchdog.intervalCycles = 128;
+            cfg.obs.sampleInterval = 64;
+            std::string fp = openLoopFingerprint(
+                runOpenLoop(cfg, FlowControl::Afc, ol));
+            if (first) {
+                ref = fp;
+                first = false;
+            } else {
+                EXPECT_EQ(ref, fp)
+                    << "shards=" << shards << " idle_skip=" << skip
+                    << " diverged";
+            }
+        }
+    }
+}
+
+/** Snapshots are shard-count-invariant: cfg.shards is excluded from
+ *  the checkpoint config hash, so a checkpoint taken mid-run under N
+ *  shards restores under 1 (and vice versa), and both restored runs
+ *  finish bit-identical to a never-interrupted single-shard run. */
+TEST(ShardEquiv, CheckpointCrossesShardCounts)
+{
+    NetworkConfig cfg = testConfig();
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.intervalCycles = 128;
+    cfg.obs.sampleInterval = 64;
+    OpenLoopConfig ol;
+    ol.pattern = "uniform";
+    ol.injectionRate = 0.30;
+    ol.warmupCycles = 600;
+    ol.measureCycles = 1200;
+    ol.drainCycles = 30000;
+    std::vector<double> rates(
+        static_cast<std::size_t>(cfg.width * cfg.height),
+        ol.injectionRate);
+
+    NetworkConfig cfg1 = cfg;
+    cfg1.shards = 1;
+    NetworkConfig cfg3 = cfg;
+    cfg3.shards = 3;
+
+    OpenLoopRun ref(cfg1, FlowControl::Afc, ol, rates);
+    std::string refFp = openLoopFingerprint(ref.finish());
+
+    // Taken under 3 shards, restored under 1.
+    const std::string pathA =
+        std::string(testing::TempDir()) + "/shard_xover_a.ckpt";
+    OpenLoopRun donorA(cfg3, FlowControl::Afc, ol, rates);
+    while (donorA.cycle() < 900)
+        donorA.step();
+    donorA.saveCheckpoint(pathA);
+    OpenLoopRun restoredA(cfg1, FlowControl::Afc, ol, rates);
+    restoredA.loadCheckpoint(pathA);
+    EXPECT_EQ(restoredA.cycle(), 900u);
+    EXPECT_EQ(openLoopFingerprint(restoredA.finish()), refFp)
+        << "3-shard snapshot diverged when restored under 1 shard";
+    std::remove(pathA.c_str());
+
+    // Taken under 1 shard, restored under 3.
+    const std::string pathB =
+        std::string(testing::TempDir()) + "/shard_xover_b.ckpt";
+    OpenLoopRun donorB(cfg1, FlowControl::Afc, ol, rates);
+    while (donorB.cycle() < 900)
+        donorB.step();
+    donorB.saveCheckpoint(pathB);
+    OpenLoopRun restoredB(cfg3, FlowControl::Afc, ol, rates);
+    restoredB.loadCheckpoint(pathB);
+    EXPECT_EQ(openLoopFingerprint(restoredB.finish()), refFp)
+        << "1-shard snapshot diverged when restored under 3 shards";
+    std::remove(pathB.c_str());
 }
 
 } // namespace

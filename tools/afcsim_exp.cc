@@ -199,6 +199,12 @@ applyOverrides(ExperimentSpec &spec, const Args &args)
     if (args.has("max-attempts"))
         spec.maxAttempts =
             static_cast<int>(args.getInt("max-attempts", 3));
+    // Shards parallelize cycles *within* one simulation; --threads
+    // parallelizes grid points *across* simulations. Both are pure
+    // execution knobs (byte-identical exports), so they compose.
+    if (args.has("shards"))
+        spec.base.shards =
+            static_cast<int>(args.getInt("shards", 1));
 
     // Observability: --obs-dir turns on exports (trace + series with
     // a default sampling interval unless the spec already set them);
@@ -348,6 +354,9 @@ printHelp()
         "  --experiment NAME          run a named experiment\n"
         "  --config FILE              run an ad-hoc spec file\n"
         "  --threads N                worker threads (0 = all cores)\n"
+        "  --shards N                 cycle-kernel shards per run\n"
+        "                             (intra-run threading; exports\n"
+        "                             stay byte-identical)\n"
         "  --json PATH  --csv PATH    structured result export\n"
         "  --validate                 re-read + check the JSON\n"
         "  --check-json PATH          validate an existing artifact\n"
@@ -389,7 +398,8 @@ runMain(int argc, char **argv)
 {
     Args args(argc, argv);
     args.rejectUnknown({
-        "list", "help", "experiment", "config", "threads", "json",
+        "list", "help", "experiment", "config", "threads", "shards",
+        "json",
         "csv", "validate", "check-json", "telemetry", "indent",
         "quiet", "rates", "fault-rates", "configs", "workloads",
         "mesh", "pattern",

@@ -295,6 +295,9 @@ printHelp()
         "  --config FILE              run a spec file (search mode is\n"
         "                             forced on; it must list no rates)\n"
         "  --threads N                worker threads (0 = all cores)\n"
+        "  --shards N                 cycle-kernel shards per probe\n"
+        "                             (intra-run threading; results\n"
+        "                             stay byte-identical)\n"
         "  --json PATH  --csv PATH    structured result export\n"
         "  --indent N                 JSON indent (default 2)\n"
         "  --quiet                    suppress per-search progress\n"
@@ -321,7 +324,8 @@ runMain(int argc, char **argv)
 {
     Args args(argc, argv);
     args.rejectUnknown({
-        "help", "experiment", "config", "threads", "json", "csv",
+        "help", "experiment", "config", "threads", "shards", "json",
+        "csv",
         "indent", "quiet", "require-converged", "configs", "mesh",
         "pattern", "fault-rates", "repeats", "seed", "warmup",
         "measure", "seed-rate", "tolerance", "min-rate", "max-rate",
@@ -352,6 +356,11 @@ runMain(int argc, char **argv)
     if (args.has("max-attempts"))
         spec.maxAttempts =
             static_cast<int>(args.getInt("max-attempts", 3));
+    // Intra-probe threading; composes with --threads (cells across
+    // workers, shards within each probe's cycle loop).
+    if (args.has("shards"))
+        spec.base.shards =
+            static_cast<int>(args.getInt("shards", 1));
 
     // Fail a bad --obs-dir up front with the offending path, not as
     // per-cell warnings after hours of searching.

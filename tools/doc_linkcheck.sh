@@ -1,0 +1,105 @@
+#!/bin/sh
+# Documentation cross-reference checker, run as the `docs_linkcheck`
+# ctest. Verifies that the documentation stays wired to the tree it
+# describes:
+#
+#   1. Every relative markdown link target in docs/*.md, README.md,
+#      DESIGN.md, EXPERIMENTS.md, and CHANGES.md resolves to an
+#      existing file (anchors/#fragments are stripped; http(s) and
+#      mailto links are skipped).
+#   2. Every backticked repository path (`src/...`, `tests/...`,
+#      `tools/...`, `bench/...`, `docs/...`, `examples/...`) quoted
+#      in those files names a real file or directory, so inventory
+#      rows and prose never point at renamed-away modules.
+#   3. Every DESIGN.md §2 inventory row (S1..Sn) appears in the
+#      docs/ARCHITECTURE.md subsystem map, and the map cites no row
+#      that does not exist.
+#
+# Usage: doc_linkcheck.sh <repo-root>
+set -u
+
+root=${1:?usage: doc_linkcheck.sh <repo-root>}
+cd "$root" || exit 2
+
+fail=0
+err()
+{
+    echo "doc_linkcheck: $1" >&2
+    fail=1
+}
+
+docs="README.md DESIGN.md EXPERIMENTS.md CHANGES.md"
+for f in docs/*.md; do
+    docs="$docs $f"
+done
+
+# Sections 1 + 2 run in one subshell pipeline; collect its findings.
+out=$( {
+    for doc in $docs; do
+        [ -f "$doc" ] || { echo "MISSING $doc"; continue; }
+        dir=$(dirname "$doc")
+
+        # 1. markdown link targets: every ](...) group.
+        grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' |
+        while IFS= read -r target; do
+            case $target in
+                http://*|https://*|mailto:*|\#*) continue ;;
+            esac
+            path=${target%%#*}
+            [ -n "$path" ] || continue
+            if ! [ -e "$dir/$path" ] && ! [ -e "$path" ]; then
+                echo "BROKENLINK $doc -> $target"
+            fi
+        done
+
+        # 2. backticked repository paths. A path may name a build
+        # target rather than its source file (`bench/bench_scaling`,
+        # `tools/afcsim-exp`), so a miss retries with source
+        # suffixes, and with dashes mapped to underscores for the
+        # tools/ binaries.
+        grep -o '`[^`]*`' "$doc" | sed 's/^`//; s/`$//' |
+        grep -E '^(src|tests|tools|bench|docs|examples)/[A-Za-z0-9._/-]+$' |
+        while IFS= read -r path; do
+            alt=$(printf '%s' "$path" | tr - _)
+            ok=0
+            for cand in "$path" "$path.cc" "$path.cpp" \
+                        "$alt" "$alt.cc" "$alt.cpp"; do
+                [ -e "$cand" ] && { ok=1; break; }
+            done
+            [ "$ok" -eq 1 ] || echo "BADPATH $doc -> \`$path\`"
+        done
+    done
+} | sort -u )
+
+if [ -n "$out" ]; then
+    printf '%s\n' "$out" | while IFS= read -r line; do
+        echo "doc_linkcheck: $line" >&2
+    done
+    fail=1
+fi
+
+# 3. DESIGN.md inventory rows vs. the ARCHITECTURE.md subsystem map.
+design_rows=$(grep -o '^| S[0-9][0-9]*' DESIGN.md | sed 's/^| //' | sort -u)
+[ -n "$design_rows" ] || err "DESIGN.md: no inventory rows (| S<n> |) found"
+
+map_rows=$(sed -n '/^## Subsystem map/,$p' docs/ARCHITECTURE.md |
+           grep -o 'S[0-9][0-9]*' | sort -u)
+[ -n "$map_rows" ] || err "docs/ARCHITECTURE.md: no subsystem-map rows found"
+
+for row in $design_rows; do
+    if ! printf '%s\n' "$map_rows" | grep -qx "$row"; then
+        err "DESIGN.md row $row is missing from the docs/ARCHITECTURE.md subsystem map"
+    fi
+done
+for row in $map_rows; do
+    if ! printf '%s\n' "$design_rows" | grep -qx "$row"; then
+        err "docs/ARCHITECTURE.md subsystem map cites $row, which is not a DESIGN.md inventory row"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc_linkcheck: FAIL" >&2
+    exit 1
+fi
+echo "doc_linkcheck: all cross-references resolve"
+exit 0

@@ -11,6 +11,15 @@
  *  - closedloop_8x8: the 8x8 closed-loop memory-system kernel (ocean
  *    workload), the workload the idle-router activity scheduler
  *    targets — bursty traffic with large quiescent regions.
+ *  - closedloop_32x32: the 32x32 closed-loop kernel run at shards=1
+ *    and shards=4, guarding the sharded cycle kernel's multi-thread
+ *    speedup. Unlike the ratio points this one is wall-clock (CPU
+ *    time sums across worker threads and would hide the win) and
+ *    self-calibrating (shards=1 and shards=4 sample the same host
+ *    back to back, so the speedup cancels machine drift). The >= 2x
+ *    floor is enforced only when the host exposes at least four
+ *    hardware threads; on smaller hosts the point is recorded but
+ *    reported as informational.
  *
  * The guarded quantity is the *calibrated ratio* sim-cycles/sec
  * divided by the throughput of a fixed pure-CPU reference kernel
@@ -36,8 +45,11 @@
  * default 4), cl_tolerance=F (closed-loop point tolerance, default
  * 0.06 — the bursty memory-system kernel is cache-sensitive and
  * noisier than the steady micro loop, so its ratchet is looser),
- * attempts=N (check-mode re-measurements before a miss counts as a
- * regression, default 3).
+ * cl32_div=N (32x32 workload divisor, default 4), cl32_floor=F
+ * (minimum shards=4 wall-clock speedup, default 2.0), cl32_shards=N
+ * (shard count for the speedup point, default 4), attempts=N
+ * (check-mode re-measurements before a miss counts as a regression,
+ * default 3).
  */
 
 #include <algorithm>
@@ -47,6 +59,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/config.hh"
 #include "common/json.hh"
@@ -93,6 +106,21 @@ measureRouterMicroCps(const NetworkConfig &cfg, Cycle cycles)
     return sec > 0.0 ? static_cast<double>(cycles) / sec : 0.0;
 }
 
+/**
+ * Wall clock, for the multi-threaded point only: with N shards the
+ * process burns CPU time on N cores at once (including worker
+ * spin-waits), so CLOCK_PROCESS_CPUTIME_ID would report a sharded
+ * run as *slower*. Wall clock is what the speedup actually buys.
+ */
+double
+wallSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
 /** One timed run of the 8x8 closed-loop memory-system kernel. */
 double
 measureClosedLoopCps(const NetworkConfig &base, long cl_div)
@@ -108,6 +136,27 @@ measureClosedLoopCps(const NetworkConfig &base, long cl_div)
     double t0 = cpuSeconds();
     sys.run();
     double sec = cpuSeconds() - t0;
+    double cycles = static_cast<double>(sys.network().now());
+    return sec > 0.0 ? cycles / sec : 0.0;
+}
+
+/** One wall-clock-timed run of the 32x32 closed-loop kernel. */
+double
+measureClosedLoop32WallCps(const NetworkConfig &base, int shards,
+                           long cl32_div)
+{
+    NetworkConfig cfg = base;
+    cfg.width = 32;
+    cfg.height = 32;
+    cfg.seed = 7;
+    cfg.shards = shards;
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= cl32_div;
+    w.measureTransactions /= cl32_div;
+    ClosedLoopSystem sys(cfg, FlowControl::Afc, w);
+    double t0 = wallSeconds();
+    sys.run();
+    double sec = wallSeconds() - t0;
     double cycles = static_cast<double>(sys.network().now());
     return sec > 0.0 ? cycles / sec : 0.0;
 }
@@ -218,6 +267,10 @@ main(int argc, char **argv)
     long cl_div = opt.getInt("cl_div", 4);
     double tolerance = opt.getDouble("tolerance", 0.02);
     double cl_tolerance = opt.getDouble("cl_tolerance", 0.06);
+    long cl32_div = opt.getInt("cl32_div", 4);
+    int cl32_shards = static_cast<int>(opt.getInt("cl32_shards", 4));
+    double cl32_floor = opt.getDouble("cl32_floor", 2.0);
+    unsigned hw_threads = std::thread::hardware_concurrency();
 
     NetworkConfig off; // observability disabled: the guarded path
     Measurement micro = bestOf(
@@ -241,6 +294,26 @@ main(int argc, char **argv)
         micro.simCps > 0.0 ? 1.0 - on_cps / micro.simCps : 0.0;
     double skip_gain =
         noskip_cps > 0.0 ? closed.simCps / noskip_cps : 0.0;
+
+    // Multi-thread point: best-of-reps wall-clock throughput at one
+    // shard and at cl32_shards, interleaved rep by rep so both see
+    // the same machine conditions; the guarded quantity is the ratio.
+    double wall1 = 0.0;
+    double wallN = 0.0;
+    auto measure32 = [&] {
+        double w1 = 0.0;
+        double wn = 0.0;
+        for (int i = 0; i < reps; ++i) {
+            w1 = std::max(w1,
+                          measureClosedLoop32WallCps(off, 1, cl32_div));
+            wn = std::max(wn, measureClosedLoop32WallCps(
+                                  off, cl32_shards, cl32_div));
+        }
+        wall1 = w1;
+        wallN = wn;
+        return w1 > 0.0 ? wn / w1 : 0.0;
+    };
+    double shard_speedup = measure32();
     std::printf("router_micro:   %.0f cycles/s, calibrated ratio %.5g "
                 "(best of %d x %llu cycles)\n",
                 micro.simCps, micro.ratio(), reps,
@@ -253,6 +326,11 @@ main(int argc, char **argv)
     std::printf("  idle_skip=off: %.0f cycles/s (skip speedup "
                 "%.2fx)\n",
                 noskip_cps, skip_gain);
+    std::printf("closedloop_32x32: %.0f cycles/s wall at shards=1, "
+                "%.0f at shards=%d (speedup %.2fx, %u hw threads, "
+                "ocean/%ld)\n",
+                wall1, wallN, cl32_shards, shard_speedup, hw_threads,
+                cl32_div);
 
     if (mode == "record") {
         obs::ThroughputProfiler prof("bench_router_micro");
@@ -275,6 +353,14 @@ main(int argc, char **argv)
         cl.set("idle_skip_off_cycles_per_sec", noskip_cps);
         cl.set("idle_skip_speedup", skip_gain);
         points.set("closedloop_8x8", std::move(cl));
+        JsonValue cl32 = JsonValue::object();
+        cl32.set("wall_cycles_per_sec_shards1", wall1);
+        cl32.set("wall_cycles_per_sec_sharded", wallN);
+        cl32.set("shards", static_cast<std::int64_t>(cl32_shards));
+        cl32.set("shard_speedup", shard_speedup);
+        cl32.set("hw_threads",
+                 static_cast<std::int64_t>(hw_threads));
+        points.set("closedloop_32x32", std::move(cl32));
         doc.set("points", std::move(points));
         std::ofstream out(file);
         if (!out) {
@@ -344,6 +430,39 @@ main(int argc, char **argv)
                             }) &&
                  ok;
         }
+    }
+    // Multi-thread speedup floor: absolute (not baseline-relative) —
+    // the sharded kernel's contract is ">= cl32_floor x at
+    // cl32_shards shards on the 32x32 closed loop", provided the
+    // host can actually run the shards concurrently. On smaller
+    // hosts the measurement above is reported but not enforced.
+    if (hw_threads >= static_cast<unsigned>(cl32_shards)) {
+        int attempts32 = attempts;
+        bool ok32 = false;
+        for (int a = 0; a < attempts32; ++a) {
+            std::printf("closedloop_32x32: speedup floor %.2fx, "
+                        "measured %.2fx%s\n",
+                        cl32_floor, shard_speedup, a ? " (retry)" : "");
+            if (shard_speedup >= cl32_floor) {
+                ok32 = true;
+                break;
+            }
+            if (a + 1 < attempts32)
+                shard_speedup = measure32();
+        }
+        if (!ok32) {
+            std::fprintf(stderr,
+                         "afcsim-obs-guard: FAIL: closedloop_32x32 "
+                         "shards=%d wall-clock speedup %.2fx is below "
+                         "the %.2fx floor (%d attempts)\n",
+                         cl32_shards, shard_speedup, cl32_floor,
+                         attempts32);
+            ok = false;
+        }
+    } else {
+        std::printf("closedloop_32x32: speedup floor not enforced "
+                    "(%u hw threads < %d shards)\n",
+                    hw_threads, cl32_shards);
     }
     if (!ok)
         return 1;
