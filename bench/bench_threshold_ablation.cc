@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Self-tuning threshold ablation (DESIGN.md S22): static AFC vs the
+ * afc_adaptive gradient-controller variant across traffic the static
+ * per-position tuning was derived for (stationary uniform/transpose)
+ * and traffic it never saw (drifting hotspot, quadrant consolidation,
+ * a corruption fault storm). The paper tunes its mode-switch
+ * thresholds offline against stationary uniform load; this bench asks
+ * whether closing the loop at runtime keeps that performance where
+ * the tuning holds and recovers performance where it does not.
+ *
+ * Three built-in checks make this bench a verifier (nonzero exit on
+ * violation):
+ *  - on the stationary patterns, adaptive latency must stay within
+ *    `tol` (relative) of static AFC — self-tuning must not regress
+ *    the tuned operating point;
+ *  - on at least one of the non-stationary scenarios (drift,
+ *    consolidation, fault storm) adaptive must strictly beat static
+ *    average packet latency;
+ *  - the controller must actually act: at least one threshold
+ *    adjustment across the non-stationary scenarios (a bench run
+ *    where the controller never fires proves nothing).
+ *
+ * Options: mesh=<n> warmup=<n> measure=<n> seed=<n> tol=<frac>
+ *          probe_interval=<n> probe_window=<n> gain=<g>
+ *          obs=<path|none>
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchutil.hh"
+#include "network/network.hh"
+#include "router/afc_adaptive.hh"
+#include "traffic/openloop.hh"
+
+using namespace afcsim;
+using namespace afcsim::bench;
+
+namespace
+{
+
+struct Scenario
+{
+    std::string name;
+    std::string pattern;
+    double rate;
+    double faultRate;
+    bool stationary; ///< static tuning's home turf (tolerance check)
+};
+
+struct Cell
+{
+    double avgPacketLatency = 0.0;
+    double p95PacketLatency = 0.0;
+    double energyPerFlit = 0.0;
+    double bpFraction = 0.0;
+    std::uint64_t adjustments = 0;
+    bool saturated = false;
+    std::uint64_t simCycles = 0;
+    std::uint64_t flitEvents = 0;
+};
+
+struct AblationOptions
+{
+    int mesh = 6;
+    Cycle warmup = 2000;
+    Cycle measure = 10000;
+    std::uint64_t seed = 1;
+    double tol = 0.10;
+    Cycle probeInterval = 512;
+    Cycle probeWindow = 64;
+    double gain = 0.8;
+};
+
+Cell
+runCell(FlowControl fc, const Scenario &sc, const AblationOptions &o)
+{
+    NetworkConfig cfg;
+    cfg.width = o.mesh;
+    cfg.height = o.mesh;
+    cfg.seed = o.seed;
+    cfg.afc.adapt.probeInterval = o.probeInterval;
+    cfg.afc.adapt.probeWindow = o.probeWindow;
+    cfg.afc.adapt.gain = o.gain;
+    if (sc.faultRate > 0.0) {
+        cfg.faults.corruptRate = sc.faultRate;
+        cfg.reliability.enabled = true;
+        cfg.reliability.timeoutCycles = 256;
+        cfg.reliability.maxRetries = 16;
+    }
+
+    OpenLoopConfig ol;
+    ol.pattern = sc.pattern;
+    ol.injectionRate = sc.rate;
+    ol.warmupCycles = o.warmup;
+    ol.measureCycles = o.measure;
+
+    std::vector<double> rates(
+        static_cast<std::size_t>(cfg.numNodes()), sc.rate);
+    OpenLoopRun run(cfg, fc, ol, std::move(rates));
+    OpenLoopResult r = run.finish();
+
+    Cell cell;
+    cell.avgPacketLatency = r.avgPacketLatency;
+    cell.p95PacketLatency = r.p95PacketLatency;
+    cell.energyPerFlit = r.energyPerFlit;
+    cell.bpFraction = r.bpFraction;
+    cell.saturated = r.saturated;
+    cell.simCycles = run.network().now();
+    cell.flitEvents = r.stats.flitsInjected + r.stats.flitsDelivered;
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        const auto *ad = dynamic_cast<const AfcAdaptiveRouter *>(
+            &run.network().router(n));
+        if (ad)
+            cell.adjustments += ad->adjustments();
+    }
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt(argc, argv);
+    AblationOptions o;
+    o.mesh = static_cast<int>(opt.getInt("mesh", 6));
+    o.warmup = static_cast<Cycle>(opt.getInt("warmup", 2000));
+    o.measure = static_cast<Cycle>(opt.getInt("measure", 10000));
+    o.seed = static_cast<std::uint64_t>(opt.getInt("seed", 1));
+    o.tol = opt.getDouble("tol", 0.10);
+    o.probeInterval =
+        static_cast<Cycle>(opt.getInt("probe_interval", 512));
+    o.probeWindow = static_cast<Cycle>(opt.getInt("probe_window", 64));
+    o.gain = opt.getDouble("gain", 0.8);
+
+    const std::vector<Scenario> scenarios = {
+        {"uniform", "uniform", 0.15, 0.0, true},
+        {"transpose", "transpose", 0.12, 0.0, true},
+        {"hotspot_drift", "hotspot_drift", 0.12, 0.0, false},
+        {"quadrant", "quadrant", 0.20, 0.0, false},
+        {"fault_storm", "uniform", 0.12, 0.02, false},
+    };
+
+    BenchProfile profile("threshold_ablation", opt);
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+
+    printHeader(
+        "Threshold ablation: static AFC vs self-tuning afc_adaptive",
+        "stationary patterns must hold the tuned operating point; "
+        "non-stationary traffic is where self-tuning must pay off");
+    std::printf("%-14s%12s%12s%12s%12s%10s%8s\n", "scenario",
+                "AFC-lat", "AFC-ad-lat", "AFC-e/flit", "ad-e/flit",
+                "delta%", "adj");
+
+    int violations = 0;
+    int wins = 0;
+    std::uint64_t controllerActs = 0;
+    profile.begin("ablation");
+    for (const Scenario &sc : scenarios) {
+        Cell st = runCell(FlowControl::Afc, sc, o);
+        Cell ad = runCell(FlowControl::AfcAdaptive, sc, o);
+        cycles += st.simCycles + ad.simCycles;
+        events += st.flitEvents + ad.flitEvents;
+        double delta = st.avgPacketLatency > 0.0
+            ? (ad.avgPacketLatency - st.avgPacketLatency) /
+                st.avgPacketLatency * 100.0
+            : 0.0;
+        std::printf("%-14s%12.2f%12.2f%12.2f%12.2f%+9.2f%%%8llu\n",
+                    sc.name.c_str(), st.avgPacketLatency,
+                    ad.avgPacketLatency, st.energyPerFlit,
+                    ad.energyPerFlit, delta,
+                    static_cast<unsigned long long>(ad.adjustments));
+        if (st.adjustments != 0) {
+            ++violations;
+            std::fprintf(stderr,
+                         "FAIL: static AFC reported %llu threshold "
+                         "adjustments in %s (must be zero)\n",
+                         static_cast<unsigned long long>(
+                             st.adjustments),
+                         sc.name.c_str());
+        }
+        if (sc.stationary) {
+            if (ad.avgPacketLatency >
+                st.avgPacketLatency * (1.0 + o.tol)) {
+                ++violations;
+                std::fprintf(stderr,
+                             "FAIL: %s: adaptive latency %.2f exceeds "
+                             "static %.2f by more than %.0f%%\n",
+                             sc.name.c_str(), ad.avgPacketLatency,
+                             st.avgPacketLatency, o.tol * 100.0);
+            }
+        } else {
+            controllerActs += ad.adjustments;
+            if (ad.avgPacketLatency < st.avgPacketLatency)
+                ++wins;
+        }
+    }
+    profile.end(cycles, events);
+    profile.finish();
+
+    if (wins < 1) {
+        ++violations;
+        std::fprintf(stderr,
+                     "FAIL: adaptive beat static on none of the "
+                     "non-stationary scenarios\n");
+    }
+    if (controllerActs == 0) {
+        ++violations;
+        std::fprintf(stderr,
+                     "FAIL: the gradient controller never adjusted a "
+                     "threshold in any non-stationary scenario\n");
+    }
+
+    if (violations) {
+        std::fprintf(stderr, "%d violation(s)\n", violations);
+        return 1;
+    }
+    std::printf("\nstationary within %.0f%%; adaptive won %d/3 "
+                "non-stationary scenarios\n",
+                o.tol * 100.0, wins);
+    return 0;
+}

@@ -179,6 +179,7 @@ shortName(FlowControl fc)
       case FlowControl::AfcAlwaysBackpressured: return "AFC-aBP";
       case FlowControl::BackpressuredIdealBypass: return "BP-ideal";
       case FlowControl::BackpressurelessDrop: return "BPL-drop";
+      case FlowControl::AfcAdaptive: return "AFC-ad";
     }
     return "?";
 }

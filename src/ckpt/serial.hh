@@ -38,7 +38,7 @@ namespace afcsim::ckpt
 {
 
 /** Current checkpoint format version. Bump on any layout change. */
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
 
 /** What a checkpoint payload snapshots (container `kind` field). */
 enum class Kind : std::uint32_t
@@ -47,6 +47,7 @@ enum class Kind : std::uint32_t
     RunResult = 2,     ///< a finished exp::RunResult (journal entry)
     SearchResult = 3,  ///< a finished search::SearchResult
     WarmupFork = 4,    ///< shared warm-up prefix (network + injector)
+    ClosedLoopRun = 5, ///< full closed-loop harness + network state
 };
 
 /** FNV-1a 64-bit hash of a byte range. */

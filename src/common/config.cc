@@ -25,6 +25,8 @@ toString(FlowControl fc)
         return "bp-ideal-bypass";
       case FlowControl::BackpressurelessDrop:
         return "bpl-drop";
+      case FlowControl::AfcAdaptive:
+        return "afc-adaptive";
     }
     return "?";
 }
@@ -47,6 +49,8 @@ flowControlFromString(const std::string &name)
         return FlowControl::BackpressuredIdealBypass;
     if (n == "bpl-drop" || n == "drop" || n == "scarab")
         return FlowControl::BackpressurelessDrop;
+    if (n == "afc-adaptive" || n == "afc_adaptive" || n == "adaptive")
+        return FlowControl::AfcAdaptive;
     AFCSIM_CONFIG_ERROR("unknown flow control '", name, "'");
 }
 
@@ -62,6 +66,7 @@ FlitWidths::forFlowControl(FlowControl fc)
         return kBackpressureless;
       case FlowControl::Afc:
       case FlowControl::AfcAlwaysBackpressured:
+      case FlowControl::AfcAdaptive:
         return kAfc;
     }
     return kBackpressured;
@@ -129,6 +134,26 @@ NetworkConfig::validate() const
         AFCSIM_CONFIG_ERROR("obs.capacity must be >= 1 frame");
     if (obs.trace && obs.traceCapacity < 1)
         AFCSIM_CONFIG_ERROR("obs.trace_capacity must be >= 1 event");
+
+    // Threshold-adaptation knobs (afc_adaptive). The per-position
+    // compatibility of gapFloor with the static thresholds is checked
+    // when an adaptive router is actually built — tests legitimately
+    // use degenerate static thresholds with the other variants.
+    const AfcAdaptConfig &ad = afc.adapt;
+    if (ad.probeInterval < 1)
+        AFCSIM_CONFIG_ERROR("afc.adapt.probe_interval must be >= 1");
+    if (ad.probeWindow < 1 || ad.probeWindow > ad.probeInterval) {
+        AFCSIM_CONFIG_ERROR("afc.adapt.probe_window must be in [1, "
+                            "afc.adapt.probe_interval]");
+    }
+    if (ad.gain < 0.0)
+        AFCSIM_CONFIG_ERROR("afc.adapt.gain must be >= 0");
+    if (ad.minScale <= 0.0 || ad.minScale > 1.0)
+        AFCSIM_CONFIG_ERROR("afc.adapt.min_scale must be in (0, 1]");
+    if (ad.maxScale < 1.0)
+        AFCSIM_CONFIG_ERROR("afc.adapt.max_scale must be >= 1");
+    if (ad.gapFloor < 0.0)
+        AFCSIM_CONFIG_ERROR("afc.adapt.gap_floor must be >= 0");
 }
 
 Options::Options(int argc, char **argv)

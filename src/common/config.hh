@@ -41,6 +41,14 @@ enum class FlowControl
      * saturates earlier than deflection.
      */
     BackpressurelessDrop,
+    /**
+     * Extension: AFC with self-tuning mode thresholds. Each router
+     * runs a periodic gradient controller (modeled on Envoy's
+     * adaptive-concurrency loop) that probes a baseline delivered
+     * latency and multiplicatively nudges its high/low thresholds
+     * within configured clamps. See `AfcAdaptConfig`.
+     */
+    AfcAdaptive,
 };
 
 /** Human-readable name for a flow-control configuration. */
@@ -54,6 +62,29 @@ struct VnetConfig
 {
     int numVcs;       ///< virtual channels per physical port
     int bufferDepth;  ///< flits per VC buffer
+};
+
+/**
+ * Threshold-adaptation parameters for the `afc_adaptive` variant
+ * (DESIGN.md S22). Time divides into epochs of `probeInterval`
+ * cycles; the first `probeWindow` cycles of each epoch form the
+ * probe window whose minimum delivered flit latency becomes the
+ * baseline (a minRTT analogue), the remainder accumulates the sample
+ * average. At each epoch boundary the controller computes
+ * gradient = baseline / sample (Q16 fixed point, clamped to
+ * [0.5, 2.0]) and scales both thresholds by 1 + gain*(gradient - 1),
+ * clamped to [static * minScale, static * maxScale] while keeping
+ * high - low >= gapFloor. All controller arithmetic is integer /
+ * Q16 fixed point so runs stay bit-deterministic.
+ */
+struct AfcAdaptConfig
+{
+    Cycle probeInterval = 2048; ///< epoch length, cycles (>= 1)
+    Cycle probeWindow = 256;    ///< probe prefix, cycles (<= interval)
+    double gain = 0.5;          ///< controller gain (0 = frozen)
+    double minScale = 0.5;      ///< clamp: static threshold * minScale
+    double maxScale = 1.5;      ///< clamp: static threshold * maxScale
+    double gapFloor = 0.2;      ///< minimum high - low separation
 };
 
 /**
@@ -89,6 +120,8 @@ struct AfcConfig
      * demonstrate the mechanism is load-bearing.
      */
     bool disableGossipUnsafe = false;
+    /** Gradient-controller knobs, used only by `afc_adaptive`. */
+    AfcAdaptConfig adapt;
 };
 
 /**

@@ -136,6 +136,20 @@ applyConfigKey(NetworkConfig &cfg, const std::string &key,
         cfg.afc.gossipReserve = static_cast<int>(toInt(key, value));
     } else if (key == "afc.always_backpressured") {
         cfg.afc.alwaysBackpressured = toBool(key, value);
+    // Threshold-adaptation knobs (afc_adaptive, DESIGN.md S22).
+    } else if (key == "afc.adapt.probe_interval") {
+        cfg.afc.adapt.probeInterval =
+            static_cast<Cycle>(toInt(key, value));
+    } else if (key == "afc.adapt.probe_window") {
+        cfg.afc.adapt.probeWindow = static_cast<Cycle>(toInt(key, value));
+    } else if (key == "afc.adapt.gain") {
+        cfg.afc.adapt.gain = toDouble(key, value);
+    } else if (key == "afc.adapt.min_scale") {
+        cfg.afc.adapt.minScale = toDouble(key, value);
+    } else if (key == "afc.adapt.max_scale") {
+        cfg.afc.adapt.maxScale = toDouble(key, value);
+    } else if (key == "afc.adapt.gap_floor") {
+        cfg.afc.adapt.gapFloor = toDouble(key, value);
     // Energy-model coefficients.
     } else if (key == "energy.buffer_write_per_bit") {
         cfg.energy.bufferWritePerBit = toDouble(key, value);

@@ -89,7 +89,8 @@ faultSweepExperiment()
         "end-to-end retransmission, low and moderate load";
     spec.kind = RunKind::OpenLoop;
     spec.configs = {FlowControl::Backpressured,
-                    FlowControl::Backpressureless, FlowControl::Afc};
+                    FlowControl::Backpressureless, FlowControl::Afc,
+                    FlowControl::AfcAdaptive};
     spec.rates = {0.1, 0.3};
     spec.faultRates = {0.0, 0.001, 0.005, 0.02};
     spec.warmupCycles = 4000;
@@ -122,11 +123,35 @@ saturationSearchExperiment()
     return spec;
 }
 
+ExperimentSpec
+thresholdAblationExperiment()
+{
+    ExperimentSpec spec;
+    spec.name = "threshold_ablation";
+    spec.description =
+        "Static vs self-tuning AFC thresholds under drifting-hotspot "
+        "traffic the original tuning never saw (DESIGN.md S22)";
+    spec.kind = RunKind::OpenLoop;
+    spec.configs = {FlowControl::Afc, FlowControl::AfcAdaptive};
+    spec.pattern = "hotspot_drift";
+    spec.rates = {0.10, 0.25};
+    spec.warmupCycles = 4000;
+    spec.measureCycles = 12000;
+    spec.baseSeed = 1;
+    // Faster epochs than the config defaults so a 16k-cycle run sees
+    // the controller act repeatedly.
+    spec.base.afc.adapt.probeInterval = 1024;
+    spec.base.afc.adapt.probeWindow = 128;
+    spec.base.afc.adapt.gain = 0.8;
+    return spec;
+}
+
 std::vector<std::string>
 experimentNames()
 {
     return {"openloop_sweep", "fig2_low_load", "fig2_high_load",
-            "scaling", "fault_sweep", "saturation_search"};
+            "scaling", "fault_sweep", "saturation_search",
+            "threshold_ablation"};
 }
 
 ExperimentSpec
@@ -144,9 +169,12 @@ experimentByName(const std::string &name)
         return faultSweepExperiment();
     if (name == "saturation_search")
         return saturationSearchExperiment();
+    if (name == "threshold_ablation")
+        return thresholdAblationExperiment();
     AFCSIM_CONFIG_ERROR("unknown experiment '", name, "'; known: ",
                  "openloop_sweep, fig2_low_load, fig2_high_load, "
-                 "scaling, fault_sweep, saturation_search");
+                 "scaling, fault_sweep, saturation_search, "
+                 "threshold_ablation");
 }
 
 } // namespace afcsim::exp

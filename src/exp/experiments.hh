@@ -56,6 +56,14 @@ ExperimentSpec faultSweepExperiment();
  */
 ExperimentSpec saturationSearchExperiment();
 
+/**
+ * Threshold ablation (DESIGN.md S22): static AFC vs the self-tuning
+ * afc_adaptive variant under the drifting-hotspot pattern, two
+ * offered loads, with fast controller epochs so short runs adapt
+ * (bench_threshold_ablation).
+ */
+ExperimentSpec thresholdAblationExperiment();
+
 /** All registered experiment names. */
 std::vector<std::string> experimentNames();
 

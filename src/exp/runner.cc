@@ -188,11 +188,97 @@ executeRun(const RunPoint &point, Journal &journal)
     }
 
     if (point.kind != RunKind::OpenLoop) {
-        // Closed-loop runs are deterministic but not yet
-        // checkpointable mid-run: a restart reproduces the
-        // interrupted run exactly from scratch, and the done marker
-        // still makes the completed point resumable.
-        RunResult out = executeRun(point);
+        // Closed-loop runs checkpoint mid-run exactly like open-loop
+        // ones (ClosedLoopRun mirrors OpenLoopRun); there is no
+        // shared warm-up fork because the warm-up boundary is a
+        // transaction count, not a cycle, so prefixes are per-point.
+        auto t0 = std::chrono::steady_clock::now();
+        RunResult out;
+        if (!point.cfg.obs.streamPath.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(
+                std::filesystem::path(point.cfg.obs.streamPath)
+                    .parent_path(),
+                ec);
+        }
+        std::unique_ptr<ClosedLoopRun> run;
+        try {
+            auto freshRun = [&] {
+                return std::make_unique<ClosedLoopRun>(
+                    point.cfg, point.fc, point.workload,
+                    point.maxCycles);
+            };
+            bool restored = false;
+            for (int gen = 0; gen < Journal::kGenerations && !restored;
+                 ++gen) {
+                std::string path =
+                    journal.checkpointPath(point.index, gen);
+                std::error_code ec;
+                if (!std::filesystem::exists(path, ec))
+                    continue;
+                auto candidate = freshRun();
+                try {
+                    candidate->loadCheckpoint(path);
+                    run = std::move(candidate);
+                    restored = true;
+                } catch (const Error &e) {
+                    warn("discarding checkpoint '", path, "': ",
+                         e.what());
+                }
+            }
+            if (!run)
+                run = freshRun();
+
+            Cycle interval = journal.ckptInterval();
+            while (!run->done()) {
+                run->step();
+                Cycle c = run->cycle();
+                if (interval > 0 && !run->done() &&
+                    c % interval == 0) {
+                    journal.rotateCheckpoints(point.index);
+                    run->saveCheckpoint(
+                        journal.checkpointPath(point.index, 0));
+                }
+            }
+            out = fromClosedLoop(point, run->finish());
+        } catch (const Error &e) {
+            out = RunResult{};
+            out.point = point;
+            out.error = e.what();
+            if (run) {
+                try {
+                    run->saveCheckpoint(
+                        journal.postmortemCheckpointPath(point.index));
+                } catch (const Error &e2) {
+                    warn("cannot write postmortem checkpoint for run ",
+                         point.index, ": ", e2.what());
+                }
+                try {
+                    std::ostringstream report;
+                    report << "postmortem: " << point.experiment
+                           << " run " << point.index << " ("
+                           << point.group << ", "
+                           << afcsim::toString(point.fc) << ")\n"
+                           << "cycle: " << run->cycle()
+                           << " (budget " << run->maxCycles() << ")\n"
+                           << "error: " << e.what() << "\n\n"
+                           << Watchdog::snapshot(run->network(),
+                                                 run->cycle());
+                    writeFile(
+                        journal.postmortemReportPath(point.index),
+                        report.str());
+                } catch (const Error &e2) {
+                    warn("cannot write postmortem report for run ",
+                         point.index, ": ", e2.what());
+                }
+            }
+        }
+        exportObs(point, out);
+        out.wallMs = msSince(t0);
+        if (out.wallMs > 0.0 && out.runtimeCycles > 0.0) {
+            out.cyclesPerSec =
+                out.runtimeCycles / (out.wallMs / 1000.0);
+        }
         journal.storeResult(out);
         return out;
     }

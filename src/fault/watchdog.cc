@@ -150,7 +150,9 @@ Watchdog::checkCredits(const Network &net, Cycle now) const
         return;
     }
 
-    if (fc != FlowControl::Afc && fc != FlowControl::AfcAlwaysBackpressured)
+    if (fc != FlowControl::Afc &&
+        fc != FlowControl::AfcAlwaysBackpressured &&
+        fc != FlowControl::AfcAdaptive)
         return;
 
     // AFC tracks credits per virtual network, and only while the

@@ -9,6 +9,7 @@
 #include "network/shardpool.hh"
 #include "obs/obs.hh"
 #include "router/afc.hh"
+#include "router/afc_adaptive.hh"
 #include "router/backpressured.hh"
 #include "router/deflection.hh"
 #include "router/drop.hh"
@@ -79,6 +80,7 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
         break;
       case FlowControl::Afc:
       case FlowControl::AfcAlwaysBackpressured:
+      case FlowControl::AfcAdaptive:
         access_factor = depth_factor(cfg_.afcVnets);
         break;
       case FlowControl::Backpressureless:
@@ -113,6 +115,10 @@ Network::Network(const NetworkConfig &cfg, FlowControl fc)
           case FlowControl::Afc:
           case FlowControl::AfcAlwaysBackpressured:
             routers_.push_back(std::make_unique<AfcRouter>(
+                mesh_, node, cfg_, root.fork(node), policy));
+            break;
+          case FlowControl::AfcAdaptive:
+            routers_.push_back(std::make_unique<AfcAdaptiveRouter>(
                 mesh_, node, cfg_, root.fork(node), policy));
             break;
           case FlowControl::BackpressurelessDrop:

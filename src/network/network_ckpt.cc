@@ -89,6 +89,12 @@ hashNetworkConfig(const NetworkConfig &cfg, FlowControl fc)
     w.i32(a.gossipReserve);
     w.b(a.alwaysBackpressured);
     w.b(a.disableGossipUnsafe);
+    w.u64(a.adapt.probeInterval);
+    w.u64(a.adapt.probeWindow);
+    w.f64(a.adapt.gain);
+    w.f64(a.adapt.minScale);
+    w.f64(a.adapt.maxScale);
+    w.f64(a.adapt.gapFloor);
     const EnergyConfig &e = cfg.energy;
     w.f64(e.bufferWritePerBit);
     w.f64(e.bufferReadPerBit);

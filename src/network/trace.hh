@@ -70,6 +70,17 @@ class FlitTracer
     {
         (void)node; (void)to_backpressured; (void)gossip; (void)now;
     }
+
+    /**
+     * An afc_adaptive router's gradient controller moved its mode
+     * thresholds (fired only when a value actually changed).
+     */
+    virtual void
+    onThresholdChange(NodeId node, double high, double low,
+                      double gradient, Cycle now)
+    {
+        (void)node; (void)high; (void)low; (void)gradient; (void)now;
+    }
 };
 
 /**

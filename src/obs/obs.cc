@@ -167,6 +167,22 @@ Observability::chromeTrace() const
             emitSpan(n, bp[i] != 0, openSince[i], endTs);
         }
 
+        // Threshold-adaptation instants (afc_adaptive).
+        for (const ThresholdEvent &t : trace_->thresholdEvents()) {
+            if (t.node < 0 || t.node >= numNodes_)
+                continue;
+            JsonValue e = base("i", t.node, t.cycle);
+            e.set("name", "threshold:adapt");
+            e.set("cat", "threshold");
+            e.set("s", "t");
+            JsonValue args = JsonValue::object();
+            args.set("high", t.high);
+            args.set("low", t.low);
+            args.set("gradient", t.gradient);
+            e.set("args", std::move(args));
+            events.push(std::move(e));
+        }
+
         // Flit-lifecycle instants.
         for (const TraceEvent &ev : trace_->events()) {
             JsonValue e = base("i", ev.node, ev.cycle);
@@ -242,6 +258,9 @@ Observability::chromeTrace() const
                  static_cast<std::int64_t>(trace_->dropped()));
         meta.set("mode_events",
                  static_cast<std::int64_t>(trace_->modeEvents().size()));
+        meta.set("threshold_events",
+                 static_cast<std::int64_t>(
+                     trace_->thresholdEvents().size()));
     }
     doc.set("otherData", std::move(meta));
     return doc;

@@ -89,6 +89,13 @@ MetricsSampler::sample(const Network &net, Cycle now)
         out.gossipSwitchDelta = s.gossipSwitches - p.gossipSwitches;
         double energy = net.ledger(n).report().total();
         out.energyDeltaPj = energy - p.energyPj;
+        if (const auto *afc = dynamic_cast<const AfcRouter *>(&r)) {
+            out.high = afc->highThreshold();
+            out.low = afc->lowThreshold();
+        } else {
+            out.high = 0.0;
+            out.low = 0.0;
+        }
 
         p.routed = s.flitsRouted;
         p.deflected = s.flitsDeflected;
@@ -125,7 +132,7 @@ MetricsSampler::frameCsv(std::ostream &os, const SampleFrame &f) const
         const RouterMeta &m = meta_[static_cast<std::size_t>(n)];
         os << f.cycle << ',' << n << ',' << m.x << ',' << m.y << ','
            << (r.backpressured ? "bp" : "bpl") << ',' << r.ewma << ','
-           << m.highThreshold << ',' << m.lowThreshold << ','
+           << r.high << ',' << r.low << ','
            << r.occupancy << ',' << r.nicQueue << ','
            << r.routedDelta << ',' << r.deflectedDelta << ','
            << r.creditStallDelta << ',' << r.forwardSwitchDelta << ','
@@ -182,6 +189,8 @@ MetricsSampler::ckptSave(ckpt::Writer &w) const
             w.u64(s.reverseSwitchDelta);
             w.u64(s.gossipSwitchDelta);
             w.f64(s.energyDeltaPj);
+            w.f64(s.high);
+            w.f64(s.low);
         }
     }
     for (const PrevCounters &p : prev_) {
@@ -236,6 +245,8 @@ MetricsSampler::ckptLoad(ckpt::Reader &r)
             s.reverseSwitchDelta = r.u64();
             s.gossipSwitchDelta = r.u64();
             s.energyDeltaPj = r.f64();
+            s.high = r.f64();
+            s.low = r.f64();
         }
     }
     for (PrevCounters &p : prev_) {
@@ -327,6 +338,8 @@ MetricsSampler::toJson() const
             row.set("gossip_switch_d",
                     static_cast<std::int64_t>(r.gossipSwitchDelta));
             row.set("energy_pj_d", r.energyDeltaPj);
+            row.set("high", r.high);
+            row.set("low", r.low);
             rows.push(std::move(row));
         }
         fr.set("routers", std::move(rows));

@@ -59,6 +59,11 @@ struct RouterSample
     std::uint64_t reverseSwitchDelta = 0;
     std::uint64_t gossipSwitchDelta = 0;
     double energyDeltaPj = 0.0;     ///< ledger energy since last sample
+    /** Mode thresholds at sample time (0 when not adaptive). Equal to
+     *  the static attach-time values except under afc_adaptive, whose
+     *  gradient controller moves them mid-run. */
+    double high = 0.0;
+    double low = 0.0;
 };
 
 /** One ring-buffer frame: all routers at one cycle. */
@@ -73,6 +78,8 @@ struct RouterMeta
 {
     int x = 0;
     int y = 0;
+    /** Thresholds at attach (the statics); the per-frame values in
+     *  RouterSample are authoritative for afc_adaptive runs. */
     double highThreshold = 0.0; ///< 0 when the router is not adaptive
     double lowThreshold = 0.0;
 };

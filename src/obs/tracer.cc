@@ -98,6 +98,19 @@ EventTrace::onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
 }
 
 void
+EventTrace::onThresholdChange(NodeId node, double high, double low,
+                              double gradient, Cycle now)
+{
+    ThresholdEvent t;
+    t.cycle = now;
+    t.node = node;
+    t.high = high;
+    t.low = low;
+    t.gradient = gradient;
+    thresholds_.push_back(t);
+}
+
+void
 EventTrace::ckptSave(ckpt::Writer &w) const
 {
     w.u64(dropped_);
@@ -121,6 +134,14 @@ EventTrace::ckptSave(ckpt::Writer &w) const
         w.i32(m.node);
         w.b(m.toBackpressured);
         w.b(m.gossip);
+    }
+    w.u64(thresholds_.size());
+    for (const ThresholdEvent &t : thresholds_) {
+        w.u64(t.cycle);
+        w.i32(t.node);
+        w.f64(t.high);
+        w.f64(t.low);
+        w.f64(t.gradient);
     }
 }
 
@@ -154,6 +175,17 @@ EventTrace::ckptLoad(ckpt::Reader &r)
         m.toBackpressured = r.b();
         m.gossip = r.b();
         modes_.push_back(m);
+    }
+    thresholds_.clear();
+    std::uint64_t nt = r.u64();
+    for (std::uint64_t i = 0; i < nt; ++i) {
+        ThresholdEvent t;
+        t.cycle = r.u64();
+        t.node = r.i32();
+        t.high = r.f64();
+        t.low = r.f64();
+        t.gradient = r.f64();
+        thresholds_.push_back(t);
     }
 }
 

@@ -70,6 +70,19 @@ struct ModeEvent
 };
 
 /**
+ * One afc_adaptive threshold adjustment (never dropped; the gradient
+ * controller fires at most once per probe epoch per router).
+ */
+struct ThresholdEvent
+{
+    Cycle cycle = 0;
+    NodeId node = kInvalidNode;
+    double high = 0.0;     ///< new high threshold (fx-derived)
+    double low = 0.0;      ///< new low threshold (fx-derived)
+    double gradient = 0.0; ///< gradient that drove the change
+};
+
+/**
  * FlitTracer backend filling the preallocated event vectors. Attach
  * through Network::setTracer() (the Observability object does this
  * when cfg.obs.trace is set).
@@ -88,9 +101,15 @@ class EventTrace : public FlitTracer
                       Cycle now) override;
     void onModeSwitch(NodeId node, bool to_backpressured, bool gossip,
                       Cycle now) override;
+    void onThresholdChange(NodeId node, double high, double low,
+                           double gradient, Cycle now) override;
 
     const std::vector<TraceEvent> &events() const { return events_; }
     const std::vector<ModeEvent> &modeEvents() const { return modes_; }
+    const std::vector<ThresholdEvent> &thresholdEvents() const
+    {
+        return thresholds_;
+    }
     /** Flit events discarded after the capacity was reached. */
     std::uint64_t dropped() const { return dropped_; }
     /** All flit events seen (recorded + dropped). */
@@ -114,6 +133,7 @@ class EventTrace : public FlitTracer
     std::size_t capacity_;
     std::vector<TraceEvent> events_;
     std::vector<ModeEvent> modes_;
+    std::vector<ThresholdEvent> thresholds_;
     std::uint64_t dropped_ = 0;
 };
 

@@ -97,6 +97,19 @@ class AfcRouter : public Router
     void ckptSave(ckpt::Writer &w) const override;
     void ckptLoad(ckpt::Reader &r) override;
 
+  protected:
+    /**
+     * Replace the mode thresholds (afc_adaptive's gradient
+     * controller). Callers keep high >= low; the switch state machine
+     * picks the new values up on its next advance().
+     */
+    void
+    setThresholds(double high, double low)
+    {
+        high_ = high;
+        low_ = low;
+    }
+
   private:
     /** One 1-flit lazy VC slot. */
     struct Slot

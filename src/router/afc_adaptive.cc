@@ -1,0 +1,183 @@
+#include "router/afc_adaptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ckpt/serial.hh"
+#include "common/error.hh"
+#include "common/log.hh"
+
+namespace afcsim
+{
+
+namespace
+{
+
+std::int64_t
+toFx(double v)
+{
+    return static_cast<std::int64_t>(
+        std::llround(v * static_cast<double>(AfcAdaptiveRouter::kOneFx)));
+}
+
+double
+fromFx(std::int64_t fx)
+{
+    return static_cast<double>(fx) /
+        static_cast<double>(AfcAdaptiveRouter::kOneFx);
+}
+
+} // namespace
+
+AfcAdaptiveRouter::AfcAdaptiveRouter(const Mesh &mesh, NodeId node,
+                                     const NetworkConfig &cfg, Rng rng,
+                                     DeflectionPolicy policy)
+    : AfcRouter(mesh, node, cfg, std::move(rng), policy),
+      probeInterval_(cfg.afc.adapt.probeInterval),
+      probeWindow_(cfg.afc.adapt.probeWindow)
+{
+    const AfcAdaptConfig &ad = cfg.afc.adapt;
+    gainFx_ = toFx(ad.gain);
+    gapFloorFx_ = toFx(ad.gapFloor);
+
+    // The base constructor assigned this position's static thresholds;
+    // they anchor the controller's clamp band.
+    double staticHigh = highThreshold();
+    double staticLow = lowThreshold();
+    minHighFx_ = toFx(staticHigh * ad.minScale);
+    maxHighFx_ = toFx(staticHigh * ad.maxScale);
+    minLowFx_ = toFx(staticLow * ad.minScale);
+    maxLowFx_ = toFx(staticLow * ad.maxScale);
+    if (minHighFx_ - gapFloorFx_ < minLowFx_) {
+        AFCSIM_CONFIG_ERROR(
+            "afc.adapt.gap_floor ", ad.gapFloor,
+            " is incompatible with the static thresholds at node ",
+            node, " (high ", staticHigh, ", low ", staticLow,
+            "): need gap_floor <= (high - low) * min_scale so the "
+            "clamp band and the hysteresis gap can hold together");
+    }
+
+    highFx_ = std::clamp(toFx(staticHigh), minHighFx_, maxHighFx_);
+    lowFx_ = std::clamp(toFx(staticLow), minLowFx_, maxLowFx_);
+    lowFx_ = std::min(lowFx_, highFx_ - gapFloorFx_);
+    lowFx_ = std::max(lowFx_, minLowFx_);
+    // From here on the comparison doubles are always fx-derived.
+    setThresholds(fromFx(highFx_), fromFx(lowFx_));
+}
+
+void
+AfcAdaptiveRouter::acceptFlit(Direction in_port, const Flit &flit,
+                              Cycle now)
+{
+    // Arrival age since network entry: the delivered-latency signal.
+    // Min/sum accumulation is order-independent within a cycle, so
+    // the controller sees identical state for any shard count.
+    std::uint64_t age = now >= flit.injectTime
+        ? static_cast<std::uint64_t>(now - flit.injectTime) : 0;
+    if (probing(now)) {
+        if (epochProbeCount_ == 0 || age < epochProbeMin_)
+            epochProbeMin_ = age;
+        ++epochProbeCount_;
+    } else {
+        sampleSum_ += age;
+        ++sampleCount_;
+    }
+    AfcRouter::acceptFlit(in_port, flit, now);
+}
+
+void
+AfcAdaptiveRouter::advance(Cycle now)
+{
+    AfcRouter::advance(now);
+    if ((now + 1) % probeInterval_ == 0)
+        adaptEpoch(now);
+}
+
+bool
+AfcAdaptiveRouter::idle() const
+{
+    return AfcRouter::idle() && epochProbeCount_ == 0 &&
+        sampleCount_ == 0;
+}
+
+void
+AfcAdaptiveRouter::adaptEpoch(Cycle now)
+{
+    if (epochProbeCount_ > 0) {
+        baselineLat_ = std::max<std::uint64_t>(epochProbeMin_, 1);
+        baselineValid_ = true;
+    }
+    if (baselineValid_ && sampleCount_ > 0 && sampleSum_ > 0 &&
+        gainFx_ > 0) {
+        // gradient = baseline / (sampleSum / sampleCount), Q16:
+        // widened so baseline * count * 2^16 cannot overflow.
+        unsigned __int128 num =
+            static_cast<unsigned __int128>(baselineLat_) *
+            sampleCount_ * static_cast<std::uint64_t>(kOneFx);
+        std::int64_t gradFx =
+            static_cast<std::int64_t>(num / sampleSum_);
+        gradFx = std::clamp(gradFx, kMinGradientFx, kMaxGradientFx);
+        lastGradientFx_ = gradFx;
+
+        std::int64_t factorFx =
+            kOneFx + ((gainFx_ * (gradFx - kOneFx)) >> 16);
+        std::int64_t nh = std::clamp((highFx_ * factorFx) >> 16,
+                                     minHighFx_, maxHighFx_);
+        std::int64_t nl = std::clamp((lowFx_ * factorFx) >> 16,
+                                     minLowFx_, maxLowFx_);
+        // Hysteresis-gap floor; the constructor checked that the
+        // clamp band leaves room (min_high - gap_floor >= min_low).
+        nl = std::min(nl, nh - gapFloorFx_);
+        nl = std::max(nl, minLowFx_);
+        if (nh != highFx_ || nl != lowFx_) {
+            highFx_ = nh;
+            lowFx_ = nl;
+            ++adjustments_;
+            setThresholds(fromFx(highFx_), fromFx(lowFx_));
+            if (tracer_) {
+                tracer_->onThresholdChange(node_, fromFx(highFx_),
+                                           fromFx(lowFx_),
+                                           fromFx(gradFx), now);
+            }
+        }
+    }
+    epochProbeMin_ = 0;
+    epochProbeCount_ = 0;
+    sampleSum_ = 0;
+    sampleCount_ = 0;
+}
+
+void
+AfcAdaptiveRouter::ckptSave(ckpt::Writer &w) const
+{
+    AfcRouter::ckptSave(w);
+    w.i64(highFx_);
+    w.i64(lowFx_);
+    w.u64(epochProbeMin_);
+    w.u64(epochProbeCount_);
+    w.u64(sampleSum_);
+    w.u64(sampleCount_);
+    w.b(baselineValid_);
+    w.u64(baselineLat_);
+    w.i64(lastGradientFx_);
+    w.u64(adjustments_);
+}
+
+void
+AfcAdaptiveRouter::ckptLoad(ckpt::Reader &r)
+{
+    AfcRouter::ckptLoad(r);
+    highFx_ = r.i64();
+    lowFx_ = r.i64();
+    epochProbeMin_ = r.u64();
+    epochProbeCount_ = r.u64();
+    sampleSum_ = r.u64();
+    sampleCount_ = r.u64();
+    baselineValid_ = r.b();
+    baselineLat_ = r.u64();
+    lastGradientFx_ = r.i64();
+    adjustments_ = r.u64();
+    setThresholds(fromFx(highFx_), fromFx(lowFx_));
+}
+
+} // namespace afcsim

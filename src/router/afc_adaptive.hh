@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Self-tuning AFC router (DESIGN.md S22): the AFC router of Sec. III
+ * with its per-position mode thresholds replaced by an online
+ * gradient controller modeled on Envoy's adaptive-concurrency loop.
+ *
+ * Time divides into epochs of `afc.adapt.probe_interval` cycles. The
+ * first `afc.adapt.probe_window` cycles of each epoch form the probe
+ * window: the minimum age (now - injectTime) of flits arriving in it
+ * becomes the baseline delivered latency — a minRTT analogue that
+ * tracks the uncongested transit time seen at this router. The rest
+ * of the epoch accumulates the average arrival age (the sample). At
+ * each epoch boundary the controller computes
+ *
+ *     gradient = baseline / sample          (Q16, clamped [0.5, 2.0])
+ *     factor   = 1 + gain * (gradient - 1)  (Q16)
+ *
+ * and multiplies both thresholds by `factor`, clamping each to
+ * [static * min_scale, static * max_scale] and keeping
+ * high - low >= gap_floor. A gradient below 1 (arrival ages above
+ * baseline: congestion) shrinks the thresholds so the router switches
+ * to backpressured mode earlier; a gradient above 1 lets them grow
+ * back toward (and beyond) the hand-derived statics.
+ *
+ * All controller arithmetic is unsigned/Q16 integer: epoch phase is a
+ * pure function of the absolute cycle (nothing to replay over parked
+ * idle spans), min/sum accumulation is order-independent (shard-
+ * safe), and the double thresholds the base state machine compares
+ * against are always derived exactly as fx / 65536.0 — so runs stay
+ * bit-identical across shard counts, idle-skip, runner threads, and
+ * checkpoint/restore.
+ */
+
+#ifndef AFCSIM_ROUTER_AFC_ADAPTIVE_HH
+#define AFCSIM_ROUTER_AFC_ADAPTIVE_HH
+
+#include <cstdint>
+
+#include "router/afc.hh"
+
+namespace afcsim
+{
+
+/** AFC with gradient-controlled mode thresholds. */
+class AfcAdaptiveRouter : public AfcRouter
+{
+  public:
+    /** One in Q16.16 fixed point. */
+    static constexpr std::int64_t kOneFx = 65536;
+    /** Gradient clamp: [0.5, 2.0] in Q16. */
+    static constexpr std::int64_t kMinGradientFx = kOneFx / 2;
+    static constexpr std::int64_t kMaxGradientFx = 2 * kOneFx;
+
+    AfcAdaptiveRouter(const Mesh &mesh, NodeId node,
+                      const NetworkConfig &cfg, Rng rng,
+                      DeflectionPolicy policy = DeflectionPolicy::Random);
+
+    void acceptFlit(Direction in_port, const Flit &flit,
+                    Cycle now) override;
+    void advance(Cycle now) override;
+
+    /**
+     * Idle additionally requires empty epoch accumulators: with no
+     * pending samples every skipped epoch boundary is a controller
+     * no-op, so parking across it is bit-identical to live stepping.
+     */
+    bool idle() const override;
+
+    void ckptSave(ckpt::Writer &w) const override;
+    void ckptLoad(ckpt::Reader &r) override;
+
+    /// @name Controller introspection (tests, sampler, benches).
+    /// @{
+    std::int64_t highFx() const { return highFx_; }
+    std::int64_t lowFx() const { return lowFx_; }
+    std::int64_t minHighFx() const { return minHighFx_; }
+    std::int64_t maxHighFx() const { return maxHighFx_; }
+    std::int64_t minLowFx() const { return minLowFx_; }
+    std::int64_t maxLowFx() const { return maxLowFx_; }
+    std::int64_t gapFloorFx() const { return gapFloorFx_; }
+    std::int64_t lastGradientFx() const { return lastGradientFx_; }
+    /** Epoch-boundary adjustments that actually moved a threshold. */
+    std::uint64_t adjustments() const { return adjustments_; }
+    /** Baseline delivered latency (cycles); 0 until the first probe. */
+    std::uint64_t baselineLatency() const
+    {
+        return baselineValid_ ? baselineLat_ : 0;
+    }
+    /** True when `now` falls inside an epoch's probe window. */
+    bool
+    probing(Cycle now) const
+    {
+        return now % probeInterval_ < probeWindow_;
+    }
+    std::uint64_t pendingProbeCount() const { return epochProbeCount_; }
+    std::uint64_t pendingSampleCount() const { return sampleCount_; }
+    /// @}
+
+  private:
+    /** Run the controller at an epoch boundary ending at `now`. */
+    void adaptEpoch(Cycle now);
+
+    Cycle probeInterval_;
+    Cycle probeWindow_;
+    std::int64_t gainFx_;
+    std::int64_t gapFloorFx_;
+    std::int64_t minHighFx_, maxHighFx_;
+    std::int64_t minLowFx_, maxLowFx_;
+
+    std::int64_t highFx_;
+    std::int64_t lowFx_;
+
+    /// Epoch accumulators (order-independent: min and sum).
+    std::uint64_t epochProbeMin_ = 0; ///< valid iff epochProbeCount_>0
+    std::uint64_t epochProbeCount_ = 0;
+    std::uint64_t sampleSum_ = 0;
+    std::uint64_t sampleCount_ = 0;
+
+    bool baselineValid_ = false;
+    std::uint64_t baselineLat_ = 0;
+    std::int64_t lastGradientFx_ = kOneFx;
+    std::uint64_t adjustments_ = 0;
+};
+
+} // namespace afcsim
+
+#endif // AFCSIM_ROUTER_AFC_ADAPTIVE_HH

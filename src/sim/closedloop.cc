@@ -1,5 +1,6 @@
 #include "sim/closedloop.hh"
 
+#include "ckpt/serial.hh"
 #include "common/error.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -11,8 +12,10 @@ namespace afcsim
 
 ClosedLoopSystem::ClosedLoopSystem(const NetworkConfig &cfg,
                                    FlowControl fc,
-                                   const WorkloadProfile &profile)
-    : cfg_(cfg), profile_(profile), net_(cfg, fc)
+                                   const WorkloadProfile &profile,
+                                   Cycle max_cycles)
+    : cfg_(cfg), profile_(profile),
+      maxCycles_(max_cycles ? max_cycles : 100'000'000), net_(cfg, fc)
 {
     Rng root(cfg.seed, 0xc10c);
     int n = net_.mesh().numNodes();
@@ -54,51 +57,58 @@ ClosedLoopSystem::totalCompleted() const
     return total;
 }
 
-ClosedLoopResult
-ClosedLoopSystem::run(Cycle max_cycles)
+void
+ClosedLoopSystem::beginMeasurement()
 {
-    if (max_cycles == 0)
-        max_cycles = 100'000'000;
-
-    // Warmup: run until the warmup transaction count completes.
-    while (totalCompleted() < profile_.warmupTransactions &&
-           net_.now() < max_cycles) {
-        tickAll(net_.now());
-        net_.step();
-    }
-
-    // Measurement window: reset end-to-end statistics and snapshot
-    // cumulative counters.
     int n = net_.mesh().numNodes();
     for (NodeId node = 0; node < n; ++node)
         net_.nic(node).stats().reset();
     for (auto &core : cores_)
         core->resetStats();
-    EnergyReport e0 = net_.aggregateEnergy();
-    RouterStats r0 = net_.aggregateRouterStats();
-    Cycle t0 = net_.now();
+    e0_ = net_.aggregateEnergy();
+    r0_ = net_.aggregateRouterStats();
+    t0_ = net_.now();
     if (net_.observability())
-        net_.observability()->markWindow(t0);
+        net_.observability()->markWindow(t0_);
+    phase_ = Phase::Measure;
+}
 
-    while (totalCompleted() < profile_.measureTransactions &&
-           net_.now() < max_cycles) {
-        tickAll(net_.now());
-        net_.step();
+void
+ClosedLoopSystem::step()
+{
+    if (phase_ == Phase::Done)
+        return;
+    if (phase_ == Phase::Warmup &&
+        totalCompleted() >= profile_.warmupTransactions)
+        beginMeasurement();
+    if (phase_ == Phase::Measure &&
+        totalCompleted() >= profile_.measureTransactions) {
+        phase_ = Phase::Done;
+        return;
     }
-
-    AFCSIM_SIM_ASSERT(net_.now() < max_cycles,
+    AFCSIM_SIM_ASSERT(net_.now() < maxCycles_,
                       "closed-loop run exceeded its cycle budget (",
-                      max_cycles, " cycles) without completing: workload ",
+                      maxCycles_, " cycles) without completing: workload ",
                       profile_.name, " fc ",
                       toString(net_.flowControl()));
+    tickAll(net_.now());
+    net_.step();
+}
 
+ClosedLoopResult
+ClosedLoopSystem::finish()
+{
+    while (!done())
+        step();
+
+    int n = net_.mesh().numNodes();
     ClosedLoopResult res;
     res.fc = net_.flowControl();
     res.workload = profile_.name;
-    res.runtime = net_.now() - t0;
+    res.runtime = net_.now() - t0_;
     res.transactions = totalCompleted();
     res.net = net_.aggregateStats();
-    res.energy = net_.aggregateEnergy().diff(e0);
+    res.energy = net_.aggregateEnergy().diff(e0_);
     res.obs = net_.observability();
     if (net_.faultInjector())
         res.faults = net_.faultInjector()->stats();
@@ -114,23 +124,122 @@ ClosedLoopSystem::run(Cycle max_cycles)
     res.avgDeflections = res.net.deflections.mean();
 
     RouterStats r1 = net_.aggregateRouterStats();
-    std::uint64_t bp = r1.cyclesBackpressured - r0.cyclesBackpressured;
+    std::uint64_t bp = r1.cyclesBackpressured - r0_.cyclesBackpressured;
     std::uint64_t bpl =
-        r1.cyclesBackpressureless - r0.cyclesBackpressureless;
+        r1.cyclesBackpressureless - r0_.cyclesBackpressureless;
     res.bpFraction = (bp + bpl) ? static_cast<double>(bp) / (bp + bpl)
                                 : 0.0;
-    res.forwardSwitches = r1.forwardSwitches - r0.forwardSwitches;
-    res.reverseSwitches = r1.reverseSwitches - r0.reverseSwitches;
-    res.gossipSwitches = r1.gossipSwitches - r0.gossipSwitches;
+    res.forwardSwitches = r1.forwardSwitches - r0_.forwardSwitches;
+    res.reverseSwitches = r1.reverseSwitches - r0_.reverseSwitches;
+    res.gossipSwitches = r1.gossipSwitches - r0_.gossipSwitches;
     return res;
+}
+
+ClosedLoopResult
+ClosedLoopSystem::run(Cycle max_cycles)
+{
+    if (max_cycles)
+        maxCycles_ = max_cycles;
+    return finish();
+}
+
+std::uint64_t
+ClosedLoopSystem::paramsHash() const
+{
+    ckpt::Writer w;
+    w.str(profile_.name);
+    w.f64(profile_.issueProb);
+    w.i32(profile_.mshrsPerCore);
+    w.f64(profile_.readFraction);
+    w.f64(profile_.writeFraction);
+    w.f64(profile_.l2MissRate);
+    w.i32(profile_.l2LatencyCycles);
+    w.i32(profile_.memLatencyCycles);
+    w.u64(profile_.measureTransactions);
+    w.u64(profile_.warmupTransactions);
+    w.u64(profile_.phases.period);
+    w.u64(profile_.phases.altLength);
+    w.f64(profile_.phases.altIssueProb);
+    w.u64(maxCycles_);
+    return ckpt::fnv1a(w.bytes().data(), w.bytes().size());
+}
+
+void
+ClosedLoopSystem::ckptSave(ckpt::Writer &w) const
+{
+    w.u64(paramsHash());
+    net_.ckptSave(w);
+    w.u64(txCounter_);
+    for (const auto &core : cores_)
+        core->ckptSave(w);
+    for (const auto &bank : banks_)
+        bank->ckptSave(w);
+    w.u8(static_cast<std::uint8_t>(phase_));
+    for (double v : e0_.byComponent)
+        w.f64(v);
+    w.u64(r0_.flitsRouted);
+    w.u64(r0_.flitsDeflected);
+    w.u64(r0_.cyclesBackpressured);
+    w.u64(r0_.cyclesBackpressureless);
+    w.u64(r0_.forwardSwitches);
+    w.u64(r0_.reverseSwitches);
+    w.u64(r0_.gossipSwitches);
+    w.u64(r0_.creditStalls);
+    w.u64(t0_);
+}
+
+void
+ClosedLoopSystem::ckptLoad(ckpt::Reader &r)
+{
+    std::uint64_t hash = r.u64();
+    if (hash != paramsHash()) {
+        AFCSIM_SIM_ERROR(
+            "checkpoint harness mismatch: the snapshot was taken with "
+            "different closed-loop parameters (workload knobs, "
+            "transaction counts, or cycle budget)");
+    }
+    net_.ckptLoad(r);
+    txCounter_ = r.u64();
+    for (auto &core : cores_)
+        core->ckptLoad(r);
+    for (auto &bank : banks_)
+        bank->ckptLoad(r);
+    phase_ = static_cast<Phase>(r.u8());
+    for (double &v : e0_.byComponent)
+        v = r.f64();
+    r0_.flitsRouted = r.u64();
+    r0_.flitsDeflected = r.u64();
+    r0_.cyclesBackpressured = r.u64();
+    r0_.cyclesBackpressureless = r.u64();
+    r0_.forwardSwitches = r.u64();
+    r0_.reverseSwitches = r.u64();
+    r0_.gossipSwitches = r.u64();
+    r0_.creditStalls = r.u64();
+    t0_ = r.u64();
+}
+
+void
+ClosedLoopSystem::saveCheckpoint(const std::string &path) const
+{
+    ckpt::Writer w;
+    ckptSave(w);
+    ckpt::writeFile(path, ckpt::Kind::ClosedLoopRun, w.bytes());
+}
+
+void
+ClosedLoopSystem::loadCheckpoint(const std::string &path)
+{
+    ckpt::Reader r(ckpt::readFile(path, ckpt::Kind::ClosedLoopRun), path);
+    ckptLoad(r);
+    r.finish();
 }
 
 ClosedLoopResult
 runClosedLoop(const NetworkConfig &cfg, FlowControl fc,
               const WorkloadProfile &profile, Cycle max_cycles)
 {
-    ClosedLoopSystem sys(cfg, fc, profile);
-    return sys.run(max_cycles);
+    ClosedLoopSystem sys(cfg, fc, profile, max_cycles);
+    return sys.run();
 }
 
 } // namespace afcsim

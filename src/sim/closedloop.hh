@@ -28,6 +28,12 @@ namespace obs
 class Observability;
 }
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Outcome of one closed-loop run. */
 struct ClosedLoopResult
 {
@@ -60,35 +66,102 @@ struct ClosedLoopResult
     }
 };
 
-/** A multicore CMP: one core + one L2 bank per mesh node. */
+/**
+ * A multicore CMP: one core + one L2 bank per mesh node.
+ *
+ * Like OpenLoopRun, the historical monolithic run() loop is unrolled
+ * into a stepping harness: callers may pause at any cycle boundary,
+ * snapshot complete simulator state (network + cores + banks + the
+ * global transaction counter + harness phase/baselines) to a
+ * checkpoint file, and restore an identically constructed system in
+ * a fresh process — bit-identical to never having stopped. run()
+ * remains `while (!done()) step(); finish()`, so cycle-for-cycle
+ * behavior matches the historical loop exactly: warmup until the
+ * warmup transaction count completes, a measurement-window reset
+ * (stats cleared, energy/router baselines captured), measurement
+ * until the measured transaction count completes, then the result
+ * computation. Exceeding the cycle budget raises the same SimError
+ * the monolithic loop raised.
+ */
 class ClosedLoopSystem
 {
   public:
+    /** `max_cycles` bounds runaway configurations (0 = a large
+     *  default); run() may override it before stepping starts. */
     ClosedLoopSystem(const NetworkConfig &cfg, FlowControl fc,
-                     const WorkloadProfile &profile);
+                     const WorkloadProfile &profile,
+                     Cycle max_cycles = 0);
 
     /**
      * Run warmup transactions, then measure until the profile's
      * transaction count completes. `max_cycles` bounds runaway
-     * configurations (0 = a large default).
+     * configurations (0 = keep the constructor's bound).
      */
     ClosedLoopResult run(Cycle max_cycles = 0);
+
+    /// @name Stepping interface (mirrors OpenLoopRun).
+    /// @{
+    /** Cycles simulated so far. */
+    Cycle cycle() const { return net_.now(); }
+    /** The cycle budget (SimError when exceeded before completion). */
+    Cycle maxCycles() const { return maxCycles_; }
+    bool done() const { return phase_ == Phase::Done; }
+    /** Simulate one cycle (no-op once done). */
+    void step();
+    /** Run any remaining cycles and compute the result. */
+    ClosedLoopResult finish();
+    /// @}
+
+    /// @name Checkpointing (src/ckpt). save/load serialize the
+    /// network, every core and bank, the global transaction counter
+    /// and the harness phase/baselines, guarded by a hash of the
+    /// workload parameters (the network checks its own config hash).
+    /// saveCheckpoint()/loadCheckpoint() wrap the state in the
+    /// versioned, checksummed container (Kind::ClosedLoopRun).
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    void saveCheckpoint(const std::string &path) const;
+    void loadCheckpoint(const std::string &path);
+    /// @}
 
     Network &network() { return net_; }
     Core &core(NodeId n) { return *cores_.at(n); }
     L2Bank &bank(NodeId n) { return *banks_.at(n); }
 
   private:
+    enum class Phase : std::uint8_t
+    {
+        Warmup = 0,  ///< pre-measurement transactions completing
+        Measure = 1, ///< measurement window open
+        Done = 2,    ///< measured transaction count reached
+    };
+
     void tickAll(Cycle now);
     std::uint64_t totalCompleted() const;
+    /** Measurement-window reset at the warmup/measure boundary. */
+    void beginMeasurement();
+    /** Hash of the harness parameters (workload knobs + budget). */
+    std::uint64_t paramsHash() const;
 
     NetworkConfig cfg_;
     WorkloadProfile profile_;
+    Cycle maxCycles_;
     Network net_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<L2Bank>> banks_;
     std::uint64_t txCounter_ = 0;
+    Phase phase_ = Phase::Warmup;
+    /// @name Measurement baselines (captured at beginMeasurement()).
+    /// @{
+    EnergyReport e0_;
+    RouterStats r0_;
+    Cycle t0_ = 0;
+    /// @}
 };
+
+/** Naming symmetry with OpenLoopRun for the crash-safe sweep layer. */
+using ClosedLoopRun = ClosedLoopSystem;
 
 /** Convenience: build and run in one call. */
 ClosedLoopResult runClosedLoop(const NetworkConfig &cfg, FlowControl fc,

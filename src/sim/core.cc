@@ -1,5 +1,9 @@
 #include "sim/core.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "ckpt/state.hh"
 #include "common/log.hh"
 
 namespace afcsim
@@ -70,6 +74,42 @@ Core::onResponse(const PacketInfo &info, Cycle now)
     --outstanding_;
     AFCSIM_ASSERT(outstanding_ >= 0, "MSHR underflow at core ", node_);
     ++completed_;
+}
+
+void
+Core::ckptSave(ckpt::Writer &w) const
+{
+    ckpt::put(w, rng_);
+    w.i32(outstanding_);
+    w.u64(issued_);
+    w.u64(completed_);
+    w.u64(mshrStalls_);
+    std::vector<std::pair<std::uint64_t, Cycle>> inflight(
+        issueTime_.begin(), issueTime_.end());
+    std::sort(inflight.begin(), inflight.end());
+    w.u64(inflight.size());
+    for (const auto &[tx, cycle] : inflight) {
+        w.u64(tx);
+        w.u64(cycle);
+    }
+    ckpt::put(w, txLatency_);
+}
+
+void
+Core::ckptLoad(ckpt::Reader &r)
+{
+    rng_ = ckpt::getRng(r);
+    outstanding_ = r.i32();
+    issued_ = r.u64();
+    completed_ = r.u64();
+    mshrStalls_ = r.u64();
+    std::uint64_t n = r.u64();
+    issueTime_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t tx = r.u64();
+        issueTime_[tx] = r.u64();
+    }
+    ckpt::get(r, txLatency_);
 }
 
 } // namespace afcsim

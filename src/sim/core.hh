@@ -26,6 +26,12 @@
 namespace afcsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** One core: issues transactions, retires them on response. */
 class Core
 {
@@ -39,6 +45,14 @@ class Core
 
     /** A response (DataResp or Ack) arrived for this core. */
     void onResponse(const PacketInfo &info, Cycle now);
+
+    /// @name Checkpointing (src/ckpt). The in-flight transaction map
+    /// is serialized sorted by transaction id, so the payload is a
+    /// pure function of simulator state (not of hash-table layout).
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
 
     /// @name Statistics.
     /// @{

@@ -1,5 +1,6 @@
 #include "sim/l2bank.hh"
 
+#include "ckpt/state.hh"
 #include "common/log.hh"
 
 namespace afcsim
@@ -50,6 +51,40 @@ L2Bank::tick(Cycle now)
                          packTag(r.txId, r.type));
         ++served_;
         pending_.pop();
+    }
+}
+
+void
+L2Bank::ckptSave(ckpt::Writer &w) const
+{
+    ckpt::put(w, rng_);
+    w.u64(served_);
+    w.u64(pending_.size());
+    auto heap = pending_; // drain a copy in total (ready, txId) order
+    while (!heap.empty()) {
+        const Response &resp = heap.top();
+        w.u64(resp.ready);
+        w.i32(resp.dest);
+        w.u8(static_cast<std::uint8_t>(resp.type));
+        w.u64(resp.txId);
+        heap.pop();
+    }
+}
+
+void
+L2Bank::ckptLoad(ckpt::Reader &r)
+{
+    rng_ = ckpt::getRng(r);
+    served_ = r.u64();
+    std::uint64_t n = r.u64();
+    pending_ = {};
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Response resp;
+        resp.ready = r.u64();
+        resp.dest = r.i32();
+        resp.type = static_cast<MsgType>(r.u8());
+        resp.txId = r.u64();
+        pending_.push(resp);
     }
 }
 

@@ -24,6 +24,12 @@
 namespace afcsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** One L2 bank: fixed-latency service of coherence requests. */
 class L2Bank
 {
@@ -41,6 +47,16 @@ class L2Bank
     std::size_t pendingResponses() const { return pending_.size(); }
     bool idle() const { return pending_.empty(); }
 
+    /// @name Checkpointing (src/ckpt). The pending heap is drained
+    /// in its pop order for serialization; the (ready, txId) total
+    /// order makes that order — and therefore the restored bank's
+    /// injection sequence — independent of the heap's internal
+    /// array layout.
+    /// @{
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+    /// @}
+
   private:
     struct Response
     {
@@ -48,11 +64,15 @@ class L2Bank
         NodeId dest;
         MsgType type;
         std::uint64_t txId;
-        // Min-heap on ready time.
+        // Min-heap on ready time; txId (unique per transaction)
+        // breaks ties so pop order is a total order and survives
+        // serialize/rebuild bit-identically.
         bool
         operator>(const Response &o) const
         {
-            return ready > o.ready;
+            if (ready != o.ready)
+                return ready > o.ready;
+            return txId > o.txId;
         }
     };
 

@@ -52,7 +52,7 @@ OpenLoopInjector::tick(Cycle now)
         Rng &rng = rngs_[n];
         if (!rng.chance(packetProb_[n]))
             continue;
-        NodeId dest = pattern_.pick(n, rng);
+        NodeId dest = pattern_.pick(n, rng, now);
         bool data = rng.chance(dataFraction_);
         int len = data ? cfg.dataPacketFlits : cfg.controlPacketFlits;
         // Control packets split across the two control vnets; data

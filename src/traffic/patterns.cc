@@ -62,6 +62,40 @@ HotspotPattern::pick(NodeId src, Rng &rng) const
     return fallback_.pick(src, rng);
 }
 
+DriftingHotspotPattern::DriftingHotspotPattern(const Mesh &mesh,
+                                               double hot_fraction,
+                                               Cycle period)
+    : mesh_(mesh), hotFraction_(hot_fraction), period_(period),
+      fallback_(mesh)
+{
+    AFCSIM_ASSERT(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+                  "hot fraction out of range");
+    if (period < 1)
+        AFCSIM_CONFIG_ERROR("hotspot drift period must be >= 1 cycle");
+}
+
+NodeId
+DriftingHotspotPattern::hotAt(Cycle now) const
+{
+    return static_cast<NodeId>(
+        (now / period_) % static_cast<Cycle>(mesh_.numNodes()));
+}
+
+NodeId
+DriftingHotspotPattern::pick(NodeId src, Rng &rng) const
+{
+    return pick(src, rng, 0);
+}
+
+NodeId
+DriftingHotspotPattern::pick(NodeId src, Rng &rng, Cycle now) const
+{
+    NodeId hot = hotAt(now);
+    if (src != hot && rng.chance(hotFraction_))
+        return hot;
+    return fallback_.pick(src, rng);
+}
+
 NodeId
 NearNeighborPattern::pick(NodeId src, Rng &rng) const
 {
@@ -123,6 +157,11 @@ makePattern(const std::string &name, const Mesh &mesh)
     if (name == "hotspot") {
         NodeId center = mesh.nodeAt({mesh.width() / 2, mesh.height() / 2});
         return std::make_unique<HotspotPattern>(mesh, center, 0.2);
+    }
+    if (name == "hotspot_drift") {
+        // Same 20 % hot share as "hotspot"; the hot node walks the
+        // mesh row-major, one step every 512 cycles.
+        return std::make_unique<DriftingHotspotPattern>(mesh, 0.2, 512);
     }
     if (name == "neighbor")
         return std::make_unique<NearNeighborPattern>(mesh);

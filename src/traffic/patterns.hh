@@ -32,6 +32,18 @@ class TrafficPattern
      */
     virtual NodeId pick(NodeId src, Rng &rng) const = 0;
 
+    /**
+     * Time-aware variant used by the injector: non-stationary
+     * patterns (hotspot drift) key their target off the cycle.
+     * Defaults to the stationary pick().
+     */
+    virtual NodeId
+    pick(NodeId src, Rng &rng, Cycle now) const
+    {
+        (void)now;
+        return pick(src, rng);
+    }
+
     virtual std::string name() const = 0;
 };
 
@@ -88,6 +100,32 @@ class HotspotPattern : public TrafficPattern
     const Mesh &mesh_;
     NodeId hot_;
     double hotFraction_;
+    UniformPattern fallback_;
+};
+
+/**
+ * Non-stationary hotspot: like HotspotPattern, but the hot node
+ * migrates deterministically every `period` cycles, walking the mesh
+ * in row-major order. Traffic the static threshold tuning never saw
+ * (DESIGN.md S22 ablation); the hot node is a pure function of the
+ * cycle, so runs stay deterministic across shards/threads/restores.
+ */
+class DriftingHotspotPattern : public TrafficPattern
+{
+  public:
+    DriftingHotspotPattern(const Mesh &mesh, double hot_fraction,
+                           Cycle period);
+    NodeId pick(NodeId src, Rng &rng) const override;
+    NodeId pick(NodeId src, Rng &rng, Cycle now) const override;
+    std::string name() const override { return "hotspot_drift"; }
+
+    /** The hot node at cycle `now`. */
+    NodeId hotAt(Cycle now) const;
+
+  private:
+    const Mesh &mesh_;
+    double hotFraction_;
+    Cycle period_;
     UniformPattern fallback_;
 };
 

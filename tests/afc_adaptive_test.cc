@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit and invariant suite for the self-tuning AFC variant
+ * (DESIGN.md S22). The gradient controller's contract: all
+ * arithmetic stays in Q16 fixed point inside documented bounds, the
+ * clamp band and hysteresis-gap floor hold at every epoch under
+ * churn, a zero gain freezes the controller into static AFC, bad
+ * configurations are rejected at validation/construction time, the
+ * observability layer records threshold motion (trace instants and
+ * per-frame sampler columns), and the experiment grid built on top
+ * is bit-identical for any runner thread count.
+ */
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/error.hh"
+#include "common/statsio.hh"
+#include "exp/experiments.hh"
+#include "exp/result.hh"
+#include "exp/runner.hh"
+#include "network/network.hh"
+#include "obs/obs.hh"
+#include "router/afc_adaptive.hh"
+#include "testutil.hh"
+#include "traffic/injector.hh"
+#include "traffic/openloop.hh"
+#include "traffic/patterns.hh"
+
+namespace afcsim
+{
+namespace
+{
+
+/** Fast adaptation epochs so short test runs cross many boundaries. */
+NetworkConfig
+adaptiveConfig(int w = 3, int h = 3)
+{
+    NetworkConfig cfg = testConfig(w, h);
+    cfg.afc.adapt.probeInterval = 256;
+    cfg.afc.adapt.probeWindow = 32;
+    cfg.afc.adapt.gain = 0.8;
+    return cfg;
+}
+
+const AfcAdaptiveRouter &
+adaptiveRouter(const Network &net, NodeId n)
+{
+    const auto *ad =
+        dynamic_cast<const AfcAdaptiveRouter *>(&net.router(n));
+    EXPECT_NE(ad, nullptr) << "node " << n << " is not afc_adaptive";
+    return *ad;
+}
+
+/** Check every documented fixed-point invariant on one router. */
+void
+expectControllerInvariants(const AfcAdaptiveRouter &ad, NodeId n,
+                           Cycle now)
+{
+    constexpr std::int64_t kOne = AfcAdaptiveRouter::kOneFx;
+    EXPECT_GE(ad.lastGradientFx(), AfcAdaptiveRouter::kMinGradientFx)
+        << "node " << n << " cycle " << now;
+    EXPECT_LE(ad.lastGradientFx(), AfcAdaptiveRouter::kMaxGradientFx)
+        << "node " << n << " cycle " << now;
+    EXPECT_GE(ad.highFx(), ad.minHighFx())
+        << "node " << n << " cycle " << now;
+    EXPECT_LE(ad.highFx(), ad.maxHighFx())
+        << "node " << n << " cycle " << now;
+    EXPECT_GE(ad.lowFx(), ad.minLowFx())
+        << "node " << n << " cycle " << now;
+    EXPECT_LE(ad.lowFx(), ad.maxLowFx())
+        << "node " << n << " cycle " << now;
+    EXPECT_GE(ad.highFx() - ad.lowFx(), ad.gapFloorFx())
+        << "hysteresis gap collapsed at node " << n << " cycle "
+        << now;
+    // The doubles the base state machine compares against are always
+    // exactly fx / 2^16 — never a stale or re-rounded value.
+    EXPECT_EQ(ad.highThreshold(),
+              static_cast<double>(ad.highFx()) / kOne)
+        << "node " << n << " cycle " << now;
+    EXPECT_EQ(ad.lowThreshold(),
+              static_cast<double>(ad.lowFx()) / kOne)
+        << "node " << n << " cycle " << now;
+}
+
+TEST(AfcAdaptive, ValidateRejectsBadAdaptKeys)
+{
+    NetworkConfig cfg = adaptiveConfig();
+    cfg.afc.adapt.probeInterval = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = adaptiveConfig();
+    cfg.afc.adapt.probeWindow = cfg.afc.adapt.probeInterval + 1;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = adaptiveConfig();
+    cfg.afc.adapt.gain = -0.1;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = adaptiveConfig();
+    cfg.afc.adapt.minScale = 0.0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = adaptiveConfig();
+    cfg.afc.adapt.maxScale = 0.9;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = adaptiveConfig();
+    cfg.afc.adapt.gapFloor = -0.01;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    EXPECT_NO_THROW(adaptiveConfig().validate());
+}
+
+TEST(AfcAdaptive, CtorRejectsGapFloorIncompatibleWithStatics)
+{
+    // A gap floor wider than the shrunken clamp band can honor: the
+    // per-position check fires at network construction, naming the
+    // node, because only the adaptive variant pays this constraint
+    // (static configurations with degenerate thresholds stay legal).
+    NetworkConfig cfg = adaptiveConfig();
+    cfg.afc.adapt.minScale = 0.5;
+    cfg.afc.adapt.gapFloor = 2.0;
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_THROW(Network(cfg, FlowControl::AfcAdaptive), ConfigError);
+    // The same knobs are inert for every non-adaptive variant.
+    EXPECT_NO_THROW(Network(cfg, FlowControl::Afc));
+}
+
+TEST(AfcAdaptive, InvariantsHoldUnderChurn)
+{
+    // Sustained high load: gradients dip below 1, thresholds shrink
+    // toward the clamp floor. Audit every router at every epoch
+    // boundary (and between them) mid-run, not just at the end.
+    NetworkConfig cfg = adaptiveConfig();
+    Network net(cfg, FlowControl::AfcAdaptive);
+    UniformPattern pattern(net.mesh());
+    OpenLoopInjector inj(net, pattern, 0.40, 0.35);
+
+    std::uint64_t adjustments = 0;
+    for (int chunk = 0; chunk < 32; ++chunk) {
+        for (int c = 0; c < 128; ++c) {
+            inj.tick(net.now());
+            net.step();
+        }
+        adjustments = 0;
+        for (NodeId n = 0; n < net.mesh().numNodes(); ++n) {
+            const AfcAdaptiveRouter &ad = adaptiveRouter(net, n);
+            expectControllerInvariants(ad, n, net.now());
+            adjustments += ad.adjustments();
+        }
+    }
+    EXPECT_GT(adjustments, 0u)
+        << "4096 cycles at 0.40 load never moved a threshold";
+}
+
+TEST(AfcAdaptive, ZeroGainFreezesThresholds)
+{
+    // gain = 0 degenerates the controller to static AFC: thresholds
+    // never move off their constructor values, no adjustment is ever
+    // counted, and the exported run is equal to FlowControl::Afc on
+    // every metric (thresholds agree to within one Q16 quantum, so
+    // the mode state machines make identical decisions).
+    NetworkConfig cfg = adaptiveConfig();
+    cfg.afc.adapt.gain = 0.0;
+    OpenLoopConfig ol;
+    ol.pattern = "uniform";
+    ol.injectionRate = 0.30;
+    ol.warmupCycles = 300;
+    ol.measureCycles = 1500;
+    ol.drainCycles = 30000;
+    std::vector<double> rates(
+        static_cast<std::size_t>(cfg.width * cfg.height),
+        ol.injectionRate);
+
+    OpenLoopRun frozen(cfg, FlowControl::AfcAdaptive, ol, rates);
+    OpenLoopResult fr = frozen.finish();
+    for (NodeId n = 0; n < frozen.network().mesh().numNodes(); ++n) {
+        const AfcAdaptiveRouter &ad =
+            adaptiveRouter(frozen.network(), n);
+        EXPECT_EQ(ad.adjustments(), 0u) << "node " << n;
+        EXPECT_EQ(ad.lastGradientFx(), AfcAdaptiveRouter::kOneFx)
+            << "node " << n;
+        expectControllerInvariants(ad, n, frozen.network().now());
+    }
+
+    OpenLoopRun statik(cfg, FlowControl::Afc, ol, rates);
+    OpenLoopResult sr = statik.finish();
+    JsonValue fj = JsonValue::object();
+    fj.set("net", toJson(fr.stats));
+    fj.set("energy", toJson(fr.energy));
+    fj.set("avg_pkt_lat", fr.avgPacketLatency);
+    fj.set("accepted", fr.acceptedRate);
+    JsonValue sj = JsonValue::object();
+    sj.set("net", toJson(sr.stats));
+    sj.set("energy", toJson(sr.energy));
+    sj.set("avg_pkt_lat", sr.avgPacketLatency);
+    sj.set("accepted", sr.acceptedRate);
+    EXPECT_EQ(fj.dump(2), sj.dump(2))
+        << "zero-gain adaptive diverged from static AFC";
+}
+
+TEST(AfcAdaptive, ThresholdMotionReachesObservability)
+{
+    // Drifting hotspot with the tracer and sampler armed: threshold
+    // instants land in the Chrome trace (counted in its meta) and the
+    // sampler's per-frame high column takes more than one value over
+    // the run. A static AFC control run must record no threshold
+    // events and a single constant per-router threshold.
+    NetworkConfig cfg = adaptiveConfig();
+    cfg.obs.trace = true;
+    cfg.obs.sampleInterval = 64;
+    OpenLoopConfig ol;
+    ol.pattern = "hotspot_drift";
+    ol.injectionRate = 0.25;
+    ol.warmupCycles = 300;
+    ol.measureCycles = 1500;
+    ol.drainCycles = 30000;
+
+    OpenLoopResult ad = runOpenLoop(cfg, FlowControl::AfcAdaptive, ol);
+    ASSERT_NE(ad.obs, nullptr);
+    std::string trace = ad.obs->chromeTrace().dump(2);
+    EXPECT_NE(trace.find("threshold:adapt"), std::string::npos)
+        << "no threshold instants in the Chrome trace";
+
+    // Column 7 of the series CSV is the sampled high threshold.
+    std::set<std::string> highs;
+    std::istringstream csv(ad.obs->seriesCsv());
+    std::string line;
+    std::getline(csv, line); // header
+    while (std::getline(csv, line)) {
+        std::istringstream row(line);
+        std::string field;
+        for (int i = 0; i < 7 && std::getline(row, field, ','); ++i) {
+        }
+        highs.insert(field);
+    }
+    EXPECT_GT(highs.size(), 1u)
+        << "sampler never saw a moved high threshold";
+
+    OpenLoopResult st = runOpenLoop(cfg, FlowControl::Afc, ol);
+    ASSERT_NE(st.obs, nullptr);
+    EXPECT_EQ(st.obs->chromeTrace().dump(2).find("threshold:adapt"),
+              std::string::npos)
+        << "static AFC must not record threshold events";
+}
+
+TEST(AfcAdaptive, ThresholdAblationGridThreadCountInvariant)
+{
+    // The registered experiment, scaled down, through the parallel
+    // runner at 1 and 4 threads: the deterministic JSON document for
+    // every grid point must be byte-identical (results land in grid
+    // order regardless of completion order, and each run's controller
+    // state is private to its thread).
+    exp::ExperimentSpec spec = exp::thresholdAblationExperiment();
+    spec.warmupCycles = 300;
+    spec.measureCycles = 1200;
+    spec.rates = {0.12};
+    spec.base.afc.adapt.probeInterval = 256;
+    spec.base.afc.adapt.probeWindow = 32;
+
+    exp::ParallelRunner one(1);
+    exp::ParallelRunner four(4);
+    auto a = one.runSpec(spec).results;
+    auto b = four.runSpec(spec).results;
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GE(a.size(), 2u); // static + adaptive at one rate
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].error.empty()) << a[i].error;
+        EXPECT_EQ(exp::toJson(a[i]).dump(2), exp::toJson(b[i]).dump(2))
+            << "grid point " << i << " diverged across thread counts";
+    }
+}
+
+} // namespace
+} // namespace afcsim

@@ -12,9 +12,16 @@
  * mid-measurement; the fault grid pins the hard cases the journal
  * relies on — a snapshot taken mid-retransmission (NIC retransmit
  * buffers non-empty, verified) and one inside an active link_down
- * window (verified via interval arithmetic on the fault stats).
+ * window (verified via interval arithmetic on the fault stats), plus
+ * afc_adaptive snapshots landing inside a probe window and mid-sample
+ * accumulation (verified via the controller's pending counters). The
+ * closed-loop harness gets the same treatment: a mid-run
+ * ClosedLoopRun snapshot restored into a fresh harness must finish
+ * bit-identical, and its workload-parameter guard must reject a
+ * mismatched profile.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -23,8 +30,12 @@
 #include <gtest/gtest.h>
 
 #include "common/config.hh"
+#include "common/error.hh"
 #include "common/statsio.hh"
 #include "obs/obs.hh"
+#include "router/afc_adaptive.hh"
+#include "sim/closedloop.hh"
+#include "sim/workload.hh"
 #include "testutil.hh"
 #include "traffic/openloop.hh"
 
@@ -51,6 +62,26 @@ obsFingerprint(const std::shared_ptr<obs::Observability> &obs)
     if (!obs)
         return "<no obs>";
     return obs->seriesCsv() + "\n" + obs->chromeTrace().dump(2);
+}
+
+/** Serialize everything a closed-loop run exports. */
+std::string
+fingerprint(const ClosedLoopResult &r)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("runtime", static_cast<std::int64_t>(r.runtime));
+    doc.set("transactions", static_cast<std::int64_t>(r.transactions));
+    doc.set("injection_rate", r.injectionRate);
+    doc.set("avg_tx_lat", r.avgTxLatency);
+    doc.set("avg_pkt_lat", r.avgPacketLatency);
+    doc.set("avg_defl", r.avgDeflections);
+    doc.set("bp_fraction", r.bpFraction);
+    doc.set("fwd", static_cast<std::int64_t>(r.forwardSwitches));
+    doc.set("rev", static_cast<std::int64_t>(r.reverseSwitches));
+    doc.set("gossip", static_cast<std::int64_t>(r.gossipSwitches));
+    doc.set("net", toJson(r.net));
+    doc.set("energy", toJson(r.energy));
+    return doc.dump(2) + "\n" + obsFingerprint(r.obs);
 }
 
 /** Serialize everything an open-loop run exports. */
@@ -111,6 +142,14 @@ diffConfig(const DiffCase &p)
 {
     NetworkConfig cfg = testConfig(4, 4);
     armObservers(cfg);
+    if (p.fc == FlowControl::AfcAdaptive) {
+        // Fast epochs: several adaptation boundaries fit before the
+        // snapshot, so the serialized state includes moved thresholds
+        // and live accumulators, not just the static initial values.
+        cfg.afc.adapt.probeInterval = 256;
+        cfg.afc.adapt.probeWindow = 32;
+        cfg.afc.adapt.gain = 0.8;
+    }
     cfg.faults.corruptRate = p.corruptRate;
     if (p.corruptRate > 0.0) {
         cfg.reliability.enabled = true;
@@ -183,6 +222,26 @@ TEST_P(CkptDiffTest, SnapshotRestoreBitIdentical)
             donor.network().faultInjector()->stats().linkDownEvents, 0u)
             << "snapshot missed the link_down window";
     }
+    if (p.fc == FlowControl::AfcAdaptive) {
+        // The snapshot must land where the controller holds live
+        // state: inside a probe window the probe-min accumulator is
+        // non-empty somewhere, elsewhere the sample-average
+        // accumulator is.
+        std::uint64_t probes = 0, samples = 0;
+        for (NodeId n = 0; n < donor.network().mesh().numNodes(); ++n) {
+            const auto *ad = dynamic_cast<const AfcAdaptiveRouter *>(
+                &donor.network().router(n));
+            ASSERT_NE(ad, nullptr);
+            probes += ad->pendingProbeCount();
+            samples += ad->pendingSampleCount();
+        }
+        if (p.snapshotCycle % 256 < 32)
+            ASSERT_GT(probes, 0u)
+                << "snapshot missed the probe window";
+        else
+            ASSERT_GT(samples, 0u)
+                << "snapshot missed mid-adaptation accumulation";
+    }
 
     donor.saveCheckpoint(path);
 
@@ -228,7 +287,15 @@ INSTANTIATE_TEST_SUITE_P(
                  "uniform", 0.20, 900, 0.02, 0.0},
         // Snapshot taken inside an active link_down window.
         DiffCase{"bp_link_down_window", FlowControl::Backpressured,
-                 "uniform", 0.15, 900, 0.0, 0.001}),
+                 "uniform", 0.15, 900, 0.0, 0.001},
+        // Self-tuning AFC: 784 % 256 = 16 lands inside the 32-cycle
+        // probe window (probe-min accumulator live); 900 % 256 = 132
+        // lands mid-sample accumulation after three adaptation
+        // boundaries have already moved the thresholds.
+        DiffCase{"afc_ad_mid_probe", FlowControl::AfcAdaptive,
+                 "uniform", 0.30, 784, 0.0, 0.0},
+        DiffCase{"afc_ad_mid_adapt", FlowControl::AfcAdaptive,
+                 "hotspot_drift", 0.25, 900, 0.0, 0.0}),
     caseName);
 
 /** Chained snapshots: restore, run a while, snapshot again, restore
@@ -337,6 +404,132 @@ TEST(CkptDiff, WarmupForkBitIdentical)
     OpenLoopRun forked2(cfg, p.fc, shorter, rates);
     forked2.loadWarmupFork(path);
     EXPECT_EQ(fingerprint(forked2.finish()), ref2Fp);
+    std::remove(path.c_str());
+}
+
+template <typename Fn>
+void
+expectSimError(Fn fn, const std::string &substr)
+{
+    try {
+        fn();
+        FAIL() << "expected SimError containing \"" << substr << "\"";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+/** Every afc.adapt.* key participates in the checkpoint config hash:
+ *  resuming a snapshot under different controller knobs would
+ *  silently produce a run neither configuration describes, so each
+ *  changed key must be rejected — and the unchanged configuration
+ *  must still restore. */
+TEST(CkptDiffAdaptive, AdaptKeysAreConfigHashGuarded)
+{
+    DiffCase p{"adapt_guard", FlowControl::AfcAdaptive, "uniform",
+               0.30, 0, 0.0, 0.0};
+    NetworkConfig cfg = diffConfig(p);
+    OpenLoopConfig ol = diffOl(p);
+    std::vector<double> rates = uniformRates(cfg, p.rate);
+
+    const std::string path = tmpCkpt("adapt_guard.ckpt");
+    OpenLoopRun donor(cfg, p.fc, ol, rates);
+    while (donor.cycle() < 500)
+        donor.step();
+    donor.saveCheckpoint(path);
+
+    auto expectRejected = [&](auto mutate) {
+        NetworkConfig other = cfg;
+        mutate(other);
+        OpenLoopRun restored(other, p.fc, ol,
+                             uniformRates(other, p.rate));
+        expectSimError([&] { restored.loadCheckpoint(path); },
+                       "checkpoint config mismatch");
+    };
+    expectRejected(
+        [](NetworkConfig &c) { c.afc.adapt.probeInterval = 512; });
+    expectRejected(
+        [](NetworkConfig &c) { c.afc.adapt.probeWindow = 64; });
+    expectRejected([](NetworkConfig &c) { c.afc.adapt.gain = 0.4; });
+    expectRejected(
+        [](NetworkConfig &c) { c.afc.adapt.minScale = 0.6; });
+    expectRejected(
+        [](NetworkConfig &c) { c.afc.adapt.maxScale = 1.4; });
+    expectRejected(
+        [](NetworkConfig &c) { c.afc.adapt.gapFloor = 0.1; });
+
+    OpenLoopRun restored(cfg, p.fc, ol, rates);
+    restored.loadCheckpoint(path);
+    EXPECT_EQ(restored.cycle(), 500u);
+    std::remove(path.c_str());
+}
+
+/** Mid-run ClosedLoopRun snapshot restored into a fresh harness must
+ *  finish bit-identical to a never-interrupted run — cores, MSHR
+ *  maps, L2 response heaps, the transaction counter and the
+ *  measurement baselines all travel through the container. Runs
+ *  afc_adaptive so threshold state rides along too. */
+TEST(CkptDiffClosedLoop, SnapshotRestoreBitIdentical)
+{
+    NetworkConfig cfg = testConfig(4, 4);
+    armObservers(cfg);
+    cfg.afc.adapt.probeInterval = 256;
+    cfg.afc.adapt.probeWindow = 32;
+    cfg.afc.adapt.gain = 0.8;
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= 20;
+    w.measureTransactions /= 20;
+
+    ClosedLoopRun ref(cfg, FlowControl::AfcAdaptive, w);
+    std::string refFp = fingerprint(ref.finish());
+
+    // The scaled run completes near cycle 850: cycle 500 lands
+    // mid-measurement with transactions in flight everywhere.
+    const std::string path = tmpCkpt("closedloop_diff.ckpt");
+    ClosedLoopRun donor(cfg, FlowControl::AfcAdaptive, w);
+    while (!donor.done() && donor.cycle() < 500)
+        donor.step();
+    ASSERT_FALSE(donor.done())
+        << "snapshot cycle must interrupt the run";
+    donor.saveCheckpoint(path);
+
+    ClosedLoopRun restored(cfg, FlowControl::AfcAdaptive, w);
+    restored.loadCheckpoint(path);
+    EXPECT_EQ(restored.cycle(), 500u);
+    EXPECT_EQ(fingerprint(restored.finish()), refFp)
+        << "closed-loop restore diverged";
+    std::remove(path.c_str());
+}
+
+/** The closed-loop harness guard: a snapshot saved under one workload
+ *  must not restore into a harness with different transaction
+ *  budgets, and a different network config must still fail the
+ *  network's own config-hash guard inside the same container. */
+TEST(CkptDiffClosedLoop, WorkloadAndConfigMismatchRejected)
+{
+    NetworkConfig cfg = testConfig(4, 4);
+    WorkloadProfile w = workloadByName("ocean");
+    w.warmupTransactions /= 20;
+    w.measureTransactions /= 20;
+
+    const std::string path = tmpCkpt("closedloop_guard.ckpt");
+    ClosedLoopRun donor(cfg, FlowControl::Afc, w);
+    while (donor.cycle() < 400)
+        donor.step();
+    donor.saveCheckpoint(path);
+
+    WorkloadProfile longer = w;
+    longer.measureTransactions *= 2;
+    ClosedLoopRun badHarness(cfg, FlowControl::Afc, longer);
+    expectSimError([&] { badHarness.loadCheckpoint(path); },
+                   "checkpoint harness mismatch");
+
+    NetworkConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    ClosedLoopRun badConfig(other, FlowControl::Afc, w);
+    expectSimError([&] { badConfig.loadCheckpoint(path); },
+                   "checkpoint config mismatch");
     std::remove(path.c_str());
 }
 

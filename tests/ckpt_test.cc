@@ -203,7 +203,9 @@ TEST(CkptSerial, VersionSkewIsRecoverable)
     spit(path, bytes);
     expectSimError(
         [&] { ckpt::readFile(path, ckpt::Kind::OpenLoopRun); },
-        "format version 2 (this build reads version 1)");
+        "format version " + std::to_string(ckpt::kFormatVersion + 1) +
+            " (this build reads version " +
+            std::to_string(ckpt::kFormatVersion) + ")");
     std::remove(path.c_str());
 }
 

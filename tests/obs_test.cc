@@ -56,10 +56,19 @@ tinySpec()
     exp::ExperimentSpec spec;
     spec.name = "obs_tiny";
     spec.kind = exp::RunKind::OpenLoop;
+    spec.configs = {FlowControl::Backpressured,
+                    FlowControl::Backpressureless, FlowControl::Afc,
+                    FlowControl::AfcAdaptive};
     spec.rates = {0.3};
     spec.warmupCycles = 200;
     spec.measureCycles = 600;
     spec.baseSeed = 13;
+    // Fast adaptation epochs so the self-tuning variant's controller
+    // fires inside the short runs (the off-path check must hold while
+    // thresholds are moving, since the tracer hook sits on that path).
+    spec.base.afc.adapt.probeInterval = 128;
+    spec.base.afc.adapt.probeWindow = 16;
+    spec.base.afc.adapt.gain = 0.8;
     return spec;
 }
 

@@ -152,7 +152,33 @@ const EquivCase kOpenLoopGrid[] = {
     {"afc_faulty", FlowControl::Afc, "uniform", 0.12, 0.002, 0.0},
     {"drop_stalls", FlowControl::BackpressurelessDrop, "uniform",
      0.12, 0.0, 0.002},
+    // Self-tuning AFC: epoch boundaries and probe windows are pure
+    // functions of the absolute cycle, so parked spans and shard
+    // partitions must not shift the controller's decisions. Drift and
+    // high load keep thresholds moving mid-run; the faulty point
+    // exercises retransmission wakes during adaptation.
+    {"afc_ad_uniform", FlowControl::AfcAdaptive, "uniform", 0.15, 0.0,
+     0.0},
+    {"afc_ad_drift", FlowControl::AfcAdaptive, "hotspot_drift", 0.12,
+     0.0, 0.0},
+    {"afc_ad_hi", FlowControl::AfcAdaptive, "uniform", 0.45, 0.0, 0.0},
+    {"afc_ad_faulty", FlowControl::AfcAdaptive, "uniform", 0.12, 0.002,
+     0.0},
 };
+
+/** Fast adaptation epochs so the gradient controller fires many
+ *  times inside the short grid runs: the scheduler axes must be
+ *  byte-identical across live threshold motion, not just while the
+ *  controller is quiescent. No-op for the non-adaptive variants. */
+void
+armAdapt(NetworkConfig &cfg, FlowControl fc)
+{
+    if (fc != FlowControl::AfcAdaptive)
+        return;
+    cfg.afc.adapt.probeInterval = 256;
+    cfg.afc.adapt.probeWindow = 32;
+    cfg.afc.adapt.gain = 0.8;
+}
 
 /** Arm the fault/reliability knobs of one grid point. */
 void
@@ -194,6 +220,7 @@ TEST_P(SchedEquivTest, OpenLoopBitIdentical)
         cfg.idleSkip = skip != 0;
         armObservers(cfg);
         armFaults(cfg, p);
+        armAdapt(cfg, p.fc);
         fp[skip] = openLoopFingerprint(runOpenLoop(cfg, p.fc, ol));
     }
     EXPECT_EQ(fp[0], fp[1])
@@ -226,6 +253,7 @@ TEST_P(ShardEquivTest, OpenLoopShardCountBitIdentical)
         cfg.shards = shards;
         armObservers(cfg);
         armFaults(cfg, p);
+        armAdapt(cfg, p.fc);
         std::string fp = openLoopFingerprint(runOpenLoop(cfg, p.fc, ol));
         if (shards == 1)
             ref = fp;
@@ -258,6 +286,7 @@ TEST_P(SchedEquivClosedLoopTest, MemsysBitIdentical)
         NetworkConfig cfg = testConfig(4, 4);
         cfg.idleSkip = skip != 0;
         armObservers(cfg);
+        armAdapt(cfg, fc);
         fp[skip] = closedLoopFingerprint(runClosedLoop(cfg, fc, w));
     }
     EXPECT_EQ(fp[0], fp[1]);
@@ -269,6 +298,7 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair("bp", FlowControl::Backpressured),
         std::make_pair("bpl", FlowControl::Backpressureless),
         std::make_pair("afc", FlowControl::Afc),
+        std::make_pair("afc_ad", FlowControl::AfcAdaptive),
         std::make_pair("drop", FlowControl::BackpressurelessDrop)),
     [](const auto &info) { return std::string(info.param.first); });
 
@@ -294,6 +324,7 @@ TEST_P(ShardEquivClosedLoopTest, MemsysShardCountBitIdentical)
         NetworkConfig cfg = testConfig(4, 4);
         cfg.shards = shards;
         armObservers(cfg);
+        armAdapt(cfg, fc);
         std::string fp = closedLoopFingerprint(runClosedLoop(cfg, fc, w));
         if (shards == 1)
             ref = fp;
@@ -308,6 +339,7 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair("bp", FlowControl::Backpressured),
         std::make_pair("bpl", FlowControl::Backpressureless),
         std::make_pair("afc", FlowControl::Afc),
+        std::make_pair("afc_ad", FlowControl::AfcAdaptive),
         std::make_pair("drop", FlowControl::BackpressurelessDrop)),
     [](const auto &info) { return std::string(info.param.first); });
 
